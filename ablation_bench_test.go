@@ -1,0 +1,167 @@
+// Ablation benchmarks for the design decisions DESIGN.md calls out:
+// AlterEgo re-centering, multi-replacement mapping (footnote 10),
+// Herlocker significance weighting, and the layer-based pruning fan-out.
+// Each bench reports the MAE (or cost) of the variants as metrics, so
+// `go test -bench=Ablation` quantifies every choice.
+package xmap_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"xmap/internal/core"
+	"xmap/internal/dataset"
+	"xmap/internal/eval"
+	"xmap/internal/graph"
+	"xmap/internal/sim"
+	"xmap/internal/xsim"
+)
+
+// ablationFixture shares one trace + split across the ablation benches.
+var ablationFixture struct {
+	once  sync.Once
+	az    dataset.Amazon
+	split eval.Split
+}
+
+func ablation(b *testing.B) (dataset.Amazon, eval.Split) {
+	ablationFixture.once.Do(func() {
+		cfg := dataset.DefaultAmazonConfig()
+		cfg.MovieUsers, cfg.BookUsers, cfg.OverlapUsers = 240, 260, 70
+		cfg.Movies, cfg.Books = 120, 150
+		cfg.RatingsPerUser = 26
+		ablationFixture.az = dataset.AmazonLike(cfg)
+		ablationFixture.split = eval.SplitStraddlers(
+			ablationFixture.az.DS, ablationFixture.az.Movies, ablationFixture.az.Books,
+			eval.SplitOptions{TestFraction: 0.25, MinProfile: 8, Rng: rand.New(rand.NewSource(9))})
+	})
+	return ablationFixture.az, ablationFixture.split
+}
+
+// ablationMAE fits a pipeline under cfg and evaluates cold-start MAE.
+func ablationMAE(az dataset.Amazon, split eval.Split, cfg core.Config) float64 {
+	p := core.Fit(split.Train, az.Movies, az.Books, cfg)
+	var m eval.Metrics
+	for _, tu := range split.Test {
+		src := eval.SourceProfile(split.Train, tu.User, az.Movies)
+		ego := p.AlterEgoFromProfile(src, nil)
+		for _, h := range tu.Hidden {
+			v, ok := p.Predict(ego, h.Item, h.Time)
+			m.Add(v, h.Value, ok)
+		}
+	}
+	return m.MAE()
+}
+
+func BenchmarkAblationRecentering(b *testing.B) {
+	az, split := ablation(b)
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Mode = core.UserBasedMode
+		cfg.RecenterAlterEgo = true
+		with = ablationMAE(az, split, cfg)
+		cfg.RecenterAlterEgo = false
+		without = ablationMAE(az, split, cfg)
+	}
+	b.ReportMetric(with, "mae-recentered")
+	b.ReportMetric(without, "mae-raw-values")
+}
+
+func BenchmarkAblationReplacements(b *testing.B) {
+	az, split := ablation(b)
+	metrics := map[int]float64{}
+	for i := 0; i < b.N; i++ {
+		for _, r := range []int{1, 3, 5, 8} {
+			cfg := core.DefaultConfig()
+			cfg.Mode = core.UserBasedMode
+			cfg.Replacements = r
+			metrics[r] = ablationMAE(az, split, cfg)
+		}
+	}
+	b.ReportMetric(metrics[1], "mae-argmax")
+	b.ReportMetric(metrics[3], "mae-top3")
+	b.ReportMetric(metrics[5], "mae-top5")
+	b.ReportMetric(metrics[8], "mae-top8")
+}
+
+func BenchmarkAblationSignificanceWeighting(b *testing.B) {
+	az, split := ablation(b)
+	metrics := map[int]float64{}
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{0, 10, 20, 40} {
+			cfg := core.DefaultConfig()
+			cfg.Mode = core.UserBasedMode
+			cfg.SignificanceN = n
+			metrics[n] = ablationMAE(az, split, cfg)
+		}
+	}
+	b.ReportMetric(metrics[0], "mae-unweighted")
+	b.ReportMetric(metrics[10], "mae-n10")
+	b.ReportMetric(metrics[20], "mae-n20")
+	b.ReportMetric(metrics[40], "mae-n40")
+}
+
+func BenchmarkAblationTemporalDecay(b *testing.B) {
+	az, split := ablation(b)
+	metrics := map[int]float64{}
+	alphas := []float64{0, 0.03, 0.12}
+	for i := 0; i < b.N; i++ {
+		for ai, a := range alphas {
+			cfg := core.DefaultConfig()
+			cfg.Mode = core.ItemBasedMode
+			cfg.Alpha = a
+			metrics[ai] = ablationMAE(az, split, cfg)
+		}
+	}
+	b.ReportMetric(metrics[0], "mae-alpha0")
+	b.ReportMetric(metrics[1], "mae-alpha0.03")
+	b.ReportMetric(metrics[2], "mae-alpha0.12")
+}
+
+// BenchmarkAblationLayerPruning quantifies the §3.2 claim: pruning trades
+// a bounded similarity loss for a large drop in extension cost. Reported
+// metrics are the X-Sim pair counts and extension wall-times at each k.
+func BenchmarkAblationLayerPruning(b *testing.B) {
+	az, _ := ablation(b)
+	pairs := sim.ComputePairs(az.DS, sim.Options{})
+	var pruned10, pruned50, unpruned int
+	for i := 0; i < b.N; i++ {
+		g10 := graph.Build(pairs, az.Movies, az.Books, graph.Options{K: 10})
+		t10 := xsim.Extend(g10, xsim.Options{LegsK: 10})
+		g50 := graph.Build(pairs, az.Movies, az.Books, graph.Options{K: 50})
+		t50 := xsim.Extend(g50, xsim.Options{LegsK: 50})
+		gAll := graph.Build(pairs, az.Movies, az.Books, graph.Options{})
+		tAll := xsim.Extend(gAll, xsim.Options{})
+		pruned10 = t10.NumHeteroPairs()
+		pruned50 = t50.NumHeteroPairs()
+		unpruned = tAll.NumHeteroPairs()
+	}
+	b.ReportMetric(float64(pruned10), "pairs-k10")
+	b.ReportMetric(float64(pruned50), "pairs-k50")
+	b.ReportMetric(float64(unpruned), "pairs-unpruned")
+}
+
+// BenchmarkAblationPrivacyBudgetSplit explores how the ε/ε′ division of a
+// fixed total budget affects quality (the paper picks the split per mode
+// in §6.3 without an explicit sweep).
+func BenchmarkAblationPrivacyBudgetSplit(b *testing.B) {
+	az, split := ablation(b)
+	const total = 1.0
+	fractions := []float64{0.25, 0.5, 0.75}
+	metrics := make([]float64, len(fractions))
+	for i := 0; i < b.N; i++ {
+		for fi, f := range fractions {
+			cfg := core.DefaultConfig()
+			cfg.Mode = core.UserBasedMode
+			cfg.Private = true
+			cfg.EpsilonAE = total * f
+			cfg.EpsilonRec = total * (1 - f)
+			metrics[fi] = ablationMAE(az, split, cfg)
+		}
+	}
+	b.ReportMetric(metrics[0], "mae-ae25")
+	b.ReportMetric(metrics[1], "mae-ae50")
+	b.ReportMetric(metrics[2], "mae-ae75")
+}

@@ -1,0 +1,97 @@
+package xmap
+
+import (
+	"io"
+
+	"xmap/internal/core"
+	"xmap/internal/dataset"
+	"xmap/internal/ratings"
+	"xmap/internal/sim"
+)
+
+// Re-exported identifier and data types. External users program against
+// these names; the implementations live in internal packages.
+type (
+	// Dataset is the immutable rating store (users × items × domains).
+	Dataset = ratings.Dataset
+	// Builder accumulates ratings and produces a Dataset.
+	Builder = ratings.Builder
+	// UserID is a dense user index.
+	UserID = ratings.UserID
+	// ItemID is a dense item index.
+	ItemID = ratings.ItemID
+	// DomainID identifies an application domain.
+	DomainID = ratings.DomainID
+	// Rating is one (user, item, value, timestep) observation.
+	Rating = ratings.Rating
+	// Entry is one item of a user profile; AlterEgos are []Entry.
+	Entry = ratings.Entry
+	// Scored is a recommended item with its predicted score.
+	Scored = sim.Scored
+
+	// Config parameterizes a pipeline (neighborhood size, mode, privacy).
+	Config = core.Config
+	// Mode selects user-based vs item-based recommendation.
+	Mode = core.Mode
+	// Pipeline is a fitted X-Map instance.
+	Pipeline = core.Pipeline
+	// Diagnostics summarizes the fitted similarity structures.
+	Diagnostics = core.Diagnostics
+
+	// AmazonConfig sizes the synthetic two-domain trace generator.
+	AmazonConfig = dataset.AmazonConfig
+	// Amazon bundles a generated two-domain trace with domain handles.
+	Amazon = dataset.Amazon
+	// MovieLensConfig sizes the genre-labelled single-domain generator.
+	MovieLensConfig = dataset.MovieLensConfig
+	// MovieLens bundles the generated trace with its genre labels.
+	MovieLens = dataset.MovieLens
+	// GenreSplit is a genre-based two-sub-domain partition (§6.5).
+	GenreSplit = dataset.GenreSplit
+)
+
+// Recommendation modes.
+const (
+	// ItemBased runs Algorithm 2 (optionally temporal, Eq. 7).
+	ItemBased = core.ItemBasedMode
+	// UserBased runs Algorithm 1.
+	UserBased = core.UserBasedMode
+)
+
+// NewBuilder returns an empty dataset builder.
+func NewBuilder() *Builder { return ratings.NewBuilder() }
+
+// DefaultConfig returns the paper's operating point (k = 50, item-based,
+// α = 0.03, non-private; ε = 0.3 / ε′ = 0.8 when Private is enabled).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Fit runs the offline phases (Baseliner → Extender → models) for the
+// (source, target) domain pair and returns a serving pipeline.
+func Fit(ds *Dataset, source, target DomainID, cfg Config) *Pipeline {
+	return core.Fit(ds, source, target, cfg)
+}
+
+// GenerateAmazonLike produces a synthetic two-domain trace with the same
+// structural properties as the paper's Amazon movie/book datasets (shared
+// user tastes, paired genre archetypes, Zipf popularity, taste drift).
+func GenerateAmazonLike(cfg AmazonConfig) Amazon { return dataset.AmazonLike(cfg) }
+
+// DefaultAmazonConfig returns the laptop-scale default generator config.
+func DefaultAmazonConfig() AmazonConfig { return dataset.DefaultAmazonConfig() }
+
+// GenerateMovieLensLike produces a genre-labelled single-domain trace
+// shaped like ML-20M's 19-genre popularity profile.
+func GenerateMovieLensLike(cfg MovieLensConfig) MovieLens { return dataset.MovieLensLike(cfg) }
+
+// DefaultMovieLensConfig returns the laptop-scale default.
+func DefaultMovieLensConfig() MovieLensConfig { return dataset.DefaultMovieLensConfig() }
+
+// SplitByGenres partitions a MovieLens-like dataset into two sub-domains
+// by genre, per the paper's Table 2 procedure.
+func SplitByGenres(ml MovieLens) GenreSplit { return dataset.SplitByGenres(ml) }
+
+// SaveCSV writes a dataset as user,item,domain,rating,time CSV.
+func SaveCSV(w io.Writer, ds *Dataset) error { return dataset.SaveCSV(w, ds) }
+
+// LoadCSV reads a dataset written by SaveCSV.
+func LoadCSV(r io.Reader) (*Dataset, error) { return dataset.LoadCSV(r) }

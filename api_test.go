@@ -1,0 +1,164 @@
+package xmap_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"xmap"
+	"xmap/internal/eval"
+)
+
+// TestFacadeEndToEnd drives the whole public API surface the way an
+// adopter would: generate a trace, fit, inspect, recommend, round-trip CSV.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := xmap.DefaultAmazonConfig()
+	cfg.MovieUsers, cfg.BookUsers, cfg.OverlapUsers = 150, 160, 50
+	cfg.Movies, cfg.Books = 90, 110
+	cfg.RatingsPerUser = 22
+	az := xmap.GenerateAmazonLike(cfg)
+
+	pcfg := xmap.DefaultConfig()
+	pcfg.K = 20
+	p := xmap.Fit(az.DS, az.Movies, az.Books, pcfg)
+
+	d := p.Diagnose()
+	if d.BaselineEdges == 0 || d.XSimHeteroPairs == 0 {
+		t.Fatalf("degenerate diagnostics: %+v", d)
+	}
+
+	// A straddler gets cross-domain recommendations.
+	u := az.DS.Straddlers(az.Movies, az.Books)[0]
+	recs := p.RecommendForUser(u, 5)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	for _, r := range recs {
+		if az.DS.Domain(r.ID) != az.Books {
+			t.Fatalf("recommendation %d not in target domain", r.ID)
+		}
+		if r.Score < 1 || r.Score > 5 {
+			t.Fatalf("score %v out of rating range", r.Score)
+		}
+	}
+
+	// CSV round trip through the facade.
+	var buf bytes.Buffer
+	if err := xmap.SaveCSV(&buf, az.DS); err != nil {
+		t.Fatal(err)
+	}
+	back, err := xmap.LoadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRatings() != az.DS.NumRatings() {
+		t.Fatalf("CSV round trip lost ratings: %d vs %d", back.NumRatings(), az.DS.NumRatings())
+	}
+}
+
+// TestFacadeBuilder exercises manual dataset construction via the facade.
+func TestFacadeBuilder(t *testing.T) {
+	b := xmap.NewBuilder()
+	mv := b.Domain("movies")
+	bk := b.Domain("books")
+	u := b.User("u")
+	m := b.Item("m", mv)
+	k := b.Item("k", bk)
+	b.Add(u, m, 5, 1)
+	b.Add(u, k, 4, 2)
+	ds := b.Build()
+	if ds.NumRatings() != 2 || ds.NumDomains() != 2 {
+		t.Fatalf("builder broken: %s", ds.ComputeStats())
+	}
+	if len(ds.Straddlers(mv, bk)) != 1 {
+		t.Fatal("u should be a straddler")
+	}
+}
+
+// TestFacadeGenreSplit exercises the §6.5 path through the facade.
+func TestFacadeGenreSplit(t *testing.T) {
+	cfg := xmap.DefaultMovieLensConfig()
+	cfg.Users, cfg.Movies, cfg.RatingsPerUser = 120, 80, 14
+	ml := xmap.GenerateMovieLensLike(cfg)
+	sp := xmap.SplitByGenres(ml)
+	if sp.DS.NumDomains() != 2 {
+		t.Fatalf("genre split should create 2 domains, got %d", sp.DS.NumDomains())
+	}
+	if sp.D1Movies+sp.D2Movies != ml.DS.NumItems() {
+		t.Fatal("split does not partition the items")
+	}
+}
+
+// TestPrivatePipelineViaFacade checks the X-Map (private) variant through
+// the public API, including budget accounting.
+func TestPrivatePipelineViaFacade(t *testing.T) {
+	cfg := xmap.DefaultAmazonConfig()
+	cfg.MovieUsers, cfg.BookUsers, cfg.OverlapUsers = 120, 130, 45
+	cfg.Movies, cfg.Books = 80, 100
+	cfg.RatingsPerUser = 20
+	az := xmap.GenerateAmazonLike(cfg)
+
+	pcfg := xmap.DefaultConfig()
+	pcfg.K = 15
+	pcfg.Private = true
+	p := xmap.Fit(az.DS, az.Movies, az.Books, pcfg)
+
+	u := az.DS.Straddlers(az.Movies, az.Books)[0]
+	ego := p.AlterEgo(u)
+	if len(ego) == 0 {
+		t.Fatal("empty private AlterEgo")
+	}
+	if p.PrivacySpent() <= 0 {
+		t.Fatal("private pipeline did not account spent budget")
+	}
+	// Two generations differ with high probability (obfuscation).
+	ego2 := p.AlterEgo(u)
+	same := len(ego) == len(ego2)
+	if same {
+		for i := range ego {
+			if ego[i] != ego2[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Log("two private AlterEgos identical — possible but unlikely; not failing")
+	}
+}
+
+// TestDeriveSweepsCheaply validates the Derive workflow used by every
+// experiment grid.
+func TestDeriveSweepsCheaply(t *testing.T) {
+	cfg := xmap.DefaultAmazonConfig()
+	cfg.MovieUsers, cfg.BookUsers, cfg.OverlapUsers = 120, 130, 45
+	cfg.Movies, cfg.Books = 80, 100
+	cfg.RatingsPerUser = 20
+	az := xmap.GenerateAmazonLike(cfg)
+
+	split := eval.SplitStraddlers(az.DS, az.Movies, az.Books, eval.SplitOptions{
+		TestFraction: 0.25, MinProfile: 6, Rng: rand.New(rand.NewSource(2)),
+	})
+	base := xmap.Fit(split.Train, az.Movies, az.Books, xmap.DefaultConfig())
+
+	ub := base.Config()
+	ub.Mode = xmap.UserBased
+	derived := base.Derive(ub)
+	if derived.Config().Mode != xmap.UserBased {
+		t.Fatal("Derive did not switch mode")
+	}
+	// The derived pipeline shares the X-Sim table.
+	if derived.Table() != base.Table() {
+		t.Fatal("Derive should share the fitted table")
+	}
+
+	// Changing similarity-shaping fields must panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Derive with different K should panic")
+		}
+	}()
+	bad := base.Config()
+	bad.K = base.Config().K + 1
+	base.Derive(bad)
+}

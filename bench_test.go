@@ -1,0 +1,286 @@
+// Benchmarks reproducing every table and figure of the paper's evaluation
+// (§6), plus micro-benchmarks of the pipeline's hot paths. One bench per
+// experiment: run `go test -bench=Figure -benchmem` to regenerate the
+// paper's series; each bench prints the corresponding table once and
+// reports its headline numbers as bench metrics.
+package xmap_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"xmap"
+	"xmap/internal/core"
+	"xmap/internal/dataset"
+	"xmap/internal/eval"
+	"xmap/internal/experiments"
+	"xmap/internal/graph"
+	"xmap/internal/mf"
+	"xmap/internal/sim"
+	"xmap/internal/xsim"
+)
+
+// benchScale is the workload every experiment bench runs at. Small keeps
+// the full bench suite in the minutes range; use cmd/xmap-bench for the
+// larger default scale.
+func benchScale() experiments.Scale { return experiments.Small() }
+
+// printOnce renders an experiment's table a single time per process so
+// -benchtime multipliers do not flood the output.
+var printedExperiments sync.Map
+
+func printOnce(b *testing.B, id string, s fmt.Stringer) {
+	if _, done := printedExperiments.LoadOrStore(id, true); !done {
+		b.Logf("\n%s", s.String())
+	}
+}
+
+func BenchmarkFigure1bSimilarityCount(b *testing.B) {
+	var r experiments.Fig1bResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure1b(benchScale())
+	}
+	printOnce(b, "fig1b", r)
+	b.ReportMetric(float64(r.Standard), "standard-pairs")
+	b.ReportMetric(float64(r.MetaPath), "metapath-pairs")
+	b.ReportMetric(r.Ratio, "ratio")
+}
+
+func BenchmarkFigure5Temporal(b *testing.B) {
+	var r experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure5(benchScale())
+	}
+	printOnce(b, "fig5", r)
+	b.ReportMetric(r.Panels[0].AlphaOpt, "alpha-opt")
+	b.ReportMetric(r.Panels[0].MAE[0], "mae-alpha0")
+}
+
+func BenchmarkFigure6PrivacyItemBased(b *testing.B) {
+	var r experiments.FigPrivacyResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure6(benchScale())
+	}
+	printOnce(b, "fig6", r)
+	g := r.Grids[0]
+	b.ReportMetric(g.MAE[0][0], "mae-most-private")
+	b.ReportMetric(g.MAE[len(g.Eps)-1][len(g.EpsPrime)-1], "mae-least-private")
+}
+
+func BenchmarkFigure7PrivacyUserBased(b *testing.B) {
+	var r experiments.FigPrivacyResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure7(benchScale())
+	}
+	printOnce(b, "fig7", r)
+	g := r.Grids[0]
+	b.ReportMetric(g.MAE[0][0], "mae-most-private")
+	b.ReportMetric(g.MAE[len(g.Eps)-1][len(g.EpsPrime)-1], "mae-least-private")
+}
+
+func BenchmarkFigure8NeighborhoodSize(b *testing.B) {
+	var r experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure8(benchScale())
+	}
+	printOnce(b, "fig8", r)
+	d := r.Directions[0]
+	b.ReportMetric(d.Best("NX-Map-ub"), "mae-nxmap-ub")
+	b.ReportMetric(d.Best("ItemAverage"), "mae-itemavg")
+	b.ReportMetric(d.Best("RemoteUser"), "mae-remoteuser")
+}
+
+func BenchmarkFigure9Overlap(b *testing.B) {
+	var r experiments.Fig9Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure9(benchScale())
+	}
+	printOnce(b, "fig9", r)
+	for _, se := range r.Directions[0].Series {
+		if se.System == "NX-Map-ub" {
+			b.ReportMetric(se.MAE[0], "mae-overlap20")
+			b.ReportMetric(se.MAE[len(se.MAE)-1], "mae-overlap80")
+		}
+	}
+}
+
+func BenchmarkFigure10Sparsity(b *testing.B) {
+	var r experiments.Fig10Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure10(benchScale())
+	}
+	printOnce(b, "fig10", r)
+	for _, se := range r.Directions[0].Series {
+		if se.System == "NX-Map-ib" {
+			b.ReportMetric(se.MAE[0], "mae-coldstart")
+			b.ReportMetric(se.MAE[len(se.MAE)-1], "mae-aux6")
+		}
+	}
+}
+
+func BenchmarkTable2GenreSplit(b *testing.B) {
+	var r experiments.Table2Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table2(benchScale())
+	}
+	printOnce(b, "tab2", r)
+	b.ReportMetric(float64(r.Split.D1Movies), "d1-movies")
+	b.ReportMetric(float64(r.Split.D2Movies), "d2-movies")
+}
+
+func BenchmarkTable3Homogeneous(b *testing.B) {
+	var r experiments.Table3Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table3(benchScale())
+	}
+	printOnce(b, "tab3", r)
+	b.ReportMetric(r.NXMap, "mae-nxmap")
+	b.ReportMetric(r.XMap, "mae-xmap")
+	b.ReportMetric(r.ALS, "mae-als")
+}
+
+func BenchmarkFigure11Scalability(b *testing.B) {
+	var r experiments.Fig11Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure11(benchScale(), false)
+	}
+	printOnce(b, "fig11", r)
+	last := len(r.Machines) - 1
+	b.ReportMetric(r.XMapModel[last], "xmap-speedup20")
+	b.ReportMetric(r.ALSModel[last], "als-speedup20")
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+var microFixture struct {
+	once  sync.Once
+	az    dataset.Amazon
+	pairs *sim.Pairs
+	g     *graph.Graph
+	tbl   *xsim.Table
+	pipe  *core.Pipeline
+	prof  []xmap.Entry
+}
+
+func micro(b *testing.B) *struct {
+	once  sync.Once
+	az    dataset.Amazon
+	pairs *sim.Pairs
+	g     *graph.Graph
+	tbl   *xsim.Table
+	pipe  *core.Pipeline
+	prof  []xmap.Entry
+} {
+	microFixture.once.Do(func() {
+		cfg := dataset.DefaultAmazonConfig()
+		cfg.MovieUsers, cfg.BookUsers, cfg.OverlapUsers = 300, 320, 90
+		cfg.Movies, cfg.Books = 150, 190
+		cfg.RatingsPerUser = 24
+		microFixture.az = dataset.AmazonLike(cfg)
+		microFixture.pairs = sim.ComputePairs(microFixture.az.DS, sim.Options{})
+		microFixture.g = graph.Build(microFixture.pairs, microFixture.az.Movies, microFixture.az.Books, graph.Options{K: 50})
+		microFixture.tbl = xsim.Extend(microFixture.g, xsim.Options{TopK: 100, LegsK: 50})
+		microFixture.pipe = core.Fit(microFixture.az.DS, microFixture.az.Movies, microFixture.az.Books, core.DefaultConfig())
+		u := microFixture.az.DS.Straddlers(microFixture.az.Movies, microFixture.az.Books)[0]
+		microFixture.prof = eval.SourceProfile(microFixture.az.DS, u, microFixture.az.Movies)
+	})
+	return &microFixture
+}
+
+func BenchmarkBaselinerComputePairs(b *testing.B) {
+	f := micro(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.ComputePairs(f.az.DS, sim.Options{})
+	}
+}
+
+func BenchmarkGraphBuild(b *testing.B) {
+	f := micro(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.Build(f.pairs, f.az.Movies, f.az.Books, graph.Options{K: 50})
+	}
+}
+
+func BenchmarkExtenderXSim(b *testing.B) {
+	f := micro(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xsim.Extend(f.g, xsim.Options{TopK: 100, LegsK: 50})
+	}
+}
+
+func BenchmarkGeneratorAlterEgo(b *testing.B) {
+	f := micro(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.pipe.AlterEgoFromProfile(f.prof, nil)
+	}
+}
+
+func BenchmarkRecommenderPredict(b *testing.B) {
+	f := micro(b)
+	ego := f.pipe.AlterEgoFromProfile(f.prof, nil)
+	items := f.az.DS.ItemsInDomain(f.az.Books)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.pipe.Predict(ego, items[i%len(items)], 20)
+	}
+}
+
+func BenchmarkRecommenderTopN(b *testing.B) {
+	f := micro(b)
+	ego := f.pipe.AlterEgoFromProfile(f.prof, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.pipe.Recommend(ego, 10)
+	}
+}
+
+func BenchmarkALSTrain(b *testing.B) {
+	f := micro(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mf.Train(f.az.DS, mf.Config{Factors: 10, Iterations: 5, Lambda: 0.01, Seed: 1})
+	}
+}
+
+func BenchmarkEndToEndFit(b *testing.B) {
+	f := micro(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Fit(f.az.DS, f.az.Movies, f.az.Books, core.DefaultConfig())
+	}
+}
+
+func BenchmarkCSVRoundTrip(b *testing.B) {
+	f := micro(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf writeCounter
+		if err := xmap.SaveCSV(&buf, f.az.DS); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf))
+	}
+}
+
+type writeCounter int
+
+func (w *writeCounter) Write(p []byte) (int, error) {
+	*w += writeCounter(len(p))
+	return len(p), nil
+}
+
+func BenchmarkSplitStraddlers(b *testing.B) {
+	f := micro(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.SplitStraddlers(f.az.DS, f.az.Movies, f.az.Books, eval.SplitOptions{
+			TestFraction: 0.2, MinProfile: 8, Rng: rand.New(rand.NewSource(int64(i))),
+		})
+	}
+}

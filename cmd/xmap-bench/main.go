@@ -1,0 +1,83 @@
+// Command xmap-bench runs the paper-reproduction experiment drivers and
+// prints the tables/series the paper reports (§6, Figures 1b and 5–11,
+// Tables 2–3).
+//
+// Usage:
+//
+//	xmap-bench                          # run everything at default scale
+//	xmap-bench -experiment fig8         # one experiment
+//	xmap-bench -scale small             # quick pass
+//	xmap-bench -experiment fig11 -measure
+//
+// Experiments: fig1b fig5 fig6 fig7 fig8 fig9 fig10 tab2 tab3 fig11 all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"xmap/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (fig1b, fig5..fig11, tab2, tab3, all)")
+		scaleName  = flag.String("scale", "default", "workload scale: small or default")
+		seed       = flag.Int64("seed", 0, "override the scale's RNG seed (0 = keep)")
+		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		measure    = flag.Bool("measure", false, "fig11: also measure wall-clock speedup with real worker pools")
+	)
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleName {
+	case "small":
+		sc = experiments.Small()
+	case "default":
+		sc = experiments.Default()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want small or default)\n", *scaleName)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	sc.Workers = *workers
+
+	type driver struct {
+		id  string
+		run func() fmt.Stringer
+	}
+	drivers := []driver{
+		{"fig1b", func() fmt.Stringer { return experiments.Figure1b(sc) }},
+		{"fig5", func() fmt.Stringer { return experiments.Figure5(sc) }},
+		{"fig6", func() fmt.Stringer { return experiments.Figure6(sc) }},
+		{"fig7", func() fmt.Stringer { return experiments.Figure7(sc) }},
+		{"fig8", func() fmt.Stringer { return experiments.Figure8(sc) }},
+		{"fig9", func() fmt.Stringer { return experiments.Figure9(sc) }},
+		{"fig10", func() fmt.Stringer { return experiments.Figure10(sc) }},
+		{"tab2", func() fmt.Stringer { return experiments.Table2(sc) }},
+		{"tab3", func() fmt.Stringer { return experiments.Table3(sc) }},
+		{"fig11", func() fmt.Stringer { return experiments.Figure11(sc, *measure) }},
+	}
+
+	want := strings.ToLower(*experiment)
+	ran := 0
+	for _, d := range drivers {
+		if want != "all" && want != d.id {
+			continue
+		}
+		start := time.Now()
+		fmt.Printf("=== %s (scale=%s seed=%d) ===\n", d.id, sc.Name, sc.Seed)
+		fmt.Println(d.run().String())
+		fmt.Printf("--- %s done in %v ---\n\n", d.id, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}

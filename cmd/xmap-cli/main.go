@@ -1,0 +1,169 @@
+// Command xmap-cli is the batch interface to X-Map: fit a pipeline from a
+// CSV trace, persist the fitted X-Sim table, and serve one-off queries —
+// the offline/online split of §5.4 without the HTTP server.
+//
+// Usage:
+//
+//	xmap-cli fit -data trace.csv -table xsim.gob [-k 50]
+//	xmap-cli recommend -data trace.csv -table xsim.gob -user alice -n 10
+//	xmap-cli similar -data trace.csv -table xsim.gob -item "Interstellar"
+//	xmap-cli stats -data trace.csv
+//
+// `fit` writes the heterogeneous similarity table; `recommend` and
+// `similar` reuse it (falling back to refitting when -table is absent).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xmap/internal/core"
+	"xmap/internal/dataset"
+	"xmap/internal/ratings"
+	"xmap/internal/xsim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		data  = fs.String("data", "", "CSV trace (required; see xmap-datagen)")
+		table = fs.String("table", "", "fitted X-Sim table path (gob)")
+		k     = fs.Int("k", 50, "neighborhood size")
+		user  = fs.String("user", "", "user name (recommend)")
+		item  = fs.String("item", "", "item name (similar)")
+		n     = fs.Int("n", 10, "result count")
+	)
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		fatal(err)
+	}
+	if *data == "" {
+		fatal(fmt.Errorf("-data is required"))
+	}
+	ds, err := loadTrace(*data)
+	if err != nil {
+		fatal(err)
+	}
+	if ds.NumDomains() < 2 && cmd != "stats" {
+		fatal(fmt.Errorf("trace has %d domains; X-Map needs 2", ds.NumDomains()))
+	}
+
+	switch cmd {
+	case "stats":
+		fmt.Println(ds.ComputeStats())
+	case "fit":
+		if *table == "" {
+			fatal(fmt.Errorf("fit requires -table output path"))
+		}
+		cfg := core.DefaultConfig()
+		cfg.K = *k
+		p := core.Fit(ds, 0, 1, cfg)
+		f, err := os.Create(*table)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := p.Table().Save(f); err != nil {
+			fatal(err)
+		}
+		d := p.Diagnose()
+		fmt.Printf("fitted %s → %s: %s\n", ds.DomainName(0), ds.DomainName(1), d)
+		fmt.Printf("table written to %s\n", *table)
+	case "recommend":
+		if *user == "" {
+			fatal(fmt.Errorf("recommend requires -user"))
+		}
+		uid, ok := findUser(ds, *user)
+		if !ok {
+			fatal(fmt.Errorf("unknown user %q", *user))
+		}
+		p := fitOrLoad(ds, *table, *k)
+		for i, r := range p.RecommendForUser(uid, *n) {
+			fmt.Printf("%2d. %-24s %s  predicted %.2f\n",
+				i+1, ds.ItemName(r.ID), ds.DomainName(ds.Domain(r.ID)), r.Score)
+		}
+	case "similar":
+		if *item == "" {
+			fatal(fmt.Errorf("similar requires -item"))
+		}
+		iid, ok := findItem(ds, *item)
+		if !ok {
+			fatal(fmt.Errorf("unknown item %q", *item))
+		}
+		p := fitOrLoad(ds, *table, *k)
+		cands := p.Table().Candidates(iid)
+		if len(cands) > *n {
+			cands = cands[:*n]
+		}
+		fmt.Printf("heterogeneous items most similar to %q:\n", ds.ItemName(iid))
+		for i, c := range cands {
+			fmt.Printf("%2d. %-24s X-Sim %.3f (certainty %.3f)\n",
+				i+1, ds.ItemName(c.To), c.Sim, c.Cert)
+		}
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: xmap-cli <fit|recommend|similar|stats> [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xmap-cli:", err)
+	os.Exit(1)
+}
+
+func loadTrace(path string) (*ratings.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.LoadCSV(f)
+}
+
+// fitOrLoad reuses a persisted table when available; the CF models are
+// cheap to rebuild, so only the Extender output is persisted.
+func fitOrLoad(ds *ratings.Dataset, tablePath string, k int) *core.Pipeline {
+	cfg := core.DefaultConfig()
+	cfg.K = k
+	if tablePath == "" {
+		return core.Fit(ds, 0, 1, cfg)
+	}
+	f, err := os.Open(tablePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xmap-cli: %v; refitting\n", err)
+		return core.Fit(ds, 0, 1, cfg)
+	}
+	defer f.Close()
+	tbl, err := xsim.LoadTable(f, ds)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xmap-cli: %v; refitting\n", err)
+		return core.Fit(ds, 0, 1, cfg)
+	}
+	return core.FitWithTable(ds, 0, 1, cfg, tbl)
+}
+
+func findUser(ds *ratings.Dataset, name string) (ratings.UserID, bool) {
+	for u := 0; u < ds.NumUsers(); u++ {
+		if ds.UserName(ratings.UserID(u)) == name {
+			return ratings.UserID(u), true
+		}
+	}
+	return 0, false
+}
+
+func findItem(ds *ratings.Dataset, name string) (ratings.ItemID, bool) {
+	for i := 0; i < ds.NumItems(); i++ {
+		if ds.ItemName(ratings.ItemID(i)) == name {
+			return ratings.ItemID(i), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,87 @@
+// Command xmap-datagen emits synthetic rating traces as CSV — the
+// stand-ins for the Amazon movie/book and MovieLens ML-20M datasets the
+// paper evaluates on (see DESIGN.md, "Substitutions").
+//
+// Usage:
+//
+//	xmap-datagen -kind amazon -out trace.csv
+//	xmap-datagen -kind movielens -users 2000 -items 800 -out ml.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xmap/internal/dataset"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "amazon", "trace kind: amazon (two domains) or movielens (genres)")
+		out     = flag.String("out", "-", "output path (- = stdout)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		users   = flag.Int("users", 0, "override total users (0 = default)")
+		items   = flag.Int("items", 0, "override total items (0 = default)")
+		perUser = flag.Int("ratings-per-user", 0, "override mean profile size (0 = default)")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xmap-datagen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch *kind {
+	case "amazon":
+		cfg := dataset.DefaultAmazonConfig()
+		cfg.Seed = *seed
+		if *users > 0 {
+			// Keep the default 35/40/25 split between movie-only,
+			// book-only and overlapping users.
+			cfg.MovieUsers = *users * 35 / 100
+			cfg.BookUsers = *users * 40 / 100
+			cfg.OverlapUsers = *users - cfg.MovieUsers - cfg.BookUsers
+		}
+		if *items > 0 {
+			cfg.Movies = *items * 45 / 100
+			cfg.Books = *items - cfg.Movies
+		}
+		if *perUser > 0 {
+			cfg.RatingsPerUser = *perUser
+		}
+		az := dataset.AmazonLike(cfg)
+		if err := dataset.SaveCSV(w, az.DS); err != nil {
+			fmt.Fprintln(os.Stderr, "xmap-datagen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "amazon-like trace: %s\n", az.DS.ComputeStats())
+	case "movielens":
+		cfg := dataset.DefaultMovieLensConfig()
+		cfg.Seed = *seed
+		if *users > 0 {
+			cfg.Users = *users
+		}
+		if *items > 0 {
+			cfg.Movies = *items
+		}
+		if *perUser > 0 {
+			cfg.RatingsPerUser = *perUser
+		}
+		ml := dataset.MovieLensLike(cfg)
+		if err := dataset.SaveCSV(w, ml.DS); err != nil {
+			fmt.Fprintln(os.Stderr, "xmap-datagen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "movielens-like trace: %s\n", ml.DS.ComputeStats())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q (want amazon or movielens)\n", *kind)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,36 @@
+// Package xmap is a from-scratch Go reproduction of X-Map, the
+// heterogeneous (cross-domain) recommender of Guerraoui, Kermarrec, Lin
+// and Patra, "Heterogeneous Recommendations: What You Might Like To Read
+// After Watching Interstellar", PVLDB 10(10), 2017.
+//
+// X-Map connects items of different application domains (movies ↔ books)
+// through meta-paths over an item-item similarity graph, scores the paths
+// with the X-Sim metric, and uses the resulting cross-domain similarities
+// to translate a user's profile from a source domain into an artificial
+// AlterEgo profile in a target domain, where ordinary collaborative
+// filtering then runs. A differentially-private variant obfuscates both
+// the AlterEgo generation (exponential mechanism) and the target-domain
+// recommendation (private neighbor selection + Laplace noise).
+//
+// This root package is the public facade: it re-exports the rating store,
+// the pipeline, and the synthetic trace generators. The implementation
+// lives in internal/ packages (one per subsystem — see DESIGN.md), and
+// every table and figure of the paper's evaluation has a driver in
+// internal/experiments plus a benchmark in bench_test.go.
+//
+// Quickstart:
+//
+//	b := xmap.NewBuilder()
+//	movies := b.Domain("movies")
+//	books := b.Domain("books")
+//	alice := b.User("alice")
+//	b.Add(alice, b.Item("Interstellar", movies), 5, 1)
+//	// ... more ratings, including users who rate in both domains ...
+//	ds := b.Build()
+//
+//	p := xmap.Fit(ds, movies, books, xmap.DefaultConfig())
+//	recs := p.RecommendForUser(alice, 10) // books for a movie-only user
+//
+// See examples/ for five runnable programs and cmd/ for the bench runner,
+// the online recommendation server (§6.7) and the trace generator.
+package xmap

@@ -1,0 +1,62 @@
+package xmap_test
+
+import (
+	"fmt"
+
+	"xmap"
+)
+
+// Example reproduces the paper's Figure 1(a): Alice rated only movies, yet
+// X-Map recommends her a book, because a meta-path through Inception and
+// the straddler Cecilia connects Interstellar to The Forever War.
+func Example() {
+	b := xmap.NewBuilder()
+	movies := b.Domain("movies")
+	books := b.Domain("books")
+
+	interstellar := b.Item("Interstellar", movies)
+	inception := b.Item("Inception", movies)
+	forever := b.Item("The Forever War", books)
+	extra := b.Item("Rendezvous with Rama", books)
+
+	alice := b.User("alice")
+	bob := b.User("bob")
+	cecilia := b.User("cecilia")
+	dan := b.User("dan")
+	eve := b.User("eve")
+
+	b.Add(bob, interstellar, 5, 1)
+	b.Add(bob, inception, 5, 2)
+	b.Add(alice, interstellar, 5, 3)
+	b.Add(alice, inception, 4, 4)
+	b.Add(cecilia, inception, 5, 5) // cecilia straddles both domains
+	b.Add(cecilia, forever, 5, 6)
+	b.Add(cecilia, extra, 2, 7)
+	b.Add(dan, forever, 4, 8)
+	b.Add(eve, forever, 5, 9)
+	b.Add(eve, extra, 4, 10)
+	ds := b.Build()
+
+	cfg := xmap.DefaultConfig()
+	cfg.K = 5
+	cfg.Mode = xmap.UserBased
+	cfg.Replacements = 1
+	cfg.SignificanceN = 0 // five users: no significance damping wanted
+	p := xmap.Fit(ds, movies, books, cfg)
+
+	// No user rated both Interstellar and The Forever War...
+	if _, ok := p.Pairs().Similarity(interstellar, forever); !ok {
+		fmt.Println("standard similarity: none")
+	}
+	// ...but the meta-path connects them.
+	if _, ok := p.Table().XSim(interstellar, forever); ok {
+		fmt.Println("X-Sim: connected")
+	}
+	recs := p.RecommendForUser(alice, 1)
+	fmt.Printf("book for alice: %s\n", ds.ItemName(recs[0].ID))
+
+	// Output:
+	// standard similarity: none
+	// X-Sim: connected
+	// book for alice: Rendezvous with Rama
+}

@@ -1,0 +1,55 @@
+// Temporal demonstrates the Eq. 7 time-weighted item-based recommender
+// (§6.2): AlterEgos carry the source-domain timesteps, so recent tastes
+// weigh more, and a small α optimum emerges because users' tastes drift.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xmap"
+	"xmap/internal/eval"
+)
+
+func main() {
+	cfg := xmap.DefaultAmazonConfig()
+	cfg.MovieUsers, cfg.BookUsers, cfg.OverlapUsers = 220, 240, 70
+	cfg.Movies, cfg.Books = 110, 140
+	cfg.RatingsPerUser = 26
+	cfg.Drift = 2.0 // pronounced taste drift makes the effect visible
+	az := xmap.GenerateAmazonLike(cfg)
+
+	split := eval.SplitStraddlers(az.DS, az.Movies, az.Books, eval.SplitOptions{
+		TestFraction: 0.25, MinProfile: 8, Rng: rand.New(rand.NewSource(11)),
+	})
+
+	base := xmap.Fit(split.Train, az.Movies, az.Books, xmap.DefaultConfig())
+
+	fmt.Println("MAE of the item-based recommender as temporal decay α varies")
+	fmt.Println("(α = 0 disables Eq. 7; the paper tunes α_o ≈ 0.02-0.03):")
+	fmt.Println("  alpha   MAE")
+	bestAlpha, bestMAE := 0.0, 0.0
+	for _, alpha := range []float64{0, 0.01, 0.02, 0.04, 0.08, 0.16} {
+		pcfg := base.Config()
+		pcfg.Mode = xmap.ItemBased
+		pcfg.Alpha = alpha
+		p := base.Derive(pcfg)
+		var m eval.Metrics
+		for _, tu := range split.Test {
+			src := eval.SourceProfile(split.Train, tu.User, az.Movies)
+			ego := p.AlterEgoFromProfile(src, nil)
+			for _, h := range tu.Hidden {
+				// Predict at the user's own event index (Eq. 7's logical
+				// time, footnote 7); temporally-near entries weigh more.
+				v, ok := p.Predict(ego, h.Item, h.Time)
+				m.Add(v, h.Value, ok)
+			}
+		}
+		fmt.Printf("  %.2f    %.4f\n", alpha, m.MAE())
+		if bestMAE == 0 || m.MAE() < bestMAE {
+			bestAlpha, bestMAE = alpha, m.MAE()
+		}
+	}
+	fmt.Printf("\nα_o = %.2f (MAE %.4f)\n", bestAlpha, bestMAE)
+	fmt.Println("over-decay discards too much history; no decay ignores drift.")
+}

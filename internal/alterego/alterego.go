@@ -1,0 +1,202 @@
+// Package alterego is X-Map's Generator component (paper §4.3, §5.3): it
+// maps a user's profile from the source domain into an artificial AlterEgo
+// profile in the target domain by replacing every rated source item with a
+// target item chosen from the X-Sim table.
+//
+// Two replacement policies exist:
+//
+//   - non-private (NX-Map): the most similar heterogeneous item (argmax);
+//   - private (X-Map): the PRS exponential mechanism of Algorithm 3, which
+//     samples a replacement with probability ∝ exp(ε·X-Sim/(2·GS)) and makes
+//     the AlterEgo ε-differentially private with respect to the straddlers
+//     whose ratings shaped the similarities (Theorem 1).
+//
+// The mapped entries keep the source ratings and timesteps, which is what
+// lets the item-based recommender exploit temporal behaviour in the target
+// domain (§4.4). When several source items map to one target item their
+// ratings are averaged (see DESIGN.md, "AlterEgo collisions").
+package alterego
+
+import (
+	"math/rand"
+
+	"xmap/internal/privacy"
+	"xmap/internal/ratings"
+	"xmap/internal/xsim"
+)
+
+// Mapper generates AlterEgo profiles from an X-Sim table.
+type Mapper struct {
+	tbl *xsim.Table
+	// eps > 0 selects the private PRS policy with that budget per item;
+	// eps == 0 selects the non-private argmax policy.
+	eps float64
+	rng *rand.Rand
+	// acct, when set, records the ε spent by private replacements.
+	acct *privacy.Accountant
+	// means, when set, re-centers mapped ratings: the carried value becomes
+	// r̄_target + (r − r̄_source) instead of the raw r (see WithRecentering).
+	means *ratings.Dataset
+	// topR > 1 maps every source item to its top-R replacements instead of
+	// only the argmax (the diversity variant of the paper's footnote 10).
+	topR int
+}
+
+// WithTopReplacements maps each source item to its r best candidates
+// rather than a single argmax replacement (paper footnote 10: "we could
+// also choose a set of replacements for any item … to have more
+// diversity"). Only affects the non-private policy; the private policy
+// keeps one PRS draw per item so Theorem 1's budget accounting holds.
+func (m *Mapper) WithTopReplacements(r int) *Mapper {
+	if r > 1 {
+		m.topR = r
+	}
+	return m
+}
+
+// WithRecentering makes the mapper carry rating *deviations* instead of raw
+// values: a source rating r of item i maps to r̄_j + (r − r̄_i) on the
+// replacement j, clamped to [1, 5].
+//
+// The paper carries raw values (Figure 3); re-centering is an ablation this
+// repo adds because raw carrying injects the difference of item means as
+// bias into item-based prediction (Eq. 4 consumes r_Aj − r̄_j directly).
+// DESIGN.md discusses the deviation; the ablation bench quantifies it.
+func (m *Mapper) WithRecentering(ds *ratings.Dataset) *Mapper {
+	m.means = ds
+	return m
+}
+
+// NewMapper returns a non-private (NX-Map) mapper.
+func NewMapper(tbl *xsim.Table) *Mapper {
+	return &Mapper{tbl: tbl}
+}
+
+// NewPrivateMapper returns an ε-differentially-private (X-Map) mapper.
+// rng drives the exponential mechanism; acct may be nil.
+func NewPrivateMapper(tbl *xsim.Table, eps float64, rng *rand.Rand, acct *privacy.Accountant) *Mapper {
+	return &Mapper{tbl: tbl, eps: eps, rng: rng, acct: acct}
+}
+
+// Private reports whether the mapper uses PRS.
+func (m *Mapper) Private() bool { return m.eps > 0 }
+
+// Replacement maps one source item to its target-domain replacement.
+// ok is false when the item has no heterogeneous candidates (it is then
+// skipped during profile construction — an unreachable item carries no
+// cross-domain evidence).
+func (m *Mapper) Replacement(i ratings.ItemID) (ratings.ItemID, bool) {
+	if !m.Private() {
+		cands := m.tbl.Candidates(i)
+		if len(cands) == 0 {
+			return 0, false
+		}
+		return cands[0].To, true // lists are sorted by X-Sim descending
+	}
+	// PRS samples over I(ti) — every target item with an X-Sim value
+	// (Algorithm 3), not only the top-k kept for argmax selection.
+	cands := m.tbl.FullCandidates(i)
+	if len(cands) == 0 {
+		return 0, false
+	}
+	scores := make([]float64, len(cands))
+	for k, c := range cands {
+		scores[k] = c.Sim
+	}
+	idx := privacy.PRS(m.rng, scores, m.eps)
+	if m.acct != nil {
+		m.acct.Spend(m.eps)
+	}
+	return cands[idx].To, true
+}
+
+// Generate builds the AlterEgo profile for a source-domain profile:
+// every source entry is replaced, ratings/timesteps are carried over, and
+// collisions are merged. The result is sorted by ItemID.
+func (m *Mapper) Generate(source []ratings.Entry) []ratings.Entry {
+	mapped := make([]ratings.Entry, 0, len(source))
+	emit := func(e ratings.Entry, to ratings.ItemID) {
+		v := e.Value
+		if m.means != nil {
+			v = m.means.ItemMean(to) + (e.Value - m.means.ItemMean(e.Item))
+			if v < 1 {
+				v = 1
+			}
+			if v > 5 {
+				v = 5
+			}
+		}
+		mapped = append(mapped, ratings.Entry{Item: to, Value: v, Time: e.Time})
+	}
+	for _, e := range source {
+		if m.topR > 1 && !m.Private() {
+			cands := m.tbl.Candidates(e.Item)
+			r := m.topR
+			if r > len(cands) {
+				r = len(cands)
+			}
+			for _, c := range cands[:r] {
+				emit(e, c.To)
+			}
+			continue
+		}
+		to, ok := m.Replacement(e.Item)
+		if !ok {
+			continue
+		}
+		emit(e, to)
+	}
+	return ratings.MergeEntries(mapped)
+}
+
+// GenerateWithExisting builds the AlterEgo when the user already has some
+// target-domain activity (paper footnote 6): the mapped profile is appended
+// to the existing one, existing ratings winning collisions.
+func (m *Mapper) GenerateWithExisting(source, existing []ratings.Entry) []ratings.Entry {
+	return ratings.AppendProfiles(existing, m.Generate(source))
+}
+
+// MapAll generates AlterEgos for a set of users in bulk, reading each
+// user's source-domain profile from the dataset. Users without source
+// ratings map to empty profiles.
+func (m *Mapper) MapAll(ds *ratings.Dataset, src ratings.DomainID, users []ratings.UserID) map[ratings.UserID][]ratings.Entry {
+	out := make(map[ratings.UserID][]ratings.Entry, len(users))
+	for _, u := range users {
+		var srcProf []ratings.Entry
+		for _, e := range ds.Items(u) {
+			if ds.Domain(e.Item) == src {
+				srcProf = append(srcProf, e)
+			}
+		}
+		out[u] = m.Generate(srcProf)
+	}
+	return out
+}
+
+// Update incrementally extends an existing AlterEgo with newly-added
+// source ratings, avoiding a full re-generation (§4.3: "AlterEgo profiles
+// could be incrementally updated to avoid re-computations"). Existing ego
+// entries win collisions against newly-mapped ones, matching the behaviour
+// of regenerating from the full profile with MergeEntries semantics for
+// non-overlapping additions.
+func (m *Mapper) Update(ego, addedSource []ratings.Entry) []ratings.Entry {
+	return ratings.AppendProfiles(ego, m.Generate(addedSource))
+}
+
+// Augment returns a copy of the dataset with the AlterEgo entries written
+// as real target-domain ratings of their users. Any homogeneous
+// recommender — the paper demonstrates Spark MLlib's matrix factorization
+// (§4.4) — can then be trained on the augmented matrix and serve the
+// cold-start users directly.
+func Augment(ds *ratings.Dataset, egos map[ratings.UserID][]ratings.Entry) *ratings.Dataset {
+	var extra []ratings.Rating
+	for u, ego := range egos {
+		for _, e := range ego {
+			if ds.HasRated(u, e.Item) {
+				continue // never overwrite a real rating with a mapped one
+			}
+			extra = append(extra, ratings.Rating{User: u, Item: e.Item, Value: e.Value, Time: e.Time})
+		}
+	}
+	return ds.WithRatings(extra)
+}

@@ -1,0 +1,86 @@
+package alterego
+
+import (
+	"testing"
+
+	"xmap/internal/ratings"
+)
+
+func TestUpdateMatchesFullRegeneration(t *testing.T) {
+	_, tbl, items := fixture(t)
+	m := NewMapper(tbl)
+	p1 := []ratings.Entry{{Item: items["interstellar"], Value: 5, Time: 1}}
+	p2 := []ratings.Entry{{Item: items["inception"], Value: 4, Time: 2}}
+
+	incremental := m.Update(m.Generate(p1), p2)
+	full := m.Generate(append(append([]ratings.Entry(nil), p1...), p2...))
+
+	// Same item coverage (values can differ on collisions: Update keeps
+	// the earlier ego entry, full regeneration averages).
+	if len(incremental) == 0 {
+		t.Fatal("incremental update produced empty ego")
+	}
+	gotItems := map[ratings.ItemID]bool{}
+	for _, e := range incremental {
+		gotItems[e.Item] = true
+	}
+	for _, e := range full {
+		if !gotItems[e.Item] {
+			t.Fatalf("incremental ego missing item %d present in full regeneration", e.Item)
+		}
+	}
+}
+
+func TestUpdateDoesNotOverwriteExisting(t *testing.T) {
+	_, tbl, items := fixture(t)
+	m := NewMapper(tbl)
+	ego := m.Generate([]ratings.Entry{{Item: items["interstellar"], Value: 5, Time: 1}})
+	if len(ego) == 0 {
+		t.Fatal("empty ego")
+	}
+	before := ego[0]
+	updated := m.Update(ego, []ratings.Entry{{Item: items["inception"], Value: 1, Time: 9}})
+	v, ok := ratings.ProfileRating(updated, before.Item)
+	if !ok || v != before.Value {
+		t.Fatalf("existing ego entry changed: %v/%v, want %v", v, ok, before.Value)
+	}
+}
+
+func TestAugmentWritesEgosAsRatings(t *testing.T) {
+	ds, tbl, _ := fixture(t)
+	m := NewMapper(tbl)
+	// bob (user 0) rated only movies; augment with his ego.
+	egos := m.MapAll(ds, 0, []ratings.UserID{0})
+	aug := Augment(ds, egos)
+	if aug.NumRatings() <= ds.NumRatings() {
+		t.Fatalf("augmentation added no ratings: %d vs %d", aug.NumRatings(), ds.NumRatings())
+	}
+	for _, e := range egos[0] {
+		v, ok := aug.Rating(0, e.Item)
+		if !ok || v != e.Value {
+			t.Fatalf("ego rating (%d) missing from augmented dataset", e.Item)
+		}
+	}
+	// The original dataset is untouched (immutability).
+	for _, e := range egos[0] {
+		if ds.HasRated(0, e.Item) {
+			t.Fatal("original dataset mutated")
+		}
+	}
+}
+
+func TestAugmentNeverOverwritesRealRatings(t *testing.T) {
+	ds, tbl, items := fixture(t)
+	m := NewMapper(tbl)
+	// cecilia (user 1) already rated The Forever War with 5; an ego entry
+	// for the same item must not replace it.
+	egos := map[ratings.UserID][]ratings.Entry{
+		1: {{Item: items["forever"], Value: 1.0, Time: 99}},
+	}
+	aug := Augment(ds, egos)
+	v, ok := aug.Rating(1, items["forever"])
+	if !ok || v != 5 {
+		t.Fatalf("real rating overwritten: got %v", v)
+	}
+	_ = m
+}

@@ -1,0 +1,285 @@
+// Package baselines implements the comparator recommenders of the paper's
+// evaluation (§6.1):
+//
+//   - ItemAverage — predict every item's mean rating [5];
+//   - UserAverage — predict the querying profile's mean [22];
+//   - RemoteUser — cross-domain mediation [6]: neighbors are computed from
+//     source-domain similarities, predictions use those neighbors' target
+//     ratings;
+//   - LinkedKNN — linked-domain personalization [11, 29]: item-based kNN
+//     over the ratings aggregated from both domains (the paper's
+//     Item-based-kNN and KNN-cd);
+//   - SingleKNN — item-based kNN restricted to the target domain (KNN-sd);
+//   - SlopeOne — the classic rating-deviation predictor [22], included as
+//     an extra sanity baseline.
+//
+// Every baseline exposes Predict(profile, item) with the same contract as
+// package cf so the evaluation harness treats all recommenders uniformly.
+package baselines
+
+import (
+	"math"
+
+	"xmap/internal/cf"
+	"xmap/internal/ratings"
+	"xmap/internal/sim"
+)
+
+// ItemAverage predicts r̄_i for every user — accurate on average but fully
+// unpersonalized (§6.1 "Baseline prediction").
+type ItemAverage struct {
+	ds *ratings.Dataset
+}
+
+// NewItemAverage builds the baseline over the training set.
+func NewItemAverage(ds *ratings.Dataset) *ItemAverage { return &ItemAverage{ds: ds} }
+
+// Predict returns the item's training mean. Always ok.
+func (b *ItemAverage) Predict(_ []ratings.Entry, item ratings.ItemID) (float64, bool) {
+	return b.ds.ItemMean(item), true
+}
+
+// UserAverage predicts the query profile's own mean rating.
+type UserAverage struct {
+	ds *ratings.Dataset
+}
+
+// NewUserAverage builds the baseline over the training set.
+func NewUserAverage(ds *ratings.Dataset) *UserAverage { return &UserAverage{ds: ds} }
+
+// Predict returns the profile mean (global mean for empty profiles).
+func (b *UserAverage) Predict(profile []ratings.Entry, _ ratings.ItemID) (float64, bool) {
+	return ratings.ProfileMean(profile, b.ds.GlobalMean()), true
+}
+
+// RemoteUser is the cross-domain mediation scheme of Berkovsky et al. [6]:
+// the k nearest neighbors are computed from *source-domain* profiles, and
+// user-based CF then predicts target items from those neighbors' target
+// ratings.
+type RemoteUser struct {
+	srcModel *cf.UserBased // similarity side (source domain)
+	dst      ratings.DomainID
+	ds       *ratings.Dataset
+	k        int
+	// target profiles of all users, for the prediction side.
+	dstProfiles map[ratings.UserID][]ratings.Entry
+	dstMean     map[ratings.UserID]float64
+}
+
+// NewRemoteUser builds the mediator for a (source, target) pair.
+func NewRemoteUser(ds *ratings.Dataset, src, dst ratings.DomainID, k int) *RemoteUser {
+	r := &RemoteUser{
+		srcModel:    cf.NewUserBased(ds, src, k),
+		dst:         dst,
+		ds:          ds,
+		k:           k,
+		dstProfiles: make(map[ratings.UserID][]ratings.Entry),
+		dstMean:     make(map[ratings.UserID]float64),
+	}
+	for u := 0; u < ds.NumUsers(); u++ {
+		uid := ratings.UserID(u)
+		var prof []ratings.Entry
+		var sum float64
+		for _, e := range ds.Items(uid) {
+			if ds.Domain(e.Item) == dst {
+				prof = append(prof, e)
+				sum += e.Value
+			}
+		}
+		if len(prof) > 0 {
+			r.dstProfiles[uid] = prof
+			r.dstMean[uid] = sum / float64(len(prof))
+		}
+	}
+	return r
+}
+
+// Predict finds source-domain neighbors of the profile and applies Eq. 2
+// with their target-domain ratings. profile must be a source-domain
+// profile.
+func (r *RemoteUser) Predict(profile []ratings.Entry, item ratings.ItemID) (float64, bool) {
+	nbrs := r.srcModel.Neighbors(profile, -1)
+	rA := ratings.ProfileMean(profile, r.ds.GlobalMean())
+	var num, den float64
+	for _, nb := range nbrs {
+		prof, ok := r.dstProfiles[nb.User]
+		if !ok {
+			continue
+		}
+		v, ok := ratings.ProfileRating(prof, item)
+		if !ok {
+			continue
+		}
+		num += nb.Tau * (v - r.dstMean[nb.User])
+		den += math.Abs(nb.Tau)
+	}
+	if den == 0 {
+		return rA, false
+	}
+	v := rA + num/den
+	if v < 1 {
+		v = 1
+	}
+	if v > 5 {
+		v = 5
+	}
+	return v, true
+}
+
+// LinkedKNN is item-based kNN over the aggregated two-domain ratings
+// (linked-domain personalization / KNN-cd): item neighbors may come from
+// either domain, so a target item can be predicted directly from source
+// ratings of the query profile.
+type LinkedKNN struct {
+	ds   *ratings.Dataset
+	k    int
+	nbrs [][]cf.ItemNeighbor
+}
+
+// NewLinkedKNN builds the model from the shared baseline pair table.
+func NewLinkedKNN(pairs *sim.Pairs, k int) *LinkedKNN {
+	ds := pairs.Dataset()
+	m := &LinkedKNN{ds: ds, k: k, nbrs: make([][]cf.ItemNeighbor, ds.NumItems())}
+	for i := 0; i < ds.NumItems(); i++ {
+		var all []cf.ItemNeighbor
+		for _, e := range pairs.Neighbors(ratings.ItemID(i)) {
+			all = append(all, cf.ItemNeighbor{Item: e.To, Tau: e.Sim})
+		}
+		// Descending by similarity, deterministic ties.
+		for a := 1; a < len(all); a++ {
+			for j := a; j > 0 && (all[j].Tau > all[j-1].Tau ||
+				(all[j].Tau == all[j-1].Tau && all[j].Item < all[j-1].Item)); j-- {
+				all[j], all[j-1] = all[j-1], all[j]
+			}
+		}
+		if k > 0 && len(all) > k {
+			all = all[:k]
+		}
+		m.nbrs[i] = all
+	}
+	return m
+}
+
+// Predict applies Eq. 4 with aggregated-domain neighbors.
+func (m *LinkedKNN) Predict(profile []ratings.Entry, item ratings.ItemID) (float64, bool) {
+	ri := m.ds.ItemMean(item)
+	var num, den float64
+	for _, nb := range m.nbrs[item] {
+		v, ok := ratings.ProfileRating(profile, nb.Item)
+		if !ok {
+			continue
+		}
+		num += nb.Tau * (v - m.ds.ItemMean(nb.Item))
+		den += math.Abs(nb.Tau)
+	}
+	if den == 0 {
+		return ri, false
+	}
+	v := ri + num/den
+	if v < 1 {
+		v = 1
+	}
+	if v > 5 {
+		v = 5
+	}
+	return v, true
+}
+
+// SingleKNN is item-based kNN confined to the target domain (KNN-sd): it
+// can only exploit whatever target-domain ratings the profile already has.
+type SingleKNN struct {
+	model *cf.ItemBased
+}
+
+// NewSingleKNN builds the single-domain model.
+func NewSingleKNN(pairs *sim.Pairs, dom ratings.DomainID, k int) *SingleKNN {
+	return &SingleKNN{model: cf.NewItemBased(pairs, dom, cf.ItemBasedOptions{K: k})}
+}
+
+// Predict applies Eq. 4 within the target domain.
+func (m *SingleKNN) Predict(profile []ratings.Entry, item ratings.ItemID) (float64, bool) {
+	return m.model.Predict(profile, item, 0)
+}
+
+// SlopeOne implements weighted Slope One [22] within one domain.
+type SlopeOne struct {
+	ds  *ratings.Dataset
+	dom ratings.DomainID
+	// dev[key(i,j)] = (Σ (r_ui − r_uj), count) over co-raters.
+	dev map[uint64]*devCell
+}
+
+type devCell struct {
+	sum float64
+	n   int
+}
+
+// NewSlopeOne precomputes pairwise rating deviations for a domain.
+func NewSlopeOne(ds *ratings.Dataset, dom ratings.DomainID) *SlopeOne {
+	s := &SlopeOne{ds: ds, dom: dom, dev: make(map[uint64]*devCell)}
+	for u := 0; u < ds.NumUsers(); u++ {
+		prof := ds.Items(ratings.UserID(u))
+		for a := 0; a < len(prof); a++ {
+			if ds.Domain(prof[a].Item) != dom {
+				continue
+			}
+			for b := a + 1; b < len(prof); b++ {
+				if ds.Domain(prof[b].Item) != dom {
+					continue
+				}
+				k := soKey(prof[a].Item, prof[b].Item)
+				c := s.dev[k]
+				if c == nil {
+					c = &devCell{}
+					s.dev[k] = c
+				}
+				c.sum += prof[a].Value - prof[b].Value
+				c.n++
+			}
+		}
+	}
+	return s
+}
+
+func soKey(i, j ratings.ItemID) uint64 {
+	return uint64(uint32(i))<<32 | uint64(uint32(j))
+}
+
+// deviation returns avg(r_i − r_j) over co-raters and the support count.
+func (s *SlopeOne) deviation(i, j ratings.ItemID) (float64, int) {
+	if c, ok := s.dev[soKey(i, j)]; ok {
+		return c.sum / float64(c.n), c.n
+	}
+	if c, ok := s.dev[soKey(j, i)]; ok {
+		return -c.sum / float64(c.n), c.n
+	}
+	return 0, 0
+}
+
+// Predict applies weighted Slope One over the profile's in-domain entries.
+func (s *SlopeOne) Predict(profile []ratings.Entry, item ratings.ItemID) (float64, bool) {
+	var num float64
+	var weight int
+	for _, e := range profile {
+		if s.ds.Domain(e.Item) != s.dom || e.Item == item {
+			continue
+		}
+		d, n := s.deviation(item, e.Item)
+		if n == 0 {
+			continue
+		}
+		num += (e.Value + d) * float64(n)
+		weight += n
+	}
+	if weight == 0 {
+		return s.ds.ItemMean(item), false
+	}
+	v := num / float64(weight)
+	if v < 1 {
+		v = 1
+	}
+	if v > 5 {
+		v = 5
+	}
+	return v, true
+}

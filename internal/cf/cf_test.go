@@ -1,0 +1,310 @@
+package cf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xmap/internal/ratings"
+	"xmap/internal/sim"
+)
+
+// trainSet builds a small single-domain dataset with clear structure:
+// items 0..2 are "sci-fi" (co-liked), items 3..5 are "romance" (co-liked),
+// and the two groups are anti-correlated.
+func trainSet(t testing.TB) *ratings.Dataset {
+	t.Helper()
+	b := ratings.NewBuilder()
+	d := b.Domain("movies")
+	for i := 0; i < 6; i++ {
+		b.Item(itemName(i), d)
+	}
+	// 4 sci-fi fans, 4 romance fans; everyone rates everything so
+	// profiles overlap fully.
+	for u := 0; u < 4; u++ {
+		uid := b.User("scifi" + string(rune('0'+u)))
+		for i := 0; i < 3; i++ {
+			b.Add(uid, ratings.ItemID(i), 5-float64(u%2), int64(i))
+		}
+		for i := 3; i < 6; i++ {
+			b.Add(uid, ratings.ItemID(i), 1+float64(u%2), int64(i))
+		}
+	}
+	for u := 0; u < 4; u++ {
+		uid := b.User("romance" + string(rune('0'+u)))
+		for i := 0; i < 3; i++ {
+			b.Add(uid, ratings.ItemID(i), 1+float64(u%2), int64(i))
+		}
+		for i := 3; i < 6; i++ {
+			b.Add(uid, ratings.ItemID(i), 5-float64(u%2), int64(i))
+		}
+	}
+	return b.Build()
+}
+
+func itemName(i int) string { return "it" + string(rune('0'+i)) }
+
+func sciFiProfile() []ratings.Entry {
+	return []ratings.Entry{
+		{Item: 0, Value: 5, Time: 0},
+		{Item: 1, Value: 5, Time: 1},
+	}
+}
+
+func TestUserBasedNeighborsFindLikeMinded(t *testing.T) {
+	ds := trainSet(t)
+	m := NewUserBased(ds, 0, 3)
+	nbrs := m.Neighbors(sciFiProfile(), -1)
+	if len(nbrs) == 0 {
+		t.Fatal("no neighbors found")
+	}
+	for _, nb := range nbrs {
+		name := ds.UserName(nb.User)
+		if name[:5] != "scifi" {
+			t.Fatalf("neighbor %s should be a sci-fi fan (τ=%v)", name, nb.Tau)
+		}
+	}
+	// τ sorted descending.
+	for i := 1; i < len(nbrs); i++ {
+		if nbrs[i-1].Tau < nbrs[i].Tau {
+			t.Fatal("neighbors not sorted by τ")
+		}
+	}
+}
+
+func TestUserBasedPredictDirection(t *testing.T) {
+	ds := trainSet(t)
+	m := NewUserBased(ds, 0, 4)
+	prof := sciFiProfile()
+	nbrs := m.Neighbors(prof, -1)
+	sciFi, ok1 := m.Predict(prof, nbrs, 2)   // unseen sci-fi item
+	romance, ok2 := m.Predict(prof, nbrs, 4) // unseen romance item
+	if !ok1 || !ok2 {
+		t.Fatalf("predictions should exist: %v %v", ok1, ok2)
+	}
+	if sciFi <= romance {
+		t.Fatalf("sci-fi prediction %v should exceed romance %v", sciFi, romance)
+	}
+}
+
+func TestUserBasedExcludeUser(t *testing.T) {
+	ds := trainSet(t)
+	m := NewUserBased(ds, 0, 8)
+	prof := sciFiProfile()
+	all := m.Neighbors(prof, -1)
+	excl := m.Neighbors(prof, all[0].User)
+	for _, nb := range excl {
+		if nb.User == all[0].User {
+			t.Fatal("excluded user still selected")
+		}
+	}
+}
+
+func TestUserBasedRecommendUnseenOnly(t *testing.T) {
+	ds := trainSet(t)
+	m := NewUserBased(ds, 0, 4)
+	prof := sciFiProfile()
+	recs := m.Recommend(prof, 3)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	for _, r := range recs {
+		if _, seen := ratings.ProfileRating(prof, r.ID); seen {
+			t.Fatalf("recommended already-rated item %d", r.ID)
+		}
+	}
+	// Best recommendation must be the remaining sci-fi item.
+	if recs[0].ID != 2 {
+		t.Fatalf("top rec = %d, want item 2", recs[0].ID)
+	}
+}
+
+func buildItemBased(t testing.TB, ds *ratings.Dataset, opt ItemBasedOptions) *ItemBased {
+	pairs := sim.ComputePairs(ds, sim.Options{Metric: sim.AdjustedCosine})
+	return NewItemBased(pairs, 0, opt)
+}
+
+func TestItemBasedNeighbors(t *testing.T) {
+	ds := trainSet(t)
+	m := buildItemBased(t, ds, ItemBasedOptions{K: 2})
+	nbrs := m.NeighborsOf(0)
+	if len(nbrs) != 2 {
+		t.Fatalf("item 0 neighbors = %d, want 2", len(nbrs))
+	}
+	for _, nb := range nbrs {
+		if nb.Item != 1 && nb.Item != 2 {
+			t.Fatalf("item 0's top neighbors should be sci-fi items, got %d (τ=%v)", nb.Item, nb.Tau)
+		}
+	}
+}
+
+func TestItemBasedPredictDirection(t *testing.T) {
+	ds := trainSet(t)
+	m := buildItemBased(t, ds, ItemBasedOptions{K: 3})
+	prof := sciFiProfile()
+	sciFi, ok1 := m.Predict(prof, 2, 10)
+	romance, ok2 := m.Predict(prof, 4, 10)
+	if !ok1 || !ok2 {
+		t.Fatalf("predictions should exist: %v %v", ok1, ok2)
+	}
+	if sciFi <= romance {
+		t.Fatalf("sci-fi %v should exceed romance %v", sciFi, romance)
+	}
+}
+
+func TestItemBasedPredictFallback(t *testing.T) {
+	ds := trainSet(t)
+	m := buildItemBased(t, ds, ItemBasedOptions{K: 3})
+	v, ok := m.Predict(nil, 2, 10)
+	if ok {
+		t.Fatal("empty profile cannot produce a neighbor-based prediction")
+	}
+	if v != ds.ItemMean(2) {
+		t.Fatalf("fallback = %v, want item mean %v", v, ds.ItemMean(2))
+	}
+}
+
+func TestTemporalDecayDownweightsOldRatings(t *testing.T) {
+	// Profile: old love for item 0, recent dislike of item 1 (both sci-fi,
+	// both similar to item 2). With strong decay the recent dislike should
+	// dominate the prediction for item 2.
+	ds := trainSet(t)
+	prof := []ratings.Entry{
+		{Item: 0, Value: 5, Time: 0},
+		{Item: 1, Value: 1, Time: 100},
+	}
+	mNo := buildItemBased(t, ds, ItemBasedOptions{K: 3, Alpha: 0})
+	mHi := buildItemBased(t, ds, ItemBasedOptions{K: 3, Alpha: 0.2})
+	now := int64(100)
+	vNo, _ := mNo.Predict(prof, 2, now)
+	vHi, _ := mHi.Predict(prof, 2, now)
+	if vHi >= vNo {
+		t.Fatalf("decayed prediction %v should sit below undecayed %v", vHi, vNo)
+	}
+}
+
+func TestTemporalAlphaZeroMatchesEq4(t *testing.T) {
+	ds := trainSet(t)
+	prof := sciFiProfile()
+	m0 := buildItemBased(t, ds, ItemBasedOptions{K: 3, Alpha: 0})
+	// Eq. 7 with α=0 reduces exactly to Eq. 4 regardless of `now`.
+	v1, _ := m0.Predict(prof, 2, 0)
+	v2, _ := m0.Predict(prof, 2, 1e6)
+	if math.Abs(v1-v2) > 1e-12 {
+		t.Fatalf("α=0 predictions differ with time: %v vs %v", v1, v2)
+	}
+}
+
+func TestItemBasedRecommend(t *testing.T) {
+	ds := trainSet(t)
+	m := buildItemBased(t, ds, ItemBasedOptions{K: 3})
+	recs := m.Recommend(sciFiProfile(), 2, 10)
+	if len(recs) == 0 || recs[0].ID != 2 {
+		t.Fatalf("top rec = %v, want item 2", recs)
+	}
+}
+
+func TestPrivateItemBasedStillRanksSignal(t *testing.T) {
+	ds := trainSet(t)
+	pairs := sim.ComputePairs(ds, sim.Options{})
+	m := NewItemBased(pairs, 0, ItemBasedOptions{K: 3, KeepCandidates: true})
+	p := NewPrivateItemBased(m, 5.0, rand.New(rand.NewSource(1)))
+	prof := sciFiProfile()
+	// Averaged over repetitions the private prediction should preserve the
+	// sci-fi > romance ordering at a generous ε.
+	var sciFi, romance float64
+	const reps = 60
+	for r := 0; r < reps; r++ {
+		v1, _ := p.Predict(prof, 2, 10)
+		v2, _ := p.Predict(prof, 4, 10)
+		sciFi += v1
+		romance += v2
+	}
+	if sciFi <= romance {
+		t.Fatalf("private mean sci-fi %v should exceed romance %v", sciFi/reps, romance/reps)
+	}
+}
+
+func TestPrivateUserBased(t *testing.T) {
+	ds := trainSet(t)
+	m := NewUserBased(ds, 0, 3)
+	p := &PrivateUserBased{Model: m, Epsilon: 5, Rho: 0.1, Rng: rand.New(rand.NewSource(2))}
+	prof := sciFiProfile()
+	var sciFi, romance float64
+	const reps = 60
+	for r := 0; r < reps; r++ {
+		nbrs := p.Neighbors(prof, -1)
+		v1, _ := p.Predict(prof, nbrs, 2)
+		v2, _ := p.Predict(prof, nbrs, 4)
+		sciFi += v1
+		romance += v2
+	}
+	if sciFi <= romance {
+		t.Fatalf("private mean sci-fi %v should exceed romance %v", sciFi/reps, romance/reps)
+	}
+	recs := p.Recommend(prof, 2)
+	if len(recs) == 0 {
+		t.Fatal("private recommend returned nothing")
+	}
+}
+
+func TestClampRating(t *testing.T) {
+	if clampRating(0.2) != 1 || clampRating(7) != 5 || clampRating(3.3) != 3.3 {
+		t.Fatal("clamp broken")
+	}
+}
+
+func TestProfileIndex(t *testing.T) {
+	p := []ratings.Entry{{Item: 1}, {Item: 5}, {Item: 9}}
+	if profileIndex(p, 5) != 1 || profileIndex(p, 1) != 0 || profileIndex(p, 9) != 2 {
+		t.Fatal("lookup broken")
+	}
+	if profileIndex(p, 4) != -1 || profileIndex(nil, 1) != -1 {
+		t.Fatal("missing lookup broken")
+	}
+}
+
+// Property: predictions always land in [1, 5] and fallbacks equal means.
+func TestQuickPredictionBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := ratings.NewBuilder()
+		d := b.Domain("d")
+		ni, nu := 8, 10
+		for i := 0; i < ni; i++ {
+			b.Item(itemName(i), d)
+		}
+		for u := 0; u < nu; u++ {
+			uid := b.User("u" + string(rune('0'+u)))
+			for i := 0; i < ni; i++ {
+				if rng.Float64() < 0.5 {
+					b.Add(uid, ratings.ItemID(i), float64(1+rng.Intn(5)), int64(i))
+				}
+			}
+		}
+		ds := b.Build()
+		if ds.NumRatings() == 0 {
+			return true
+		}
+		pairs := sim.ComputePairs(ds, sim.Options{})
+		ib := NewItemBased(pairs, 0, ItemBasedOptions{K: 4, Alpha: 0.05})
+		ub := NewUserBased(ds, 0, 4)
+		prof := []ratings.Entry{
+			{Item: 0, Value: float64(1 + rng.Intn(5)), Time: 0},
+			{Item: 3, Value: float64(1 + rng.Intn(5)), Time: 5},
+		}
+		nbrs := ub.Neighbors(prof, -1)
+		for i := 0; i < ni; i++ {
+			v1, _ := ib.Predict(prof, ratings.ItemID(i), 10)
+			v2, _ := ub.Predict(prof, nbrs, ratings.ItemID(i))
+			if v1 < 1-1e-9 || v1 > 5+1e-9 || v2 < 1-1e-9 || v2 > 5+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package cf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExplainListsContributors(t *testing.T) {
+	ds := trainSet(t)
+	m := buildItemBased(t, ds, ItemBasedOptions{K: 3})
+	prof := sciFiProfile()
+	cons := m.Explain(prof, 2, 10)
+	if len(cons) == 0 {
+		t.Fatal("prediction for item 2 should have contributors (items 0 and 1)")
+	}
+	seen := map[int32]bool{}
+	for _, c := range cons {
+		seen[int32(c.Item)] = true
+		if c.Rating < 1 || c.Rating > 5 {
+			t.Fatalf("contribution rating %v out of range", c.Rating)
+		}
+		if c.Decay <= 0 || c.Decay > 1 {
+			t.Fatalf("decay %v out of (0,1]", c.Decay)
+		}
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("expected items 0 and 1 as contributors, got %v", cons)
+	}
+	// Sorted by |τ|·decay descending.
+	for i := 1; i < len(cons); i++ {
+		a := math.Abs(cons[i-1].Tau) * cons[i-1].Decay
+		b := math.Abs(cons[i].Tau) * cons[i].Decay
+		if b > a+1e-12 {
+			t.Fatal("contributions not sorted by strength")
+		}
+	}
+}
+
+func TestExplainEmptyForUnratedNeighbors(t *testing.T) {
+	ds := trainSet(t)
+	m := buildItemBased(t, ds, ItemBasedOptions{K: 3})
+	if cons := m.Explain(nil, 2, 10); len(cons) != 0 {
+		t.Fatalf("empty profile should explain nothing, got %v", cons)
+	}
+}
+
+func TestExplainTemporalDecayShown(t *testing.T) {
+	ds := trainSet(t)
+	m := buildItemBased(t, ds, ItemBasedOptions{K: 3, Alpha: 0.1})
+	prof := sciFiProfile() // entries at times 0 and 1
+	cons := m.Explain(prof, 2, 50)
+	for _, c := range cons {
+		if c.Decay >= 1 {
+			t.Fatalf("with α>0 and old entries, decay should be < 1, got %v", c.Decay)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package cf
+
+import (
+	"math"
+	"math/rand"
+
+	"xmap/internal/privacy"
+	"xmap/internal/ratings"
+	"xmap/internal/sim"
+)
+
+// ItemNeighbor is one of an item's k most similar items.
+type ItemNeighbor struct {
+	Item ratings.ItemID
+	Tau  float64
+}
+
+// ItemBased implements Algorithm 2 within one domain, with the optional
+// temporal relevance weighting of Eq. 7. Immutable after construction.
+type ItemBased struct {
+	ds    *ratings.Dataset
+	dom   ratings.DomainID
+	k     int
+	alpha float64
+
+	// nbrs[i] is the top-k same-domain neighbor list of item i
+	// (Phase 1 of Algorithm 2), sorted descending by similarity.
+	nbrs [][]ItemNeighbor
+	// cands[i] is the unpruned candidate list (needed by PNSA, which must
+	// choose among all items, not only the already-chosen top-k).
+	cands   [][]ItemNeighbor
+	keepAll bool
+}
+
+// ItemBasedOptions configures construction.
+type ItemBasedOptions struct {
+	K     int
+	Alpha float64 // temporal decay; 0 disables Eq. 7 weighting
+	// Shrinkage dampens similarities with thin co-rating support:
+	// τ′ = τ·n/(n+Shrinkage) where n is the co-rater count — the classical
+	// significance-weighting guard [16] the paper folds into X-Sim but
+	// leaves implicit for the plain CF phase. 0 disables.
+	Shrinkage float64
+	// KeepCandidates retains full (unpruned) neighbor candidate lists so a
+	// private recommender can run PNSA over them. Costs memory; only the
+	// private pipeline sets it.
+	KeepCandidates bool
+}
+
+// NewItemBased builds the model from a precomputed baseline pair table
+// (shared with the rest of the pipeline — the Baseliner computes it once).
+func NewItemBased(pairs *sim.Pairs, dom ratings.DomainID, opt ItemBasedOptions) *ItemBased {
+	ds := pairs.Dataset()
+	m := &ItemBased{
+		ds: ds, dom: dom, k: opt.K, alpha: opt.Alpha,
+		nbrs:    make([][]ItemNeighbor, ds.NumItems()),
+		keepAll: opt.KeepCandidates,
+	}
+	if opt.KeepCandidates {
+		m.cands = make([][]ItemNeighbor, ds.NumItems())
+	}
+	for _, i := range ds.ItemsInDomain(dom) {
+		var all []ItemNeighbor
+		for _, e := range pairs.Neighbors(i) {
+			if ds.Domain(e.To) != dom {
+				continue
+			}
+			tau := e.Sim
+			if opt.Shrinkage > 0 {
+				tau *= float64(e.Co) / (float64(e.Co) + opt.Shrinkage)
+			}
+			all = append(all, ItemNeighbor{Item: e.To, Tau: tau})
+		}
+		sortItemNeighbors(all)
+		if opt.KeepCandidates {
+			m.cands[i] = all
+		}
+		top := all
+		if opt.K > 0 && len(top) > opt.K {
+			top = top[:opt.K]
+		}
+		m.nbrs[i] = top
+	}
+	return m
+}
+
+func sortItemNeighbors(ns []ItemNeighbor) {
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && itemNbLess(ns[j], ns[j-1]); j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+}
+
+func itemNbLess(a, b ItemNeighbor) bool {
+	if a.Tau != b.Tau {
+		return a.Tau > b.Tau
+	}
+	return a.Item < b.Item
+}
+
+// K returns the neighborhood size.
+func (m *ItemBased) K() int { return m.k }
+
+// Alpha returns the temporal decay parameter.
+func (m *ItemBased) Alpha() float64 { return m.alpha }
+
+// Domain returns the model's domain.
+func (m *ItemBased) Domain() ratings.DomainID { return m.dom }
+
+// NeighborsOf returns item i's pruned neighbor list (shared slice).
+func (m *ItemBased) NeighborsOf(i ratings.ItemID) []ItemNeighbor { return m.nbrs[i] }
+
+// Predict computes Eq. 4 (α = 0) or Eq. 7 (α > 0) for one item against a
+// query profile. now is the logical timestep of the prediction (Eq. 7's t);
+// pass the profile's max time or the evaluation time. ok is false when no
+// rated neighbor exists; the value then falls back to the item mean.
+func (m *ItemBased) Predict(profile []ratings.Entry, item ratings.ItemID, now int64) (float64, bool) {
+	return m.predictWith(m.nbrs[item], profile, item, now)
+}
+
+func (m *ItemBased) predictWith(nbrs []ItemNeighbor, profile []ratings.Entry, item ratings.ItemID, now int64) (float64, bool) {
+	ri := m.ds.ItemMean(item)
+	var num, den float64
+	for _, nb := range nbrs {
+		idx := profileIndex(profile, nb.Item)
+		if idx < 0 {
+			continue
+		}
+		e := profile[idx]
+		w := math.Abs(nb.Tau)
+		contrib := nb.Tau * (e.Value - m.ds.ItemMean(nb.Item))
+		if m.alpha > 0 {
+			// Eq. 7: weight e^{-α(t - t_{A,j})}. Entries stamped after the
+			// prediction time count as fresh (Δ = 0) rather than amplified.
+			dt := now - e.Time
+			if dt < 0 {
+				dt = 0
+			}
+			decay := math.Exp(-m.alpha * float64(dt))
+			w *= decay
+			contrib *= decay
+		}
+		num += contrib
+		den += w
+	}
+	if den == 0 {
+		return ri, false
+	}
+	return clampRating(ri + num/den), true
+}
+
+// profileIndex binary-searches a sorted profile.
+func profileIndex(p []ratings.Entry, item ratings.ItemID) int {
+	lo, hi := 0, len(p)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p[mid].Item < item {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(p) && p[lo].Item == item {
+		return lo
+	}
+	return -1
+}
+
+// Contribution explains one term of an item-based prediction: a neighbor
+// item the profile has rated, with its similarity, rating and temporal
+// weight. Serving systems surface these as "because you liked …" rows.
+type Contribution struct {
+	Item   ratings.ItemID
+	Tau    float64
+	Rating float64
+	Decay  float64
+}
+
+// Explain returns the contributions behind Predict(profile, item, now),
+// strongest absolute weight first.
+func (m *ItemBased) Explain(profile []ratings.Entry, item ratings.ItemID, now int64) []Contribution {
+	var out []Contribution
+	for _, nb := range m.nbrs[item] {
+		idx := profileIndex(profile, nb.Item)
+		if idx < 0 {
+			continue
+		}
+		e := profile[idx]
+		decay := 1.0
+		if m.alpha > 0 {
+			dt := now - e.Time
+			if dt < 0 {
+				dt = 0
+			}
+			decay = math.Exp(-m.alpha * float64(dt))
+		}
+		out = append(out, Contribution{Item: nb.Item, Tau: nb.Tau, Rating: e.Value, Decay: decay})
+	}
+	// Strongest |τ|·decay first.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && math.Abs(out[j].Tau)*out[j].Decay > math.Abs(out[j-1].Tau)*out[j-1].Decay; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Recommend returns the top-N unseen in-domain items by predicted rating
+// (Phase 2 of Algorithm 2).
+func (m *ItemBased) Recommend(profile []ratings.Entry, n int, now int64) []sim.Scored {
+	c := sim.NewCollector(n)
+	for _, item := range m.ds.ItemsInDomain(m.dom) {
+		if _, seen := ratings.ProfileRating(profile, item); seen {
+			continue
+		}
+		if v, ok := m.Predict(profile, item, now); ok {
+			c.Offer(item, v)
+		}
+	}
+	return c.Sorted()
+}
+
+// PrivateItemBased is the item-based recommender of Algorithm 5: neighbors
+// come from PNSA (Algorithm 4) and prediction weights carry PNCF Laplace
+// noise, together spending ε′ (half per mechanism). The temporal weighting
+// of the base model still applies — the paper's "additional feature of
+// temporally relevant predictions to boost the quality traded for privacy".
+type PrivateItemBased struct {
+	Model   *ItemBased
+	Epsilon float64 // ε′
+	Rho     float64 // PNSA failure probability (default 0.1)
+	Rng     *rand.Rand
+
+	// ssCache memoizes pair sensitivities; private prediction visits the
+	// same pairs for every query.
+	ssCache map[uint64]float64
+}
+
+// NewPrivateItemBased wraps a model built with KeepCandidates.
+func NewPrivateItemBased(m *ItemBased, eps float64, rng *rand.Rand) *PrivateItemBased {
+	return &PrivateItemBased{Model: m, Epsilon: eps, Rho: 0.1, Rng: rng, ssCache: make(map[uint64]float64)}
+}
+
+func (p *PrivateItemBased) sensitivity(i, j ratings.ItemID) float64 {
+	a, b := i, j
+	if a > b {
+		a, b = b, a
+	}
+	key := uint64(uint32(a))<<32 | uint64(uint32(b))
+	if v, ok := p.ssCache[key]; ok {
+		return v
+	}
+	v := privacy.SimilaritySensitivity(p.Model.ds, i, j)
+	p.ssCache[key] = v
+	return v
+}
+
+// privateNeighbors runs PNSA over item's full candidate list and perturbs
+// the selected similarities (PNCF).
+func (p *PrivateItemBased) privateNeighbors(item ratings.ItemID) []ItemNeighbor {
+	m := p.Model
+	var pool []ItemNeighbor
+	if m.keepAll {
+		pool = m.cands[item]
+	} else {
+		pool = m.nbrs[item]
+	}
+	cands := make([]privacy.Candidate, len(pool))
+	for i, nb := range pool {
+		cands[i] = privacy.Candidate{ID: nb.Item, Sim: nb.Tau, SS: p.sensitivity(item, nb.Item)}
+	}
+	sel := privacy.PNSA(p.Rng, cands, privacy.PNSAConfig{
+		K: m.k, Epsilon: p.Epsilon / 2, Rho: p.Rho, VectorLen: len(cands),
+	})
+	out := make([]ItemNeighbor, len(sel))
+	for i, c := range sel {
+		out[i] = ItemNeighbor{
+			Item: c.ID,
+			Tau:  privacy.NoisySimilarity(p.Rng, c.Sim, c.SS, p.Epsilon/2),
+		}
+	}
+	return out
+}
+
+// Predict computes the ε′-private prediction for one item.
+func (p *PrivateItemBased) Predict(profile []ratings.Entry, item ratings.ItemID, now int64) (float64, bool) {
+	return p.Model.predictWith(p.privateNeighbors(item), profile, item, now)
+}
+
+// Recommend returns the private top-N recommendations.
+func (p *PrivateItemBased) Recommend(profile []ratings.Entry, n int, now int64) []sim.Scored {
+	c := sim.NewCollector(n)
+	for _, item := range p.Model.ds.ItemsInDomain(p.Model.dom) {
+		if _, seen := ratings.ProfileRating(profile, item); seen {
+			continue
+		}
+		if v, ok := p.Predict(profile, item, now); ok {
+			c.Offer(item, v)
+		}
+	}
+	return c.Sorted()
+}

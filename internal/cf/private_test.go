@@ -1,0 +1,95 @@
+package cf
+
+import (
+	"math/rand"
+	"testing"
+
+	"xmap/internal/ratings"
+	"xmap/internal/sim"
+)
+
+func TestPrivateItemBasedRecommend(t *testing.T) {
+	ds := trainSet(t)
+	pairs := sim.ComputePairs(ds, sim.Options{})
+	m := NewItemBased(pairs, 0, ItemBasedOptions{K: 3, KeepCandidates: true})
+	p := NewPrivateItemBased(m, 2.0, rand.New(rand.NewSource(5)))
+	recs := p.Recommend(sciFiProfile(), 3, 10)
+	if len(recs) == 0 {
+		t.Fatal("no private recommendations")
+	}
+	for _, r := range recs {
+		if r.Score < 1 || r.Score > 5 {
+			t.Fatalf("private score %v out of range", r.Score)
+		}
+		if _, seen := ratings.ProfileRating(sciFiProfile(), r.ID); seen {
+			t.Fatalf("recommended already-rated item %d", r.ID)
+		}
+	}
+}
+
+func TestPrivateItemBasedSensitivityCache(t *testing.T) {
+	ds := trainSet(t)
+	pairs := sim.ComputePairs(ds, sim.Options{})
+	m := NewItemBased(pairs, 0, ItemBasedOptions{K: 3, KeepCandidates: true})
+	p := NewPrivateItemBased(m, 1.0, rand.New(rand.NewSource(6)))
+	a := p.sensitivity(0, 1)
+	b := p.sensitivity(1, 0) // symmetric key
+	if a != b {
+		t.Fatalf("sensitivity cache not symmetric: %v vs %v", a, b)
+	}
+	if len(p.ssCache) != 1 {
+		t.Fatalf("cache entries = %d, want 1 (shared across orderings)", len(p.ssCache))
+	}
+	_ = p.sensitivity(0, 2)
+	if len(p.ssCache) != 2 {
+		t.Fatalf("cache entries = %d, want 2", len(p.ssCache))
+	}
+}
+
+func TestPrivateItemBasedWithoutCandidates(t *testing.T) {
+	// Built without KeepCandidates, the private recommender falls back to
+	// the pruned neighbor lists — it must still work.
+	ds := trainSet(t)
+	pairs := sim.ComputePairs(ds, sim.Options{})
+	m := NewItemBased(pairs, 0, ItemBasedOptions{K: 3})
+	p := NewPrivateItemBased(m, 2.0, rand.New(rand.NewSource(7)))
+	if _, ok := p.Predict(sciFiProfile(), 2, 10); !ok {
+		t.Fatal("prediction should still work from pruned lists")
+	}
+}
+
+func TestPrivateUserBasedNeighborsExclude(t *testing.T) {
+	ds := trainSet(t)
+	m := NewUserBased(ds, 0, 4)
+	p := &PrivateUserBased{Model: m, Epsilon: 2, Rho: 0.1, Rng: rand.New(rand.NewSource(8))}
+	prof := sciFiProfile()
+	all := p.Neighbors(prof, -1)
+	if len(all) == 0 {
+		t.Fatal("no private neighbors")
+	}
+	excluded := all[0].User
+	for trial := 0; trial < 20; trial++ {
+		for _, nb := range p.Neighbors(prof, excluded) {
+			if nb.User == excluded {
+				t.Fatal("excluded user selected by PNSA")
+			}
+		}
+	}
+}
+
+func TestPrivateNeighborsDifferAcrossDraws(t *testing.T) {
+	// The whole point of PNSA: selections vary run to run.
+	ds := trainSet(t)
+	pairs := sim.ComputePairs(ds, sim.Options{})
+	m := NewItemBased(pairs, 0, ItemBasedOptions{K: 2, KeepCandidates: true})
+	p := NewPrivateItemBased(m, 0.5, rand.New(rand.NewSource(9)))
+	seen := map[ratings.ItemID]bool{}
+	for trial := 0; trial < 50; trial++ {
+		for _, nb := range p.privateNeighbors(0) {
+			seen[nb.Item] = true
+		}
+	}
+	if len(seen) <= 2 {
+		t.Fatalf("PNSA always picked the same %d neighbors — no obfuscation", len(seen))
+	}
+}

@@ -1,0 +1,286 @@
+// Package cf implements the collaborative-filtering recommenders X-Map
+// runs in the target domain over AlterEgo profiles: user-based kNN
+// (Algorithm 1), item-based kNN (Algorithm 2), the temporally-weighted
+// item-based variant (Eq. 7), and the differentially private versions that
+// select neighbors with PNSA and predict with PNCF noise (Algorithms 4–5).
+//
+// Every model works on a free-standing query profile ([]ratings.Entry) —
+// an AlterEgo is exactly such a profile — against the training dataset
+// restricted to one domain.
+package cf
+
+import (
+	"math"
+	"math/rand"
+
+	"xmap/internal/privacy"
+	"xmap/internal/ratings"
+	"xmap/internal/sim"
+)
+
+// UserNeighbor is one of Alice's k nearest users with the Eq. 1 similarity.
+type UserNeighbor struct {
+	User ratings.UserID
+	Tau  float64
+}
+
+// UserBased implements Algorithm 1 against a single domain. Immutable
+// after construction; safe for concurrent Predict calls.
+type UserBased struct {
+	ds  *ratings.Dataset
+	dom ratings.DomainID
+	k   int
+
+	// Domain-restricted views.
+	users       []ratings.UserID                   // users with ≥1 rating in dom
+	profiles    map[ratings.UserID][]ratings.Entry // their in-domain profiles
+	userMeanDom map[ratings.UserID]float64
+	itemMean    []float64                  // in-domain item means (indexed by ItemID)
+	userNorm    map[ratings.UserID]float64 // √Σ_{i∈Xu}(r_ui − r̄_i)², Eq. 1 denominator
+}
+
+// NewUserBased builds the model for one domain with neighborhood size k.
+func NewUserBased(ds *ratings.Dataset, dom ratings.DomainID, k int) *UserBased {
+	m := &UserBased{
+		ds: ds, dom: dom, k: k,
+		profiles:    make(map[ratings.UserID][]ratings.Entry),
+		userMeanDom: make(map[ratings.UserID]float64),
+		userNorm:    make(map[ratings.UserID]float64),
+		itemMean:    make([]float64, ds.NumItems()),
+	}
+	for i := 0; i < ds.NumItems(); i++ {
+		m.itemMean[i] = ds.ItemMean(ratings.ItemID(i))
+	}
+	for u := 0; u < ds.NumUsers(); u++ {
+		uid := ratings.UserID(u)
+		if ds.UserRatingsInDomain(uid, dom) == 0 {
+			continue
+		}
+		var prof []ratings.Entry
+		var sum, norm2 float64
+		for _, e := range ds.Items(uid) {
+			if ds.Domain(e.Item) != dom {
+				continue
+			}
+			prof = append(prof, e)
+			sum += e.Value
+			c := e.Value - m.itemMean[e.Item]
+			norm2 += c * c
+		}
+		m.users = append(m.users, uid)
+		m.profiles[uid] = prof
+		m.userMeanDom[uid] = sum / float64(len(prof))
+		m.userNorm[uid] = math.Sqrt(norm2)
+	}
+	return m
+}
+
+// K returns the neighborhood size.
+func (m *UserBased) K() int { return m.k }
+
+// Domain returns the model's domain.
+func (m *UserBased) Domain() ratings.DomainID { return m.dom }
+
+// NumUsers returns how many users the model indexes.
+func (m *UserBased) NumUsers() int { return len(m.users) }
+
+// tau computes Eq. 1 between the query profile and user u, given the
+// query profile's precomputed norm.
+func (m *UserBased) tau(profile []ratings.Entry, profNorm float64, u ratings.UserID) float64 {
+	other := m.profiles[u]
+	den := profNorm * m.userNorm[u]
+	if den == 0 {
+		return 0
+	}
+	var num float64
+	a, b := 0, 0
+	for a < len(profile) && b < len(other) {
+		switch {
+		case profile[a].Item < other[b].Item:
+			a++
+		case profile[a].Item > other[b].Item:
+			b++
+		default:
+			im := m.itemMean[profile[a].Item]
+			num += (profile[a].Value - im) * (other[b].Value - im)
+			a++
+			b++
+		}
+	}
+	return num / den
+}
+
+// profileNorm returns the Eq. 1 denominator term of the query profile.
+func (m *UserBased) profileNorm(profile []ratings.Entry) float64 {
+	var norm2 float64
+	for _, e := range profile {
+		c := e.Value - m.itemMean[e.Item]
+		norm2 += c * c
+	}
+	return math.Sqrt(norm2)
+}
+
+// Neighbors runs Phase 1 of Algorithm 1: the k users most similar to the
+// query profile, descending by τ. excludeUser (optional) removes a user —
+// the query user herself during evaluation.
+func (m *UserBased) Neighbors(profile []ratings.Entry, excludeUser ratings.UserID) []UserNeighbor {
+	pn := m.profileNorm(profile)
+	c := sim.NewCollector(m.k)
+	for _, u := range m.users {
+		if u == excludeUser {
+			continue
+		}
+		t := m.tau(profile, pn, u)
+		if t != 0 {
+			c.Offer(ratings.ItemID(u), t)
+		}
+	}
+	scored := c.Sorted()
+	out := make([]UserNeighbor, len(scored))
+	for i, s := range scored {
+		out[i] = UserNeighbor{User: ratings.UserID(s.ID), Tau: s.Score}
+	}
+	return out
+}
+
+// Predict runs Phase 2 of Algorithm 1 (Eq. 2) for one item given the
+// neighbor set. ok is false when no neighbor rated the item; the returned
+// value then falls back to the query profile's mean.
+func (m *UserBased) Predict(profile []ratings.Entry, nbrs []UserNeighbor, item ratings.ItemID) (float64, bool) {
+	rA := ratings.ProfileMean(profile, m.ds.GlobalMean())
+	var num, den float64
+	for _, nb := range nbrs {
+		r, ok := ratings.ProfileRating(m.profiles[nb.User], item)
+		if !ok {
+			continue
+		}
+		num += nb.Tau * (r - m.userMeanDom[nb.User])
+		den += math.Abs(nb.Tau)
+	}
+	if den == 0 {
+		return rA, false
+	}
+	return clampRating(rA + num/den), true
+}
+
+// PredictOne is Neighbors + Predict for a single item.
+func (m *UserBased) PredictOne(profile []ratings.Entry, item ratings.ItemID) (float64, bool) {
+	return m.Predict(profile, m.Neighbors(profile, -1), item)
+}
+
+// Recommend returns the top-N unseen in-domain items by predicted rating.
+func (m *UserBased) Recommend(profile []ratings.Entry, n int) []sim.Scored {
+	nbrs := m.Neighbors(profile, -1)
+	c := sim.NewCollector(n)
+	for _, item := range m.ds.ItemsInDomain(m.dom) {
+		if _, seen := ratings.ProfileRating(profile, item); seen {
+			continue
+		}
+		if p, ok := m.Predict(profile, nbrs, item); ok {
+			c.Offer(item, p)
+		}
+	}
+	return c.Sorted()
+}
+
+// PrivateUserBased wraps UserBased with PNSA neighbor selection and PNCF
+// Laplace-noised similarities (ε′-differential privacy in the target
+// domain, split evenly between the two mechanisms as in §4.4).
+type PrivateUserBased struct {
+	Model *UserBased
+	// Epsilon is ε′.
+	Epsilon float64
+	// Rho is the PNSA failure probability (default 0.1).
+	Rho float64
+	// Rng drives all private choices.
+	Rng *rand.Rand
+}
+
+// userSensitivity derives the pair sensitivity between the query profile
+// and user u from their common-item centered vectors (the user-based
+// analogue of Theorem 2).
+func (p *PrivateUserBased) userSensitivity(profile []ratings.Entry, u ratings.UserID) float64 {
+	m := p.Model
+	other := m.profiles[u]
+	var xa, xb []float64
+	a, b := 0, 0
+	for a < len(profile) && b < len(other) {
+		switch {
+		case profile[a].Item < other[b].Item:
+			a++
+		case profile[a].Item > other[b].Item:
+			b++
+		default:
+			im := m.itemMean[profile[a].Item]
+			xa = append(xa, profile[a].Value-im)
+			xb = append(xb, other[b].Value-im)
+			a++
+			b++
+		}
+	}
+	return privacy.VectorSensitivity(xa, xb)
+}
+
+// Neighbors privately selects k user neighbors with PNSA.
+func (p *PrivateUserBased) Neighbors(profile []ratings.Entry, excludeUser ratings.UserID) []UserNeighbor {
+	m := p.Model
+	pn := m.profileNorm(profile)
+	cands := make([]privacy.Candidate, 0, len(m.users))
+	sens := make(map[ratings.ItemID]float64, len(m.users))
+	for _, u := range m.users {
+		if u == excludeUser {
+			continue
+		}
+		t := m.tau(profile, pn, u)
+		if t == 0 {
+			continue
+		}
+		ss := p.userSensitivity(profile, u)
+		cands = append(cands, privacy.Candidate{ID: ratings.ItemID(u), Sim: t, SS: ss})
+		sens[ratings.ItemID(u)] = ss
+	}
+	sel := privacy.PNSA(p.Rng, cands, privacy.PNSAConfig{
+		K: m.k, Epsilon: p.Epsilon / 2, Rho: p.Rho, VectorLen: len(cands),
+	})
+	out := make([]UserNeighbor, 0, len(sel))
+	for _, c := range sel {
+		// PNCF: noisy similarity for the prediction phase.
+		noisy := privacy.NoisySimilarity(p.Rng, c.Sim, sens[c.ID], p.Epsilon/2)
+		out = append(out, UserNeighbor{User: ratings.UserID(c.ID), Tau: noisy})
+	}
+	return out
+}
+
+// Predict is the private Phase 2: Eq. 2 over privately-selected, noisy
+// neighbors.
+func (p *PrivateUserBased) Predict(profile []ratings.Entry, nbrs []UserNeighbor, item ratings.ItemID) (float64, bool) {
+	return p.Model.Predict(profile, nbrs, item)
+}
+
+// Recommend returns the private top-N recommendations.
+func (p *PrivateUserBased) Recommend(profile []ratings.Entry, n int) []sim.Scored {
+	nbrs := p.Neighbors(profile, -1)
+	c := sim.NewCollector(n)
+	for _, item := range p.Model.ds.ItemsInDomain(p.Model.dom) {
+		if _, seen := ratings.ProfileRating(profile, item); seen {
+			continue
+		}
+		if v, ok := p.Model.Predict(profile, nbrs, item); ok {
+			c.Offer(item, v)
+		}
+	}
+	return c.Sorted()
+}
+
+// clampRating keeps predictions inside the 1–5 scale used throughout the
+// paper's datasets. Values are clamped, not rejected: MAE is computed on
+// the clamped prediction exactly as a deployed system would serve it.
+func clampRating(v float64) float64 {
+	if v < 1 {
+		return 1
+	}
+	if v > 5 {
+		return 5
+	}
+	return v
+}

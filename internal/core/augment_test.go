@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"xmap/internal/eval"
+	"xmap/internal/mf"
+	"xmap/internal/ratings"
+)
+
+// The §4.4 adaptability demo: ALS trained on an AlterEgo-augmented matrix
+// must predict cold-start users' hidden target ratings better than ALS on
+// the raw training matrix (where those users have no target signal beyond
+// their source ratings).
+func TestALSOnAlterEgosImprovesColdStart(t *testing.T) {
+	az := trace(t)
+	sp := splitTrace(t, az, 21)
+	cfg := DefaultConfig()
+	cfg.K = 15
+	p := Fit(sp.Train, az.Movies, az.Books, cfg)
+
+	users := make([]ratings.UserID, 0, len(sp.Test))
+	for _, tu := range sp.Test {
+		users = append(users, tu.User)
+	}
+	augmented := p.AugmentWithAlterEgos(users)
+	if augmented.NumRatings() <= sp.Train.NumRatings() {
+		t.Fatal("augmentation added nothing")
+	}
+
+	mfCfg := mf.Config{Factors: 10, Iterations: 10, Lambda: 0.05, Seed: 3}
+	plain := mf.Train(sp.Train, mfCfg)
+	boosted := mf.Train(augmented, mfCfg)
+
+	var mPlain, mBoosted eval.Metrics
+	for _, tu := range sp.Test {
+		for _, h := range tu.Hidden {
+			mPlain.Add(plain.Predict(h.User, h.Item), h.Value, true)
+			mBoosted.Add(boosted.Predict(h.User, h.Item), h.Value, true)
+		}
+	}
+	t.Logf("ALS cold-start MAE: plain=%.4f alterego-augmented=%.4f",
+		mPlain.MAE(), mBoosted.MAE())
+	if mBoosted.MAE() >= mPlain.MAE() {
+		t.Errorf("AlterEgo augmentation should improve ALS cold-start MAE: %.4f vs %.4f",
+			mBoosted.MAE(), mPlain.MAE())
+	}
+}

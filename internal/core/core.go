@@ -1,0 +1,414 @@
+// Package core assembles X-Map's four components (paper §5, Figure 4):
+//
+//	Baseliner   — adjusted-cosine baseline similarities over both domains
+//	Extender    — layered graph + X-Sim heterogeneous extension
+//	Generator   — AlterEgo profiles (argmax or ε-private PRS)
+//	Recommender — user-/item-based CF in the target domain, optionally
+//	              temporal (Eq. 7) and ε′-private (PNSA + PNCF)
+//
+// A fitted Pipeline answers the heterogeneous recommendation problem
+// (§2.3): predict and recommend target-domain items for users whose
+// activity lives in the source domain. Config.Private switches between the
+// NX-Map (non-private) and X-Map (differentially private) variants.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"xmap/internal/alterego"
+	"xmap/internal/cf"
+	"xmap/internal/eval"
+	"xmap/internal/graph"
+	"xmap/internal/privacy"
+	"xmap/internal/ratings"
+	"xmap/internal/sim"
+	"xmap/internal/xsim"
+)
+
+// Mode selects the target-domain CF scheme.
+type Mode int
+
+const (
+	// ItemBasedMode runs Algorithm 2 (plus Eq. 7 when Alpha > 0).
+	ItemBasedMode Mode = iota
+	// UserBasedMode runs Algorithm 1.
+	UserBasedMode
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ItemBasedMode:
+		return "item-based"
+	case UserBasedMode:
+		return "user-based"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes a pipeline. The zero value is not useful; start
+// from DefaultConfig.
+type Config struct {
+	// K is the neighborhood size used everywhere the paper uses k: the
+	// per-layer fan-out of the pruned graph and the CF neighborhood.
+	K int
+	// TopKExtend bounds the candidate replacements kept per item in the
+	// X-Sim table (0 = 2·K).
+	TopKExtend int
+	// Alpha is the temporal decay of Eq. 7 (item-based only; 0 disables).
+	Alpha float64
+	// Mode selects user-based or item-based recommendation.
+	Mode Mode
+	// Private selects X-Map (true) vs NX-Map (false).
+	Private bool
+	// EpsilonAE is ε, the per-item PRS budget for AlterEgo generation.
+	EpsilonAE float64
+	// EpsilonRec is ε′, the PNSA+PNCF budget for recommendation.
+	EpsilonRec float64
+	// Metric is the baseline similarity metric (default adjusted cosine).
+	Metric sim.Metric
+	// MinCoRaters prunes baseline pairs with fewer co-raters.
+	MinCoRaters int
+	// RecenterAlterEgo carries rating deviations instead of raw values
+	// when mapping profiles (see alterego.Mapper.WithRecentering — an
+	// ablation on top of the paper's raw-value carrying).
+	RecenterAlterEgo bool
+	// Shrinkage dampens thin-support item similarities in the item-based
+	// recommender (τ·n/(n+Shrinkage); 0 disables).
+	Shrinkage float64
+	// SignificanceN applies Herlocker significance weighting [16] to the
+	// baseline similarities (s·min(n,N)/N; 0 disables). The paper folds
+	// the same idea into X-Sim's path weights; applying it at the baseline
+	// also guards the direct BB–BB candidates.
+	SignificanceN int
+	// Replacements maps each source item to its top-R candidates instead
+	// of the single argmax when generating non-private AlterEgos
+	// (footnote 10 diversity variant; 0/1 = argmax).
+	Replacements int
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Seed drives all private randomness.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's operating point: k = 50, item-based,
+// α tuned per §6.2, privacy ε = 0.3 / ε′ = 0.8 for X-Map-ib (§6.3).
+// SignificanceN and Replacements engage the significance-weighting [16]
+// and footnote-10 diversity knobs at values tuned on the synthetic traces.
+func DefaultConfig() Config {
+	return Config{
+		K:                50,
+		Alpha:            0.03,
+		Mode:             ItemBasedMode,
+		Private:          false,
+		EpsilonAE:        0.3,
+		EpsilonRec:       0.8,
+		Metric:           sim.AdjustedCosine,
+		SignificanceN:    20,
+		Replacements:     5,
+		RecenterAlterEgo: true,
+		Seed:             1,
+	}
+}
+
+// Pipeline is a fitted X-Map instance for one (source, target) domain
+// pair. Fitting is the offline phase the paper runs periodically; a fitted
+// pipeline serves predictions and top-N recommendations.
+//
+// Concurrency: the non-private pipeline is safe for concurrent reads. The
+// private pipeline shares one rng and is not; callers serialize or fit one
+// pipeline per goroutine.
+type Pipeline struct {
+	cfg      Config
+	ds       *ratings.Dataset
+	src, dst ratings.DomainID
+
+	pairs  *sim.Pairs
+	graph  *graph.Graph
+	table  *xsim.Table
+	mapper *alterego.Mapper
+
+	ubModel *cf.UserBased
+	ibModel *cf.ItemBased
+	pib     *cf.PrivateItemBased
+	pub     *cf.PrivateUserBased
+
+	rng  *rand.Rand
+	acct privacy.Accountant
+
+	// Phase timings of the offline fit, for observability (§6.6 reports
+	// the offline computation time).
+	baselinerTime, extenderTime, modelTime time.Duration
+}
+
+// Fit runs the offline phases: Baseliner → Extender → model construction.
+// The Generator and Recommender phases are executed lazily per user, which
+// is what makes AlterEgos cheap to refresh incrementally.
+func Fit(ds *ratings.Dataset, src, dst ratings.DomainID, cfg Config) *Pipeline {
+	if cfg.K <= 0 {
+		cfg.K = 50
+	}
+	if cfg.TopKExtend <= 0 {
+		cfg.TopKExtend = 2 * cfg.K
+	}
+	p := &Pipeline{cfg: cfg, ds: ds, src: src, dst: dst, rng: rand.New(rand.NewSource(cfg.Seed))}
+
+	// Baseliner (§5.1): one pass over the aggregated domains.
+	start := time.Now()
+	p.pairs = sim.ComputePairs(ds, sim.Options{
+		Metric: cfg.Metric, Workers: cfg.Workers, MinCoRaters: cfg.MinCoRaters,
+		SignificanceN: cfg.SignificanceN,
+	})
+	p.baselinerTime = time.Since(start)
+
+	// Extender (§5.2): layered pruning + X-Sim extension.
+	start = time.Now()
+	p.graph = graph.Build(p.pairs, src, dst, graph.Options{K: cfg.K})
+	// KeepFull is always on: Derive may flip a fitted pipeline to the
+	// private variant, whose PRS must sample the untruncated I(ti) rows.
+	p.table = xsim.Extend(p.graph, xsim.Options{
+		TopK: cfg.TopKExtend, LegsK: cfg.K, Workers: cfg.Workers, KeepFull: true,
+	})
+	p.extenderTime = time.Since(start)
+
+	start = time.Now()
+	p.buildServing(cfg)
+	p.modelTime = time.Since(start)
+	return p
+}
+
+// FitWithTable builds a pipeline around a previously-persisted X-Sim table
+// (see xsim.Table.Save), skipping the Extender phase — the deployment
+// pattern where the offline job ships tables to serving processes (§5.4).
+// The Baseliner still runs (the CF models need the pair table); cfg must
+// match the configuration the table was fitted with.
+func FitWithTable(ds *ratings.Dataset, src, dst ratings.DomainID, cfg Config, tbl *xsim.Table) *Pipeline {
+	if cfg.K <= 0 {
+		cfg.K = 50
+	}
+	if cfg.TopKExtend <= 0 {
+		cfg.TopKExtend = 2 * cfg.K
+	}
+	if tbl.Source() != src || tbl.Target() != dst {
+		panic(fmt.Sprintf("core: table domains (%d→%d) do not match (%d→%d)",
+			tbl.Source(), tbl.Target(), src, dst))
+	}
+	p := &Pipeline{cfg: cfg, ds: ds, src: src, dst: dst, rng: rand.New(rand.NewSource(cfg.Seed))}
+
+	start := time.Now()
+	p.pairs = sim.ComputePairs(ds, sim.Options{
+		Metric: cfg.Metric, Workers: cfg.Workers, MinCoRaters: cfg.MinCoRaters,
+		SignificanceN: cfg.SignificanceN,
+	})
+	p.baselinerTime = time.Since(start)
+
+	p.graph = graph.Build(p.pairs, src, dst, graph.Options{K: cfg.K})
+	p.table = tbl
+
+	start = time.Now()
+	p.buildServing(cfg)
+	p.modelTime = time.Since(start)
+	return p
+}
+
+// buildServing constructs the Generator and Recommender components on top
+// of the fitted similarity structures.
+func (p *Pipeline) buildServing(cfg Config) {
+	// Generator (§5.3): replacement policy.
+	if cfg.Private {
+		p.mapper = alterego.NewPrivateMapper(p.table, cfg.EpsilonAE, p.rng, &p.acct)
+	} else {
+		p.mapper = alterego.NewMapper(p.table)
+	}
+	if cfg.RecenterAlterEgo {
+		p.mapper = p.mapper.WithRecentering(p.ds)
+	}
+	if cfg.Replacements > 1 {
+		p.mapper = p.mapper.WithTopReplacements(cfg.Replacements)
+	}
+
+	// Recommender (§5.4): target-domain CF models.
+	switch cfg.Mode {
+	case UserBasedMode:
+		p.ubModel = cf.NewUserBased(p.ds, p.dst, cfg.K)
+		if cfg.Private {
+			p.pub = &cf.PrivateUserBased{Model: p.ubModel, Epsilon: cfg.EpsilonRec, Rho: 0.1, Rng: p.rng}
+		}
+	default:
+		p.ibModel = cf.NewItemBased(p.pairs, p.dst, cf.ItemBasedOptions{
+			K: cfg.K, Alpha: cfg.Alpha, Shrinkage: cfg.Shrinkage,
+			KeepCandidates: cfg.Private,
+		})
+		if cfg.Private {
+			p.pib = cf.NewPrivateItemBased(p.ibModel, cfg.EpsilonRec, p.rng)
+		}
+	}
+}
+
+// Derive returns a new pipeline that shares this pipeline's fitted
+// Baseliner and Extender structures (pair table, layered graph, X-Sim
+// table) but applies a different recommendation-side configuration.
+// Only Mode, Alpha, Private, EpsilonAE, EpsilonRec, Replacements,
+// RecenterAlterEgo, Shrinkage and Seed may change — fields that shape the
+// similarity structures must match, otherwise Derive panics (a silent
+// mismatch would evaluate one experiment's parameters on another's
+// structures). Experiments use Derive to sweep privacy/temporal grids
+// without re-running the offline phases.
+func (p *Pipeline) Derive(cfg Config) *Pipeline {
+	if cfg.K == 0 {
+		cfg.K = p.cfg.K
+	}
+	if cfg.TopKExtend == 0 {
+		cfg.TopKExtend = p.cfg.TopKExtend
+	}
+	if cfg.K != p.cfg.K || cfg.TopKExtend != p.cfg.TopKExtend ||
+		cfg.Metric != p.cfg.Metric || cfg.MinCoRaters != p.cfg.MinCoRaters ||
+		cfg.SignificanceN != p.cfg.SignificanceN {
+		panic(fmt.Sprintf("core: Derive changes similarity-shaping fields: %+v vs %+v", cfg, p.cfg))
+	}
+	np := &Pipeline{
+		cfg: cfg, ds: p.ds, src: p.src, dst: p.dst,
+		pairs: p.pairs, graph: p.graph, table: p.table,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	np.buildServing(cfg)
+	return np
+}
+
+// Config returns the pipeline's configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// Source returns the source domain.
+func (p *Pipeline) Source() ratings.DomainID { return p.src }
+
+// Target returns the target domain.
+func (p *Pipeline) Target() ratings.DomainID { return p.dst }
+
+// Table exposes the fitted X-Sim table (read-only).
+func (p *Pipeline) Table() *xsim.Table { return p.table }
+
+// Graph exposes the fitted layered graph (read-only).
+func (p *Pipeline) Graph() *graph.Graph { return p.graph }
+
+// Pairs exposes the baseline similarity table (read-only).
+func (p *Pipeline) Pairs() *sim.Pairs { return p.pairs }
+
+// PrivacySpent reports the total ε consumed by PRS so far (0 for NX-Map).
+func (p *Pipeline) PrivacySpent() float64 { return p.acct.Spent() }
+
+// AlterEgoFromProfile runs the Generator on an explicit source profile,
+// appending any existing target-domain entries (footnote 6).
+func (p *Pipeline) AlterEgoFromProfile(source, existing []ratings.Entry) []ratings.Entry {
+	return p.mapper.GenerateWithExisting(source, existing)
+}
+
+// AlterEgo builds the AlterEgo of a user from their training-set profiles.
+func (p *Pipeline) AlterEgo(u ratings.UserID) []ratings.Entry {
+	src := eval.SourceProfile(p.ds, u, p.src)
+	existing := eval.SourceProfile(p.ds, u, p.dst)
+	return p.AlterEgoFromProfile(src, existing)
+}
+
+// Predict estimates the rating a user with the given AlterEgo profile
+// would give to a target-domain item. now is the logical timestep for
+// temporal weighting (use eval.MaxTime(profile) when in doubt). ok=false
+// marks a fallback (item/profile mean).
+func (p *Pipeline) Predict(profile []ratings.Entry, item ratings.ItemID, now int64) (float64, bool) {
+	switch {
+	case p.pub != nil:
+		nbrs := p.pub.Neighbors(profile, -1)
+		return p.pub.Predict(profile, nbrs, item)
+	case p.ubModel != nil:
+		return p.ubModel.PredictOne(profile, item)
+	case p.pib != nil:
+		return p.pib.Predict(profile, item, now)
+	default:
+		return p.ibModel.Predict(profile, item, now)
+	}
+}
+
+// PredictForUser generates the user's AlterEgo and predicts one item.
+func (p *Pipeline) PredictForUser(u ratings.UserID, item ratings.ItemID) (float64, bool) {
+	ego := p.AlterEgo(u)
+	return p.Predict(ego, item, eval.MaxTime(ego))
+}
+
+// Recommend returns the top-N not-yet-seen target items for a profile.
+func (p *Pipeline) Recommend(profile []ratings.Entry, n int) []sim.Scored {
+	now := eval.MaxTime(profile)
+	switch {
+	case p.pub != nil:
+		return p.pub.Recommend(profile, n)
+	case p.ubModel != nil:
+		return p.ubModel.Recommend(profile, n)
+	case p.pib != nil:
+		return p.pib.Recommend(profile, n, now)
+	default:
+		return p.ibModel.Recommend(profile, n, now)
+	}
+}
+
+// RecommendForUser generates the AlterEgo and recommends top-N items.
+func (p *Pipeline) RecommendForUser(u ratings.UserID, n int) []sim.Scored {
+	return p.Recommend(p.AlterEgo(u), n)
+}
+
+// Explain returns the contributing neighbor items behind an item-based
+// prediction ("because your AlterEgo liked …"). Empty for user-based
+// pipelines, whose explanation unit is the neighbor user (see
+// cf.UserBased.Neighbors).
+func (p *Pipeline) Explain(profile []ratings.Entry, item ratings.ItemID, now int64) []cf.Contribution {
+	if p.ibModel == nil {
+		return nil
+	}
+	return p.ibModel.Explain(profile, item, now)
+}
+
+// AugmentWithAlterEgos returns a copy of the training dataset where the
+// given users' AlterEgo entries are written as real target-domain ratings.
+// This is the paper's §4.4 adaptability demonstration: any homogeneous
+// recommender (e.g. mf.Train, the MLlib-ALS stand-in) can be trained on
+// the augmented matrix and serve cold-start users natively.
+func (p *Pipeline) AugmentWithAlterEgos(users []ratings.UserID) *ratings.Dataset {
+	egos := make(map[ratings.UserID][]ratings.Entry, len(users))
+	for _, u := range users {
+		egos[u] = p.AlterEgo(u)
+	}
+	return alterego.Augment(p.ds, egos)
+}
+
+// Diagnostics summarizes the fitted structures for logs and reports.
+type Diagnostics struct {
+	BaselineEdges        int
+	DirectHeteroPairs    int
+	XSimHeteroPairs      int
+	SrcLayers, DstLayers [3]int // BB, NB, NN
+	PrunedEdges          int
+	// Offline phase timings.
+	BaselinerTime, ExtenderTime, ModelTime time.Duration
+}
+
+// Diagnose computes pipeline diagnostics.
+func (p *Pipeline) Diagnose() Diagnostics {
+	var d Diagnostics
+	d.BaselineEdges = p.pairs.NumEdges()
+	d.DirectHeteroPairs = p.pairs.CountCrossDomain()
+	d.XSimHeteroPairs = p.table.NumHeteroPairs()
+	d.SrcLayers[0], d.SrcLayers[1], d.SrcLayers[2] = p.graph.LayerCounts(p.src)
+	d.DstLayers[0], d.DstLayers[1], d.DstLayers[2] = p.graph.LayerCounts(p.dst)
+	d.PrunedEdges = p.graph.NumPrunedEdges()
+	d.BaselinerTime, d.ExtenderTime, d.ModelTime = p.baselinerTime, p.extenderTime, p.modelTime
+	return d
+}
+
+// String renders diagnostics compactly.
+func (d Diagnostics) String() string {
+	return fmt.Sprintf(
+		"baseline-edges=%d direct-hetero=%d xsim-hetero=%d src(BB/NB/NN)=%d/%d/%d dst=%d/%d/%d pruned=%d",
+		d.BaselineEdges, d.DirectHeteroPairs, d.XSimHeteroPairs,
+		d.SrcLayers[0], d.SrcLayers[1], d.SrcLayers[2],
+		d.DstLayers[0], d.DstLayers[1], d.DstLayers[2], d.PrunedEdges)
+}

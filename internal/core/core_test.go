@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"xmap/internal/baselines"
+	"xmap/internal/dataset"
+	"xmap/internal/eval"
+	"xmap/internal/graph"
+	"xmap/internal/ratings"
+	"xmap/internal/sim"
+	"xmap/internal/xsim"
+)
+
+func simComputeAll(ds *ratings.Dataset) *sim.Pairs {
+	return sim.ComputePairs(ds, sim.Options{Metric: sim.AdjustedCosine})
+}
+
+func graphBuildAll(p *sim.Pairs, src, dst ratings.DomainID) *graph.Graph {
+	return graph.Build(p, src, dst, graph.Options{K: 0})
+}
+
+func xsimExtendAll(g *graph.Graph) *xsim.Table {
+	return xsim.Extend(g, xsim.Options{})
+}
+
+func trace(t testing.TB) dataset.Amazon {
+	t.Helper()
+	cfg := dataset.DefaultAmazonConfig()
+	cfg.MovieUsers, cfg.BookUsers, cfg.OverlapUsers = 180, 200, 60
+	cfg.Movies, cfg.Books = 100, 130
+	cfg.RatingsPerUser = 26
+	return dataset.AmazonLike(cfg)
+}
+
+func splitTrace(t testing.TB, az dataset.Amazon, seed int64) eval.Split {
+	t.Helper()
+	return eval.SplitStraddlers(az.DS, az.Movies, az.Books, eval.SplitOptions{
+		TestFraction: 0.25, MinProfile: 5, Rng: rand.New(rand.NewSource(seed)),
+	})
+}
+
+func TestFitProducesDiagnostics(t *testing.T) {
+	az := trace(t)
+	sp := splitTrace(t, az, 1)
+	cfg := DefaultConfig()
+	cfg.K = 10
+	p := Fit(sp.Train, az.Movies, az.Books, cfg)
+	d := p.Diagnose()
+	if d.BaselineEdges == 0 {
+		t.Fatal("no baseline edges")
+	}
+	if d.XSimHeteroPairs == 0 {
+		t.Fatal("no X-Sim pairs")
+	}
+	if d.SrcLayers[0] == 0 || d.DstLayers[0] == 0 {
+		t.Fatal("no bridge items — overlap users missing?")
+	}
+	if d.String() == "" {
+		t.Fatal("empty diagnostics string")
+	}
+}
+
+// The Figure 1(b) effect: without per-item pruning, meta-path-based
+// similarities strictly outnumber the standard (direct co-rating) ones.
+// The effect lives in the regime of the real Amazon traces — straddlers
+// are rare relative to the catalogs, so direct cross-domain co-rating is
+// scarce while meta-paths fan out through the layers.
+func TestMetaPathsBeatStandardSimilarities(t *testing.T) {
+	cfg := dataset.DefaultAmazonConfig()
+	cfg.MovieUsers, cfg.BookUsers, cfg.OverlapUsers = 150, 150, 15
+	cfg.Movies, cfg.Books = 200, 250
+	cfg.RatingsPerUser = 12
+	az := dataset.AmazonLike(cfg)
+	pairs := simComputeAll(az.DS)
+	g := graphBuildAll(pairs, az.Movies, az.Books)
+	tbl := xsimExtendAll(g)
+	direct := pairs.CountCrossDomain()
+	if direct == 0 {
+		t.Fatal("no direct heterogeneous pairs at all")
+	}
+	if tbl.NumHeteroPairs() <= direct {
+		t.Fatalf("meta-path pairs %d should exceed direct %d (Figure 1b)",
+			tbl.NumHeteroPairs(), direct)
+	}
+	t.Logf("Figure 1b: standard=%d meta-path=%d (×%.1f)",
+		direct, tbl.NumHeteroPairs(), float64(tbl.NumHeteroPairs())/float64(direct))
+}
+
+func TestAlterEgoLandsInTargetDomain(t *testing.T) {
+	az := trace(t)
+	sp := splitTrace(t, az, 2)
+	cfg := DefaultConfig()
+	cfg.K = 10
+	p := Fit(sp.Train, az.Movies, az.Books, cfg)
+	tu := sp.Test[0]
+	ego := p.AlterEgo(tu.User)
+	if len(ego) == 0 {
+		t.Fatal("empty AlterEgo for a straddler with a full movie profile")
+	}
+	for _, e := range ego {
+		if az.DS.Domain(e.Item) != az.Books {
+			t.Fatalf("AlterEgo entry %d outside the target domain", e.Item)
+		}
+	}
+}
+
+// The headline claim (§6.4): X-Map's cold-start MAE beats the ItemAverage
+// and RemoteUser baselines. This is the smallest end-to-end check of the
+// whole system; the full curves live in internal/experiments.
+func TestColdStartBeatsBaselines(t *testing.T) {
+	az := trace(t)
+	sp := splitTrace(t, az, 3)
+
+	cfg := DefaultConfig()
+	cfg.K = 30
+	cfg.Mode = UserBasedMode
+	p := Fit(sp.Train, az.Movies, az.Books, cfg)
+
+	ia := baselines.NewItemAverage(sp.Train)
+	ru := baselines.NewRemoteUser(sp.Train, az.Movies, az.Books, 15)
+
+	var mX, mIA, mRU eval.Metrics
+	for _, tu := range sp.Test {
+		src := eval.SourceProfile(sp.Train, tu.User, az.Movies)
+		ego := p.AlterEgoFromProfile(src, nil)
+		now := eval.MaxTime(ego)
+		for _, h := range tu.Hidden {
+			v, ok := p.Predict(ego, h.Item, now)
+			mX.Add(v, h.Value, ok)
+			v, ok = ia.Predict(nil, h.Item)
+			mIA.Add(v, h.Value, ok)
+			v, ok = ru.Predict(src, h.Item)
+			mRU.Add(v, h.Value, ok)
+		}
+	}
+	if mX.Count() < 50 {
+		t.Fatalf("too few test predictions: %d", mX.Count())
+	}
+	t.Logf("NX-Map-ub MAE=%.4f  ItemAverage=%.4f  RemoteUser=%.4f (n=%d)",
+		mX.MAE(), mIA.MAE(), mRU.MAE(), mX.Count())
+	if mX.MAE() >= mIA.MAE() {
+		t.Errorf("NX-Map MAE %.4f should beat ItemAverage %.4f", mX.MAE(), mIA.MAE())
+	}
+	if mX.MAE() >= mRU.MAE() {
+		t.Errorf("NX-Map MAE %.4f should beat RemoteUser %.4f", mX.MAE(), mRU.MAE())
+	}
+}
+
+func TestPrivateVariantDegradesGracefully(t *testing.T) {
+	az := trace(t)
+	sp := splitTrace(t, az, 4)
+
+	mkCfg := func(private bool) Config {
+		cfg := DefaultConfig()
+		cfg.K = 12
+		cfg.Private = private
+		cfg.EpsilonAE = 0.3
+		cfg.EpsilonRec = 0.8
+		return cfg
+	}
+	nx := Fit(sp.Train, az.Movies, az.Books, mkCfg(false))
+	x := Fit(sp.Train, az.Movies, az.Books, mkCfg(true))
+
+	var mNX, mX eval.Metrics
+	for _, tu := range sp.Test {
+		src := eval.SourceProfile(sp.Train, tu.User, az.Movies)
+		egoNX := nx.AlterEgoFromProfile(src, nil)
+		egoX := x.AlterEgoFromProfile(src, nil)
+		for _, h := range tu.Hidden {
+			v, ok := nx.Predict(egoNX, h.Item, eval.MaxTime(egoNX))
+			mNX.Add(v, h.Value, ok)
+			v, ok = x.Predict(egoX, h.Item, eval.MaxTime(egoX))
+			mX.Add(v, h.Value, ok)
+		}
+	}
+	t.Logf("NX-Map MAE=%.4f  X-Map MAE=%.4f", mNX.MAE(), mX.MAE())
+	// Privacy costs accuracy, but the private MAE must stay bounded:
+	// within 40% of non-private (the paper reports ~15-20%).
+	if mX.MAE() < mNX.MAE()-0.02 {
+		t.Errorf("private MAE %.4f suspiciously below non-private %.4f", mX.MAE(), mNX.MAE())
+	}
+	if mX.MAE() > 1.4*mNX.MAE() {
+		t.Errorf("private MAE %.4f degrades too much vs %.4f", mX.MAE(), mNX.MAE())
+	}
+	if x.PrivacySpent() == 0 {
+		t.Error("private pipeline should have spent budget")
+	}
+	if nx.PrivacySpent() != 0 {
+		t.Error("non-private pipeline should not spend budget")
+	}
+}
+
+func TestPredictForUserAndRecommend(t *testing.T) {
+	az := trace(t)
+	sp := splitTrace(t, az, 5)
+	cfg := DefaultConfig()
+	cfg.K = 10
+	p := Fit(sp.Train, az.Movies, az.Books, cfg)
+	tu := sp.Test[0]
+
+	if v, _ := p.PredictForUser(tu.User, tu.Hidden[0].Item); v < 1 || v > 5 {
+		t.Fatalf("prediction %v out of range", v)
+	}
+	recs := p.RecommendForUser(tu.User, 10)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	ego := p.AlterEgo(tu.User)
+	for _, r := range recs {
+		if az.DS.Domain(r.ID) != az.Books {
+			t.Fatalf("recommended item %d outside the target domain", r.ID)
+		}
+		if _, seen := ratings.ProfileRating(ego, r.ID); seen {
+			t.Fatalf("recommended an item already in the AlterEgo: %d", r.ID)
+		}
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].Score < recs[i].Score {
+			t.Fatal("recommendations not sorted")
+		}
+	}
+}
+
+func TestUserBasedAndItemBasedBothWork(t *testing.T) {
+	az := trace(t)
+	sp := splitTrace(t, az, 6)
+	for _, mode := range []Mode{ItemBasedMode, UserBasedMode} {
+		cfg := DefaultConfig()
+		cfg.K = 10
+		cfg.Mode = mode
+		p := Fit(sp.Train, az.Movies, az.Books, cfg)
+		tu := sp.Test[0]
+		ego := p.AlterEgo(tu.User)
+		var m eval.Metrics
+		for _, h := range tu.Hidden {
+			v, ok := p.Predict(ego, h.Item, eval.MaxTime(ego))
+			m.Add(v, h.Value, ok)
+		}
+		if m.Count() == 0 || math.IsNaN(m.MAE()) {
+			t.Fatalf("mode %v produced no predictions", mode)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ItemBasedMode.String() == "" || UserBasedMode.String() == "" || Mode(9).String() == "" {
+		t.Fatal("empty mode strings")
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.K != 50 || cfg.Private {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+}

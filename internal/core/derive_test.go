@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"xmap/internal/eval"
+)
+
+func TestDeriveSharesStructures(t *testing.T) {
+	az := trace(t)
+	sp := splitTrace(t, az, 11)
+	cfg := DefaultConfig()
+	cfg.K = 10
+	base := Fit(sp.Train, az.Movies, az.Books, cfg)
+
+	ub := cfg
+	ub.Mode = UserBasedMode
+	d := base.Derive(ub)
+	if d.Table() != base.Table() || d.Graph() != base.Graph() || d.Pairs() != base.Pairs() {
+		t.Fatal("Derive must share fitted structures")
+	}
+	if d.Config().Mode != UserBasedMode {
+		t.Fatal("mode not applied")
+	}
+}
+
+func TestDeriveMatchesFreshFit(t *testing.T) {
+	// A derived non-private pipeline must predict identically to a fresh
+	// Fit with the same config (everything is deterministic without DP).
+	az := trace(t)
+	sp := splitTrace(t, az, 12)
+	cfg := DefaultConfig()
+	cfg.K = 10
+
+	base := Fit(sp.Train, az.Movies, az.Books, cfg)
+	ubCfg := cfg
+	ubCfg.Mode = UserBasedMode
+	derived := base.Derive(ubCfg)
+	fresh := Fit(sp.Train, az.Movies, az.Books, ubCfg)
+
+	tu := sp.Test[0]
+	src := eval.SourceProfile(sp.Train, tu.User, az.Movies)
+	egoD := derived.AlterEgoFromProfile(src, nil)
+	egoF := fresh.AlterEgoFromProfile(src, nil)
+	if len(egoD) != len(egoF) {
+		t.Fatalf("AlterEgo lengths differ: %d vs %d", len(egoD), len(egoF))
+	}
+	for i := range egoD {
+		if egoD[i] != egoF[i] {
+			t.Fatalf("AlterEgo entry %d differs: %+v vs %+v", i, egoD[i], egoF[i])
+		}
+	}
+	for _, h := range tu.Hidden {
+		vd, okd := derived.Predict(egoD, h.Item, h.Time)
+		vf, okf := fresh.Predict(egoF, h.Item, h.Time)
+		if vd != vf || okd != okf {
+			t.Fatalf("prediction for %d differs: %v/%v vs %v/%v", h.Item, vd, okd, vf, okf)
+		}
+	}
+}
+
+func TestDerivePanicsOnSimilarityFields(t *testing.T) {
+	az := trace(t)
+	sp := splitTrace(t, az, 13)
+	cfg := DefaultConfig()
+	cfg.K = 10
+	base := Fit(sp.Train, az.Movies, az.Books, cfg)
+	for name, mutate := range map[string]func(*Config){
+		"K":             func(c *Config) { c.K = 99 },
+		"TopKExtend":    func(c *Config) { c.TopKExtend = 7 },
+		"MinCoRaters":   func(c *Config) { c.MinCoRaters = 3 },
+		"SignificanceN": func(c *Config) { c.SignificanceN = 99 },
+	} {
+		bad := base.Config()
+		mutate(&bad)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Derive with changed %s should panic", name)
+				}
+			}()
+			base.Derive(bad)
+		}()
+	}
+}
+
+func TestAlterEgoAppendsExistingTargetRatings(t *testing.T) {
+	az := trace(t)
+	sp := eval.SplitStraddlers(az.DS, az.Movies, az.Books, eval.SplitOptions{
+		TestFraction: 0.25, MinProfile: 5, AuxiliarySize: 3,
+		Rng: rand.New(rand.NewSource(14)),
+	})
+	cfg := DefaultConfig()
+	cfg.K = 10
+	p := Fit(sp.Train, az.Movies, az.Books, cfg)
+	tu := sp.Test[0]
+	src := eval.SourceProfile(sp.Train, tu.User, az.Movies)
+	ego := p.AlterEgoFromProfile(src, tu.Auxiliary)
+	// Every auxiliary (real) rating must appear unchanged in the AlterEgo.
+	for _, aux := range tu.Auxiliary {
+		found := false
+		for _, e := range ego {
+			if e.Item == aux.Item {
+				found = true
+				if e.Value != aux.Value {
+					t.Fatalf("real target rating overwritten: %v vs %v", e.Value, aux.Value)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("auxiliary item %d missing from AlterEgo", aux.Item)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"xmap/internal/baselines"
+	"xmap/internal/cf"
+	"xmap/internal/dataset"
+	"xmap/internal/eval"
+	"xmap/internal/ratings"
+	"xmap/internal/sim"
+)
+
+func cfNewItemBased(pairs *sim.Pairs, dom ratings.DomainID, k int, shrink float64) *cf.ItemBased {
+	return cf.NewItemBased(pairs, dom, cf.ItemBasedOptions{K: k, Shrinkage: shrink})
+}
+
+func cfNewUserBased(ds *ratings.Dataset, dom ratings.DomainID, k int) *cf.UserBased {
+	return cf.NewUserBased(ds, dom, k)
+}
+
+// TestTuningSweep is a diagnostic harness (runs only with -run Tuning -v):
+// it prints MAE for X-Map variants and baselines across generator knobs so
+// regressions in the synthetic-signal chain are easy to localize.
+func TestTuningSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning sweep is a diagnostic, skipped in -short")
+	}
+	cfgD := dataset.DefaultAmazonConfig()
+	cfgD.MovieUsers, cfgD.BookUsers, cfgD.OverlapUsers = 240, 260, 70
+	cfgD.Movies, cfgD.Books = 120, 150
+	cfgD.RatingsPerUser = 30
+	az := dataset.AmazonLike(cfgD)
+
+	// Sanity: within-domain item-based CF on real profiles must beat
+	// ItemAverage, otherwise the CF stack (not the AlterEgo mapping) is
+	// the bottleneck.
+	{
+		train, hidden := eval.HoldOut(az.DS, 0.25, rand.New(rand.NewSource(5)))
+		pairs := Fit(train, az.Movies, az.Books, DefaultConfig()).Pairs()
+		for _, shrink := range []float64{0, 3, 10} {
+			ib := cfNewItemBased(pairs, az.Books, 50, shrink)
+			ub := cfNewUserBased(train, az.Books, 50)
+			ia := baselines.NewItemAverage(train)
+			var mIB, mUB, mIA eval.Metrics
+			for _, h := range hidden {
+				if train.Domain(h.Item) != az.Books {
+					continue
+				}
+				prof := eval.SourceProfile(train, h.User, az.Books)
+				v, ok := ib.Predict(prof, h.Item, eval.MaxTime(prof))
+				mIB.Add(v, h.Value, ok)
+				v, ok = ub.PredictOne(prof, h.Item)
+				mUB.Add(v, h.Value, ok)
+				v, ok = ia.Predict(nil, h.Item)
+				mIA.Add(v, h.Value, ok)
+			}
+			t.Logf("within-domain shrink=%v: item-based=%.4f(fb %.0f%%) user-based=%.4f ItemAvg=%.4f n=%d",
+				shrink, mIB.MAE(), 100*mIB.FallbackRate(), mUB.MAE(), mIA.MAE(), mIB.Count())
+		}
+	}
+	sp := eval.SplitStraddlers(az.DS, az.Movies, az.Books, eval.SplitOptions{
+		TestFraction: 0.2, MinProfile: 8, Rng: rand.New(rand.NewSource(9)),
+	})
+	t.Logf("train: %s", sp.Train.ComputeStats())
+	t.Logf("test users: %d", len(sp.Test))
+
+	for _, variant := range []struct {
+		k, sigN, repl int
+	}{
+		{30, 20, 5}, {50, 20, 5}, {50, 20, 8}, {50, 30, 8},
+	} {
+		k := variant.k
+		cfg := DefaultConfig()
+		cfg.K = k
+		cfg.SignificanceN = variant.sigN
+		cfg.Replacements = variant.repl
+		cfg.Mode = UserBasedMode
+		pUB := Fit(sp.Train, az.Movies, az.Books, cfg)
+		cfg.Mode = ItemBasedMode
+		pIB := Fit(sp.Train, az.Movies, az.Books, cfg)
+		cfg.RecenterAlterEgo = true
+		pIBr := Fit(sp.Train, az.Movies, az.Books, cfg)
+		cfg.Mode = UserBasedMode
+		pUBr := Fit(sp.Train, az.Movies, az.Books, cfg)
+		cfg.RecenterAlterEgo = false
+
+		ia := baselines.NewItemAverage(sp.Train)
+		ru := baselines.NewRemoteUser(sp.Train, az.Movies, az.Books, k)
+		lk := baselines.NewLinkedKNN(pIB.Pairs(), k)
+
+		var mUB, mUBr, mIB, mIBr, mIA, mRU, mLK eval.Metrics
+		for _, tu := range sp.Test {
+			src := eval.SourceProfile(sp.Train, tu.User, az.Movies)
+			ego := pUB.AlterEgoFromProfile(src, nil)
+			egoR := pUBr.AlterEgoFromProfile(src, nil)
+			now := eval.MaxTime(ego)
+			for _, h := range tu.Hidden {
+				v, ok := pUB.Predict(ego, h.Item, now)
+				mUB.Add(v, h.Value, ok)
+				v, ok = pUBr.Predict(egoR, h.Item, now)
+				mUBr.Add(v, h.Value, ok)
+				v, ok = pIB.Predict(ego, h.Item, now)
+				mIB.Add(v, h.Value, ok)
+				v, ok = pIBr.Predict(egoR, h.Item, now)
+				mIBr.Add(v, h.Value, ok)
+				v, ok = ia.Predict(nil, h.Item)
+				mIA.Add(v, h.Value, ok)
+				v, ok = ru.Predict(src, h.Item)
+				mRU.Add(v, h.Value, ok)
+				v, ok = lk.Predict(src, h.Item)
+				mLK.Add(v, h.Value, ok)
+			}
+		}
+		t.Logf("k=%d sigN=%d repl=%d  NX-ub=%.4f  NX-ub-rc=%.4f  NX-ib=%.4f  NX-ib-rc=%.4f  ItemAvg=%.4f  RemoteUser=%.4f  LinkedKNN=%.4f",
+			k, variant.sigN, variant.repl, mUB.MAE(), mUBr.MAE(), mIB.MAE(), mIBr.MAE(),
+			mIA.MAE(), mRU.MAE(), mLK.MAE())
+	}
+}

@@ -1,0 +1,313 @@
+// Package dataset provides the synthetic workload generators that stand in
+// for the paper's proprietary traces (Amazon movies/books and MovieLens
+// ML-20M), plus CSV import/export.
+//
+// Both generators share a latent-factor model chosen so that the phenomena
+// the paper measures are present by construction (see DESIGN.md,
+// "Substitutions"):
+//
+//   - every user has one taste vector reused across domains — straddlers
+//     therefore carry genuine cross-domain signal, which is the premise of
+//     meta-path transfer;
+//   - items draw their factor vectors from genre archetypes, and archetypes
+//     are paired across domains (the sci-fi movie archetype correlates with
+//     the sci-fi book archetype);
+//   - tastes drift over logical time, giving recent ratings more predictive
+//     power (the Figure 5 temporal effect);
+//   - item popularity is Zipf-distributed, reproducing the skewed co-rating
+//     counts of real e-commerce traces.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"xmap/internal/ratings"
+)
+
+// AmazonConfig sizes the two-domain (movies + books) generator.
+// The zero value is not useful; start from DefaultAmazonConfig.
+type AmazonConfig struct {
+	Seed int64
+
+	// Population sizes. OverlapUsers rate in both domains (straddlers);
+	// MovieUsers and BookUsers are exclusive to one domain.
+	MovieUsers, BookUsers, OverlapUsers int
+	Movies, Books                       int
+
+	// RatingsPerUser is the mean profile size per domain a user rates in.
+	RatingsPerUser int
+
+	// Factors is the latent dimension.
+	Factors int
+	// Genres is the number of archetypes per domain.
+	Genres int
+	// Noise is the rating noise σ.
+	Noise float64
+	// TasteStrength scales user taste vectors: the personalization
+	// signal-to-noise knob (higher = more exploitable per-user signal).
+	TasteStrength float64
+	// Drift scales taste drift over the time horizon (0 = static tastes).
+	Drift float64
+	// CrossCorrelation ∈ [0,1] couples the paired archetypes across
+	// domains (1 = identical archetypes).
+	CrossCorrelation float64
+	// TimeHorizon is the number of logical timesteps.
+	TimeHorizon int64
+}
+
+// DefaultAmazonConfig returns the scaled-down default used by tests and
+// examples (experiments scale it up via internal/experiments.Scale).
+func DefaultAmazonConfig() AmazonConfig {
+	return AmazonConfig{
+		Seed:             1,
+		MovieUsers:       600,
+		BookUsers:        700,
+		OverlapUsers:     400,
+		Movies:           320,
+		Books:            420,
+		RatingsPerUser:   22,
+		Factors:          8,
+		Genres:           10,
+		Noise:            0.5,
+		TasteStrength:    2.2,
+		Drift:            0.8,
+		CrossCorrelation: 0.85,
+		TimeHorizon:      1000,
+	}
+}
+
+// Amazon bundles the generated dataset with its domain handles.
+type Amazon struct {
+	DS     *ratings.Dataset
+	Movies ratings.DomainID
+	Books  ratings.DomainID
+}
+
+// AmazonLike generates a two-domain trace under the config.
+func AmazonLike(cfg AmazonConfig) Amazon {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := ratings.NewBuilder()
+	mv := b.Domain("movies")
+	bk := b.Domain("books")
+
+	model := newLatentModel(rng, cfg)
+
+	// Items: vectors drawn around their genre archetype, Zipf popularity.
+	movieItems := model.makeItems(b, mv, "m", cfg.Movies, 0)
+	bookItems := model.makeItems(b, bk, "b", cfg.Books, 1)
+
+	// Users: overlap first so straddler IDs are stable and dense.
+	for u := 0; u < cfg.OverlapUsers; u++ {
+		uid := b.User(fmt.Sprintf("both-%04d", u))
+		usr := model.makeUser()
+		draws := model.draw(usr, movieItems, cfg.RatingsPerUser)
+		draws = append(draws, model.draw(usr, bookItems, cfg.RatingsPerUser)...)
+		model.emit(b, uid, usr, draws)
+	}
+	for u := 0; u < cfg.MovieUsers; u++ {
+		uid := b.User(fmt.Sprintf("movie-%04d", u))
+		usr := model.makeUser()
+		model.emit(b, uid, usr, model.draw(usr, movieItems, cfg.RatingsPerUser))
+	}
+	for u := 0; u < cfg.BookUsers; u++ {
+		uid := b.User(fmt.Sprintf("book-%04d", u))
+		usr := model.makeUser()
+		model.emit(b, uid, usr, model.draw(usr, bookItems, cfg.RatingsPerUser))
+	}
+	return Amazon{DS: b.Build(), Movies: mv, Books: bk}
+}
+
+// latentModel holds the generative state shared by both generators.
+type latentModel struct {
+	rng        *rand.Rand
+	cfg        AmazonConfig
+	archetypes [2][][]float64 // [domainSlot][genre][factor]
+	globalMean float64
+}
+
+// latentItem is one item's generative parameters.
+type latentItem struct {
+	id    ratings.ItemID
+	vec   []float64
+	bias  float64
+	genre int
+	// popWeight is the Zipf sampling weight.
+	popWeight float64
+}
+
+// latentUser is one user's generative parameters.
+type latentUser struct {
+	taste []float64
+	drift []float64
+	bias  float64
+}
+
+func newLatentModel(rng *rand.Rand, cfg AmazonConfig) *latentModel {
+	m := &latentModel{rng: rng, cfg: cfg, globalMean: 3.5}
+	// Domain-slot 0 archetypes are free; slot 1 archetypes are correlated
+	// copies (CrossCorrelation couples them).
+	m.archetypes[0] = make([][]float64, cfg.Genres)
+	m.archetypes[1] = make([][]float64, cfg.Genres)
+	for g := 0; g < cfg.Genres; g++ {
+		a := randUnit(rng, cfg.Factors)
+		m.archetypes[0][g] = a
+		co := make([]float64, cfg.Factors)
+		fresh := randUnit(rng, cfg.Factors)
+		for f := range co {
+			co[f] = cfg.CrossCorrelation*a[f] + (1-cfg.CrossCorrelation)*fresh[f]
+		}
+		normalize(co)
+		m.archetypes[1][g] = co
+	}
+	return m
+}
+
+func (m *latentModel) makeItems(b *ratings.Builder, dom ratings.DomainID, prefix string, n, slot int) []latentItem {
+	items := make([]latentItem, n)
+	for i := 0; i < n; i++ {
+		genre := m.rng.Intn(m.cfg.Genres)
+		vec := make([]float64, m.cfg.Factors)
+		jitter := randUnit(m.rng, m.cfg.Factors)
+		for f := range vec {
+			vec[f] = 0.8*m.archetypes[slot][genre][f] + 0.45*jitter[f]
+		}
+		normalize(vec)
+		items[i] = latentItem{
+			id:        b.Item(fmt.Sprintf("%s-%05d", prefix, i), dom),
+			vec:       vec,
+			bias:      m.rng.NormFloat64() * 0.3,
+			genre:     genre,
+			popWeight: 1 / math.Pow(float64(i+2), 0.8), // Zipf-ish
+		}
+	}
+	return items
+}
+
+func (m *latentModel) makeUser() latentUser {
+	t := randUnit(m.rng, m.cfg.Factors)
+	strength := m.cfg.TasteStrength
+	if strength == 0 {
+		strength = 1.6
+	}
+	for f := range t {
+		t[f] *= strength
+	}
+	return latentUser{
+		taste: t,
+		drift: randUnit(m.rng, m.cfg.Factors),
+		bias:  m.rng.NormFloat64() * 0.3,
+	}
+}
+
+// draw is one sampled rating event: the item and its wall-clock moment.
+// Wall-clock drives taste drift; the *emitted* timestep is the user's
+// event index (the paper's "logical time", footnote 7), which is the unit
+// Eq. 7's α is calibrated in.
+type draw struct {
+	item latentItem
+	wall float64 // ∈ [0, 1), fraction of the time horizon
+}
+
+// draw samples ~count distinct items for the user with Zipf popularity.
+func (m *latentModel) draw(usr latentUser, items []latentItem, count int) []draw {
+	if count <= 0 || len(items) == 0 {
+		return nil
+	}
+	_ = usr
+	// Jitter the profile size ±40%.
+	n := count/2 + m.rng.Intn(count+1)
+	if n < 3 {
+		n = 3
+	}
+	if n > len(items) {
+		n = len(items)
+	}
+	seen := make(map[int]bool, n)
+	var totalW float64
+	for _, it := range items {
+		totalW += it.popWeight
+	}
+	out := make([]draw, 0, n)
+	for len(seen) < n {
+		// Popularity-weighted draw.
+		r := m.rng.Float64() * totalW
+		idx := len(items) - 1
+		var cum float64
+		for k := range items {
+			cum += items[k].popWeight
+			if r <= cum {
+				idx = k
+				break
+			}
+		}
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		out = append(out, draw{item: items[idx], wall: m.rng.Float64()})
+	}
+	return out
+}
+
+// emit sorts a user's draws by wall-clock, rates each under the drifting
+// taste, and records them with the user's event index as the timestep.
+func (m *latentModel) emit(b *ratings.Builder, uid ratings.UserID, usr latentUser, draws []draw) {
+	sortDraws(draws)
+	for idx, d := range draws {
+		b.Add(uid, d.item.id, m.rate(usr, d.item, d.wall), int64(idx))
+	}
+}
+
+func sortDraws(ds []draw) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j].wall < ds[j-1].wall; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+// rate draws one rating at wall-clock fraction w under the latent model.
+func (m *latentModel) rate(usr latentUser, it latentItem, w float64) float64 {
+	// Drifting taste: z(w) = z + drift·w·direction.
+	var dot float64
+	for f := range usr.taste {
+		z := usr.taste[f] + m.cfg.Drift*w*usr.drift[f]
+		dot += z * it.vec[f]
+	}
+	raw := m.globalMean + usr.bias + it.bias + dot + m.rng.NormFloat64()*m.cfg.Noise
+	r := math.Round(raw)
+	if r < 1 {
+		r = 1
+	}
+	if r > 5 {
+		r = 5
+	}
+	return r
+}
+
+// randUnit draws a uniformly random unit vector.
+func randUnit(rng *rand.Rand, d int) []float64 {
+	v := make([]float64, d)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	normalize(v)
+	return v
+}
+
+func normalize(v []float64) {
+	var n float64
+	for _, x := range v {
+		n += x * x
+	}
+	n = math.Sqrt(n)
+	if n == 0 {
+		v[0] = 1
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}

@@ -1,0 +1,82 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"xmap/internal/ratings"
+)
+
+// csvHeader is the column layout used by SaveCSV/LoadCSV and the
+// xmap-datagen / xmap-server tools.
+var csvHeader = []string{"user", "item", "domain", "rating", "time"}
+
+// SaveCSV writes a dataset as CSV with header user,item,domain,rating,time.
+func SaveCSV(w io.Writer, ds *ratings.Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	var werr error
+	ds.ForEachRating(func(r ratings.Rating) {
+		if werr != nil {
+			return
+		}
+		rec := []string{
+			ds.UserName(r.User),
+			ds.ItemName(r.Item),
+			ds.DomainName(ds.Domain(r.Item)),
+			strconv.FormatFloat(r.Value, 'g', -1, 64),
+			strconv.FormatInt(r.Time, 10),
+		}
+		werr = cw.Write(rec)
+	})
+	if werr != nil {
+		return fmt.Errorf("dataset: write record: %w", werr)
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadCSV reads a dataset written by SaveCSV (or any CSV with the same
+// header). Unknown headers are rejected loudly rather than guessed.
+func LoadCSV(r io.Reader) (*ratings.Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	head, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if head[i] != want {
+			return nil, fmt.Errorf("dataset: unexpected header %q at column %d (want %q)", head[i], i, want)
+		}
+	}
+	b := ratings.NewBuilder()
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		dom := b.Domain(rec[2])
+		u := b.User(rec[0])
+		it := b.Item(rec[1], dom)
+		val, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad rating %q: %w", line, rec[3], err)
+		}
+		t, err := strconv.ParseInt(rec[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad time %q: %w", line, rec[4], err)
+		}
+		b.Add(u, it, val, t)
+	}
+	return b.Build(), nil
+}

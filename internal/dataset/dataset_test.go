@@ -1,0 +1,276 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"xmap/internal/ratings"
+)
+
+func smallAmazon() AmazonConfig {
+	cfg := DefaultAmazonConfig()
+	cfg.MovieUsers, cfg.BookUsers, cfg.OverlapUsers = 60, 70, 40
+	cfg.Movies, cfg.Books = 50, 60
+	cfg.RatingsPerUser = 12
+	return cfg
+}
+
+func TestAmazonLikeShape(t *testing.T) {
+	cfg := smallAmazon()
+	az := AmazonLike(cfg)
+	ds := az.DS
+	if got, want := ds.NumUsers(), 170; got != want {
+		t.Fatalf("users = %d, want %d", got, want)
+	}
+	if got, want := ds.NumItems(), 110; got != want {
+		t.Fatalf("items = %d, want %d", got, want)
+	}
+	if got := len(ds.ItemsInDomain(az.Movies)); got != 50 {
+		t.Fatalf("movies = %d, want 50", got)
+	}
+	if got := len(ds.ItemsInDomain(az.Books)); got != 60 {
+		t.Fatalf("books = %d, want 60", got)
+	}
+	if ds.NumRatings() == 0 {
+		t.Fatal("no ratings generated")
+	}
+	// Ratings are integral and in [1, 5].
+	ds.ForEachRating(func(r ratings.Rating) {
+		if r.Value < 1 || r.Value > 5 || r.Value != math.Trunc(r.Value) {
+			t.Fatalf("bad rating %v", r.Value)
+		}
+		if r.Time < 0 || r.Time > cfg.TimeHorizon {
+			t.Fatalf("bad time %v", r.Time)
+		}
+	})
+}
+
+func TestAmazonStraddlersMatchOverlap(t *testing.T) {
+	az := AmazonLike(smallAmazon())
+	st := az.DS.Straddlers(az.Movies, az.Books)
+	if got := len(st); got != 40 {
+		t.Fatalf("straddlers = %d, want exactly the overlap 40", got)
+	}
+	// Exclusive users actually stay exclusive.
+	for u := 0; u < az.DS.NumUsers(); u++ {
+		name := az.DS.UserName(ratings.UserID(u))
+		inM := az.DS.UserRatingsInDomain(ratings.UserID(u), az.Movies) > 0
+		inB := az.DS.UserRatingsInDomain(ratings.UserID(u), az.Books) > 0
+		switch {
+		case strings.HasPrefix(name, "movie-") && inB:
+			t.Fatalf("movie-only user %s has book ratings", name)
+		case strings.HasPrefix(name, "book-") && inM:
+			t.Fatalf("book-only user %s has movie ratings", name)
+		case strings.HasPrefix(name, "both-") && (!inM || !inB):
+			t.Fatalf("overlap user %s missing a domain", name)
+		}
+	}
+}
+
+func TestAmazonDeterministicUnderSeed(t *testing.T) {
+	a := AmazonLike(smallAmazon())
+	b := AmazonLike(smallAmazon())
+	if a.DS.NumRatings() != b.DS.NumRatings() {
+		t.Fatal("same seed produced different rating counts")
+	}
+	diff := false
+	a.DS.ForEachRating(func(r ratings.Rating) {
+		v, ok := b.DS.Rating(r.User, r.Item)
+		if !ok || v != r.Value {
+			diff = true
+		}
+	})
+	if diff {
+		t.Fatal("same seed produced different ratings")
+	}
+	cfg := smallAmazon()
+	cfg.Seed = 999
+	c := AmazonLike(cfg)
+	same := c.DS.NumRatings() == a.DS.NumRatings()
+	if same {
+		// Counts can collide; compare contents.
+		identical := true
+		a.DS.ForEachRating(func(r ratings.Rating) {
+			v, ok := c.DS.Rating(r.User, r.Item)
+			if !ok || v != r.Value {
+				identical = false
+			}
+		})
+		if identical {
+			t.Fatal("different seeds produced identical datasets")
+		}
+	}
+}
+
+// Cross-domain taste transfer is the premise of the whole paper: a user's
+// movie ratings must predict their book ratings better than chance. We
+// check that the latent model delivers it: for straddlers, the correlation
+// between their mean-centered ratings on paired-genre items is positive.
+func TestAmazonCrossDomainSignalExists(t *testing.T) {
+	cfg := smallAmazon()
+	cfg.OverlapUsers = 80
+	az := AmazonLike(cfg)
+	ds := az.DS
+	// Aggregate: users whose movie mean is high should have high book mean
+	// relative to the population (coarse but robust signal check).
+	var xs, ys []float64
+	for _, u := range ds.Straddlers(az.Movies, az.Books) {
+		var mSum, bSum float64
+		var mN, bN int
+		for _, e := range ds.Items(u) {
+			if ds.Domain(e.Item) == az.Movies {
+				mSum += e.Value - ds.ItemMean(e.Item)
+				mN++
+			} else {
+				bSum += e.Value - ds.ItemMean(e.Item)
+				bN++
+			}
+		}
+		if mN > 0 && bN > 0 {
+			xs = append(xs, mSum/float64(mN))
+			ys = append(ys, bSum/float64(bN))
+		}
+	}
+	if len(xs) < 20 {
+		t.Fatalf("too few straddlers with both profiles: %d", len(xs))
+	}
+	if corr := pearson(xs, ys); corr <= 0.1 {
+		t.Fatalf("cross-domain correlation = %v, want > 0.1 (no transferable signal)", corr)
+	}
+}
+
+func pearson(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var num, dx, dy float64
+	for i := range x {
+		num += (x[i] - mx) * (y[i] - my)
+		dx += (x[i] - mx) * (x[i] - mx)
+		dy += (y[i] - my) * (y[i] - my)
+	}
+	if dx == 0 || dy == 0 {
+		return 0
+	}
+	return num / math.Sqrt(dx*dy)
+}
+
+func TestMovieLensLikeShape(t *testing.T) {
+	cfg := DefaultMovieLensConfig()
+	cfg.Users, cfg.Movies, cfg.RatingsPerUser = 80, 60, 15
+	ml := MovieLensLike(cfg)
+	if ml.DS.NumItems() != 60 {
+		t.Fatalf("items = %d", ml.DS.NumItems())
+	}
+	if len(ml.Genres) != 60 {
+		t.Fatalf("genre rows = %d", len(ml.Genres))
+	}
+	for i, gs := range ml.Genres {
+		if len(gs) == 0 || len(gs) > 3 {
+			t.Fatalf("movie %d has %d genres", i, len(gs))
+		}
+	}
+	if len(ml.GenreNames) != 19 {
+		t.Fatalf("genre names = %d, want 19 (ML-20M)", len(ml.GenreNames))
+	}
+}
+
+func TestSplitByGenresIsTable2Shaped(t *testing.T) {
+	cfg := DefaultMovieLensConfig()
+	cfg.Users, cfg.Movies, cfg.RatingsPerUser = 120, 150, 15
+	ml := MovieLensLike(cfg)
+	sp := SplitByGenres(ml)
+
+	// Rows sorted descending and alternately assigned.
+	for i := 1; i < len(sp.Rows); i++ {
+		if sp.Rows[i-1].Movies < sp.Rows[i].Movies {
+			t.Fatal("rows not sorted by movie count")
+		}
+	}
+	for i, r := range sp.Rows {
+		if want := 1 + i%2; r.Domain != want {
+			t.Fatalf("row %d (%s): domain %d, want %d", i, r.Genre, r.Domain, want)
+		}
+	}
+	// The split dataset partitions all movies and keeps every rating.
+	if sp.D1Movies+sp.D2Movies != ml.DS.NumItems() {
+		t.Fatal("movies not partitioned")
+	}
+	if sp.DS.NumRatings() != ml.DS.NumRatings() {
+		t.Fatal("ratings lost in split")
+	}
+	if sp.D1Users == 0 || sp.D2Users == 0 {
+		t.Fatal("user counts empty")
+	}
+	// Both sub-domains should have meaningful straddler overlap (users
+	// rate across genres in ML).
+	if st := len(sp.DS.Straddlers(sp.D1, sp.D2)); st < cfg.Users/4 {
+		t.Fatalf("straddlers = %d, want most users to cross sub-domains", st)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	az := AmazonLike(smallAmazon())
+	var buf bytes.Buffer
+	if err := SaveCSV(&buf, az.DS); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRatings() != az.DS.NumRatings() {
+		t.Fatalf("round trip ratings = %d, want %d", back.NumRatings(), az.DS.NumRatings())
+	}
+	if back.NumUsers() != az.DS.NumUsers() || back.NumItems() != az.DS.NumItems() {
+		t.Fatal("round trip universe mismatch")
+	}
+	// IDs are renumbered in file order on load, so compare by external
+	// names: the multiset of (user, item, value, time, domain) rows must
+	// be identical.
+	key := func(ds *ratings.Dataset, r ratings.Rating) string {
+		return ds.UserName(r.User) + "|" + ds.ItemName(r.Item) + "|" +
+			ds.DomainName(ds.Domain(r.Item))
+	}
+	orig := make(map[string][2]float64)
+	az.DS.ForEachRating(func(r ratings.Rating) {
+		orig[key(az.DS, r)] = [2]float64{r.Value, float64(r.Time)}
+	})
+	ok := true
+	back.ForEachRating(func(r ratings.Rating) {
+		want, found := orig[key(back, r)]
+		if !found || want[0] != r.Value || want[1] != float64(r.Time) {
+			ok = false
+		}
+	})
+	if !ok {
+		t.Fatal("round trip values mismatch")
+	}
+}
+
+func TestLoadCSVRejectsBadHeader(t *testing.T) {
+	_, err := LoadCSV(strings.NewReader("a,b,c,d,e\n"))
+	if err == nil {
+		t.Fatal("bad header accepted")
+	}
+}
+
+func TestLoadCSVRejectsBadRating(t *testing.T) {
+	_, err := LoadCSV(strings.NewReader("user,item,domain,rating,time\nu,i,d,notanumber,0\n"))
+	if err == nil {
+		t.Fatal("bad rating accepted")
+	}
+}
+
+func TestLoadCSVRejectsBadTime(t *testing.T) {
+	_, err := LoadCSV(strings.NewReader("user,item,domain,rating,time\nu,i,d,4,xx\n"))
+	if err == nil {
+		t.Fatal("bad time accepted")
+	}
+}

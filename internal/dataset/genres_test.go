@@ -1,0 +1,84 @@
+package dataset
+
+import (
+	"testing"
+
+	"xmap/internal/ratings"
+)
+
+// The genre popularity profile must follow ML-20M's shape: Drama is the
+// most common genre, Film-Noir and Other among the rarest (Table 2's
+// source distribution).
+func TestGenreDistributionShape(t *testing.T) {
+	cfg := DefaultMovieLensConfig()
+	cfg.Users, cfg.Movies, cfg.RatingsPerUser = 50, 800, 10
+	ml := MovieLensLike(cfg)
+
+	counts := make(map[string]int)
+	for _, gs := range ml.Genres {
+		for _, g := range gs {
+			counts[g]++
+		}
+	}
+	if counts["Drama"] == 0 {
+		t.Fatal("no Drama movies generated")
+	}
+	for _, rare := range []string{"Film-Noir", "Other", "Western"} {
+		if counts[rare] > counts["Drama"] {
+			t.Fatalf("%s (%d) should be rarer than Drama (%d)", rare, counts[rare], counts["Drama"])
+		}
+	}
+	// Comedy is the second pillar of the distribution.
+	if counts["Comedy"] < counts["Drama"]/8 {
+		t.Fatalf("Comedy (%d) implausibly rare vs Drama (%d)", counts["Comedy"], counts["Drama"])
+	}
+}
+
+// Deterministic generation under a fixed seed.
+func TestMovieLensDeterministic(t *testing.T) {
+	cfg := DefaultMovieLensConfig()
+	cfg.Users, cfg.Movies, cfg.RatingsPerUser = 60, 50, 12
+	a := MovieLensLike(cfg)
+	b := MovieLensLike(cfg)
+	if a.DS.NumRatings() != b.DS.NumRatings() {
+		t.Fatal("same seed, different rating counts")
+	}
+	for i := range a.Genres {
+		if len(a.Genres[i]) != len(b.Genres[i]) {
+			t.Fatal("same seed, different genre assignments")
+		}
+		for k := range a.Genres[i] {
+			if a.Genres[i][k] != b.Genres[i][k] {
+				t.Fatal("same seed, different genres")
+			}
+		}
+	}
+}
+
+// Timesteps are per-user event indexes: each user's profile times must be
+// exactly 0..n-1 across both domains combined.
+func TestTimestepsArePerUserEventIndexes(t *testing.T) {
+	cfg := DefaultAmazonConfig()
+	cfg.MovieUsers, cfg.BookUsers, cfg.OverlapUsers = 20, 20, 15
+	cfg.Movies, cfg.Books = 30, 30
+	cfg.RatingsPerUser = 8
+	az := AmazonLike(cfg)
+	ds := az.DS
+	for u := 0; u < ds.NumUsers(); u++ {
+		prof := ds.Items(ratings.UserID(u))
+		seen := make(map[int64]bool, len(prof))
+		var maxT int64 = -1
+		for _, e := range prof {
+			if seen[e.Time] {
+				t.Fatalf("user %d has duplicate timestep %d", u, e.Time)
+			}
+			seen[e.Time] = true
+			if e.Time > maxT {
+				maxT = e.Time
+			}
+		}
+		if len(prof) > 0 && maxT != int64(len(prof)-1) {
+			t.Fatalf("user %d: max timestep %d, want %d (dense event index)", u, maxT, len(prof)-1)
+		}
+	}
+}

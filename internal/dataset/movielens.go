@@ -1,0 +1,229 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"xmap/internal/ratings"
+)
+
+// mlGenreWeights mirrors the 19-genre popularity profile of ML-20M that the
+// paper tabulates (Table 2); weights are the movie counts of the real
+// dataset, used here only as relative frequencies.
+var mlGenreWeights = []struct {
+	Name   string
+	Weight int
+}{
+	{"Drama", 13344}, {"Comedy", 8374}, {"Thriller", 4178}, {"Romance", 4127},
+	{"Action", 3520}, {"Crime", 2939}, {"Horror", 2611}, {"Documentary", 2471},
+	{"Adventure", 2329}, {"Sci-Fi", 1743}, {"Mystery", 1514}, {"Fantasy", 1412},
+	{"War", 1194}, {"Children", 1139}, {"Musical", 1036}, {"Animation", 1027},
+	{"Western", 676}, {"Film-Noir", 330}, {"Other", 196},
+}
+
+// MovieLensConfig sizes the single-domain generator.
+type MovieLensConfig struct {
+	Seed           int64
+	Users, Movies  int
+	RatingsPerUser int
+	Factors        int
+	Noise          float64
+	Drift          float64
+	TimeHorizon    int64
+}
+
+// DefaultMovieLensConfig returns the scaled-down default.
+func DefaultMovieLensConfig() MovieLensConfig {
+	return MovieLensConfig{
+		Seed:           7,
+		Users:          900,
+		Movies:         500,
+		RatingsPerUser: 30,
+		Factors:        8,
+		Noise:          0.55,
+		Drift:          0.5,
+		TimeHorizon:    1000,
+	}
+}
+
+// MovieLens bundles the generated single-domain dataset with its genre
+// labels (a movie can have several genres, as in ML-20M).
+type MovieLens struct {
+	DS         *ratings.Dataset
+	Domain     ratings.DomainID
+	Genres     [][]string // per ItemID
+	GenreNames []string
+}
+
+// MovieLensLike generates a genre-labelled single-domain trace.
+func MovieLensLike(cfg MovieLensConfig) MovieLens {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := ratings.NewBuilder()
+	dom := b.Domain("movies")
+
+	acfg := AmazonConfig{
+		Seed: cfg.Seed, Factors: cfg.Factors, Genres: len(mlGenreWeights),
+		Noise: cfg.Noise, Drift: cfg.Drift, TimeHorizon: cfg.TimeHorizon,
+		CrossCorrelation: 1,
+	}
+	model := newLatentModel(rng, acfg)
+
+	var totalW float64
+	for _, g := range mlGenreWeights {
+		totalW += float64(g.Weight)
+	}
+	sampleGenre := func() int {
+		r := rng.Float64() * totalW
+		var cum float64
+		for gi, g := range mlGenreWeights {
+			cum += float64(g.Weight)
+			if r <= cum {
+				return gi
+			}
+		}
+		return len(mlGenreWeights) - 1
+	}
+
+	items := make([]latentItem, cfg.Movies)
+	genres := make([][]string, cfg.Movies)
+	names := make([]string, len(mlGenreWeights))
+	for i, g := range mlGenreWeights {
+		names[i] = g.Name
+	}
+	for i := 0; i < cfg.Movies; i++ {
+		primary := sampleGenre()
+		gset := map[int]bool{primary: true}
+		// 1–3 genres per movie, popularity-weighted like ML-20M.
+		extra := rng.Intn(3)
+		for e := 0; e < extra; e++ {
+			gset[sampleGenre()] = true
+		}
+		var gnames []string
+		for gi := range gset {
+			gnames = append(gnames, names[gi])
+		}
+		sort.Strings(gnames)
+		genres[i] = gnames
+
+		vec := make([]float64, cfg.Factors)
+		jitter := randUnit(rng, cfg.Factors)
+		// Blend the archetypes of all assigned genres.
+		for gi := range gset {
+			for f := range vec {
+				vec[f] += model.archetypes[0][gi][f]
+			}
+		}
+		for f := range vec {
+			vec[f] = 0.8*vec[f] + 0.45*jitter[f]
+		}
+		normalize(vec)
+		items[i] = latentItem{
+			id:        b.Item(fmt.Sprintf("ml-%05d", i), dom),
+			vec:       vec,
+			bias:      rng.NormFloat64() * 0.3,
+			genre:     primary,
+			popWeight: 1 / math.Pow(float64(i+2), 0.8),
+		}
+	}
+
+	for u := 0; u < cfg.Users; u++ {
+		uid := b.User(fmt.Sprintf("mluser-%05d", u))
+		usr := model.makeUser()
+		model.emit(b, uid, usr, model.draw(usr, items, cfg.RatingsPerUser))
+	}
+	return MovieLens{DS: b.Build(), Domain: dom, Genres: genres, GenreNames: names}
+}
+
+// GenreCount is one row of the Table 2 layout.
+type GenreCount struct {
+	Genre  string
+	Movies int
+	Domain int // 1 or 2
+}
+
+// GenreSplit is the result of partitioning a MovieLens-like dataset into
+// two sub-domains by genre (paper §6.5, Table 2).
+type GenreSplit struct {
+	DS                 *ratings.Dataset // two-domain rebuild (domains "D1", "D2")
+	D1, D2             ratings.DomainID
+	Rows               []GenreCount // sorted by movie count descending
+	D1Movies, D2Movies int
+	D1Users, D2Users   int
+}
+
+// SplitByGenres partitions the dataset per the paper's procedure: sort
+// genres by movie count, allocate alternately to D1/D2, then place each
+// movie in the sub-domain sharing most of its genres (ties → D1, matching
+// "any of the two sub-domains in case of equal overlap").
+func SplitByGenres(ml MovieLens) GenreSplit {
+	// Movie count per genre (a movie counts once per assigned genre).
+	counts := make(map[string]int)
+	for _, gs := range ml.Genres {
+		for _, g := range gs {
+			counts[g]++
+		}
+	}
+	type gc struct {
+		name string
+		n    int
+	}
+	var sorted []gc
+	for _, name := range ml.GenreNames {
+		sorted = append(sorted, gc{name, counts[name]})
+	}
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].n != sorted[b].n {
+			return sorted[a].n > sorted[b].n
+		}
+		return sorted[a].name < sorted[b].name
+	})
+
+	domainOf := make(map[string]int, len(sorted))
+	var rows []GenreCount
+	for i, g := range sorted {
+		d := 1 + i%2
+		domainOf[g.name] = d
+		rows = append(rows, GenreCount{Genre: g.name, Movies: g.n, Domain: d})
+	}
+
+	// Rebuild as a two-domain dataset.
+	b := ratings.NewBuilder()
+	d1 := b.Domain("D1")
+	d2 := b.Domain("D2")
+	ds := ml.DS
+	itemDomain := make([]ratings.DomainID, ds.NumItems())
+	var d1Movies, d2Movies int
+	for i := 0; i < ds.NumItems(); i++ {
+		var c1, c2 int
+		for _, g := range ml.Genres[i] {
+			if domainOf[g] == 1 {
+				c1++
+			} else {
+				c2++
+			}
+		}
+		if c1 >= c2 {
+			itemDomain[i] = d1
+			d1Movies++
+		} else {
+			itemDomain[i] = d2
+			d2Movies++
+		}
+		b.Item(ds.ItemName(ratings.ItemID(i)), itemDomain[i])
+	}
+	for u := 0; u < ds.NumUsers(); u++ {
+		b.User(ds.UserName(ratings.UserID(u)))
+	}
+	ds.ForEachRating(func(r ratings.Rating) { b.AddRating(r) })
+	split := b.Build()
+
+	out := GenreSplit{
+		DS: split, D1: d1, D2: d2, Rows: rows,
+		D1Movies: d1Movies, D2Movies: d2Movies,
+	}
+	out.D1Users = len(split.UsersInDomain(d1))
+	out.D2Users = len(split.UsersInDomain(d2))
+	return out
+}

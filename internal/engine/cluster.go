@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+)
+
+// Cluster describes a simulated data-parallel cluster, shaped after the
+// paper's testbed (20 machines, Xeon E5520, 2× Gigabit Ethernet).
+type Cluster struct {
+	Machines        int
+	CoresPerMachine int
+	// TaskOverhead is the scheduler cost added to every task launch.
+	TaskOverhead time.Duration
+	// BarrierCost is the synchronization cost paid at the end of every
+	// stage (all-to-all wait; grows mildly with cluster size).
+	BarrierCost time.Duration
+	// NetBandwidthPerMachine is the shuffle bandwidth each machine
+	// contributes, in bytes/second.
+	NetBandwidthPerMachine float64
+}
+
+// DefaultCluster mirrors the paper's hardware at the scale knobs that
+// matter for speedup shape: 8 cores/machine, 2 Gb/s network per machine.
+func DefaultCluster(machines int) Cluster {
+	return Cluster{
+		Machines:               machines,
+		CoresPerMachine:        8,
+		TaskOverhead:           2 * time.Millisecond,
+		BarrierCost:            25 * time.Millisecond,
+		NetBandwidthPerMachine: 250e6, // 2 Gb/s
+	}
+}
+
+// Stage is one map/shuffle phase of a Job.
+type Stage struct {
+	Name string
+	// Tasks is the number of independent partitions.
+	Tasks int
+	// TaskCost is CPU time per task.
+	TaskCost time.Duration
+	// ShuffleBytes is the total data exchanged after the stage.
+	ShuffleBytes int64
+	// DriverCost is non-parallelizable coordinator work (e.g. broadcast
+	// assembly, result collection) — the Amdahl serial fraction.
+	DriverCost time.Duration
+}
+
+// Job is a sequence of stages executed with a barrier between them.
+type Job struct {
+	Name   string
+	Stages []Stage
+}
+
+// Slots returns the number of parallel executor slots.
+func (c Cluster) Slots() int {
+	s := c.Machines * c.CoresPerMachine
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// Simulate returns the modeled completion time of a job:
+//
+//	Σ_stages [ waves × (taskCost + overhead) + shuffle/(bw × machines)
+//	           + barrier × log2(machines) + driver ]
+//
+// Waves = ⌈tasks/slots⌉ captures task granularity: once tasks < slots, extra
+// machines stop helping — the source of the curve flattening in Figure 11.
+func (c Cluster) Simulate(j Job) time.Duration {
+	var total time.Duration
+	slots := c.Slots()
+	for _, st := range j.Stages {
+		if st.Tasks > 0 {
+			waves := (st.Tasks + slots - 1) / slots
+			total += time.Duration(waves) * (st.TaskCost + c.TaskOverhead)
+		}
+		if st.ShuffleBytes > 0 && c.NetBandwidthPerMachine > 0 {
+			sec := float64(st.ShuffleBytes) / (c.NetBandwidthPerMachine * float64(c.Machines))
+			total += time.Duration(sec * float64(time.Second))
+		}
+		total += time.Duration(log2ceil(c.Machines)) * c.BarrierCost
+		total += st.DriverCost
+	}
+	return total
+}
+
+// Speedup returns T_ref / T_p for the same job on `ref` and `p` machines
+// (the paper reports speedup relative to 5 machines, §6.1).
+func Speedup(job Job, base Cluster, ref, p int) float64 {
+	cRef, cP := base, base
+	cRef.Machines, cP.Machines = ref, p
+	tr := cRef.Simulate(job)
+	tp := cP.Simulate(job)
+	if tp <= 0 {
+		return 0
+	}
+	return float64(tr) / float64(tp)
+}
+
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	k, v := 0, 1
+	for v < n {
+		v <<= 1
+		k++
+	}
+	return k
+}
+
+// String renders the cluster for logs.
+func (c Cluster) String() string {
+	return fmt.Sprintf("cluster{machines=%d cores=%d}", c.Machines, c.CoresPerMachine)
+}

@@ -1,0 +1,116 @@
+// Package engine is the execution substrate that stands in for the Apache
+// Spark cluster of the paper (§5, §6.6). It has two halves:
+//
+//   - real parallelism: worker-pool helpers (ParallelFor, ParallelForEach,
+//     ExecuteTasks) used by every compute-heavy phase of the pipeline, where
+//     a "cluster of p machines" is modeled as p executor slots;
+//   - a deterministic cost model (Cluster, Job, Stage) that simulates a
+//     staged data-parallel job — task waves, per-stage barriers, shuffle
+//     volume over aggregate bandwidth, and non-parallelizable driver work —
+//     so the Figure 11 speedup experiment is reproducible on any machine.
+//
+// See DESIGN.md ("Substitutions", item 3) for why this preserves the
+// behaviour the paper measures.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WorkerCount resolves a requested worker count: values <= 0 mean
+// GOMAXPROCS.
+func WorkerCount(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ParallelFor partitions [0, n) into one contiguous block per worker and
+// runs fn(worker, lo, hi) concurrently. Static partitioning keeps each
+// worker's writes local (no false sharing across accumulator shards).
+func ParallelFor(n, workers int, fn func(worker, lo, hi int)) {
+	workers = WorkerCount(workers)
+	if workers > n {
+		workers = n
+	}
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelForEach runs fn(i) for every i in [0, n) with dynamic scheduling
+// (an atomic work counter with small grabs), which balances skewed
+// per-element costs such as power-law item profiles.
+func ParallelForEach(n, workers int, fn func(i int)) {
+	workers = WorkerCount(workers)
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	const grab = 16
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&next, grab)) - grab
+				if lo >= n {
+					return
+				}
+				hi := lo + grab
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ExecuteTasks runs the task closures on exactly `slots` executor slots and
+// returns the wall-clock duration. This is the "real" arm of the Figure 11
+// experiment: a machine count maps to a slot count.
+func ExecuteTasks(tasks []func(), slots int) time.Duration {
+	start := time.Now()
+	ParallelForEach(len(tasks), slots, func(i int) { tasks[i]() })
+	return time.Since(start)
+}

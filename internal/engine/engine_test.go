@@ -1,0 +1,176 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWorkerCount(t *testing.T) {
+	if got := WorkerCount(4); got != 4 {
+		t.Fatalf("WorkerCount(4) = %d", got)
+	}
+	if got := WorkerCount(0); got < 1 {
+		t.Fatalf("WorkerCount(0) = %d, want >= 1", got)
+	}
+	if got := WorkerCount(-1); got < 1 {
+		t.Fatalf("WorkerCount(-1) = %d, want >= 1", got)
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		for _, n := range []int{0, 1, 5, 100, 101} {
+			seen := make([]int32, n)
+			ParallelFor(n, workers, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelForEachCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		for _, n := range []int{0, 1, 15, 16, 17, 1000} {
+			seen := make([]int32, n)
+			ParallelForEach(n, workers, func(i int) { atomic.AddInt32(&seen[i], 1) })
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestExecuteTasksRunsAll(t *testing.T) {
+	var n int64
+	tasks := make([]func(), 50)
+	for i := range tasks {
+		tasks[i] = func() { atomic.AddInt64(&n, 1) }
+	}
+	d := ExecuteTasks(tasks, 4)
+	if n != 50 {
+		t.Fatalf("ran %d tasks, want 50", n)
+	}
+	if d < 0 {
+		t.Fatalf("negative duration %v", d)
+	}
+}
+
+func testJob() Job {
+	return Job{
+		Name: "test",
+		Stages: []Stage{
+			{Name: "map", Tasks: 400, TaskCost: 10 * time.Millisecond, ShuffleBytes: 1 << 28},
+			{Name: "reduce", Tasks: 100, TaskCost: 5 * time.Millisecond, DriverCost: 200 * time.Millisecond},
+		},
+	}
+}
+
+func TestSimulateMonotoneInMachines(t *testing.T) {
+	job := testJob()
+	prev := time.Duration(1<<62 - 1)
+	for m := 1; m <= 32; m++ {
+		c := DefaultCluster(m)
+		d := c.Simulate(job)
+		if d <= 0 {
+			t.Fatalf("machines=%d: non-positive time %v", m, d)
+		}
+		// Barrier grows with log2(machines); allow that growth but the
+		// total should not grow by more than the extra barrier cost.
+		if d > prev+4*c.BarrierCost {
+			t.Fatalf("machines=%d: time %v grew vs %v", m, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestSpeedupShape(t *testing.T) {
+	job := testJob()
+	base := DefaultCluster(5)
+	s5 := Speedup(job, base, 5, 5)
+	if s5 < 0.999 || s5 > 1.001 {
+		t.Fatalf("self speedup = %v, want 1", s5)
+	}
+	s20 := Speedup(job, base, 5, 20)
+	if s20 <= 1 {
+		t.Fatalf("speedup at 20 machines = %v, want > 1", s20)
+	}
+	if s20 >= 4 {
+		t.Fatalf("speedup at 20 machines = %v, want sub-linear (< 4): driver cost bounds it", s20)
+	}
+}
+
+func TestAmdahlBound(t *testing.T) {
+	// With a pure-serial job, speedup must be ~1 regardless of machines.
+	job := Job{Stages: []Stage{{Name: "serial", DriverCost: time.Second}}}
+	s := Speedup(job, DefaultCluster(5), 5, 20)
+	if s > 1.2 {
+		t.Fatalf("serial job speedup = %v, want ~1", s)
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10}
+	for n, want := range cases {
+		if got := log2ceil(n); got != want {
+			t.Errorf("log2ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestClusterString(t *testing.T) {
+	if DefaultCluster(5).String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// Property: ParallelFor and a sequential loop compute the same sum.
+func TestQuickParallelSum(t *testing.T) {
+	f := func(n uint8, workers uint8) bool {
+		nn := int(n)
+		var seq int64
+		for i := 0; i < nn; i++ {
+			seq += int64(i * i)
+		}
+		var par int64
+		ParallelFor(nn, int(workers%8)+1, func(_, lo, hi int) {
+			var local int64
+			for i := lo; i < hi; i++ {
+				local += int64(i * i)
+			}
+			atomic.AddInt64(&par, local)
+		})
+		return par == seq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: more machines never hurt by more than the added barrier cost,
+// for arbitrary small jobs.
+func TestQuickSimulateMonotone(t *testing.T) {
+	f := func(tasks uint16, costMs uint8, shuffleKB uint16) bool {
+		job := Job{Stages: []Stage{{
+			Tasks:        int(tasks%2000) + 1,
+			TaskCost:     time.Duration(costMs) * time.Millisecond,
+			ShuffleBytes: int64(shuffleKB) * 1024,
+		}}}
+		t4 := DefaultCluster(4).Simulate(job)
+		t16 := DefaultCluster(16).Simulate(job)
+		return t16 <= t4+4*DefaultCluster(16).BarrierCost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

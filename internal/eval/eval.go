@@ -1,0 +1,294 @@
+// Package eval provides the evaluation harness of §6.1: error metrics and
+// the train/test protocols (cold-start, sparsity, overlap sweeps) used by
+// every experiment driver.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"xmap/internal/ratings"
+)
+
+// Metrics accumulates prediction errors.
+type Metrics struct {
+	absSum float64
+	sqSum  float64
+	n      int
+	// fallbacks counts predictions flagged not-ok by the recommender
+	// (mean fallbacks); they are still scored, as a deployed system would
+	// serve them.
+	fallbacks int
+}
+
+// Add records one (prediction, truth) pair. ok marks whether the
+// recommender produced a model-based prediction or a fallback.
+func (m *Metrics) Add(pred, truth float64, ok bool) {
+	d := pred - truth
+	m.absSum += math.Abs(d)
+	m.sqSum += d * d
+	m.n++
+	if !ok {
+		m.fallbacks++
+	}
+}
+
+// MAE returns the mean absolute error (NaN when empty).
+func (m *Metrics) MAE() float64 {
+	if m.n == 0 {
+		return math.NaN()
+	}
+	return m.absSum / float64(m.n)
+}
+
+// RMSE returns the root mean squared error (NaN when empty).
+func (m *Metrics) RMSE() float64 {
+	if m.n == 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(m.sqSum / float64(m.n))
+}
+
+// Count returns how many pairs were scored.
+func (m *Metrics) Count() int { return m.n }
+
+// FallbackRate returns the fraction of fallback predictions.
+func (m *Metrics) FallbackRate() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return float64(m.fallbacks) / float64(m.n)
+}
+
+// String renders the metrics compactly.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("MAE=%.4f RMSE=%.4f n=%d fallback=%.1f%%",
+		m.MAE(), m.RMSE(), m.Count(), 100*m.FallbackRate())
+}
+
+// TestUser is one evaluation user: the target-domain ratings hidden from
+// training, plus the auxiliary entries left visible (sparsity protocol).
+type TestUser struct {
+	User      ratings.UserID
+	Hidden    []ratings.Rating // target-domain ground truth
+	Auxiliary []ratings.Entry  // target-domain ratings kept in training
+}
+
+// Split is a train/test partition under the §6.1 scheme.
+type Split struct {
+	Train *ratings.Dataset
+	Test  []TestUser
+}
+
+// SplitOptions configures SplitStraddlers.
+type SplitOptions struct {
+	// TestFraction of eligible straddlers becomes test users (default 0.2).
+	TestFraction float64
+	// MinProfile is the minimum ratings a straddler needs in *each* domain
+	// to be eligible (footnote 13 uses 10).
+	MinProfile int
+	// AuxiliarySize keeps this many target-domain ratings of each test
+	// user in training (0 = pure cold-start; Figure 10 sweeps 0..6).
+	AuxiliarySize int
+	// TrainStraddlerFraction further thins the non-test straddlers: only
+	// this fraction keeps its target-domain ratings (1 = keep all). The
+	// Figure 9 overlap sweep varies it; thinned straddlers keep their
+	// source ratings but stop bridging.
+	TrainStraddlerFraction float64
+	// Rng drives the shuffles (required).
+	Rng *rand.Rand
+}
+
+// SplitStraddlers implements the paper's evaluation scheme: the straddlers
+// (users rating in both src and dst) are partitioned into train and test;
+// test users' target-domain profiles are hidden (except AuxiliarySize
+// entries), and their source profiles stay visible so AlterEgos can be
+// built from them.
+func SplitStraddlers(ds *ratings.Dataset, src, dst ratings.DomainID, opt SplitOptions) Split {
+	if opt.TestFraction <= 0 {
+		opt.TestFraction = 0.2
+	}
+	if opt.TrainStraddlerFraction <= 0 {
+		opt.TrainStraddlerFraction = 1
+	}
+	if opt.Rng == nil {
+		panic("eval: SplitOptions.Rng is required for reproducibility")
+	}
+
+	var eligible []ratings.UserID
+	for _, u := range ds.Straddlers(src, dst) {
+		if ds.UserRatingsInDomain(u, src) >= opt.MinProfile &&
+			ds.UserRatingsInDomain(u, dst) >= opt.MinProfile {
+			eligible = append(eligible, u)
+		}
+	}
+	shuffled := append([]ratings.UserID(nil), eligible...)
+	opt.Rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	nTest := int(opt.TestFraction * float64(len(shuffled)))
+	if nTest < 1 && len(shuffled) > 0 {
+		nTest = 1
+	}
+	testSet := make(map[ratings.UserID]bool, nTest)
+	for _, u := range shuffled[:nTest] {
+		testSet[u] = true
+	}
+	// Thin the remaining training straddlers for the overlap sweep.
+	trainStraddlers := shuffled[nTest:]
+	keepStraddler := make(map[ratings.UserID]bool, len(trainStraddlers))
+	nKeep := int(opt.TrainStraddlerFraction * float64(len(trainStraddlers)))
+	for i, u := range trainStraddlers {
+		keepStraddler[u] = i < nKeep
+	}
+
+	// Choose auxiliary entries per test user (most recent first, so the
+	// auxiliary profile is the user's newest target activity).
+	aux := make(map[ratings.UserID]map[ratings.ItemID]bool, nTest)
+	testUsers := make([]TestUser, 0, nTest)
+	for _, u := range shuffled[:nTest] {
+		var tgt []ratings.Entry
+		for _, e := range ds.Items(u) {
+			if ds.Domain(e.Item) == dst {
+				tgt = append(tgt, e)
+			}
+		}
+		// Sort by time descending; ties by item for determinism.
+		for i := 1; i < len(tgt); i++ {
+			for j := i; j > 0 && (tgt[j].Time > tgt[j-1].Time ||
+				(tgt[j].Time == tgt[j-1].Time && tgt[j].Item < tgt[j-1].Item)); j-- {
+				tgt[j], tgt[j-1] = tgt[j-1], tgt[j]
+			}
+		}
+		keep := opt.AuxiliarySize
+		if keep > len(tgt) {
+			keep = len(tgt)
+		}
+		am := make(map[ratings.ItemID]bool, keep)
+		tu := TestUser{User: u}
+		for i, e := range tgt {
+			if i < keep {
+				am[e.Item] = true
+				tu.Auxiliary = append(tu.Auxiliary, e)
+			} else {
+				tu.Hidden = append(tu.Hidden, ratings.Rating{User: u, Item: e.Item, Value: e.Value, Time: e.Time})
+			}
+		}
+		ratings.SortEntries(tu.Auxiliary)
+		aux[u] = am
+		testUsers = append(testUsers, tu)
+	}
+
+	train := ds.Filter(func(r ratings.Rating) bool {
+		dom := ds.Domain(r.Item)
+		if testSet[r.User] {
+			if dom != dst {
+				return true // source profile stays visible
+			}
+			return aux[r.User][r.Item]
+		}
+		if dom == dst && !keepStraddler[r.User] && isStraddler(ds, r.User, src, dst) {
+			// Thinned training straddler: drop its target ratings.
+			return false
+		}
+		return true
+	})
+	return Split{Train: train, Test: testUsers}
+}
+
+func isStraddler(ds *ratings.Dataset, u ratings.UserID, a, b ratings.DomainID) bool {
+	return ds.UserRatingsInDomain(u, a) > 0 && ds.UserRatingsInDomain(u, b) > 0
+}
+
+// HoldOut hides a random fraction of all ratings — the protocol for the
+// homogeneous Table 3 experiment. Returns the training set and the hidden
+// ratings.
+func HoldOut(ds *ratings.Dataset, frac float64, rng *rand.Rand) (*ratings.Dataset, []ratings.Rating) {
+	if rng == nil {
+		panic("eval: rng is required")
+	}
+	var hidden []ratings.Rating
+	train := ds.Filter(func(r ratings.Rating) bool {
+		if rng.Float64() < frac {
+			hidden = append(hidden, r)
+			return false
+		}
+		return true
+	})
+	return train, hidden
+}
+
+// SourceProfile extracts a user's source-domain profile from a dataset.
+func SourceProfile(ds *ratings.Dataset, u ratings.UserID, src ratings.DomainID) []ratings.Entry {
+	var out []ratings.Entry
+	for _, e := range ds.Items(u) {
+		if ds.Domain(e.Item) == src {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// MaxTime returns the largest timestep in a profile (0 if empty) — the
+// "now" used by temporal predictions.
+func MaxTime(p []ratings.Entry) int64 {
+	var t int64
+	for _, e := range p {
+		if e.Time > t {
+			t = e.Time
+		}
+	}
+	return t
+}
+
+// TopNMetrics accumulates ranking quality for top-N recommendation: a hit
+// is a recommended item the user actually rated at or above the relevance
+// threshold in the hidden set.
+type TopNMetrics struct {
+	hits, recommended, relevant int
+	users                       int
+}
+
+// AddList scores one user's recommendation list against their hidden
+// ratings. threshold marks which hidden ratings count as relevant (the
+// paper serves top-10 of not-yet-seen items, §5.4).
+func (m *TopNMetrics) AddList(recommended []ratings.ItemID, hidden []ratings.Rating, threshold float64) {
+	rel := make(map[ratings.ItemID]bool)
+	for _, h := range hidden {
+		if h.Value >= threshold {
+			rel[h.Item] = true
+		}
+	}
+	for _, it := range recommended {
+		if rel[it] {
+			m.hits++
+		}
+	}
+	m.recommended += len(recommended)
+	m.relevant += len(rel)
+	m.users++
+}
+
+// Precision returns hits / recommended (0 when nothing was recommended).
+func (m *TopNMetrics) Precision() float64 {
+	if m.recommended == 0 {
+		return 0
+	}
+	return float64(m.hits) / float64(m.recommended)
+}
+
+// Recall returns hits / relevant (0 when nothing was relevant).
+func (m *TopNMetrics) Recall() float64 {
+	if m.relevant == 0 {
+		return 0
+	}
+	return float64(m.hits) / float64(m.relevant)
+}
+
+// Users returns how many recommendation lists were scored.
+func (m *TopNMetrics) Users() int { return m.users }
+
+// String renders the ranking metrics compactly.
+func (m *TopNMetrics) String() string {
+	return fmt.Sprintf("precision=%.4f recall=%.4f users=%d", m.Precision(), m.Recall(), m.users)
+}

@@ -1,0 +1,203 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xmap/internal/dataset"
+	"xmap/internal/ratings"
+)
+
+func TestMetricsBasics(t *testing.T) {
+	var m Metrics
+	m.Add(3, 4, true)  // |err| 1
+	m.Add(5, 3, false) // |err| 2
+	if got := m.MAE(); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("MAE = %v, want 1.5", got)
+	}
+	if got := m.RMSE(); math.Abs(got-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("RMSE = %v, want √2.5", got)
+	}
+	if m.Count() != 2 {
+		t.Fatalf("Count = %d", m.Count())
+	}
+	if got := m.FallbackRate(); got != 0.5 {
+		t.Fatalf("FallbackRate = %v", got)
+	}
+	if m.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestMetricsEmpty(t *testing.T) {
+	var m Metrics
+	if !math.IsNaN(m.MAE()) || !math.IsNaN(m.RMSE()) {
+		t.Fatal("empty metrics should be NaN")
+	}
+	if m.FallbackRate() != 0 {
+		t.Fatal("empty fallback rate should be 0")
+	}
+}
+
+func smallTrace() dataset.Amazon {
+	cfg := dataset.DefaultAmazonConfig()
+	cfg.MovieUsers, cfg.BookUsers, cfg.OverlapUsers = 50, 50, 40
+	cfg.Movies, cfg.Books = 40, 50
+	cfg.RatingsPerUser = 14
+	return dataset.AmazonLike(cfg)
+}
+
+func TestSplitStraddlersHidesTargetProfiles(t *testing.T) {
+	az := smallTrace()
+	sp := SplitStraddlers(az.DS, az.Movies, az.Books, SplitOptions{
+		TestFraction: 0.25, MinProfile: 5, Rng: rand.New(rand.NewSource(1)),
+	})
+	if len(sp.Test) == 0 {
+		t.Fatal("no test users")
+	}
+	for _, tu := range sp.Test {
+		if len(tu.Hidden) == 0 {
+			t.Fatalf("test user %d has no hidden ratings", tu.User)
+		}
+		// Hidden target ratings must be absent from training...
+		for _, h := range tu.Hidden {
+			if sp.Train.HasRated(h.User, h.Item) {
+				t.Fatalf("hidden rating (%d,%d) leaked into training", h.User, h.Item)
+			}
+			if az.DS.Domain(h.Item) != az.Books {
+				t.Fatalf("hidden rating in wrong domain")
+			}
+		}
+		// ...but the source profile must be intact.
+		src := SourceProfile(sp.Train, tu.User, az.Movies)
+		orig := SourceProfile(az.DS, tu.User, az.Movies)
+		if len(src) != len(orig) {
+			t.Fatalf("source profile damaged: %d vs %d", len(src), len(orig))
+		}
+		if len(tu.Auxiliary) != 0 {
+			t.Fatal("cold-start split should have no auxiliary entries")
+		}
+	}
+}
+
+func TestSplitAuxiliarySize(t *testing.T) {
+	az := smallTrace()
+	const aux = 3
+	sp := SplitStraddlers(az.DS, az.Movies, az.Books, SplitOptions{
+		TestFraction: 0.25, MinProfile: 5, AuxiliarySize: aux,
+		Rng: rand.New(rand.NewSource(2)),
+	})
+	for _, tu := range sp.Test {
+		if len(tu.Auxiliary) != aux {
+			t.Fatalf("user %d auxiliary = %d, want %d (MinProfile guarantees enough)",
+				tu.User, len(tu.Auxiliary), aux)
+		}
+		// Auxiliary entries stay in training.
+		for _, e := range tu.Auxiliary {
+			if !sp.Train.HasRated(tu.User, e.Item) {
+				t.Fatalf("auxiliary rating (%d,%d) missing from training", tu.User, e.Item)
+			}
+		}
+		// Auxiliary are the most recent: every auxiliary timestep >= every
+		// hidden timestep.
+		var minAux int64 = math.MaxInt64
+		for _, e := range tu.Auxiliary {
+			if e.Time < minAux {
+				minAux = e.Time
+			}
+		}
+		for _, h := range tu.Hidden {
+			if h.Time > minAux {
+				t.Fatalf("hidden rating newer than auxiliary: %d > %d", h.Time, minAux)
+			}
+		}
+	}
+}
+
+func TestSplitOverlapThinning(t *testing.T) {
+	az := smallTrace()
+	full := SplitStraddlers(az.DS, az.Movies, az.Books, SplitOptions{
+		TestFraction: 0.2, MinProfile: 5, TrainStraddlerFraction: 1,
+		Rng: rand.New(rand.NewSource(3)),
+	})
+	thin := SplitStraddlers(az.DS, az.Movies, az.Books, SplitOptions{
+		TestFraction: 0.2, MinProfile: 5, TrainStraddlerFraction: 0.3,
+		Rng: rand.New(rand.NewSource(3)),
+	})
+	nFull := len(full.Train.Straddlers(az.Movies, az.Books))
+	nThin := len(thin.Train.Straddlers(az.Movies, az.Books))
+	if nThin >= nFull {
+		t.Fatalf("thinning did not reduce straddlers: %d vs %d", nThin, nFull)
+	}
+	if thin.Train.NumUsers() != full.Train.NumUsers() {
+		t.Fatal("thinning must not drop users from the universe")
+	}
+}
+
+func TestSplitDeterministicUnderSeed(t *testing.T) {
+	az := smallTrace()
+	a := SplitStraddlers(az.DS, az.Movies, az.Books, SplitOptions{
+		TestFraction: 0.25, MinProfile: 5, Rng: rand.New(rand.NewSource(7)),
+	})
+	b := SplitStraddlers(az.DS, az.Movies, az.Books, SplitOptions{
+		TestFraction: 0.25, MinProfile: 5, Rng: rand.New(rand.NewSource(7)),
+	})
+	if len(a.Test) != len(b.Test) {
+		t.Fatal("same seed, different test sizes")
+	}
+	for i := range a.Test {
+		if a.Test[i].User != b.Test[i].User {
+			t.Fatal("same seed, different test users")
+		}
+	}
+}
+
+func TestHoldOut(t *testing.T) {
+	az := smallTrace()
+	train, hidden := HoldOut(az.DS, 0.3, rand.New(rand.NewSource(4)))
+	if len(hidden) == 0 {
+		t.Fatal("nothing hidden")
+	}
+	if train.NumRatings()+len(hidden) != az.DS.NumRatings() {
+		t.Fatalf("partition broken: %d + %d != %d",
+			train.NumRatings(), len(hidden), az.DS.NumRatings())
+	}
+	frac := float64(len(hidden)) / float64(az.DS.NumRatings())
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("hidden fraction = %v, want ≈ 0.3", frac)
+	}
+	for _, h := range hidden {
+		if train.HasRated(h.User, h.Item) {
+			t.Fatal("hidden rating present in training")
+		}
+	}
+}
+
+func TestMaxTime(t *testing.T) {
+	if MaxTime(nil) != 0 {
+		t.Fatal("empty MaxTime should be 0")
+	}
+	p := []ratings.Entry{{Time: 5}, {Time: 99}, {Time: 12}}
+	if MaxTime(p) != 99 {
+		t.Fatal("MaxTime wrong")
+	}
+}
+
+// Property: MAE is translation-related to RMSE (MAE <= RMSE) and both are
+// non-negative.
+func TestQuickMAELessThanRMSE(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var m Metrics
+		n := 1 + rng.Intn(50)
+		for i := 0; i < n; i++ {
+			m.Add(1+4*rng.Float64(), 1+4*rng.Float64(), true)
+		}
+		return m.MAE() >= 0 && m.RMSE() >= m.MAE()-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

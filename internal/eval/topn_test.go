@@ -1,0 +1,58 @@
+package eval
+
+import (
+	"testing"
+
+	"xmap/internal/ratings"
+)
+
+func TestTopNMetrics(t *testing.T) {
+	var m TopNMetrics
+	hidden := []ratings.Rating{
+		{Item: 1, Value: 5},
+		{Item: 2, Value: 4},
+		{Item: 3, Value: 1}, // below threshold: not relevant
+	}
+	m.AddList([]ratings.ItemID{1, 3, 9}, hidden, 4.0)
+	// hits: item 1 only (3 is not relevant, 9 not hidden).
+	if got := m.Precision(); got != 1.0/3.0 {
+		t.Fatalf("precision = %v, want 1/3", got)
+	}
+	if got := m.Recall(); got != 0.5 {
+		t.Fatalf("recall = %v, want 1/2", got)
+	}
+	if m.Users() != 1 {
+		t.Fatalf("users = %d", m.Users())
+	}
+	if m.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestTopNMetricsEmpty(t *testing.T) {
+	var m TopNMetrics
+	if m.Precision() != 0 || m.Recall() != 0 {
+		t.Fatal("empty metrics should be zero")
+	}
+	m.AddList(nil, nil, 4)
+	if m.Precision() != 0 || m.Recall() != 0 || m.Users() != 1 {
+		t.Fatal("degenerate list mishandled")
+	}
+}
+
+func TestTopNMetricsAccumulates(t *testing.T) {
+	var m TopNMetrics
+	h1 := []ratings.Rating{{Item: 1, Value: 5}}
+	h2 := []ratings.Rating{{Item: 2, Value: 5}}
+	m.AddList([]ratings.ItemID{1}, h1, 4) // hit
+	m.AddList([]ratings.ItemID{9}, h2, 4) // miss
+	if got := m.Precision(); got != 0.5 {
+		t.Fatalf("precision = %v, want 0.5", got)
+	}
+	if got := m.Recall(); got != 0.5 {
+		t.Fatalf("recall = %v, want 0.5", got)
+	}
+	if m.Users() != 2 {
+		t.Fatalf("users = %d", m.Users())
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"math/rand"
+	"strings"
+
+	"xmap/internal/baselines"
+	"xmap/internal/core"
+	"xmap/internal/dataset"
+	"xmap/internal/eval"
+)
+
+// Fig10Result bundles the two directions of Figure 10 (sparsity sweep).
+type Fig10Result struct {
+	Directions []SweepResult
+}
+
+// Figure10 sweeps the auxiliary target-profile size from 0 (cold start) to
+// 6 (low sparsity), comparing the X-Map variants against KNN-cd (item kNN
+// on the aggregated domains) and KNN-sd (item kNN in the target domain).
+func Figure10(sc Scale) Fig10Result {
+	az := dataset.AmazonLike(sc.Accuracy)
+	sizes := []int{0, 1, 2, 3, 4, 5, 6}
+	var out Fig10Result
+	for _, dir := range directions(az) {
+		sw := SweepResult{Figure: "Figure 10", Label: dir.Label, XName: "aux-profile"}
+		series := map[string][]float64{}
+		order := []string{"X-Map-ib", "X-Map-ub", "NX-Map-ib", "NX-Map-ub", "KNN-cd", "KNN-sd"}
+		for _, n := range sizes {
+			sw.X = append(sw.X, float64(n))
+			b := newBench(sc, az, dir, eval.SplitOptions{
+				AuxiliarySize: n,
+				Rng:           rand.New(rand.NewSource(sc.Seed)),
+			}, baseConfig(50))
+			add := func(name string, m eval.Metrics) {
+				series[name] = append(series[name], m.MAE())
+			}
+			alpha := b.base.Config().Alpha
+			add("X-Map-ib", b.maePipeline(b.variant(core.ItemBasedMode, true, epsAEib, epsRecib, alpha)))
+			add("X-Map-ub", b.maePipeline(b.variant(core.UserBasedMode, true, epsAEub, epsRecub, 0)))
+			add("NX-Map-ib", b.maePipeline(b.variant(core.ItemBasedMode, false, 0, 0, alpha)))
+			add("NX-Map-ub", b.maePipeline(b.variant(core.UserBasedMode, false, 0, 0, 0)))
+			add("KNN-cd", b.maeBaseline(baselines.NewLinkedKNN(b.base.Pairs(), 50), profileCombined))
+			add("KNN-sd", b.maeBaseline(baselines.NewSingleKNN(b.base.Pairs(), dir.Dst, 50), profileAuxiliary))
+		}
+		for _, name := range order {
+			sw.Series = append(sw.Series, Series{System: name, MAE: series[name]})
+		}
+		out.Directions = append(out.Directions, sw)
+	}
+	return out
+}
+
+// String renders both panels.
+func (r Fig10Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 10: MAE comparison based on auxiliary profile size\n")
+	for _, d := range r.Directions {
+		b.WriteString(d.render())
+	}
+	return b.String()
+}

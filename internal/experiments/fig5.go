@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"xmap/internal/core"
+	"xmap/internal/dataset"
+	"xmap/internal/eval"
+)
+
+// Fig5Panel is one of the four panels of Figure 5: MAE as a function of
+// the temporal decay α for an item-based system in one direction.
+type Fig5Panel struct {
+	System   string // "X-Map" or "NX-Map"
+	Label    string // direction label
+	Alphas   []float64
+	MAE      []float64
+	AlphaOpt float64 // argmin MAE
+}
+
+// Fig5Result bundles the four panels.
+type Fig5Result struct {
+	Panels []Fig5Panel
+}
+
+// Figure5 sweeps α ∈ {0, 0.02, …, 0.2} for the item-based X-Map and
+// NX-Map in both directions (§6.2, temporal dynamics).
+func Figure5(sc Scale) Fig5Result {
+	az := dataset.AmazonLike(sc.Accuracy)
+	alphas := []float64{0, 0.02, 0.04, 0.08, 0.12, 0.16, 0.2}
+	var out Fig5Result
+	for _, dir := range directions(az) {
+		b := newBench(sc, az, dir, eval.SplitOptions{}, baseConfig(50))
+		for _, system := range []string{"X-Map", "NX-Map"} {
+			panel := Fig5Panel{System: system, Label: dir.Label, Alphas: alphas}
+			best := -1
+			for _, a := range alphas {
+				var p *core.Pipeline
+				if system == "X-Map" {
+					p = b.variant(core.ItemBasedMode, true, epsAEib, epsRecib, a)
+				} else {
+					p = b.variant(core.ItemBasedMode, false, 0, 0, a)
+				}
+				m := b.maePipeline(p)
+				panel.MAE = append(panel.MAE, m.MAE())
+				if best < 0 || m.MAE() < panel.MAE[best] {
+					best = len(panel.MAE) - 1
+				}
+			}
+			panel.AlphaOpt = alphas[best]
+			out.Panels = append(out.Panels, panel)
+		}
+	}
+	return out
+}
+
+// String renders the four α-sweep series.
+func (r Fig5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: temporal relevance (item-based)\n")
+	for _, p := range r.Panels {
+		fmt.Fprintf(&b, "%s (%s)  α_o = %.2f\n", p.Label, p.System, p.AlphaOpt)
+		rows := make([][]string, len(p.Alphas))
+		for i := range p.Alphas {
+			rows[i] = []string{f2(p.Alphas[i]), f4(p.MAE[i])}
+		}
+		b.WriteString(table([]string{"alpha", "MAE"}, rows))
+	}
+	return b.String()
+}

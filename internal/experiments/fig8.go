@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"xmap/internal/baselines"
+	"xmap/internal/core"
+	"xmap/internal/dataset"
+	"xmap/internal/eval"
+)
+
+// Series is one MAE curve: a system name and its values over the x-axis.
+type Series struct {
+	System string
+	MAE    []float64
+}
+
+// SweepResult is a generic per-direction sweep (figures 8, 9, 10 share
+// this layout: an x-axis plus one MAE series per system).
+type SweepResult struct {
+	Figure string
+	Label  string
+	XName  string
+	X      []float64
+	Series []Series
+}
+
+// Fig8Result bundles the two directions of Figure 8.
+type Fig8Result struct {
+	Directions []SweepResult
+}
+
+// Figure8 sweeps the neighborhood size k for the X-Map/NX-Map variants and
+// the competitors (ItemAverage, RemoteUser, Item-based-kNN).
+func Figure8(sc Scale) Fig8Result {
+	az := dataset.AmazonLike(sc.Accuracy)
+	ks := []int{10, 30, 50, 70, 100}
+	var out Fig8Result
+	for _, dir := range directions(az) {
+		sw := SweepResult{Figure: "Figure 8", Label: dir.Label, XName: "k"}
+		for _, k := range ks {
+			sw.X = append(sw.X, float64(k))
+		}
+		series := map[string][]float64{}
+		order := []string{"X-Map-ib", "X-Map-ub", "NX-Map-ib", "NX-Map-ub",
+			"ItemAverage", "RemoteUser", "Item-based-kNN"}
+		for _, k := range ks {
+			b := newBench(sc, az, dir, eval.SplitOptions{}, baseConfig(k))
+			add := func(name string, m eval.Metrics) {
+				series[name] = append(series[name], m.MAE())
+			}
+			alpha := b.base.Config().Alpha
+			add("X-Map-ib", b.maePipeline(b.variant(core.ItemBasedMode, true, epsAEib, epsRecib, alpha)))
+			add("X-Map-ub", b.maePipeline(b.variant(core.UserBasedMode, true, epsAEub, epsRecub, 0)))
+			add("NX-Map-ib", b.maePipeline(b.variant(core.ItemBasedMode, false, 0, 0, alpha)))
+			add("NX-Map-ub", b.maePipeline(b.variant(core.UserBasedMode, false, 0, 0, 0)))
+			add("ItemAverage", b.maeBaseline(baselines.NewItemAverage(b.split.Train), profileNone))
+			add("RemoteUser", b.maeBaseline(baselines.NewRemoteUser(b.split.Train, dir.Src, dir.Dst, k), profileSource))
+			add("Item-based-kNN", b.maeBaseline(baselines.NewLinkedKNN(b.base.Pairs(), k), profileCombined))
+		}
+		for _, name := range order {
+			sw.Series = append(sw.Series, Series{System: name, MAE: series[name]})
+		}
+		out.Directions = append(out.Directions, sw)
+	}
+	return out
+}
+
+// String renders both direction panels.
+func (r Fig8Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 8: MAE comparison with varying k\n")
+	for _, d := range r.Directions {
+		b.WriteString(d.render())
+	}
+	return b.String()
+}
+
+// render prints one sweep as a table with systems as rows.
+func (s SweepResult) render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Label)
+	header := []string{"system \\ " + s.XName}
+	for _, x := range s.X {
+		header = append(header, trimFloat(x))
+	}
+	rows := make([][]string, 0, len(s.Series))
+	for _, se := range s.Series {
+		row := []string{se.System}
+		for _, v := range se.MAE {
+			row = append(row, f4(v))
+		}
+		rows = append(rows, row)
+	}
+	b.WriteString(table(header, rows))
+	return b.String()
+}
+
+func trimFloat(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%.2f", x)
+}
+
+// Best returns the final-x MAE of a named series (NaN if missing).
+func (s SweepResult) Best(system string) float64 {
+	for _, se := range s.Series {
+		if se.System == system && len(se.MAE) > 0 {
+			return se.MAE[len(se.MAE)-1]
+		}
+	}
+	return nan()
+}
+
+func nan() float64 { var z float64; return 0 / z }

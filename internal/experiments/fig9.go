@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"math/rand"
+	"strings"
+
+	"xmap/internal/baselines"
+	"xmap/internal/core"
+	"xmap/internal/dataset"
+	"xmap/internal/eval"
+)
+
+// Fig9Result bundles the two directions of Figure 9 (overlap sweep).
+type Fig9Result struct {
+	Directions []SweepResult
+}
+
+// Figure9 sweeps the training-straddler fraction from 0.2 to 0.8 with a
+// fixed test set, showing MAE improve as more users connect the domains.
+func Figure9(sc Scale) Fig9Result {
+	az := dataset.AmazonLike(sc.Accuracy)
+	fracs := []float64{0.2, 0.4, 0.6, 0.8}
+	var out Fig9Result
+	for _, dir := range directions(az) {
+		sw := SweepResult{Figure: "Figure 9", Label: dir.Label, XName: "train-frac"}
+		series := map[string][]float64{}
+		order := []string{"X-Map-ib", "X-Map-ub", "NX-Map-ib", "NX-Map-ub",
+			"ItemAverage", "RemoteUser", "Item-based-kNN"}
+		for _, f := range fracs {
+			sw.X = append(sw.X, f)
+			// Same split seed for every fraction: the test users stay
+			// fixed while the training overlap thins (§6.4, "Impact of
+			// overlap").
+			b := newBench(sc, az, dir, eval.SplitOptions{
+				TrainStraddlerFraction: f,
+				Rng:                    rand.New(rand.NewSource(sc.Seed)),
+			}, baseConfig(50))
+			add := func(name string, m eval.Metrics) {
+				series[name] = append(series[name], m.MAE())
+			}
+			alpha := b.base.Config().Alpha
+			add("X-Map-ib", b.maePipeline(b.variant(core.ItemBasedMode, true, epsAEib, epsRecib, alpha)))
+			add("X-Map-ub", b.maePipeline(b.variant(core.UserBasedMode, true, epsAEub, epsRecub, 0)))
+			add("NX-Map-ib", b.maePipeline(b.variant(core.ItemBasedMode, false, 0, 0, alpha)))
+			add("NX-Map-ub", b.maePipeline(b.variant(core.UserBasedMode, false, 0, 0, 0)))
+			add("ItemAverage", b.maeBaseline(baselines.NewItemAverage(b.split.Train), profileNone))
+			add("RemoteUser", b.maeBaseline(baselines.NewRemoteUser(b.split.Train, dir.Src, dir.Dst, 50), profileSource))
+			add("Item-based-kNN", b.maeBaseline(baselines.NewLinkedKNN(b.base.Pairs(), 50), profileCombined))
+		}
+		for _, name := range order {
+			sw.Series = append(sw.Series, Series{System: name, MAE: series[name]})
+		}
+		out.Directions = append(out.Directions, sw)
+	}
+	return out
+}
+
+// String renders both panels.
+func (r Fig9Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 9: MAE comparison with varying overlap size\n")
+	for _, d := range r.Directions {
+		b.WriteString(d.render())
+	}
+	return b.String()
+}

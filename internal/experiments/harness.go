@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"xmap/internal/core"
+	"xmap/internal/dataset"
+	"xmap/internal/eval"
+	"xmap/internal/ratings"
+)
+
+// direction names one source→target arm of an experiment.
+type direction struct {
+	Label    string
+	Src, Dst ratings.DomainID
+}
+
+// directions returns the paper's two arms: movie→book and book→movie.
+func directions(az dataset.Amazon) []direction {
+	return []direction{
+		{Label: "Source: Movie Target: Book", Src: az.Movies, Dst: az.Books},
+		{Label: "Source: Book Target: Movie", Src: az.Books, Dst: az.Movies},
+	}
+}
+
+// bench is a fitted evaluation context for one direction of one split.
+type bench struct {
+	az    dataset.Amazon
+	dir   direction
+	split eval.Split
+	// base is the fitted non-private pipeline every variant derives from.
+	base *core.Pipeline
+}
+
+// newBench builds the trace split and fits the shared pipeline.
+func newBench(sc Scale, az dataset.Amazon, dir direction, opt eval.SplitOptions, cfg core.Config) *bench {
+	if opt.Rng == nil {
+		opt.Rng = rand.New(rand.NewSource(sc.Seed))
+	}
+	if opt.TestFraction == 0 {
+		opt.TestFraction = sc.TestFraction
+	}
+	if opt.MinProfile == 0 {
+		opt.MinProfile = sc.MinProfile
+	}
+	split := eval.SplitStraddlers(az.DS, dir.Src, dir.Dst, opt)
+	cfg.Workers = sc.Workers
+	base := core.Fit(split.Train, dir.Src, dir.Dst, cfg)
+	return &bench{az: az, dir: dir, split: split, base: base}
+}
+
+// baseConfig is the shared similarity-shaping configuration of all
+// accuracy experiments (k varies per experiment where the paper varies it).
+func baseConfig(k int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.K = k
+	return cfg
+}
+
+// maePipeline evaluates one pipeline variant over the split's test users:
+// AlterEgos are generated from the training-visible source profile plus
+// the auxiliary target entries, and every hidden rating is predicted.
+func (b *bench) maePipeline(p *core.Pipeline) eval.Metrics {
+	var m eval.Metrics
+	for _, tu := range b.split.Test {
+		src := eval.SourceProfile(b.split.Train, tu.User, b.dir.Src)
+		ego := p.AlterEgoFromProfile(src, tu.Auxiliary)
+		for _, h := range tu.Hidden {
+			// Eq. 7's t is the logical time of the prediction: the moment
+			// the user actually rated the hidden item.
+			v, ok := p.Predict(ego, h.Item, h.Time)
+			m.Add(v, h.Value, ok)
+		}
+	}
+	return m
+}
+
+// predictor is the uniform baseline interface: profile in, estimate out.
+type predictor interface {
+	Predict(profile []ratings.Entry, item ratings.ItemID) (float64, bool)
+}
+
+// profileKind selects which profile a baseline consumes.
+type profileKind int
+
+const (
+	profileSource    profileKind = iota // source-domain profile (RemoteUser)
+	profileCombined                     // source + auxiliary (LinkedKNN / KNN-cd)
+	profileAuxiliary                    // auxiliary target entries only (KNN-sd)
+	profileNone                         // no profile (ItemAverage)
+)
+
+// maeBaseline evaluates a baseline over the split's test users.
+func (b *bench) maeBaseline(p predictor, kind profileKind) eval.Metrics {
+	var m eval.Metrics
+	for _, tu := range b.split.Test {
+		var prof []ratings.Entry
+		switch kind {
+		case profileSource:
+			prof = eval.SourceProfile(b.split.Train, tu.User, b.dir.Src)
+		case profileCombined:
+			src := eval.SourceProfile(b.split.Train, tu.User, b.dir.Src)
+			prof = ratings.AppendProfiles(tu.Auxiliary, src)
+		case profileAuxiliary:
+			prof = tu.Auxiliary
+		}
+		for _, h := range tu.Hidden {
+			v, ok := p.Predict(prof, h.Item)
+			m.Add(v, h.Value, ok)
+		}
+	}
+	return m
+}
+
+// variant builds the paper's named system variants from the shared base.
+func (b *bench) variant(mode core.Mode, private bool, epsAE, epsRec, alpha float64) *core.Pipeline {
+	cfg := b.base.Config()
+	cfg.Mode = mode
+	cfg.Private = private
+	cfg.EpsilonAE = epsAE
+	cfg.EpsilonRec = epsRec
+	cfg.Alpha = alpha
+	return b.base.Derive(cfg)
+}
+
+// Paper-default privacy parameters (§6.3): X-Map-ib ε=0.3 ε′=0.8,
+// X-Map-ub ε=0.6 ε′=0.3.
+const (
+	epsAEib  = 0.3
+	epsRecib = 0.8
+	epsAEub  = 0.6
+	epsRecub = 0.3
+)

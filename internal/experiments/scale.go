@@ -1,0 +1,119 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§6). Every driver builds its workload from a Scale,
+// runs the systems the paper compares, and returns a result struct whose
+// String() renders the same rows/series the paper reports.
+//
+// Absolute numbers differ from the paper (synthetic traces, one machine —
+// see DESIGN.md "Substitutions"); the drivers exist to reproduce the
+// *shapes*: who wins, by roughly what factor, and where the curves bend.
+// EXPERIMENTS.md records paper-vs-measured for every driver.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"xmap/internal/dataset"
+)
+
+// Scale sizes every experiment's workload. Small() keeps unit tests and
+// quick runs in the seconds range; Default() is the xmap-bench/bench
+// operating point.
+type Scale struct {
+	Name string
+	// Accuracy is the two-domain trace for the MAE experiments
+	// (fig5–fig10): moderate user overlap, rich profiles.
+	Accuracy dataset.AmazonConfig
+	// Sparse is the rare-straddler trace for fig1b, where meta-paths
+	// dominate direct similarities.
+	Sparse dataset.AmazonConfig
+	// MovieLens is the genre-labelled single-domain trace (tab2, tab3).
+	MovieLens dataset.MovieLensConfig
+	// TestFraction and MinProfile parameterize the §6.1 splits.
+	TestFraction float64
+	MinProfile   int
+	// Seed drives splits and private mechanisms.
+	Seed int64
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Small returns the test-sized scale (every driver < a few seconds).
+func Small() Scale {
+	acc := dataset.DefaultAmazonConfig()
+	acc.MovieUsers, acc.BookUsers, acc.OverlapUsers = 180, 200, 60
+	acc.Movies, acc.Books = 100, 130
+	acc.RatingsPerUser = 26
+
+	sparse := dataset.DefaultAmazonConfig()
+	sparse.MovieUsers, sparse.BookUsers, sparse.OverlapUsers = 150, 150, 15
+	sparse.Movies, sparse.Books = 200, 250
+	sparse.RatingsPerUser = 12
+
+	ml := dataset.DefaultMovieLensConfig()
+	ml.Users, ml.Movies, ml.RatingsPerUser = 250, 160, 24
+
+	return Scale{
+		Name: "small", Accuracy: acc, Sparse: sparse, MovieLens: ml,
+		TestFraction: 0.25, MinProfile: 8, Seed: 42,
+	}
+}
+
+// Default returns the benchmark scale (each driver seconds-to-a-minute).
+func Default() Scale {
+	acc := dataset.DefaultAmazonConfig()
+	acc.MovieUsers, acc.BookUsers, acc.OverlapUsers = 600, 650, 180
+	acc.Movies, acc.Books = 260, 330
+	acc.RatingsPerUser = 28
+
+	sparse := dataset.DefaultAmazonConfig()
+	sparse.MovieUsers, sparse.BookUsers, sparse.OverlapUsers = 500, 500, 45
+	sparse.Movies, sparse.Books = 600, 800
+	sparse.RatingsPerUser = 14
+
+	ml := dataset.DefaultMovieLensConfig()
+	ml.Users, ml.Movies, ml.RatingsPerUser = 800, 450, 30
+
+	return Scale{
+		Name: "default", Accuracy: acc, Sparse: sparse, MovieLens: ml,
+		TestFraction: 0.2, MinProfile: 10, Seed: 42,
+	}
+}
+
+// table renders a simple aligned text table.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for c, h := range header {
+		widths[c] = len(h)
+	}
+	for _, r := range rows {
+		for c, cell := range r {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for c, cell := range cells {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[c], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for c := range sep {
+		sep[c] = strings.Repeat("-", widths[c])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,258 @@
+// Package graph builds X-Map's layered similarity graph (paper §3.2,
+// Figure 2). Starting from the baseline co-rating graph G_ac (package sim),
+// it:
+//
+//   - detects bridge items — items rated by at least one straddler (a user
+//     with ratings in both domains); every baseline heterogeneous edge has
+//     bridge endpoints, because such an edge needs a common user;
+//   - partitions each domain's items into the BB / NB / NN layers;
+//   - materializes the pruned, per-layer top-k adjacency used to select
+//     meta-paths: NN—NB and NB—BB within a domain, BB—BB across domains.
+//
+// The package also contains an exact meta-path enumerator (Def. 3) with the
+// paper's path similarity and path certainty (Def. 5) formulas; the
+// production extension engine lives in package xsim and is validated
+// against this enumerator in tests.
+package graph
+
+import (
+	"fmt"
+
+	"xmap/internal/ratings"
+	"xmap/internal/sim"
+)
+
+// Layer classifies an item inside its own domain (Figure 2).
+type Layer uint8
+
+const (
+	// LayerBB (Bridge, Bridge): bridge items; they connect to bridge items
+	// of the other domain.
+	LayerBB Layer = iota
+	// LayerNB (Non-bridge, Bridge): non-bridge items with a baseline edge
+	// to a bridge item of the same domain.
+	LayerNB
+	// LayerNN (Non-bridge, Non-bridge): non-bridge items not connected to
+	// any bridge item.
+	LayerNN
+	// LayerNone marks items outside the two domains under consideration.
+	LayerNone
+)
+
+// String implements fmt.Stringer.
+func (l Layer) String() string {
+	switch l {
+	case LayerBB:
+		return "BB"
+	case LayerNB:
+		return "NB"
+	case LayerNN:
+		return "NN"
+	case LayerNone:
+		return "-"
+	default:
+		return fmt.Sprintf("Layer(%d)", uint8(l))
+	}
+}
+
+// Options configures graph construction.
+type Options struct {
+	// K is the per-layer-relation fan-out: each item keeps its top-K
+	// neighbors in every adjacent layer (0 means keep all, which disables
+	// pruning and is only sensible in tests).
+	K int
+}
+
+// Graph is the pruned, layered similarity graph between a source and a
+// target domain. Immutable after Build.
+type Graph struct {
+	ds       *ratings.Dataset
+	pairs    *sim.Pairs
+	src, dst ratings.DomainID
+	k        int
+
+	isBridge []bool
+	layer    []Layer
+
+	// Top-k adjacency by relation. Slices are indexed by ItemID; entries
+	// are nil for items where the relation does not apply.
+	toNB    [][]sim.Edge // NN→NB and BB→NB, same domain
+	toBB    [][]sim.Edge // NB→BB, same domain
+	toNN    [][]sim.Edge // NB→NN, same domain
+	crossBB [][]sim.Edge // BB→BB, other domain
+}
+
+// Build constructs the layered graph for the (src, dst) domain pair.
+func Build(pairs *sim.Pairs, src, dst ratings.DomainID, opt Options) *Graph {
+	ds := pairs.Dataset()
+	g := &Graph{
+		ds: ds, pairs: pairs, src: src, dst: dst, k: opt.K,
+		isBridge: make([]bool, ds.NumItems()),
+		layer:    make([]Layer, ds.NumItems()),
+		toNB:     make([][]sim.Edge, ds.NumItems()),
+		toBB:     make([][]sim.Edge, ds.NumItems()),
+		toNN:     make([][]sim.Edge, ds.NumItems()),
+		crossBB:  make([][]sim.Edge, ds.NumItems()),
+	}
+
+	// Straddler bitset.
+	straddler := make([]bool, ds.NumUsers())
+	for _, u := range ds.Straddlers(src, dst) {
+		straddler[u] = true
+	}
+
+	inScope := func(i ratings.ItemID) bool {
+		d := ds.Domain(i)
+		return d == src || d == dst
+	}
+
+	// Bridge detection: any rater is a straddler.
+	for i := 0; i < ds.NumItems(); i++ {
+		id := ratings.ItemID(i)
+		if !inScope(id) {
+			g.layer[i] = LayerNone
+			continue
+		}
+		for _, ue := range ds.Users(id) {
+			if straddler[ue.User] {
+				g.isBridge[i] = true
+				break
+			}
+		}
+	}
+
+	// Layer assignment.
+	for i := 0; i < ds.NumItems(); i++ {
+		id := ratings.ItemID(i)
+		if !inScope(id) {
+			continue
+		}
+		if g.isBridge[i] {
+			g.layer[i] = LayerBB
+			continue
+		}
+		g.layer[i] = LayerNN
+		for _, e := range pairs.Neighbors(id) {
+			if g.isBridge[e.To] && ds.Domain(e.To) == ds.Domain(id) {
+				g.layer[i] = LayerNB
+				break
+			}
+		}
+	}
+
+	// Pruned adjacency.
+	for i := 0; i < ds.NumItems(); i++ {
+		id := ratings.ItemID(i)
+		switch g.layer[i] {
+		case LayerNN:
+			g.toNB[i] = g.topEdges(id, func(e sim.Edge) bool {
+				return g.layer[e.To] == LayerNB && ds.Domain(e.To) == ds.Domain(id)
+			})
+		case LayerNB:
+			g.toBB[i] = g.topEdges(id, func(e sim.Edge) bool {
+				return g.layer[e.To] == LayerBB && ds.Domain(e.To) == ds.Domain(id)
+			})
+			g.toNN[i] = g.topEdges(id, func(e sim.Edge) bool {
+				return g.layer[e.To] == LayerNN && ds.Domain(e.To) == ds.Domain(id)
+			})
+		case LayerBB:
+			g.toNB[i] = g.topEdges(id, func(e sim.Edge) bool {
+				return g.layer[e.To] == LayerNB && ds.Domain(e.To) == ds.Domain(id)
+			})
+			g.crossBB[i] = g.topEdges(id, func(e sim.Edge) bool {
+				return g.layer[e.To] == LayerBB && ds.Domain(e.To) != ds.Domain(id)
+			})
+		}
+	}
+	return g
+}
+
+// topEdges filters the baseline neighbors of id and keeps the top-k by
+// similarity (descending; ties by ascending ID for determinism).
+func (g *Graph) topEdges(id ratings.ItemID, keep func(sim.Edge) bool) []sim.Edge {
+	var out []sim.Edge
+	for _, e := range g.pairs.Neighbors(id) {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	sortEdges(out)
+	if g.k > 0 && len(out) > g.k {
+		out = out[:g.k]
+	}
+	return out
+}
+
+func sortEdges(es []sim.Edge) {
+	// Insertion-friendly: neighbor lists are short after filtering.
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && less(es[j], es[j-1]); j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+func less(a, b sim.Edge) bool {
+	if a.Sim != b.Sim {
+		return a.Sim > b.Sim
+	}
+	return a.To < b.To
+}
+
+// Dataset returns the underlying dataset.
+func (g *Graph) Dataset() *ratings.Dataset { return g.ds }
+
+// Pairs returns the baseline pair table the graph was built from.
+func (g *Graph) Pairs() *sim.Pairs { return g.pairs }
+
+// Source returns the source domain.
+func (g *Graph) Source() ratings.DomainID { return g.src }
+
+// Target returns the target domain.
+func (g *Graph) Target() ratings.DomainID { return g.dst }
+
+// K returns the pruning fan-out.
+func (g *Graph) K() int { return g.k }
+
+// IsBridge reports whether item i is a bridge item.
+func (g *Graph) IsBridge(i ratings.ItemID) bool { return g.isBridge[i] }
+
+// LayerOf returns the layer of item i.
+func (g *Graph) LayerOf(i ratings.ItemID) Layer { return g.layer[i] }
+
+// ToNB returns the pruned same-domain NB neighbors of an NN or BB item.
+func (g *Graph) ToNB(i ratings.ItemID) []sim.Edge { return g.toNB[i] }
+
+// ToBB returns the pruned same-domain BB neighbors of an NB item.
+func (g *Graph) ToBB(i ratings.ItemID) []sim.Edge { return g.toBB[i] }
+
+// ToNN returns the pruned same-domain NN neighbors of an NB item.
+func (g *Graph) ToNN(i ratings.ItemID) []sim.Edge { return g.toNN[i] }
+
+// CrossBB returns the pruned other-domain BB neighbors of a BB item.
+func (g *Graph) CrossBB(i ratings.ItemID) []sim.Edge { return g.crossBB[i] }
+
+// LayerCounts returns the number of items in each layer of a domain.
+func (g *Graph) LayerCounts(dom ratings.DomainID) (bb, nb, nn int) {
+	for _, i := range g.ds.ItemsInDomain(dom) {
+		switch g.layer[i] {
+		case LayerBB:
+			bb++
+		case LayerNB:
+			nb++
+		case LayerNN:
+			nn++
+		}
+	}
+	return
+}
+
+// NumPrunedEdges counts directed pruned adjacency entries, a measure of the
+// O(km) working set the pruning achieves (§3.1).
+func (g *Graph) NumPrunedEdges() int {
+	n := 0
+	for i := range g.toNB {
+		n += len(g.toNB[i]) + len(g.toBB[i]) + len(g.toNN[i]) + len(g.crossBB[i])
+	}
+	return n
+}

@@ -1,0 +1,374 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xmap/internal/ratings"
+	"xmap/internal/sim"
+)
+
+// figure1a reproduces the paper's running example: users across two
+// domains where Interstellar and The Forever War share no users but are
+// connected by the meta-path
+// Interstellar —Bob→ Inception —Cecilia→ The Forever War.
+//
+// Layout (movies: Interstellar, Inception; books: The Forever War, Extra):
+//
+//	bob:     Interstellar(5), Inception(5)                  (movies only)
+//	alice:   Interstellar(4), Inception(5)                  (movies only)
+//	cecilia: Inception(5), The Forever War(5), Extra(2)     (straddler)
+//	dan:     The Forever War(4)                             (books only)
+//
+// Cecilia is the only straddler, so Inception, The Forever War and Extra
+// are bridge items while Interstellar is NB (connected to bridge
+// Inception via bob/alice).
+func figure1a(t testing.TB) (*ratings.Dataset, map[string]ratings.ItemID) {
+	b := ratings.NewBuilder()
+	mv := b.Domain("movies")
+	bk := b.Domain("books")
+	items := map[string]ratings.ItemID{
+		"interstellar": b.Item("Interstellar", mv),
+		"inception":    b.Item("Inception", mv),
+		"forever":      b.Item("The Forever War", bk),
+		"extra":        b.Item("Extra Book", bk),
+	}
+	bob := b.User("bob")
+	cecilia := b.User("cecilia")
+	alice := b.User("alice")
+	dan := b.User("dan")
+	b.Add(bob, items["interstellar"], 5, 1)
+	b.Add(bob, items["inception"], 5, 2)
+	b.Add(alice, items["interstellar"], 4, 3)
+	b.Add(alice, items["inception"], 5, 4)
+	b.Add(cecilia, items["inception"], 5, 5)
+	b.Add(cecilia, items["forever"], 5, 6)
+	b.Add(cecilia, items["extra"], 2, 7)
+	b.Add(dan, items["forever"], 4, 8)
+	return b.Build(), items
+}
+
+func buildFig1a(t testing.TB, k int) (*Graph, map[string]ratings.ItemID) {
+	ds, items := figure1a(t)
+	pairs := sim.ComputePairs(ds, sim.Options{Metric: sim.AdjustedCosine})
+	g := Build(pairs, 0, 1, Options{K: k})
+	return g, items
+}
+
+func TestBridgeDetection(t *testing.T) {
+	g, items := buildFig1a(t, 0)
+	// cecilia is the only straddler; exactly the items she rated bridge.
+	for _, name := range []string{"inception", "forever", "extra"} {
+		if !g.IsBridge(items[name]) {
+			t.Errorf("%s should be a bridge item", name)
+		}
+	}
+	if g.IsBridge(items["interstellar"]) {
+		t.Error("Interstellar must not be a bridge (no straddler rated it)")
+	}
+	if got := g.LayerOf(items["interstellar"]); got != LayerNB {
+		t.Errorf("Interstellar layer = %v, want NB", got)
+	}
+}
+
+func TestLayerAssignmentWithNonBridges(t *testing.T) {
+	b := ratings.NewBuilder()
+	mv := b.Domain("movies")
+	bk := b.Domain("books")
+	bridgeM := b.Item("bridgeM", mv)
+	bridgeB := b.Item("bridgeB", bk)
+	nbM := b.Item("nbM", mv)       // co-rated with bridgeM by a movie-only user
+	nnM := b.Item("nnM", mv)       // co-rated only with nbM
+	lonely := b.Item("orphan", mv) // rated by nobody relevant
+
+	straddler := b.User("s")
+	b.Add(straddler, bridgeM, 5, 1)
+	b.Add(straddler, bridgeB, 5, 2)
+
+	mvUser := b.User("m1")
+	b.Add(mvUser, bridgeM, 4, 3)
+	b.Add(mvUser, nbM, 5, 4)
+
+	mvUser2 := b.User("m2")
+	b.Add(mvUser2, nbM, 3, 5)
+	b.Add(mvUser2, nnM, 4, 6)
+
+	loner := b.User("m3")
+	b.Add(loner, lonely, 2, 7)
+
+	ds := b.Build()
+	pairs := sim.ComputePairs(ds, sim.Options{})
+	g := Build(pairs, mv, bk, Options{})
+
+	cases := map[string]struct {
+		item ratings.ItemID
+		want Layer
+	}{
+		"bridgeM": {bridgeM, LayerBB},
+		"bridgeB": {bridgeB, LayerBB},
+		"nbM":     {nbM, LayerNB},
+		"nnM":     {nnM, LayerNN},
+		"orphan":  {lonely, LayerNN},
+	}
+	for name, c := range cases {
+		if got := g.LayerOf(c.item); got != c.want {
+			t.Errorf("%s: layer = %v, want %v", name, got, c.want)
+		}
+	}
+	bb, nb, nn := g.LayerCounts(mv)
+	if bb != 1 || nb != 1 || nn != 2 {
+		t.Errorf("movie layer counts = (%d,%d,%d), want (1,1,2)", bb, nb, nn)
+	}
+}
+
+func TestLayersArePartition(t *testing.T) {
+	g, _ := buildFig1a(t, 0)
+	ds := g.Dataset()
+	for dom := ratings.DomainID(0); dom < 2; dom++ {
+		bb, nb, nn := g.LayerCounts(dom)
+		if bb+nb+nn != len(ds.ItemsInDomain(dom)) {
+			t.Fatalf("domain %d: layers (%d+%d+%d) do not partition %d items",
+				dom, bb, nb, nn, len(ds.ItemsInDomain(dom)))
+		}
+	}
+}
+
+func TestCrossAdjacencyOnlyBetweenBridges(t *testing.T) {
+	g, _ := buildFig1a(t, 0)
+	ds := g.Dataset()
+	for i := 0; i < ds.NumItems(); i++ {
+		id := ratings.ItemID(i)
+		for _, e := range g.CrossBB(id) {
+			if ds.Domain(e.To) == ds.Domain(id) {
+				t.Fatalf("crossBB edge (%d,%d) within one domain", id, e.To)
+			}
+			if !g.IsBridge(id) || !g.IsBridge(e.To) {
+				t.Fatalf("crossBB edge (%d,%d) with non-bridge endpoint", id, e.To)
+			}
+		}
+	}
+}
+
+func TestKPruning(t *testing.T) {
+	g, _ := buildFig1a(t, 1)
+	ds := g.Dataset()
+	for i := 0; i < ds.NumItems(); i++ {
+		id := ratings.ItemID(i)
+		for name, adj := range map[string][]sim.Edge{
+			"toNB": g.ToNB(id), "toBB": g.ToBB(id), "toNN": g.ToNN(id), "crossBB": g.CrossBB(id),
+		} {
+			if len(adj) > 1 {
+				t.Fatalf("item %d relation %s has %d > k=1 edges", id, name, len(adj))
+			}
+		}
+	}
+}
+
+func TestAdjacencySortedBySim(t *testing.T) {
+	g, _ := buildFig1a(t, 0)
+	ds := g.Dataset()
+	for i := 0; i < ds.NumItems(); i++ {
+		id := ratings.ItemID(i)
+		for _, adj := range [][]sim.Edge{g.ToNB(id), g.ToBB(id), g.ToNN(id), g.CrossBB(id)} {
+			for k := 1; k < len(adj); k++ {
+				if adj[k-1].Sim < adj[k].Sim {
+					t.Fatalf("adjacency of %d not sorted: %v", id, adj)
+				}
+			}
+		}
+	}
+}
+
+func TestMetaPathSimilarityAndCertainty(t *testing.T) {
+	e1 := sim.Edge{To: 1, Sim: 0.8, Sig: 4, Union: 8} // Ŝ = 0.5
+	e2 := sim.Edge{To: 2, Sim: 0.4, Sig: 1, Union: 4} // Ŝ = 0.25
+	p := MetaPath{Items: []ratings.ItemID{0, 1, 2}, Edges: []sim.Edge{e1, e2}}
+	wantSim := (4*0.8 + 1*0.4) / 5.0
+	if got := p.Similarity(); math.Abs(got-wantSim) > 1e-12 {
+		t.Errorf("s_p = %v, want %v", got, wantSim)
+	}
+	if got, want := p.Certainty(), 0.125; math.Abs(got-want) > 1e-12 {
+		t.Errorf("c_p = %v, want %v", got, want)
+	}
+	if p.Len() != 2 {
+		t.Errorf("Len = %d", p.Len())
+	}
+}
+
+func TestShorterPathsHigherCertainty(t *testing.T) {
+	// Same edge statistics: the 1-edge path must have certainty >= the
+	// 2-edge path using the same kind of edges (Ŝ <= 1 multiplies down).
+	e := sim.Edge{Sim: 0.5, Sig: 3, Union: 6}
+	short := MetaPath{Edges: []sim.Edge{e}}
+	long := MetaPath{Edges: []sim.Edge{e, e}}
+	if short.Certainty() <= long.Certainty() {
+		t.Fatalf("short %v <= long %v", short.Certainty(), long.Certainty())
+	}
+}
+
+func TestEnumerateFindsInterstellarForeverWarPath(t *testing.T) {
+	g, items := buildFig1a(t, 0)
+	paths := EnumerateMetaPaths(g, items["interstellar"])
+	ps := paths[items["forever"]]
+	if len(ps) == 0 {
+		t.Fatal("no meta-path from Interstellar to The Forever War; the paper's motivating example must connect")
+	}
+	// The canonical path runs through Inception.
+	found := false
+	for _, p := range ps {
+		for _, it := range p.Items {
+			if it == items["inception"] {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("expected a path through Inception")
+	}
+	// And the standard (direct) similarity must be absent: no common users.
+	if _, ok := g.Pairs().Similarity(items["interstellar"], items["forever"]); ok {
+		t.Fatal("Interstellar/Forever War should have no direct similarity")
+	}
+}
+
+func TestXSimExact(t *testing.T) {
+	g, items := buildFig1a(t, 0)
+	v, n, ok := XSimExact(g, items["interstellar"], items["forever"])
+	if !ok || n == 0 {
+		t.Fatal("X-Sim should exist via meta-paths")
+	}
+	if v < -1-1e-9 || v > 1+1e-9 {
+		t.Fatalf("X-Sim = %v outside [-1,1]", v)
+	}
+	if _, _, ok := XSimExact(g, items["interstellar"], items["interstellar"]); ok {
+		t.Fatal("no meta-path to itself (same domain)")
+	}
+}
+
+func TestMetaPathAtMostOneItemPerLayer(t *testing.T) {
+	g, items := buildFig1a(t, 0)
+	for _, i := range []ratings.ItemID{items["interstellar"], items["inception"]} {
+		for _, ps := range EnumerateMetaPaths(g, i) {
+			for _, p := range ps {
+				layerSeen := make(map[string]bool)
+				for _, it := range p.Items {
+					key := g.LayerOf(it).String() + "-" + g.Dataset().DomainName(g.Dataset().Domain(it))
+					if layerSeen[key] {
+						t.Fatalf("path %v uses layer %s twice", p.Items, key)
+					}
+					layerSeen[key] = true
+				}
+			}
+		}
+	}
+}
+
+func TestLayerString(t *testing.T) {
+	for _, l := range []Layer{LayerBB, LayerNB, LayerNN, LayerNone, Layer(9)} {
+		if l.String() == "" {
+			t.Fatalf("empty string for layer %d", uint8(l))
+		}
+	}
+}
+
+func TestNumPrunedEdgesBoundedByKM(t *testing.T) {
+	ds := randomTwoDomain(7, 60, 40, 900, 0.4)
+	pairs := sim.ComputePairs(ds, sim.Options{})
+	k := 3
+	g := Build(pairs, 0, 1, Options{K: k})
+	// Each item has at most 2 relations with k entries each (NB has toBB
+	// and toNN; BB has toNB and crossBB; NN has toNB only).
+	maxEdges := 2 * k * ds.NumItems()
+	if got := g.NumPrunedEdges(); got > maxEdges {
+		t.Fatalf("pruned edges %d > bound %d — pruning broken", got, maxEdges)
+	}
+}
+
+func randomTwoDomain(seed int64, nu, ni, n int, overlap float64) *ratings.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := ratings.NewBuilder()
+	d0 := b.Domain("d0")
+	d1 := b.Domain("d1")
+	for u := 0; u < nu; u++ {
+		b.User(userName(u))
+	}
+	var items []ratings.ItemID
+	for i := 0; i < ni; i++ {
+		if i%2 == 0 {
+			items = append(items, b.Item(itemName(i), d0))
+		} else {
+			items = append(items, b.Item(itemName(i), d1))
+		}
+	}
+	for k := 0; k < n; k++ {
+		u := rng.Intn(nu)
+		var it ratings.ItemID
+		if float64(u) < overlap*float64(nu) {
+			it = items[rng.Intn(len(items))] // straddler candidate: any item
+		} else if u%2 == 0 {
+			it = items[2*rng.Intn(ni/2)] // domain 0 only
+		} else {
+			it = items[2*rng.Intn(ni/2)+1] // domain 1 only
+		}
+		b.Add(ratings.UserID(u), it, float64(1+rng.Intn(5)), int64(k))
+	}
+	return b.Build()
+}
+
+func userName(u int) string {
+	return "u" + string(rune('0'+u/100)) + string(rune('0'+(u/10)%10)) + string(rune('0'+u%10))
+}
+func itemName(i int) string {
+	return "i" + string(rune('0'+i/100)) + string(rune('0'+(i/10)%10)) + string(rune('0'+i%10))
+}
+
+// Property: on random two-domain datasets, (a) layers partition each
+// domain, (b) NN items never touch bridges in the baseline graph, (c) every
+// enumerated meta-path alternates per the layered topology and its
+// endpoints are in opposite domains.
+func TestQuickLayerInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		ds := randomTwoDomain(seed, 20, 14, 120, 0.3)
+		pairs := sim.ComputePairs(ds, sim.Options{})
+		g := Build(pairs, 0, 1, Options{K: 4})
+		for dom := ratings.DomainID(0); dom < 2; dom++ {
+			bb, nb, nn := g.LayerCounts(dom)
+			if bb+nb+nn != len(ds.ItemsInDomain(dom)) {
+				return false
+			}
+		}
+		for i := 0; i < ds.NumItems(); i++ {
+			id := ratings.ItemID(i)
+			if g.LayerOf(id) != LayerNN {
+				continue
+			}
+			for _, e := range pairs.Neighbors(id) {
+				if g.IsBridge(e.To) && ds.Domain(e.To) == ds.Domain(id) {
+					return false // NN item adjacent to a same-domain bridge
+				}
+			}
+		}
+		for i := 0; i < ds.NumItems(); i++ {
+			id := ratings.ItemID(i)
+			if ds.Domain(id) != 0 {
+				continue
+			}
+			for to, ps := range EnumerateMetaPaths(g, id) {
+				if ds.Domain(to) == ds.Domain(id) {
+					return false
+				}
+				for _, p := range ps {
+					if len(p.Edges) != len(p.Items)-1 || len(p.Edges) == 0 || len(p.Edges) > 5 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"xmap/internal/ratings"
+	"xmap/internal/sim"
+)
+
+// MetaPath is a concrete meta-path (Def. 3): a sequence of items, at most
+// one per layer, with the traversed edges.
+type MetaPath struct {
+	Items []ratings.ItemID
+	Edges []sim.Edge
+}
+
+// Similarity returns s_p, the significance-weighted mean of the edge
+// similarities along the path (§3.3):
+//
+//	s_p = Σ_t S_t·s_t / Σ_t S_t
+//
+// A path whose total significance is zero contributes similarity 0.
+func (p MetaPath) Similarity() float64 {
+	var num, den float64
+	for _, e := range p.Edges {
+		num += float64(e.Sig) * e.Sim
+		den += float64(e.Sig)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Certainty returns c_p = Π_t Ŝ_t (Def. 5). Longer paths multiply more
+// factors ≤ 1, so certainty inherently penalizes length.
+func (p MetaPath) Certainty() float64 {
+	c := 1.0
+	for _, e := range p.Edges {
+		c *= e.NormalizedSig()
+	}
+	return c
+}
+
+// Len returns the number of edges.
+func (p MetaPath) Len() int { return len(p.Edges) }
+
+// EnumerateMetaPaths returns every meta-path from item i (which must lie in
+// one of the two domains) to items of the other domain, respecting the
+// pruned layered topology:
+//
+//	[NN] → [NB] → BB —cross→ BB → [NB] → [NN]
+//
+// where bracketed hops apply only when the endpoint sits in that layer.
+// This is the exact-but-expensive reference used to validate the two-phase
+// extension engine (package xsim); production code never calls it on large
+// graphs. The result maps each reachable target item to its meta-paths.
+func EnumerateMetaPaths(g *Graph, i ratings.ItemID) map[ratings.ItemID][]MetaPath {
+	out := make(map[ratings.ItemID][]MetaPath)
+
+	// ascent enumerates partial paths from i up to a BB item of i's domain.
+	type partial struct {
+		items []ratings.ItemID
+		edges []sim.Edge
+	}
+	var ups []partial
+	switch g.LayerOf(i) {
+	case LayerBB:
+		ups = append(ups, partial{items: []ratings.ItemID{i}})
+	case LayerNB:
+		for _, e := range g.ToBB(i) {
+			ups = append(ups, partial{items: []ratings.ItemID{i, e.To}, edges: []sim.Edge{e}})
+		}
+	case LayerNN:
+		for _, e1 := range g.ToNB(i) {
+			for _, e2 := range g.ToBB(e1.To) {
+				ups = append(ups, partial{
+					items: []ratings.ItemID{i, e1.To, e2.To},
+					edges: []sim.Edge{e1, e2},
+				})
+			}
+		}
+	default:
+		return out
+	}
+
+	for _, up := range ups {
+		bbS := up.items[len(up.items)-1]
+		for _, cross := range g.CrossBB(bbS) {
+			bbT := cross.To
+			base := partial{
+				items: append(append([]ratings.ItemID(nil), up.items...), bbT),
+				edges: append(append([]sim.Edge(nil), up.edges...), cross),
+			}
+			// Terminate at the BB_T item itself.
+			out[bbT] = append(out[bbT], MetaPath{Items: base.items, Edges: base.edges})
+			// Descend to NB_T.
+			for _, e1 := range g.ToNB(bbT) {
+				p1 := partial{
+					items: append(append([]ratings.ItemID(nil), base.items...), e1.To),
+					edges: append(append([]sim.Edge(nil), base.edges...), e1),
+				}
+				out[e1.To] = append(out[e1.To], MetaPath{Items: p1.items, Edges: p1.edges})
+				// Descend to NN_T.
+				for _, e2 := range g.ToNN(e1.To) {
+					p2 := MetaPath{
+						Items: append(append([]ratings.ItemID(nil), p1.items...), e2.To),
+						Edges: append(append([]sim.Edge(nil), p1.edges...), e2),
+					}
+					out[e2.To] = append(out[e2.To], p2)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// XSimExact aggregates the enumerated meta-paths between i and j with the
+// X-Sim formula (Def. 6):
+//
+//	X-Sim(i,j) = Σ_p c_p·s_p / Σ_p c_p
+//
+// It returns the value and the number of contributing paths (0 paths → ok
+// is false).
+func XSimExact(g *Graph, i, j ratings.ItemID) (val float64, paths int, ok bool) {
+	all := EnumerateMetaPaths(g, i)
+	ps := all[j]
+	if len(ps) == 0 {
+		return 0, 0, false
+	}
+	var num, den float64
+	for _, p := range ps {
+		c := p.Certainty()
+		num += c * p.Similarity()
+		den += c
+	}
+	if den == 0 {
+		return 0, len(ps), false
+	}
+	return num / den, len(ps), true
+}

@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"testing"
+
+	"xmap/internal/ratings"
+	"xmap/internal/sim"
+)
+
+// Items outside the (src, dst) pair must be ignored by the layer machinery
+// — X-Map is always fitted per domain pair even when the store holds more
+// domains (e.g. movies, books and music).
+func TestThirdDomainIgnored(t *testing.T) {
+	b := ratings.NewBuilder()
+	mv := b.Domain("movies")
+	bk := b.Domain("books")
+	mu := b.Domain("music")
+
+	m := b.Item("m", mv)
+	k := b.Item("k", bk)
+	s := b.Item("s", mu)
+
+	// One user rates across all three domains.
+	u := b.User("u")
+	b.Add(u, m, 5, 0)
+	b.Add(u, k, 4, 1)
+	b.Add(u, s, 3, 2)
+	ds := b.Build()
+
+	pairs := sim.ComputePairs(ds, sim.Options{})
+	g := Build(pairs, mv, bk, Options{})
+
+	if got := g.LayerOf(s); got != LayerNone {
+		t.Fatalf("music item layer = %v, want LayerNone", got)
+	}
+	if g.IsBridge(s) {
+		t.Fatal("music item must not be a bridge for the movie/book pair")
+	}
+	// Layer counts only cover in-scope domains.
+	bb, nb, nn := g.LayerCounts(mu)
+	if bb+nb+nn != 0 {
+		t.Fatalf("music layer counts = %d/%d/%d, want all zero", bb, nb, nn)
+	}
+	// Adjacency never points into the third domain.
+	for _, i := range []ratings.ItemID{m, k} {
+		for _, e := range g.CrossBB(i) {
+			if ds.Domain(e.To) == mu {
+				t.Fatal("crossBB leaked into the music domain")
+			}
+		}
+	}
+	// Meta-paths never touch the third domain either.
+	for to := range EnumerateMetaPaths(g, m) {
+		if ds.Domain(to) == mu {
+			t.Fatal("meta-path reached the music domain")
+		}
+	}
+}
+
+func TestEmptyDomainPair(t *testing.T) {
+	// A dataset with zero straddlers has no bridges and no meta-paths.
+	b := ratings.NewBuilder()
+	mv := b.Domain("movies")
+	bk := b.Domain("books")
+	m := b.Item("m", mv)
+	k := b.Item("k", bk)
+	b.Add(b.User("u1"), m, 5, 0)
+	b.Add(b.User("u2"), k, 5, 1)
+	ds := b.Build()
+	pairs := sim.ComputePairs(ds, sim.Options{})
+	g := Build(pairs, mv, bk, Options{})
+	bb, _, _ := g.LayerCounts(mv)
+	if bb != 0 {
+		t.Fatal("no straddlers → no bridges")
+	}
+	if paths := EnumerateMetaPaths(g, m); len(paths) != 0 {
+		t.Fatalf("no straddlers → no meta-paths, got %v", paths)
+	}
+}

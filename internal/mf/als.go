@@ -1,0 +1,219 @@
+// Package mf implements Alternating Least Squares matrix factorization —
+// the stand-in for Spark MLlib-ALS, the homogeneous comparator of Table 3
+// and Figure 11. Explicit-feedback ALS with ridge regularization:
+//
+//	min Σ_{(u,i)} (r_ui − μ − p_u·q_i)²  +  λ(Σ‖p_u‖² + Σ‖q_i‖²)
+//
+// Users and items are re-solved alternately; each half-step is a set of
+// independent d×d ridge regressions, parallelized with the engine worker
+// pool exactly as MLlib distributes them over executors.
+package mf
+
+import (
+	"math"
+	"math/rand"
+
+	"xmap/internal/engine"
+	"xmap/internal/ratings"
+)
+
+// Config parameterizes ALS training.
+type Config struct {
+	Factors    int
+	Iterations int
+	Lambda     float64
+	Seed       int64
+	Workers    int
+}
+
+// DefaultConfig mirrors common MLlib settings.
+func DefaultConfig() Config {
+	return Config{Factors: 16, Iterations: 12, Lambda: 0.08, Seed: 1}
+}
+
+// Model is a trained factorization.
+type Model struct {
+	cfg  Config
+	mean float64
+	P    [][]float64 // user factors
+	Q    [][]float64 // item factors
+	ds   *ratings.Dataset
+}
+
+// Train fits ALS on every rating of the dataset (all domains — the paper's
+// ALS comparator runs on the aggregated ratings).
+func Train(ds *ratings.Dataset, cfg Config) *Model {
+	if cfg.Factors <= 0 {
+		cfg.Factors = 8
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 10
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{cfg: cfg, mean: ds.GlobalMean(), ds: ds}
+	m.P = randomFactors(rng, ds.NumUsers(), cfg.Factors)
+	m.Q = randomFactors(rng, ds.NumItems(), cfg.Factors)
+
+	for it := 0; it < cfg.Iterations; it++ {
+		// Solve users given items.
+		engine.ParallelForEach(ds.NumUsers(), cfg.Workers, func(u int) {
+			prof := ds.Items(ratings.UserID(u))
+			if len(prof) == 0 {
+				return
+			}
+			var rows []obs
+			for _, e := range prof {
+				rows = append(rows, obs{vec: m.Q[e.Item], y: e.Value - m.mean})
+			}
+			solveRidge(m.P[u], rows, cfg.Lambda)
+		})
+		// Solve items given users.
+		engine.ParallelForEach(ds.NumItems(), cfg.Workers, func(i int) {
+			prof := ds.Users(ratings.ItemID(i))
+			if len(prof) == 0 {
+				return
+			}
+			var rows []obs
+			for _, e := range prof {
+				rows = append(rows, obs{vec: m.P[e.User], y: e.Value - m.mean})
+			}
+			solveRidge(m.Q[i], rows, cfg.Lambda)
+		})
+	}
+	return m
+}
+
+type obs struct {
+	vec []float64
+	y   float64
+}
+
+// solveRidge solves (AᵀA + λn·I)x = Aᵀy in place into x, where A stacks the
+// observation vectors. λ is scaled by the observation count (the
+// "weighted-λ-regularization" MLlib uses).
+func solveRidge(x []float64, rows []obs, lambda float64) {
+	d := len(x)
+	ata := make([]float64, d*d)
+	aty := make([]float64, d)
+	for _, r := range rows {
+		for a := 0; a < d; a++ {
+			va := r.vec[a]
+			aty[a] += va * r.y
+			for b := a; b < d; b++ {
+				ata[a*d+b] += va * r.vec[b]
+			}
+		}
+	}
+	reg := lambda * float64(len(rows))
+	for a := 0; a < d; a++ {
+		ata[a*d+a] += reg
+		for b := 0; b < a; b++ {
+			ata[a*d+b] = ata[b*d+a] // symmetrize lower triangle
+		}
+	}
+	solveLinear(ata, aty, x, d)
+}
+
+// solveLinear solves the dense symmetric positive-definite system M·x = v
+// by Gaussian elimination with partial pivoting. M (d×d, row-major) and v
+// are clobbered.
+func solveLinear(m []float64, v []float64, x []float64, d int) {
+	for col := 0; col < d; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < d; r++ {
+			if math.Abs(m[r*d+col]) > math.Abs(m[p*d+col]) {
+				p = r
+			}
+		}
+		if p != col {
+			for c := 0; c < d; c++ {
+				m[p*d+c], m[col*d+c] = m[col*d+c], m[p*d+c]
+			}
+			v[p], v[col] = v[col], v[p]
+		}
+		piv := m[col*d+col]
+		if piv == 0 {
+			continue // singular direction: leave factor unchanged
+		}
+		for r := col + 1; r < d; r++ {
+			f := m[r*d+col] / piv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < d; c++ {
+				m[r*d+c] -= f * m[col*d+c]
+			}
+			v[r] -= f * v[col]
+		}
+	}
+	for r := d - 1; r >= 0; r-- {
+		sum := v[r]
+		for c := r + 1; c < d; c++ {
+			sum -= m[r*d+c] * x[c]
+		}
+		piv := m[r*d+r]
+		if piv == 0 {
+			x[r] = 0
+			continue
+		}
+		x[r] = sum / piv
+	}
+}
+
+func randomFactors(rng *rand.Rand, n, d int) [][]float64 {
+	out := make([][]float64, n)
+	scale := 1 / math.Sqrt(float64(d))
+	for i := range out {
+		v := make([]float64, d)
+		for f := range v {
+			v[f] = rng.NormFloat64() * scale
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Predict returns the model's rating estimate, clamped to [1, 5].
+func (m *Model) Predict(u ratings.UserID, i ratings.ItemID) float64 {
+	var dot float64
+	pu, qi := m.P[u], m.Q[i]
+	for f := range pu {
+		dot += pu[f] * qi[f]
+	}
+	v := m.mean + dot
+	if v < 1 {
+		v = 1
+	}
+	if v > 5 {
+		v = 5
+	}
+	return v
+}
+
+// Loss returns the regularized training objective — used to test that
+// every ALS iteration is a descent step.
+func (m *Model) Loss() float64 {
+	var sq float64
+	m.ds.ForEachRating(func(r ratings.Rating) {
+		var dot float64
+		pu, qi := m.P[r.User], m.Q[r.Item]
+		for f := range pu {
+			dot += pu[f] * qi[f]
+		}
+		e := r.Value - m.mean - dot
+		sq += e * e
+	})
+	var reg float64
+	for _, p := range m.P {
+		for _, v := range p {
+			reg += v * v
+		}
+	}
+	for _, q := range m.Q {
+		for _, v := range q {
+			reg += v * v
+		}
+	}
+	return sq + m.cfg.Lambda*reg
+}

@@ -1,0 +1,196 @@
+package mf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xmap/internal/ratings"
+)
+
+func synthetic(seed int64, nu, ni, n int) *ratings.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := ratings.NewBuilder()
+	d := b.Domain("d")
+	for u := 0; u < nu; u++ {
+		b.User(uname(u))
+	}
+	for i := 0; i < ni; i++ {
+		b.Item(iname(i), d)
+	}
+	// Low-rank structure: two user groups × two item groups.
+	for k := 0; k < n; k++ {
+		u := rng.Intn(nu)
+		i := rng.Intn(ni)
+		base := 2.0
+		if (u%2 == 0) == (i%2 == 0) {
+			base = 4.5
+		}
+		v := math.Round(base + rng.NormFloat64()*0.4)
+		if v < 1 {
+			v = 1
+		}
+		if v > 5 {
+			v = 5
+		}
+		b.Add(ratings.UserID(u), ratings.ItemID(i), v, int64(k))
+	}
+	return b.Build()
+}
+
+func uname(u int) string { return "u" + string(rune('0'+u/10)) + string(rune('0'+u%10)) }
+func iname(i int) string { return "i" + string(rune('0'+i/10)) + string(rune('0'+i%10)) }
+
+func TestALSLearnsBlockStructure(t *testing.T) {
+	ds := synthetic(1, 30, 20, 1200)
+	m := Train(ds, Config{Factors: 8, Iterations: 15, Lambda: 0.05, Seed: 1})
+	// Predictions should separate the two blocks.
+	var hi, lo float64
+	var nHi, nLo int
+	for u := 0; u < 30; u++ {
+		for i := 0; i < 20; i++ {
+			p := m.Predict(ratings.UserID(u), ratings.ItemID(i))
+			if (u%2 == 0) == (i%2 == 0) {
+				hi += p
+				nHi++
+			} else {
+				lo += p
+				nLo++
+			}
+		}
+	}
+	if hi/float64(nHi) <= lo/float64(nLo)+1 {
+		t.Fatalf("ALS failed to learn block structure: hi=%v lo=%v",
+			hi/float64(nHi), lo/float64(nLo))
+	}
+}
+
+func TestALSLossDecreases(t *testing.T) {
+	ds := synthetic(2, 25, 15, 800)
+	prev := math.Inf(1)
+	for iters := 1; iters <= 9; iters += 4 {
+		m := Train(ds, Config{Factors: 6, Iterations: iters, Lambda: 0.05, Seed: 3})
+		l := m.Loss()
+		if l > prev+1e-6 {
+			t.Fatalf("loss increased with more iterations: %v -> %v", prev, l)
+		}
+		prev = l
+	}
+}
+
+func TestALSPredictClamped(t *testing.T) {
+	ds := synthetic(3, 10, 10, 200)
+	m := Train(ds, Config{Factors: 4, Iterations: 5, Lambda: 0.01, Seed: 1})
+	for u := 0; u < 10; u++ {
+		for i := 0; i < 10; i++ {
+			p := m.Predict(ratings.UserID(u), ratings.ItemID(i))
+			if p < 1 || p > 5 {
+				t.Fatalf("prediction %v out of range", p)
+			}
+		}
+	}
+}
+
+func TestALSParallelMatchesSequential(t *testing.T) {
+	ds := synthetic(4, 20, 15, 500)
+	a := Train(ds, Config{Factors: 4, Iterations: 6, Lambda: 0.05, Seed: 7, Workers: 1})
+	b := Train(ds, Config{Factors: 4, Iterations: 6, Lambda: 0.05, Seed: 7, Workers: 8})
+	for u := 0; u < 20; u++ {
+		for i := 0; i < 15; i++ {
+			pa := a.Predict(ratings.UserID(u), ratings.ItemID(i))
+			pb := b.Predict(ratings.UserID(u), ratings.ItemID(i))
+			if math.Abs(pa-pb) > 1e-9 {
+				t.Fatalf("parallel/sequential divergence at (%d,%d): %v vs %v", u, i, pa, pb)
+			}
+		}
+	}
+}
+
+func TestALSBeatsGlobalMeanOnTraining(t *testing.T) {
+	ds := synthetic(5, 30, 20, 1000)
+	m := Train(ds, Config{Factors: 8, Iterations: 12, Lambda: 0.05, Seed: 1})
+	var maeALS, maeMean float64
+	var n int
+	ds.ForEachRating(func(r ratings.Rating) {
+		maeALS += math.Abs(m.Predict(r.User, r.Item) - r.Value)
+		maeMean += math.Abs(ds.GlobalMean() - r.Value)
+		n++
+	})
+	if maeALS >= maeMean {
+		t.Fatalf("ALS training MAE %v not below global-mean MAE %v",
+			maeALS/float64(n), maeMean/float64(n))
+	}
+}
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+	m := []float64{2, 1, 1, 3}
+	v := []float64{5, 10}
+	x := make([]float64, 2)
+	solveLinear(m, v, x, 2)
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Fatalf("solution = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	// Singular system must not panic or produce NaN.
+	m := []float64{1, 1, 1, 1}
+	v := []float64{2, 2}
+	x := make([]float64, 2)
+	solveLinear(m, v, x, 2)
+	for _, xi := range x {
+		if math.IsNaN(xi) || math.IsInf(xi, 0) {
+			t.Fatalf("singular solve produced %v", x)
+		}
+	}
+}
+
+// Property: solveLinear solves random SPD systems to high accuracy.
+func TestQuickSolveLinearSPD(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(6)
+		// A = BᵀB + I is SPD.
+		bm := make([]float64, d*d)
+		for i := range bm {
+			bm[i] = rng.NormFloat64()
+		}
+		a := make([]float64, d*d)
+		for r := 0; r < d; r++ {
+			for c := 0; c < d; c++ {
+				var s float64
+				for k := 0; k < d; k++ {
+					s += bm[k*d+r] * bm[k*d+c]
+				}
+				a[r*d+c] = s
+			}
+			a[r*d+r] += 1
+		}
+		want := make([]float64, d)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		v := make([]float64, d)
+		for r := 0; r < d; r++ {
+			var s float64
+			for c := 0; c < d; c++ {
+				s += a[r*d+c] * want[c]
+			}
+			v[r] = s
+		}
+		aCopy := append([]float64(nil), a...)
+		got := make([]float64, d)
+		solveLinear(aCopy, v, got, d)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package privacy
+
+import (
+	"math"
+	"math/rand"
+
+	"xmap/internal/ratings"
+)
+
+// Candidate is one potential neighbor for private selection: an item with
+// its similarity to the query item and the pair's similarity-based
+// sensitivity SS.
+type Candidate struct {
+	ID  ratings.ItemID
+	Sim float64
+	SS  float64
+}
+
+// PNSAConfig parameterizes Algorithm 4.
+type PNSAConfig struct {
+	// K is the number of neighbors to select.
+	K int
+	// Epsilon is ε′, the full neighbor-selection budget; each of the K
+	// rounds uses ε′/(2K) per the paper's allocation.
+	Epsilon float64
+	// Rho is the failure probability ρ of Theorems 3–4 (default 0.1).
+	Rho float64
+	// VectorLen is |v|, the maximal rating-vector length (default: number
+	// of candidates).
+	VectorLen int
+}
+
+// TruncationWidth computes w = min(Simk, (4K/ε′)·SS·ln(K(|v|−K)/ρ)) from
+// Theorems 3 and 4, where SS is the maximal sensitivity among candidates.
+func TruncationWidth(simK, maxSS float64, cfg PNSAConfig) float64 {
+	if cfg.Epsilon <= 0 || cfg.K <= 0 {
+		return simK
+	}
+	rho := cfg.Rho
+	if rho <= 0 || rho >= 1 {
+		rho = 0.1
+	}
+	v := cfg.VectorLen
+	if v <= cfg.K {
+		return simK
+	}
+	arg := float64(cfg.K) * float64(v-cfg.K) / rho
+	if arg <= 1 {
+		return simK
+	}
+	w := (4 * float64(cfg.K) / cfg.Epsilon) * maxSS * math.Log(arg)
+	if simK < w {
+		return simK
+	}
+	return w
+}
+
+// PNSA is Algorithm 4: it selects K neighbors from the candidates without
+// replacement, each draw using the exponential mechanism over truncated
+// similarities Ŝim = max(Sim, Simk − w) with per-candidate scale
+// ε′·Ŝim/(2K·2SS). Returns the chosen candidates (all candidates when
+// |candidates| ≤ K). The input slice is not modified.
+func PNSA(rng *rand.Rand, cands []Candidate, cfg PNSAConfig) []Candidate {
+	if cfg.K <= 0 {
+		return nil
+	}
+	if len(cands) <= cfg.K {
+		out := make([]Candidate, len(cands))
+		copy(out, cands)
+		return out
+	}
+	if cfg.VectorLen <= 0 {
+		cfg.VectorLen = len(cands)
+	}
+
+	// Simk: the K-th largest similarity.
+	simK := kthLargest(cands, cfg.K)
+	maxSS := 0.0
+	for _, c := range cands {
+		if c.SS > maxSS {
+			maxSS = c.SS
+		}
+	}
+	w := TruncationWidth(simK, maxSS, cfg)
+	floor := simK - w
+
+	pool := make([]Candidate, len(cands))
+	copy(pool, cands)
+	out := make([]Candidate, 0, cfg.K)
+	for round := 0; round < cfg.K && len(pool) > 0; round++ {
+		// Exponent per candidate: ε′·Ŝim/(2K·2SS). Log-domain stabilized.
+		maxE := math.Inf(-1)
+		exps := make([]float64, len(pool))
+		for i, c := range pool {
+			trunc := c.Sim
+			if trunc < floor {
+				trunc = floor
+			}
+			ss := c.SS
+			if ss < SensitivityFloor {
+				ss = SensitivityFloor
+			}
+			e := cfg.Epsilon * trunc / (2 * float64(cfg.K) * 2 * ss)
+			exps[i] = e
+			if e > maxE {
+				maxE = e
+			}
+		}
+		var total float64
+		for i := range exps {
+			exps[i] = math.Exp(exps[i] - maxE)
+			total += exps[i]
+		}
+		r := rng.Float64() * total
+		var cum float64
+		sel := len(pool) - 1
+		for i, wgt := range exps {
+			cum += wgt
+			if r <= cum {
+				sel = i
+				break
+			}
+		}
+		out = append(out, pool[sel])
+		pool[sel] = pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+	}
+	return out
+}
+
+// kthLargest returns the k-th largest Sim among candidates (k ≥ 1;
+// len(cands) ≥ k assumed by the caller).
+func kthLargest(cands []Candidate, k int) float64 {
+	sims := make([]float64, len(cands))
+	for i, c := range cands {
+		sims[i] = c.Sim
+	}
+	// Partial selection sort: k is small (≤ 100 in every experiment).
+	for i := 0; i < k; i++ {
+		maxIdx := i
+		for j := i + 1; j < len(sims); j++ {
+			if sims[j] > sims[maxIdx] {
+				maxIdx = j
+			}
+		}
+		sims[i], sims[maxIdx] = sims[maxIdx], sims[i]
+	}
+	return sims[k-1]
+}
+
+// NoisySimilarity perturbs a similarity for PNCF (Algorithm 5, step 9):
+// τ + Lap(SS/(ε′/2)).
+func NoisySimilarity(rng *rand.Rand, sim, ss, eps float64) float64 {
+	if eps <= 0 {
+		return sim
+	}
+	if ss < SensitivityFloor {
+		ss = SensitivityFloor
+	}
+	return sim + Laplace(rng, ss/(eps/2))
+}

@@ -1,0 +1,172 @@
+package privacy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xmap/internal/ratings"
+)
+
+func mkCands(sims []float64) []Candidate {
+	out := make([]Candidate, len(sims))
+	for i, s := range sims {
+		out[i] = Candidate{ID: ratings.ItemID(i), Sim: s, SS: 0.1}
+	}
+	return out
+}
+
+func TestPNSAReturnsAllWhenFewCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cands := mkCands([]float64{0.5, 0.2})
+	out := PNSA(rng, cands, PNSAConfig{K: 5, Epsilon: 1})
+	if len(out) != 2 {
+		t.Fatalf("got %d, want all 2", len(out))
+	}
+}
+
+func TestPNSASelectsKDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cands := mkCands([]float64{0.9, 0.8, 0.7, 0.1, -0.5, -0.9})
+	out := PNSA(rng, cands, PNSAConfig{K: 3, Epsilon: 1, Rho: 0.1})
+	if len(out) != 3 {
+		t.Fatalf("selected %d, want 3", len(out))
+	}
+	seen := map[ratings.ItemID]bool{}
+	for _, c := range out {
+		if seen[c.ID] {
+			t.Fatalf("duplicate selection %v", c.ID)
+		}
+		seen[c.ID] = true
+	}
+}
+
+func TestPNSAInputNotModified(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cands := mkCands([]float64{0.9, 0.8, 0.7, 0.1})
+	snapshot := append([]Candidate(nil), cands...)
+	PNSA(rng, cands, PNSAConfig{K: 2, Epsilon: 1})
+	for i := range cands {
+		if cands[i] != snapshot[i] {
+			t.Fatal("PNSA mutated its input")
+		}
+	}
+}
+
+func TestPNSAHighEpsilonPicksTopK(t *testing.T) {
+	// With a huge budget the mechanism should behave nearly greedily:
+	// the top-2 items dominate the selections.
+	rng := rand.New(rand.NewSource(4))
+	cands := mkCands([]float64{0.95, 0.90, -0.9, -0.95})
+	hits := 0
+	const n = 300
+	for i := 0; i < n; i++ {
+		out := PNSA(rng, cands, PNSAConfig{K: 2, Epsilon: 1000, Rho: 0.1})
+		got := map[ratings.ItemID]bool{}
+		for _, c := range out {
+			got[c.ID] = true
+		}
+		if got[0] && got[1] {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; frac < 0.95 {
+		t.Fatalf("greedy fraction = %v, want ≈ 1 at huge ε", frac)
+	}
+}
+
+func TestPNSALowEpsilonNearUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cands := mkCands([]float64{0.95, -0.95})
+	first := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		out := PNSA(rng, cands[:2], PNSAConfig{K: 1, Epsilon: 1e-9})
+		if out[0].ID == 0 {
+			first++
+		}
+	}
+	if frac := float64(first) / n; math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("ε→0 selection frequency = %v, want ~0.5", frac)
+	}
+}
+
+func TestTruncationWidth(t *testing.T) {
+	cfg := PNSAConfig{K: 10, Epsilon: 0.8, Rho: 0.1, VectorLen: 500}
+	w := TruncationWidth(0.5, 0.05, cfg)
+	if w <= 0 {
+		t.Fatalf("w = %v, want > 0", w)
+	}
+	if w > 0.5+1e-12 {
+		t.Fatalf("w = %v must be capped at Simk", w)
+	}
+	// Tiny vector: w degenerates to Simk.
+	cfg.VectorLen = 5
+	if got := TruncationWidth(0.5, 0.05, cfg); got != 0.5 {
+		t.Fatalf("w = %v, want Simk when |v| <= K", got)
+	}
+}
+
+func TestKthLargest(t *testing.T) {
+	c := mkCands([]float64{0.1, 0.9, 0.5, 0.7})
+	if got := kthLargest(c, 1); got != 0.9 {
+		t.Fatalf("1st = %v", got)
+	}
+	if got := kthLargest(c, 3); got != 0.5 {
+		t.Fatalf("3rd = %v", got)
+	}
+	if got := kthLargest(c, 4); got != 0.1 {
+		t.Fatalf("4th = %v", got)
+	}
+}
+
+func TestNoisySimilarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	// eps = 0 → identity.
+	if got := NoisySimilarity(rng, 0.4, 0.1, 0); got != 0.4 {
+		t.Fatalf("eps=0 should be identity, got %v", got)
+	}
+	// Noise is centered: average over many draws approaches sim.
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += NoisySimilarity(rng, 0.4, 0.1, 1.0)
+	}
+	if mean := sum / n; math.Abs(mean-0.4) > 0.01 {
+		t.Fatalf("mean noisy sim = %v, want ≈ 0.4", mean)
+	}
+}
+
+// Property: PNSA always returns min(K, len) distinct candidates drawn from
+// the input set.
+func TestQuickPNSAWellFormed(t *testing.T) {
+	f := func(seed int64, kRaw, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%30) + 1
+		k := int(kRaw%10) + 1
+		cands := make([]Candidate, n)
+		for i := range cands {
+			cands[i] = Candidate{ID: ratings.ItemID(i), Sim: rng.Float64()*2 - 1, SS: rng.Float64() * 0.2}
+		}
+		out := PNSA(rng, cands, PNSAConfig{K: k, Epsilon: 0.5, Rho: 0.1})
+		want := k
+		if n < k {
+			want = n
+		}
+		if len(out) != want {
+			return false
+		}
+		seen := map[ratings.ItemID]bool{}
+		for _, c := range out {
+			if seen[c.ID] || int(c.ID) >= n {
+				return false
+			}
+			seen[c.ID] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

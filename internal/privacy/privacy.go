@@ -1,0 +1,132 @@
+// Package privacy implements the differential-privacy machinery of X-Map
+// (paper §2.2, §4): Laplace noise, the exponential mechanism, the Private
+// Replacement Selection (PRS, Algorithm 3, Theorem 1), the similarity-based
+// sensitivity (Theorem 2), Private Neighbor Selection with truncated
+// similarities (PNSA, Algorithm 4, Theorems 3–4), the noisy prediction
+// weights of PNCF (Algorithm 5), and a simple sequential-composition budget
+// accountant.
+//
+// All randomness flows through an explicit *rand.Rand so every private run
+// is reproducible under a seed; production deployments would swap in
+// crypto/rand via the same interfaces.
+package privacy
+
+import (
+	"math"
+	"math/rand"
+)
+
+// XSimGlobalSensitivity is GS in Algorithm 3: X-Sim ranges over [-1, 1], so
+// |X-Sim_max − X-Sim_min| = 2.
+const XSimGlobalSensitivity = 2.0
+
+// Laplace draws from Laplace(0, scale) by inverse-CDF sampling.
+func Laplace(rng *rand.Rand, scale float64) float64 {
+	if scale <= 0 {
+		return 0
+	}
+	// u uniform in (-1/2, 1/2); x = -b·sgn(u)·ln(1-2|u|).
+	u := rng.Float64() - 0.5
+	if u >= 0 {
+		return -scale * math.Log(1-2*u)
+	}
+	return scale * math.Log(1+2*u)
+}
+
+// Exponential samples index j with probability proportional to
+// exp(ε·score_j / (2·sensitivity)) — the exponential mechanism of McSherry
+// and Talwar, which PRS instantiates with X-Sim as the score function.
+// Returns -1 for an empty score slice. Computation is log-domain stabilized
+// (the maximum exponent is subtracted before exponentiation).
+func Exponential(rng *rand.Rand, scores []float64, eps, sensitivity float64) int {
+	if len(scores) == 0 {
+		return -1
+	}
+	if len(scores) == 1 {
+		return 0
+	}
+	if sensitivity <= 0 || eps <= 0 {
+		// No usable signal: degenerate to a uniform draw (infinite privacy).
+		return rng.Intn(len(scores))
+	}
+	exps := make([]float64, len(scores))
+	maxE := math.Inf(-1)
+	for i, s := range scores {
+		e := eps * s / (2 * sensitivity)
+		exps[i] = e
+		if e > maxE {
+			maxE = e
+		}
+	}
+	var total float64
+	for i := range exps {
+		exps[i] = math.Exp(exps[i] - maxE)
+		total += exps[i]
+	}
+	r := rng.Float64() * total
+	var cum float64
+	for i, w := range exps {
+		cum += w
+		if r <= cum {
+			return i
+		}
+	}
+	return len(scores) - 1
+}
+
+// ExponentialProbabilities returns the selection distribution the
+// exponential mechanism induces over the scores — used by tests and by the
+// privacy example to visualize the obfuscation.
+func ExponentialProbabilities(scores []float64, eps, sensitivity float64) []float64 {
+	out := make([]float64, len(scores))
+	if len(scores) == 0 {
+		return out
+	}
+	if sensitivity <= 0 || eps <= 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(scores))
+		}
+		return out
+	}
+	maxE := math.Inf(-1)
+	for _, s := range scores {
+		e := eps * s / (2 * sensitivity)
+		if e > maxE {
+			maxE = e
+		}
+	}
+	var total float64
+	for i, s := range scores {
+		out[i] = math.Exp(eps*s/(2*sensitivity) - maxE)
+		total += out[i]
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}
+
+// PRS is Algorithm 3: ε-differentially-private replacement selection.
+// Given the X-Sim scores of candidate replacement items, it samples one
+// index with probability ∝ exp(ε·X-Sim/(2·GS)), GS = 2 (Theorem 1).
+func PRS(rng *rand.Rand, xsims []float64, eps float64) int {
+	return Exponential(rng, xsims, eps, XSimGlobalSensitivity)
+}
+
+// Accountant tracks spent privacy budget under sequential composition.
+type Accountant struct {
+	spent float64
+}
+
+// Spend records a mechanism invocation of cost eps.
+func (a *Accountant) Spend(eps float64) {
+	if eps > 0 {
+		a.spent += eps
+	}
+}
+
+// Spent returns the total ε consumed so far.
+func (a *Accountant) Spent() float64 { return a.spent }
+
+// Reset zeroes the accountant.
+func (a *Accountant) Reset() { a.spent = 0 }

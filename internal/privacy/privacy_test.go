@@ -1,0 +1,186 @@
+package privacy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLaplaceMomentsAndSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 200000
+	const scale = 2.0
+	var sum, sumSq float64
+	neg := 0
+	for i := 0; i < n; i++ {
+		x := Laplace(rng, scale)
+		sum += x
+		sumSq += x * x
+		if x < 0 {
+			neg++
+		}
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	// Var(Laplace(b)) = 2b² = 8.
+	if math.Abs(variance-8) > 0.4 {
+		t.Errorf("variance = %v, want ~8", variance)
+	}
+	frac := float64(neg) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("P(X<0) = %v, want ~0.5", frac)
+	}
+}
+
+func TestLaplaceZeroScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := Laplace(rng, 0); got != 0 {
+		t.Fatalf("Laplace(0) = %v, want 0", got)
+	}
+	if got := Laplace(rng, -1); got != 0 {
+		t.Fatalf("Laplace(-1) = %v, want 0", got)
+	}
+}
+
+func TestExponentialEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if got := Exponential(rng, nil, 1, 2); got != -1 {
+		t.Fatalf("empty scores = %d, want -1", got)
+	}
+	if got := Exponential(rng, []float64{0.4}, 1, 2); got != 0 {
+		t.Fatalf("single score = %d, want 0", got)
+	}
+}
+
+func TestExponentialDistributionMatchesTheory(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	scores := []float64{1.0, 0.5, -1.0}
+	eps, gs := 2.0, 2.0
+	want := ExponentialProbabilities(scores, eps, gs)
+	counts := make([]int, len(scores))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[Exponential(rng, scores, eps, gs)]++
+	}
+	for i := range scores {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want[i]) > 0.01 {
+			t.Errorf("P(%d) = %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestExponentialProbabilitiesNormalize(t *testing.T) {
+	p := ExponentialProbabilities([]float64{0.9, -0.9, 0.1, 0.3}, 0.5, 2)
+	var s float64
+	for _, v := range p {
+		s += v
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Fatalf("probabilities sum to %v", s)
+	}
+}
+
+func TestExponentialUniformWhenNoBudget(t *testing.T) {
+	p := ExponentialProbabilities([]float64{1, -1}, 0, 2)
+	if math.Abs(p[0]-0.5) > 1e-12 || math.Abs(p[1]-0.5) > 1e-12 {
+		t.Fatalf("eps=0 must be uniform, got %v", p)
+	}
+}
+
+// The Theorem 1 guarantee: for any two score vectors that differ by at most
+// GS in any coordinate (neighboring datasets), the selection probabilities
+// differ by at most a factor exp(ε).
+func TestPRSDifferentialPrivacyBound(t *testing.T) {
+	eps := 0.5
+	s1 := []float64{0.9, 0.1, -0.5, 0.4}
+	s2 := append([]float64(nil), s1...)
+	// Worst-case neighboring perturbation: one user removal can move any
+	// similarity by at most GS (in fact the full range).
+	s2[0] -= XSimGlobalSensitivity
+	s2[2] += XSimGlobalSensitivity
+
+	p1 := ExponentialProbabilities(s1, eps, XSimGlobalSensitivity)
+	p2 := ExponentialProbabilities(s2, eps, XSimGlobalSensitivity)
+	for i := range p1 {
+		ratio := p1[i] / p2[i]
+		if ratio > math.Exp(eps)+1e-9 || ratio < math.Exp(-eps)-1e-9 {
+			t.Fatalf("index %d: probability ratio %v violates exp(±ε)=%v",
+				i, ratio, math.Exp(eps))
+		}
+	}
+}
+
+func TestPRSPrefersHighXSim(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	scores := []float64{0.95, -0.95}
+	high := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if PRS(rng, scores, 0.8) == 0 {
+			high++
+		}
+	}
+	// With ε=0.8, P(high) = e^{0.19}/(e^{0.19}+e^{-0.19}) ≈ 0.594.
+	frac := float64(high) / n
+	if frac < 0.55 || frac > 0.65 {
+		t.Fatalf("P(high-sim pick) = %v, want ≈ 0.594", frac)
+	}
+}
+
+func TestPRSMoreEpsilonMoreGreedy(t *testing.T) {
+	scores := []float64{0.9, 0.0, -0.9}
+	pLow := ExponentialProbabilities(scores, 0.1, XSimGlobalSensitivity)
+	pHigh := ExponentialProbabilities(scores, 5.0, XSimGlobalSensitivity)
+	if pHigh[0] <= pLow[0] {
+		t.Fatalf("greater ε must concentrate on the best item: %v vs %v", pHigh[0], pLow[0])
+	}
+}
+
+func TestAccountant(t *testing.T) {
+	var a Accountant
+	a.Spend(0.3)
+	a.Spend(0.8)
+	a.Spend(-1) // ignored
+	if math.Abs(a.Spent()-1.1) > 1e-12 {
+		t.Fatalf("Spent = %v, want 1.1", a.Spent())
+	}
+	a.Reset()
+	if a.Spent() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+// Property: the exponential mechanism always returns a valid index and the
+// probability vector is a distribution.
+func TestQuickExponentialValid(t *testing.T) {
+	f := func(seed int64, n uint8, epsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := int(n%20) + 1
+		scores := make([]float64, m)
+		for i := range scores {
+			scores[i] = rng.Float64()*2 - 1
+		}
+		eps := float64(epsRaw%40) / 10.0
+		idx := Exponential(rng, scores, eps, 2)
+		if idx < 0 || idx >= m {
+			return false
+		}
+		p := ExponentialProbabilities(scores, eps, 2)
+		var s float64
+		for _, v := range p {
+			if v < 0 || math.IsNaN(v) {
+				return false
+			}
+			s += v
+		}
+		return math.Abs(s-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

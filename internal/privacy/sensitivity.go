@@ -1,0 +1,109 @@
+package privacy
+
+import (
+	"math"
+
+	"xmap/internal/ratings"
+)
+
+// SensitivityFloor keeps Laplace scales and exponential-mechanism
+// denominators strictly positive when a pair's formal sensitivity collapses
+// to zero (e.g. a single co-rater whose centered ratings are 0).
+const SensitivityFloor = 1e-6
+
+// SensitivityCap bounds the similarity-based sensitivity from above.
+// Similarities live in [-1, 1], so a removal can never change a similarity
+// by more than 2; in practice the Theorem 2 terms are ≤ 1.
+const SensitivityCap = 1.0
+
+// SimilaritySensitivity computes SS(ti, tj) of Theorem 2: the local,
+// similarity-based sensitivity of the adjusted-cosine similarity between
+// two items with respect to the removal of one co-rating user.
+//
+// Ratings are user-mean centered (as in adjusted cosine); for each co-rater
+// x the two Theorem 2 terms are evaluated with ‖r′‖ denoting the norm of
+// the co-rated vector with x removed. The result is clamped to
+// [SensitivityFloor, SensitivityCap].
+func SimilaritySensitivity(ds *ratings.Dataset, ti, tj ratings.ItemID) float64 {
+	ui := ds.Users(ti)
+	uj := ds.Users(tj)
+	// Merge join over the sorted user lists to find co-raters and build the
+	// centered co-rating vectors.
+	var xi, xj []float64
+	a, b := 0, 0
+	for a < len(ui) && b < len(uj) {
+		switch {
+		case ui[a].User < uj[b].User:
+			a++
+		case ui[a].User > uj[b].User:
+			b++
+		default:
+			mean := ds.UserMean(ui[a].User)
+			xi = append(xi, ui[a].Value-mean)
+			xj = append(xj, uj[b].Value-mean)
+			a++
+			b++
+		}
+	}
+	return VectorSensitivity(xi, xj)
+}
+
+// VectorSensitivity is the vector form of Theorem 2, exposed for tests and
+// for callers that already hold centered co-rating vectors.
+func VectorSensitivity(xi, xj []float64) float64 {
+	n := len(xi)
+	if n == 0 || n != len(xj) {
+		return SensitivityFloor
+	}
+	var dot, ni2, nj2 float64
+	for k := 0; k < n; k++ {
+		dot += xi[k] * xj[k]
+		ni2 += xi[k] * xi[k]
+		nj2 += xj[k] * xj[k]
+	}
+	normI := math.Sqrt(ni2)
+	normJ := math.Sqrt(nj2)
+	full := 0.0
+	if normI > 0 && normJ > 0 {
+		full = dot / (normI * normJ)
+	}
+
+	var ss float64
+	for x := 0; x < n; x++ {
+		// Norms with user x removed.
+		ri2 := ni2 - xi[x]*xi[x]
+		rj2 := nj2 - xj[x]*xj[x]
+		if ri2 < 0 {
+			ri2 = 0
+		}
+		if rj2 < 0 {
+			rj2 = 0
+		}
+		rni := math.Sqrt(ri2)
+		rnj := math.Sqrt(rj2)
+		if rni <= 0 || rnj <= 0 {
+			// Removing x annihilates a vector: the similarity is fully
+			// determined by x, the worst case.
+			ss = SensitivityCap
+			break
+		}
+		term1 := math.Abs(xi[x]*xj[x]) / (rni * rnj)
+		term2 := dot/(rni*rnj) - full
+		if term2 < 0 {
+			term2 = -term2
+		}
+		if term1 > ss {
+			ss = term1
+		}
+		if term2 > ss {
+			ss = term2
+		}
+	}
+	if ss > SensitivityCap {
+		ss = SensitivityCap
+	}
+	if ss < SensitivityFloor {
+		ss = SensitivityFloor
+	}
+	return ss
+}

@@ -1,0 +1,132 @@
+package privacy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xmap/internal/ratings"
+)
+
+func TestVectorSensitivityBounds(t *testing.T) {
+	ss := VectorSensitivity([]float64{1, -1, 0.5}, []float64{0.5, -0.5, 1})
+	if ss < SensitivityFloor || ss > SensitivityCap {
+		t.Fatalf("SS = %v outside [%v, %v]", ss, SensitivityFloor, SensitivityCap)
+	}
+}
+
+func TestVectorSensitivityEmpty(t *testing.T) {
+	if got := VectorSensitivity(nil, nil); got != SensitivityFloor {
+		t.Fatalf("empty SS = %v, want floor", got)
+	}
+	if got := VectorSensitivity([]float64{1}, []float64{1, 2}); got != SensitivityFloor {
+		t.Fatalf("mismatched SS = %v, want floor", got)
+	}
+}
+
+func TestVectorSensitivitySingleCoRater(t *testing.T) {
+	// One co-rater fully determines the similarity: worst case.
+	if got := VectorSensitivity([]float64{1}, []float64{0.5}); got != SensitivityCap {
+		t.Fatalf("single-co-rater SS = %v, want cap", got)
+	}
+}
+
+// The semantic check for Theorem 2. The true removal delta decomposes (by
+// the triangle inequality) into the two Theorem 2 terms:
+//
+//	|Δsim| ≤ |x_i·x_j|/(‖r′i‖‖r′j‖) + |dot/(‖r′i‖‖r′j‖) − dot/(‖ri‖‖rj‖)|
+//
+// The paper takes the max of the terms, so the derived guarantee is
+// |Δsim| ≤ 2·SS; we assert that bound.
+func TestSensitivityDominatesActualRemoval(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(8)
+		xi := make([]float64, n)
+		xj := make([]float64, n)
+		for k := range xi {
+			xi[k] = rng.Float64()*4 - 2
+			xj[k] = rng.Float64()*4 - 2
+		}
+		ss := VectorSensitivity(xi, xj)
+		full := cosine(xi, xj)
+		for drop := 0; drop < n; drop++ {
+			ri := removeAt(xi, drop)
+			rj := removeAt(xj, drop)
+			delta := math.Abs(cosine(ri, rj) - full)
+			if delta > 2*ss+1e-9 && ss < SensitivityCap {
+				t.Fatalf("trial %d drop %d: |Δsim| = %v > 2·SS = %v", trial, drop, delta, 2*ss)
+			}
+		}
+	}
+}
+
+func cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for k := range a {
+		dot += a[k] * b[k]
+		na += a[k] * a[k]
+		nb += b[k] * b[k]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+func removeAt(v []float64, i int) []float64 {
+	out := make([]float64, 0, len(v)-1)
+	out = append(out, v[:i]...)
+	return append(out, v[i+1:]...)
+}
+
+func TestSimilaritySensitivityFromDataset(t *testing.T) {
+	b := ratings.NewBuilder()
+	d := b.Domain("d")
+	i := b.Item("i", d)
+	j := b.Item("j", d)
+	k := b.Item("k", d)
+	for u := 0; u < 5; u++ {
+		uid := b.User(string(rune('a' + u)))
+		b.Add(uid, i, float64(1+u%5), int64(u))
+		b.Add(uid, j, float64(1+(u+1)%5), int64(u))
+		b.Add(uid, k, 3, int64(u))
+	}
+	ds := b.Build()
+	ss := SimilaritySensitivity(ds, i, j)
+	if ss < SensitivityFloor || ss > SensitivityCap {
+		t.Fatalf("SS = %v out of range", ss)
+	}
+	// No co-raters → floor.
+	b2 := ratings.NewBuilder()
+	d2 := b2.Domain("d")
+	x := b2.Item("x", d2)
+	y := b2.Item("y", d2)
+	b2.Add(b2.User("u1"), x, 5, 0)
+	b2.Add(b2.User("u2"), y, 5, 0)
+	ds2 := b2.Build()
+	if got := SimilaritySensitivity(ds2, x, y); got != SensitivityFloor {
+		t.Fatalf("no-co-rater SS = %v, want floor", got)
+	}
+}
+
+// Property: sensitivity is symmetric in the pair and always within bounds.
+func TestQuickSensitivitySymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		xi := make([]float64, n)
+		xj := make([]float64, n)
+		for k := range xi {
+			xi[k] = rng.Float64()*4 - 2
+			xj[k] = rng.Float64()*4 - 2
+		}
+		a := VectorSensitivity(xi, xj)
+		b := VectorSensitivity(xj, xi)
+		return math.Abs(a-b) < 1e-12 && a >= SensitivityFloor && a <= SensitivityCap
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

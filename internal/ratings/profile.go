@@ -1,0 +1,85 @@
+package ratings
+
+import "sort"
+
+// Profile helpers operate on free-standing []Entry profiles — AlterEgo
+// profiles live outside any Dataset until (optionally) merged back in.
+
+// SortEntries sorts a profile in place by ItemID.
+func SortEntries(p []Entry) {
+	sort.Slice(p, func(a, b int) bool { return p[a].Item < p[b].Item })
+}
+
+// ProfileMean returns the mean rating of a profile, or fallback if empty.
+func ProfileMean(p []Entry, fallback float64) float64 {
+	if len(p) == 0 {
+		return fallback
+	}
+	var s float64
+	for _, e := range p {
+		s += e.Value
+	}
+	return s / float64(len(p))
+}
+
+// ProfileRating looks up an item in a sorted profile.
+func ProfileRating(p []Entry, i ItemID) (float64, bool) {
+	lo := sort.Search(len(p), func(k int) bool { return p[k].Item >= i })
+	if lo < len(p) && p[lo].Item == i {
+		return p[lo].Value, true
+	}
+	return 0, false
+}
+
+// MergeEntries merges duplicate items in a profile: ratings are averaged and
+// the most recent timestep is kept. The input need not be sorted; the output
+// is sorted by ItemID. Used when several source items map to the same
+// AlterEgo replacement (see DESIGN.md, "AlterEgo collisions").
+func MergeEntries(p []Entry) []Entry {
+	if len(p) == 0 {
+		return nil
+	}
+	type acc struct {
+		sum  float64
+		n    int
+		time int64
+	}
+	m := make(map[ItemID]*acc, len(p))
+	for _, e := range p {
+		a, ok := m[e.Item]
+		if !ok {
+			a = &acc{}
+			m[e.Item] = a
+		}
+		a.sum += e.Value
+		a.n++
+		if e.Time > a.time {
+			a.time = e.Time
+		}
+	}
+	out := make([]Entry, 0, len(m))
+	for item, a := range m {
+		out = append(out, Entry{Item: item, Value: a.sum / float64(a.n), Time: a.time})
+	}
+	SortEntries(out)
+	return out
+}
+
+// AppendProfiles combines a base profile with extra entries; on item
+// collision the base profile wins (paper footnote 6: a user's real target
+// ratings take precedence over mapped AlterEgo entries). Output sorted.
+func AppendProfiles(base, extra []Entry) []Entry {
+	seen := make(map[ItemID]bool, len(base))
+	out := make([]Entry, 0, len(base)+len(extra))
+	for _, e := range base {
+		seen[e.Item] = true
+		out = append(out, e)
+	}
+	for _, e := range extra {
+		if !seen[e.Item] {
+			out = append(out, e)
+		}
+	}
+	SortEntries(out)
+	return out
+}

@@ -1,0 +1,144 @@
+package ratings
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMergeEntriesAverages(t *testing.T) {
+	p := []Entry{
+		{Item: 2, Value: 4, Time: 10},
+		{Item: 1, Value: 3, Time: 5},
+		{Item: 2, Value: 2, Time: 20},
+	}
+	m := MergeEntries(p)
+	if len(m) != 2 {
+		t.Fatalf("len = %d, want 2", len(m))
+	}
+	if m[0].Item != 1 || m[1].Item != 2 {
+		t.Fatalf("not sorted: %v", m)
+	}
+	if m[1].Value != 3 { // (4+2)/2
+		t.Fatalf("merged value = %v, want 3", m[1].Value)
+	}
+	if m[1].Time != 20 {
+		t.Fatalf("merged time = %v, want latest 20", m[1].Time)
+	}
+}
+
+func TestMergeEntriesEmpty(t *testing.T) {
+	if MergeEntries(nil) != nil {
+		t.Fatal("MergeEntries(nil) should be nil")
+	}
+}
+
+func TestAppendProfilesBaseWins(t *testing.T) {
+	base := []Entry{{Item: 1, Value: 5, Time: 1}}
+	extra := []Entry{{Item: 1, Value: 2, Time: 2}, {Item: 3, Value: 4, Time: 3}}
+	out := AppendProfiles(base, extra)
+	if len(out) != 2 {
+		t.Fatalf("len = %d, want 2", len(out))
+	}
+	v, ok := ProfileRating(out, 1)
+	if !ok || v != 5 {
+		t.Fatalf("base rating should win, got %v", v)
+	}
+	if _, ok := ProfileRating(out, 3); !ok {
+		t.Fatal("extra item 3 missing")
+	}
+}
+
+func TestProfileMean(t *testing.T) {
+	if got := ProfileMean(nil, 3.5); got != 3.5 {
+		t.Fatalf("empty profile mean = %v, want fallback 3.5", got)
+	}
+	p := []Entry{{Item: 1, Value: 2}, {Item: 2, Value: 4}}
+	if got := ProfileMean(p, 0); got != 3 {
+		t.Fatalf("mean = %v, want 3", got)
+	}
+}
+
+func TestProfileRatingMissing(t *testing.T) {
+	p := []Entry{{Item: 5, Value: 1}}
+	if _, ok := ProfileRating(p, 4); ok {
+		t.Fatal("item 4 should be missing")
+	}
+}
+
+// Property: MergeEntries preserves total mass (sum of per-item averages
+// equals sum over distinct items of their average) and is idempotent.
+func TestQuickMergeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30)
+		p := make([]Entry, n)
+		for k := range p {
+			p[k] = Entry{Item: ItemID(rng.Intn(8)), Value: float64(1 + rng.Intn(5)), Time: int64(rng.Intn(100))}
+		}
+		m1 := MergeEntries(p)
+		m2 := MergeEntries(m1)
+		if len(m1) != len(m2) {
+			return false
+		}
+		for k := range m1 {
+			if m1[k].Item != m2[k].Item || math.Abs(m1[k].Value-m2[k].Value) > 1e-12 {
+				return false
+			}
+		}
+		// Sorted invariant.
+		for k := 1; k < len(m1); k++ {
+			if m1[k-1].Item >= m1[k].Item {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AppendProfiles output contains every base item with its base
+// value and never duplicates an item.
+func TestQuickAppendProfiles(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func(n int) []Entry {
+			seen := map[ItemID]bool{}
+			var p []Entry
+			for k := 0; k < n; k++ {
+				it := ItemID(rng.Intn(10))
+				if seen[it] {
+					continue
+				}
+				seen[it] = true
+				p = append(p, Entry{Item: it, Value: float64(1 + rng.Intn(5))})
+			}
+			SortEntries(p)
+			return p
+		}
+		base, extra := mk(rng.Intn(8)), mk(rng.Intn(8))
+		out := AppendProfiles(base, extra)
+		seen := map[ItemID]int{}
+		for _, e := range out {
+			seen[e.Item]++
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		for _, b := range base {
+			v, ok := ProfileRating(out, b.Item)
+			if !ok || v != b.Value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

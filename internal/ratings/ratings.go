@@ -1,0 +1,462 @@
+// Package ratings provides the sparse rating store that underlies every
+// component of the X-Map reproduction: immutable, dual-indexed (by user and
+// by item), domain-aware, with precomputed user/item means.
+//
+// The store corresponds to the notation table of the paper (Table 1):
+// U (users), I (items), r_{u,i}, r̄_u, r̄_i, X_u (user profile) and Y_i
+// (item profile). Datasets are built once through a Builder and are
+// immutable afterwards, which makes them safe for concurrent readers — all
+// of the similarity and extension phases read the same Dataset from many
+// goroutines.
+package ratings
+
+import (
+	"fmt"
+	"sort"
+)
+
+// UserID is a dense internal user index, assigned in first-seen order.
+type UserID int32
+
+// ItemID is a dense internal item index, assigned in first-seen order.
+type ItemID int32
+
+// DomainID identifies an application domain (e.g. movies, books).
+type DomainID uint8
+
+// NoDomain marks an item without a domain. Builders assign real domains
+// starting at 0; NoDomain is only used as an error sentinel.
+const NoDomain DomainID = 0xFF
+
+// Rating is one (user, item, value, timestep) observation. Time is the
+// logical timestep of the event (paper §4.4, footnote 7): any monotonically
+// increasing integer clock works.
+type Rating struct {
+	User  UserID
+	Item  ItemID
+	Value float64
+	Time  int64
+}
+
+// Entry is one item rated by a user, as stored in the user's profile X_u.
+type Entry struct {
+	Item  ItemID
+	Value float64
+	Time  int64
+}
+
+// UserEntry is one user who rated an item, as stored in the item's profile Y_i.
+type UserEntry struct {
+	User  UserID
+	Value float64
+	Time  int64
+}
+
+// Dataset is an immutable rating database over one or more domains.
+//
+// The zero value is not usable; construct one with a Builder.
+type Dataset struct {
+	userNames   []string
+	itemNames   []string
+	itemDomain  []DomainID
+	domainNames []string
+
+	byUser [][]Entry     // X_u, sorted by ItemID
+	byItem [][]UserEntry // Y_i, sorted by UserID
+
+	userMean   []float64
+	itemMean   []float64
+	globalMean float64
+	numRatings int
+
+	itemsByDomain [][]ItemID
+	// userDomainCount[u][d] is the number of ratings user u has in domain d.
+	userDomainCount [][]int32
+}
+
+// Builder accumulates users, items and ratings and produces an immutable
+// Dataset. Duplicate (user,item) pairs keep the most recent rating (largest
+// Time; ties resolved by insertion order).
+type Builder struct {
+	userIndex   map[string]UserID
+	itemIndex   map[string]ItemID
+	userNames   []string
+	itemNames   []string
+	itemDomain  []DomainID
+	domainNames []string
+	ratings     []Rating
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		userIndex: make(map[string]UserID),
+		itemIndex: make(map[string]ItemID),
+	}
+}
+
+// Domain registers (or retrieves) a domain by name and returns its ID.
+func (b *Builder) Domain(name string) DomainID {
+	for id, n := range b.domainNames {
+		if n == name {
+			return DomainID(id)
+		}
+	}
+	b.domainNames = append(b.domainNames, name)
+	return DomainID(len(b.domainNames) - 1)
+}
+
+// User registers (or retrieves) a user by external identifier.
+func (b *Builder) User(ext string) UserID {
+	if id, ok := b.userIndex[ext]; ok {
+		return id
+	}
+	id := UserID(len(b.userNames))
+	b.userIndex[ext] = id
+	b.userNames = append(b.userNames, ext)
+	return id
+}
+
+// Item registers (or retrieves) an item by external identifier. The domain
+// of an item is fixed on first registration; re-registering with a different
+// domain panics, because a silent domain flip would corrupt every layer
+// computation downstream.
+func (b *Builder) Item(ext string, d DomainID) ItemID {
+	if id, ok := b.itemIndex[ext]; ok {
+		if b.itemDomain[id] != d {
+			panic(fmt.Sprintf("ratings: item %q re-registered in domain %d (was %d)", ext, d, b.itemDomain[id]))
+		}
+		return id
+	}
+	if int(d) >= len(b.domainNames) {
+		panic(fmt.Sprintf("ratings: unknown domain %d for item %q", d, ext))
+	}
+	id := ItemID(len(b.itemNames))
+	b.itemIndex[ext] = id
+	b.itemNames = append(b.itemNames, ext)
+	b.itemDomain = append(b.itemDomain, d)
+	return id
+}
+
+// Add records a rating by internal IDs.
+func (b *Builder) Add(u UserID, i ItemID, value float64, t int64) {
+	if int(u) >= len(b.userNames) {
+		panic(fmt.Sprintf("ratings: unknown user id %d", u))
+	}
+	if int(i) >= len(b.itemNames) {
+		panic(fmt.Sprintf("ratings: unknown item id %d", i))
+	}
+	b.ratings = append(b.ratings, Rating{User: u, Item: i, Value: value, Time: t})
+}
+
+// AddRating records a fully-specified rating.
+func (b *Builder) AddRating(r Rating) { b.Add(r.User, r.Item, r.Value, r.Time) }
+
+// NumPendingRatings reports how many raw ratings (pre-deduplication) have
+// been added.
+func (b *Builder) NumPendingRatings() int { return len(b.ratings) }
+
+// Build finalizes the dataset: deduplicates, sorts both indexes, and
+// computes means. The Builder remains usable (Build can be called again
+// after adding more ratings).
+func (b *Builder) Build() *Dataset {
+	nu, ni, nd := len(b.userNames), len(b.itemNames), len(b.domainNames)
+
+	// Deduplicate (user,item): keep the most recent observation.
+	type key struct {
+		u UserID
+		i ItemID
+	}
+	latest := make(map[key]Rating, len(b.ratings))
+	for _, r := range b.ratings {
+		k := key{r.User, r.Item}
+		if prev, ok := latest[k]; !ok || r.Time >= prev.Time {
+			latest[k] = r
+		}
+	}
+
+	ds := &Dataset{
+		userNames:   append([]string(nil), b.userNames...),
+		itemNames:   append([]string(nil), b.itemNames...),
+		itemDomain:  append([]DomainID(nil), b.itemDomain...),
+		domainNames: append([]string(nil), b.domainNames...),
+		byUser:      make([][]Entry, nu),
+		byItem:      make([][]UserEntry, ni),
+		userMean:    make([]float64, nu),
+		itemMean:    make([]float64, ni),
+		numRatings:  len(latest),
+	}
+
+	userCount := make([]int, nu)
+	itemCount := make([]int, ni)
+	for k := range latest {
+		userCount[k.u]++
+		itemCount[k.i]++
+	}
+	for u, c := range userCount {
+		ds.byUser[u] = make([]Entry, 0, c)
+	}
+	for i, c := range itemCount {
+		ds.byItem[i] = make([]UserEntry, 0, c)
+	}
+
+	var total float64
+	for k, r := range latest {
+		ds.byUser[k.u] = append(ds.byUser[k.u], Entry{Item: k.i, Value: r.Value, Time: r.Time})
+		ds.byItem[k.i] = append(ds.byItem[k.i], UserEntry{User: k.u, Value: r.Value, Time: r.Time})
+		total += r.Value
+	}
+	if ds.numRatings > 0 {
+		ds.globalMean = total / float64(ds.numRatings)
+	}
+
+	for u := range ds.byUser {
+		p := ds.byUser[u]
+		sort.Slice(p, func(a, b int) bool { return p[a].Item < p[b].Item })
+		var s float64
+		for _, e := range p {
+			s += e.Value
+		}
+		if len(p) > 0 {
+			ds.userMean[u] = s / float64(len(p))
+		} else {
+			ds.userMean[u] = ds.globalMean
+		}
+	}
+	for i := range ds.byItem {
+		p := ds.byItem[i]
+		sort.Slice(p, func(a, b int) bool { return p[a].User < p[b].User })
+		var s float64
+		for _, e := range p {
+			s += e.Value
+		}
+		if len(p) > 0 {
+			ds.itemMean[i] = s / float64(len(p))
+		} else {
+			ds.itemMean[i] = ds.globalMean
+		}
+	}
+
+	ds.itemsByDomain = make([][]ItemID, nd)
+	for i, d := range ds.itemDomain {
+		ds.itemsByDomain[d] = append(ds.itemsByDomain[d], ItemID(i))
+	}
+
+	ds.userDomainCount = make([][]int32, nu)
+	for u := range ds.byUser {
+		cnt := make([]int32, nd)
+		for _, e := range ds.byUser[u] {
+			cnt[ds.itemDomain[e.Item]]++
+		}
+		ds.userDomainCount[u] = cnt
+	}
+	return ds
+}
+
+// NumUsers returns |U| (users registered, rated or not).
+func (d *Dataset) NumUsers() int { return len(d.userNames) }
+
+// NumItems returns |I| across all domains.
+func (d *Dataset) NumItems() int { return len(d.itemNames) }
+
+// NumDomains returns the number of registered domains.
+func (d *Dataset) NumDomains() int { return len(d.domainNames) }
+
+// NumRatings returns the number of (deduplicated) ratings.
+func (d *Dataset) NumRatings() int { return d.numRatings }
+
+// GlobalMean returns the mean over all ratings (0 for an empty dataset).
+func (d *Dataset) GlobalMean() float64 { return d.globalMean }
+
+// UserName returns the external identifier of u.
+func (d *Dataset) UserName(u UserID) string { return d.userNames[u] }
+
+// ItemName returns the external identifier of i.
+func (d *Dataset) ItemName(i ItemID) string { return d.itemNames[i] }
+
+// DomainName returns the name of domain dom.
+func (d *Dataset) DomainName(dom DomainID) string { return d.domainNames[dom] }
+
+// Domain returns the domain of item i.
+func (d *Dataset) Domain(i ItemID) DomainID { return d.itemDomain[i] }
+
+// ItemsInDomain returns the items of a domain. The returned slice is shared;
+// callers must not modify it.
+func (d *Dataset) ItemsInDomain(dom DomainID) []ItemID { return d.itemsByDomain[dom] }
+
+// Items returns X_u, the profile of user u, sorted by ItemID. The returned
+// slice is shared; callers must not modify it.
+func (d *Dataset) Items(u UserID) []Entry { return d.byUser[u] }
+
+// Users returns Y_i, the profile of item i, sorted by UserID. The returned
+// slice is shared; callers must not modify it.
+func (d *Dataset) Users(i ItemID) []UserEntry { return d.byItem[i] }
+
+// UserMean returns r̄_u (the global mean if u has no ratings).
+func (d *Dataset) UserMean(u UserID) float64 { return d.userMean[u] }
+
+// ItemMean returns r̄_i (the global mean if i has no ratings).
+func (d *Dataset) ItemMean(i ItemID) float64 { return d.itemMean[i] }
+
+// Rating returns r_{u,i} and whether u rated i, by binary search in X_u.
+func (d *Dataset) Rating(u UserID, i ItemID) (float64, bool) {
+	p := d.byUser[u]
+	lo := sort.Search(len(p), func(k int) bool { return p[k].Item >= i })
+	if lo < len(p) && p[lo].Item == i {
+		return p[lo].Value, true
+	}
+	return 0, false
+}
+
+// HasRated reports whether u rated i.
+func (d *Dataset) HasRated(u UserID, i ItemID) bool {
+	_, ok := d.Rating(u, i)
+	return ok
+}
+
+// RatingOrItemMean implements the paper's footnote 3: if u has not rated i,
+// the item average stands in for r_{u,i}.
+func (d *Dataset) RatingOrItemMean(u UserID, i ItemID) float64 {
+	if v, ok := d.Rating(u, i); ok {
+		return v
+	}
+	return d.itemMean[i]
+}
+
+// UserRatingsInDomain returns how many items of domain dom user u rated.
+func (d *Dataset) UserRatingsInDomain(u UserID, dom DomainID) int {
+	return int(d.userDomainCount[u][dom])
+}
+
+// UsersInDomain returns the users with at least one rating in dom, in
+// ascending UserID order.
+func (d *Dataset) UsersInDomain(dom DomainID) []UserID {
+	var out []UserID
+	for u := range d.byUser {
+		if d.userDomainCount[u][dom] > 0 {
+			out = append(out, UserID(u))
+		}
+	}
+	return out
+}
+
+// Straddlers returns the users who rated in both d1 and d2 — the user
+// overlap U^S ∩ U^T that carries all cross-domain signal (paper §2.3).
+func (d *Dataset) Straddlers(d1, d2 DomainID) []UserID {
+	var out []UserID
+	for u := range d.byUser {
+		if d.userDomainCount[u][d1] > 0 && d.userDomainCount[u][d2] > 0 {
+			out = append(out, UserID(u))
+		}
+	}
+	return out
+}
+
+// ForEachRating calls fn for every rating in the dataset, grouped by user in
+// ascending UserID order and by ItemID within a user.
+func (d *Dataset) ForEachRating(fn func(Rating)) {
+	for u := range d.byUser {
+		for _, e := range d.byUser[u] {
+			fn(Rating{User: UserID(u), Item: e.Item, Value: e.Value, Time: e.Time})
+		}
+	}
+}
+
+// AllRatings materializes every rating. Intended for tests and small tools;
+// the iteration APIs avoid the allocation for production paths.
+func (d *Dataset) AllRatings() []Rating {
+	out := make([]Rating, 0, d.numRatings)
+	d.ForEachRating(func(r Rating) { out = append(out, r) })
+	return out
+}
+
+// Filter returns a new Dataset with the same user/item/domain universe
+// (identical IDs — essential so train/test splits stay comparable) but only
+// the ratings for which keep returns true.
+func (d *Dataset) Filter(keep func(Rating) bool) *Dataset {
+	nb := d.emptyClone()
+	d.ForEachRating(func(r Rating) {
+		if keep(r) {
+			nb.AddRating(r)
+		}
+	})
+	return nb.Build()
+}
+
+// WithRatings returns a new Dataset containing this dataset's ratings plus
+// the given extra ratings (same ID universe). Later duplicates win.
+func (d *Dataset) WithRatings(extra []Rating) *Dataset {
+	nb := d.emptyClone()
+	d.ForEachRating(nb.AddRating)
+	for _, r := range extra {
+		nb.AddRating(r)
+	}
+	return nb.Build()
+}
+
+// emptyClone returns a Builder with the same user/item/domain universe and
+// no ratings.
+func (d *Dataset) emptyClone() *Builder {
+	nb := NewBuilder()
+	nb.domainNames = append([]string(nil), d.domainNames...)
+	nb.userNames = append([]string(nil), d.userNames...)
+	nb.itemNames = append([]string(nil), d.itemNames...)
+	nb.itemDomain = append([]DomainID(nil), d.itemDomain...)
+	for id, name := range nb.userNames {
+		nb.userIndex[name] = UserID(id)
+	}
+	for id, name := range nb.itemNames {
+		nb.itemIndex[name] = ItemID(id)
+	}
+	return nb
+}
+
+// Stats summarizes a dataset for logs and reports.
+type Stats struct {
+	Users, Items, Ratings int
+	Domains               int
+	Sparsity              float64 // 1 - ratings/(users*items)
+	PerDomain             []DomainStats
+}
+
+// DomainStats summarizes one domain.
+type DomainStats struct {
+	Name    string
+	Items   int
+	Users   int // users with >=1 rating in the domain
+	Ratings int
+}
+
+// ComputeStats derives Stats for the dataset.
+func (d *Dataset) ComputeStats() Stats {
+	s := Stats{
+		Users:   d.NumUsers(),
+		Items:   d.NumItems(),
+		Ratings: d.NumRatings(),
+		Domains: d.NumDomains(),
+	}
+	if s.Users > 0 && s.Items > 0 {
+		s.Sparsity = 1 - float64(s.Ratings)/(float64(s.Users)*float64(s.Items))
+	}
+	for dom := 0; dom < d.NumDomains(); dom++ {
+		dst := DomainStats{Name: d.domainNames[dom], Items: len(d.itemsByDomain[dom])}
+		for u := range d.byUser {
+			c := int(d.userDomainCount[u][dom])
+			if c > 0 {
+				dst.Users++
+				dst.Ratings += c
+			}
+		}
+		s.PerDomain = append(s.PerDomain, dst)
+	}
+	return s
+}
+
+// String renders the stats as a single log-friendly line.
+func (s Stats) String() string {
+	out := fmt.Sprintf("users=%d items=%d ratings=%d sparsity=%.4f", s.Users, s.Items, s.Ratings, s.Sparsity)
+	for _, p := range s.PerDomain {
+		out += fmt.Sprintf(" [%s: items=%d users=%d ratings=%d]", p.Name, p.Items, p.Users, p.Ratings)
+	}
+	return out
+}

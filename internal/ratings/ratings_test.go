@@ -1,0 +1,298 @@
+package ratings
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildSmall(t *testing.T) *Dataset {
+	t.Helper()
+	b := NewBuilder()
+	mv := b.Domain("movies")
+	bk := b.Domain("books")
+	alice := b.User("alice")
+	bob := b.User("bob")
+	cecilia := b.User("cecilia")
+	inter := b.Item("Interstellar", mv)
+	incep := b.Item("Inception", mv)
+	forever := b.Item("The Forever War", bk)
+	b.Add(alice, inter, 5, 1)
+	b.Add(alice, incep, 4, 2)
+	b.Add(bob, incep, 5, 3)
+	b.Add(bob, forever, 1, 4)
+	b.Add(cecilia, forever, 5, 5)
+	return b.Build()
+}
+
+func TestBuildBasics(t *testing.T) {
+	ds := buildSmall(t)
+	if got, want := ds.NumUsers(), 3; got != want {
+		t.Fatalf("NumUsers = %d, want %d", got, want)
+	}
+	if got, want := ds.NumItems(), 3; got != want {
+		t.Fatalf("NumItems = %d, want %d", got, want)
+	}
+	if got, want := ds.NumRatings(), 5; got != want {
+		t.Fatalf("NumRatings = %d, want %d", got, want)
+	}
+	if got, want := ds.NumDomains(), 2; got != want {
+		t.Fatalf("NumDomains = %d, want %d", got, want)
+	}
+	if got, want := ds.GlobalMean(), 4.0; got != want {
+		t.Fatalf("GlobalMean = %v, want %v", got, want)
+	}
+}
+
+func TestMeans(t *testing.T) {
+	ds := buildSmall(t)
+	alice := UserID(0)
+	if got, want := ds.UserMean(alice), 4.5; got != want {
+		t.Errorf("UserMean(alice) = %v, want %v", got, want)
+	}
+	forever := ItemID(2)
+	if got, want := ds.ItemMean(forever), 3.0; got != want {
+		t.Errorf("ItemMean(forever) = %v, want %v", got, want)
+	}
+}
+
+func TestRatingLookup(t *testing.T) {
+	ds := buildSmall(t)
+	v, ok := ds.Rating(0, 0)
+	if !ok || v != 5 {
+		t.Fatalf("Rating(alice, interstellar) = %v,%v want 5,true", v, ok)
+	}
+	if _, ok := ds.Rating(0, 2); ok {
+		t.Fatal("alice should not have rated The Forever War")
+	}
+	if got := ds.RatingOrItemMean(0, 2); got != 3.0 {
+		t.Fatalf("RatingOrItemMean fallback = %v, want item mean 3.0", got)
+	}
+}
+
+func TestDomains(t *testing.T) {
+	ds := buildSmall(t)
+	if got := ds.Domain(0); got != 0 {
+		t.Errorf("Domain(Interstellar) = %d, want 0", got)
+	}
+	if got := ds.Domain(2); got != 1 {
+		t.Errorf("Domain(Forever War) = %d, want 1", got)
+	}
+	if got := len(ds.ItemsInDomain(0)); got != 2 {
+		t.Errorf("movies domain has %d items, want 2", got)
+	}
+	if got := len(ds.ItemsInDomain(1)); got != 1 {
+		t.Errorf("books domain has %d items, want 1", got)
+	}
+}
+
+func TestStraddlers(t *testing.T) {
+	ds := buildSmall(t)
+	s := ds.Straddlers(0, 1)
+	if len(s) != 1 || s[0] != 1 {
+		t.Fatalf("Straddlers = %v, want [bob]", s)
+	}
+	mvUsers := ds.UsersInDomain(0)
+	if len(mvUsers) != 2 {
+		t.Fatalf("UsersInDomain(movies) = %v, want alice+bob", mvUsers)
+	}
+}
+
+func TestDeduplicationKeepsLatest(t *testing.T) {
+	b := NewBuilder()
+	d := b.Domain("d")
+	u := b.User("u")
+	i := b.Item("i", d)
+	b.Add(u, i, 1, 10)
+	b.Add(u, i, 5, 20) // later timestamp wins
+	b.Add(u, i, 3, 15)
+	ds := b.Build()
+	if ds.NumRatings() != 1 {
+		t.Fatalf("NumRatings = %d, want 1 after dedup", ds.NumRatings())
+	}
+	v, _ := ds.Rating(u, i)
+	if v != 5 {
+		t.Fatalf("deduped rating = %v, want 5 (latest)", v)
+	}
+}
+
+func TestProfilesSorted(t *testing.T) {
+	ds := buildSmall(t)
+	for u := 0; u < ds.NumUsers(); u++ {
+		p := ds.Items(UserID(u))
+		for k := 1; k < len(p); k++ {
+			if p[k-1].Item >= p[k].Item {
+				t.Fatalf("user %d profile not strictly sorted: %v", u, p)
+			}
+		}
+	}
+	for i := 0; i < ds.NumItems(); i++ {
+		p := ds.Users(ItemID(i))
+		for k := 1; k < len(p); k++ {
+			if p[k-1].User >= p[k].User {
+				t.Fatalf("item %d profile not strictly sorted: %v", i, p)
+			}
+		}
+	}
+}
+
+func TestFilterPreservesIDs(t *testing.T) {
+	ds := buildSmall(t)
+	train := ds.Filter(func(r Rating) bool { return r.User != 1 })
+	if train.NumUsers() != ds.NumUsers() || train.NumItems() != ds.NumItems() {
+		t.Fatal("Filter must preserve the ID universe")
+	}
+	if train.NumRatings() != 3 {
+		t.Fatalf("filtered NumRatings = %d, want 3", train.NumRatings())
+	}
+	if train.UserName(1) != "bob" {
+		t.Fatalf("user id 1 should still be bob, got %q", train.UserName(1))
+	}
+	if len(train.Items(1)) != 0 {
+		t.Fatal("bob's ratings should be gone")
+	}
+}
+
+func TestWithRatings(t *testing.T) {
+	ds := buildSmall(t)
+	ext := ds.WithRatings([]Rating{{User: 0, Item: 2, Value: 4, Time: 99}})
+	if ext.NumRatings() != ds.NumRatings()+1 {
+		t.Fatalf("NumRatings = %d, want %d", ext.NumRatings(), ds.NumRatings()+1)
+	}
+	v, ok := ext.Rating(0, 2)
+	if !ok || v != 4 {
+		t.Fatalf("added rating = %v,%v", v, ok)
+	}
+}
+
+func TestForEachMatchesAllRatings(t *testing.T) {
+	ds := buildSmall(t)
+	var n int
+	ds.ForEachRating(func(Rating) { n++ })
+	if n != len(ds.AllRatings()) || n != ds.NumRatings() {
+		t.Fatalf("iteration mismatch: foreach=%d all=%d num=%d", n, len(ds.AllRatings()), ds.NumRatings())
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	ds := buildSmall(t)
+	s := ds.ComputeStats()
+	if s.Ratings != 5 || s.Users != 3 || s.Items != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	wantSparsity := 1 - 5.0/9.0
+	if math.Abs(s.Sparsity-wantSparsity) > 1e-12 {
+		t.Fatalf("sparsity = %v, want %v", s.Sparsity, wantSparsity)
+	}
+	if len(s.PerDomain) != 2 || s.PerDomain[0].Users != 2 || s.PerDomain[1].Users != 2 {
+		t.Fatalf("per-domain stats = %+v", s.PerDomain)
+	}
+	if s.String() == "" {
+		t.Fatal("Stats.String should be non-empty")
+	}
+}
+
+func TestItemDomainConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on domain conflict")
+		}
+	}()
+	b := NewBuilder()
+	d1 := b.Domain("a")
+	d2 := b.Domain("b")
+	b.Item("x", d1)
+	b.Item("x", d2)
+}
+
+func TestUnknownDomainPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unknown domain")
+		}
+	}()
+	b := NewBuilder()
+	b.Item("x", 7)
+}
+
+// Property: global mean equals the mean of all ratings; user/item means are
+// consistent with profiles, for random datasets.
+func TestQuickMeanConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		d := b.Domain("d")
+		nu, ni := 1+rng.Intn(20), 1+rng.Intn(20)
+		for u := 0; u < nu; u++ {
+			b.User(string(rune('a' + u)))
+		}
+		for i := 0; i < ni; i++ {
+			b.Item(string(rune('A'+i)), d)
+		}
+		n := rng.Intn(100)
+		for k := 0; k < n; k++ {
+			b.Add(UserID(rng.Intn(nu)), ItemID(rng.Intn(ni)), float64(1+rng.Intn(5)), int64(k))
+		}
+		ds := b.Build()
+		var sum float64
+		var cnt int
+		for u := 0; u < ds.NumUsers(); u++ {
+			for _, e := range ds.Items(UserID(u)) {
+				sum += e.Value
+				cnt++
+			}
+		}
+		if cnt != ds.NumRatings() {
+			return false
+		}
+		if cnt > 0 && math.Abs(ds.GlobalMean()-sum/float64(cnt)) > 1e-9 {
+			return false
+		}
+		// byUser and byItem must agree.
+		var sum2 float64
+		for i := 0; i < ds.NumItems(); i++ {
+			for _, e := range ds.Users(ItemID(i)) {
+				sum2 += e.Value
+			}
+		}
+		return math.Abs(sum-sum2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Filter(true) is an exact copy.
+func TestQuickFilterIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		d := b.Domain("d")
+		for u := 0; u < 5; u++ {
+			b.User(string(rune('a' + u)))
+		}
+		for i := 0; i < 5; i++ {
+			b.Item(string(rune('A'+i)), d)
+		}
+		for k := 0; k < rng.Intn(20); k++ {
+			b.Add(UserID(rng.Intn(5)), ItemID(rng.Intn(5)), float64(1+rng.Intn(5)), int64(k))
+		}
+		ds := b.Build()
+		cp := ds.Filter(func(Rating) bool { return true })
+		if cp.NumRatings() != ds.NumRatings() {
+			return false
+		}
+		ok := true
+		ds.ForEachRating(func(r Rating) {
+			v, has := cp.Rating(r.User, r.Item)
+			if !has || v != r.Value {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,291 @@
+// Package sim computes the item-item and user-user similarities that seed
+// X-Map's baseline similarity graph (paper §3.1), together with the
+// significance statistics that weight meta-paths:
+//
+//   - adjusted cosine (Eq. 6) — the paper's choice for baseline similarities,
+//   - Pearson (item-mean centered) and raw cosine, for comparison,
+//   - weighted significance S_{i,j} (Def. 2): co-raters who mutually like or
+//     mutually dislike a pair,
+//   - normalized weighted significance Ŝ_{i,j} = S_{i,j}/|Y_i ∪ Y_j| (Def. 4).
+//
+// The pairwise pass is organized around the co-rating inverted index: only
+// pairs of items that share at least one user are materialized, which is
+// exactly the edge set of the baseline graph G_ac.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"xmap/internal/engine"
+	"xmap/internal/ratings"
+)
+
+// Metric selects the similarity formula applied to accumulated pair stats.
+type Metric int
+
+const (
+	// AdjustedCosine centers each rating by its user's mean (Eq. 6).
+	AdjustedCosine Metric = iota
+	// PearsonItems centers each rating by its item's mean.
+	PearsonItems
+	// Cosine uses raw ratings.
+	Cosine
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case AdjustedCosine:
+		return "adjusted-cosine"
+	case PearsonItems:
+		return "pearson"
+	case Cosine:
+		return "cosine"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Options configures a pairwise similarity computation.
+type Options struct {
+	Metric Metric
+	// Workers bounds the number of goroutines (0 = GOMAXPROCS).
+	Workers int
+	// MinCoRaters drops pairs with fewer co-rating users (default 1).
+	MinCoRaters int
+	// MaxProfile skips users with profiles larger than this when
+	// accumulating pairs (0 = no cap). Very large profiles contribute
+	// O(|X_u|^2) pairs; capping them is the standard production guard.
+	MaxProfile int
+	// SignificanceN applies Herlocker-style significance weighting [16]
+	// to every similarity: s′ = s·min(n, N)/N with n the co-rater count.
+	// Thin-support similarities are damped before any ranking or
+	// aggregation sees them. 0 disables.
+	SignificanceN int
+}
+
+// Edge is one weighted edge of the baseline similarity graph: a co-rated
+// item pair with its similarity and significance statistics.
+type Edge struct {
+	To    ratings.ItemID
+	Sim   float64 // similarity under the chosen metric
+	Sig   int32   // S_{i,j}, Def. 2
+	Co    int32   // |Y_i ∩ Y_j|
+	Union int32   // |Y_i ∪ Y_j|
+}
+
+// NormalizedSig returns Ŝ (Def. 4) of the edge.
+func (e Edge) NormalizedSig() float64 {
+	if e.Union == 0 {
+		return 0
+	}
+	return float64(e.Sig) / float64(e.Union)
+}
+
+// Pairs holds the full co-rated pair table: adjacency lists (both
+// directions) over items, plus the per-item norms used by the metric.
+type Pairs struct {
+	ds     *ratings.Dataset
+	metric Metric
+	adj    [][]Edge
+}
+
+// pairAccum accumulates the sufficient statistics of one item pair.
+type pairAccum struct {
+	dot float64
+	co  int32
+	sig int32
+}
+
+// ComputePairs runs the pairwise pass over the dataset and returns the pair
+// table. Users are partitioned across workers; each worker owns a private
+// accumulator map which is merged at the end (share memory by
+// communicating — no locks on the hot path).
+func ComputePairs(ds *ratings.Dataset, opt Options) *Pairs {
+	if opt.MinCoRaters <= 0 {
+		opt.MinCoRaters = 1
+	}
+	workers := engine.WorkerCount(opt.Workers)
+
+	centered := centering(ds, opt.Metric)
+	likes := likeTable(ds)
+
+	type shard map[uint64]pairAccum
+	shards := make([]shard, workers)
+	engine.ParallelFor(ds.NumUsers(), workers, func(w, lo, hi int) {
+		acc := make(shard)
+		for u := lo; u < hi; u++ {
+			prof := ds.Items(ratings.UserID(u))
+			if opt.MaxProfile > 0 && len(prof) > opt.MaxProfile {
+				continue
+			}
+			for a := 0; a < len(prof); a++ {
+				ia := prof[a].Item
+				ca := centered(ratings.UserID(u), prof[a])
+				la := likes.like(ia, prof[a].Value)
+				for b := a + 1; b < len(prof); b++ {
+					ib := prof[b].Item
+					cb := centered(ratings.UserID(u), prof[b])
+					k := pairKey(ia, ib)
+					p := acc[k]
+					p.dot += ca * cb
+					p.co++
+					if la == likes.like(ib, prof[b].Value) {
+						p.sig++
+					}
+					acc[k] = p
+				}
+			}
+		}
+		shards[w] = acc
+	})
+
+	merged := shards[0]
+	if merged == nil {
+		merged = make(shard)
+	}
+	for w := 1; w < workers; w++ {
+		for k, v := range shards[w] {
+			p := merged[k]
+			p.dot += v.dot
+			p.co += v.co
+			p.sig += v.sig
+			merged[k] = p
+		}
+	}
+
+	norms := itemNorms(ds, opt.Metric)
+	pr := &Pairs{ds: ds, metric: opt.Metric, adj: make([][]Edge, ds.NumItems())}
+	for k, v := range merged {
+		if int(v.co) < opt.MinCoRaters {
+			continue
+		}
+		i, j := splitKey(k)
+		var s float64
+		den := norms[i] * norms[j]
+		if den > 0 {
+			s = v.dot / den
+		}
+		// Clamp tiny numeric excursions outside [-1, 1].
+		if s > 1 {
+			s = 1
+		} else if s < -1 {
+			s = -1
+		}
+		if opt.SignificanceN > 0 && int(v.co) < opt.SignificanceN {
+			s *= float64(v.co) / float64(opt.SignificanceN)
+		}
+		union := int32(len(ds.Users(i))+len(ds.Users(j))) - v.co
+		pr.adj[i] = append(pr.adj[i], Edge{To: j, Sim: s, Sig: v.sig, Co: v.co, Union: union})
+		pr.adj[j] = append(pr.adj[j], Edge{To: i, Sim: s, Sig: v.sig, Co: v.co, Union: union})
+	}
+	return pr
+}
+
+// centering returns the per-rating centering function of the metric.
+func centering(ds *ratings.Dataset, m Metric) func(ratings.UserID, ratings.Entry) float64 {
+	switch m {
+	case AdjustedCosine:
+		return func(u ratings.UserID, e ratings.Entry) float64 { return e.Value - ds.UserMean(u) }
+	case PearsonItems:
+		return func(_ ratings.UserID, e ratings.Entry) float64 { return e.Value - ds.ItemMean(e.Item) }
+	default:
+		return func(_ ratings.UserID, e ratings.Entry) float64 { return e.Value }
+	}
+}
+
+// itemNorms precomputes ‖r_i‖ under the metric's centering, over the item's
+// full profile Y_i (the denominators of Eq. 3/6 sum over all raters of each
+// item, not only co-raters).
+func itemNorms(ds *ratings.Dataset, m Metric) []float64 {
+	center := centering(ds, m)
+	norms := make([]float64, ds.NumItems())
+	for i := 0; i < ds.NumItems(); i++ {
+		var s float64
+		for _, ue := range ds.Users(ratings.ItemID(i)) {
+			c := center(ue.User, ratings.Entry{Item: ratings.ItemID(i), Value: ue.Value, Time: ue.Time})
+			s += c * c
+		}
+		norms[i] = math.Sqrt(s)
+	}
+	return norms
+}
+
+// likes caches item means for the like/dislike split of Def. 2.
+type likes struct{ itemMean []float64 }
+
+func likeTable(ds *ratings.Dataset) likes {
+	m := make([]float64, ds.NumItems())
+	for i := range m {
+		m[i] = ds.ItemMean(ratings.ItemID(i))
+	}
+	return likes{itemMean: m}
+}
+
+// like reports whether value counts as "likes item i": r ≥ r̄_i.
+func (l likes) like(i ratings.ItemID, v float64) bool { return v >= l.itemMean[i] }
+
+func pairKey(i, j ratings.ItemID) uint64 {
+	if i > j {
+		i, j = j, i
+	}
+	return uint64(uint32(i))<<32 | uint64(uint32(j))
+}
+
+func splitKey(k uint64) (ratings.ItemID, ratings.ItemID) {
+	return ratings.ItemID(k >> 32), ratings.ItemID(uint32(k))
+}
+
+// Metric returns the metric the table was computed with.
+func (p *Pairs) Metric() Metric { return p.metric }
+
+// Dataset returns the dataset the table was computed over.
+func (p *Pairs) Dataset() *ratings.Dataset { return p.ds }
+
+// Neighbors returns every co-rated neighbor of i (unsorted). The slice is
+// shared; callers must not modify it.
+func (p *Pairs) Neighbors(i ratings.ItemID) []Edge { return p.adj[i] }
+
+// Similarity returns the similarity of (i, j) and whether they are co-rated.
+func (p *Pairs) Similarity(i, j ratings.ItemID) (float64, bool) {
+	for _, e := range p.adj[i] {
+		if e.To == j {
+			return e.Sim, true
+		}
+	}
+	return 0, false
+}
+
+// EdgeBetween returns the full edge record for (i, j), if co-rated.
+func (p *Pairs) EdgeBetween(i, j ratings.ItemID) (Edge, bool) {
+	for _, e := range p.adj[i] {
+		if e.To == j {
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
+// NumEdges returns the number of undirected co-rated pairs.
+func (p *Pairs) NumEdges() int {
+	n := 0
+	for _, a := range p.adj {
+		n += len(a)
+	}
+	return n / 2
+}
+
+// CountCrossDomain counts undirected edges whose endpoints lie in different
+// domains — the "standard" heterogeneous similarities of Figure 1(b).
+func (p *Pairs) CountCrossDomain() int {
+	n := 0
+	for i, a := range p.adj {
+		for _, e := range a {
+			if p.ds.Domain(ratings.ItemID(i)) != p.ds.Domain(e.To) {
+				n++
+			}
+		}
+	}
+	return n / 2
+}

@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xmap/internal/ratings"
+)
+
+// buildTwoItems builds a dataset where two items are co-rated by known
+// users, so similarities can be hand-checked.
+func buildTwoItems(t *testing.T) (*ratings.Dataset, ratings.ItemID, ratings.ItemID) {
+	t.Helper()
+	b := ratings.NewBuilder()
+	d := b.Domain("d")
+	i := b.Item("i", d)
+	j := b.Item("j", d)
+	// Three users rate both items identically, plus one extra rating each
+	// to give user means some structure.
+	k := b.Item("k", d)
+	for u := 0; u < 3; u++ {
+		uid := b.User(string(rune('a' + u)))
+		b.Add(uid, i, float64(2+u), int64(u))
+		b.Add(uid, j, float64(2+u), int64(u))
+		b.Add(uid, k, 3, int64(u))
+	}
+	return b.Build(), i, j
+}
+
+func TestAdjustedCosinePerfectAgreement(t *testing.T) {
+	ds, i, j := buildTwoItems(t)
+	p := ComputePairs(ds, Options{Metric: AdjustedCosine})
+	s, ok := p.Similarity(i, j)
+	if !ok {
+		t.Fatal("pair (i,j) should be co-rated")
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Fatalf("identical centered vectors must have sim 1, got %v", s)
+	}
+}
+
+func TestAdjustedCosineHandComputed(t *testing.T) {
+	// Figure 1(a)-style scenario: two users, opposite preferences.
+	b := ratings.NewBuilder()
+	d := b.Domain("d")
+	i := b.Item("i", d)
+	j := b.Item("j", d)
+	u1 := b.User("u1")
+	u2 := b.User("u2")
+	b.Add(u1, i, 5, 0)
+	b.Add(u1, j, 1, 1)
+	b.Add(u2, i, 1, 2)
+	b.Add(u2, j, 5, 3)
+	ds := b.Build()
+	// User means are 3; centered vectors: i = (2, -2), j = (-2, 2) → sim -1.
+	p := ComputePairs(ds, Options{Metric: AdjustedCosine})
+	s, ok := p.Similarity(i, j)
+	if !ok || math.Abs(s-(-1)) > 1e-12 {
+		t.Fatalf("sim = %v, %v; want -1", s, ok)
+	}
+}
+
+func TestNoCommonUsersNoEdge(t *testing.T) {
+	b := ratings.NewBuilder()
+	d := b.Domain("d")
+	i := b.Item("i", d)
+	j := b.Item("j", d)
+	b.Add(b.User("u1"), i, 5, 0)
+	b.Add(b.User("u2"), j, 5, 1)
+	ds := b.Build()
+	p := ComputePairs(ds, Options{})
+	if _, ok := p.Similarity(i, j); ok {
+		t.Fatal("items without common users must not be connected (Fig 1a)")
+	}
+	if p.NumEdges() != 0 {
+		t.Fatalf("NumEdges = %d, want 0", p.NumEdges())
+	}
+}
+
+func TestSignificanceCounts(t *testing.T) {
+	// 4 users co-rate (i, j): two mutually like, one mutually dislikes, one
+	// disagrees. Def. 2: S = 2 + 1 = 3.
+	b := ratings.NewBuilder()
+	d := b.Domain("d")
+	i := b.Item("i", d)
+	j := b.Item("j", d)
+	add := func(name string, ri, rj float64) {
+		u := b.User(name)
+		b.Add(u, i, ri, 0)
+		b.Add(u, j, rj, 1)
+	}
+	// Item means will be i: (5+5+1+3)/4 = 3.5, j: (5+4+1+2)/4 = 3.
+	add("u1", 5, 5) // like, like     -> mutual like
+	add("u2", 5, 4) // like, like     -> mutual like
+	add("u3", 1, 1) // dislike, dislike -> mutual dislike
+	add("u4", 3, 5) // dislike (3 < 3.5), like -> disagreement
+	ds := b.Build()
+	p := ComputePairs(ds, Options{})
+	e, ok := p.EdgeBetween(i, j)
+	if !ok {
+		t.Fatal("edge missing")
+	}
+	if e.Sig != 3 {
+		t.Fatalf("S = %d, want 3", e.Sig)
+	}
+	if e.Co != 4 {
+		t.Fatalf("co-raters = %d, want 4", e.Co)
+	}
+	if e.Union != 4 {
+		t.Fatalf("union = %d, want 4", e.Union)
+	}
+	if got, want := e.NormalizedSig(), 0.75; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Ŝ = %v, want %v", got, want)
+	}
+}
+
+func TestMinCoRatersFilters(t *testing.T) {
+	ds, i, j := buildTwoItems(t)
+	p := ComputePairs(ds, Options{MinCoRaters: 4})
+	if _, ok := p.Similarity(i, j); ok {
+		t.Fatal("pair with 3 co-raters should be dropped at MinCoRaters=4")
+	}
+}
+
+func TestMaxProfileSkipsHeavyUsers(t *testing.T) {
+	b := ratings.NewBuilder()
+	d := b.Domain("d")
+	var items []ratings.ItemID
+	for k := 0; k < 10; k++ {
+		items = append(items, b.Item(string(rune('A'+k)), d))
+	}
+	heavy := b.User("heavy")
+	for _, it := range items {
+		b.Add(heavy, it, 4, 0)
+	}
+	ds := b.Build()
+	p := ComputePairs(ds, Options{MaxProfile: 5})
+	if p.NumEdges() != 0 {
+		t.Fatalf("heavy user should be skipped, got %d edges", p.NumEdges())
+	}
+}
+
+func TestCrossDomainCount(t *testing.T) {
+	b := ratings.NewBuilder()
+	mv := b.Domain("movies")
+	bk := b.Domain("books")
+	m := b.Item("m", mv)
+	k := b.Item("k", bk)
+	u := b.User("straddler")
+	b.Add(u, m, 5, 0)
+	b.Add(u, k, 4, 1)
+	v := b.User("movie-only")
+	m2 := b.Item("m2", mv)
+	b.Add(v, m, 3, 2)
+	b.Add(v, m2, 4, 3)
+	ds := b.Build()
+	p := ComputePairs(ds, Options{})
+	if got := p.CountCrossDomain(); got != 1 {
+		t.Fatalf("cross-domain edges = %d, want 1", got)
+	}
+	if got := p.NumEdges(); got != 2 {
+		t.Fatalf("total edges = %d, want 2", got)
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	for _, m := range []Metric{AdjustedCosine, PearsonItems, Cosine, Metric(9)} {
+		if m.String() == "" {
+			t.Fatalf("empty name for metric %d", int(m))
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	ds := randomDataset(42, 40, 30, 400)
+	seq := ComputePairs(ds, Options{Workers: 1})
+	par := ComputePairs(ds, Options{Workers: 8})
+	if seq.NumEdges() != par.NumEdges() {
+		t.Fatalf("edge count differs: seq=%d par=%d", seq.NumEdges(), par.NumEdges())
+	}
+	for i := 0; i < ds.NumItems(); i++ {
+		for _, e := range seq.Neighbors(ratings.ItemID(i)) {
+			pe, ok := par.EdgeBetween(ratings.ItemID(i), e.To)
+			if !ok {
+				t.Fatalf("edge (%d,%d) missing in parallel result", i, e.To)
+			}
+			if math.Abs(pe.Sim-e.Sim) > 1e-9 || pe.Sig != e.Sig || pe.Co != e.Co {
+				t.Fatalf("edge (%d,%d) differs: seq=%+v par=%+v", i, e.To, e, pe)
+			}
+		}
+	}
+}
+
+func randomDataset(seed int64, nu, ni, n int) *ratings.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := ratings.NewBuilder()
+	d := b.Domain("d")
+	for u := 0; u < nu; u++ {
+		b.User(string(rune('a')) + string(rune('0'+u/10)) + string(rune('0'+u%10)))
+	}
+	for i := 0; i < ni; i++ {
+		b.Item(string(rune('I'))+string(rune('0'+i/10))+string(rune('0'+i%10)), d)
+	}
+	for k := 0; k < n; k++ {
+		b.Add(ratings.UserID(rng.Intn(nu)), ratings.ItemID(rng.Intn(ni)), float64(1+rng.Intn(5)), int64(k))
+	}
+	return b.Build()
+}
+
+// Property: similarities are always in [-1, 1], symmetric, and significance
+// never exceeds the co-rater count.
+func TestQuickSimilarityInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		ds := randomDataset(seed, 15, 12, 150)
+		for _, metric := range []Metric{AdjustedCosine, PearsonItems, Cosine} {
+			p := ComputePairs(ds, Options{Metric: metric})
+			for i := 0; i < ds.NumItems(); i++ {
+				for _, e := range p.Neighbors(ratings.ItemID(i)) {
+					if e.Sim < -1-1e-9 || e.Sim > 1+1e-9 {
+						return false
+					}
+					back, ok := p.Similarity(e.To, ratings.ItemID(i))
+					if !ok || math.Abs(back-e.Sim) > 1e-12 {
+						return false
+					}
+					if e.Sig > e.Co || e.Sig < 0 {
+						return false
+					}
+					if e.Union < e.Co {
+						return false
+					}
+					ns := e.NormalizedSig()
+					if ns < 0 || ns > 1 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"container/heap"
+	"sort"
+
+	"xmap/internal/ratings"
+)
+
+// Scored is an item with a score, the unit of every top-k list in the
+// system (neighbor lists, recommendation lists, layer adjacency).
+type Scored struct {
+	ID    ratings.ItemID
+	Score float64
+}
+
+// scoredHeap is a min-heap under the (score desc, ID asc) total order, so
+// the root is the weakest of the currently-kept k and can be evicted in
+// O(log k).
+type scoredHeap []Scored
+
+func (h scoredHeap) Len() int { return len(h) }
+func (h scoredHeap) Less(a, b int) bool {
+	if h[a].Score != h[b].Score {
+		return h[a].Score < h[b].Score
+	}
+	return h[a].ID > h[b].ID
+}
+func (h scoredHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *scoredHeap) Push(x interface{}) { *h = append(*h, x.(Scored)) }
+func (h *scoredHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Collector incrementally keeps the k highest-scored entries seen.
+// The zero value is not usable; construct with NewCollector.
+type Collector struct {
+	k int
+	h scoredHeap
+}
+
+// NewCollector returns a collector for the top k entries. k <= 0 keeps
+// everything.
+func NewCollector(k int) *Collector { return &Collector{k: k} }
+
+// Offer considers one entry.
+func (c *Collector) Offer(id ratings.ItemID, score float64) {
+	if c.k <= 0 {
+		c.h = append(c.h, Scored{id, score})
+		return
+	}
+	if len(c.h) < c.k {
+		heap.Push(&c.h, Scored{id, score})
+		return
+	}
+	if score > c.h[0].Score || (score == c.h[0].Score && id < c.h[0].ID) {
+		c.h[0] = Scored{id, score}
+		heap.Fix(&c.h, 0)
+	}
+}
+
+// Len returns how many entries are currently kept.
+func (c *Collector) Len() int { return len(c.h) }
+
+// Sorted returns the kept entries in descending score order (ties broken by
+// ascending ID for determinism) and resets the collector.
+func (c *Collector) Sorted() []Scored {
+	out := []Scored(c.h)
+	c.h = nil
+	SortScored(out)
+	return out
+}
+
+// SortScored sorts descending by score, ascending by ID on ties.
+func SortScored(s []Scored) {
+	sort.Slice(s, func(a, b int) bool {
+		if s[a].Score != s[b].Score {
+			return s[a].Score > s[b].Score
+		}
+		return s[a].ID < s[b].ID
+	})
+}
+
+// TopK returns the k highest-scored entries of s (s is not modified).
+// k <= 0 returns a sorted copy of everything.
+func TopK(s []Scored, k int) []Scored {
+	c := NewCollector(k)
+	for _, e := range s {
+		c.Offer(e.ID, e.Score)
+	}
+	return c.Sorted()
+}

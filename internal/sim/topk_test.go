@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"xmap/internal/ratings"
+)
+
+func TestTopKBasic(t *testing.T) {
+	in := []Scored{{1, 0.5}, {2, 0.9}, {3, 0.1}, {4, 0.7}}
+	out := TopK(in, 2)
+	if len(out) != 2 || out[0].ID != 2 || out[1].ID != 4 {
+		t.Fatalf("TopK = %v", out)
+	}
+}
+
+func TestTopKZeroKeepsAllSorted(t *testing.T) {
+	in := []Scored{{1, 0.5}, {2, 0.9}, {3, 0.1}}
+	out := TopK(in, 0)
+	if len(out) != 3 || out[0].ID != 2 || out[2].ID != 3 {
+		t.Fatalf("TopK(0) = %v", out)
+	}
+}
+
+func TestTopKTieBreaksByID(t *testing.T) {
+	in := []Scored{{7, 0.5}, {3, 0.5}, {5, 0.5}}
+	out := TopK(in, 2)
+	if out[0].ID != 3 || out[1].ID != 5 {
+		t.Fatalf("tie-break wrong: %v", out)
+	}
+}
+
+func TestCollectorReuseAfterSorted(t *testing.T) {
+	c := NewCollector(2)
+	c.Offer(1, 1.0)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	_ = c.Sorted()
+	if c.Len() != 0 {
+		t.Fatal("Sorted should reset the collector")
+	}
+	c.Offer(2, 0.5)
+	out := c.Sorted()
+	if len(out) != 1 || out[0].ID != 2 {
+		t.Fatalf("reuse failed: %v", out)
+	}
+}
+
+// Property: TopK equals full sort + truncate.
+func TestQuickTopKMatchesSort(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		k := int(kRaw%32) + 1
+		in := make([]Scored, n)
+		for i := range in {
+			// Coarse scores on purpose: ties must break by ascending ID.
+			in[i] = Scored{ID: ratings.ItemID(i), Score: float64(rng.Intn(8))}
+		}
+		want := append([]Scored(nil), in...)
+		sort.Slice(want, func(a, b int) bool {
+			if want[a].Score != want[b].Score {
+				return want[a].Score > want[b].Score
+			}
+			return want[a].ID < want[b].ID
+		})
+		if k < len(want) {
+			want = want[:k]
+		}
+		got := TopK(in, k)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package xsim
+
+import (
+	"testing"
+
+	"xmap/internal/graph"
+	"xmap/internal/ratings"
+	"xmap/internal/sim"
+)
+
+func TestFullCandidatesKeepsTruncatedTail(t *testing.T) {
+	ds, _ := figure1a(t)
+	pairs := sim.ComputePairs(ds, sim.Options{})
+	g := graph.Build(pairs, 0, 1, graph.Options{})
+	full := Extend(g, Options{TopK: 1, KeepFull: true})
+	for _, i := range ds.ItemsInDomain(0) {
+		trunc := full.Forward(i)
+		all := full.FullCandidates(i)
+		if len(trunc) > 1 {
+			t.Fatalf("item %d: truncated row has %d > 1 entries", i, len(trunc))
+		}
+		if len(all) < len(trunc) {
+			t.Fatalf("item %d: full row smaller than truncated", i)
+		}
+		// Full row must contain the truncated head with the same values.
+		if len(trunc) == 1 && (all[0].To != trunc[0].To || all[0].Sim != trunc[0].Sim) {
+			t.Fatalf("item %d: full row head mismatch", i)
+		}
+	}
+}
+
+func TestFullCandidatesFallsBackWithoutKeepFull(t *testing.T) {
+	ds, items := figure1a(t)
+	pairs := sim.ComputePairs(ds, sim.Options{})
+	g := graph.Build(pairs, 0, 1, graph.Options{})
+	tbl := Extend(g, Options{TopK: 1}) // no KeepFull
+	got := tbl.FullCandidates(items["inception"])
+	want := tbl.Candidates(items["inception"])
+	if len(got) != len(want) {
+		t.Fatalf("fallback mismatch: %d vs %d", len(got), len(want))
+	}
+}
+
+func TestFullCandidatesUnknownDomain(t *testing.T) {
+	// A third-domain item has no candidates in either direction.
+	b := ratings.NewBuilder()
+	d0 := b.Domain("a")
+	d1 := b.Domain("b")
+	d2 := b.Domain("c")
+	u := b.User("u")
+	i0 := b.Item("x", d0)
+	i1 := b.Item("y", d1)
+	i2 := b.Item("z", d2)
+	b.Add(u, i0, 5, 0)
+	b.Add(u, i1, 5, 1)
+	b.Add(u, i2, 5, 2)
+	ds := b.Build()
+	pairs := sim.ComputePairs(ds, sim.Options{})
+	g := graph.Build(pairs, d0, d1, graph.Options{})
+	tbl := Extend(g, Options{KeepFull: true})
+	if got := tbl.FullCandidates(i2); got != nil {
+		t.Fatalf("third-domain item should have nil candidates, got %v", got)
+	}
+	if got := tbl.Candidates(i2); got != nil {
+		t.Fatalf("third-domain item should have nil candidates, got %v", got)
+	}
+}

@@ -1,0 +1,65 @@
+package xsim
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"xmap/internal/ratings"
+)
+
+// X-Map runs its offline phases periodically (§5.4) and serves from the
+// fitted structures. The X-Sim table is the expensive artifact of that
+// offline run, so it can be persisted and re-loaded by a serving process
+// (cmd/xmap-server) without refitting.
+
+// tableWire is the exported wire form of a Table for encoding/gob.
+type tableWire struct {
+	Src, Dst ratings.DomainID
+	NumItems int
+	Fwd      [][]ExtEdge
+	Rev      [][]ExtEdge
+	FwdFull  [][]ExtEdge
+	RevFull  [][]ExtEdge
+	NumPairs int
+}
+
+// Save writes the table to w in gob format.
+func (t *Table) Save(w io.Writer) error {
+	wire := tableWire{
+		Src: t.src, Dst: t.dst,
+		NumItems: len(t.fwd),
+		Fwd:      t.fwd, Rev: t.rev,
+		FwdFull: t.fwdFull, RevFull: t.revFull,
+		NumPairs: t.numPairs,
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("xsim: encode table: %w", err)
+	}
+	return nil
+}
+
+// LoadTable reads a table previously written by Save. The dataset must be
+// the same universe the table was fitted on (same item count and domain
+// layout); a mismatch is rejected because lookups would silently return
+// wrong candidates.
+func LoadTable(r io.Reader, ds *ratings.Dataset) (*Table, error) {
+	var wire tableWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("xsim: decode table: %w", err)
+	}
+	if wire.NumItems != ds.NumItems() {
+		return nil, fmt.Errorf("xsim: table fitted on %d items, dataset has %d",
+			wire.NumItems, ds.NumItems())
+	}
+	if int(wire.Src) >= ds.NumDomains() || int(wire.Dst) >= ds.NumDomains() {
+		return nil, fmt.Errorf("xsim: table domains (%d,%d) outside dataset's %d domains",
+			wire.Src, wire.Dst, ds.NumDomains())
+	}
+	return &Table{
+		src: wire.Src, dst: wire.Dst, ds: ds,
+		fwd: wire.Fwd, rev: wire.Rev,
+		fwdFull: wire.FwdFull, revFull: wire.RevFull,
+		numPairs: wire.NumPairs,
+	}, nil
+}

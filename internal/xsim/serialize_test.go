@@ -1,0 +1,72 @@
+package xsim
+
+import (
+	"bytes"
+	"testing"
+
+	"xmap/internal/graph"
+	"xmap/internal/ratings"
+	"xmap/internal/sim"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds := randomTwoDomain(3, 24, 16, 220)
+	pairs := sim.ComputePairs(ds, sim.Options{})
+	g := graph.Build(pairs, 0, 1, graph.Options{K: 5})
+	orig := Extend(g, Options{TopK: 8, LegsK: 5, KeepFull: true})
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTable(&buf, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if loaded.Source() != orig.Source() || loaded.Target() != orig.Target() {
+		t.Fatal("domains lost")
+	}
+	if loaded.NumHeteroPairs() != orig.NumHeteroPairs() {
+		t.Fatalf("pair count lost: %d vs %d", loaded.NumHeteroPairs(), orig.NumHeteroPairs())
+	}
+	for i := 0; i < ds.NumItems(); i++ {
+		id := ratings.ItemID(i)
+		a, b := orig.Forward(id), loaded.Forward(id)
+		if len(a) != len(b) {
+			t.Fatalf("item %d: forward row length %d vs %d", i, len(a), len(b))
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("item %d entry %d: %+v vs %+v", i, k, a[k], b[k])
+			}
+		}
+		fa, fb := orig.FullCandidates(id), loaded.FullCandidates(id)
+		if len(fa) != len(fb) {
+			t.Fatalf("item %d: full row length differs", i)
+		}
+	}
+}
+
+func TestLoadRejectsWrongUniverse(t *testing.T) {
+	ds := randomTwoDomain(4, 20, 14, 160)
+	pairs := sim.ComputePairs(ds, sim.Options{})
+	g := graph.Build(pairs, 0, 1, graph.Options{K: 5})
+	tbl := Extend(g, Options{})
+
+	var buf bytes.Buffer
+	if err := tbl.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := randomTwoDomain(5, 20, 20, 160) // different item count
+	if _, err := LoadTable(&buf, other); err == nil {
+		t.Fatal("loading against a mismatched dataset must fail")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	ds := randomTwoDomain(6, 10, 8, 60)
+	if _, err := LoadTable(bytes.NewReader([]byte("not a gob")), ds); err == nil {
+		t.Fatal("garbage input accepted")
+	}
+}

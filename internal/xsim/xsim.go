@@ -1,0 +1,400 @@
+// Package xsim is X-Map's Extender (paper §3.3, §4.2, §5.2): it turns the
+// layered baseline graph into a table of heterogeneous X-Sim similarities
+// between source-domain and target-domain items.
+//
+// The computation follows the paper's two-phase structure rather than
+// brute-force path enumeration (which the layer pruning exists to avoid):
+//
+//  1. Intra-domain extension: every item is connected to the BB layer of
+//     its own domain — trivially (BB items), via its direct NB→BB edges
+//     (NB items) or via two-hop NN→NB→BB partial paths (NN items). Partial
+//     paths with the same BB endpoint are merged certainty-weighted into a
+//     "leg".
+//  2. Cross-domain extension: legs are composed through BB—BB heterogeneous
+//     edges with the target side's incoming legs, producing full meta-paths
+//     i ⇝ bS — bT ⇝ j. Each full path contributes its certainty
+//     c_p = Π Ŝ (Def. 5) and its significance-weighted similarity
+//     s_p = Σ S·s / Σ S (§3.3); parallel paths aggregate per Def. 6:
+//     X-Sim(i,j) = Σ c_p·s_p / Σ c_p.
+//
+// Merging legs before composition is the one approximation versus full
+// enumeration (the per-path ratio s_p is averaged early); it is exact
+// whenever at most one partial path joins an endpoint pair, and tests
+// validate both the exact case and the bounds in general. See DESIGN.md.
+package xsim
+
+import (
+	"xmap/internal/engine"
+	"xmap/internal/graph"
+	"xmap/internal/ratings"
+)
+
+// ExtEdge is one entry of the X-Sim table: a heterogeneous item with its
+// aggregated X-Sim value and total path-certainty mass.
+type ExtEdge struct {
+	To   ratings.ItemID
+	Sim  float64 // X-Sim(i, To) ∈ [-1, 1]
+	Cert float64 // Σ_p c_p — evidence mass behind the value
+}
+
+// Options configures the extension.
+type Options struct {
+	// TopK bounds how many target candidates are kept per item (0 = all).
+	TopK int
+	// LegsK bounds how many BB legs are kept per item during the
+	// intra-domain phase (0 = all). The paper uses the same k for every
+	// layer connection.
+	LegsK int
+	// MinCert drops paths whose certainty mass is not above this value
+	// (0 keeps everything with positive certainty).
+	MinCert float64
+	// KeepFull additionally retains the untruncated candidate rows.
+	// Private Replacement Selection samples over I(ti) — *every* target
+	// item with an X-Sim value (Algorithm 3) — so the private pipeline
+	// needs the rows TopK would otherwise cut.
+	KeepFull bool
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Table holds the extended heterogeneous similarities in both directions.
+// Immutable after Extend.
+type Table struct {
+	src, dst ratings.DomainID
+	ds       *ratings.Dataset
+	fwd      [][]ExtEdge // source item -> target candidates, sorted by Sim desc
+	rev      [][]ExtEdge // target item -> source candidates, sorted by Sim desc
+	// fwdFull/revFull are the untruncated rows (nil unless KeepFull).
+	fwdFull  [][]ExtEdge
+	revFull  [][]ExtEdge
+	numPairs int
+}
+
+// leg is an aggregated partial path from an item to a BB item of its own
+// domain: certainty mass plus certainty-weighted Σ S·s and Σ S.
+type leg struct {
+	to    ratings.ItemID
+	c     float64
+	sumWS float64
+	sumS  float64
+}
+
+// Extend runs both phases and returns the X-Sim table.
+func Extend(g *graph.Graph, opt Options) *Table {
+	ds := g.Dataset()
+	t := &Table{
+		src: g.Source(), dst: g.Target(), ds: ds,
+		fwd: make([][]ExtEdge, ds.NumItems()),
+		rev: make([][]ExtEdge, ds.NumItems()),
+	}
+
+	legsSrc := computeLegs(g, g.Source(), opt)
+	legsDst := computeLegs(g, g.Target(), opt)
+
+	// Invert target legs: for each BB_T item, the legs that reach it.
+	type incoming struct {
+		from ratings.ItemID
+		leg  leg
+	}
+	inLegs := make([][]incoming, ds.NumItems())
+	for _, j := range ds.ItemsInDomain(g.Target()) {
+		for _, l := range legsDst[j] {
+			inLegs[l.to] = append(inLegs[l.to], incoming{from: j, leg: l})
+		}
+	}
+
+	// Cross-domain composition, parallel over source items: each source
+	// item's row is accumulated privately, so workers never share state.
+	srcItems := ds.ItemsInDomain(g.Source())
+	rows := make([][]ExtEdge, len(srcItems))
+	engine.ParallelFor(len(srcItems), opt.Workers, func(_, lo, hi int) {
+		type accum struct{ num, den float64 }
+		for idx := lo; idx < hi; idx++ {
+			i := srcItems[idx]
+			acc := make(map[ratings.ItemID]*accum)
+			for _, a := range legsSrc[i] {
+				for _, e := range g.CrossBB(a.to) {
+					ce := e.NormalizedSig()
+					if ce <= 0 {
+						continue
+					}
+					crossWS := float64(e.Sig) * e.Sim
+					crossS := float64(e.Sig)
+					for _, in := range inLegs[e.To] {
+						c := a.c * ce * in.leg.c
+						if c <= opt.MinCert || c == 0 {
+							continue
+						}
+						sumS := a.sumS + crossS + in.leg.sumS
+						if sumS <= 0 {
+							continue
+						}
+						sp := (a.sumWS + crossWS + in.leg.sumWS) / sumS
+						cell := acc[in.from]
+						if cell == nil {
+							cell = &accum{}
+							acc[in.from] = cell
+						}
+						cell.num += c * sp
+						cell.den += c
+					}
+				}
+			}
+			row := make([]ExtEdge, 0, len(acc))
+			for j, cell := range acc {
+				if cell.den <= 0 {
+					continue
+				}
+				row = append(row, ExtEdge{To: j, Sim: clamp1(cell.num / cell.den), Cert: cell.den})
+			}
+			sortExt(row)
+			rows[idx] = row
+		}
+	})
+
+	// Assemble forward lists (truncated) and reverse lists (from the full
+	// rows, then truncated), and count distinct heterogeneous pairs.
+	if opt.KeepFull {
+		t.fwdFull = make([][]ExtEdge, ds.NumItems())
+		t.revFull = make([][]ExtEdge, ds.NumItems())
+	}
+	revAcc := make([][]ExtEdge, ds.NumItems())
+	for idx, i := range srcItems {
+		row := rows[idx]
+		t.numPairs += len(row)
+		for _, e := range row {
+			revAcc[e.To] = append(revAcc[e.To], ExtEdge{To: i, Sim: e.Sim, Cert: e.Cert})
+		}
+		if opt.KeepFull {
+			t.fwdFull[i] = row
+		}
+		if opt.TopK > 0 && len(row) > opt.TopK {
+			row = row[:opt.TopK]
+		}
+		t.fwd[i] = row
+	}
+	for j := range revAcc {
+		row := revAcc[j]
+		if row == nil {
+			continue
+		}
+		sortExt(row)
+		if opt.KeepFull {
+			t.revFull[j] = row
+		}
+		if opt.TopK > 0 && len(row) > opt.TopK {
+			row = row[:opt.TopK]
+		}
+		t.rev[j] = row
+	}
+	return t
+}
+
+// computeLegs runs the intra-domain phase for one domain.
+func computeLegs(g *graph.Graph, dom ratings.DomainID, opt Options) map[ratings.ItemID][]leg {
+	ds := g.Dataset()
+	out := make(map[ratings.ItemID][]leg, len(ds.ItemsInDomain(dom)))
+	for _, i := range ds.ItemsInDomain(dom) {
+		switch g.LayerOf(i) {
+		case graph.LayerBB:
+			out[i] = []leg{{to: i, c: 1}}
+		case graph.LayerNB:
+			var ls []leg
+			for _, e := range g.ToBB(i) {
+				c := e.NormalizedSig()
+				if c <= 0 {
+					continue
+				}
+				ls = append(ls, leg{to: e.To, c: c, sumWS: float64(e.Sig) * e.Sim, sumS: float64(e.Sig)})
+			}
+			out[i] = capLegs(ls, opt.LegsK)
+		case graph.LayerNN:
+			type la struct{ c, ws, s float64 }
+			acc := make(map[ratings.ItemID]*la)
+			for _, e1 := range g.ToNB(i) {
+				c1 := e1.NormalizedSig()
+				if c1 <= 0 {
+					continue
+				}
+				for _, e2 := range g.ToBB(e1.To) {
+					c2 := e2.NormalizedSig()
+					if c2 <= 0 {
+						continue
+					}
+					c := c1 * c2
+					ws := float64(e1.Sig)*e1.Sim + float64(e2.Sig)*e2.Sim
+					s := float64(e1.Sig) + float64(e2.Sig)
+					cell := acc[e2.To]
+					if cell == nil {
+						cell = &la{}
+						acc[e2.To] = cell
+					}
+					cell.c += c
+					cell.ws += c * ws
+					cell.s += c * s
+				}
+			}
+			var ls []leg
+			for b, cell := range acc {
+				ls = append(ls, leg{to: b, c: cell.c, sumWS: cell.ws / cell.c, sumS: cell.s / cell.c})
+			}
+			out[i] = capLegs(ls, opt.LegsK)
+		}
+	}
+	return out
+}
+
+// capLegs keeps the k highest-certainty legs (deterministic ties by ID).
+func capLegs(ls []leg, k int) []leg {
+	sortLegs(ls)
+	if k > 0 && len(ls) > k {
+		ls = ls[:k]
+	}
+	return ls
+}
+
+func sortLegs(ls []leg) {
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && legLess(ls[j], ls[j-1]); j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
+	}
+}
+
+func legLess(a, b leg) bool {
+	if a.c != b.c {
+		return a.c > b.c
+	}
+	return a.to < b.to
+}
+
+func sortExt(es []ExtEdge) {
+	// Ext rows can be long; use a simple shell-ish insertion since rows
+	// are usually short after pruning, but guard the worst case.
+	if len(es) > 64 {
+		quickSortExt(es)
+		return
+	}
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && extLess(es[j], es[j-1]); j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+func quickSortExt(es []ExtEdge) {
+	if len(es) < 2 {
+		return
+	}
+	pivot := es[len(es)/2]
+	lo, hi := 0, len(es)-1
+	for lo <= hi {
+		for extLess(es[lo], pivot) {
+			lo++
+		}
+		for extLess(pivot, es[hi]) {
+			hi--
+		}
+		if lo <= hi {
+			es[lo], es[hi] = es[hi], es[lo]
+			lo++
+			hi--
+		}
+	}
+	quickSortExt(es[:hi+1])
+	quickSortExt(es[lo:])
+}
+
+func extLess(a, b ExtEdge) bool {
+	if a.Sim != b.Sim {
+		return a.Sim > b.Sim
+	}
+	return a.To < b.To
+}
+
+func clamp1(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	if v < -1 {
+		return -1
+	}
+	return v
+}
+
+// Source returns the source domain of the table.
+func (t *Table) Source() ratings.DomainID { return t.src }
+
+// Target returns the target domain of the table.
+func (t *Table) Target() ratings.DomainID { return t.dst }
+
+// Forward returns the target-domain candidates of a source item, sorted by
+// X-Sim descending. The slice is shared; callers must not modify it.
+func (t *Table) Forward(i ratings.ItemID) []ExtEdge { return t.fwd[i] }
+
+// Reverse returns the source-domain candidates of a target item.
+func (t *Table) Reverse(j ratings.ItemID) []ExtEdge { return t.rev[j] }
+
+// Candidates dispatches on the item's domain: source items get Forward
+// lists, target items get Reverse lists, anything else nil.
+func (t *Table) Candidates(i ratings.ItemID) []ExtEdge {
+	switch t.ds.Domain(i) {
+	case t.src:
+		return t.fwd[i]
+	case t.dst:
+		return t.rev[i]
+	default:
+		return nil
+	}
+}
+
+// FullCandidates returns the untruncated candidate row of an item — the
+// paper's I(ti) that Private Replacement Selection samples over. Falls
+// back to the truncated row when the table was built without KeepFull.
+func (t *Table) FullCandidates(i ratings.ItemID) []ExtEdge {
+	var full [][]ExtEdge
+	switch t.ds.Domain(i) {
+	case t.src:
+		full = t.fwdFull
+	case t.dst:
+		full = t.revFull
+	default:
+		return nil
+	}
+	if full == nil || full[i] == nil {
+		return t.Candidates(i)
+	}
+	return full[i]
+}
+
+// XSim returns the X-Sim value between i (source) and j (target) if the
+// pair survived pruning.
+func (t *Table) XSim(i, j ratings.ItemID) (float64, bool) {
+	for _, e := range t.fwd[i] {
+		if e.To == j {
+			return e.Sim, true
+		}
+	}
+	// The pair may have been truncated from fwd but kept in rev.
+	for _, e := range t.rev[j] {
+		if e.To == i {
+			return e.Sim, true
+		}
+	}
+	return 0, false
+}
+
+// Best returns the single most similar heterogeneous item of i, if any —
+// the non-private replacement selection of §4.3.
+func (t *Table) Best(i ratings.ItemID) (ExtEdge, bool) {
+	c := t.Candidates(i)
+	if len(c) == 0 {
+		return ExtEdge{}, false
+	}
+	return c[0], true
+}
+
+// NumHeteroPairs returns the number of distinct (source, target) pairs that
+// received an X-Sim value before per-item truncation — the meta-path bar of
+// Figure 1(b).
+func (t *Table) NumHeteroPairs() int { return t.numPairs }

@@ -1,0 +1,308 @@
+package xsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xmap/internal/graph"
+	"xmap/internal/ratings"
+	"xmap/internal/sim"
+)
+
+// figure1a mirrors the fixture in package graph: Cecilia is the only
+// straddler, Interstellar is NB, Inception/Forever War/Extra are bridges.
+func figure1a(t testing.TB) (*ratings.Dataset, map[string]ratings.ItemID) {
+	b := ratings.NewBuilder()
+	mv := b.Domain("movies")
+	bk := b.Domain("books")
+	items := map[string]ratings.ItemID{
+		"interstellar": b.Item("Interstellar", mv),
+		"inception":    b.Item("Inception", mv),
+		"forever":      b.Item("The Forever War", bk),
+		"extra":        b.Item("Extra Book", bk),
+	}
+	bob := b.User("bob")
+	cecilia := b.User("cecilia")
+	alice := b.User("alice")
+	dan := b.User("dan")
+	b.Add(bob, items["interstellar"], 5, 1)
+	b.Add(bob, items["inception"], 5, 2)
+	b.Add(alice, items["interstellar"], 4, 3)
+	b.Add(alice, items["inception"], 5, 4)
+	b.Add(cecilia, items["inception"], 5, 5)
+	b.Add(cecilia, items["forever"], 5, 6)
+	b.Add(cecilia, items["extra"], 2, 7)
+	b.Add(dan, items["forever"], 4, 8)
+	return b.Build(), items
+}
+
+func buildTable(t testing.TB, opt Options) (*Table, *graph.Graph, map[string]ratings.ItemID) {
+	ds, items := figure1a(t)
+	pairs := sim.ComputePairs(ds, sim.Options{Metric: sim.AdjustedCosine})
+	g := graph.Build(pairs, 0, 1, graph.Options{K: 0})
+	return Extend(g, opt), g, items
+}
+
+func TestInterstellarReachesForeverWar(t *testing.T) {
+	tbl, g, items := buildTable(t, Options{})
+	// Standard similarity is absent...
+	if _, ok := g.Pairs().Similarity(items["interstellar"], items["forever"]); ok {
+		t.Fatal("no direct similarity expected")
+	}
+	// ...but X-Sim connects the pair through the meta-path.
+	v, ok := tbl.XSim(items["interstellar"], items["forever"])
+	if !ok {
+		t.Fatal("X-Sim(Interstellar, Forever War) missing")
+	}
+	if v < -1 || v > 1 {
+		t.Fatalf("X-Sim out of range: %v", v)
+	}
+}
+
+func TestMatchesExactEnumeration(t *testing.T) {
+	// On Figure 1(a) every endpoint pair has at most one partial path per
+	// leg, so the two-phase composition must equal exact enumeration.
+	tbl, g, _ := buildTable(t, Options{})
+	ds := g.Dataset()
+	for _, i := range ds.ItemsInDomain(0) {
+		exact := make(map[ratings.ItemID]float64)
+		for j, ps := range graph.EnumerateMetaPaths(g, i) {
+			var num, den float64
+			for _, p := range ps {
+				c := p.Certainty()
+				num += c * p.Similarity()
+				den += c
+			}
+			if den > 0 {
+				exact[j] = num / den
+			}
+		}
+		got := make(map[ratings.ItemID]float64)
+		for _, e := range tbl.Forward(i) {
+			got[e.To] = e.Sim
+		}
+		if len(exact) != len(got) {
+			t.Fatalf("item %d: exact pairs %v != table pairs %v", i, exact, got)
+		}
+		for j, want := range exact {
+			if math.Abs(got[j]-want) > 1e-9 {
+				t.Fatalf("X-Sim(%d,%d) = %v, want exact %v", i, j, got[j], want)
+			}
+		}
+	}
+}
+
+func TestFiveHopChainExact(t *testing.T) {
+	// A deliberate single-path 5-hop chain:
+	// nnS — nbS — bbS — bbT — nbT — nnT, each hop via a dedicated user.
+	b := ratings.NewBuilder()
+	s := b.Domain("S")
+	d := b.Domain("T")
+	nnS := b.Item("nnS", s)
+	nbS := b.Item("nbS", s)
+	bbS := b.Item("bbS", s)
+	bbT := b.Item("bbT", d)
+	nbT := b.Item("nbT", d)
+	nnT := b.Item("nnT", d)
+	link := func(name string, i1, i2 ratings.ItemID, v1, v2 float64) {
+		u := b.User(name)
+		b.Add(u, i1, v1, 0)
+		b.Add(u, i2, v2, 1)
+	}
+	link("u1", nnS, nbS, 5, 5)
+	link("u2", nbS, bbS, 4, 5)
+	link("straddler", bbS, bbT, 5, 5)
+	link("u3", bbT, nbT, 5, 4)
+	link("u4", nbT, nnT, 5, 5)
+	// Extra raters de-degenerate norms/means without adding new edges
+	// (each reinforces an existing chain edge only).
+	link("extra", nnS, nbS, 1, 2)
+	link("extra2", nbT, nnT, 2, 1)
+	ds := b.Build()
+
+	pairs := sim.ComputePairs(ds, sim.Options{})
+	g := graph.Build(pairs, s, d, graph.Options{})
+	if g.LayerOf(nnS) != graph.LayerNN || g.LayerOf(nnT) != graph.LayerNN {
+		t.Fatalf("chain layers wrong: nnS=%v nnT=%v", g.LayerOf(nnS), g.LayerOf(nnT))
+	}
+	tbl := Extend(g, Options{})
+	got, ok := tbl.XSim(nnS, nnT)
+	if !ok {
+		t.Fatal("5-hop X-Sim missing")
+	}
+	want, n, ok2 := graph.XSimExact(g, nnS, nnT)
+	if !ok2 || n != 1 {
+		t.Fatalf("expected exactly one exact path, got n=%d ok=%v", n, ok2)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("5-hop X-Sim = %v, want %v", got, want)
+	}
+}
+
+func TestSymmetryOfValues(t *testing.T) {
+	tbl, g, _ := buildTable(t, Options{})
+	ds := g.Dataset()
+	for _, i := range ds.ItemsInDomain(0) {
+		for _, e := range tbl.Forward(i) {
+			// The reverse table must carry the same value for (j, i).
+			var found bool
+			for _, r := range tbl.Reverse(e.To) {
+				if r.To == i {
+					found = true
+					if math.Abs(r.Sim-e.Sim) > 1e-9 {
+						t.Fatalf("asymmetric X-Sim: fwd %v rev %v", e.Sim, r.Sim)
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("pair (%d,%d) missing from reverse table", i, e.To)
+			}
+		}
+	}
+}
+
+func TestTopKTruncation(t *testing.T) {
+	tbl, _, _ := buildTable(t, Options{TopK: 1})
+	ds := tbl.ds
+	for i := 0; i < ds.NumItems(); i++ {
+		if got := len(tbl.Forward(ratings.ItemID(i))); got > 1 {
+			t.Fatalf("item %d has %d > TopK=1 forward candidates", i, got)
+		}
+		if got := len(tbl.Reverse(ratings.ItemID(i))); got > 1 {
+			t.Fatalf("item %d has %d > TopK=1 reverse candidates", i, got)
+		}
+	}
+}
+
+func TestBestIsHighest(t *testing.T) {
+	tbl, g, items := buildTable(t, Options{})
+	best, ok := tbl.Best(items["inception"])
+	if !ok {
+		t.Fatal("Inception should have candidates")
+	}
+	for _, e := range tbl.Forward(items["inception"]) {
+		if e.Sim > best.Sim {
+			t.Fatalf("Best %v is not maximal (found %v)", best, e)
+		}
+	}
+	_ = g
+}
+
+func TestCandidatesDispatch(t *testing.T) {
+	tbl, _, items := buildTable(t, Options{})
+	if got := tbl.Candidates(items["interstellar"]); len(got) == 0 {
+		t.Fatal("source item should have candidates")
+	}
+	if got := tbl.Candidates(items["forever"]); len(got) == 0 {
+		t.Fatal("target item should have reverse candidates")
+	}
+}
+
+func TestNumHeteroPairsExceedsDirect(t *testing.T) {
+	// The Figure 1(b) effect: meta-path similarities strictly outnumber
+	// standard (direct) heterogeneous similarities.
+	tbl, g, _ := buildTable(t, Options{})
+	direct := g.Pairs().CountCrossDomain()
+	if tbl.NumHeteroPairs() <= direct {
+		t.Fatalf("meta-path pairs %d should exceed direct pairs %d",
+			tbl.NumHeteroPairs(), direct)
+	}
+}
+
+func randomTwoDomain(seed int64, nu, ni, n int) *ratings.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := ratings.NewBuilder()
+	d0 := b.Domain("d0")
+	d1 := b.Domain("d1")
+	for u := 0; u < nu; u++ {
+		b.User(name("u", u))
+	}
+	items := make([]ratings.ItemID, ni)
+	for i := 0; i < ni; i++ {
+		if i%2 == 0 {
+			items[i] = b.Item(name("i", i), d0)
+		} else {
+			items[i] = b.Item(name("i", i), d1)
+		}
+	}
+	for k := 0; k < n; k++ {
+		u := rng.Intn(nu)
+		var it ratings.ItemID
+		switch {
+		case u < nu/4: // straddlers
+			it = items[rng.Intn(ni)]
+		case u%2 == 0:
+			it = items[2*rng.Intn(ni/2)]
+		default:
+			it = items[2*rng.Intn(ni/2)+1]
+		}
+		b.Add(ratings.UserID(u), it, float64(1+rng.Intn(5)), int64(k))
+	}
+	return b.Build()
+}
+
+func name(p string, i int) string {
+	return p + string(rune('0'+i/100)) + string(rune('0'+(i/10)%10)) + string(rune('0'+i%10))
+}
+
+// Property: all X-Sim values lie in [-1,1], certainties are positive, rows
+// are sorted descending, and the table stays consistent fwd/rev.
+func TestQuickTableInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		ds := randomTwoDomain(seed, 24, 16, 220)
+		pairs := sim.ComputePairs(ds, sim.Options{})
+		g := graph.Build(pairs, 0, 1, graph.Options{K: 5})
+		tbl := Extend(g, Options{TopK: 8, LegsK: 5})
+		for i := 0; i < ds.NumItems(); i++ {
+			row := tbl.Forward(ratings.ItemID(i))
+			for k, e := range row {
+				if e.Sim < -1-1e-9 || e.Sim > 1+1e-9 || e.Cert <= 0 {
+					return false
+				}
+				if k > 0 && row[k-1].Sim < e.Sim {
+					return false
+				}
+				if ds.Domain(e.To) != 1 || ds.Domain(ratings.ItemID(i)) != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with unlimited k the composed table finds at least every pair
+// the exact enumerator finds (same reachability), and values agree in sign
+// of the certainty-weighted mean when each pair has a single path.
+func TestQuickReachabilityMatchesEnumerator(t *testing.T) {
+	f := func(seed int64) bool {
+		ds := randomTwoDomain(seed, 18, 12, 140)
+		pairs := sim.ComputePairs(ds, sim.Options{})
+		g := graph.Build(pairs, 0, 1, graph.Options{})
+		tbl := Extend(g, Options{})
+		for _, i := range ds.ItemsInDomain(0) {
+			exact := graph.EnumerateMetaPaths(g, i)
+			for j, ps := range exact {
+				certSum := 0.0
+				for _, p := range ps {
+					certSum += p.Certainty()
+				}
+				if certSum == 0 {
+					continue // all-zero-certainty paths are dropped by design
+				}
+				if _, ok := tbl.XSim(i, j); !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
