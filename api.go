@@ -6,6 +6,7 @@ import (
 	"xmap/internal/core"
 	"xmap/internal/dataset"
 	"xmap/internal/ratings"
+	"xmap/internal/serve"
 	"xmap/internal/sim"
 )
 
@@ -48,6 +49,18 @@ type (
 	MovieLens = dataset.MovieLens
 	// GenreSplit is a genre-based two-sub-domain partition (§6.5).
 	GenreSplit = dataset.GenreSplit
+
+	// Service is the online serving subsystem: fitted pipelines behind a
+	// concurrency-safe API, a sharded LRU result cache, and net/http
+	// handlers (see internal/serve/README.md).
+	Service = serve.Service
+	// ServeOptions sizes a Service (cache, shards, worker slots, N caps).
+	ServeOptions = serve.Options
+	// ServeStats is the observability snapshot returned by Service.Stats
+	// and GET /statsz.
+	ServeStats = serve.StatsSnapshot
+	// Explanation is one "because your AlterEgo liked …" row.
+	Explanation = serve.Explanation
 )
 
 // Recommendation modes.
@@ -89,6 +102,13 @@ func DefaultMovieLensConfig() MovieLensConfig { return dataset.DefaultMovieLensC
 // SplitByGenres partitions a MovieLens-like dataset into two sub-domains
 // by genre, per the paper's Table 2 procedure.
 func SplitByGenres(ml MovieLens) GenreSplit { return dataset.SplitByGenres(ml) }
+
+// NewService wraps fitted pipelines in the online serving subsystem:
+// cached, concurrency-safe recommendation answering plus HTTP handlers
+// (Service.Handler) drivable by net/http/httptest.
+func NewService(ds *Dataset, pipes []*Pipeline, opt ServeOptions) (*Service, error) {
+	return serve.New(ds, pipes, opt)
+}
 
 // SaveCSV writes a dataset as user,item,domain,rating,time CSV.
 func SaveCSV(w io.Writer, ds *Dataset) error { return dataset.SaveCSV(w, ds) }

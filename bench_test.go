@@ -18,6 +18,8 @@ import (
 	"xmap/internal/experiments"
 	"xmap/internal/graph"
 	"xmap/internal/mf"
+	"xmap/internal/ratings"
+	"xmap/internal/serve"
 	"xmap/internal/sim"
 	"xmap/internal/xsim"
 )
@@ -273,6 +275,84 @@ type writeCounter int
 func (w *writeCounter) Write(p []byte) (int, error) {
 	*w += writeCounter(len(p))
 	return len(p), nil
+}
+
+// --- serving-layer benchmarks ---
+
+func serveFixture(b *testing.B) *serve.Service {
+	b.Helper()
+	f := micro(b)
+	svc, err := serve.New(f.az.DS, []*core.Pipeline{f.pipe}, serve.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return svc
+}
+
+// BenchmarkServeRecommend measures the cache-hit path of the serving
+// layer — the steady-state cost of answering a repeated user query.
+// Compare against BenchmarkServeRecommendUncached (the Pipeline.Recommend
+// call it wraps): the hit path must be orders of magnitude cheaper.
+func BenchmarkServeRecommend(b *testing.B) {
+	svc := serveFixture(b)
+	u := serveBenchUser(b, svc)
+	if _, _, err := svc.RecommendForUser(0, u, 10); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, cached, _ := svc.RecommendForUser(0, u, 10); !cached {
+			b.Fatal("expected a cache hit")
+		}
+	}
+}
+
+// BenchmarkServeRecommendUncached measures the miss path: the full
+// AlterEgo generation + top-N computation behind one cold user query.
+func BenchmarkServeRecommendUncached(b *testing.B) {
+	svc := serveFixture(b)
+	u := serveBenchUser(b, svc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc.InvalidateUser(u)
+		if _, cached, _ := svc.RecommendForUser(0, u, 10); cached {
+			b.Fatal("expected a cache miss")
+		}
+	}
+}
+
+// BenchmarkServeRecommendParallel hammers the cache-hit path from all
+// procs at once — the contention profile of the sharded cache under a
+// hot-key serving load.
+func BenchmarkServeRecommendParallel(b *testing.B) {
+	svc := serveFixture(b)
+	users := svc.Dataset().Straddlers(micro(b).az.Movies, micro(b).az.Books)
+	if len(users) > 8 {
+		users = users[:8]
+	}
+	for _, u := range users { // warm the cache
+		if _, _, err := svc.RecommendForUser(0, u, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			u := users[i%len(users)]
+			i++
+			if _, _, err := svc.RecommendForUser(0, u, 10); err != nil {
+				b.Error(err) // Fatal must not be called off the benchmark goroutine
+				return
+			}
+		}
+	})
+}
+
+func serveBenchUser(b *testing.B, svc *serve.Service) ratings.UserID {
+	b.Helper()
+	f := micro(b)
+	return f.az.DS.Straddlers(f.az.Movies, f.az.Books)[0]
 }
 
 func BenchmarkSplitStraddlers(b *testing.B) {

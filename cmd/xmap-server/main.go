@@ -1,8 +1,13 @@
 // Command xmap-server is the online recommendation platform of §6.7
-// (x-map.work): an HTTP service over a fitted X-Map pipeline that answers
+// (x-map.work): an HTTP service over fitted X-Map pipelines that answers
 // item queries with heterogeneous (other-domain) and homogeneous
 // (same-domain) recommendations, and user queries with cold-start
 // top-N lists.
+//
+// The serving logic — concurrency-safe Service, sharded result cache,
+// handlers — lives in internal/serve; this binary only parses flags,
+// loads or generates a trace, fits one pipeline per direction, and wires
+// the service into net/http.
 //
 // Usage:
 //
@@ -14,32 +19,33 @@
 //	GET /                    tiny HTML search page
 //	GET /api/items?q=inter   item-name search
 //	GET /api/recommend?item=<name>&n=10
-//	GET /api/user?user=<name>&n=10
+//	GET /api/user?user=<name>&n=10[&pipe=0]
+//	GET /api/explain?user=<name>&item=<name>
 //	GET /healthz
+//	GET /statsz              cache + request statistics
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"html/template"
 	"log"
 	"net/http"
 	"os"
-	"sort"
-	"strconv"
-	"strings"
 
 	"xmap/internal/core"
 	"xmap/internal/dataset"
 	"xmap/internal/ratings"
+	"xmap/internal/serve"
 )
 
 func main() {
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		data = flag.String("data", "", "CSV trace (empty = generate a synthetic Amazon-like trace)")
-		k    = flag.Int("k", 30, "neighborhood size")
+		addr      = flag.String("addr", ":8080", "listen address")
+		data      = flag.String("data", "", "CSV trace (empty = generate a synthetic Amazon-like trace)")
+		k         = flag.Int("k", 30, "neighborhood size")
+		cacheSize = flag.Int("cache", 4096, "total cached top-N lists")
+		shards    = flag.Int("cache-shards", 16, "cache shard count (rounded up to a power of two)")
+		workers   = flag.Int("workers", 0, "concurrent Recommend slots (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -57,19 +63,17 @@ func main() {
 	rev := core.Fit(ds, dst, src, cfg)
 	log.Printf("diagnostics: %s", fwd.Diagnose())
 
-	s := &server{ds: ds, fwd: fwd, rev: rev}
-	s.index()
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /", s.home)
-	mux.HandleFunc("GET /api/items", s.items)
-	mux.HandleFunc("GET /api/recommend", s.recommend)
-	mux.HandleFunc("GET /api/user", s.user)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
+	svc, err := serve.New(ds, []*core.Pipeline{fwd, rev}, serve.Options{
+		CacheSize:   *cacheSize,
+		CacheShards: *shards,
+		Workers:     *workers,
 	})
+	if err != nil {
+		log.Fatalf("xmap-server: %v", err)
+	}
+
 	log.Printf("listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	log.Fatal(http.ListenAndServe(*addr, svc.Handler()))
 }
 
 func loadData(path string) (*ratings.Dataset, ratings.DomainID, ratings.DomainID, error) {
@@ -90,177 +94,4 @@ func loadData(path string) (*ratings.Dataset, ratings.DomainID, ratings.DomainID
 		return nil, 0, 0, fmt.Errorf("trace %s has %d domains, need 2", path, ds.NumDomains())
 	}
 	return ds, 0, 1, nil
-}
-
-type server struct {
-	ds       *ratings.Dataset
-	fwd, rev *core.Pipeline
-	itemIdx  map[string]ratings.ItemID
-	userIdx  map[string]ratings.UserID
-	names    []string // lower-cased item names for substring search
-}
-
-func (s *server) index() {
-	s.itemIdx = make(map[string]ratings.ItemID, s.ds.NumItems())
-	s.names = make([]string, s.ds.NumItems())
-	for i := 0; i < s.ds.NumItems(); i++ {
-		name := s.ds.ItemName(ratings.ItemID(i))
-		s.itemIdx[strings.ToLower(name)] = ratings.ItemID(i)
-		s.names[i] = strings.ToLower(name)
-	}
-	s.userIdx = make(map[string]ratings.UserID, s.ds.NumUsers())
-	for u := 0; u < s.ds.NumUsers(); u++ {
-		s.userIdx[s.ds.UserName(ratings.UserID(u))] = ratings.UserID(u)
-	}
-}
-
-// rec is one recommendation row in API responses.
-type rec struct {
-	Item   string  `json:"item"`
-	Domain string  `json:"domain"`
-	Score  float64 `json:"score"`
-}
-
-func (s *server) findItem(q string) (ratings.ItemID, bool) {
-	if id, ok := s.itemIdx[strings.ToLower(q)]; ok {
-		return id, true
-	}
-	// Substring fallback: first match in ID order.
-	lq := strings.ToLower(q)
-	for i, n := range s.names {
-		if strings.Contains(n, lq) {
-			return ratings.ItemID(i), true
-		}
-	}
-	return 0, false
-}
-
-func (s *server) items(w http.ResponseWriter, r *http.Request) {
-	q := strings.ToLower(r.URL.Query().Get("q"))
-	var out []string
-	for i, n := range s.names {
-		if q == "" || strings.Contains(n, q) {
-			out = append(out, s.ds.ItemName(ratings.ItemID(i)))
-			if len(out) >= 25 {
-				break
-			}
-		}
-	}
-	writeJSON(w, map[string]any{"items": out})
-}
-
-// recommend answers an item query with heterogeneous recommendations
-// (X-Sim candidates in the other domain) and homogeneous ones (same-domain
-// kNN from the baseline graph) — the §6.7 behaviour: querying Inception
-// returns Shutter Island the novel and Shutter Island the movie.
-func (s *server) recommend(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query().Get("item")
-	if q == "" {
-		http.Error(w, "missing ?item=", http.StatusBadRequest)
-		return
-	}
-	id, ok := s.findItem(q)
-	if !ok {
-		http.Error(w, fmt.Sprintf("no item matching %q", q), http.StatusNotFound)
-		return
-	}
-	n := intParam(r, "n", 10)
-
-	p := s.fwd
-	if s.ds.Domain(id) == s.fwd.Target() {
-		p = s.rev
-	}
-	var hetero []rec
-	for _, c := range p.Table().Candidates(id) {
-		hetero = append(hetero, rec{
-			Item:   s.ds.ItemName(c.To),
-			Domain: s.ds.DomainName(s.ds.Domain(c.To)),
-			Score:  c.Sim,
-		})
-		if len(hetero) >= n {
-			break
-		}
-	}
-	var homo []rec
-	for _, e := range p.Pairs().Neighbors(id) {
-		if s.ds.Domain(e.To) != s.ds.Domain(id) {
-			continue
-		}
-		homo = append(homo, rec{
-			Item:   s.ds.ItemName(e.To),
-			Domain: s.ds.DomainName(s.ds.Domain(e.To)),
-			Score:  e.Sim,
-		})
-	}
-	sort.Slice(homo, func(a, b int) bool { return homo[a].Score > homo[b].Score })
-	if len(homo) > n {
-		homo = homo[:n]
-	}
-	writeJSON(w, map[string]any{
-		"query":         s.ds.ItemName(id),
-		"domain":        s.ds.DomainName(s.ds.Domain(id)),
-		"heterogeneous": hetero,
-		"homogeneous":   homo,
-	})
-}
-
-func (s *server) user(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("user")
-	uid, ok := s.userIdx[name]
-	if !ok {
-		http.Error(w, fmt.Sprintf("unknown user %q", name), http.StatusNotFound)
-		return
-	}
-	n := intParam(r, "n", 10)
-	var out []rec
-	for _, sc := range s.fwd.RecommendForUser(uid, n) {
-		out = append(out, rec{
-			Item:   s.ds.ItemName(sc.ID),
-			Domain: s.ds.DomainName(s.ds.Domain(sc.ID)),
-			Score:  sc.Score,
-		})
-	}
-	writeJSON(w, map[string]any{"user": name, "recommendations": out})
-}
-
-func intParam(r *http.Request, key string, def int) int {
-	if v := r.URL.Query().Get(key); v != "" {
-		if n, err := strconv.Atoi(v); err == nil && n > 0 && n <= 100 {
-			return n
-		}
-	}
-	return def
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("encode: %v", err)
-	}
-}
-
-var homeTmpl = template.Must(template.New("home").Parse(`<!doctype html>
-<html><head><title>X-Map — heterogeneous recommendations</title></head>
-<body style="font-family: sans-serif; max-width: 48em; margin: 2em auto">
-<h1>X-Map</h1>
-<p>What you might like to read after watching Interstellar: query an item
-and get recommendations from the <em>other</em> domain (plus homogeneous
-ones from its own domain).</p>
-<form action="/api/recommend" method="get">
-  <input name="item" size="40" placeholder="item name (try a movie id like m-00001)">
-  <input type="submit" value="Recommend">
-</form>
-<p>API: <code>/api/recommend?item=&lt;name&gt;</code>,
-<code>/api/user?user=&lt;name&gt;</code>,
-<code>/api/items?q=&lt;substring&gt;</code></p>
-</body></html>`))
-
-func (s *server) home(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path != "/" {
-		http.NotFound(w, r)
-		return
-	}
-	if err := homeTmpl.Execute(w, nil); err != nil {
-		log.Printf("template: %v", err)
-	}
 }

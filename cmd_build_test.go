@@ -1,0 +1,30 @@
+package xmap_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestBuildCommands smoke-tests the cmd wiring: all four binaries must
+// compile and link against the current library surface.
+func TestBuildCommands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary builds in -short mode")
+	}
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	out := t.TempDir()
+	cmd := exec.Command(gobin, "build", "-o", out+string(os.PathSeparator), "./cmd/...")
+	if msg, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/...: %v\n%s", err, msg)
+	}
+	for _, bin := range []string{"xmap-bench", "xmap-cli", "xmap-datagen", "xmap-server"} {
+		if _, err := os.Stat(filepath.Join(out, bin)); err != nil {
+			t.Errorf("binary %s not produced: %v", bin, err)
+		}
+	}
+}

@@ -31,6 +31,24 @@
 //	p := xmap.Fit(ds, movies, books, xmap.DefaultConfig())
 //	recs := p.RecommendForUser(alice, 10) // books for a movie-only user
 //
+// # Serving
+//
+// The online half of the system is the Service (internal/serve): it
+// wraps one or more fitted Pipelines behind a concurrency-safe API with
+// a sharded LRU cache of top-N results — keyed by (pipeline, user or
+// profile-content hash, n) with explicit invalidation — admission
+// control over the heavy Recommend path, and net/http handlers drivable
+// with httptest:
+//
+//	svc, err := xmap.NewService(ds, []*xmap.Pipeline{fwd, rev}, xmap.ServeOptions{})
+//	http.ListenAndServe(":8080", svc.Handler())
+//
+// Non-private pipelines serve lock-free from any number of goroutines;
+// private pipelines (shared rng) are serialized behind a per-pipeline
+// mutex. GET /statsz reports cache and request statistics; see
+// internal/serve/README.md for the cache-key scheme and invalidation
+// rules.
+//
 // See examples/ for five runnable programs and cmd/ for the bench runner,
 // the online recommendation server (§6.7) and the trace generator.
 package xmap

@@ -1,0 +1,3 @@
+module xmap
+
+go 1.22

@@ -1,6 +1,7 @@
 package cf
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -202,6 +203,72 @@ func TestItemBasedRecommend(t *testing.T) {
 	recs := m.Recommend(sciFiProfile(), 2, 10)
 	if len(recs) == 0 || recs[0].ID != 2 {
 		t.Fatalf("top rec = %v, want item 2", recs)
+	}
+}
+
+func TestRecommendMatchesPredictLoop(t *testing.T) {
+	// Recommend's dense-scratch scoring (predictDense) must stay
+	// arithmetically identical to Predict's binary-search path
+	// (predictWith) — including the temporal Eq. 7 branch — so top-N
+	// lists, point predictions and Explain never diverge.
+	ds := trainSet(t)
+	now := int64(10)
+	compare := func(m *ItemBased, prof []ratings.Entry, label string) {
+		t.Helper()
+		want := sim.NewCollector(3)
+		for i := 0; i < ds.NumItems(); i++ {
+			item := ratings.ItemID(i)
+			if _, seen := ratings.ProfileRating(prof, item); seen {
+				continue
+			}
+			if v, ok := m.Predict(prof, item, now); ok {
+				want.Offer(item, v)
+			}
+		}
+		got := m.Recommend(prof, 3, now)
+		wantRecs := want.Sorted()
+		if len(got) != len(wantRecs) {
+			t.Fatalf("%s: Recommend returned %d items, Predict loop %d", label, len(got), len(wantRecs))
+		}
+		for i := range wantRecs {
+			if got[i].ID != wantRecs[i].ID || math.Abs(got[i].Score-wantRecs[i].Score) > 1e-12 {
+				t.Fatalf("%s rec %d: Recommend %v vs Predict loop %v", label, i, got[i], wantRecs[i])
+			}
+		}
+	}
+	for _, alpha := range []float64{0, 0.1} {
+		m := buildItemBased(t, ds, ItemBasedOptions{K: 3, Alpha: alpha})
+		prof := []ratings.Entry{
+			{Item: 0, Value: 5, Time: 2},
+			{Item: 1, Value: 2, Time: 9},
+		}
+		compare(m, prof, fmt.Sprintf("alpha=%v", alpha))
+		// A duplicate entry must resolve identically on both paths
+		// (first entry wins, matching the leftmost binary-search hit).
+		dup := append([]ratings.Entry{{Item: 0, Value: 1, Time: 2}}, prof...)
+		compare(m, dup, fmt.Sprintf("alpha=%v dup", alpha))
+	}
+}
+
+func TestItemBasedRecommendIgnoresUnknownItems(t *testing.T) {
+	// Entries whose IDs the dataset does not know (stale or unmapped)
+	// must be ignored, like the binary-search lookup always did — not
+	// panic the dense scatter.
+	ds := trainSet(t)
+	m := buildItemBased(t, ds, ItemBasedOptions{K: 3})
+	want := m.Recommend(sciFiProfile(), 2, 10)
+	prof := append(sciFiProfile(),
+		ratings.Entry{Item: ratings.ItemID(ds.NumItems() + 100), Value: 5, Time: 1},
+		ratings.Entry{Item: -1, Value: 5, Time: 1},
+	)
+	got := m.Recommend(prof, 2, 10)
+	if len(got) != len(want) {
+		t.Fatalf("got %d recs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rec %d = %v, want %v (unknown items must not shift results)", i, got[i], want[i])
+		}
 	}
 }
 

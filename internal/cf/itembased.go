@@ -3,6 +3,7 @@ package cf
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"xmap/internal/privacy"
 	"xmap/internal/ratings"
@@ -16,7 +17,10 @@ type ItemNeighbor struct {
 }
 
 // ItemBased implements Algorithm 2 within one domain, with the optional
-// temporal relevance weighting of Eq. 7. Immutable after construction.
+// temporal relevance weighting of Eq. 7. The similarity structures are
+// immutable after construction and all methods are safe for concurrent
+// use; Recommend draws its per-call scratch buffers from an internal
+// sync.Pool so concurrent top-N queries neither race nor contend.
 type ItemBased struct {
 	ds    *ratings.Dataset
 	dom   ratings.DomainID
@@ -30,6 +34,22 @@ type ItemBased struct {
 	// choose among all items, not only the already-chosen top-k).
 	cands   [][]ItemNeighbor
 	keepAll bool
+
+	// scratch pools dense profile views for Recommend (see ibScratch).
+	scratch sync.Pool
+}
+
+// ibScratch is a dense, generation-stamped view of one query profile,
+// indexed by ItemID. Recommend scatters the profile into it once and then
+// answers "has the profile rated j, and at what value/time?" in O(1) per
+// neighbor instead of a binary search per neighbor per candidate item.
+// Generation stamping (gen[i] == cur means "present in this query") makes
+// reuse O(|profile|) instead of O(NumItems) — no clearing between queries.
+type ibScratch struct {
+	val  []float64
+	time []int64
+	gen  []uint32
+	cur  uint32
 }
 
 // ItemBasedOptions configures construction.
@@ -58,6 +78,14 @@ func NewItemBased(pairs *sim.Pairs, dom ratings.DomainID, opt ItemBasedOptions) 
 	}
 	if opt.KeepCandidates {
 		m.cands = make([][]ItemNeighbor, ds.NumItems())
+	}
+	m.scratch.New = func() any {
+		n := m.ds.NumItems()
+		return &ibScratch{
+			val:  make([]float64, n),
+			time: make([]int64, n),
+			gen:  make([]uint32, n),
+		}
 	}
 	for _, i := range ds.ItemsInDomain(dom) {
 		var all []ItemNeighbor
@@ -207,18 +235,69 @@ func (m *ItemBased) Explain(profile []ratings.Entry, item ratings.ItemID, now in
 }
 
 // Recommend returns the top-N unseen in-domain items by predicted rating
-// (Phase 2 of Algorithm 2).
+// (Phase 2 of Algorithm 2). It scatters the profile into a pooled dense
+// scratch once, so the per-candidate neighbor scan costs O(1) per lookup.
 func (m *ItemBased) Recommend(profile []ratings.Entry, n int, now int64) []sim.Scored {
+	sc := m.scratch.Get().(*ibScratch)
+	sc.cur++
+	if sc.cur == 0 { // generation counter wrapped: flush stale stamps
+		for i := range sc.gen {
+			sc.gen[i] = 0
+		}
+		sc.cur = 1
+	}
+	for _, e := range profile {
+		if e.Item < 0 || int(e.Item) >= len(sc.val) {
+			continue // unknown ID: ignore, like the binary-search lookup did
+		}
+		if sc.gen[e.Item] == sc.cur {
+			continue // duplicate item: first entry wins, like the binary search
+		}
+		sc.val[e.Item] = e.Value
+		sc.time[e.Item] = e.Time
+		sc.gen[e.Item] = sc.cur
+	}
 	c := sim.NewCollector(n)
 	for _, item := range m.ds.ItemsInDomain(m.dom) {
-		if _, seen := ratings.ProfileRating(profile, item); seen {
-			continue
+		if sc.gen[item] == sc.cur {
+			continue // already rated by the profile
 		}
-		if v, ok := m.Predict(profile, item, now); ok {
+		if v, ok := m.predictDense(sc, item, now); ok {
 			c.Offer(item, v)
 		}
 	}
+	m.scratch.Put(sc)
 	return c.Sorted()
+}
+
+// predictDense is Predict against a scattered profile. The arithmetic is
+// identical to predictWith — same neighbors in the same order — only the
+// profile lookup changes.
+func (m *ItemBased) predictDense(sc *ibScratch, item ratings.ItemID, now int64) (float64, bool) {
+	ri := m.ds.ItemMean(item)
+	var num, den float64
+	for _, nb := range m.nbrs[item] {
+		if sc.gen[nb.Item] != sc.cur {
+			continue
+		}
+		w := math.Abs(nb.Tau)
+		contrib := nb.Tau * (sc.val[nb.Item] - m.ds.ItemMean(nb.Item))
+		if m.alpha > 0 {
+			dt := now - sc.time[nb.Item]
+			if dt < 0 {
+				dt = 0
+			}
+			decay := math.Exp(-m.alpha * float64(dt))
+			w *= decay
+			contrib *= decay
+		}
+		num += contrib
+		den += w
+	}
+	if den == 0 {
+		return ri, false
+	}
+	return clampRating(ri + num/den), true
 }
 
 // PrivateItemBased is the item-based recommender of Algorithm 5: neighbors

@@ -118,9 +118,11 @@ func DefaultConfig() Config {
 // pair. Fitting is the offline phase the paper runs periodically; a fitted
 // pipeline serves predictions and top-N recommendations.
 //
-// Concurrency: the non-private pipeline is safe for concurrent reads. The
-// private pipeline shares one rng and is not; callers serialize or fit one
-// pipeline per goroutine.
+// Concurrency: the non-private pipeline is safe for concurrent use —
+// Predict/Recommend/AlterEgo allocate per call, and the item-based model
+// draws its top-N scratch buffers from a sync.Pool. The private pipeline
+// shares one rng and is not; callers serialize (internal/serve holds a
+// per-pipeline mutex for private pipelines) or fit one per goroutine.
 type Pipeline struct {
 	cfg      Config
 	ds       *ratings.Dataset
@@ -280,6 +282,9 @@ func (p *Pipeline) Derive(cfg Config) *Pipeline {
 
 // Config returns the pipeline's configuration.
 func (p *Pipeline) Config() Config { return p.cfg }
+
+// Dataset returns the training dataset the pipeline was fitted on.
+func (p *Pipeline) Dataset() *ratings.Dataset { return p.ds }
 
 // Source returns the source domain.
 func (p *Pipeline) Source() ratings.DomainID { return p.src }

@@ -114,3 +114,31 @@ func ExecuteTasks(tasks []func(), slots int) time.Duration {
 	ParallelForEach(len(tasks), slots, func(i int) { tasks[i]() })
 	return time.Since(start)
 }
+
+// Limiter bounds the number of sections executing concurrently — the
+// admission-control half of the worker-pool substrate. ParallelFor-style
+// helpers fan a known amount of work across p slots; a Limiter instead
+// admits externally-driven work (for example, HTTP request goroutines in
+// internal/serve) into at most p slots, queueing the rest.
+type Limiter struct {
+	ch chan struct{}
+}
+
+// NewLimiter returns a limiter admitting n concurrent sections
+// (n <= 0 means GOMAXPROCS).
+func NewLimiter(n int) *Limiter {
+	return &Limiter{ch: make(chan struct{}, WorkerCount(n))}
+}
+
+// Cap returns the number of slots.
+func (l *Limiter) Cap() int { return cap(l.ch) }
+
+// InUse returns the number of currently-held slots.
+func (l *Limiter) InUse() int { return len(l.ch) }
+
+// Do runs fn inside a slot, blocking until one is free.
+func (l *Limiter) Do(fn func()) {
+	l.ch <- struct{}{}
+	defer func() { <-l.ch }()
+	fn()
+}

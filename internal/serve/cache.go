@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"xmap/internal/sim"
+)
+
+// keyKind discriminates the two query-key namespaces structurally: a
+// user-keyed entry and a profile-keyed entry can never alias even if
+// their 64-bit hashes collide.
+type keyKind uint8
+
+const (
+	kindUser keyKind = iota + 1
+	kindProfile
+)
+
+// cacheKey identifies one cached top-N list: the pipeline that produced
+// it (index + swap epoch), the key kind, a 64-bit query hash (user- or
+// profile-derived, see service.go), and the requested list length. The
+// epoch changes whenever SwapPipeline installs a refitted pipeline, so
+// entries from a previous fit are unreachable by construction. User keys
+// are exact (the hash is injective over 32-bit user IDs); profile keys
+// identify the profile by its 64-bit content hash alone — two distinct
+// profiles colliding on it would share an entry, an accepted trade-off:
+// the birthday bound at cache capacity (thousands of entries against a
+// 2^64 image) puts the odds around 10^-13, and storing full profiles for
+// equality checks would multiply the cache's memory footprint.
+type cacheKey struct {
+	pipe  int
+	epoch uint64
+	kind  keyKind
+	hash  uint64
+	n     int
+}
+
+// mix folds the pipeline index, epoch, kind and n into the query hash so
+// shard placement and map distribution see the whole key.
+func (k cacheKey) mix() uint64 {
+	h := k.hash
+	h ^= uint64(k.pipe)*0x9e3779b97f4a7c15 + uint64(k.n)*0xff51afd7ed558ccd
+	h ^= k.epoch*0x2545f4914f6cdd1d + uint64(k.kind)
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 29
+	return h
+}
+
+// cacheShard is one independently-locked LRU: a map for O(1) lookup over
+// an intrusive recency list (front = most recently used).
+type cacheShard struct {
+	mu    sync.Mutex
+	table map[cacheKey]*list.Element
+	order *list.List // of *cacheEntry
+	cap   int
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	recs []sim.Scored
+}
+
+// resultCache is the sharded LRU of top-N results. Sharding by key hash
+// keeps lock hold times short and spreads concurrent request goroutines
+// across independent mutexes instead of serializing on one.
+type resultCache struct {
+	shards []*cacheShard
+	mask   uint64
+
+	// gen counts invalidation events. A miss computation snapshots it
+	// before computing and publishes with putIfGen, so a list computed
+	// before an invalidation can never be reinstated after it — the
+	// invalidation contract stays "worst case: a recomputation" even
+	// against in-flight misses. gen is bumped before the shard scan, and
+	// putIfGen rechecks it under the shard lock, closing the window.
+	//
+	// The fence is deliberately coarse (global, not per-key): a publish
+	// racing *any* invalidation is discarded, even for unrelated keys.
+	// The caller still gets its result; only the cache insert is skipped,
+	// and the next request recomputes. At the documented invalidation
+	// rate (the rare administrative path) the discard probability per
+	// computation is the compute duration times the invalidation rate —
+	// negligible — and precise per-key fencing would need per-predicate
+	// bookkeeping that isn't worth that rarity.
+	gen atomic.Uint64
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
+}
+
+// newResultCache builds a cache holding ~total entries across the given
+// number of shards (rounded up to a power of two; 0 picks defaults).
+func newResultCache(total, shards int) *resultCache {
+	if total <= 0 {
+		total = 4096
+	}
+	if shards <= 0 {
+		shards = 16
+	}
+	pow := 1
+	for pow < shards {
+		pow <<= 1
+	}
+	perShard := (total + pow - 1) / pow
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &resultCache{shards: make([]*cacheShard, pow), mask: uint64(pow - 1)}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			table: make(map[cacheKey]*list.Element),
+			order: list.New(),
+			cap:   perShard,
+		}
+	}
+	return c
+}
+
+func (c *resultCache) shard(k cacheKey) *cacheShard {
+	return c.shards[k.mix()&c.mask]
+}
+
+// get returns the cached list for k, refreshing its recency. The returned
+// slice is shared — callers must not mutate it.
+func (c *resultCache) get(k cacheKey) ([]sim.Scored, bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	el, ok := s.table[k]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	recs := el.Value.(*cacheEntry).recs
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return recs, true
+}
+
+// peek is get without the hit/miss accounting — the singleflight
+// leader's internal recheck, not a request-path read.
+func (c *resultCache) peek(k cacheKey) ([]sim.Scored, bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.table[k]; ok {
+		s.order.MoveToFront(el)
+		return el.Value.(*cacheEntry).recs, true
+	}
+	return nil, false
+}
+
+// putIfGen stores a list under k unless an invalidation happened since
+// the caller snapshotted gen, evicting the shard's least-recently-used
+// entry when full. The gen recheck happens under the shard lock:
+// invalidations bump gen before scanning, so a stale put either sees the
+// bump and discards, or lands before the scan and is removed by it.
+func (c *resultCache) putIfGen(k cacheKey, recs []sim.Scored, gen uint64) {
+	s := c.shard(k)
+	s.mu.Lock()
+	if c.gen.Load() != gen {
+		s.mu.Unlock()
+		return // computed against a state an invalidation has since dropped
+	}
+	if el, ok := s.table[k]; ok {
+		el.Value.(*cacheEntry).recs = recs
+		s.order.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	if s.order.Len() >= s.cap {
+		back := s.order.Back()
+		if back != nil {
+			s.order.Remove(back)
+			delete(s.table, back.Value.(*cacheEntry).key)
+			c.evictions.Add(1)
+		}
+	}
+	s.table[k] = s.order.PushFront(&cacheEntry{key: k, recs: recs})
+	s.mu.Unlock()
+}
+
+// put stores unconditionally (tests and non-racing paths).
+func (c *resultCache) put(k cacheKey, recs []sim.Scored) {
+	c.putIfGen(k, recs, c.gen.Load())
+}
+
+// invalidate removes every entry whose key matches, returning the count.
+// It scans all shards: invalidation is the rare administrative path
+// (profile change, pipeline refit) and pays so that get/put stay O(1).
+func (c *resultCache) invalidate(match func(cacheKey) bool) int {
+	c.gen.Add(1) // before the scan: fences out in-flight stale puts
+	removed := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for el := s.order.Front(); el != nil; {
+			next := el.Next()
+			if e := el.Value.(*cacheEntry); match(e.key) {
+				s.order.Remove(el)
+				delete(s.table, e.key)
+				removed++
+			}
+			el = next
+		}
+		s.mu.Unlock()
+	}
+	c.invalidations.Add(int64(removed))
+	return removed
+}
+
+// invalidateAll drops every entry.
+func (c *resultCache) invalidateAll() int {
+	c.gen.Add(1) // before the scan: fences out in-flight stale puts
+	removed := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		removed += s.order.Len()
+		s.table = make(map[cacheKey]*list.Element)
+		s.order.Init()
+		s.mu.Unlock()
+	}
+	c.invalidations.Add(int64(removed))
+	return removed
+}
+
+// len returns the total number of cached lists.
+func (c *resultCache) len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// capacity returns the total entry capacity across shards.
+func (c *resultCache) capacity() int {
+	return len(c.shards) * c.shards[0].cap
+}

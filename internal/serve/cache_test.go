@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"testing"
+
+	"xmap/internal/ratings"
+	"xmap/internal/sim"
+)
+
+func recsOf(ids ...ratings.ItemID) []sim.Scored {
+	out := make([]sim.Scored, len(ids))
+	for i, id := range ids {
+		out[i] = sim.Scored{ID: id, Score: float64(10 - i)}
+	}
+	return out
+}
+
+func TestCachePutGet(t *testing.T) {
+	c := newResultCache(64, 4)
+	k := cacheKey{pipe: 0, hash: 42, n: 10}
+	if _, ok := c.get(k); ok {
+		t.Fatal("get on empty cache returned a value")
+	}
+	c.put(k, recsOf(1, 2, 3))
+	got, ok := c.get(k)
+	if !ok || len(got) != 3 || got[0].ID != 1 {
+		t.Fatalf("get = %v, %v; want the stored list", got, ok)
+	}
+	if h, m := c.hits.Load(), c.misses.Load(); h != 1 || m != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", h, m)
+	}
+	// Overwriting the same key must not grow the cache.
+	c.put(k, recsOf(4))
+	if got, _ := c.get(k); len(got) != 1 || got[0].ID != 4 {
+		t.Fatalf("overwrite not visible: %v", got)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d after overwrite, want 1", c.len())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// One shard of capacity 2 makes the recency order observable.
+	c := newResultCache(2, 1)
+	k1 := cacheKey{hash: 1, n: 10}
+	k2 := cacheKey{hash: 2, n: 10}
+	k3 := cacheKey{hash: 3, n: 10}
+	c.put(k1, recsOf(1))
+	c.put(k2, recsOf(2))
+	c.get(k1) // k1 becomes most recent; k2 is now LRU
+	c.put(k3, recsOf(3))
+	if _, ok := c.get(k2); ok {
+		t.Fatal("LRU entry k2 survived eviction")
+	}
+	if _, ok := c.get(k1); !ok {
+		t.Fatal("recently-used entry k1 was evicted")
+	}
+	if _, ok := c.get(k3); !ok {
+		t.Fatal("new entry k3 missing")
+	}
+	if ev := c.evictions.Load(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := newResultCache(64, 4)
+	for pipe := 0; pipe < 2; pipe++ {
+		for h := uint64(0); h < 10; h++ {
+			c.put(cacheKey{pipe: pipe, hash: h, n: 10}, recsOf(1))
+		}
+	}
+	if c.len() != 20 {
+		t.Fatalf("len = %d, want 20", c.len())
+	}
+	if n := c.invalidate(func(k cacheKey) bool { return k.pipe == 1 }); n != 10 {
+		t.Fatalf("invalidate(pipe==1) removed %d, want 10", n)
+	}
+	if _, ok := c.get(cacheKey{pipe: 1, hash: 3, n: 10}); ok {
+		t.Fatal("invalidated entry still served")
+	}
+	if _, ok := c.get(cacheKey{pipe: 0, hash: 3, n: 10}); !ok {
+		t.Fatal("unrelated entry dropped by predicate invalidation")
+	}
+	if n := c.invalidateAll(); n != 10 {
+		t.Fatalf("invalidateAll removed %d, want 10", n)
+	}
+	if c.len() != 0 {
+		t.Fatalf("len = %d after invalidateAll, want 0", c.len())
+	}
+	if inv := c.invalidations.Load(); inv != 20 {
+		t.Fatalf("invalidations = %d, want 20", inv)
+	}
+}
+
+func TestCacheStalePutFencedByInvalidation(t *testing.T) {
+	// A computation that started before an invalidation must not publish
+	// after it — the invalidation contract is "worst case: a
+	// recomputation", never a resurrected entry.
+	c := newResultCache(64, 4)
+	k := cacheKey{kind: kindUser, hash: 7, n: 10}
+	gen := c.gen.Load() // snapshot, as missCompute does before computing
+	c.invalidate(func(cacheKey) bool { return true })
+	c.putIfGen(k, recsOf(1), gen) // stale publish attempt
+	if _, ok := c.get(k); ok {
+		t.Fatal("stale put survived a concurrent invalidation")
+	}
+	// A put snapshotted after the invalidation publishes normally.
+	c.putIfGen(k, recsOf(2), c.gen.Load())
+	if got, ok := c.get(k); !ok || got[0].ID != 2 {
+		t.Fatalf("fresh put not visible: %v, %v", got, ok)
+	}
+}
+
+func TestCacheShardRounding(t *testing.T) {
+	c := newResultCache(100, 5) // shards round up to 8
+	if len(c.shards) != 8 {
+		t.Fatalf("shards = %d, want 8", len(c.shards))
+	}
+	if c.capacity() < 100 {
+		t.Fatalf("capacity = %d, want >= 100", c.capacity())
+	}
+}
+
+func TestKeyNamespacesDisjoint(t *testing.T) {
+	// A user key and a profile key must never alias, even with equal
+	// 64-bit hashes: the kind field separates them structurally.
+	c := newResultCache(64, 4)
+	ku := cacheKey{kind: kindUser, hash: 42, n: 10}
+	kp := cacheKey{kind: kindProfile, hash: 42, n: 10}
+	c.put(ku, recsOf(1))
+	c.put(kp, recsOf(2))
+	if got, _ := c.get(ku); len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("user entry = %v, want item 1", got)
+	}
+	if got, _ := c.get(kp); len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("profile entry = %v, want item 2", got)
+	}
+	// Profile hashing is content-sensitive in every field.
+	base := []ratings.Entry{{Item: 1, Value: 4, Time: 9}}
+	variants := [][]ratings.Entry{
+		{{Item: 2, Value: 4, Time: 9}},
+		{{Item: 1, Value: 5, Time: 9}},
+		{{Item: 1, Value: 4, Time: 8}},
+		{{Item: 1, Value: 4, Time: 9}, {Item: 2, Value: 1, Time: 0}},
+	}
+	for i, v := range variants {
+		if profileHash(base) == profileHash(v) {
+			t.Fatalf("variant %d hashes like the base profile", i)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// Handler returns the service's HTTP surface:
+//
+//	GET /                    tiny HTML search page
+//	GET /api/items?q=inter   item-name search
+//	GET /api/recommend?item=<name>&n=10
+//	GET /api/user?user=<name>&n=10[&pipe=0]
+//	GET /api/explain?user=<name>&item=<name>
+//	GET /healthz
+//	GET /statsz
+//
+// Every API response — including errors — is JSON with the Content-Type
+// and status code set before the body is written.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.instrument(epHome, s.handleHome))
+	mux.HandleFunc("GET /api/items", s.instrument(epItems, s.handleItems))
+	mux.HandleFunc("GET /api/recommend", s.instrument(epRecommend, s.handleRecommend))
+	mux.HandleFunc("GET /api/user", s.instrument(epUser, s.handleUser))
+	mux.HandleFunc("GET /api/explain", s.instrument(epExplain, s.handleExplain))
+	mux.HandleFunc("GET /healthz", s.instrument(epHealth, s.handleHealth))
+	mux.HandleFunc("GET /statsz", s.instrument(epStats, s.handleStats))
+	return mux
+}
+
+// instrument wraps a handler with request and in-flight accounting.
+func (s *Service) instrument(ep endpoint, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.ctr.requests[ep].Add(1)
+		s.ctr.inflight.Add(1)
+		defer s.ctr.inflight.Add(-1)
+		h(w, r)
+	}
+}
+
+// writeJSON emits v with the given status. Header and status go out
+// before the body, so clients always see a correct Content-Type.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("serve: encode: %v", err)
+	}
+}
+
+// writeError emits a JSON error body with the given status.
+func (s *Service) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.ctr.errors.Add(1)
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// intParam parses a positive integer query parameter, falling back to def
+// on absence or garbage. Only appropriate where the default is harmless
+// (list lengths); routing parameters use strictIntParam.
+func intParam(r *http.Request, key string, def int) int {
+	if v := r.URL.Query().Get(key); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// strictIntParam parses an integer query parameter that selects behavior
+// (e.g. pipe): absent means def, but garbage is an error — silently
+// defaulting would answer from the wrong model.
+func strictIntParam(r *http.Request, key string, def int) (int, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q: not an integer", key, v)
+	}
+	return n, nil
+}
+
+func (s *Service) handleItems(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	items := s.SearchItems(q, 25)
+	if items == nil {
+		items = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"items": items})
+}
+
+// rec is one recommendation row in API responses.
+type rec struct {
+	Item   string  `json:"item"`
+	Domain string  `json:"domain"`
+	Score  float64 `json:"score"`
+}
+
+// handleRecommend answers an item query with heterogeneous
+// recommendations (X-Sim candidates in the other domain) and homogeneous
+// ones (same-domain kNN from the baseline graph) — the §6.7 behaviour:
+// querying Inception returns Shutter Island the novel and Shutter Island
+// the movie.
+func (s *Service) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("item")
+	if q == "" {
+		s.writeError(w, http.StatusBadRequest, "missing ?item=")
+		return
+	}
+	id, ok := s.FindItem(q)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no item matching %q", q)
+		return
+	}
+	n := s.clampN(intParam(r, "n", 0))
+	dom := s.ds.Domain(id)
+	pi, ok := s.PipelineFrom(dom)
+	if !ok {
+		s.writeError(w, http.StatusNotFound,
+			"no pipeline translating from domain %q", s.ds.DomainName(dom))
+		return
+	}
+	p := s.pipes[pi].Load()
+
+	hetero := make([]rec, 0, n)
+	for _, c := range p.Table().Candidates(id) {
+		hetero = append(hetero, rec{
+			Item:   s.ds.ItemName(c.To),
+			Domain: s.ds.DomainName(s.ds.Domain(c.To)),
+			Score:  c.Sim,
+		})
+		if len(hetero) >= n {
+			break
+		}
+	}
+	homo := make([]rec, 0, n)
+	for _, e := range p.Pairs().Neighbors(id) {
+		if s.ds.Domain(e.To) != dom {
+			continue
+		}
+		homo = append(homo, rec{
+			Item:   s.ds.ItemName(e.To),
+			Domain: s.ds.DomainName(s.ds.Domain(e.To)),
+			Score:  e.Sim,
+		})
+	}
+	sort.Slice(homo, func(a, b int) bool { return homo[a].Score > homo[b].Score })
+	if len(homo) > n {
+		homo = homo[:n]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"query":         s.ds.ItemName(id),
+		"domain":        s.ds.DomainName(dom),
+		"heterogeneous": hetero,
+		"homogeneous":   homo,
+	})
+}
+
+func (s *Service) handleUser(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("user")
+	uid, ok := s.LookupUser(name)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown user %q", name)
+		return
+	}
+	pipe, err := strictIntParam(r, "pipe", 0)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.checkPipe(pipe); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	n := intParam(r, "n", 0)
+	recs, cached, err := s.RecommendForUser(pipe, uid, n)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	out := make([]rec, 0, len(recs))
+	for _, sc := range recs {
+		out = append(out, rec{
+			Item:   s.ds.ItemName(sc.ID),
+			Domain: s.ds.DomainName(s.ds.Domain(sc.ID)),
+			Score:  sc.Score,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"user":            name,
+		"cached":          cached,
+		"recommendations": out,
+	})
+}
+
+func (s *Service) handleExplain(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("user")
+	uid, ok := s.LookupUser(name)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown user %q", name)
+		return
+	}
+	q := r.URL.Query().Get("item")
+	if q == "" {
+		s.writeError(w, http.StatusBadRequest, "missing ?item=")
+		return
+	}
+	id, ok := s.FindItem(q)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no item matching %q", q)
+		return
+	}
+	pi, ok := s.PipelineInto(s.ds.Domain(id))
+	if !ok {
+		s.writeError(w, http.StatusNotFound,
+			"no pipeline recommending into domain %q", s.ds.DomainName(s.ds.Domain(id)))
+		return
+	}
+	expl, err := s.Explain(pi, uid, id)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if expl == nil {
+		expl = []Explanation{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"user":          name,
+		"item":          s.ds.ItemName(id),
+		"contributions": expl,
+	})
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+var homeTmpl = template.Must(template.New("home").Parse(`<!doctype html>
+<html><head><title>X-Map — heterogeneous recommendations</title></head>
+<body style="font-family: sans-serif; max-width: 48em; margin: 2em auto">
+<h1>X-Map</h1>
+<p>What you might like to read after watching Interstellar: query an item
+and get recommendations from the <em>other</em> domain (plus homogeneous
+ones from its own domain).</p>
+<form action="/api/recommend" method="get">
+  <input name="item" size="40" placeholder="item name (try a movie id like m-00001)">
+  <input type="submit" value="Recommend">
+</form>
+<p>API: <code>/api/recommend?item=&lt;name&gt;</code>,
+<code>/api/user?user=&lt;name&gt;</code>,
+<code>/api/items?q=&lt;substring&gt;</code>,
+<code>/api/explain?user=&lt;name&gt;&amp;item=&lt;name&gt;</code>,
+<code>/statsz</code></p>
+</body></html>`))
+
+func (s *Service) handleHome(w http.ResponseWriter, r *http.Request) {
+	if err := homeTmpl.Execute(w, nil); err != nil {
+		log.Printf("serve: template: %v", err)
+	}
+}

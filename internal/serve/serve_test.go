@@ -1,0 +1,615 @@
+// HTTP-level tests of the serving subsystem: every handler is driven
+// through httptest against pipelines fitted on a small synthetic trace,
+// and cache behaviour is asserted through the /statsz endpoint the way an
+// operator would observe it.
+package serve_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"xmap/internal/core"
+	"xmap/internal/dataset"
+	"xmap/internal/ratings"
+	"xmap/internal/serve"
+	"xmap/internal/sim"
+)
+
+// fixture fits the two pipelines once for the whole package.
+var fx struct {
+	once     sync.Once
+	az       dataset.Amazon
+	fwd, rev *core.Pipeline
+}
+
+func fixture(t *testing.T) (*dataset.Amazon, *core.Pipeline, *core.Pipeline) {
+	t.Helper()
+	fx.once.Do(func() {
+		cfg := dataset.DefaultAmazonConfig()
+		cfg.MovieUsers, cfg.BookUsers, cfg.OverlapUsers = 120, 130, 60
+		cfg.Movies, cfg.Books = 80, 90
+		cfg.RatingsPerUser = 18
+		fx.az = dataset.AmazonLike(cfg)
+		pcfg := core.DefaultConfig()
+		pcfg.K = 20
+		fx.fwd = core.Fit(fx.az.DS, fx.az.Movies, fx.az.Books, pcfg)
+		fx.rev = core.Fit(fx.az.DS, fx.az.Books, fx.az.Movies, pcfg)
+	})
+	return &fx.az, fx.fwd, fx.rev
+}
+
+// newService builds a fresh two-direction service (fresh cache/stats per
+// test) over the shared fixture.
+func newService(t *testing.T, opt serve.Options) *serve.Service {
+	t.Helper()
+	az, fwd, rev := fixture(t)
+	svc, err := serve.New(az.DS, []*core.Pipeline{fwd, rev}, opt)
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	return svc
+}
+
+// getJSON performs a GET and decodes the JSON body.
+func getJSON(t *testing.T, ts *httptest.Server, path string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", path, resp.StatusCode, wantStatus)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("GET %s: Content-Type %q, want application/json", path, ct)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("GET %s: decode: %v", path, err)
+	}
+	return body
+}
+
+func TestItemsHandler(t *testing.T) {
+	ts := httptest.NewServer(newService(t, serve.Options{}).Handler())
+	defer ts.Close()
+
+	body := getJSON(t, ts, "/api/items?q=m-000", http.StatusOK)
+	items, ok := body["items"].([]any)
+	if !ok || len(items) == 0 {
+		t.Fatalf("items = %v, want non-empty list", body["items"])
+	}
+	for _, it := range items {
+		if !strings.Contains(strings.ToLower(it.(string)), "m-000") {
+			t.Fatalf("item %v does not match query", it)
+		}
+	}
+
+	// No match still returns a JSON list, not null.
+	body = getJSON(t, ts, "/api/items?q=zzz-no-such-item", http.StatusOK)
+	if items, ok := body["items"].([]any); !ok || len(items) != 0 {
+		t.Fatalf("items = %v, want empty list", body["items"])
+	}
+}
+
+func TestRecommendHandler(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// Pick a movie that actually has heterogeneous candidates.
+	az, fwd, _ := fixture(t)
+	query := ""
+	for i := 0; i < az.DS.NumItems(); i++ {
+		id := ratings.ItemID(i)
+		if az.DS.Domain(id) == az.Movies && len(fwd.Table().Candidates(id)) > 0 {
+			query = az.DS.ItemName(id)
+			break
+		}
+	}
+	if query == "" {
+		t.Fatal("fixture has no movie with X-Sim candidates")
+	}
+
+	body := getJSON(t, ts, "/api/recommend?item="+query+"&n=5", http.StatusOK)
+	if body["query"] != query {
+		t.Fatalf("query echo = %v, want %q", body["query"], query)
+	}
+	hetero, _ := body["heterogeneous"].([]any)
+	if len(hetero) == 0 || len(hetero) > 5 {
+		t.Fatalf("heterogeneous has %d rows, want 1..5", len(hetero))
+	}
+	for _, h := range hetero {
+		row := h.(map[string]any)
+		if row["domain"] != "books" {
+			t.Fatalf("heterogeneous row in domain %v, want books", row["domain"])
+		}
+	}
+	for _, h := range body["homogeneous"].([]any) {
+		row := h.(map[string]any)
+		if row["domain"] != "movies" {
+			t.Fatalf("homogeneous row in domain %v, want movies", row["domain"])
+		}
+	}
+
+	// A book query routes through the reverse pipeline.
+	body = getJSON(t, ts, "/api/recommend?item=b-00000", http.StatusOK)
+	if body["domain"] != "books" {
+		t.Fatalf("domain = %v, want books", body["domain"])
+	}
+}
+
+func TestRecommendHandlerErrors(t *testing.T) {
+	ts := httptest.NewServer(newService(t, serve.Options{}).Handler())
+	defer ts.Close()
+
+	body := getJSON(t, ts, "/api/recommend", http.StatusBadRequest)
+	if body["error"] == "" {
+		t.Fatal("400 body has no error field")
+	}
+	body = getJSON(t, ts, "/api/recommend?item=zzz-no-such-item", http.StatusNotFound)
+	if !strings.Contains(body["error"].(string), "no item") {
+		t.Fatalf("404 error = %v", body["error"])
+	}
+}
+
+func TestRecommendNoPipelineForDomain(t *testing.T) {
+	// A single-direction service cannot answer item queries from the
+	// target domain.
+	az, fwd, _ := fixture(t)
+	svc, err := serve.New(az.DS, []*core.Pipeline{fwd}, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	body := getJSON(t, ts, "/api/recommend?item=b-00000", http.StatusNotFound)
+	if !strings.Contains(body["error"].(string), "no pipeline") {
+		t.Fatalf("error = %v, want pipeline-routing error", body["error"])
+	}
+}
+
+func TestUserHandlerAndCacheStats(t *testing.T) {
+	ts := httptest.NewServer(newService(t, serve.Options{}).Handler())
+	defer ts.Close()
+
+	// First query computes (miss), second is served from the cache.
+	body := getJSON(t, ts, "/api/user?user=both-0000&n=5", http.StatusOK)
+	if body["cached"] != false {
+		t.Fatalf("first query cached = %v, want false", body["cached"])
+	}
+	recs, _ := body["recommendations"].([]any)
+	if len(recs) == 0 || len(recs) > 5 {
+		t.Fatalf("got %d recommendations, want 1..5", len(recs))
+	}
+
+	body = getJSON(t, ts, "/api/user?user=both-0000&n=5", http.StatusOK)
+	if body["cached"] != true {
+		t.Fatalf("second query cached = %v, want true", body["cached"])
+	}
+
+	stats := getJSON(t, ts, "/statsz", http.StatusOK)
+	cache := stats["cache"].(map[string]any)
+	if cache["hits"].(float64) != 1 || cache["misses"].(float64) != 1 {
+		t.Fatalf("cache stats = %v, want 1 hit / 1 miss", cache)
+	}
+	if cache["size"].(float64) != 1 {
+		t.Fatalf("cache size = %v, want 1", cache["size"])
+	}
+	reqs := stats["requests"].(map[string]any)
+	if reqs["user"].(float64) != 2 {
+		t.Fatalf("user request count = %v, want 2", reqs["user"])
+	}
+}
+
+func TestUserHandlerErrors(t *testing.T) {
+	ts := httptest.NewServer(newService(t, serve.Options{}).Handler())
+	defer ts.Close()
+
+	body := getJSON(t, ts, "/api/user?user=nobody-9999", http.StatusNotFound)
+	if !strings.Contains(body["error"].(string), "unknown user") {
+		t.Fatalf("error = %v", body["error"])
+	}
+	getJSON(t, ts, "/api/user?user=both-0000&pipe=99", http.StatusBadRequest)
+
+	// A garbled pipe must be rejected, not silently answered by pipeline 0
+	// (a defaulted routing parameter would serve from the wrong model).
+	body = getJSON(t, ts, "/api/user?user=both-0000&pipe=1x", http.StatusBadRequest)
+	if !strings.Contains(body["error"].(string), "pipe") {
+		t.Fatalf("error = %v, want bad-pipe complaint", body["error"])
+	}
+}
+
+func TestOutOfRangeInputsReturnErrors(t *testing.T) {
+	// The Go API boundary must reject unknown IDs with an error, not
+	// crash inside the mapper / dataset indexing.
+	svc := newService(t, serve.Options{})
+	az, _, _ := fixture(t)
+
+	bad := []ratings.Entry{{Item: ratings.ItemID(az.DS.NumItems() + 50), Value: 5, Time: 1}}
+	if _, _, err := svc.Recommend(0, bad, 5); err == nil {
+		t.Fatal("Recommend accepted a profile with an unknown item")
+	}
+	if _, _, err := svc.Recommend(0, []ratings.Entry{{Item: -3, Value: 5}}, 5); err == nil {
+		t.Fatal("Recommend accepted a negative item ID")
+	}
+	if _, err := svc.Explain(0, ratings.UserID(az.DS.NumUsers()+5), 0); err == nil {
+		t.Fatal("Explain accepted an out-of-range user")
+	}
+	if _, err := svc.Explain(0, 0, ratings.ItemID(az.DS.NumItems()+5)); err == nil {
+		t.Fatal("Explain accepted an out-of-range item")
+	}
+	if _, _, err := svc.RecommendForUser(0, ratings.UserID(az.DS.NumUsers()+5), 5); err == nil {
+		t.Fatal("RecommendForUser accepted an out-of-range user")
+	}
+}
+
+func TestDefaultNNeverExceedsMaxN(t *testing.T) {
+	az, fwd, rev := fixture(t)
+	svc, err := serve.New(az.DS, []*core.Pipeline{fwd, rev}, serve.Options{DefaultN: 7, MaxN: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := svc.RecommendForUser(0, 0, 0) // n omitted → default
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) > 5 {
+		t.Fatalf("default-n list has %d items, exceeding MaxN=5", len(recs))
+	}
+}
+
+func TestSingleflightCollapsesConcurrentMisses(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	const callers = 16
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if _, _, err := svc.RecommendForUser(0, 0, 10); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	// All 16 raced on one cold key: exactly one pipeline computation may
+	// have run (late arrivals either waited on the flight or hit the cache).
+	if st := svc.Stats(); st.Computations != 1 {
+		t.Fatalf("computations = %d for one hot key, want 1", st.Computations)
+	}
+}
+
+func TestExplainHandler(t *testing.T) {
+	ts := httptest.NewServer(newService(t, serve.Options{}).Handler())
+	defer ts.Close()
+
+	// Explaining a book item for a straddler routes into the forward
+	// (movies→books) pipeline.
+	body := getJSON(t, ts, "/api/explain?user=both-0001&item=b-00001", http.StatusOK)
+	if body["item"] != "b-00001" || body["user"] != "both-0001" {
+		t.Fatalf("echo = %v/%v", body["user"], body["item"])
+	}
+	if _, ok := body["contributions"].([]any); !ok {
+		t.Fatalf("contributions = %v, want a list", body["contributions"])
+	}
+
+	getJSON(t, ts, "/api/explain?user=nobody-9999&item=b-00001", http.StatusNotFound)
+	getJSON(t, ts, "/api/explain?user=both-0001", http.StatusBadRequest)
+	getJSON(t, ts, "/api/explain?user=both-0001&item=zzz-no-such", http.StatusNotFound)
+}
+
+func TestHealthAndHome(t *testing.T) {
+	ts := httptest.NewServer(newService(t, serve.Options{}).Handler())
+	defer ts.Close()
+
+	body := getJSON(t, ts, "/healthz", http.StatusOK)
+	if body["status"] != "ok" {
+		t.Fatalf("health = %v", body)
+	}
+
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("home status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Fatalf("home Content-Type = %q", ct)
+	}
+}
+
+func TestServiceNewErrors(t *testing.T) {
+	az, fwd, _ := fixture(t)
+	if _, err := serve.New(nil, []*core.Pipeline{fwd}, serve.Options{}); err == nil {
+		t.Fatal("New(nil ds) did not fail")
+	}
+	if _, err := serve.New(az.DS, nil, serve.Options{}); err == nil {
+		t.Fatal("New(no pipelines) did not fail")
+	}
+	other := dataset.AmazonLike(dataset.AmazonConfig{
+		Seed: 9, MovieUsers: 10, BookUsers: 10, OverlapUsers: 5,
+		Movies: 10, Books: 10, RatingsPerUser: 4, Factors: 4, Genres: 2,
+		Noise: 0.5, TasteStrength: 1, CrossCorrelation: 0.5, TimeHorizon: 10,
+	})
+	if _, err := serve.New(other.DS, []*core.Pipeline{fwd}, serve.Options{}); err == nil {
+		t.Fatal("New(mismatched dataset) did not fail")
+	}
+	// Aliasing one pipeline in two slots would defeat per-slot
+	// serialization of private state and make routing ambiguous.
+	if _, err := serve.New(az.DS, []*core.Pipeline{fwd, fwd}, serve.Options{}); err == nil {
+		t.Fatal("New(aliased pipelines) did not fail")
+	}
+	// Two same-direction slots are legal; swapping one slot to alias the
+	// other is not.
+	fwd2 := fwd.Derive(fwd.Config())
+	svc, err := serve.New(az.DS, []*core.Pipeline{fwd, fwd2}, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SwapPipeline(0, fwd2); err == nil {
+		t.Fatal("SwapPipeline accepted a pipeline already serving another slot")
+	}
+}
+
+func TestProfileRecommendContentAddressed(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	az, _, _ := fixture(t)
+
+	var profile []ratings.Entry
+	u := az.DS.Straddlers(az.Movies, az.Books)[0]
+	for _, e := range az.DS.Items(u) {
+		if az.DS.Domain(e.Item) == az.Movies {
+			profile = append(profile, e)
+		}
+	}
+	if len(profile) == 0 {
+		t.Fatal("straddler has no movie profile")
+	}
+
+	r1, cached, err := svc.Recommend(0, profile, 10)
+	if err != nil || cached {
+		t.Fatalf("first Recommend: cached=%v err=%v", cached, err)
+	}
+	r2, cached, err := svc.Recommend(0, profile, 10)
+	if err != nil || !cached {
+		t.Fatalf("second Recommend: cached=%v err=%v", cached, err)
+	}
+	if len(r1) != len(r2) || (len(r1) > 0 && r1[0] != r2[0]) {
+		t.Fatal("cached list differs from computed list")
+	}
+
+	// Touch one rating: the key changes, so this must be a miss.
+	mod := append([]ratings.Entry(nil), profile...)
+	mod[0].Value += 0.25
+	if _, cached, _ := svc.Recommend(0, mod, 10); cached {
+		t.Fatal("modified profile hit the old cache entry")
+	}
+
+	// InvalidateUser must not touch content-addressed profile keys.
+	svc.InvalidateUser(u)
+	if _, cached, _ := svc.Recommend(0, profile, 10); !cached {
+		t.Fatal("profile-keyed entry dropped by InvalidateUser")
+	}
+}
+
+func TestInvalidation(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	u1, u2 := ratings.UserID(0), ratings.UserID(1)
+
+	warm := func(u ratings.UserID) bool {
+		_, cached, err := svc.RecommendForUser(0, u, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cached
+	}
+	warm(u1)
+	warm(u2)
+	if !warm(u1) || !warm(u2) {
+		t.Fatal("warm entries not cached")
+	}
+	if n := svc.InvalidateUser(u1); n != 1 {
+		t.Fatalf("InvalidateUser removed %d entries, want 1", n)
+	}
+	if warm(u1) {
+		t.Fatal("u1 still cached after InvalidateUser")
+	}
+	if !warm(u2) {
+		t.Fatal("u2 dropped by u1's invalidation")
+	}
+
+	// Per-pipeline invalidation drops only that pipeline's entries.
+	if _, _, err := svc.RecommendForUser(1, u2, 10); err != nil {
+		t.Fatal(err)
+	}
+	svc.InvalidatePipeline(1)
+	if !warm(u2) {
+		t.Fatal("pipeline-0 entry dropped by pipeline-1 invalidation")
+	}
+	if _, cached, _ := svc.RecommendForUser(1, u2, 10); cached {
+		t.Fatal("pipeline-1 entry survived InvalidatePipeline(1)")
+	}
+
+	svc.InvalidateAll()
+	if svc.CacheLen() != 0 {
+		t.Fatalf("cache len = %d after InvalidateAll", svc.CacheLen())
+	}
+}
+
+func TestSwapPipeline(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	az, fwd, rev := fixture(t)
+	u := az.DS.Straddlers(az.Movies, az.Books)[0]
+
+	before, _, err := svc.RecommendForUser(0, u, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, cached, _ := svc.RecommendForUser(0, u, 10); !cached {
+		t.Fatal("warm entry not cached")
+	}
+
+	// Swap in a re-derived pipeline with different recommendation-side
+	// parameters: the cached list must become unreachable.
+	ncfg := fwd.Config()
+	ncfg.Alpha = 0 // disable temporal weighting
+	swapped := fwd.Derive(ncfg)
+	if err := svc.SwapPipeline(0, swapped); err != nil {
+		t.Fatalf("SwapPipeline: %v", err)
+	}
+	if svc.Pipeline(0) != swapped {
+		t.Fatal("Pipeline(0) still returns the old pipeline")
+	}
+	after, cached, err := svc.RecommendForUser(0, u, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("post-swap query served from the pre-swap cache")
+	}
+	want := swapped.RecommendForUser(u, 10)
+	for i := range want {
+		if after[i] != want[i] {
+			t.Fatalf("post-swap rec %d = %v, want %v (from new pipeline)", i, after[i], want[i])
+		}
+	}
+	_ = before
+
+	// Guard rails: wrong direction and wrong dataset are rejected.
+	if err := svc.SwapPipeline(0, rev); err == nil {
+		t.Fatal("swap accepted a pipeline serving the opposite direction")
+	}
+	if err := svc.SwapPipeline(0, nil); err == nil {
+		t.Fatal("swap accepted a nil pipeline")
+	}
+	if err := svc.SwapPipeline(9, swapped); err == nil {
+		t.Fatal("swap accepted an out-of-range index")
+	}
+}
+
+func TestBatchRecommendMatchesPointQueries(t *testing.T) {
+	svc := newService(t, serve.Options{Workers: 4})
+	az, fwd, _ := fixture(t)
+	users := az.DS.Straddlers(az.Movies, az.Books)[:8]
+
+	batch, err := svc.RecommendUsersBatch(0, users, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range users {
+		want := fwd.RecommendForUser(u, 5)
+		if len(batch[i]) != len(want) {
+			t.Fatalf("user %d: batch len %d, want %d", u, len(batch[i]), len(want))
+		}
+		for j := range want {
+			if batch[i][j] != want[j] {
+				t.Fatalf("user %d row %d: %v != %v", u, j, batch[i][j], want[j])
+			}
+		}
+	}
+	// The batch populated the cache: point queries now hit.
+	if _, cached, _ := svc.RecommendForUser(0, users[0], 5); !cached {
+		t.Fatal("batch did not warm the cache")
+	}
+}
+
+// TestConcurrentRecommendWithInvalidation hammers Service.Recommend paths
+// from 32 goroutines while a background goroutine continuously
+// invalidates the cache — run under -race this is the serving layer's
+// core concurrency contract: no data races, and every response identical
+// to the serial ground truth regardless of hit/miss/invalidation timing.
+func TestConcurrentRecommendWithInvalidation(t *testing.T) {
+	svc := newService(t, serve.Options{CacheSize: 128, CacheShards: 8})
+	az, fwd, _ := fixture(t)
+	users := az.DS.Straddlers(az.Movies, az.Books)
+	if len(users) > 16 {
+		users = users[:16]
+	}
+
+	// Serial ground truth (the pipeline is deterministic and read-only).
+	truth := make(map[ratings.UserID][]sim.Scored, len(users))
+	for _, u := range users {
+		truth[u] = fwd.RecommendForUser(u, 10)
+	}
+
+	const goroutines = 32
+	const iters = 40
+	stop := make(chan struct{})
+	var invalWG sync.WaitGroup
+	invalWG.Add(1)
+	go func() {
+		defer invalWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 3 {
+			case 0:
+				svc.InvalidateUser(users[i%len(users)])
+			case 1:
+				svc.InvalidatePipeline(0)
+			default:
+				svc.InvalidateAll()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				u := users[(g+i)%len(users)]
+				got, _, err := svc.RecommendForUser(0, u, 10)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want := truth[u]
+				if len(got) != len(want) {
+					errs <- fmt.Errorf("user %d: got %d recs, want %d", u, len(got), len(want))
+					return
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						errs <- fmt.Errorf("user %d rec %d: got %v, want %v", u, j, got[j], want[j])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	invalWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Sanity: the workload actually exercised both cache paths.
+	st := svc.Stats()
+	if st.Cache.Misses == 0 {
+		t.Fatal("no cache misses recorded")
+	}
+	if st.Cache.Invalidations == 0 {
+		t.Fatal("no invalidations recorded")
+	}
+}

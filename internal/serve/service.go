@@ -1,0 +1,528 @@
+// Package serve is the online half of the system: it wraps one or more
+// fitted core.Pipelines behind a concurrency-safe Service with a sharded
+// LRU cache of top-N results, admission control over the heavy Recommend
+// path, and net/http handlers for the §6.7 recommendation platform
+// (x-map.work). cmd/xmap-server is a thin flag-parsing shell over this
+// package; tests drive the same handlers through httptest.
+//
+// See README.md in this directory for the cache-key scheme and the
+// invalidation rules.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"xmap/internal/core"
+	"xmap/internal/engine"
+	"xmap/internal/eval"
+	"xmap/internal/ratings"
+	"xmap/internal/sim"
+)
+
+// Options configures a Service. The zero value picks sensible defaults.
+type Options struct {
+	// CacheSize is the total number of cached top-N lists (0 = 4096).
+	CacheSize int
+	// CacheShards is the shard count, rounded up to a power of two
+	// (0 = 16). More shards = less lock contention, slightly more memory.
+	CacheShards int
+	// Workers bounds how many Recommend computations run concurrently
+	// (0 = GOMAXPROCS). Requests beyond the bound queue; cache hits are
+	// never queued.
+	Workers int
+	// DefaultN is the list length when a request does not specify n
+	// (0 = 10).
+	DefaultN int
+	// MaxN caps the list length a request may ask for (0 = 100).
+	MaxN int
+}
+
+func (o Options) withDefaults() Options {
+	if o.DefaultN <= 0 {
+		o.DefaultN = 10
+	}
+	if o.MaxN <= 0 {
+		o.MaxN = 100
+	}
+	if o.DefaultN > o.MaxN {
+		o.DefaultN = o.MaxN // the no-n spelling must not bypass the cap
+	}
+	return o
+}
+
+// Service serves recommendations from fitted pipelines. All methods are
+// safe for concurrent use: the underlying non-private pipelines are
+// read-only at serving time, private pipelines are serialized behind a
+// per-pipeline mutex (their rng is shared state), every cached list is
+// treated as immutable by both cache and handlers, and pipelines are
+// held behind atomic pointers so SwapPipeline can install a refitted
+// replacement without stopping traffic.
+type Service struct {
+	ds    *ratings.Dataset
+	pipes []atomic.Pointer[core.Pipeline]
+	// epoch[i] counts hot swaps of pipeline i; it is part of every cache
+	// key, so a swap makes all previous entries (and any entry a stale
+	// in-flight computation may still put) unreachable at once.
+	epoch []atomic.Uint64
+	// pipeMu[i] is held around calls into pipes[i] when that pipeline is
+	// private; non-private pipelines are lock-free.
+	pipeMu []sync.Mutex
+	// swapMu serializes SwapPipeline calls so the cross-slot alias check
+	// cannot race another swap installing the same pipeline elsewhere.
+	swapMu sync.Mutex
+
+	cache   *resultCache
+	flights flightGroup
+	limit   *engine.Limiter
+	ctr     counters
+	opt     Options
+
+	// Name indexes, built once at construction (the dataset is immutable).
+	itemIdx map[string]ratings.ItemID
+	userIdx map[string]ratings.UserID
+	names   []string // lower-cased item names, indexed by ItemID
+}
+
+// New builds a Service over pipelines fitted on ds. Every pipeline must
+// have been fitted on the same dataset; at least one is required.
+func New(ds *ratings.Dataset, pipes []*core.Pipeline, opt Options) (*Service, error) {
+	if ds == nil {
+		return nil, errors.New("serve: nil dataset")
+	}
+	if len(pipes) == 0 {
+		return nil, errors.New("serve: need at least one fitted pipeline")
+	}
+	for i, p := range pipes {
+		if p == nil {
+			return nil, fmt.Errorf("serve: pipeline %d is nil", i)
+		}
+		if p.Dataset() != ds {
+			return nil, fmt.Errorf("serve: pipeline %d was fitted on a different dataset", i)
+		}
+		for j := 0; j < i; j++ {
+			// Aliasing one pipeline across slots would make routing
+			// ambiguous and, for private pipelines, let two pipeMu
+			// entries guard the same shared rng/cache state.
+			if pipes[j] == p {
+				return nil, fmt.Errorf("serve: pipeline %d aliases pipeline %d", i, j)
+			}
+		}
+	}
+	opt = opt.withDefaults()
+	s := &Service{
+		ds:     ds,
+		pipes:  make([]atomic.Pointer[core.Pipeline], len(pipes)),
+		epoch:  make([]atomic.Uint64, len(pipes)),
+		pipeMu: make([]sync.Mutex, len(pipes)),
+		cache:  newResultCache(opt.CacheSize, opt.CacheShards),
+		limit:  engine.NewLimiter(opt.Workers),
+		opt:    opt,
+	}
+	for i, p := range pipes {
+		s.pipes[i].Store(p)
+	}
+	s.buildIndexes()
+	return s, nil
+}
+
+func (s *Service) buildIndexes() {
+	s.itemIdx = make(map[string]ratings.ItemID, s.ds.NumItems())
+	s.names = make([]string, s.ds.NumItems())
+	for i := 0; i < s.ds.NumItems(); i++ {
+		name := strings.ToLower(s.ds.ItemName(ratings.ItemID(i)))
+		s.itemIdx[name] = ratings.ItemID(i)
+		s.names[i] = name
+	}
+	s.userIdx = make(map[string]ratings.UserID, s.ds.NumUsers())
+	for u := 0; u < s.ds.NumUsers(); u++ {
+		s.userIdx[s.ds.UserName(ratings.UserID(u))] = ratings.UserID(u)
+	}
+}
+
+// Dataset returns the dataset the service indexes.
+func (s *Service) Dataset() *ratings.Dataset { return s.ds }
+
+// NumPipelines returns how many pipelines the service fronts.
+func (s *Service) NumPipelines() int { return len(s.pipes) }
+
+// Pipeline returns the current i-th pipeline (read-only use).
+func (s *Service) Pipeline(i int) *core.Pipeline { return s.pipes[i].Load() }
+
+// SwapPipeline atomically installs a refitted (or re-derived)
+// replacement for pipeline i and makes every cache entry the old
+// pipeline produced unreachable — the hot-refresh path: fit offline,
+// swap online, no stopped traffic. The replacement must be fitted on the
+// same dataset and serve the same (source, target) direction so request
+// routing stays consistent. The swap is race-free with respect to
+// in-flight requests: a stale computation can only publish under the old
+// cache epoch, which no later request reads.
+func (s *Service) SwapPipeline(i int, p *core.Pipeline) error {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	if err := s.checkPipe(i); err != nil {
+		return err
+	}
+	if p == nil {
+		return errors.New("serve: nil replacement pipeline")
+	}
+	if p.Dataset() != s.ds {
+		return errors.New("serve: replacement pipeline was fitted on a different dataset")
+	}
+	old := s.pipes[i].Load()
+	if p.Source() != old.Source() || p.Target() != old.Target() {
+		return fmt.Errorf("serve: replacement serves %s→%s, pipeline %d serves %s→%s",
+			s.ds.DomainName(p.Source()), s.ds.DomainName(p.Target()), i,
+			s.ds.DomainName(old.Source()), s.ds.DomainName(old.Target()))
+	}
+	for j := range s.pipes {
+		if j != i && s.pipes[j].Load() == p {
+			return fmt.Errorf("serve: replacement already serves as pipeline %d", j)
+		}
+	}
+	s.pipes[i].Store(p)
+	// Ordering matters: the store above happens before the epoch bump, so
+	// any request that reads the new epoch also reads the new pipeline.
+	s.epoch[i].Add(1)
+	s.InvalidatePipeline(i) // reclaim the old epoch's entries eagerly
+	return nil
+}
+
+// PipelineFrom returns the index of the pipeline translating *from* the
+// given domain (its Source), for item queries originating there.
+func (s *Service) PipelineFrom(dom ratings.DomainID) (int, bool) {
+	for i := range s.pipes {
+		if s.pipes[i].Load().Source() == dom {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// PipelineInto returns the index of the pipeline recommending *into* the
+// given domain (its Target), for explain queries about items there.
+func (s *Service) PipelineInto(dom ratings.DomainID) (int, bool) {
+	for i := range s.pipes {
+		if s.pipes[i].Load().Target() == dom {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// LookupUser resolves an external user name.
+func (s *Service) LookupUser(name string) (ratings.UserID, bool) {
+	u, ok := s.userIdx[name]
+	return u, ok
+}
+
+// FindItem resolves an item query: exact (case-insensitive) name match
+// first, then the first substring match in ID order.
+func (s *Service) FindItem(q string) (ratings.ItemID, bool) {
+	lq := strings.ToLower(q)
+	if id, ok := s.itemIdx[lq]; ok {
+		return id, true
+	}
+	for i, n := range s.names {
+		if strings.Contains(n, lq) {
+			return ratings.ItemID(i), true
+		}
+	}
+	return 0, false
+}
+
+// SearchItems returns up to limit item names containing q (empty q lists
+// from the start of the catalog).
+func (s *Service) SearchItems(q string, limit int) []string {
+	lq := strings.ToLower(q)
+	var out []string
+	for i, n := range s.names {
+		if lq == "" || strings.Contains(n, lq) {
+			out = append(out, s.ds.ItemName(ratings.ItemID(i)))
+			if len(out) >= limit {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// clampN normalizes a requested list length.
+func (s *Service) clampN(n int) int {
+	if n <= 0 {
+		return s.opt.DefaultN
+	}
+	if n > s.opt.MaxN {
+		return s.opt.MaxN
+	}
+	return n
+}
+
+// --- query hashing ------------------------------------------------------
+
+// The user/profile namespaces are separated structurally by the key's
+// kind field (kindUser vs kindProfile), not by the hash: a hash
+// collision across kinds cannot alias cache entries.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// userHash keys cache entries produced by RecommendForUser.
+func userHash(u ratings.UserID) uint64 {
+	return fnvMix(fnvOffset, uint64(uint32(u)))
+}
+
+// profileHash keys cache entries produced by Recommend on an explicit
+// profile: content-addressed over (item, value, time) of every entry.
+func profileHash(p []ratings.Entry) uint64 {
+	h := uint64(fnvOffset)
+	for _, e := range p {
+		h = fnvMix(h, uint64(uint32(e.Item)))
+		h = fnvMix(h, math.Float64bits(e.Value))
+		h = fnvMix(h, uint64(e.Time))
+	}
+	return h
+}
+
+// --- recommendation paths ----------------------------------------------
+
+func (s *Service) checkPipe(pipe int) error {
+	if pipe < 0 || pipe >= len(s.pipes) {
+		return fmt.Errorf("serve: pipeline index %d out of range [0,%d)", pipe, len(s.pipes))
+	}
+	return nil
+}
+
+// withPipeline runs fn against the current pipeline inside a worker
+// slot, serializing if the pipeline is private (shared rng). Every
+// computation that touches a pipeline goes through here so the
+// admission and serialization policy lives in one place.
+//
+// Lock order: pipeMu before the limiter slot. A queued private request
+// waits on the mutex without occupying a slot; taking the slot first
+// would let a burst of private-pipeline requests hold every slot while
+// blocked, starving lock-free pipelines of workers.
+func (s *Service) withPipeline(pipe int, fn func(p *core.Pipeline)) {
+	p := s.pipes[pipe].Load()
+	if p.Config().Private {
+		s.pipeMu[pipe].Lock()
+		defer s.pipeMu[pipe].Unlock()
+	}
+	s.limit.Do(func() { fn(p) })
+}
+
+// compute is withPipeline for the common scored-list result shape.
+func (s *Service) compute(pipe int, fn func(p *core.Pipeline) []sim.Scored) []sim.Scored {
+	var out []sim.Scored
+	s.withPipeline(pipe, func(p *core.Pipeline) { out = fn(p) })
+	return out
+}
+
+// flightGroup collapses concurrent cache misses for the same key into a
+// single computation (singleflight): after a swap flushes the cache, K
+// simultaneous requests for one hot key cost one Recommend, not K — and
+// occupy one limiter slot instead of starving unrelated traffic.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[cacheKey]*flight
+}
+
+type flight struct {
+	wg   sync.WaitGroup
+	recs []sim.Scored
+}
+
+// do runs fn once per key across concurrent callers; late arrivals block
+// until the leader's result is ready and share it.
+func (g *flightGroup) do(key cacheKey, fn func() []sim.Scored) []sim.Scored {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[cacheKey]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		f.wg.Wait()
+		return f.recs
+	}
+	f := &flight{}
+	f.wg.Add(1)
+	g.m[key] = f
+	g.mu.Unlock()
+	defer func() {
+		f.wg.Done()
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+	}()
+	f.recs = fn()
+	return f.recs
+}
+
+// missCompute is the shared miss path: collapse concurrent identical
+// misses, compute once, publish to the cache. The leader rechecks the
+// cache first: a caller that missed, then lost the CPU across a whole
+// leader lifetime (compute, put, flight cleanup), would otherwise become
+// a second leader and recompute a list the cache already holds.
+func (s *Service) missCompute(key cacheKey, fn func(p *core.Pipeline) []sim.Scored) []sim.Scored {
+	return s.flights.do(key, func() []sim.Scored {
+		if recs, ok := s.cache.peek(key); ok {
+			return recs
+		}
+		// Snapshot the invalidation generation before computing: if an
+		// invalidation lands mid-compute, the result is still returned to
+		// the caller but never published, so InvalidateUser cannot be
+		// undone by an in-flight miss.
+		gen := s.cache.gen.Load()
+		s.ctr.computations.Add(1)
+		recs := s.compute(key.pipe, fn)
+		s.cache.putIfGen(key, recs, gen)
+		return recs
+	})
+}
+
+// Recommend returns the top-n target-domain items for an explicit source
+// profile through pipeline pipe, consulting the cache first. cached
+// reports whether the list came from the cache. The returned slice is
+// shared with the cache: treat it as read-only.
+func (s *Service) Recommend(pipe int, profile []ratings.Entry, n int) (recs []sim.Scored, cached bool, err error) {
+	if err := s.checkPipe(pipe); err != nil {
+		return nil, false, err
+	}
+	for _, e := range profile {
+		if e.Item < 0 || int(e.Item) >= s.ds.NumItems() {
+			return nil, false, fmt.Errorf("serve: profile references unknown item %d", e.Item)
+		}
+	}
+	n = s.clampN(n)
+	key := cacheKey{pipe: pipe, epoch: s.epoch[pipe].Load(), kind: kindProfile, hash: profileHash(profile), n: n}
+	if recs, ok := s.cache.get(key); ok {
+		return recs, true, nil
+	}
+	recs = s.missCompute(key, func(p *core.Pipeline) []sim.Scored {
+		ego := p.AlterEgoFromProfile(profile, nil)
+		return p.Recommend(ego, n)
+	})
+	return recs, false, nil
+}
+
+// RecommendForUser returns the top-n list for a known user through
+// pipeline pipe, consulting the cache first. Entries are keyed by user,
+// so InvalidateUser drops them when the user's upstream data changes.
+func (s *Service) RecommendForUser(pipe int, u ratings.UserID, n int) (recs []sim.Scored, cached bool, err error) {
+	if err := s.checkPipe(pipe); err != nil {
+		return nil, false, err
+	}
+	if int(u) < 0 || int(u) >= s.ds.NumUsers() {
+		return nil, false, fmt.Errorf("serve: user %d out of range", u)
+	}
+	n = s.clampN(n)
+	key := cacheKey{pipe: pipe, epoch: s.epoch[pipe].Load(), kind: kindUser, hash: userHash(u), n: n}
+	if recs, ok := s.cache.get(key); ok {
+		return recs, true, nil
+	}
+	recs = s.missCompute(key, func(p *core.Pipeline) []sim.Scored {
+		return p.RecommendForUser(u, n)
+	})
+	return recs, false, nil
+}
+
+// RecommendUsersBatch computes top-n lists for many users, fanning the
+// cache misses across the worker-pool substrate (engine.ParallelForEach
+// balances the skewed per-user cost of power-law profiles). Results are
+// ordered like users and populate the cache for subsequent point queries.
+func (s *Service) RecommendUsersBatch(pipe int, users []ratings.UserID, n int) ([][]sim.Scored, error) {
+	if err := s.checkPipe(pipe); err != nil {
+		return nil, err
+	}
+	out := make([][]sim.Scored, len(users))
+	var firstErr error
+	var errMu sync.Mutex
+	engine.ParallelForEach(len(users), s.opt.Workers, func(i int) {
+		recs, _, err := s.RecommendForUser(pipe, users[i], n)
+		if err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+			return
+		}
+		out[i] = recs
+	})
+	return out, firstErr
+}
+
+// Explain returns the contribution rows behind pipeline pipe's prediction
+// of item for user u ("because your AlterEgo liked …"); empty for
+// user-based pipelines.
+func (s *Service) Explain(pipe int, u ratings.UserID, item ratings.ItemID) ([]Explanation, error) {
+	if err := s.checkPipe(pipe); err != nil {
+		return nil, err
+	}
+	if int(u) < 0 || int(u) >= s.ds.NumUsers() {
+		return nil, fmt.Errorf("serve: user %d out of range", u)
+	}
+	if item < 0 || int(item) >= s.ds.NumItems() {
+		return nil, fmt.Errorf("serve: item %d out of range", item)
+	}
+	var out []Explanation
+	s.withPipeline(pipe, func(p *core.Pipeline) {
+		ego := p.AlterEgo(u)
+		for _, c := range p.Explain(ego, item, eval.MaxTime(ego)) {
+			out = append(out, Explanation{
+				Item:   s.ds.ItemName(c.Item),
+				Tau:    c.Tau,
+				Rating: c.Rating,
+				Decay:  c.Decay,
+			})
+		}
+	})
+	return out, nil
+}
+
+// Explanation is one "because your AlterEgo liked …" row.
+type Explanation struct {
+	Item   string  `json:"item"`
+	Tau    float64 `json:"tau"`
+	Rating float64 `json:"rating"`
+	Decay  float64 `json:"decay"`
+}
+
+// --- invalidation -------------------------------------------------------
+
+// InvalidateUser drops every user-keyed cache entry for u (all pipelines,
+// all n). Profile-keyed entries are content-addressed and unaffected.
+// Returns the number of dropped lists.
+func (s *Service) InvalidateUser(u ratings.UserID) int {
+	h := userHash(u)
+	return s.cache.invalidate(func(k cacheKey) bool { return k.kind == kindUser && k.hash == h })
+}
+
+// InvalidatePipeline drops every cache entry produced by pipeline pipe
+// across all epochs. SwapPipeline calls it automatically; call it
+// directly only for an operational flush of one pipeline's entries.
+func (s *Service) InvalidatePipeline(pipe int) int {
+	return s.cache.invalidate(func(k cacheKey) bool { return k.pipe == pipe })
+}
+
+// InvalidateAll empties the cache.
+func (s *Service) InvalidateAll() int {
+	return s.cache.invalidateAll()
+}
+
+// CacheLen returns the number of cached lists (for tests and stats).
+func (s *Service) CacheLen() int { return s.cache.len() }

@@ -1,0 +1,105 @@
+package serve
+
+import "sync/atomic"
+
+// endpoint indexes the per-endpoint request counters.
+type endpoint int
+
+const (
+	epItems endpoint = iota
+	epRecommend
+	epUser
+	epExplain
+	epHealth
+	epStats
+	epHome
+	numEndpoints
+)
+
+var endpointNames = [numEndpoints]string{
+	"items", "recommend", "user", "explain", "health", "stats", "home",
+}
+
+// counters is the service's mutable observability state; everything is
+// atomic so handlers never block on stats.
+type counters struct {
+	requests [numEndpoints]atomic.Int64
+	errors   atomic.Int64
+	inflight atomic.Int64
+	// computations counts actual pipeline Recommend runs — misses after
+	// singleflight collapsing, so (misses - computations) is the work the
+	// in-flight dedup saved.
+	computations atomic.Int64
+}
+
+// CacheStats is a point-in-time snapshot of the result cache.
+type CacheStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+	Size          int   `json:"size"`
+	Capacity      int   `json:"capacity"`
+	Shards        int   `json:"shards"`
+}
+
+// PipelineInfo describes one serving pipeline for the stats endpoint.
+type PipelineInfo struct {
+	Source  string `json:"source"`
+	Target  string `json:"target"`
+	Mode    string `json:"mode"`
+	Private bool   `json:"private"`
+	K       int    `json:"k"`
+}
+
+// StatsSnapshot is the JSON body of GET /statsz and the return type of
+// Service.Stats.
+type StatsSnapshot struct {
+	Cache        CacheStats       `json:"cache"`
+	Requests     map[string]int64 `json:"requests"`
+	Errors       int64            `json:"errors"`
+	InFlight     int64            `json:"in_flight"`
+	Computations int64            `json:"computations"`
+	Slots        int              `json:"slots"`
+	SlotsBusy    int              `json:"slots_busy"`
+	Pipelines    []PipelineInfo   `json:"pipelines"`
+}
+
+// Stats returns a consistent-enough snapshot of the service counters.
+// Individual counters are read atomically; the snapshot as a whole is not
+// a transaction (hits+misses may race a concurrent request), which is fine
+// for monitoring.
+func (s *Service) Stats() StatsSnapshot {
+	snap := StatsSnapshot{
+		Cache: CacheStats{
+			Hits:          s.cache.hits.Load(),
+			Misses:        s.cache.misses.Load(),
+			Evictions:     s.cache.evictions.Load(),
+			Invalidations: s.cache.invalidations.Load(),
+			Size:          s.cache.len(),
+			Capacity:      s.cache.capacity(),
+			Shards:        len(s.cache.shards),
+		},
+		Requests:     make(map[string]int64, int(numEndpoints)),
+		Errors:       s.ctr.errors.Load(),
+		InFlight:     s.ctr.inflight.Load(),
+		Computations: s.ctr.computations.Load(),
+		Slots:        s.limit.Cap(),
+		SlotsBusy:    s.limit.InUse(),
+	}
+	for ep := endpoint(0); ep < numEndpoints; ep++ {
+		snap.Requests[endpointNames[ep]] = s.ctr.requests[ep].Load()
+	}
+	for i := range s.pipes {
+		p := s.pipes[i].Load()
+		cfg := p.Config()
+		snap.Pipelines = append(snap.Pipelines, PipelineInfo{
+			Source:  s.ds.DomainName(p.Source()),
+			Target:  s.ds.DomainName(p.Target()),
+			Mode:    cfg.Mode.String(),
+			Private: cfg.Private,
+			K:       cfg.K,
+		})
+	}
+	return snap
+}

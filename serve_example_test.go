@@ -1,0 +1,51 @@
+package xmap_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+
+	"xmap"
+)
+
+// Example_serving exercises the online serving subsystem end-to-end: a
+// small synthetic Amazon-like trace is fitted into a pipeline, wrapped
+// in a serve.Service, and driven over real HTTP. The second request for
+// the same user is answered from the sharded result cache.
+func Example_serving() {
+	cfg := xmap.DefaultAmazonConfig()
+	cfg.MovieUsers, cfg.BookUsers, cfg.OverlapUsers = 80, 90, 40
+	cfg.Movies, cfg.Books = 60, 70
+	cfg.RatingsPerUser = 14
+	az := xmap.GenerateAmazonLike(cfg)
+
+	pcfg := xmap.DefaultConfig()
+	pcfg.K = 15
+	pipe := xmap.Fit(az.DS, az.Movies, az.Books, pcfg)
+
+	svc, err := xmap.NewService(az.DS, []*xmap.Pipeline{pipe}, xmap.ServeOptions{})
+	if err != nil {
+		fmt.Println("service:", err)
+		return
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(ts.URL + "/api/user?user=both-0000&n=5")
+		if err != nil {
+			fmt.Println("get:", err)
+			return
+		}
+		resp.Body.Close()
+		fmt.Println(resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+
+	st := svc.Stats()
+	fmt.Printf("cache: %d hit, %d miss\n", st.Cache.Hits, st.Cache.Misses)
+
+	// Output:
+	// 200 application/json
+	// 200 application/json
+	// cache: 1 hit, 1 miss
+}
