@@ -199,6 +199,67 @@ func BenchmarkBaselinerComputePairs(b *testing.B) {
 	}
 }
 
+// --- fit-path benchmarks ---
+//
+// The three benchmarks below are the canonical fit-path series tracked
+// across PRs (BENCH.json via cmd/xmap-bench -json): the pairwise pass, the
+// extension pass, and the end-to-end fit, all on one seeded synthetic
+// dataset a notch larger than the micro fixture so the accumulator
+// costs — not the fixture — dominate.
+
+var fitFixture struct {
+	once  sync.Once
+	az    dataset.Amazon
+	pairs *sim.Pairs
+	g     *graph.Graph
+}
+
+func fitPath(b *testing.B) *struct {
+	once  sync.Once
+	az    dataset.Amazon
+	pairs *sim.Pairs
+	g     *graph.Graph
+} {
+	fitFixture.once.Do(func() {
+		cfg := dataset.DefaultAmazonConfig()
+		cfg.Seed = 7
+		cfg.MovieUsers, cfg.BookUsers, cfg.OverlapUsers = 600, 640, 180
+		cfg.Movies, cfg.Books = 300, 380
+		cfg.RatingsPerUser = 30
+		fitFixture.az = dataset.AmazonLike(cfg)
+		fitFixture.pairs = sim.ComputePairs(fitFixture.az.DS, sim.Options{})
+		fitFixture.g = graph.Build(fitFixture.pairs, fitFixture.az.Movies, fitFixture.az.Books, graph.Options{K: 50})
+	})
+	return &fitFixture
+}
+
+func BenchmarkComputePairs(b *testing.B) {
+	f := fitPath(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.ComputePairs(f.az.DS, sim.Options{})
+	}
+}
+
+func BenchmarkExtend(b *testing.B) {
+	f := fitPath(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xsim.Extend(f.g, xsim.Options{TopK: 100, LegsK: 50})
+	}
+}
+
+func BenchmarkFit(b *testing.B) {
+	f := fitPath(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Fit(f.az.DS, f.az.Movies, f.az.Books, core.DefaultConfig())
+	}
+}
+
 func BenchmarkGraphBuild(b *testing.B) {
 	f := micro(b)
 	b.ResetTimer()

@@ -8,19 +8,74 @@
 //	xmap-bench -experiment fig8         # one experiment
 //	xmap-bench -scale small             # quick pass
 //	xmap-bench -experiment fig11 -measure
+//	xmap-bench -scale small -json BENCH.json
 //
 // Experiments: fig1b fig5 fig6 fig7 fig8 fig9 fig10 tab2 tab3 fig11 all.
+//
+// With -json, a machine-readable summary — per-experiment wall-clock
+// seconds plus headline quality metrics — is written to the given path so
+// CI can archive the performance/quality trajectory across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"xmap/internal/experiments"
 )
+
+// jsonRecord is one experiment's machine-readable result.
+type jsonRecord struct {
+	Experiment string             `json:"experiment"`
+	Scale      string             `json:"scale"`
+	Seed       int64              `json:"seed"`
+	Seconds    float64            `json:"seconds"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Table      string             `json:"table"`
+}
+
+// jsonReport is the whole BENCH.json document.
+type jsonReport struct {
+	Generated  string       `json:"generated"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Results    []jsonRecord `json:"results"`
+}
+
+// headlineMetrics extracts the quality numbers worth tracking over time
+// from the experiment results that expose them directly.
+func headlineMetrics(r fmt.Stringer) map[string]float64 {
+	switch v := r.(type) {
+	case experiments.Fig1bResult:
+		return map[string]float64{
+			"standard_pairs": float64(v.Standard),
+			"metapath_pairs": float64(v.MetaPath),
+			"ratio":          v.Ratio,
+		}
+	case experiments.Table3Result:
+		return map[string]float64{
+			"mae_nxmap": v.NXMap,
+			"mae_xmap":  v.XMap,
+			"mae_als":   v.ALS,
+		}
+	case experiments.Fig11Result:
+		if len(v.XMapModel) == 0 {
+			return nil
+		}
+		last := len(v.XMapModel) - 1
+		return map[string]float64{
+			"xmap_speedup_max": v.XMapModel[last],
+			"als_speedup_max":  v.ALSModel[last],
+		}
+	default:
+		return nil
+	}
+}
 
 func main() {
 	var (
@@ -29,6 +84,7 @@ func main() {
 		seed       = flag.Int64("seed", 0, "override the scale's RNG seed (0 = keep)")
 		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		measure    = flag.Bool("measure", false, "fig11: also measure wall-clock speedup with real worker pools")
+		jsonPath   = flag.String("json", "", "write a machine-readable timing/quality report to this path")
 	)
 	flag.Parse()
 
@@ -64,6 +120,11 @@ func main() {
 		{"fig11", func() fmt.Stringer { return experiments.Figure11(sc, *measure) }},
 	}
 
+	report := jsonReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
 	want := strings.ToLower(*experiment)
 	ran := 0
 	for _, d := range drivers {
@@ -72,12 +133,35 @@ func main() {
 		}
 		start := time.Now()
 		fmt.Printf("=== %s (scale=%s seed=%d) ===\n", d.id, sc.Name, sc.Seed)
-		fmt.Println(d.run().String())
-		fmt.Printf("--- %s done in %v ---\n\n", d.id, time.Since(start).Round(time.Millisecond))
+		res := d.run()
+		elapsed := time.Since(start)
+		fmt.Println(res.String())
+		fmt.Printf("--- %s done in %v ---\n\n", d.id, elapsed.Round(time.Millisecond))
+		report.Results = append(report.Results, jsonRecord{
+			Experiment: d.id,
+			Scale:      sc.Name,
+			Seed:       sc.Seed,
+			Seconds:    elapsed.Seconds(),
+			Metrics:    headlineMetrics(res),
+			Table:      res.String(),
+		})
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encode report: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d experiments)\n", *jsonPath, ran)
 	}
 }

@@ -49,6 +49,21 @@
 // internal/serve/README.md for the cache-key scheme and invalidation
 // rules.
 //
+// # Performance
+//
+// The offline fit path (ComputePairs → graph.Build → xsim.Extend) is
+// map-free: every accumulation phase scatters into generation-stamped
+// dense scratch buffers (internal/scratch) owned by one worker, and all
+// fitted adjacency — the baseline pair table, the layered graph, the
+// X-Sim table — is stored compressed-sparse-row (flat edge arrays with
+// per-item offsets, pair rows sorted for binary-searched lookups). The
+// layout makes fitting deterministic for any worker count, bit-identical
+// to the reference formulations (pinned by equivalence tests), and
+// several times faster with an order of magnitude fewer allocations; see
+// internal/sim/README.md for the pattern, the invariants and measured
+// numbers. Fit-path benchmarks (BenchmarkComputePairs, BenchmarkExtend,
+// BenchmarkFit) and `cmd/xmap-bench -json` track the trajectory in CI.
+//
 // See examples/ for five runnable programs and cmd/ for the bench runner,
 // the online recommendation server (§6.7) and the trace generator.
 package xmap

@@ -3,10 +3,11 @@ package cf
 import (
 	"math"
 	"math/rand"
-	"sync"
+	"slices"
 
 	"xmap/internal/privacy"
 	"xmap/internal/ratings"
+	"xmap/internal/scratch"
 	"xmap/internal/sim"
 )
 
@@ -35,21 +36,19 @@ type ItemBased struct {
 	cands   [][]ItemNeighbor
 	keepAll bool
 
-	// scratch pools dense profile views for Recommend (see ibScratch).
-	scratch sync.Pool
+	// scratch pools dense profile views for Recommend: a generation-
+	// stamped scratch.Dense indexed by ItemID. Recommend scatters the
+	// profile into it once and then answers "has the profile rated j, and
+	// at what value/time?" in O(1) per neighbor instead of a binary search
+	// per neighbor per candidate item. This is the pattern the whole fit
+	// pipeline now shares via internal/scratch.
+	scratch *scratch.Pool[profCell]
 }
 
-// ibScratch is a dense, generation-stamped view of one query profile,
-// indexed by ItemID. Recommend scatters the profile into it once and then
-// answers "has the profile rated j, and at what value/time?" in O(1) per
-// neighbor instead of a binary search per neighbor per candidate item.
-// Generation stamping (gen[i] == cur means "present in this query") makes
-// reuse O(|profile|) instead of O(NumItems) — no clearing between queries.
-type ibScratch struct {
-	val  []float64
-	time []int64
-	gen  []uint32
-	cur  uint32
+// profCell is one scattered profile entry: the rating and its timestep.
+type profCell struct {
+	val  float64
+	time int64
 }
 
 // ItemBasedOptions configures construction.
@@ -79,14 +78,7 @@ func NewItemBased(pairs *sim.Pairs, dom ratings.DomainID, opt ItemBasedOptions) 
 	if opt.KeepCandidates {
 		m.cands = make([][]ItemNeighbor, ds.NumItems())
 	}
-	m.scratch.New = func() any {
-		n := m.ds.NumItems()
-		return &ibScratch{
-			val:  make([]float64, n),
-			time: make([]int64, n),
-			gen:  make([]uint32, n),
-		}
-	}
+	m.scratch = scratch.NewPool[profCell](ds.NumItems())
 	for _, i := range ds.ItemsInDomain(dom) {
 		var all []ItemNeighbor
 		for _, e := range pairs.Neighbors(i) {
@@ -113,6 +105,27 @@ func NewItemBased(pairs *sim.Pairs, dom ratings.DomainID, opt ItemBasedOptions) 
 }
 
 func sortItemNeighbors(ns []ItemNeighbor) {
+	// Insertion sort for short lists; (Tau desc, Item asc) is a total
+	// order (Item is unique within a list), so the unstable slices sort
+	// gives the identical result on long ones.
+	if len(ns) > 32 {
+		slices.SortFunc(ns, func(a, b ItemNeighbor) int {
+			if a.Tau != b.Tau {
+				if a.Tau > b.Tau {
+					return -1
+				}
+				return 1
+			}
+			if a.Item != b.Item {
+				if a.Item < b.Item {
+					return -1
+				}
+				return 1
+			}
+			return 0
+		})
+		return
+	}
 	for i := 1; i < len(ns); i++ {
 		for j := i; j > 0 && itemNbLess(ns[j], ns[j-1]); j-- {
 			ns[j], ns[j-1] = ns[j-1], ns[j]
@@ -238,28 +251,21 @@ func (m *ItemBased) Explain(profile []ratings.Entry, item ratings.ItemID, now in
 // (Phase 2 of Algorithm 2). It scatters the profile into a pooled dense
 // scratch once, so the per-candidate neighbor scan costs O(1) per lookup.
 func (m *ItemBased) Recommend(profile []ratings.Entry, n int, now int64) []sim.Scored {
-	sc := m.scratch.Get().(*ibScratch)
-	sc.cur++
-	if sc.cur == 0 { // generation counter wrapped: flush stale stamps
-		for i := range sc.gen {
-			sc.gen[i] = 0
-		}
-		sc.cur = 1
-	}
+	sc := m.scratch.Get()
 	for _, e := range profile {
-		if e.Item < 0 || int(e.Item) >= len(sc.val) {
+		if e.Item < 0 || int(e.Item) >= sc.Len() {
 			continue // unknown ID: ignore, like the binary-search lookup did
 		}
-		if sc.gen[e.Item] == sc.cur {
+		cell, fresh := sc.Cell(int32(e.Item))
+		if !fresh {
 			continue // duplicate item: first entry wins, like the binary search
 		}
-		sc.val[e.Item] = e.Value
-		sc.time[e.Item] = e.Time
-		sc.gen[e.Item] = sc.cur
+		cell.val = e.Value
+		cell.time = e.Time
 	}
 	c := sim.NewCollector(n)
 	for _, item := range m.ds.ItemsInDomain(m.dom) {
-		if sc.gen[item] == sc.cur {
+		if sc.Stamped(int32(item)) {
 			continue // already rated by the profile
 		}
 		if v, ok := m.predictDense(sc, item, now); ok {
@@ -273,17 +279,18 @@ func (m *ItemBased) Recommend(profile []ratings.Entry, n int, now int64) []sim.S
 // predictDense is Predict against a scattered profile. The arithmetic is
 // identical to predictWith — same neighbors in the same order — only the
 // profile lookup changes.
-func (m *ItemBased) predictDense(sc *ibScratch, item ratings.ItemID, now int64) (float64, bool) {
+func (m *ItemBased) predictDense(sc *scratch.Dense[profCell], item ratings.ItemID, now int64) (float64, bool) {
 	ri := m.ds.ItemMean(item)
 	var num, den float64
 	for _, nb := range m.nbrs[item] {
-		if sc.gen[nb.Item] != sc.cur {
+		cell, ok := sc.Lookup(int32(nb.Item))
+		if !ok {
 			continue
 		}
 		w := math.Abs(nb.Tau)
-		contrib := nb.Tau * (sc.val[nb.Item] - m.ds.ItemMean(nb.Item))
+		contrib := nb.Tau * (cell.val - m.ds.ItemMean(nb.Item))
 		if m.alpha > 0 {
-			dt := now - sc.time[nb.Item]
+			dt := now - cell.time
 			if dt < 0 {
 				dt = 0
 			}

@@ -168,7 +168,7 @@ func Fit(ds *ratings.Dataset, src, dst ratings.DomainID, cfg Config) *Pipeline {
 
 	// Extender (§5.2): layered pruning + X-Sim extension.
 	start = time.Now()
-	p.graph = graph.Build(p.pairs, src, dst, graph.Options{K: cfg.K})
+	p.graph = graph.Build(p.pairs, src, dst, graph.Options{K: cfg.K, Workers: cfg.Workers})
 	// KeepFull is always on: Derive may flip a fitted pipeline to the
 	// private variant, whose PRS must sample the untruncated I(ti) rows.
 	p.table = xsim.Extend(p.graph, xsim.Options{
@@ -207,7 +207,7 @@ func FitWithTable(ds *ratings.Dataset, src, dst ratings.DomainID, cfg Config, tb
 	})
 	p.baselinerTime = time.Since(start)
 
-	p.graph = graph.Build(p.pairs, src, dst, graph.Options{K: cfg.K})
+	p.graph = graph.Build(p.pairs, src, dst, graph.Options{K: cfg.K, Workers: cfg.Workers})
 	p.table = tbl
 
 	start = time.Now()

@@ -17,8 +17,11 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 
+	"xmap/internal/engine"
 	"xmap/internal/ratings"
+	"xmap/internal/scratch"
 	"xmap/internal/sim"
 )
 
@@ -61,10 +64,14 @@ type Options struct {
 	// neighbors in every adjacent layer (0 means keep all, which disables
 	// pruning and is only sensible in tests).
 	K int
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
 }
 
 // Graph is the pruned, layered similarity graph between a source and a
-// target domain. Immutable after Build.
+// target domain. Immutable after Build. The four per-relation adjacencies
+// are stored in CSR form (one flat edge array + per-item offsets each);
+// rows are nil for items where the relation does not apply.
 type Graph struct {
 	ds       *ratings.Dataset
 	pairs    *sim.Pairs
@@ -74,25 +81,24 @@ type Graph struct {
 	isBridge []bool
 	layer    []Layer
 
-	// Top-k adjacency by relation. Slices are indexed by ItemID; entries
-	// are nil for items where the relation does not apply.
-	toNB    [][]sim.Edge // NN→NB and BB→NB, same domain
-	toBB    [][]sim.Edge // NB→BB, same domain
-	toNN    [][]sim.Edge // NB→NN, same domain
-	crossBB [][]sim.Edge // BB→BB, other domain
+	// Top-k adjacency by relation, indexed by ItemID.
+	toNB    scratch.CSR[sim.Edge] // NN→NB and BB→NB, same domain
+	toBB    scratch.CSR[sim.Edge] // NB→BB, same domain
+	toNN    scratch.CSR[sim.Edge] // NB→NN, same domain
+	crossBB scratch.CSR[sim.Edge] // BB→BB, other domain
 }
 
-// Build constructs the layered graph for the (src, dst) domain pair.
+// Build constructs the layered graph for the (src, dst) domain pair. The
+// three per-item passes (bridge detection, layer assignment, pruned
+// adjacency) parallelize independently; only the barrier between passes is
+// ordered, so the result is deterministic for any worker count.
 func Build(pairs *sim.Pairs, src, dst ratings.DomainID, opt Options) *Graph {
 	ds := pairs.Dataset()
+	n := ds.NumItems()
 	g := &Graph{
 		ds: ds, pairs: pairs, src: src, dst: dst, k: opt.K,
-		isBridge: make([]bool, ds.NumItems()),
-		layer:    make([]Layer, ds.NumItems()),
-		toNB:     make([][]sim.Edge, ds.NumItems()),
-		toBB:     make([][]sim.Edge, ds.NumItems()),
-		toNN:     make([][]sim.Edge, ds.NumItems()),
-		crossBB:  make([][]sim.Edge, ds.NumItems()),
+		isBridge: make([]bool, n),
+		layer:    make([]Layer, n),
 	}
 
 	// Straddler bitset.
@@ -107,63 +113,77 @@ func Build(pairs *sim.Pairs, src, dst ratings.DomainID, opt Options) *Graph {
 	}
 
 	// Bridge detection: any rater is a straddler.
-	for i := 0; i < ds.NumItems(); i++ {
-		id := ratings.ItemID(i)
-		if !inScope(id) {
-			g.layer[i] = LayerNone
-			continue
-		}
-		for _, ue := range ds.Users(id) {
-			if straddler[ue.User] {
-				g.isBridge[i] = true
-				break
+	engine.ParallelFor(n, opt.Workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			id := ratings.ItemID(i)
+			if !inScope(id) {
+				g.layer[i] = LayerNone
+				continue
+			}
+			for _, ue := range ds.Users(id) {
+				if straddler[ue.User] {
+					g.isBridge[i] = true
+					break
+				}
 			}
 		}
-	}
+	})
 
 	// Layer assignment.
-	for i := 0; i < ds.NumItems(); i++ {
-		id := ratings.ItemID(i)
-		if !inScope(id) {
-			continue
-		}
-		if g.isBridge[i] {
-			g.layer[i] = LayerBB
-			continue
-		}
-		g.layer[i] = LayerNN
-		for _, e := range pairs.Neighbors(id) {
-			if g.isBridge[e.To] && ds.Domain(e.To) == ds.Domain(id) {
-				g.layer[i] = LayerNB
-				break
+	engine.ParallelFor(n, opt.Workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			id := ratings.ItemID(i)
+			if !inScope(id) {
+				continue
+			}
+			if g.isBridge[i] {
+				g.layer[i] = LayerBB
+				continue
+			}
+			g.layer[i] = LayerNN
+			for _, e := range pairs.Neighbors(id) {
+				if g.isBridge[e.To] && ds.Domain(e.To) == ds.Domain(id) {
+					g.layer[i] = LayerNB
+					break
+				}
 			}
 		}
-	}
+	})
 
-	// Pruned adjacency.
-	for i := 0; i < ds.NumItems(); i++ {
-		id := ratings.ItemID(i)
-		switch g.layer[i] {
-		case LayerNN:
-			g.toNB[i] = g.topEdges(id, func(e sim.Edge) bool {
-				return g.layer[e.To] == LayerNB && ds.Domain(e.To) == ds.Domain(id)
-			})
-		case LayerNB:
-			g.toBB[i] = g.topEdges(id, func(e sim.Edge) bool {
-				return g.layer[e.To] == LayerBB && ds.Domain(e.To) == ds.Domain(id)
-			})
-			g.toNN[i] = g.topEdges(id, func(e sim.Edge) bool {
-				return g.layer[e.To] == LayerNN && ds.Domain(e.To) == ds.Domain(id)
-			})
-		case LayerBB:
-			g.toNB[i] = g.topEdges(id, func(e sim.Edge) bool {
-				return g.layer[e.To] == LayerNB && ds.Domain(e.To) == ds.Domain(id)
-			})
-			g.crossBB[i] = g.topEdges(id, func(e sim.Edge) bool {
-				return g.layer[e.To] == LayerBB && ds.Domain(e.To) != ds.Domain(id)
-			})
+	// Pruned adjacency, gathered per item and flattened into CSR.
+	toNB := make([][]sim.Edge, n)
+	toBB := make([][]sim.Edge, n)
+	toNN := make([][]sim.Edge, n)
+	crossBB := make([][]sim.Edge, n)
+	engine.ParallelFor(n, opt.Workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			id := ratings.ItemID(i)
+			switch g.layer[i] {
+			case LayerNN:
+				toNB[i] = g.topEdges(id, func(e sim.Edge) bool {
+					return g.layer[e.To] == LayerNB && ds.Domain(e.To) == ds.Domain(id)
+				})
+			case LayerNB:
+				toBB[i] = g.topEdges(id, func(e sim.Edge) bool {
+					return g.layer[e.To] == LayerBB && ds.Domain(e.To) == ds.Domain(id)
+				})
+				toNN[i] = g.topEdges(id, func(e sim.Edge) bool {
+					return g.layer[e.To] == LayerNN && ds.Domain(e.To) == ds.Domain(id)
+				})
+			case LayerBB:
+				toNB[i] = g.topEdges(id, func(e sim.Edge) bool {
+					return g.layer[e.To] == LayerNB && ds.Domain(e.To) == ds.Domain(id)
+				})
+				crossBB[i] = g.topEdges(id, func(e sim.Edge) bool {
+					return g.layer[e.To] == LayerBB && ds.Domain(e.To) != ds.Domain(id)
+				})
+			}
 		}
-	}
+	})
+	g.toNB = scratch.BuildCSR(toNB)
+	g.toBB = scratch.BuildCSR(toBB)
+	g.toNN = scratch.BuildCSR(toNN)
+	g.crossBB = scratch.BuildCSR(crossBB)
 	return g
 }
 
@@ -184,7 +204,27 @@ func (g *Graph) topEdges(id ratings.ItemID, keep func(sim.Edge) bool) []sim.Edge
 }
 
 func sortEdges(es []sim.Edge) {
-	// Insertion-friendly: neighbor lists are short after filtering.
+	// Insertion sort for the short rows layer filtering usually leaves;
+	// (Sim desc, To asc) is a total order (To is unique within a row), so
+	// the unstable slices sort gives the identical result on long ones.
+	if len(es) > 32 {
+		slices.SortFunc(es, func(a, b sim.Edge) int {
+			if a.Sim != b.Sim {
+				if a.Sim > b.Sim {
+					return -1
+				}
+				return 1
+			}
+			if a.To != b.To {
+				if a.To < b.To {
+					return -1
+				}
+				return 1
+			}
+			return 0
+		})
+		return
+	}
 	for i := 1; i < len(es); i++ {
 		for j := i; j > 0 && less(es[j], es[j-1]); j-- {
 			es[j], es[j-1] = es[j-1], es[j]
@@ -221,16 +261,16 @@ func (g *Graph) IsBridge(i ratings.ItemID) bool { return g.isBridge[i] }
 func (g *Graph) LayerOf(i ratings.ItemID) Layer { return g.layer[i] }
 
 // ToNB returns the pruned same-domain NB neighbors of an NN or BB item.
-func (g *Graph) ToNB(i ratings.ItemID) []sim.Edge { return g.toNB[i] }
+func (g *Graph) ToNB(i ratings.ItemID) []sim.Edge { return g.toNB.Row(int32(i)) }
 
 // ToBB returns the pruned same-domain BB neighbors of an NB item.
-func (g *Graph) ToBB(i ratings.ItemID) []sim.Edge { return g.toBB[i] }
+func (g *Graph) ToBB(i ratings.ItemID) []sim.Edge { return g.toBB.Row(int32(i)) }
 
 // ToNN returns the pruned same-domain NN neighbors of an NB item.
-func (g *Graph) ToNN(i ratings.ItemID) []sim.Edge { return g.toNN[i] }
+func (g *Graph) ToNN(i ratings.ItemID) []sim.Edge { return g.toNN.Row(int32(i)) }
 
 // CrossBB returns the pruned other-domain BB neighbors of a BB item.
-func (g *Graph) CrossBB(i ratings.ItemID) []sim.Edge { return g.crossBB[i] }
+func (g *Graph) CrossBB(i ratings.ItemID) []sim.Edge { return g.crossBB.Row(int32(i)) }
 
 // LayerCounts returns the number of items in each layer of a domain.
 func (g *Graph) LayerCounts(dom ratings.DomainID) (bb, nb, nn int) {
@@ -250,9 +290,5 @@ func (g *Graph) LayerCounts(dom ratings.DomainID) (bb, nb, nn int) {
 // NumPrunedEdges counts directed pruned adjacency entries, a measure of the
 // O(km) working set the pruning achieves (§3.1).
 func (g *Graph) NumPrunedEdges() int {
-	n := 0
-	for i := range g.toNB {
-		n += len(g.toNB[i]) + len(g.toBB[i]) + len(g.toNN[i]) + len(g.crossBB[i])
-	}
-	return n
+	return g.toNB.Len() + g.toBB.Len() + g.toNN.Len() + g.crossBB.Len()
 }

@@ -1,0 +1,162 @@
+// Package scratch provides the two storage primitives behind the map-free
+// fit pipeline (and the serving hot path that pioneered them in
+// internal/cf):
+//
+//   - Dense[C]: a generation-stamped dense accumulator. A worker scatters
+//     sparse contributions into a flat []C indexed by item, with an O(1)
+//     freshness check per cell and O(touched) reuse between rows — no
+//     hashing, no per-cell heap allocation, no clearing of the full array.
+//     This replaces the map[key]*accum idiom that dominated the profiles of
+//     sim.ComputePairs and xsim.Extend.
+//
+//   - CSR[E]: compressed-sparse-row adjacency — one flat edge array plus
+//     per-row offsets. Similarity tables and layered-graph adjacency are
+//     built once and then only scanned; CSR turns O(rows) slice headers and
+//     GC-traced pointers into two allocations, and row scans into
+//     contiguous memory walks.
+//
+// Both types are deliberately dumb: no locking (each worker owns its
+// Dense; CSR is immutable after Build) and no policy. Pool adds sync.Pool
+// reuse for query-path scratch (one Dense per in-flight request).
+package scratch
+
+import "sync"
+
+// Dense is a generation-stamped dense accumulator over cells [0, n).
+//
+// Cells become live lazily: the first Cell(i) of a generation zeroes the
+// cell, stamps it, and records i in the touched list. Reset starts a new
+// generation in O(1) — stale cells are simply outdated stamps, never
+// cleared. The zero value is not usable; construct with NewDense.
+type Dense[C any] struct {
+	cells   []C
+	gen     []uint32
+	cur     uint32
+	touched []int32
+}
+
+// NewDense returns an accumulator with n cells, all unstamped.
+func NewDense[C any](n int) *Dense[C] {
+	return &Dense[C]{
+		cells: make([]C, n),
+		gen:   make([]uint32, n),
+		cur:   1,
+	}
+}
+
+// Len returns the number of cells.
+func (d *Dense[C]) Len() int { return len(d.cells) }
+
+// Reset starts a new generation: every cell reads as unstamped again.
+// Amortized O(1); on the (rare) uint32 wrap it flushes all stamps.
+func (d *Dense[C]) Reset() {
+	d.touched = d.touched[:0]
+	d.cur++
+	if d.cur == 0 { // generation counter wrapped: flush stale stamps
+		for i := range d.gen {
+			d.gen[i] = 0
+		}
+		d.cur = 1
+	}
+}
+
+// Cell returns the cell at i, zeroing and stamping it if this is its first
+// touch of the current generation. fresh reports whether it was. The
+// returned pointer is valid until the next Reset.
+func (d *Dense[C]) Cell(i int32) (c *C, fresh bool) {
+	if d.gen[i] != d.cur {
+		var zero C
+		d.cells[i] = zero
+		d.gen[i] = d.cur
+		d.touched = append(d.touched, i)
+		return &d.cells[i], true
+	}
+	return &d.cells[i], false
+}
+
+// Lookup returns the cell at i if it was stamped this generation.
+func (d *Dense[C]) Lookup(i int32) (*C, bool) {
+	if d.gen[i] != d.cur {
+		return nil, false
+	}
+	return &d.cells[i], true
+}
+
+// Stamped reports whether cell i was touched this generation.
+func (d *Dense[C]) Stamped(i int32) bool { return d.gen[i] == d.cur }
+
+// Touched returns the indices stamped this generation, in first-touch
+// order. The slice is owned by the accumulator but callers may reorder it
+// in place (gather passes typically sort it); it is invalidated by Reset.
+func (d *Dense[C]) Touched() []int32 { return d.touched }
+
+// Pool is a sync.Pool of equally-sized Dense accumulators, for query paths
+// where a scratch is needed per in-flight call (e.g. cf.ItemBased.Recommend
+// scattering the query profile). Get returns a Reset accumulator.
+type Pool[C any] struct {
+	p sync.Pool
+}
+
+// NewPool returns a pool of n-cell accumulators.
+func NewPool[C any](n int) *Pool[C] {
+	var pl Pool[C]
+	pl.p.New = func() any { return NewDense[C](n) }
+	return &pl
+}
+
+// Get returns an accumulator with a fresh generation.
+func (p *Pool[C]) Get() *Dense[C] {
+	d := p.p.Get().(*Dense[C])
+	d.Reset()
+	return d
+}
+
+// Put returns an accumulator to the pool.
+func (p *Pool[C]) Put(d *Dense[C]) { p.p.Put(d) }
+
+// CSR is a compressed-sparse-row table: row i is Edges[Off[i]:Off[i+1]].
+// Immutable after construction. The zero value is an empty table with no
+// rows.
+type CSR[E any] struct {
+	Edges []E
+	Off   []int64
+}
+
+// BuildCSR flattens per-row slices into a CSR table (rows may be nil).
+func BuildCSR[E any](rows [][]E) CSR[E] {
+	off := make([]int64, len(rows)+1)
+	total := 0
+	for i, r := range rows {
+		total += len(r)
+		off[i+1] = int64(total)
+	}
+	edges := make([]E, 0, total)
+	for _, r := range rows {
+		edges = append(edges, r...)
+	}
+	return CSR[E]{Edges: edges, Off: off}
+}
+
+// Row returns row i, or nil if the row is empty or the table has no rows.
+// The slice aliases the table; callers must not modify or append to it.
+func (c CSR[E]) Row(i int32) []E {
+	if len(c.Off) == 0 {
+		return nil
+	}
+	lo, hi := c.Off[i], c.Off[i+1]
+	if lo == hi {
+		return nil
+	}
+	return c.Edges[lo:hi:hi]
+}
+
+// NumRows returns the number of rows.
+func (c CSR[E]) NumRows() int {
+	if len(c.Off) == 0 {
+		return 0
+	}
+	return len(c.Off) - 1
+}
+
+// Len returns the total number of edges.
+func (c CSR[E]) Len() int { return len(c.Edges) }

@@ -1,0 +1,155 @@
+package scratch
+
+import (
+	"sync"
+	"testing"
+)
+
+type cell struct{ a, b float64 }
+
+func TestDenseScatterGather(t *testing.T) {
+	d := NewDense[cell](10)
+	if d.Len() != 10 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	c, fresh := d.Cell(3)
+	if !fresh {
+		t.Fatal("first touch must be fresh")
+	}
+	c.a = 1.5
+	c, fresh = d.Cell(3)
+	if fresh {
+		t.Fatal("second touch must not be fresh")
+	}
+	if c.a != 1.5 {
+		t.Fatalf("cell lost its value: %v", c.a)
+	}
+	c, _ = d.Cell(7)
+	c.a = 2.5
+
+	got := d.Touched()
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("Touched = %v, want [3 7]", got)
+	}
+	if !d.Stamped(3) || d.Stamped(4) {
+		t.Fatal("Stamped wrong")
+	}
+	if _, ok := d.Lookup(4); ok {
+		t.Fatal("Lookup of untouched cell must miss")
+	}
+	if v, ok := d.Lookup(7); !ok || v.a != 2.5 {
+		t.Fatalf("Lookup(7) = %v %v", v, ok)
+	}
+}
+
+func TestDenseResetZeroesOnNextTouch(t *testing.T) {
+	d := NewDense[cell](4)
+	c, _ := d.Cell(2)
+	c.a, c.b = 9, 9
+	d.Reset()
+	if d.Stamped(2) {
+		t.Fatal("stamp must not survive Reset")
+	}
+	if len(d.Touched()) != 0 {
+		t.Fatal("touched list must be empty after Reset")
+	}
+	c, fresh := d.Cell(2)
+	if !fresh || c.a != 0 || c.b != 0 {
+		t.Fatalf("cell must be zeroed on first touch after Reset: %+v fresh=%v", c, fresh)
+	}
+}
+
+func TestDenseGenerationWrap(t *testing.T) {
+	d := NewDense[cell](2)
+	c, _ := d.Cell(0)
+	c.a = 5
+	// Force the uint32 generation counter to wrap.
+	d.cur = ^uint32(0)
+	d.gen[0] = d.cur // make cell 0 look stamped in the pre-wrap generation
+	d.Reset()
+	if d.cur != 1 {
+		t.Fatalf("cur after wrap = %d, want 1", d.cur)
+	}
+	if d.Stamped(0) || d.Stamped(1) {
+		t.Fatal("no cell may appear stamped after a wrap flush")
+	}
+	if _, fresh := d.Cell(0); !fresh {
+		t.Fatal("post-wrap touch must be fresh")
+	}
+}
+
+func TestPoolGetReturnsReset(t *testing.T) {
+	p := NewPool[cell](8)
+	d := p.Get()
+	c, _ := d.Cell(1)
+	c.a = 3
+	p.Put(d)
+	d2 := p.Get()
+	if d2.Stamped(1) {
+		t.Fatal("pooled scratch must come back reset")
+	}
+	p.Put(d2)
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	p := NewPool[cell](64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				d := p.Get()
+				for i := int32(0); i < 64; i += 3 {
+					c, _ := d.Cell(i)
+					c.a += float64(w)
+				}
+				if len(d.Touched()) != 22 {
+					t.Errorf("touched %d cells, want 22", len(d.Touched()))
+					return
+				}
+				p.Put(d)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestBuildCSR(t *testing.T) {
+	rows := [][]int{{1, 2}, nil, {3}, {}}
+	c := BuildCSR(rows)
+	if c.NumRows() != 4 || c.Len() != 3 {
+		t.Fatalf("NumRows=%d Len=%d", c.NumRows(), c.Len())
+	}
+	if r := c.Row(0); len(r) != 2 || r[0] != 1 || r[1] != 2 {
+		t.Fatalf("Row(0) = %v", r)
+	}
+	if c.Row(1) != nil {
+		t.Fatal("nil row must read back nil")
+	}
+	if r := c.Row(2); len(r) != 1 || r[0] != 3 {
+		t.Fatalf("Row(2) = %v", r)
+	}
+	if c.Row(3) != nil {
+		t.Fatal("empty row must read back nil")
+	}
+}
+
+func TestCSRZeroValue(t *testing.T) {
+	var c CSR[int]
+	if c.NumRows() != 0 || c.Len() != 0 {
+		t.Fatalf("zero CSR: NumRows=%d Len=%d", c.NumRows(), c.Len())
+	}
+	if c.Row(0) != nil {
+		t.Fatal("zero CSR Row must be nil")
+	}
+}
+
+func TestCSRRowIsCapped(t *testing.T) {
+	// Appending to a returned row must never clobber the next row.
+	c := BuildCSR([][]int{{1}, {2}})
+	r := append(c.Row(0), 99)
+	if c.Edges[1] != 2 {
+		t.Fatalf("append to a row clobbered the CSR: %v (got %v)", c.Edges, r)
+	}
+}

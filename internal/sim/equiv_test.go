@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"xmap/internal/ratings"
+)
+
+// referenceComputePairs is the original map-based, user-partitioned
+// formulation of the pairwise pass, kept verbatim (serial form) as the
+// executable specification the production item-partitioned dense-scratch
+// implementation is pinned against. Accumulation visits users in ascending
+// UserID order and profile entries in ascending ItemID order — exactly the
+// per-pair contribution order of the dense pass — so results must match
+// bit for bit, not just within tolerance.
+func referenceComputePairs(ds *ratings.Dataset, opt Options) map[uint64]Edge {
+	if opt.MinCoRaters <= 0 {
+		opt.MinCoRaters = 1
+	}
+	centered := centering(ds, opt.Metric)
+	likes := likeTable(ds)
+
+	acc := make(map[uint64]pairAccum)
+	for u := 0; u < ds.NumUsers(); u++ {
+		prof := ds.Items(ratings.UserID(u))
+		if opt.MaxProfile > 0 && len(prof) > opt.MaxProfile {
+			continue
+		}
+		for a := 0; a < len(prof); a++ {
+			ia := prof[a].Item
+			ca := centered(ratings.UserID(u), prof[a])
+			la := likes.like(ia, prof[a].Value)
+			for b := a + 1; b < len(prof); b++ {
+				ib := prof[b].Item
+				cb := centered(ratings.UserID(u), prof[b])
+				k := refPairKey(ia, ib)
+				p := acc[k]
+				p.dot += ca * cb
+				p.co++
+				if la == likes.like(ib, prof[b].Value) {
+					p.sig++
+				}
+				acc[k] = p
+			}
+		}
+	}
+
+	norms := itemNorms(ds, opt.Metric)
+	out := make(map[uint64]Edge, len(acc))
+	for k, v := range acc {
+		if int(v.co) < opt.MinCoRaters {
+			continue
+		}
+		i, j := refSplitKey(k)
+		var s float64
+		den := norms[i] * norms[j]
+		if den > 0 {
+			s = v.dot / den
+		}
+		if s > 1 {
+			s = 1
+		} else if s < -1 {
+			s = -1
+		}
+		if opt.SignificanceN > 0 && int(v.co) < opt.SignificanceN {
+			s *= float64(v.co) / float64(opt.SignificanceN)
+		}
+		union := int32(len(ds.Users(i))+len(ds.Users(j))) - v.co
+		out[k] = Edge{To: j, Sim: s, Sig: v.sig, Co: v.co, Union: union}
+	}
+	return out
+}
+
+func refPairKey(i, j ratings.ItemID) uint64 {
+	if i > j {
+		i, j = j, i
+	}
+	return uint64(uint32(i))<<32 | uint64(uint32(j))
+}
+
+func refSplitKey(k uint64) (ratings.ItemID, ratings.ItemID) {
+	return ratings.ItemID(k >> 32), ratings.ItemID(uint32(k))
+}
+
+// refRows expands the reference pair map into per-item rows sorted by
+// ascending neighbor ID — the layout Pairs.Neighbors guarantees.
+func refRows(numItems int, pairs map[uint64]Edge) [][]Edge {
+	rows := make([][]Edge, numItems)
+	for k, e := range pairs {
+		i, j := refSplitKey(k)
+		rows[i] = append(rows[i], e)
+		back := e
+		back.To = i
+		rows[j] = append(rows[j], back)
+	}
+	for _, r := range rows {
+		slices.SortFunc(r, func(a, b Edge) int { return int(a.To) - int(b.To) })
+	}
+	return rows
+}
+
+// randomMultiDomain builds a seeded random dataset spread over nd domains.
+func randomMultiDomain(seed int64, nd, nu, ni, n int) *ratings.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := ratings.NewBuilder()
+	doms := make([]ratings.DomainID, nd)
+	for d := 0; d < nd; d++ {
+		doms[d] = b.Domain(fmt.Sprintf("dom%d", d))
+	}
+	for u := 0; u < nu; u++ {
+		b.User(fmt.Sprintf("u%d", u))
+	}
+	for i := 0; i < ni; i++ {
+		b.Item(fmt.Sprintf("i%d", i), doms[i%nd])
+	}
+	for k := 0; k < n; k++ {
+		b.Add(ratings.UserID(rng.Intn(nu)), ratings.ItemID(rng.Intn(ni)), float64(1+rng.Intn(5)), int64(k))
+	}
+	return b.Build()
+}
+
+// TestComputePairsMatchesReference pins the dense-scratch CSR ComputePairs
+// to the reference implementation, bit for bit, across metrics, option
+// edge cases, worker counts and random datasets.
+func TestComputePairsMatchesReference(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Options
+	}{
+		{"default", Options{}},
+		{"pearson", Options{Metric: PearsonItems}},
+		{"cosine", Options{Metric: Cosine}},
+		{"min-coraters", Options{MinCoRaters: 3}},
+		{"significance", Options{SignificanceN: 5}},
+		{"max-profile", Options{MaxProfile: 12}},
+		{"everything", Options{Metric: PearsonItems, MinCoRaters: 2, SignificanceN: 4, MaxProfile: 20}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 4; seed++ {
+				ds := randomMultiDomain(seed, 2, 50, 40, 700)
+				want := refRows(ds.NumItems(), referenceComputePairs(ds, tc.opt))
+				for _, workers := range []int{1, 3, 8} {
+					opt := tc.opt
+					opt.Workers = workers
+					got := ComputePairs(ds, opt)
+					for i := 0; i < ds.NumItems(); i++ {
+						row := got.Neighbors(ratings.ItemID(i))
+						if len(row) != len(want[i]) {
+							t.Fatalf("seed %d workers %d item %d: row length %d, want %d",
+								seed, workers, i, len(row), len(want[i]))
+						}
+						for k := range row {
+							// Struct equality: Sim must be the identical
+							// float64 bit pattern, not merely close.
+							if row[k] != want[i][k] {
+								t.Fatalf("seed %d workers %d item %d entry %d: %+v, want %+v",
+									seed, workers, i, k, row[k], want[i][k])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestComputePairsDeterministicAcrossWorkers pins the stronger property the
+// old user-partitioned merge could not give: the exact same bits regardless
+// of parallelism.
+func TestComputePairsDeterministicAcrossWorkers(t *testing.T) {
+	ds := randomMultiDomain(99, 3, 60, 45, 900)
+	base := ComputePairs(ds, Options{Workers: 1})
+	for _, workers := range []int{2, 5, 16} {
+		p := ComputePairs(ds, Options{Workers: workers})
+		if p.NumEdges() != base.NumEdges() {
+			t.Fatalf("workers=%d: %d edges, want %d", workers, p.NumEdges(), base.NumEdges())
+		}
+		for i := 0; i < ds.NumItems(); i++ {
+			a, b := base.Neighbors(ratings.ItemID(i)), p.Neighbors(ratings.ItemID(i))
+			if len(a) != len(b) {
+				t.Fatalf("workers=%d item %d: row lengths differ", workers, i)
+			}
+			for k := range a {
+				if a[k] != b[k] {
+					t.Fatalf("workers=%d item %d entry %d: %+v vs %+v", workers, i, k, b[k], a[k])
+				}
+			}
+		}
+	}
+}
+
+// TestNeighborsRowsSortedByID pins the CSR layout invariant the
+// binary-searched Similarity/EdgeBetween lookups rely on.
+func TestNeighborsRowsSortedByID(t *testing.T) {
+	ds := randomMultiDomain(7, 2, 40, 35, 600)
+	p := ComputePairs(ds, Options{})
+	for i := 0; i < ds.NumItems(); i++ {
+		row := p.Neighbors(ratings.ItemID(i))
+		for k := 1; k < len(row); k++ {
+			if row[k-1].To >= row[k].To {
+				t.Fatalf("item %d: row not strictly ascending at %d: %v >= %v",
+					i, k, row[k-1].To, row[k].To)
+			}
+		}
+	}
+}

@@ -11,14 +11,24 @@
 // The pairwise pass is organized around the co-rating inverted index: only
 // pairs of items that share at least one user are materialized, which is
 // exactly the edge set of the baseline graph G_ac.
+//
+// The pass is item-partitioned and map-free: each worker owns a range of
+// item rows and scatters that row's pair statistics into a
+// generation-stamped dense accumulator (internal/scratch), so there is no
+// hashing, no per-pair allocation and no cross-worker merge. Rows are
+// gathered in ascending-neighbor order straight into CSR storage, and the
+// result is bit-identical for any worker count (each row is one worker's
+// serial sum over the item's raters in ascending UserID order).
 package sim
 
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"xmap/internal/engine"
 	"xmap/internal/ratings"
+	"xmap/internal/scratch"
 )
 
 // Metric selects the similarity formula applied to accumulated pair stats.
@@ -83,12 +93,13 @@ func (e Edge) NormalizedSig() float64 {
 	return float64(e.Sig) / float64(e.Union)
 }
 
-// Pairs holds the full co-rated pair table: adjacency lists (both
-// directions) over items, plus the per-item norms used by the metric.
+// Pairs holds the full co-rated pair table in CSR form: one flat edge
+// array with per-item offsets, each row sorted by ascending neighbor ID
+// (so point lookups binary-search). Immutable after ComputePairs.
 type Pairs struct {
 	ds     *ratings.Dataset
 	metric Metric
-	adj    [][]Edge
+	adj    scratch.CSR[Edge]
 }
 
 // pairAccum accumulates the sufficient statistics of one item pair.
@@ -99,88 +110,243 @@ type pairAccum struct {
 }
 
 // ComputePairs runs the pairwise pass over the dataset and returns the pair
-// table. Users are partitioned across workers; each worker owns a private
-// accumulator map which is merged at the end (share memory by
-// communicating — no locks on the hot path).
+// table. Items are partitioned across workers; each worker accumulates one
+// upper-triangle row (neighbors j > i) at a time in a private dense
+// scratch by walking the row item's raters and the tail of each rater's
+// profile past the row item, then gathers the non-zero cells in
+// ascending-neighbor order into its slab. Each unordered pair is
+// accumulated exactly once, there is no merge step and no shared mutable
+// state; the lower triangle is materialized afterwards by a cheap CSR
+// transpose that keeps every row sorted. The centered rating and
+// like/dislike bit of every (user, item) observation are precomputed
+// aligned with both indexes, so the innermost loop is pure array
+// arithmetic — no hashing, no virtual calls, no allocation.
 func ComputePairs(ds *ratings.Dataset, opt Options) *Pairs {
 	if opt.MinCoRaters <= 0 {
 		opt.MinCoRaters = 1
 	}
 	workers := engine.WorkerCount(opt.Workers)
+	numItems := ds.NumItems()
+	numUsers := ds.NumUsers()
 
 	centered := centering(ds, opt.Metric)
 	likes := likeTable(ds)
+	norms := itemNorms(ds, opt.Metric)
 
-	type shard map[uint64]pairAccum
-	shards := make([]shard, workers)
-	engine.ParallelFor(ds.NumUsers(), workers, func(w, lo, hi int) {
-		acc := make(shard)
+	// Precompute per-observation centered values and like bits, aligned
+	// with X_u (profile side, the inner loop) and with Y_i (rater side,
+	// the outer loop), plus each rater-side observation's position inside
+	// the rater's profile (where the j > i tail starts).
+	userOff := make([]int64, numUsers+1)
+	for u := 0; u < numUsers; u++ {
+		userOff[u+1] = userOff[u] + int64(len(ds.Items(ratings.UserID(u))))
+	}
+	itemOff := make([]int64, numItems+1)
+	for i := 0; i < numItems; i++ {
+		itemOff[i+1] = itemOff[i] + int64(len(ds.Users(ratings.ItemID(i))))
+	}
+	nObs := userOff[numUsers]
+	profCent := make([]float64, nObs)
+	profLike := make([]bool, nObs)
+	engine.ParallelFor(numUsers, workers, func(_, lo, hi int) {
 		for u := lo; u < hi; u++ {
-			prof := ds.Items(ratings.UserID(u))
-			if opt.MaxProfile > 0 && len(prof) > opt.MaxProfile {
-				continue
-			}
-			for a := 0; a < len(prof); a++ {
-				ia := prof[a].Item
-				ca := centered(ratings.UserID(u), prof[a])
-				la := likes.like(ia, prof[a].Value)
-				for b := a + 1; b < len(prof); b++ {
-					ib := prof[b].Item
-					cb := centered(ratings.UserID(u), prof[b])
-					k := pairKey(ia, ib)
-					p := acc[k]
-					p.dot += ca * cb
-					p.co++
-					if la == likes.like(ib, prof[b].Value) {
-						p.sig++
-					}
-					acc[k] = p
-				}
+			base := userOff[u]
+			for k, e := range ds.Items(ratings.UserID(u)) {
+				profCent[base+int64(k)] = centered(ratings.UserID(u), e)
+				profLike[base+int64(k)] = likes.like(e.Item, e.Value)
 			}
 		}
-		shards[w] = acc
+	})
+	raterCent := make([]float64, nObs)
+	raterLike := make([]bool, nObs)
+	raterPos := make([]int32, nObs)    // index of item i in rater's profile
+	rowCost := make([]int64, numItems) // exact accumulate ops of row i
+	engine.ParallelFor(numItems, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			base := itemOff[i]
+			id := ratings.ItemID(i)
+			var cost int64
+			for k, ue := range ds.Users(id) {
+				prof := ds.Items(ue.User)
+				pos := profilePos(prof, id)
+				raterCent[base+int64(k)] = centered(ue.User, ratings.Entry{Item: id, Value: ue.Value, Time: ue.Time})
+				raterLike[base+int64(k)] = likes.like(id, ue.Value)
+				raterPos[base+int64(k)] = int32(pos)
+				cost += int64(len(prof) - pos - 1)
+			}
+			rowCost[i] = cost
+		}
 	})
 
-	merged := shards[0]
-	if merged == nil {
-		merged = make(shard)
+	// Upper-triangle pass: row ii holds the pairs (ii, j) with j > ii.
+	// Row cost is triangular (early rows own long candidate tails), so
+	// contiguous equal-count blocks would leave later workers idle;
+	// partition by the exact per-row cost instead.
+	bounds := balanceRows(rowCost, workers)
+	chunks := len(bounds) - 1
+	upLen := make([]int64, numItems)
+	type slab struct {
+		lo    int // first item of the worker's range
+		edges []Edge
 	}
-	for w := 1; w < workers; w++ {
-		for k, v := range shards[w] {
-			p := merged[k]
-			p.dot += v.dot
-			p.co += v.co
-			p.sig += v.sig
-			merged[k] = p
+	slabs := make([]slab, chunks)
+	engine.ParallelForEach(chunks, workers, func(w int) {
+		lo, hi := bounds[w], bounds[w+1]
+		if lo >= hi {
+			return
+		}
+		sc := scratch.NewDense[pairAccum](numItems)
+		var buf []Edge
+		for ii := lo; ii < hi; ii++ {
+			i := ratings.ItemID(ii)
+			raters := ds.Users(i)
+			ibase := itemOff[ii]
+			sc.Reset()
+			for r, ue := range raters {
+				prof := ds.Items(ue.User)
+				if opt.MaxProfile > 0 && len(prof) > opt.MaxProfile {
+					continue
+				}
+				start := int64(raterPos[ibase+int64(r)]) + 1
+				end := userOff[ue.User] + int64(len(prof))
+				rest := prof[start:]
+				pc := profCent[userOff[ue.User]+start : end]
+				pl := profLike[userOff[ue.User]+start : end]
+				ci := raterCent[ibase+int64(r)]
+				li := raterLike[ibase+int64(r)]
+				for k, e := range rest {
+					cell, _ := sc.Cell(int32(e.Item))
+					cell.dot += ci * pc[k]
+					cell.co++
+					if li == pl[k] {
+						cell.sig++
+					}
+				}
+			}
+			// Gather the row in ascending-neighbor order. Sparse rows
+			// sort their touched list; dense rows (a significant
+			// fraction of the candidate tail) are cheaper to emit by
+			// scanning the stamp array, which is already in ID order.
+			idx := sc.Touched()
+			if len(idx)*8 >= numItems-ii {
+				idx = idx[:0]
+				for jj := int32(ii) + 1; int(jj) < numItems; jj++ {
+					if sc.Stamped(jj) {
+						idx = append(idx, jj)
+					}
+				}
+			} else {
+				slices.Sort(idx)
+			}
+			n := 0
+			for _, jj := range idx {
+				cell, _ := sc.Lookup(jj)
+				if int(cell.co) < opt.MinCoRaters {
+					continue
+				}
+				var s float64
+				den := norms[i] * norms[jj]
+				if den > 0 {
+					s = cell.dot / den
+				}
+				// Clamp tiny numeric excursions outside [-1, 1].
+				if s > 1 {
+					s = 1
+				} else if s < -1 {
+					s = -1
+				}
+				if opt.SignificanceN > 0 && int(cell.co) < opt.SignificanceN {
+					s *= float64(cell.co) / float64(opt.SignificanceN)
+				}
+				union := int32(len(raters)) + int32(itemOff[jj+1]-itemOff[jj]) - cell.co
+				buf = append(buf, Edge{To: ratings.ItemID(jj), Sim: s, Sig: cell.sig, Co: cell.co, Union: union})
+				n++
+			}
+			upLen[ii] = int64(n)
+		}
+		slabs[w] = slab{lo: lo, edges: buf}
+	})
+
+	// Assemble the upper-triangle CSR from the worker slabs (each already
+	// contiguous and ordered).
+	upOff := make([]int64, numItems+1)
+	for i, n := range upLen {
+		upOff[i+1] = upOff[i] + n
+	}
+	upper := make([]Edge, upOff[numItems])
+	for _, s := range slabs {
+		if s.edges != nil {
+			copy(upper[upOff[s.lo]:], s.edges)
 		}
 	}
 
-	norms := itemNorms(ds, opt.Metric)
-	pr := &Pairs{ds: ds, metric: opt.Metric, adj: make([][]Edge, ds.NumItems())}
-	for k, v := range merged {
-		if int(v.co) < opt.MinCoRaters {
-			continue
-		}
-		i, j := splitKey(k)
-		var s float64
-		den := norms[i] * norms[j]
-		if den > 0 {
-			s = v.dot / den
-		}
-		// Clamp tiny numeric excursions outside [-1, 1].
-		if s > 1 {
-			s = 1
-		} else if s < -1 {
-			s = -1
-		}
-		if opt.SignificanceN > 0 && int(v.co) < opt.SignificanceN {
-			s *= float64(v.co) / float64(opt.SignificanceN)
-		}
-		union := int32(len(ds.Users(i))+len(ds.Users(j))) - v.co
-		pr.adj[i] = append(pr.adj[i], Edge{To: j, Sim: s, Sig: v.sig, Co: v.co, Union: union})
-		pr.adj[j] = append(pr.adj[j], Edge{To: i, Sim: s, Sig: v.sig, Co: v.co, Union: union})
+	// Mirror into the full CSR. Row j = [mirrored edges to i < j, born in
+	// ascending i because the transpose walks rows in order] ++ [row j's
+	// own upper tail, ascending and > j] — so every full row stays
+	// strictly ascending without any sort.
+	deg := make([]int64, numItems) // in-degree = mirrored prefix length
+	for k := range upper {
+		deg[upper[k].To]++
 	}
-	return pr
+	off := make([]int64, numItems+1)
+	for i := 0; i < numItems; i++ {
+		off[i+1] = off[i] + deg[i] + upLen[i]
+	}
+	edges := make([]Edge, off[numItems])
+	cur := make([]int64, numItems)
+	copy(cur, off[:numItems])
+	for ii := 0; ii < numItems; ii++ {
+		for _, e := range upper[upOff[ii]:upOff[ii+1]] {
+			m := e
+			m.To = ratings.ItemID(ii)
+			edges[cur[e.To]] = m
+			cur[e.To]++
+		}
+	}
+	for ii := 0; ii < numItems; ii++ {
+		copy(edges[off[ii+1]-upLen[ii]:off[ii+1]], upper[upOff[ii]:upOff[ii+1]])
+	}
+	return &Pairs{ds: ds, metric: opt.Metric, adj: scratch.CSR[Edge]{Edges: edges, Off: off}}
+}
+
+// balanceRows cuts [0, n) into at most `workers` contiguous chunks of
+// roughly equal total cost.
+func balanceRows(cost []int64, workers int) []int {
+	bounds := []int{0}
+	var total int64
+	for _, c := range cost {
+		total += c
+	}
+	if workers <= 1 || total == 0 {
+		return append(bounds, len(cost))
+	}
+	per := total/int64(workers) + 1
+	var acc int64
+	for i, c := range cost {
+		acc += c
+		if acc >= per && len(bounds) < workers {
+			bounds = append(bounds, i+1)
+			acc = 0
+		}
+	}
+	if bounds[len(bounds)-1] != len(cost) {
+		bounds = append(bounds, len(cost))
+	}
+	return bounds
+}
+
+// profilePos binary-searches a sorted profile for an item known to be in it.
+func profilePos(p []ratings.Entry, item ratings.ItemID) int {
+	lo, hi := 0, len(p)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p[mid].Item < item {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // centering returns the per-rating centering function of the metric.
@@ -226,63 +392,56 @@ func likeTable(ds *ratings.Dataset) likes {
 // like reports whether value counts as "likes item i": r ≥ r̄_i.
 func (l likes) like(i ratings.ItemID, v float64) bool { return v >= l.itemMean[i] }
 
-func pairKey(i, j ratings.ItemID) uint64 {
-	if i > j {
-		i, j = j, i
-	}
-	return uint64(uint32(i))<<32 | uint64(uint32(j))
-}
-
-func splitKey(k uint64) (ratings.ItemID, ratings.ItemID) {
-	return ratings.ItemID(k >> 32), ratings.ItemID(uint32(k))
-}
-
 // Metric returns the metric the table was computed with.
 func (p *Pairs) Metric() Metric { return p.metric }
 
 // Dataset returns the dataset the table was computed over.
 func (p *Pairs) Dataset() *ratings.Dataset { return p.ds }
 
-// Neighbors returns every co-rated neighbor of i (unsorted). The slice is
-// shared; callers must not modify it.
-func (p *Pairs) Neighbors(i ratings.ItemID) []Edge { return p.adj[i] }
+// Neighbors returns every co-rated neighbor of i, sorted by ascending
+// neighbor ID. The slice aliases the CSR; callers must not modify it.
+func (p *Pairs) Neighbors(i ratings.ItemID) []Edge { return p.adj.Row(int32(i)) }
 
-// Similarity returns the similarity of (i, j) and whether they are co-rated.
-func (p *Pairs) Similarity(i, j ratings.ItemID) (float64, bool) {
-	for _, e := range p.adj[i] {
-		if e.To == j {
-			return e.Sim, true
+// findEdge binary-searches row i for neighbor j.
+func (p *Pairs) findEdge(i, j ratings.ItemID) (Edge, bool) {
+	row := p.adj.Row(int32(i))
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid].To < j {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return 0, false
-}
-
-// EdgeBetween returns the full edge record for (i, j), if co-rated.
-func (p *Pairs) EdgeBetween(i, j ratings.ItemID) (Edge, bool) {
-	for _, e := range p.adj[i] {
-		if e.To == j {
-			return e, true
-		}
+	if lo < len(row) && row[lo].To == j {
+		return row[lo], true
 	}
 	return Edge{}, false
 }
 
-// NumEdges returns the number of undirected co-rated pairs.
-func (p *Pairs) NumEdges() int {
-	n := 0
-	for _, a := range p.adj {
-		n += len(a)
-	}
-	return n / 2
+// Similarity returns the similarity of (i, j) and whether they are co-rated.
+func (p *Pairs) Similarity(i, j ratings.ItemID) (float64, bool) {
+	e, ok := p.findEdge(i, j)
+	return e.Sim, ok
 }
+
+// EdgeBetween returns the full edge record for (i, j), if co-rated.
+func (p *Pairs) EdgeBetween(i, j ratings.ItemID) (Edge, bool) {
+	return p.findEdge(i, j)
+}
+
+// NumEdges returns the number of undirected co-rated pairs.
+func (p *Pairs) NumEdges() int { return p.adj.Len() / 2 }
 
 // CountCrossDomain counts undirected edges whose endpoints lie in different
 // domains — the "standard" heterogeneous similarities of Figure 1(b).
 func (p *Pairs) CountCrossDomain() int {
 	n := 0
-	for i, a := range p.adj {
-		for _, e := range a {
-			if p.ds.Domain(ratings.ItemID(i)) != p.ds.Domain(e.To) {
+	for i := 0; i < p.adj.NumRows(); i++ {
+		di := p.ds.Domain(ratings.ItemID(i))
+		for _, e := range p.adj.Row(int32(i)) {
+			if di != p.ds.Domain(e.To) {
 				n++
 			}
 		}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"sort"
 
 	"xmap/internal/ratings"
@@ -14,33 +13,23 @@ type Scored struct {
 	Score float64
 }
 
-// scoredHeap is a min-heap under the (score desc, ID asc) total order, so
-// the root is the weakest of the currently-kept k and can be evicted in
-// O(log k).
-type scoredHeap []Scored
-
-func (h scoredHeap) Len() int { return len(h) }
-func (h scoredHeap) Less(a, b int) bool {
-	if h[a].Score != h[b].Score {
-		return h[a].Score < h[b].Score
+// weaker reports whether a orders before b in the eviction heap — i.e. a is
+// the worse entry under the (score desc, ID asc) total order.
+func weaker(a, b Scored) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
 	}
-	return h[a].ID > h[b].ID
-}
-func (h scoredHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
-func (h *scoredHeap) Push(x interface{}) { *h = append(*h, x.(Scored)) }
-func (h *scoredHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	return a.ID > b.ID
 }
 
-// Collector incrementally keeps the k highest-scored entries seen.
+// Collector incrementally keeps the k highest-scored entries seen. The
+// bounded mode maintains a hand-rolled min-heap over []Scored (root =
+// weakest kept entry), so Offer never boxes through interface{} the way
+// container/heap does — this runs inside every top-N candidate scan.
 // The zero value is not usable; construct with NewCollector.
 type Collector struct {
 	k int
-	h scoredHeap
+	h []Scored
 }
 
 // NewCollector returns a collector for the top k entries. k <= 0 keeps
@@ -49,17 +38,48 @@ func NewCollector(k int) *Collector { return &Collector{k: k} }
 
 // Offer considers one entry.
 func (c *Collector) Offer(id ratings.ItemID, score float64) {
+	e := Scored{ID: id, Score: score}
 	if c.k <= 0 {
-		c.h = append(c.h, Scored{id, score})
+		c.h = append(c.h, e)
 		return
 	}
 	if len(c.h) < c.k {
-		heap.Push(&c.h, Scored{id, score})
+		c.h = append(c.h, e)
+		c.siftUp(len(c.h) - 1)
 		return
 	}
-	if score > c.h[0].Score || (score == c.h[0].Score && id < c.h[0].ID) {
-		c.h[0] = Scored{id, score}
-		heap.Fix(&c.h, 0)
+	if weaker(c.h[0], e) {
+		c.h[0] = e
+		c.siftDown(0)
+	}
+}
+
+func (c *Collector) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !weaker(c.h[i], c.h[parent]) {
+			return
+		}
+		c.h[i], c.h[parent] = c.h[parent], c.h[i]
+		i = parent
+	}
+}
+
+func (c *Collector) siftDown(i int) {
+	n := len(c.h)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && weaker(c.h[l], c.h[least]) {
+			least = l
+		}
+		if r := 2*i + 2; r < n && weaker(c.h[r], c.h[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		c.h[i], c.h[least] = c.h[least], c.h[i]
+		i = least
 	}
 }
 
@@ -69,7 +89,7 @@ func (c *Collector) Len() int { return len(c.h) }
 // Sorted returns the kept entries in descending score order (ties broken by
 // ascending ID for determinism) and resets the collector.
 func (c *Collector) Sorted() []Scored {
-	out := []Scored(c.h)
+	out := c.h
 	c.h = nil
 	SortScored(out)
 	return out

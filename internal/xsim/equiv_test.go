@@ -1,0 +1,258 @@
+package xsim
+
+import (
+	"testing"
+
+	"xmap/internal/graph"
+	"xmap/internal/ratings"
+	"xmap/internal/sim"
+)
+
+// referenceExtend is the original map-based formulation of both extension
+// phases, kept verbatim (serial form) as the executable specification the
+// production dense-scratch implementation is pinned against. Per-cell
+// accumulation order is identical in both implementations — the maps here
+// only change *where* a cell lives, never *when* it is added to — so the
+// produced rows must match bit for bit after the shared total-order sort.
+func referenceExtend(g *graph.Graph, opt Options) (fwd, rev, fwdFull, revFull [][]ExtEdge, numPairs int) {
+	ds := g.Dataset()
+	fwd = make([][]ExtEdge, ds.NumItems())
+	rev = make([][]ExtEdge, ds.NumItems())
+
+	legsSrc := referenceLegs(g, g.Source(), opt)
+	legsDst := referenceLegs(g, g.Target(), opt)
+
+	type incoming struct {
+		from ratings.ItemID
+		leg  leg
+	}
+	inLegs := make([][]incoming, ds.NumItems())
+	for _, j := range ds.ItemsInDomain(g.Target()) {
+		for _, l := range legsDst[j] {
+			inLegs[l.to] = append(inLegs[l.to], incoming{from: j, leg: l})
+		}
+	}
+
+	srcItems := ds.ItemsInDomain(g.Source())
+	rows := make([][]ExtEdge, len(srcItems))
+	type accum struct{ num, den float64 }
+	for idx := 0; idx < len(srcItems); idx++ {
+		i := srcItems[idx]
+		acc := make(map[ratings.ItemID]*accum)
+		for _, a := range legsSrc[i] {
+			for _, e := range g.CrossBB(a.to) {
+				ce := e.NormalizedSig()
+				if ce <= 0 {
+					continue
+				}
+				crossWS := float64(e.Sig) * e.Sim
+				crossS := float64(e.Sig)
+				for _, in := range inLegs[e.To] {
+					c := a.c * ce * in.leg.c
+					if c <= opt.MinCert || c == 0 {
+						continue
+					}
+					sumS := a.sumS + crossS + in.leg.sumS
+					if sumS <= 0 {
+						continue
+					}
+					sp := (a.sumWS + crossWS + in.leg.sumWS) / sumS
+					cell := acc[in.from]
+					if cell == nil {
+						cell = &accum{}
+						acc[in.from] = cell
+					}
+					cell.num += c * sp
+					cell.den += c
+				}
+			}
+		}
+		row := make([]ExtEdge, 0, len(acc))
+		for j, cell := range acc {
+			if cell.den <= 0 {
+				continue
+			}
+			row = append(row, ExtEdge{To: j, Sim: clamp1(cell.num / cell.den), Cert: cell.den})
+		}
+		sortExt(row)
+		rows[idx] = row
+	}
+
+	if opt.KeepFull {
+		fwdFull = make([][]ExtEdge, ds.NumItems())
+		revFull = make([][]ExtEdge, ds.NumItems())
+	}
+	revAcc := make([][]ExtEdge, ds.NumItems())
+	for idx, i := range srcItems {
+		row := rows[idx]
+		numPairs += len(row)
+		for _, e := range row {
+			revAcc[e.To] = append(revAcc[e.To], ExtEdge{To: i, Sim: e.Sim, Cert: e.Cert})
+		}
+		if opt.KeepFull {
+			fwdFull[i] = row
+		}
+		if opt.TopK > 0 && len(row) > opt.TopK {
+			row = row[:opt.TopK]
+		}
+		fwd[i] = row
+	}
+	for j := range revAcc {
+		row := revAcc[j]
+		if row == nil {
+			continue
+		}
+		sortExt(row)
+		if opt.KeepFull {
+			revFull[j] = row
+		}
+		if opt.TopK > 0 && len(row) > opt.TopK {
+			row = row[:opt.TopK]
+		}
+		rev[j] = row
+	}
+	return fwd, rev, fwdFull, revFull, numPairs
+}
+
+// referenceLegs is the original map-based intra-domain phase.
+func referenceLegs(g *graph.Graph, dom ratings.DomainID, opt Options) map[ratings.ItemID][]leg {
+	ds := g.Dataset()
+	out := make(map[ratings.ItemID][]leg, len(ds.ItemsInDomain(dom)))
+	for _, i := range ds.ItemsInDomain(dom) {
+		switch g.LayerOf(i) {
+		case graph.LayerBB:
+			out[i] = []leg{{to: i, c: 1}}
+		case graph.LayerNB:
+			var ls []leg
+			for _, e := range g.ToBB(i) {
+				c := e.NormalizedSig()
+				if c <= 0 {
+					continue
+				}
+				ls = append(ls, leg{to: e.To, c: c, sumWS: float64(e.Sig) * e.Sim, sumS: float64(e.Sig)})
+			}
+			out[i] = capLegs(ls, opt.LegsK)
+		case graph.LayerNN:
+			type la struct{ c, ws, s float64 }
+			acc := make(map[ratings.ItemID]*la)
+			for _, e1 := range g.ToNB(i) {
+				c1 := e1.NormalizedSig()
+				if c1 <= 0 {
+					continue
+				}
+				for _, e2 := range g.ToBB(e1.To) {
+					c2 := e2.NormalizedSig()
+					if c2 <= 0 {
+						continue
+					}
+					c := c1 * c2
+					ws := float64(e1.Sig)*e1.Sim + float64(e2.Sig)*e2.Sim
+					s := float64(e1.Sig) + float64(e2.Sig)
+					cell := acc[e2.To]
+					if cell == nil {
+						cell = &la{}
+						acc[e2.To] = cell
+					}
+					cell.c += c
+					cell.ws += c * ws
+					cell.s += c * s
+				}
+			}
+			var ls []leg
+			for b, cell := range acc {
+				ls = append(ls, leg{to: b, c: cell.c, sumWS: cell.ws / cell.c, sumS: cell.s / cell.c})
+			}
+			out[i] = capLegs(ls, opt.LegsK)
+		}
+	}
+	return out
+}
+
+func equalRows(t *testing.T, what string, item int, got, want []ExtEdge) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s item %d: row length %d, want %d", what, item, len(got), len(want))
+	}
+	for k := range got {
+		// Struct equality: Sim/Cert must be identical float64 bit
+		// patterns, not merely close.
+		if got[k] != want[k] {
+			t.Fatalf("%s item %d entry %d: %+v, want %+v", what, item, k, got[k], want[k])
+		}
+	}
+}
+
+// TestExtendMatchesReference pins the dense-scratch CSR Extend to the
+// map-based reference, bit for bit, across option edge cases, worker
+// counts and random datasets.
+func TestExtendMatchesReference(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Options
+	}{
+		{"default", Options{}},
+		{"topk", Options{TopK: 3}},
+		{"legsk", Options{LegsK: 2}},
+		{"mincert", Options{MinCert: 0.05}},
+		{"keepfull", Options{TopK: 2, KeepFull: true}},
+		{"everything", Options{TopK: 4, LegsK: 3, MinCert: 0.01, KeepFull: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				ds := randomTwoDomain(seed, 30, 24, 400)
+				pairs := sim.ComputePairs(ds, sim.Options{})
+				g := graph.Build(pairs, 0, 1, graph.Options{K: 6})
+				fwd, rev, fwdFull, revFull, numPairs := referenceExtend(g, tc.opt)
+				for _, workers := range []int{1, 4} {
+					opt := tc.opt
+					opt.Workers = workers
+					tbl := Extend(g, opt)
+					if tbl.NumHeteroPairs() != numPairs {
+						t.Fatalf("seed %d workers %d: %d pairs, want %d",
+							seed, workers, tbl.NumHeteroPairs(), numPairs)
+					}
+					for i := 0; i < ds.NumItems(); i++ {
+						id := ratings.ItemID(i)
+						equalRows(t, "fwd", i, tbl.Forward(id), fwd[i])
+						equalRows(t, "rev", i, tbl.Reverse(id), rev[i])
+						if tc.opt.KeepFull {
+							equalRows(t, "fwdFull", i, tbl.fwdFull.Row(int32(i)), fwdFull[i])
+							equalRows(t, "revFull", i, tbl.revFull.Row(int32(i)), revFull[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestComputeLegsMatchesReference pins the dense intra-domain phase on its
+// own, including the LegsK truncation edge case.
+func TestComputeLegsMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		ds := randomTwoDomain(seed, 30, 24, 400)
+		pairs := sim.ComputePairs(ds, sim.Options{})
+		g := graph.Build(pairs, 0, 1, graph.Options{K: 6})
+		for _, legsK := range []int{0, 1, 3} {
+			opt := Options{LegsK: legsK}
+			for _, dom := range []ratings.DomainID{0, 1} {
+				want := referenceLegs(g, dom, opt)
+				got := computeLegs(g, dom, opt)
+				for _, i := range ds.ItemsInDomain(dom) {
+					w, gl := want[i], got[i]
+					if len(w) != len(gl) {
+						t.Fatalf("seed %d legsK %d dom %d item %d: %d legs, want %d",
+							seed, legsK, dom, i, len(gl), len(w))
+					}
+					for k := range w {
+						if w[k] != gl[k] {
+							t.Fatalf("seed %d legsK %d dom %d item %d leg %d: %+v, want %+v",
+								seed, legsK, dom, i, k, gl[k], w[k])
+						}
+					}
+				}
+			}
+		}
+	}
+}

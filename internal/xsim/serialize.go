@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"xmap/internal/ratings"
+	"xmap/internal/scratch"
 )
 
 // X-Map runs its offline phases periodically (§5.4) and serves from the
@@ -13,24 +14,51 @@ import (
 // offline run, so it can be persisted and re-loaded by a serving process
 // (cmd/xmap-server) without refitting.
 
-// tableWire is the exported wire form of a Table for encoding/gob.
+// tableMagic versions the persisted format (the "02" is the format
+// revision — "01" was the per-row [][]ExtEdge layout). It is written
+// ahead of the gob stream so a file from a different revision fails with
+// a clear refit message instead of an opaque gob type mismatch.
+var tableMagic = [8]byte{'x', 's', 'i', 'm', 't', 'b', '0', '2'}
+
+// csrWire is the exported wire form of one CSR row-set: the flat edge
+// array plus per-item offsets, exactly as stored in memory.
+type csrWire struct {
+	Edges []ExtEdge
+	Off   []int64
+}
+
+// tableWire is the exported wire form of a Table for encoding/gob. With
+// HasFull only the full CSRs are populated (truncated rows are served as
+// TopK-prefixes of them, so Fwd/Rev are empty).
 type tableWire struct {
 	Src, Dst ratings.DomainID
 	NumItems int
-	Fwd      [][]ExtEdge
-	Rev      [][]ExtEdge
-	FwdFull  [][]ExtEdge
-	RevFull  [][]ExtEdge
+	TopK     int
+	Fwd      csrWire
+	Rev      csrWire
+	HasFull  bool
+	FwdFull  csrWire
+	RevFull  csrWire
 	NumPairs int
 }
 
-// Save writes the table to w in gob format.
+func toWire(c scratch.CSR[ExtEdge]) csrWire { return csrWire{Edges: c.Edges, Off: c.Off} }
+func fromWire(w csrWire) scratch.CSR[ExtEdge] {
+	return scratch.CSR[ExtEdge]{Edges: w.Edges, Off: w.Off}
+}
+
+// Save writes the table to w: the format magic followed by a gob stream.
 func (t *Table) Save(w io.Writer) error {
+	if _, err := w.Write(tableMagic[:]); err != nil {
+		return fmt.Errorf("xsim: write table header: %w", err)
+	}
 	wire := tableWire{
 		Src: t.src, Dst: t.dst,
-		NumItems: len(t.fwd),
-		Fwd:      t.fwd, Rev: t.rev,
-		FwdFull: t.fwdFull, RevFull: t.revFull,
+		NumItems: t.ds.NumItems(),
+		TopK:     t.topK,
+		Fwd:      toWire(t.fwd), Rev: toWire(t.rev),
+		HasFull: t.hasFull,
+		FwdFull: toWire(t.fwdFull), RevFull: toWire(t.revFull),
 		NumPairs: t.numPairs,
 	}
 	if err := gob.NewEncoder(w).Encode(wire); err != nil {
@@ -44,6 +72,14 @@ func (t *Table) Save(w io.Writer) error {
 // layout); a mismatch is rejected because lookups would silently return
 // wrong candidates.
 func LoadTable(r io.Reader, ds *ratings.Dataset) (*Table, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("xsim: read table header: %w", err)
+	}
+	if magic != tableMagic {
+		return nil, fmt.Errorf("xsim: unrecognized table format %q (want %q): refit and re-save",
+			magic[:], tableMagic[:])
+	}
 	var wire tableWire
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
 		return nil, fmt.Errorf("xsim: decode table: %w", err)
@@ -58,8 +94,10 @@ func LoadTable(r io.Reader, ds *ratings.Dataset) (*Table, error) {
 	}
 	return &Table{
 		src: wire.Src, dst: wire.Dst, ds: ds,
-		fwd: wire.Fwd, rev: wire.Rev,
-		fwdFull: wire.FwdFull, revFull: wire.RevFull,
+		topK: wire.TopK,
+		fwd:  fromWire(wire.Fwd), rev: fromWire(wire.Rev),
+		hasFull: wire.HasFull,
+		fwdFull: fromWire(wire.FwdFull), revFull: fromWire(wire.RevFull),
 		numPairs: wire.NumPairs,
 	}, nil
 }

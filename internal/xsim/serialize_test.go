@@ -2,6 +2,7 @@ package xsim
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"xmap/internal/graph"
@@ -68,5 +69,19 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	ds := randomTwoDomain(6, 10, 8, 60)
 	if _, err := LoadTable(bytes.NewReader([]byte("not a gob")), ds); err == nil {
 		t.Fatal("garbage input accepted")
+	}
+}
+
+func TestLoadRejectsStaleFormat(t *testing.T) {
+	// A file from a previous wire revision (different magic) must fail
+	// with the refit message, not an opaque gob error.
+	ds := randomTwoDomain(7, 10, 8, 60)
+	stale := append([]byte("xsimtb01"), []byte("whatever gob followed")...)
+	_, err := LoadTable(bytes.NewReader(stale), ds)
+	if err == nil {
+		t.Fatal("stale format accepted")
+	}
+	if !strings.Contains(err.Error(), "refit") {
+		t.Fatalf("stale-format error should mention refitting, got: %v", err)
 	}
 }

@@ -21,12 +21,20 @@
 // enumeration (the per-path ratio s_p is averaged early); it is exact
 // whenever at most one partial path joins an endpoint pair, and tests
 // validate both the exact case and the bounds in general. See DESIGN.md.
+//
+// Both phases accumulate into generation-stamped dense scratch
+// (internal/scratch) instead of per-item maps — one worker per item row,
+// no hashing, no per-cell allocation — and the finished table is stored in
+// CSR form (flat edge arrays with per-item offsets). Results are
+// bit-identical to the map-based formulation for any worker count; the
+// equivalence tests pin this.
 package xsim
 
 import (
 	"xmap/internal/engine"
 	"xmap/internal/graph"
 	"xmap/internal/ratings"
+	"xmap/internal/scratch"
 )
 
 // ExtEdge is one entry of the X-Sim table: a heterogeneous item with its
@@ -57,16 +65,22 @@ type Options struct {
 	Workers int
 }
 
-// Table holds the extended heterogeneous similarities in both directions.
-// Immutable after Extend.
+// Table holds the extended heterogeneous similarities in both directions,
+// stored as CSR (flat edge array + per-item offsets, rows sorted by Sim
+// descending). With KeepFull the truncated rows are not materialized at
+// all: every truncated row is a prefix of its sorted full row, so Forward/
+// Reverse serve TopK-bounded slices of the full CSR. Immutable after
+// Extend.
 type Table struct {
 	src, dst ratings.DomainID
 	ds       *ratings.Dataset
-	fwd      [][]ExtEdge // source item -> target candidates, sorted by Sim desc
-	rev      [][]ExtEdge // target item -> source candidates, sorted by Sim desc
-	// fwdFull/revFull are the untruncated rows (nil unless KeepFull).
-	fwdFull  [][]ExtEdge
-	revFull  [][]ExtEdge
+	topK     int
+	fwd      scratch.CSR[ExtEdge] // source item -> target candidates (zero when hasFull)
+	rev      scratch.CSR[ExtEdge] // target item -> source candidates (zero when hasFull)
+	// fwdFull/revFull are the untruncated rows (zero tables unless KeepFull).
+	fwdFull  scratch.CSR[ExtEdge]
+	revFull  scratch.CSR[ExtEdge]
+	hasFull  bool
 	numPairs int
 }
 
@@ -82,11 +96,7 @@ type leg struct {
 // Extend runs both phases and returns the X-Sim table.
 func Extend(g *graph.Graph, opt Options) *Table {
 	ds := g.Dataset()
-	t := &Table{
-		src: g.Source(), dst: g.Target(), ds: ds,
-		fwd: make([][]ExtEdge, ds.NumItems()),
-		rev: make([][]ExtEdge, ds.NumItems()),
-	}
+	t := &Table{src: g.Source(), dst: g.Target(), ds: ds, hasFull: opt.KeepFull, topK: opt.TopK}
 
 	legsSrc := computeLegs(g, g.Source(), opt)
 	legsDst := computeLegs(g, g.Target(), opt)
@@ -103,15 +113,17 @@ func Extend(g *graph.Graph, opt Options) *Table {
 		}
 	}
 
-	// Cross-domain composition, parallel over source items: each source
-	// item's row is accumulated privately, so workers never share state.
+	// Cross-domain composition, parallel over source items: each worker
+	// owns a dense accumulator indexed by target item and gathers one
+	// row at a time, so workers never share state.
+	type accum struct{ num, den float64 }
 	srcItems := ds.ItemsInDomain(g.Source())
 	rows := make([][]ExtEdge, len(srcItems))
 	engine.ParallelFor(len(srcItems), opt.Workers, func(_, lo, hi int) {
-		type accum struct{ num, den float64 }
+		sc := scratch.NewDense[accum](ds.NumItems())
 		for idx := lo; idx < hi; idx++ {
 			i := srcItems[idx]
-			acc := make(map[ratings.ItemID]*accum)
+			sc.Reset()
 			for _, a := range legsSrc[i] {
 				for _, e := range g.CrossBB(a.to) {
 					ce := e.NormalizedSig()
@@ -130,34 +142,32 @@ func Extend(g *graph.Graph, opt Options) *Table {
 							continue
 						}
 						sp := (a.sumWS + crossWS + in.leg.sumWS) / sumS
-						cell := acc[in.from]
-						if cell == nil {
-							cell = &accum{}
-							acc[in.from] = cell
-						}
+						cell, _ := sc.Cell(int32(in.from))
 						cell.num += c * sp
 						cell.den += c
 					}
 				}
 			}
-			row := make([]ExtEdge, 0, len(acc))
-			for j, cell := range acc {
+			touched := sc.Touched()
+			row := make([]ExtEdge, 0, len(touched))
+			for _, jj := range touched {
+				cell, _ := sc.Lookup(jj)
 				if cell.den <= 0 {
 					continue
 				}
-				row = append(row, ExtEdge{To: j, Sim: clamp1(cell.num / cell.den), Cert: cell.den})
+				row = append(row, ExtEdge{To: ratings.ItemID(jj), Sim: clamp1(cell.num / cell.den), Cert: cell.den})
 			}
 			sortExt(row)
 			rows[idx] = row
 		}
 	})
 
-	// Assemble forward lists (truncated) and reverse lists (from the full
-	// rows, then truncated), and count distinct heterogeneous pairs.
-	if opt.KeepFull {
-		t.fwdFull = make([][]ExtEdge, ds.NumItems())
-		t.revFull = make([][]ExtEdge, ds.NumItems())
-	}
+	// Assemble forward and reverse row sets and count distinct
+	// heterogeneous pairs. Truncated rows are TopK-prefixes of the sorted
+	// full rows, so with KeepFull only the full CSRs are materialized and
+	// Forward/Reverse slice them on read; without it the rows are
+	// truncated before storage.
+	fwd := make([][]ExtEdge, ds.NumItems())
 	revAcc := make([][]ExtEdge, ds.NumItems())
 	for idx, i := range srcItems {
 		row := rows[idx]
@@ -165,13 +175,10 @@ func Extend(g *graph.Graph, opt Options) *Table {
 		for _, e := range row {
 			revAcc[e.To] = append(revAcc[e.To], ExtEdge{To: i, Sim: e.Sim, Cert: e.Cert})
 		}
-		if opt.KeepFull {
-			t.fwdFull[i] = row
-		}
-		if opt.TopK > 0 && len(row) > opt.TopK {
+		if !opt.KeepFull && opt.TopK > 0 && len(row) > opt.TopK {
 			row = row[:opt.TopK]
 		}
-		t.fwd[i] = row
+		fwd[i] = row
 	}
 	for j := range revAcc {
 		row := revAcc[j]
@@ -179,68 +186,88 @@ func Extend(g *graph.Graph, opt Options) *Table {
 			continue
 		}
 		sortExt(row)
-		if opt.KeepFull {
-			t.revFull[j] = row
-		}
-		if opt.TopK > 0 && len(row) > opt.TopK {
+		if !opt.KeepFull && opt.TopK > 0 && len(row) > opt.TopK {
 			row = row[:opt.TopK]
 		}
-		t.rev[j] = row
+		revAcc[j] = row
+	}
+	if opt.KeepFull {
+		t.fwdFull = scratch.BuildCSR(fwd)
+		t.revFull = scratch.BuildCSR(revAcc)
+	} else {
+		t.fwd = scratch.BuildCSR(fwd)
+		t.rev = scratch.BuildCSR(revAcc)
 	}
 	return t
 }
 
-// computeLegs runs the intra-domain phase for one domain.
-func computeLegs(g *graph.Graph, dom ratings.DomainID, opt Options) map[ratings.ItemID][]leg {
+// truncRow applies the table's TopK bound to a full row.
+func (t *Table) truncRow(row []ExtEdge) []ExtEdge {
+	if t.topK > 0 && len(row) > t.topK {
+		return row[:t.topK:t.topK]
+	}
+	return row
+}
+
+// computeLegs runs the intra-domain phase for one domain, parallel over the
+// domain's items. NN items merge their two-hop partial paths in a dense
+// per-worker accumulator indexed by BB endpoint.
+func computeLegs(g *graph.Graph, dom ratings.DomainID, opt Options) [][]leg {
+	type la struct{ c, ws, s float64 }
 	ds := g.Dataset()
-	out := make(map[ratings.ItemID][]leg, len(ds.ItemsInDomain(dom)))
-	for _, i := range ds.ItemsInDomain(dom) {
-		switch g.LayerOf(i) {
-		case graph.LayerBB:
-			out[i] = []leg{{to: i, c: 1}}
-		case graph.LayerNB:
-			var ls []leg
-			for _, e := range g.ToBB(i) {
-				c := e.NormalizedSig()
-				if c <= 0 {
-					continue
-				}
-				ls = append(ls, leg{to: e.To, c: c, sumWS: float64(e.Sig) * e.Sim, sumS: float64(e.Sig)})
-			}
-			out[i] = capLegs(ls, opt.LegsK)
-		case graph.LayerNN:
-			type la struct{ c, ws, s float64 }
-			acc := make(map[ratings.ItemID]*la)
-			for _, e1 := range g.ToNB(i) {
-				c1 := e1.NormalizedSig()
-				if c1 <= 0 {
-					continue
-				}
-				for _, e2 := range g.ToBB(e1.To) {
-					c2 := e2.NormalizedSig()
-					if c2 <= 0 {
+	items := ds.ItemsInDomain(dom)
+	out := make([][]leg, ds.NumItems())
+	engine.ParallelFor(len(items), opt.Workers, func(_, lo, hi int) {
+		var sc *scratch.Dense[la] // lazily built: only NN items need it
+		for idx := lo; idx < hi; idx++ {
+			i := items[idx]
+			switch g.LayerOf(i) {
+			case graph.LayerBB:
+				out[i] = []leg{{to: i, c: 1}}
+			case graph.LayerNB:
+				var ls []leg
+				for _, e := range g.ToBB(i) {
+					c := e.NormalizedSig()
+					if c <= 0 {
 						continue
 					}
-					c := c1 * c2
-					ws := float64(e1.Sig)*e1.Sim + float64(e2.Sig)*e2.Sim
-					s := float64(e1.Sig) + float64(e2.Sig)
-					cell := acc[e2.To]
-					if cell == nil {
-						cell = &la{}
-						acc[e2.To] = cell
-					}
-					cell.c += c
-					cell.ws += c * ws
-					cell.s += c * s
+					ls = append(ls, leg{to: e.To, c: c, sumWS: float64(e.Sig) * e.Sim, sumS: float64(e.Sig)})
 				}
+				out[i] = capLegs(ls, opt.LegsK)
+			case graph.LayerNN:
+				if sc == nil {
+					sc = scratch.NewDense[la](ds.NumItems())
+				}
+				sc.Reset()
+				for _, e1 := range g.ToNB(i) {
+					c1 := e1.NormalizedSig()
+					if c1 <= 0 {
+						continue
+					}
+					for _, e2 := range g.ToBB(e1.To) {
+						c2 := e2.NormalizedSig()
+						if c2 <= 0 {
+							continue
+						}
+						c := c1 * c2
+						ws := float64(e1.Sig)*e1.Sim + float64(e2.Sig)*e2.Sim
+						s := float64(e1.Sig) + float64(e2.Sig)
+						cell, _ := sc.Cell(int32(e2.To))
+						cell.c += c
+						cell.ws += c * ws
+						cell.s += c * s
+					}
+				}
+				touched := sc.Touched()
+				ls := make([]leg, 0, len(touched))
+				for _, bb := range touched {
+					cell, _ := sc.Lookup(bb)
+					ls = append(ls, leg{to: ratings.ItemID(bb), c: cell.c, sumWS: cell.ws / cell.c, sumS: cell.s / cell.c})
+				}
+				out[i] = capLegs(ls, opt.LegsK)
 			}
-			var ls []leg
-			for b, cell := range acc {
-				ls = append(ls, leg{to: b, c: cell.c, sumWS: cell.ws / cell.c, sumS: cell.s / cell.c})
-			}
-			out[i] = capLegs(ls, opt.LegsK)
 		}
-	}
+	})
 	return out
 }
 
@@ -330,19 +357,29 @@ func (t *Table) Target() ratings.DomainID { return t.dst }
 
 // Forward returns the target-domain candidates of a source item, sorted by
 // X-Sim descending. The slice is shared; callers must not modify it.
-func (t *Table) Forward(i ratings.ItemID) []ExtEdge { return t.fwd[i] }
+func (t *Table) Forward(i ratings.ItemID) []ExtEdge {
+	if t.hasFull {
+		return t.truncRow(t.fwdFull.Row(int32(i)))
+	}
+	return t.fwd.Row(int32(i))
+}
 
 // Reverse returns the source-domain candidates of a target item.
-func (t *Table) Reverse(j ratings.ItemID) []ExtEdge { return t.rev[j] }
+func (t *Table) Reverse(j ratings.ItemID) []ExtEdge {
+	if t.hasFull {
+		return t.truncRow(t.revFull.Row(int32(j)))
+	}
+	return t.rev.Row(int32(j))
+}
 
 // Candidates dispatches on the item's domain: source items get Forward
 // lists, target items get Reverse lists, anything else nil.
 func (t *Table) Candidates(i ratings.ItemID) []ExtEdge {
 	switch t.ds.Domain(i) {
 	case t.src:
-		return t.fwd[i]
+		return t.Forward(i)
 	case t.dst:
-		return t.rev[i]
+		return t.Reverse(i)
 	default:
 		return nil
 	}
@@ -352,31 +389,34 @@ func (t *Table) Candidates(i ratings.ItemID) []ExtEdge {
 // paper's I(ti) that Private Replacement Selection samples over. Falls
 // back to the truncated row when the table was built without KeepFull.
 func (t *Table) FullCandidates(i ratings.ItemID) []ExtEdge {
-	var full [][]ExtEdge
+	if !t.hasFull {
+		return t.Candidates(i)
+	}
+	var row []ExtEdge
 	switch t.ds.Domain(i) {
 	case t.src:
-		full = t.fwdFull
+		row = t.fwdFull.Row(int32(i))
 	case t.dst:
-		full = t.revFull
+		row = t.revFull.Row(int32(i))
 	default:
 		return nil
 	}
-	if full == nil || full[i] == nil {
+	if row == nil {
 		return t.Candidates(i)
 	}
-	return full[i]
+	return row
 }
 
 // XSim returns the X-Sim value between i (source) and j (target) if the
 // pair survived pruning.
 func (t *Table) XSim(i, j ratings.ItemID) (float64, bool) {
-	for _, e := range t.fwd[i] {
+	for _, e := range t.Forward(i) {
 		if e.To == j {
 			return e.Sim, true
 		}
 	}
 	// The pair may have been truncated from fwd but kept in rev.
-	for _, e := range t.rev[j] {
+	for _, e := range t.Reverse(j) {
 		if e.To == i {
 			return e.Sim, true
 		}
