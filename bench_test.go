@@ -260,6 +260,36 @@ func BenchmarkFit(b *testing.B) {
 	}
 }
 
+// BenchmarkDatasetBuild measures Builder.Build on the micro fixture: the
+// sort-based dedup + CSR assembly that every fit and every train/test
+// split starts from. Tracked in BENCH.json (dsbuild) across PRs. Each
+// iteration rebuilds the Builder with freshly shuffled ratings outside
+// the timer: Build sorts its backlog in place, so reusing one Builder
+// would measure the presorted re-Build fast path from iteration 2 on.
+func BenchmarkDatasetBuild(b *testing.B) {
+	f := micro(b)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		nb := dataset.BuilderFrom(f.az.DS, rng)
+		b.StartTimer()
+		nb.Build()
+	}
+}
+
+// BenchmarkFilter measures Dataset.Filter — the train/test split primitive
+// the evaluation harness calls per fold.
+func BenchmarkFilter(b *testing.B) {
+	f := micro(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.az.DS.Filter(func(r ratings.Rating) bool { return r.Item%5 != 0 })
+	}
+}
+
 func BenchmarkGraphBuild(b *testing.B) {
 	f := micro(b)
 	b.ResetTimer()

@@ -10,7 +10,9 @@
 //	xmap-bench -experiment fig11 -measure
 //	xmap-bench -scale small -json BENCH.json
 //
-// Experiments: fig1b fig5 fig6 fig7 fig8 fig9 fig10 tab2 tab3 fig11 all.
+// Experiments: fig1b fig5 fig6 fig7 fig8 fig9 fig10 tab2 tab3 fig11
+// dsbuild all (dsbuild is the dataset-store micro series: Builder.Build
+// and Dataset.Filter measured with testing.Benchmark).
 //
 // With -json, a machine-readable summary — per-experiment wall-clock
 // seconds plus headline quality metrics — is written to the given path so
@@ -21,12 +23,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"strings"
+	"testing"
 	"time"
 
+	"xmap/internal/dataset"
 	"xmap/internal/experiments"
+	"xmap/internal/ratings"
 )
 
 // jsonRecord is one experiment's machine-readable result.
@@ -72,14 +78,76 @@ func headlineMetrics(r fmt.Stringer) map[string]float64 {
 			"xmap_speedup_max": v.XMapModel[last],
 			"als_speedup_max":  v.ALSModel[last],
 		}
+	case dsBuildResult:
+		return map[string]float64{
+			"build_ns_op":      v.BuildNsOp,
+			"build_allocs_op":  v.BuildAllocsOp,
+			"filter_ns_op":     v.FilterNsOp,
+			"filter_allocs_op": v.FilterAllocsOp,
+		}
 	default:
 		return nil
 	}
 }
 
+// dsBuildResult carries the dataset-store micro series (Builder.Build and
+// Dataset.Filter on the micro fixture) measured with testing.Benchmark, so
+// the CSR fit-path foundation is tracked in BENCH.json like the experiment
+// drivers.
+type dsBuildResult struct {
+	BuildNsOp      float64
+	BuildAllocsOp  float64
+	FilterNsOp     float64
+	FilterAllocsOp float64
+	Ratings        int
+}
+
+func (r dsBuildResult) String() string {
+	return fmt.Sprintf("DatasetBuild: %.0f ns/op %.0f allocs/op | Filter: %.0f ns/op %.0f allocs/op (%d ratings)",
+		r.BuildNsOp, r.BuildAllocsOp, r.FilterNsOp, r.FilterAllocsOp, r.Ratings)
+}
+
+// datasetBuildBench regenerates a builder holding the micro fixture's
+// ratings and benchmarks Build and Filter. Like BenchmarkDatasetBuild
+// (the `go test -bench` twin of this series), each Build iteration gets
+// a freshly shuffled Builder outside the timer so the general unsorted
+// path is measured, not the presorted re-Build fast path.
+func datasetBuildBench() fmt.Stringer {
+	cfg := dataset.DefaultAmazonConfig()
+	cfg.MovieUsers, cfg.BookUsers, cfg.OverlapUsers = 300, 320, 90
+	cfg.Movies, cfg.Books = 150, 190
+	cfg.RatingsPerUser = 24
+	az := dataset.AmazonLike(cfg)
+	ds := az.DS
+	rng := rand.New(rand.NewSource(1))
+
+	build := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			nb := dataset.BuilderFrom(ds, rng)
+			b.StartTimer()
+			nb.Build()
+		}
+	})
+	filter := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ds.Filter(func(r ratings.Rating) bool { return r.Item%5 != 0 })
+		}
+	})
+	return dsBuildResult{
+		BuildNsOp:      float64(build.NsPerOp()),
+		BuildAllocsOp:  float64(build.AllocsPerOp()),
+		FilterNsOp:     float64(filter.NsPerOp()),
+		FilterAllocsOp: float64(filter.AllocsPerOp()),
+		Ratings:        ds.NumRatings(),
+	}
+}
+
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (fig1b, fig5..fig11, tab2, tab3, all)")
+		experiment = flag.String("experiment", "all", "experiment id (fig1b, fig5..fig11, tab2, tab3, dsbuild, all)")
 		scaleName  = flag.String("scale", "default", "workload scale: small or default")
 		seed       = flag.Int64("seed", 0, "override the scale's RNG seed (0 = keep)")
 		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
@@ -118,6 +186,7 @@ func main() {
 		{"tab2", func() fmt.Stringer { return experiments.Table2(sc) }},
 		{"tab3", func() fmt.Stringer { return experiments.Table3(sc) }},
 		{"fig11", func() fmt.Stringer { return experiments.Figure11(sc, *measure) }},
+		{"dsbuild", func() fmt.Stringer { return datasetBuildBench() }},
 	}
 
 	report := jsonReport{

@@ -1,0 +1,153 @@
+// Command xmap-benchdiff is the CI regression gate over BENCH.json
+// reports (benchstat for the repo's own report format): it compares the
+// fresh report against the previous run's archived baseline and fails the
+// job when a tracked series regresses beyond the threshold.
+//
+// Usage:
+//
+//	xmap-benchdiff -old baseline/BENCH.json -new BENCH.json
+//	xmap-benchdiff -old a.json -new b.json -threshold 20 -min-seconds 0.05
+//
+// Two series are gated:
+//
+//   - per-experiment wall-clock seconds (the fit-dominated experiment
+//     drivers), for experiments present in both reports at the same scale
+//     and seed — entries faster than -min-seconds in the baseline are
+//     skipped as noise;
+//   - *_ns_op metrics (the dsbuild micro series: Dataset Build/Filter),
+//     which are iteration-averaged by testing.Benchmark and therefore
+//     gated regardless of magnitude. *_allocs_op metrics must not grow at
+//     all beyond slack: allocation counts are deterministic, so a jump is
+//     a code change, not noise.
+//
+// Exit status: 0 when nothing regressed, 1 on regression, 2 on usage or
+// decode errors. Improvements and skipped entries are reported but never
+// fail the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// record mirrors the jsonRecord of cmd/xmap-bench (decoded loosely so the
+// tool keeps working when new fields appear).
+type record struct {
+	Experiment string             `json:"experiment"`
+	Scale      string             `json:"scale"`
+	Seed       int64              `json:"seed"`
+	Seconds    float64            `json:"seconds"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	Results []record `json:"results"`
+}
+
+func load(path string) (map[string]record, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	out := make(map[string]record, len(r.Results))
+	for _, rec := range r.Results {
+		out[rec.Experiment] = rec
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		oldPath    = flag.String("old", "", "baseline BENCH.json (previous run)")
+		newPath    = flag.String("new", "", "fresh BENCH.json (current run)")
+		threshold  = flag.Float64("threshold", 20, "regression threshold in percent")
+		minSeconds = flag.Float64("min-seconds", 0.05, "skip wall-clock entries below this baseline duration")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: xmap-benchdiff -old BASELINE.json -new FRESH.json [-threshold pct]")
+		os.Exit(2)
+	}
+	oldRecs, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	newRecs, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	regressions := 0
+	compared := 0
+	check := func(name string, oldV, newV, slackPct float64) {
+		compared++
+		delta := 100 * (newV - oldV) / oldV
+		status := "ok"
+		if delta > slackPct {
+			status = "REGRESSION"
+			regressions++
+		} else if delta < -slackPct {
+			status = "improved"
+		}
+		fmt.Printf("%-40s %14.4g %14.4g %+8.1f%%  %s\n", name, oldV, newV, delta, status)
+	}
+
+	names := make([]string, 0, len(oldRecs))
+	for name := range oldRecs {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic table order across runs
+	fmt.Printf("%-40s %14s %14s %9s\n", "series", "old", "new", "delta")
+	for _, name := range names {
+		o := oldRecs[name]
+		n, ok := newRecs[name]
+		if !ok {
+			fmt.Printf("%-40s %14s %14s %9s  dropped from new report\n", name, "-", "-", "-")
+			continue
+		}
+		if o.Scale != n.Scale || o.Seed != n.Seed {
+			fmt.Printf("%-40s %14s %14s %9s  skipped (scale/seed changed)\n", name, "-", "-", "-")
+			continue
+		}
+		if o.Seconds >= *minSeconds && o.Seconds > 0 {
+			check(name+"/seconds", o.Seconds, n.Seconds, *threshold)
+		}
+		metrics := make([]string, 0, len(o.Metrics))
+		for metric := range o.Metrics {
+			metrics = append(metrics, metric)
+		}
+		sort.Strings(metrics)
+		for _, metric := range metrics {
+			ov := o.Metrics[metric]
+			nv, ok := n.Metrics[metric]
+			if !ok || ov <= 0 {
+				continue
+			}
+			switch {
+			case strings.HasSuffix(metric, "_ns_op"):
+				check(name+"/"+metric, ov, nv, *threshold)
+			case strings.HasSuffix(metric, "_allocs_op"):
+				// Deterministic: anything beyond rounding slack is real.
+				check(name+"/"+metric, ov, nv, 1)
+			}
+		}
+	}
+	if compared == 0 {
+		fmt.Println("no comparable series between the two reports")
+	}
+	if regressions > 0 {
+		fmt.Printf("FAIL: %d series regressed beyond %.0f%%\n", regressions, *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("ok: %d series within %.0f%%\n", compared, *threshold)
+}

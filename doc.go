@@ -49,6 +49,26 @@
 // internal/serve/README.md for the cache-key scheme and invalidation
 // rules.
 //
+// # Dataset layout
+//
+// The rating store itself (internal/ratings) is flat: both indexes are
+// compressed-sparse-row. X_u profiles live in one contiguous []Entry with
+// a per-user offset array, Y_i profiles in one contiguous []UserEntry
+// with per-item offsets; Items(u) and Users(i) return sub-slices of those
+// arrays, sorted by ItemID and UserID respectively, so point lookups
+// binary-search and tight fit loops walk contiguous memory. Builder.Build
+// is map-free: ratings are stably sorted by (user, item, time),
+// deduplicated in a single pass (latest observation wins, insertion order
+// breaks ties), streamed into the by-user CSR, and the by-item index is
+// derived by a counting-sort transpose — a constant number of allocations
+// per Build regardless of trace size, and the prerequisite for mmap-style
+// loading of multi-GB traces. Filter and WithRatings (train/test splits,
+// AlterEgo merges) assemble their result directly from the parent's flat
+// arrays and share its immutable name tables instead of replaying every
+// rating through a Builder. The sort-based Build is pinned bit-for-bit
+// (dedup winners, profile ordering, means, domain counts) against the
+// map-based reference kept in the package tests.
+//
 // # Performance
 //
 // The offline fit path (ComputePairs → graph.Build → xsim.Extend) is
@@ -62,7 +82,10 @@
 // several times faster with an order of magnitude fewer allocations; see
 // internal/sim/README.md for the pattern, the invariants and measured
 // numbers. Fit-path benchmarks (BenchmarkComputePairs, BenchmarkExtend,
-// BenchmarkFit) and `cmd/xmap-bench -json` track the trajectory in CI.
+// BenchmarkFit, BenchmarkDatasetBuild, BenchmarkFilter) and
+// `cmd/xmap-bench -json` track the trajectory in CI, and
+// cmd/xmap-benchdiff gates every CI run against the previous run's
+// BENCH.json, failing on >20% fit-path regressions.
 //
 // See examples/ for five runnable programs and cmd/ for the bench runner,
 // the online recommendation server (§6.7) and the trace generator.

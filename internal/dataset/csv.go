@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math/rand"
 	"strconv"
 
 	"xmap/internal/ratings"
@@ -79,4 +80,32 @@ func LoadCSV(r io.Reader) (*ratings.Dataset, error) {
 		b.Add(u, it, val, t)
 	}
 	return b.Build(), nil
+}
+
+// BuilderFrom returns a fresh Builder loaded with ds's full universe
+// (domains, users, items — identical IDs) and all of its ratings. With a
+// non-nil rng the ratings are added in shuffled order; benchmarks use
+// this so Builder.Build is measured on the general unsorted path rather
+// than the presorted fast path a previous Build (or a sorted source
+// dataset) would leave behind.
+func BuilderFrom(ds *ratings.Dataset, rng *rand.Rand) *ratings.Builder {
+	nb := ratings.NewBuilder()
+	for d := 0; d < ds.NumDomains(); d++ {
+		nb.Domain(ds.DomainName(ratings.DomainID(d)))
+	}
+	for u := 0; u < ds.NumUsers(); u++ {
+		nb.User(ds.UserName(ratings.UserID(u)))
+	}
+	for i := 0; i < ds.NumItems(); i++ {
+		id := ratings.ItemID(i)
+		nb.Item(ds.ItemName(id), ds.Domain(id))
+	}
+	rs := ds.AllRatings()
+	if rng != nil {
+		rng.Shuffle(len(rs), func(i, j int) { rs[i], rs[j] = rs[j], rs[i] })
+	}
+	for _, r := range rs {
+		nb.AddRating(r)
+	}
+	return nb
 }

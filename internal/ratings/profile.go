@@ -1,6 +1,10 @@
 package ratings
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+	"sort"
+)
 
 // Profile helpers operate on free-standing []Entry profiles — AlterEgo
 // profiles live outside any Dataset until (optionally) merged back in.
@@ -8,6 +12,45 @@ import "sort"
 // SortEntries sorts a profile in place by ItemID.
 func SortEntries(p []Entry) {
 	sort.Slice(p, func(a, b int) bool { return p[a].Item < p[b].Item })
+}
+
+// CanonicalEntries returns the canonical form of a profile: sorted by
+// ItemID with duplicate items collapsed to the most recent entry (largest
+// Time; ties resolved by position, later wins — the same rule Builder.Build
+// applies to duplicate ratings). Profiles arriving from outside the store
+// (API requests, merged AlterEgos) must be canonicalized before they meet
+// code that binary-searches the sorted-profile invariant or hashes the
+// profile content. When p is already canonical (strictly ascending ItemIDs)
+// it is returned as-is with no allocation; otherwise a new slice is
+// returned and p is left unmodified.
+func CanonicalEntries(p []Entry) []Entry {
+	canonical := true
+	for k := 1; k < len(p); k++ {
+		if p[k-1].Item >= p[k].Item {
+			canonical = false
+			break
+		}
+	}
+	if canonical {
+		return p
+	}
+	out := make([]Entry, len(p))
+	copy(out, p)
+	slices.SortStableFunc(out, func(a, b Entry) int {
+		if c := cmp.Compare(a.Item, b.Item); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.Time, b.Time)
+	})
+	w := 0
+	for k, e := range out {
+		if k+1 < len(out) && out[k+1].Item == e.Item {
+			continue // a more recent (or later-positioned) duplicate follows
+		}
+		out[w] = e
+		w++
+	}
+	return out[:w]
 }
 
 // ProfileMean returns the mean rating of a profile, or fallback if empty.

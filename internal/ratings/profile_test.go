@@ -1,6 +1,7 @@
 package ratings
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -139,6 +140,80 @@ func TestQuickAppendProfiles(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonicalEntriesAlreadyCanonical(t *testing.T) {
+	p := []Entry{{Item: 1, Value: 3, Time: 5}, {Item: 4, Value: 2, Time: 1}, {Item: 9, Value: 5, Time: 2}}
+	got := CanonicalEntries(p)
+	if &got[0] != &p[0] {
+		t.Fatal("canonical profile must be returned as-is, not copied")
+	}
+	if got := CanonicalEntries(nil); got != nil {
+		t.Fatalf("CanonicalEntries(nil) = %v", got)
+	}
+}
+
+func TestCanonicalEntriesSortsAndDedups(t *testing.T) {
+	p := []Entry{
+		{Item: 9, Value: 5, Time: 2},
+		{Item: 1, Value: 3, Time: 5},
+		{Item: 9, Value: 1, Time: 7}, // later Time: wins over the first 9
+		{Item: 1, Value: 4, Time: 5}, // equal Time, later position: wins
+		{Item: 4, Value: 2, Time: 1},
+	}
+	orig := append([]Entry(nil), p...)
+	got := CanonicalEntries(p)
+	want := []Entry{{Item: 1, Value: 4, Time: 5}, {Item: 4, Value: 2, Time: 1}, {Item: 9, Value: 1, Time: 7}}
+	if len(got) != len(want) {
+		t.Fatalf("canonical = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("canonical[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	for i := range orig {
+		if p[i] != orig[i] {
+			t.Fatal("CanonicalEntries mutated its input")
+		}
+	}
+}
+
+// Property: CanonicalEntries agrees with running the entries through a
+// Builder (same item universe) — the dataset's dedup rule and the profile
+// dedup rule are one rule.
+func TestQuickCanonicalMatchesBuilder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ni := 1 + rng.Intn(8)
+		var p []Entry
+		for k := 0; k < rng.Intn(30); k++ {
+			p = append(p, Entry{Item: ItemID(rng.Intn(ni)), Value: float64(1 + rng.Intn(5)), Time: int64(rng.Intn(4))})
+		}
+		b := NewBuilder()
+		d := b.Domain("d")
+		u := b.User("u")
+		for i := 0; i < ni; i++ {
+			b.Item(fmt.Sprintf("i%d", i), d)
+		}
+		for _, e := range p {
+			b.Add(u, e.Item, e.Value, e.Time)
+		}
+		want := b.Build().Items(u)
+		got := CanonicalEntries(p)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
 	}
 }

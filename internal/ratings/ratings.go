@@ -8,11 +8,24 @@
 // immutable afterwards, which makes them safe for concurrent readers — all
 // of the similarity and extension phases read the same Dataset from many
 // goroutines.
+//
+// Both indexes are stored compressed-sparse-row (scratch.CSR): one flat
+// []Entry with per-user offsets for X_u and one flat []UserEntry with
+// per-item offsets for Y_i. Items(u)/Users(i) return sub-slices of the flat
+// arrays; rows are sorted (by ItemID and UserID respectively) so point
+// lookups binary-search. Build is map-free: ratings are stably sorted by
+// (user, item, time), deduplicated in one pass (latest wins), and the item
+// index is derived from the user index by a counting-sort transpose — a
+// constant number of allocations per Build regardless of dataset size.
 package ratings
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
+
+	"xmap/internal/scratch"
 )
 
 // UserID is a dense internal user index, assigned in first-seen order.
@@ -61,17 +74,20 @@ type Dataset struct {
 	itemDomain  []DomainID
 	domainNames []string
 
-	byUser [][]Entry     // X_u, sorted by ItemID
-	byItem [][]UserEntry // Y_i, sorted by UserID
+	byUser scratch.CSR[Entry]     // X_u rows, sorted by ItemID
+	byItem scratch.CSR[UserEntry] // Y_i rows, sorted by UserID
 
 	userMean   []float64
 	itemMean   []float64
 	globalMean float64
-	numRatings int
 
-	itemsByDomain [][]ItemID
-	// userDomainCount[u][d] is the number of ratings user u has in domain d.
-	userDomainCount [][]int32
+	// Items grouped by domain: domain d's items are
+	// domainItems[domainOff[d]:domainOff[d+1]], ascending within a domain.
+	domainItems []ItemID
+	domainOff   []int64
+	// userDomainCount[u*NumDomains+d] is the number of ratings user u has
+	// in domain d (row-major, one flat allocation).
+	userDomainCount []int32
 }
 
 // Builder accumulates users, items and ratings and produces an immutable
@@ -96,11 +112,18 @@ func NewBuilder() *Builder {
 }
 
 // Domain registers (or retrieves) a domain by name and returns its ID.
+// DomainID is an 8-bit index with 0xFF reserved as the NoDomain sentinel,
+// so at most 255 domains can be registered; one more panics rather than
+// silently minting the sentinel (or wrapping) as a real domain.
 func (b *Builder) Domain(name string) DomainID {
 	for id, n := range b.domainNames {
 		if n == name {
 			return DomainID(id)
 		}
+	}
+	if len(b.domainNames) >= int(NoDomain) {
+		panic(fmt.Sprintf("ratings: too many domains: %q would get id %d, which overflows DomainID (%d is the NoDomain sentinel)",
+			name, len(b.domainNames), NoDomain))
 	}
 	b.domainNames = append(b.domainNames, name)
 	return DomainID(len(b.domainNames) - 1)
@@ -156,99 +179,174 @@ func (b *Builder) AddRating(r Rating) { b.Add(r.User, r.Item, r.Value, r.Time) }
 // been added.
 func (b *Builder) NumPendingRatings() int { return len(b.ratings) }
 
+// cmpRating is the dedup pipeline's sort key: (user, item, time). Stable
+// sorting by it preserves insertion order among fully-equal keys, so the
+// last element of every (user, item) run is exactly the dedup winner of
+// the documented "largest Time, ties to latest insertion" rule.
+func cmpRating(x, y Rating) int {
+	if c := cmp.Compare(x.User, y.User); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(x.Item, y.Item); c != 0 {
+		return c
+	}
+	return cmp.Compare(x.Time, y.Time)
+}
+
+// dedupWinner reports whether rs[k] is the last element of its (user, item)
+// run — the surviving observation — in a cmpRating-sorted slice.
+func dedupWinner(rs []Rating, k int) bool {
+	return k+1 >= len(rs) || rs[k+1].User != rs[k].User || rs[k+1].Item != rs[k].Item
+}
+
 // Build finalizes the dataset: deduplicates, sorts both indexes, and
 // computes means. The Builder remains usable (Build can be called again
 // after adding more ratings).
+//
+// The pipeline is map-free: ratings are stably sorted in place by
+// (user, item, time), and the winners stream straight into the by-user
+// CSR, already grouped by user and ascending by item. The by-item index,
+// means, domain buckets and per-user domain counts all derive from that
+// single flat array. Sorting in place is safe: dedup semantics depend
+// only on the relative order of equal (user, item, time) keys, which
+// stable sorting preserves across repeated Builds.
 func (b *Builder) Build() *Dataset {
-	nu, ni, nd := len(b.userNames), len(b.itemNames), len(b.domainNames)
+	slices.SortStableFunc(b.ratings, cmpRating)
 
-	// Deduplicate (user,item): keep the most recent observation.
-	type key struct {
-		u UserID
-		i ItemID
-	}
-	latest := make(map[key]Rating, len(b.ratings))
-	for _, r := range b.ratings {
-		k := key{r.User, r.Item}
-		if prev, ok := latest[k]; !ok || r.Time >= prev.Time {
-			latest[k] = r
+	nu := len(b.userNames)
+	userOff := make([]int64, nu+1)
+	n := 0 // distinct (user, item) pairs
+	for k, r := range b.ratings {
+		if !dedupWinner(b.ratings, k) {
+			continue // superseded by a later duplicate
 		}
+		userOff[r.User+1]++
+		n++
+	}
+	for u := 0; u < nu; u++ {
+		userOff[u+1] += userOff[u]
+	}
+	entries := make([]Entry, n)
+	w := 0
+	for k, r := range b.ratings {
+		if !dedupWinner(b.ratings, k) {
+			continue
+		}
+		entries[w] = Entry{Item: r.Item, Value: r.Value, Time: r.Time}
+		w++
 	}
 
+	return finish(
+		append([]string(nil), b.userNames...),
+		append([]string(nil), b.itemNames...),
+		append([]DomainID(nil), b.itemDomain...),
+		append([]string(nil), b.domainNames...),
+		entries, userOff, nil, nil)
+}
+
+// finish assembles a Dataset from a finished by-user CSR (rows grouped by
+// ascending user, sorted by item, already deduplicated): it counting-sort
+// transposes the item index from the user index, computes means in a fixed
+// deterministic order (users ascending, items ascending within a user), and
+// derives the domain buckets and per-user domain counts. domainItems/
+// domainOff may be passed in to be shared when the item universe is
+// unchanged (Filter, WithRatings); nil recomputes them.
+func finish(userNames, itemNames []string, itemDomain []DomainID, domainNames []string,
+	entries []Entry, userOff []int64, domainItems []ItemID, domainOff []int64) *Dataset {
+	nu, ni, nd := len(userNames), len(itemNames), len(domainNames)
 	ds := &Dataset{
-		userNames:   append([]string(nil), b.userNames...),
-		itemNames:   append([]string(nil), b.itemNames...),
-		itemDomain:  append([]DomainID(nil), b.itemDomain...),
-		domainNames: append([]string(nil), b.domainNames...),
-		byUser:      make([][]Entry, nu),
-		byItem:      make([][]UserEntry, ni),
+		userNames:   userNames,
+		itemNames:   itemNames,
+		itemDomain:  itemDomain,
+		domainNames: domainNames,
+		byUser:      scratch.CSR[Entry]{Edges: entries, Off: userOff},
 		userMean:    make([]float64, nu),
 		itemMean:    make([]float64, ni),
-		numRatings:  len(latest),
 	}
 
-	userCount := make([]int, nu)
-	itemCount := make([]int, ni)
-	for k := range latest {
-		userCount[k.u]++
-		itemCount[k.i]++
+	// Counting-sort transpose byUser → byItem: count raters per item,
+	// prefix-sum into offsets, then scatter the user rows in ascending-user
+	// order so every item row is born sorted by UserID.
+	itemOff := make([]int64, ni+1)
+	for _, e := range entries {
+		itemOff[e.Item+1]++
 	}
-	for u, c := range userCount {
-		ds.byUser[u] = make([]Entry, 0, c)
+	for i := 0; i < ni; i++ {
+		itemOff[i+1] += itemOff[i]
 	}
-	for i, c := range itemCount {
-		ds.byItem[i] = make([]UserEntry, 0, c)
+	userEntries := make([]UserEntry, len(entries))
+	cur := make([]int64, ni)
+	copy(cur, itemOff[:ni])
+	for u := 0; u < nu; u++ {
+		for _, e := range entries[userOff[u]:userOff[u+1]] {
+			userEntries[cur[e.Item]] = UserEntry{User: UserID(u), Value: e.Value, Time: e.Time}
+			cur[e.Item]++
+		}
 	}
+	ds.byItem = scratch.CSR[UserEntry]{Edges: userEntries, Off: itemOff}
 
+	// Means, summed in ascending (user, item) order for the per-user and
+	// global means and ascending (item, user) order for the per-item means,
+	// so the floating-point results are deterministic.
 	var total float64
-	for k, r := range latest {
-		ds.byUser[k.u] = append(ds.byUser[k.u], Entry{Item: k.i, Value: r.Value, Time: r.Time})
-		ds.byItem[k.i] = append(ds.byItem[k.i], UserEntry{User: k.u, Value: r.Value, Time: r.Time})
-		total += r.Value
-	}
-	if ds.numRatings > 0 {
-		ds.globalMean = total / float64(ds.numRatings)
-	}
-
-	for u := range ds.byUser {
-		p := ds.byUser[u]
-		sort.Slice(p, func(a, b int) bool { return p[a].Item < p[b].Item })
+	for u := 0; u < nu; u++ {
+		row := entries[userOff[u]:userOff[u+1]]
 		var s float64
-		for _, e := range p {
+		for _, e := range row {
 			s += e.Value
 		}
-		if len(p) > 0 {
-			ds.userMean[u] = s / float64(len(p))
-		} else {
+		total += s
+		if len(row) > 0 {
+			ds.userMean[u] = s / float64(len(row))
+		}
+	}
+	if len(entries) > 0 {
+		ds.globalMean = total / float64(len(entries))
+	}
+	for u := 0; u < nu; u++ {
+		if userOff[u] == userOff[u+1] {
 			ds.userMean[u] = ds.globalMean
 		}
 	}
-	for i := range ds.byItem {
-		p := ds.byItem[i]
-		sort.Slice(p, func(a, b int) bool { return p[a].User < p[b].User })
+	for i := 0; i < ni; i++ {
+		row := userEntries[itemOff[i]:itemOff[i+1]]
+		if len(row) == 0 {
+			ds.itemMean[i] = ds.globalMean
+			continue
+		}
 		var s float64
-		for _, e := range p {
+		for _, e := range row {
 			s += e.Value
 		}
-		if len(p) > 0 {
-			ds.itemMean[i] = s / float64(len(p))
-		} else {
-			ds.itemMean[i] = ds.globalMean
-		}
+		ds.itemMean[i] = s / float64(len(row))
 	}
 
-	ds.itemsByDomain = make([][]ItemID, nd)
-	for i, d := range ds.itemDomain {
-		ds.itemsByDomain[d] = append(ds.itemsByDomain[d], ItemID(i))
-	}
-
-	ds.userDomainCount = make([][]int32, nu)
-	for u := range ds.byUser {
-		cnt := make([]int32, nd)
-		for _, e := range ds.byUser[u] {
-			cnt[ds.itemDomain[e.Item]]++
+	// Domain buckets (counting sort by domain, ascending item within each)
+	// — shared with the parent dataset when the item universe is unchanged.
+	if domainItems == nil {
+		domainOff = make([]int64, nd+1)
+		for _, d := range itemDomain {
+			domainOff[d+1]++
 		}
-		ds.userDomainCount[u] = cnt
+		for d := 0; d < nd; d++ {
+			domainOff[d+1] += domainOff[d]
+		}
+		domainItems = make([]ItemID, ni)
+		dcur := make([]int64, nd)
+		copy(dcur, domainOff[:nd])
+		for i, d := range itemDomain {
+			domainItems[dcur[d]] = ItemID(i)
+			dcur[d]++
+		}
+	}
+	ds.domainItems, ds.domainOff = domainItems, domainOff
+
+	ds.userDomainCount = make([]int32, nu*nd)
+	for u := 0; u < nu; u++ {
+		cnt := ds.userDomainCount[u*nd : (u+1)*nd]
+		for _, e := range entries[userOff[u]:userOff[u+1]] {
+			cnt[itemDomain[e.Item]]++
+		}
 	}
 	return ds
 }
@@ -263,7 +361,7 @@ func (d *Dataset) NumItems() int { return len(d.itemNames) }
 func (d *Dataset) NumDomains() int { return len(d.domainNames) }
 
 // NumRatings returns the number of (deduplicated) ratings.
-func (d *Dataset) NumRatings() int { return d.numRatings }
+func (d *Dataset) NumRatings() int { return d.byUser.Len() }
 
 // GlobalMean returns the mean over all ratings (0 for an empty dataset).
 func (d *Dataset) GlobalMean() float64 { return d.globalMean }
@@ -280,17 +378,33 @@ func (d *Dataset) DomainName(dom DomainID) string { return d.domainNames[dom] }
 // Domain returns the domain of item i.
 func (d *Dataset) Domain(i ItemID) DomainID { return d.itemDomain[i] }
 
-// ItemsInDomain returns the items of a domain. The returned slice is shared;
-// callers must not modify it.
-func (d *Dataset) ItemsInDomain(dom DomainID) []ItemID { return d.itemsByDomain[dom] }
+// ItemsInDomain returns the items of a domain, ascending. The returned
+// slice is shared; callers must not modify it.
+func (d *Dataset) ItemsInDomain(dom DomainID) []ItemID {
+	lo, hi := d.domainOff[dom], d.domainOff[dom+1]
+	if lo == hi {
+		return nil
+	}
+	return d.domainItems[lo:hi:hi]
+}
 
 // Items returns X_u, the profile of user u, sorted by ItemID. The returned
-// slice is shared; callers must not modify it.
-func (d *Dataset) Items(u UserID) []Entry { return d.byUser[u] }
+// slice is a sub-slice of the flat rating array; callers must not modify it.
+func (d *Dataset) Items(u UserID) []Entry { return d.byUser.Row(int32(u)) }
 
 // Users returns Y_i, the profile of item i, sorted by UserID. The returned
-// slice is shared; callers must not modify it.
-func (d *Dataset) Users(i ItemID) []UserEntry { return d.byItem[i] }
+// slice is a sub-slice of the flat rating array; callers must not modify it.
+func (d *Dataset) Users(i ItemID) []UserEntry { return d.byItem.Row(int32(i)) }
+
+// UserOffsets returns the by-user CSR offsets: user u's profile is the
+// half-open range [UserOffsets()[u], UserOffsets()[u+1]) of the flat rating
+// array, and UserOffsets()[NumUsers()] == NumRatings(). Fit passes that
+// need flat per-observation indexing (sim.ComputePairs) read these instead
+// of re-deriving them. The slice is shared; callers must not modify it.
+func (d *Dataset) UserOffsets() []int64 { return d.byUser.Off }
+
+// ItemOffsets is UserOffsets for the by-item index.
+func (d *Dataset) ItemOffsets() []int64 { return d.byItem.Off }
 
 // UserMean returns r̄_u (the global mean if u has no ratings).
 func (d *Dataset) UserMean(u UserID) float64 { return d.userMean[u] }
@@ -300,7 +414,7 @@ func (d *Dataset) ItemMean(i ItemID) float64 { return d.itemMean[i] }
 
 // Rating returns r_{u,i} and whether u rated i, by binary search in X_u.
 func (d *Dataset) Rating(u UserID, i ItemID) (float64, bool) {
-	p := d.byUser[u]
+	p := d.Items(u)
 	lo := sort.Search(len(p), func(k int) bool { return p[k].Item >= i })
 	if lo < len(p) && p[lo].Item == i {
 		return p[lo].Value, true
@@ -323,17 +437,27 @@ func (d *Dataset) RatingOrItemMean(u UserID, i ItemID) float64 {
 	return d.itemMean[i]
 }
 
+// domainCount returns user u's rating count in dom, bounds-checking the
+// domain like the former per-user slice indexing did.
+func (d *Dataset) domainCount(u UserID, dom DomainID) int32 {
+	nd := len(d.domainNames)
+	if int(dom) >= nd {
+		panic(fmt.Sprintf("ratings: domain %d out of range [0,%d)", dom, nd))
+	}
+	return d.userDomainCount[int(u)*nd+int(dom)]
+}
+
 // UserRatingsInDomain returns how many items of domain dom user u rated.
 func (d *Dataset) UserRatingsInDomain(u UserID, dom DomainID) int {
-	return int(d.userDomainCount[u][dom])
+	return int(d.domainCount(u, dom))
 }
 
 // UsersInDomain returns the users with at least one rating in dom, in
 // ascending UserID order.
 func (d *Dataset) UsersInDomain(dom DomainID) []UserID {
 	var out []UserID
-	for u := range d.byUser {
-		if d.userDomainCount[u][dom] > 0 {
+	for u := 0; u < d.NumUsers(); u++ {
+		if d.domainCount(UserID(u), dom) > 0 {
 			out = append(out, UserID(u))
 		}
 	}
@@ -344,8 +468,8 @@ func (d *Dataset) UsersInDomain(dom DomainID) []UserID {
 // overlap U^S ∩ U^T that carries all cross-domain signal (paper §2.3).
 func (d *Dataset) Straddlers(d1, d2 DomainID) []UserID {
 	var out []UserID
-	for u := range d.byUser {
-		if d.userDomainCount[u][d1] > 0 && d.userDomainCount[u][d2] > 0 {
+	for u := 0; u < d.NumUsers(); u++ {
+		if d.domainCount(UserID(u), d1) > 0 && d.domainCount(UserID(u), d2) > 0 {
 			out = append(out, UserID(u))
 		}
 	}
@@ -355,8 +479,8 @@ func (d *Dataset) Straddlers(d1, d2 DomainID) []UserID {
 // ForEachRating calls fn for every rating in the dataset, grouped by user in
 // ascending UserID order and by ItemID within a user.
 func (d *Dataset) ForEachRating(fn func(Rating)) {
-	for u := range d.byUser {
-		for _, e := range d.byUser[u] {
+	for u := 0; u < d.NumUsers(); u++ {
+		for _, e := range d.Items(UserID(u)) {
 			fn(Rating{User: UserID(u), Item: e.Item, Value: e.Value, Time: e.Time})
 		}
 	}
@@ -365,50 +489,136 @@ func (d *Dataset) ForEachRating(fn func(Rating)) {
 // AllRatings materializes every rating. Intended for tests and small tools;
 // the iteration APIs avoid the allocation for production paths.
 func (d *Dataset) AllRatings() []Rating {
-	out := make([]Rating, 0, d.numRatings)
+	out := make([]Rating, 0, d.NumRatings())
 	d.ForEachRating(func(r Rating) { out = append(out, r) })
 	return out
 }
 
 // Filter returns a new Dataset with the same user/item/domain universe
 // (identical IDs — essential so train/test splits stay comparable) but only
-// the ratings for which keep returns true.
+// the ratings for which keep returns true. The new dataset is assembled
+// directly from the flat rating array — kept entries are copied once into a
+// new CSR and the immutable name/domain tables are shared, with no Builder
+// round-trip, no re-sort and no re-deduplication.
 func (d *Dataset) Filter(keep func(Rating) bool) *Dataset {
-	nb := d.emptyClone()
-	d.ForEachRating(func(r Rating) {
-		if keep(r) {
-			nb.AddRating(r)
+	nu := d.NumUsers()
+	off := make([]int64, nu+1)
+	src, srcOff := d.byUser.Edges, d.byUser.Off
+	// keep is called exactly once per rating: split predicates are often
+	// stateful (an rng drawing the train/test coin), so a separate counting
+	// pass would see different answers.
+	entries := make([]Entry, 0, len(src))
+	for u := 0; u < nu; u++ {
+		for _, e := range src[srcOff[u]:srcOff[u+1]] {
+			if keep(Rating{User: UserID(u), Item: e.Item, Value: e.Value, Time: e.Time}) {
+				entries = append(entries, e)
+			}
 		}
-	})
-	return nb.Build()
+		off[u+1] = int64(len(entries))
+	}
+	if len(entries)+len(entries)/8 < cap(entries) {
+		// Don't pin the parent-sized backing array under a small split.
+		entries = append(make([]Entry, 0, len(entries)), entries...)
+	}
+	return finish(d.userNames, d.itemNames, d.itemDomain, d.domainNames,
+		entries, off, d.domainItems, d.domainOff)
 }
 
 // WithRatings returns a new Dataset containing this dataset's ratings plus
-// the given extra ratings (same ID universe). Later duplicates win.
+// the given extra ratings (same ID universe). On a (user, item) collision
+// the usual dedup rule applies with the extras counting as later insertions:
+// an extra wins unless the existing rating has a strictly larger Time.
+// Like Filter, the result is assembled by merging the extras into the flat
+// sorted rating array directly.
 func (d *Dataset) WithRatings(extra []Rating) *Dataset {
-	nb := d.emptyClone()
-	d.ForEachRating(nb.AddRating)
-	for _, r := range extra {
-		nb.AddRating(r)
+	nu, ni := d.NumUsers(), d.NumItems()
+	ex := make([]Rating, len(extra))
+	copy(ex, extra)
+	for _, r := range ex {
+		if int(r.User) < 0 || int(r.User) >= nu {
+			panic(fmt.Sprintf("ratings: unknown user id %d", r.User))
+		}
+		if int(r.Item) < 0 || int(r.Item) >= ni {
+			panic(fmt.Sprintf("ratings: unknown item id %d", r.Item))
+		}
 	}
-	return nb.Build()
-}
+	slices.SortStableFunc(ex, cmpRating)
+	// Dedup the extras in place: last of every (user, item) run wins.
+	w := 0
+	for k, r := range ex {
+		if !dedupWinner(ex, k) {
+			continue
+		}
+		ex[w] = r
+		w++
+	}
+	ex = ex[:w]
 
-// emptyClone returns a Builder with the same user/item/domain universe and
-// no ratings.
-func (d *Dataset) emptyClone() *Builder {
-	nb := NewBuilder()
-	nb.domainNames = append([]string(nil), d.domainNames...)
-	nb.userNames = append([]string(nil), d.userNames...)
-	nb.itemNames = append([]string(nil), d.itemNames...)
-	nb.itemDomain = append([]DomainID(nil), d.itemDomain...)
-	for id, name := range nb.userNames {
-		nb.userIndex[name] = UserID(id)
+	// Merge each user's existing sorted row with their extras. Both sides
+	// are sorted by item and duplicate-free, so this is a linear merge.
+	src, srcOff := d.byUser.Edges, d.byUser.Off
+	off := make([]int64, nu+1)
+	exOff := make([]int, nu+1) // extras of user u: ex[exOff[u]:exOff[u+1]]
+	for _, r := range ex {
+		exOff[r.User+1]++
 	}
-	for id, name := range nb.itemNames {
-		nb.itemIndex[name] = ItemID(id)
+	for u := 0; u < nu; u++ {
+		exOff[u+1] += exOff[u]
 	}
-	return nb
+	for u := 0; u < nu; u++ {
+		a, b := src[srcOff[u]:srcOff[u+1]], ex[exOff[u]:exOff[u+1]]
+		merged := int64(len(a) + len(b))
+		for i, j := 0, 0; i < len(a) && j < len(b); {
+			switch {
+			case a[i].Item < b[j].Item:
+				i++
+			case a[i].Item > b[j].Item:
+				j++
+			default:
+				merged--
+				i++
+				j++
+			}
+		}
+		off[u+1] = off[u] + merged
+	}
+	entries := make([]Entry, off[nu])
+	pos := int64(0)
+	for u := 0; u < nu; u++ {
+		a, b := src[srcOff[u]:srcOff[u+1]], ex[exOff[u]:exOff[u+1]]
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			switch {
+			case a[i].Item < b[j].Item:
+				entries[pos] = a[i]
+				i++
+			case a[i].Item > b[j].Item:
+				entries[pos] = Entry{Item: b[j].Item, Value: b[j].Value, Time: b[j].Time}
+				j++
+			default:
+				// Collision: the extra is the later insertion, so it wins
+				// unless the existing rating is strictly more recent.
+				if a[i].Time > b[j].Time {
+					entries[pos] = a[i]
+				} else {
+					entries[pos] = Entry{Item: b[j].Item, Value: b[j].Value, Time: b[j].Time}
+				}
+				i++
+				j++
+			}
+			pos++
+		}
+		for ; i < len(a); i++ {
+			entries[pos] = a[i]
+			pos++
+		}
+		for ; j < len(b); j++ {
+			entries[pos] = Entry{Item: b[j].Item, Value: b[j].Value, Time: b[j].Time}
+			pos++
+		}
+	}
+	return finish(d.userNames, d.itemNames, d.itemDomain, d.domainNames,
+		entries, off, d.domainItems, d.domainOff)
 }
 
 // Stats summarizes a dataset for logs and reports.
@@ -439,9 +649,9 @@ func (d *Dataset) ComputeStats() Stats {
 		s.Sparsity = 1 - float64(s.Ratings)/(float64(s.Users)*float64(s.Items))
 	}
 	for dom := 0; dom < d.NumDomains(); dom++ {
-		dst := DomainStats{Name: d.domainNames[dom], Items: len(d.itemsByDomain[dom])}
-		for u := range d.byUser {
-			c := int(d.userDomainCount[u][dom])
+		dst := DomainStats{Name: d.domainNames[dom], Items: len(d.ItemsInDomain(DomainID(dom)))}
+		for u := 0; u < d.NumUsers(); u++ {
+			c := int(d.domainCount(UserID(u), DomainID(dom)))
 			if c > 0 {
 				dst.Users++
 				dst.Ratings += c

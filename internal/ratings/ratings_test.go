@@ -1,8 +1,11 @@
 package ratings
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -214,6 +217,321 @@ func TestUnknownDomainPanics(t *testing.T) {
 	}()
 	b := NewBuilder()
 	b.Item("x", 7)
+}
+
+// --- equivalence: sort-based Build vs the map-based reference ----------
+
+// refDataset is the output of the reference Build: the pre-CSR
+// representation the map-based implementation produced.
+type refDataset struct {
+	byUser          [][]Entry
+	byItem          [][]UserEntry
+	userMean        []float64
+	itemMean        []float64
+	globalMean      float64
+	numRatings      int
+	itemsByDomain   [][]ItemID
+	userDomainCount [][]int32
+}
+
+// buildReference mirrors the map-based Build this package shipped before
+// the CSR flattening: dedup through a map[key]Rating scanning insertion
+// order (keep r when r.Time >= prev.Time), per-profile sorts, means over
+// the sorted profiles. The only deliberate difference is that sums are
+// accumulated in sorted (user, item) order rather than map-iteration order,
+// so the floating-point means are deterministic and comparable with ==.
+func buildReference(userNames, itemNames []string, itemDomain []DomainID, domainNames []string, ratings []Rating) refDataset {
+	nu, ni, nd := len(userNames), len(itemNames), len(domainNames)
+	type key struct {
+		u UserID
+		i ItemID
+	}
+	latest := make(map[key]Rating, len(ratings))
+	for _, r := range ratings {
+		k := key{r.User, r.Item}
+		if prev, ok := latest[k]; !ok || r.Time >= prev.Time {
+			latest[k] = r
+		}
+	}
+	ref := refDataset{
+		byUser:     make([][]Entry, nu),
+		byItem:     make([][]UserEntry, ni),
+		userMean:   make([]float64, nu),
+		itemMean:   make([]float64, ni),
+		numRatings: len(latest),
+	}
+	for k, r := range latest {
+		ref.byUser[k.u] = append(ref.byUser[k.u], Entry{Item: k.i, Value: r.Value, Time: r.Time})
+		ref.byItem[k.i] = append(ref.byItem[k.i], UserEntry{User: k.u, Value: r.Value, Time: r.Time})
+	}
+	var total float64
+	for u := range ref.byUser {
+		p := ref.byUser[u]
+		sort.Slice(p, func(a, b int) bool { return p[a].Item < p[b].Item })
+		var s float64
+		for _, e := range p {
+			s += e.Value
+		}
+		total += s
+	}
+	if ref.numRatings > 0 {
+		ref.globalMean = total / float64(ref.numRatings)
+	}
+	for u, p := range ref.byUser {
+		var s float64
+		for _, e := range p {
+			s += e.Value
+		}
+		if len(p) > 0 {
+			ref.userMean[u] = s / float64(len(p))
+		} else {
+			ref.userMean[u] = ref.globalMean
+		}
+	}
+	for i := range ref.byItem {
+		p := ref.byItem[i]
+		sort.Slice(p, func(a, b int) bool { return p[a].User < p[b].User })
+		var s float64
+		for _, e := range p {
+			s += e.Value
+		}
+		if len(p) > 0 {
+			ref.itemMean[i] = s / float64(len(p))
+		} else {
+			ref.itemMean[i] = ref.globalMean
+		}
+	}
+	ref.itemsByDomain = make([][]ItemID, nd)
+	for i, d := range itemDomain {
+		ref.itemsByDomain[d] = append(ref.itemsByDomain[d], ItemID(i))
+	}
+	ref.userDomainCount = make([][]int32, nu)
+	for u := range ref.byUser {
+		cnt := make([]int32, nd)
+		for _, e := range ref.byUser[u] {
+			cnt[itemDomain[e.Item]]++
+		}
+		ref.userDomainCount[u] = cnt
+	}
+	return ref
+}
+
+// assertMatchesReference compares a Dataset against the reference
+// bit-for-bit: dedup winners (values AND times), profile ordering, means,
+// domain buckets and counts. Exact float equality throughout — the CSR
+// Build must sum in the same order the reference does.
+func assertMatchesReference(t *testing.T, ds *Dataset, ref refDataset) {
+	t.Helper()
+	if ds.NumRatings() != ref.numRatings {
+		t.Fatalf("NumRatings = %d, reference %d", ds.NumRatings(), ref.numRatings)
+	}
+	if ds.GlobalMean() != ref.globalMean {
+		t.Fatalf("GlobalMean = %v, reference %v", ds.GlobalMean(), ref.globalMean)
+	}
+	for u := 0; u < ds.NumUsers(); u++ {
+		got, want := ds.Items(UserID(u)), ref.byUser[u]
+		if len(got) != len(want) {
+			t.Fatalf("user %d profile length %d, reference %d", u, len(got), len(want))
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("user %d entry %d = %+v, reference %+v", u, k, got[k], want[k])
+			}
+		}
+		if ds.UserMean(UserID(u)) != ref.userMean[u] {
+			t.Fatalf("UserMean(%d) = %v, reference %v", u, ds.UserMean(UserID(u)), ref.userMean[u])
+		}
+	}
+	for i := 0; i < ds.NumItems(); i++ {
+		got, want := ds.Users(ItemID(i)), ref.byItem[i]
+		if len(got) != len(want) {
+			t.Fatalf("item %d profile length %d, reference %d", i, len(got), len(want))
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("item %d entry %d = %+v, reference %+v", i, k, got[k], want[k])
+			}
+		}
+		if ds.ItemMean(ItemID(i)) != ref.itemMean[i] {
+			t.Fatalf("ItemMean(%d) = %v, reference %v", i, ds.ItemMean(ItemID(i)), ref.itemMean[i])
+		}
+	}
+	for d := 0; d < ds.NumDomains(); d++ {
+		got, want := ds.ItemsInDomain(DomainID(d)), ref.itemsByDomain[d]
+		if len(got) != len(want) {
+			t.Fatalf("domain %d has %d items, reference %d", d, len(got), len(want))
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("domain %d item %d = %d, reference %d", d, k, got[k], want[k])
+			}
+		}
+		for u := 0; u < ds.NumUsers(); u++ {
+			if got := ds.UserRatingsInDomain(UserID(u), DomainID(d)); got != int(ref.userDomainCount[u][d]) {
+				t.Fatalf("UserRatingsInDomain(%d, %d) = %d, reference %d", u, d, got, ref.userDomainCount[u][d])
+			}
+		}
+	}
+}
+
+// randomBuilder returns a builder loaded with a random multi-domain trace
+// containing plenty of duplicate (user, item) pairs, duplicate timestamps
+// among duplicates (exercising the insertion-order tie-break), empty users
+// and empty items.
+func randomBuilder(rng *rand.Rand) *Builder {
+	b := NewBuilder()
+	nd := 1 + rng.Intn(3)
+	for d := 0; d < nd; d++ {
+		b.Domain(string(rune('p' + d)))
+	}
+	nu, ni := 1+rng.Intn(30), 1+rng.Intn(30)
+	for u := 0; u < nu; u++ {
+		b.User(fmt.Sprintf("u%d", u))
+	}
+	for i := 0; i < ni; i++ {
+		b.Item(fmt.Sprintf("i%d", i), DomainID(rng.Intn(nd)))
+	}
+	n := rng.Intn(300)
+	for k := 0; k < n; k++ {
+		// Small time range so duplicate pairs frequently tie on Time.
+		b.Add(UserID(rng.Intn(nu)), ItemID(rng.Intn(ni)), float64(1+rng.Intn(5)), int64(rng.Intn(8)))
+	}
+	return b
+}
+
+func TestBuildMatchesMapReference(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := randomBuilder(rng)
+		ref := buildReference(b.userNames, b.itemNames, b.itemDomain, b.domainNames,
+			append([]Rating(nil), b.ratings...))
+		assertMatchesReference(t, b.Build(), ref)
+	}
+}
+
+// Build must stay correct when called repeatedly with more ratings added in
+// between (the Builder reuse contract): the in-place sort of a previous
+// Build must not change later dedup outcomes.
+func TestRepeatedBuildMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	b := randomBuilder(rng)
+	b.Build()
+	nu, ni := len(b.userNames), len(b.itemNames)
+	for k := 0; k < 120; k++ {
+		b.Add(UserID(rng.Intn(nu)), ItemID(rng.Intn(ni)), float64(1+rng.Intn(5)), int64(rng.Intn(8)))
+	}
+	ref := buildReference(b.userNames, b.itemNames, b.itemDomain, b.domainNames,
+		append([]Rating(nil), b.ratings...))
+	assertMatchesReference(t, b.Build(), ref)
+}
+
+// Filter and WithRatings assemble datasets from the flat arrays without a
+// Builder round-trip; both must match the reference built from the
+// equivalent rating stream.
+func TestFilterMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := randomBuilder(rng)
+		ds := b.Build()
+		keep := func(r Rating) bool { return (int(r.User)+int(r.Item))%3 != 0 }
+		var kept []Rating
+		for _, r := range ds.AllRatings() {
+			if keep(r) {
+				kept = append(kept, r)
+			}
+		}
+		ref := buildReference(b.userNames, b.itemNames, b.itemDomain, b.domainNames, kept)
+		assertMatchesReference(t, ds.Filter(keep), ref)
+	}
+}
+
+func TestWithRatingsMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := randomBuilder(rng)
+		ds := b.Build()
+		nu, ni := ds.NumUsers(), ds.NumItems()
+		var extra []Rating
+		for k := 0; k < rng.Intn(80); k++ {
+			extra = append(extra, Rating{
+				User:  UserID(rng.Intn(nu)),
+				Item:  ItemID(rng.Intn(ni)),
+				Value: float64(1 + rng.Intn(5)),
+				Time:  int64(rng.Intn(8)),
+			})
+		}
+		// Reference stream: the deduplicated dataset first (insertion
+		// order), then the extras — exactly what the Builder round-trip did.
+		stream := append(ds.AllRatings(), extra...)
+		ref := buildReference(b.userNames, b.itemNames, b.itemDomain, b.domainNames, stream)
+		assertMatchesReference(t, ds.WithRatings(extra), ref)
+	}
+}
+
+func TestUserItemOffsets(t *testing.T) {
+	ds := buildSmall(t)
+	uo, io := ds.UserOffsets(), ds.ItemOffsets()
+	if len(uo) != ds.NumUsers()+1 || len(io) != ds.NumItems()+1 {
+		t.Fatalf("offset lengths = %d,%d", len(uo), len(io))
+	}
+	if uo[ds.NumUsers()] != int64(ds.NumRatings()) || io[ds.NumItems()] != int64(ds.NumRatings()) {
+		t.Fatalf("offset totals = %d,%d, want %d", uo[ds.NumUsers()], io[ds.NumItems()], ds.NumRatings())
+	}
+	for u := 0; u < ds.NumUsers(); u++ {
+		if int(uo[u+1]-uo[u]) != len(ds.Items(UserID(u))) {
+			t.Fatalf("user %d offset span %d != profile %d", u, uo[u+1]-uo[u], len(ds.Items(UserID(u))))
+		}
+	}
+	for i := 0; i < ds.NumItems(); i++ {
+		if int(io[i+1]-io[i]) != len(ds.Users(ItemID(i))) {
+			t.Fatalf("item %d offset span %d != profile %d", i, io[i+1]-io[i], len(ds.Users(ItemID(i))))
+		}
+	}
+}
+
+// Filter must invoke the keep predicate exactly once per rating: split
+// predicates are routinely stateful (an rng drawing the train/test coin),
+// and a second evaluation would silently corrupt the split.
+func TestFilterCallsKeepOncePerRating(t *testing.T) {
+	ds := buildSmall(t)
+	calls := 0
+	flip := false
+	split := ds.Filter(func(Rating) bool {
+		calls++
+		flip = !flip
+		return flip
+	})
+	if calls != ds.NumRatings() {
+		t.Fatalf("keep called %d times, want %d", calls, ds.NumRatings())
+	}
+	want := (ds.NumRatings() + 1) / 2
+	if split.NumRatings() != want {
+		t.Fatalf("alternating split kept %d, want %d", split.NumRatings(), want)
+	}
+}
+
+func TestDomainOverflowPanics(t *testing.T) {
+	b := NewBuilder()
+	for d := 0; d < int(NoDomain); d++ {
+		b.Domain(fmt.Sprintf("d%d", d))
+	}
+	if got := len(b.domainNames); got != 255 {
+		t.Fatalf("registered %d domains, want 255", got)
+	}
+	// Re-registering an existing name must still work at capacity.
+	if id := b.Domain("d17"); id != 17 {
+		t.Fatalf("existing domain lookup = %d, want 17", id)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic when domain 255 (the NoDomain sentinel) would be minted")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "too many domains") {
+			t.Fatalf("panic message %q does not explain the overflow", msg)
+		}
+	}()
+	b.Domain("one-too-many")
 }
 
 // Property: global mean equals the mean of all ratings; user/item means are

@@ -127,7 +127,7 @@ func (s *Service) handleRecommend(w http.ResponseWriter, r *http.Request) {
 			"no pipeline translating from domain %q", s.ds.DomainName(dom))
 		return
 	}
-	p := s.pipes[pi].Load()
+	p := s.pipes[pi].Load().p
 
 	hetero := make([]rec, 0, n)
 	for _, c := range p.Table().Candidates(id) {

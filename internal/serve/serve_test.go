@@ -613,3 +613,202 @@ func TestConcurrentRecommendWithInvalidation(t *testing.T) {
 		t.Fatal("no invalidations recorded")
 	}
 }
+
+// TestRecommendCanonicalizesProfile: permutations and duplicate-item
+// variants of the same profile are one logical query. They must hit the
+// same cache entry (no key splitting) and return the identical list —
+// and the unsorted spelling must not leak a non-sorted profile into
+// pipeline code that binary-searches the sorted-profile invariant.
+func TestRecommendCanonicalizesProfile(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	az, fwd, _ := fixture(t)
+
+	var profile []ratings.Entry
+	u := az.DS.Straddlers(az.Movies, az.Books)[0]
+	for _, e := range az.DS.Items(u) {
+		if az.DS.Domain(e.Item) == az.Movies {
+			profile = append(profile, e)
+		}
+	}
+	if len(profile) < 3 {
+		t.Fatal("straddler movie profile too small for the test")
+	}
+
+	canonical, cached, err := svc.Recommend(0, profile, 10)
+	if err != nil || cached {
+		t.Fatalf("canonical Recommend: cached=%v err=%v", cached, err)
+	}
+
+	// Reversed order: same content, different permutation.
+	rev := make([]ratings.Entry, len(profile))
+	for i, e := range profile {
+		rev[len(profile)-1-i] = e
+	}
+	got, cached, err := svc.Recommend(0, rev, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("permuted profile missed the canonical profile's cache entry")
+	}
+	if len(got) != len(canonical) {
+		t.Fatalf("permuted profile returned %d recs, canonical %d", len(got), len(canonical))
+	}
+	for i := range got {
+		if got[i] != canonical[i] {
+			t.Fatalf("permuted rec %d = %v, canonical %v", i, got[i], canonical[i])
+		}
+	}
+
+	// Duplicated items: a stale (older Time) duplicate of every entry is
+	// interleaved; dedup keeps the most recent, so the canonical form —
+	// hence the cache key and the list — is unchanged.
+	var dup []ratings.Entry
+	for _, e := range rev {
+		stale := e
+		stale.Time = e.Time - 1
+		stale.Value = 1 // would change the result if it survived dedup
+		dup = append(dup, stale, e)
+	}
+	got, cached, err = svc.Recommend(0, dup, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("duplicated profile missed the canonical profile's cache entry")
+	}
+	for i := range got {
+		if got[i] != canonical[i] {
+			t.Fatalf("deduped rec %d = %v, canonical %v", i, got[i], canonical[i])
+		}
+	}
+
+	// The caller's slices are never reordered in place.
+	if rev[0].Item != profile[len(profile)-1].Item {
+		t.Fatal("Recommend mutated the caller's profile slice")
+	}
+
+	// Exactly one computation and one cache entry behind all three calls.
+	if st := svc.Stats(); st.Computations != 1 {
+		t.Fatalf("computations = %d, want 1 (one logical profile)", st.Computations)
+	}
+	_ = fwd
+}
+
+// TestSwapDuringMiss hammers the miss path while SwapPipeline
+// continuously installs re-derived replacements. Under -race this pins
+// the snapshot contract: the cache key's epoch and the pipeline that
+// computes are taken from one atomic load, so every returned list is
+// exactly one pipeline's output — never a new fit's list under an old
+// fit's key or a torn mix.
+func TestSwapDuringMiss(t *testing.T) {
+	svc := newService(t, serve.Options{CacheSize: 64, CacheShards: 4})
+	az, fwd, _ := fixture(t)
+	users := az.DS.Straddlers(az.Movies, az.Books)
+	if len(users) > 8 {
+		users = users[:8]
+	}
+
+	cfg1 := fwd.Config()
+	cfg1.Alpha = 0
+	p1 := fwd.Derive(cfg1)
+	cfg2 := fwd.Config()
+	cfg2.Alpha = 0.9
+	p2 := fwd.Derive(cfg2)
+
+	// Every list a request may legitimately observe: the output of one of
+	// the three pipelines that are ever installed.
+	truth := make(map[ratings.UserID][][]sim.Scored, len(users))
+	for _, u := range users {
+		truth[u] = [][]sim.Scored{
+			fwd.RecommendForUser(u, 10),
+			p1.RecommendForUser(u, 10),
+			p2.RecommendForUser(u, 10),
+		}
+	}
+
+	stop := make(chan struct{})
+	var swapWG sync.WaitGroup
+	swapWG.Add(1)
+	go func() {
+		defer swapWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			next := p1
+			if i%2 == 1 {
+				next = p2
+			}
+			if err := svc.SwapPipeline(0, next); err != nil {
+				t.Errorf("SwapPipeline: %v", err)
+				return
+			}
+			if i%3 == 0 {
+				svc.InvalidatePipeline(0) // extra miss pressure
+			}
+		}
+	}()
+
+	const goroutines = 16
+	const iters = 60
+	matches := func(got []sim.Scored, want [][]sim.Scored) bool {
+	nextCandidate:
+		for _, w := range want {
+			if len(got) != len(w) {
+				continue
+			}
+			for j := range w {
+				if got[j] != w[j] {
+					continue nextCandidate
+				}
+			}
+			return true
+		}
+		return false
+	}
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				u := users[(g+i)%len(users)]
+				got, _, err := svc.RecommendForUser(0, u, 10)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !matches(got, truth[u]) {
+					errs <- fmt.Errorf("user %d: list matches no installed pipeline's output", u)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	swapWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// After the swapping settles, a fresh miss must serve the installed
+	// pipeline's list.
+	svc.InvalidateAll()
+	installed := svc.Pipeline(0)
+	got, cached, err := svc.RecommendForUser(0, users[0], 10)
+	if err != nil || cached {
+		t.Fatalf("post-swap query: cached=%v err=%v", cached, err)
+	}
+	want := installed.RecommendForUser(users[0], 10)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-swap rec %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -55,20 +55,33 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// pipeState is one pipeline slot's atomically-published state: the
+// pipeline together with its cache-key epoch. Publishing them as a single
+// pointer is what makes the serving paths race-free against SwapPipeline —
+// a request that loads the pointer once gets a pipeline and the epoch that
+// belongs to it, so it can never compute with one fit and publish under
+// another fit's cache key. (With separate atomics a request could read the
+// old epoch, then compute against a newly-swapped pipeline and cache the
+// new pipeline's list under the old epoch's key.)
+type pipeState struct {
+	p *core.Pipeline
+	// epoch counts hot swaps of this slot; it is part of every cache key,
+	// so a swap makes all previous entries (and any entry a stale
+	// in-flight computation may still put) unreachable at once.
+	epoch uint64
+}
+
 // Service serves recommendations from fitted pipelines. All methods are
 // safe for concurrent use: the underlying non-private pipelines are
 // read-only at serving time, private pipelines are serialized behind a
 // per-pipeline mutex (their rng is shared state), every cached list is
-// treated as immutable by both cache and handlers, and pipelines are
-// held behind atomic pointers so SwapPipeline can install a refitted
-// replacement without stopping traffic.
+// treated as immutable by both cache and handlers, and each pipeline is
+// held behind an atomic pointer (paired with its cache epoch) so
+// SwapPipeline can install a refitted replacement without stopping
+// traffic.
 type Service struct {
 	ds    *ratings.Dataset
-	pipes []atomic.Pointer[core.Pipeline]
-	// epoch[i] counts hot swaps of pipeline i; it is part of every cache
-	// key, so a swap makes all previous entries (and any entry a stale
-	// in-flight computation may still put) unreachable at once.
-	epoch []atomic.Uint64
+	pipes []atomic.Pointer[pipeState]
 	// pipeMu[i] is held around calls into pipes[i] when that pipeline is
 	// private; non-private pipelines are lock-free.
 	pipeMu []sync.Mutex
@@ -116,15 +129,14 @@ func New(ds *ratings.Dataset, pipes []*core.Pipeline, opt Options) (*Service, er
 	opt = opt.withDefaults()
 	s := &Service{
 		ds:     ds,
-		pipes:  make([]atomic.Pointer[core.Pipeline], len(pipes)),
-		epoch:  make([]atomic.Uint64, len(pipes)),
+		pipes:  make([]atomic.Pointer[pipeState], len(pipes)),
 		pipeMu: make([]sync.Mutex, len(pipes)),
 		cache:  newResultCache(opt.CacheSize, opt.CacheShards),
 		limit:  engine.NewLimiter(opt.Workers),
 		opt:    opt,
 	}
 	for i, p := range pipes {
-		s.pipes[i].Store(p)
+		s.pipes[i].Store(&pipeState{p: p})
 	}
 	s.buildIndexes()
 	return s, nil
@@ -151,7 +163,7 @@ func (s *Service) Dataset() *ratings.Dataset { return s.ds }
 func (s *Service) NumPipelines() int { return len(s.pipes) }
 
 // Pipeline returns the current i-th pipeline (read-only use).
-func (s *Service) Pipeline(i int) *core.Pipeline { return s.pipes[i].Load() }
+func (s *Service) Pipeline(i int) *core.Pipeline { return s.pipes[i].Load().p }
 
 // SwapPipeline atomically installs a refitted (or re-derived)
 // replacement for pipeline i and makes every cache entry the old
@@ -174,20 +186,21 @@ func (s *Service) SwapPipeline(i int, p *core.Pipeline) error {
 		return errors.New("serve: replacement pipeline was fitted on a different dataset")
 	}
 	old := s.pipes[i].Load()
-	if p.Source() != old.Source() || p.Target() != old.Target() {
+	if p.Source() != old.p.Source() || p.Target() != old.p.Target() {
 		return fmt.Errorf("serve: replacement serves %s→%s, pipeline %d serves %s→%s",
 			s.ds.DomainName(p.Source()), s.ds.DomainName(p.Target()), i,
-			s.ds.DomainName(old.Source()), s.ds.DomainName(old.Target()))
+			s.ds.DomainName(old.p.Source()), s.ds.DomainName(old.p.Target()))
 	}
 	for j := range s.pipes {
-		if j != i && s.pipes[j].Load() == p {
+		if j != i && s.pipes[j].Load().p == p {
 			return fmt.Errorf("serve: replacement already serves as pipeline %d", j)
 		}
 	}
-	s.pipes[i].Store(p)
-	// Ordering matters: the store above happens before the epoch bump, so
-	// any request that reads the new epoch also reads the new pipeline.
-	s.epoch[i].Add(1)
+	// One atomic store publishes the pipeline and its bumped epoch
+	// together: no request can observe the new pipeline under the old
+	// epoch or vice versa. The load→store read-modify-write of the epoch
+	// is safe because swapMu serializes all swaps.
+	s.pipes[i].Store(&pipeState{p: p, epoch: old.epoch + 1})
 	s.InvalidatePipeline(i) // reclaim the old epoch's entries eagerly
 	return nil
 }
@@ -196,7 +209,7 @@ func (s *Service) SwapPipeline(i int, p *core.Pipeline) error {
 // given domain (its Source), for item queries originating there.
 func (s *Service) PipelineFrom(dom ratings.DomainID) (int, bool) {
 	for i := range s.pipes {
-		if s.pipes[i].Load().Source() == dom {
+		if s.pipes[i].Load().p.Source() == dom {
 			return i, true
 		}
 	}
@@ -207,7 +220,7 @@ func (s *Service) PipelineFrom(dom ratings.DomainID) (int, bool) {
 // given domain (its Target), for explain queries about items there.
 func (s *Service) PipelineInto(dom ratings.DomainID) (int, bool) {
 	for i := range s.pipes {
-		if s.pipes[i].Load().Target() == dom {
+		if s.pipes[i].Load().p.Target() == dom {
 			return i, true
 		}
 	}
@@ -307,17 +320,20 @@ func (s *Service) checkPipe(pipe int) error {
 	return nil
 }
 
-// withPipeline runs fn against the current pipeline inside a worker
-// slot, serializing if the pipeline is private (shared rng). Every
-// computation that touches a pipeline goes through here so the
-// admission and serialization policy lives in one place.
+// withPipeline runs fn against the given pipeline snapshot inside a
+// worker slot, serializing if the pipeline is private (shared rng). The
+// caller passes the pipeline it snapshotted (typically together with the
+// epoch its cache key was derived from) rather than re-loading the slot,
+// so a concurrent SwapPipeline cannot slip a different fit between the
+// key derivation and the computation. Every computation that touches a
+// pipeline goes through here so the admission and serialization policy
+// lives in one place.
 //
 // Lock order: pipeMu before the limiter slot. A queued private request
 // waits on the mutex without occupying a slot; taking the slot first
 // would let a burst of private-pipeline requests hold every slot while
 // blocked, starving lock-free pipelines of workers.
-func (s *Service) withPipeline(pipe int, fn func(p *core.Pipeline)) {
-	p := s.pipes[pipe].Load()
+func (s *Service) withPipeline(pipe int, p *core.Pipeline, fn func(p *core.Pipeline)) {
 	if p.Config().Private {
 		s.pipeMu[pipe].Lock()
 		defer s.pipeMu[pipe].Unlock()
@@ -326,9 +342,9 @@ func (s *Service) withPipeline(pipe int, fn func(p *core.Pipeline)) {
 }
 
 // compute is withPipeline for the common scored-list result shape.
-func (s *Service) compute(pipe int, fn func(p *core.Pipeline) []sim.Scored) []sim.Scored {
+func (s *Service) compute(pipe int, p *core.Pipeline, fn func(p *core.Pipeline) []sim.Scored) []sim.Scored {
 	var out []sim.Scored
-	s.withPipeline(pipe, func(p *core.Pipeline) { out = fn(p) })
+	s.withPipeline(pipe, p, func(p *core.Pipeline) { out = fn(p) })
 	return out
 }
 
@@ -377,7 +393,7 @@ func (g *flightGroup) do(key cacheKey, fn func() []sim.Scored) []sim.Scored {
 // cache first: a caller that missed, then lost the CPU across a whole
 // leader lifetime (compute, put, flight cleanup), would otherwise become
 // a second leader and recompute a list the cache already holds.
-func (s *Service) missCompute(key cacheKey, fn func(p *core.Pipeline) []sim.Scored) []sim.Scored {
+func (s *Service) missCompute(key cacheKey, p *core.Pipeline, fn func(p *core.Pipeline) []sim.Scored) []sim.Scored {
 	return s.flights.do(key, func() []sim.Scored {
 		if recs, ok := s.cache.peek(key); ok {
 			return recs
@@ -388,7 +404,7 @@ func (s *Service) missCompute(key cacheKey, fn func(p *core.Pipeline) []sim.Scor
 		// undone by an in-flight miss.
 		gen := s.cache.gen.Load()
 		s.ctr.computations.Add(1)
-		recs := s.compute(key.pipe, fn)
+		recs := s.compute(key.pipe, p, fn)
 		s.cache.putIfGen(key, recs, gen)
 		return recs
 	})
@@ -398,21 +414,29 @@ func (s *Service) missCompute(key cacheKey, fn func(p *core.Pipeline) []sim.Scor
 // profile through pipeline pipe, consulting the cache first. cached
 // reports whether the list came from the cache. The returned slice is
 // shared with the cache: treat it as read-only.
+//
+// The profile is canonicalized first (sorted by ItemID, duplicate items
+// collapsed to the most recent entry): downstream pipeline code
+// binary-searches the sorted-profile invariant, and the cache key is the
+// profile's content hash — without canonicalization every permutation of
+// the same profile would compute and cache its own entry.
 func (s *Service) Recommend(pipe int, profile []ratings.Entry, n int) (recs []sim.Scored, cached bool, err error) {
 	if err := s.checkPipe(pipe); err != nil {
 		return nil, false, err
 	}
+	profile = ratings.CanonicalEntries(profile)
 	for _, e := range profile {
 		if e.Item < 0 || int(e.Item) >= s.ds.NumItems() {
 			return nil, false, fmt.Errorf("serve: profile references unknown item %d", e.Item)
 		}
 	}
 	n = s.clampN(n)
-	key := cacheKey{pipe: pipe, epoch: s.epoch[pipe].Load(), kind: kindProfile, hash: profileHash(profile), n: n}
+	st := s.pipes[pipe].Load()
+	key := cacheKey{pipe: pipe, epoch: st.epoch, kind: kindProfile, hash: profileHash(profile), n: n}
 	if recs, ok := s.cache.get(key); ok {
 		return recs, true, nil
 	}
-	recs = s.missCompute(key, func(p *core.Pipeline) []sim.Scored {
+	recs = s.missCompute(key, st.p, func(p *core.Pipeline) []sim.Scored {
 		ego := p.AlterEgoFromProfile(profile, nil)
 		return p.Recommend(ego, n)
 	})
@@ -430,11 +454,12 @@ func (s *Service) RecommendForUser(pipe int, u ratings.UserID, n int) (recs []si
 		return nil, false, fmt.Errorf("serve: user %d out of range", u)
 	}
 	n = s.clampN(n)
-	key := cacheKey{pipe: pipe, epoch: s.epoch[pipe].Load(), kind: kindUser, hash: userHash(u), n: n}
+	st := s.pipes[pipe].Load()
+	key := cacheKey{pipe: pipe, epoch: st.epoch, kind: kindUser, hash: userHash(u), n: n}
 	if recs, ok := s.cache.get(key); ok {
 		return recs, true, nil
 	}
-	recs = s.missCompute(key, func(p *core.Pipeline) []sim.Scored {
+	recs = s.missCompute(key, st.p, func(p *core.Pipeline) []sim.Scored {
 		return p.RecommendForUser(u, n)
 	})
 	return recs, false, nil
@@ -480,7 +505,7 @@ func (s *Service) Explain(pipe int, u ratings.UserID, item ratings.ItemID) ([]Ex
 		return nil, fmt.Errorf("serve: item %d out of range", item)
 	}
 	var out []Explanation
-	s.withPipeline(pipe, func(p *core.Pipeline) {
+	s.withPipeline(pipe, s.pipes[pipe].Load().p, func(p *core.Pipeline) {
 		ego := p.AlterEgo(u)
 		for _, c := range p.Explain(ego, item, eval.MaxTime(ego)) {
 			out = append(out, Explanation{

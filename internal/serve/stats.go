@@ -91,7 +91,7 @@ func (s *Service) Stats() StatsSnapshot {
 		snap.Requests[endpointNames[ep]] = s.ctr.requests[ep].Load()
 	}
 	for i := range s.pipes {
-		p := s.pipes[i].Load()
+		p := s.pipes[i].Load().p
 		cfg := p.Config()
 		snap.Pipelines = append(snap.Pipelines, PipelineInfo{
 			Source:  s.ds.DomainName(p.Source()),

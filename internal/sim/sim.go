@@ -136,15 +136,11 @@ func ComputePairs(ds *ratings.Dataset, opt Options) *Pairs {
 	// Precompute per-observation centered values and like bits, aligned
 	// with X_u (profile side, the inner loop) and with Y_i (rater side,
 	// the outer loop), plus each rater-side observation's position inside
-	// the rater's profile (where the j > i tail starts).
-	userOff := make([]int64, numUsers+1)
-	for u := 0; u < numUsers; u++ {
-		userOff[u+1] = userOff[u] + int64(len(ds.Items(ratings.UserID(u))))
-	}
-	itemOff := make([]int64, numItems+1)
-	for i := 0; i < numItems; i++ {
-		itemOff[i+1] = itemOff[i] + int64(len(ds.Users(ratings.ItemID(i))))
-	}
+	// the rater's profile (where the j > i tail starts). The dataset
+	// stores both indexes CSR, so its own offset arrays are the flat
+	// per-observation indexing — no re-derivation.
+	userOff := ds.UserOffsets()
+	itemOff := ds.ItemOffsets()
 	nObs := userOff[numUsers]
 	profCent := make([]float64, nObs)
 	profLike := make([]bool, nObs)

@@ -102,16 +102,35 @@ func Extend(g *graph.Graph, opt Options) *Table {
 	legsDst := computeLegs(g, g.Target(), opt)
 
 	// Invert target legs: for each BB_T item, the legs that reach it.
+	// Counting-sort transpose straight into CSR (count per BB endpoint,
+	// prefix-sum, scatter) — rows are born in the same ascending-target
+	// order the old per-item appends produced, with two allocations
+	// instead of one slice per touched endpoint.
 	type incoming struct {
 		from ratings.ItemID
 		leg  leg
 	}
-	inLegs := make([][]incoming, ds.NumItems())
-	for _, j := range ds.ItemsInDomain(g.Target()) {
+	numItems := ds.NumItems()
+	tgtItems := ds.ItemsInDomain(g.Target())
+	inOff := make([]int64, numItems+1)
+	for _, j := range tgtItems {
 		for _, l := range legsDst[j] {
-			inLegs[l.to] = append(inLegs[l.to], incoming{from: j, leg: l})
+			inOff[l.to+1]++
 		}
 	}
+	for i := 0; i < numItems; i++ {
+		inOff[i+1] += inOff[i]
+	}
+	inArr := make([]incoming, inOff[numItems])
+	inCur := make([]int64, numItems)
+	copy(inCur, inOff[:numItems])
+	for _, j := range tgtItems {
+		for _, l := range legsDst[j] {
+			inArr[inCur[l.to]] = incoming{from: j, leg: l}
+			inCur[l.to]++
+		}
+	}
+	inLegs := scratch.CSR[incoming]{Edges: inArr, Off: inOff}
 
 	// Cross-domain composition, parallel over source items: each worker
 	// owns a dense accumulator indexed by target item and gathers one
@@ -132,7 +151,7 @@ func Extend(g *graph.Graph, opt Options) *Table {
 					}
 					crossWS := float64(e.Sig) * e.Sim
 					crossS := float64(e.Sig)
-					for _, in := range inLegs[e.To] {
+					for _, in := range inLegs.Row(int32(e.To)) {
 						c := a.c * ce * in.leg.c
 						if c <= opt.MinCert || c == 0 {
 							continue
@@ -162,43 +181,85 @@ func Extend(g *graph.Graph, opt Options) *Table {
 		}
 	})
 
-	// Assemble forward and reverse row sets and count distinct
-	// heterogeneous pairs. Truncated rows are TopK-prefixes of the sorted
-	// full rows, so with KeepFull only the full CSRs are materialized and
-	// Forward/Reverse slice them on read; without it the rows are
-	// truncated before storage.
-	fwd := make([][]ExtEdge, ds.NumItems())
-	revAcc := make([][]ExtEdge, ds.NumItems())
-	for idx, i := range srcItems {
-		row := rows[idx]
-		t.numPairs += len(row)
-		for _, e := range row {
-			revAcc[e.To] = append(revAcc[e.To], ExtEdge{To: i, Sim: e.Sim, Cert: e.Cert})
+	// Assemble forward and reverse CSRs and count distinct heterogeneous
+	// pairs. The forward table copies the worker rows straight into flat
+	// storage; the reverse table is a counting-sort transpose of the same
+	// rows (count in-degrees, prefix-sum, scatter walking source rows in
+	// ascending order — each reverse row receives its edges in ascending
+	// source order, exactly the order the old per-item appends produced),
+	// then each reverse row is sorted by X-Sim in parallel. Truncated rows
+	// are TopK-prefixes of the sorted full rows, so with KeepFull only the
+	// full CSRs are materialized and Forward/Reverse slice them on read;
+	// without it rows are truncated as they are compacted into storage.
+	trunc := func(n int) int {
+		if !opt.KeepFull && opt.TopK > 0 && n > opt.TopK {
+			return opt.TopK
 		}
-		if !opt.KeepFull && opt.TopK > 0 && len(row) > opt.TopK {
-			row = row[:opt.TopK]
-		}
-		fwd[i] = row
+		return n
 	}
-	for j := range revAcc {
-		row := revAcc[j]
-		if row == nil {
-			continue
+	fwdOff := make([]int64, numItems+1)
+	revOff := make([]int64, numItems+1)
+	for idx, row := range rows {
+		t.numPairs += len(row)
+		fwdOff[srcItems[idx]+1] = int64(trunc(len(row)))
+		for _, e := range row {
+			revOff[e.To+1]++
 		}
-		sortExt(row)
-		if !opt.KeepFull && opt.TopK > 0 && len(row) > opt.TopK {
-			row = row[:opt.TopK]
+	}
+	for i := 0; i < numItems; i++ {
+		fwdOff[i+1] += fwdOff[i]
+		revOff[i+1] += revOff[i]
+	}
+	fwdArr := make([]ExtEdge, fwdOff[numItems])
+	revFull := make([]ExtEdge, revOff[numItems])
+	revCur := make([]int64, numItems)
+	copy(revCur, revOff[:numItems])
+	for idx, row := range rows {
+		i := srcItems[idx]
+		copy(fwdArr[fwdOff[i]:fwdOff[i+1]], row)
+		for _, e := range row {
+			revFull[revCur[e.To]] = ExtEdge{To: i, Sim: e.Sim, Cert: e.Cert}
+			revCur[e.To]++
 		}
-		revAcc[j] = row
+	}
+	engine.ParallelFor(numItems, opt.Workers, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			sortExt(revFull[revOff[j]:revOff[j+1]])
+		}
+	})
+	fwdCSR := scratch.CSR[ExtEdge]{Edges: fwdArr, Off: fwdOff}
+	revCSR := scratch.CSR[ExtEdge]{Edges: revFull, Off: revOff}
+	if !opt.KeepFull && opt.TopK > 0 {
+		revCSR = truncCSR(revCSR, opt.TopK)
 	}
 	if opt.KeepFull {
-		t.fwdFull = scratch.BuildCSR(fwd)
-		t.revFull = scratch.BuildCSR(revAcc)
+		t.fwdFull, t.revFull = fwdCSR, revCSR
 	} else {
-		t.fwd = scratch.BuildCSR(fwd)
-		t.rev = scratch.BuildCSR(revAcc)
+		t.fwd, t.rev = fwdCSR, revCSR
 	}
 	return t
+}
+
+// truncCSR compacts a CSR to at most k edges per row (rows are already
+// sorted best-first, so the prefix is the kept set).
+func truncCSR(c scratch.CSR[ExtEdge], k int) scratch.CSR[ExtEdge] {
+	n := c.NumRows()
+	off := make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		l := c.Off[i+1] - c.Off[i]
+		if l > int64(k) {
+			l = int64(k)
+		}
+		off[i+1] = off[i] + l
+	}
+	if off[n] == int64(len(c.Edges)) {
+		return c // nothing truncated
+	}
+	edges := make([]ExtEdge, off[n])
+	for i := 0; i < n; i++ {
+		copy(edges[off[i]:off[i+1]], c.Edges[c.Off[i]:c.Off[i]+(off[i+1]-off[i])])
+	}
+	return scratch.CSR[ExtEdge]{Edges: edges, Off: off}
 }
 
 // truncRow applies the table's TopK bound to a full row.
