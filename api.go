@@ -1,6 +1,7 @@
 package xmap
 
 import (
+	"context"
 	"io"
 
 	"xmap/internal/core"
@@ -61,6 +62,52 @@ type (
 	ServeStats = serve.StatsSnapshot
 	// Explanation is one "because your AlterEgo liked …" row.
 	Explanation = serve.Explanation
+
+	// Request is one typed recommendation question (API v2): a user name
+	// or an explicit profile, plus per-request knobs and (source, target)
+	// domain selectors. Answered by Service.Do / Service.DoBatch and
+	// POST /api/v2/recommend.
+	Request = serve.Request
+	// RequestEntry is one profile item in a Request (by name or dense ID).
+	RequestEntry = serve.RequestEntry
+	// Response answers a Request: scored items plus the identity of the
+	// pipeline that answered (domain pair, slot, fit epoch) and cache
+	// metadata.
+	Response = serve.Response
+	// ScoredItem is one recommended item in a Response.
+	ScoredItem = serve.ScoredItem
+	// BatchResult is one element of a Service.DoBatch answer.
+	BatchResult = serve.BatchResult
+	// PipelineStatus is one row of GET /api/v2/pipelines: pair identity
+	// plus fitted-structure diagnostics.
+	PipelineStatus = serve.PipelineStatus
+
+	// FitOptions carries a fit's cross-cutting knobs (progress callbacks;
+	// cancellation comes from FitWithOptions' ctx).
+	FitOptions = core.FitOptions
+	// DomainPair names one (source, target) direction for FitPairs and
+	// pair-keyed serving.
+	DomainPair = core.DomainPair
+)
+
+// Sentinel errors of the serving API. Every error a Service method
+// returns wraps exactly one of these; dispatch with errors.Is. The HTTP
+// layer maps them to stable status codes and machine-readable code
+// strings (serve.HTTPStatus).
+var (
+	// ErrInvalidRequest marks a malformed Request (no user and no
+	// profile, both at once, unknown domain selector, bad profile entry).
+	ErrInvalidRequest = serve.ErrInvalidRequest
+	// ErrUnknownUser marks a user the dataset does not know.
+	ErrUnknownUser = serve.ErrUnknownUser
+	// ErrUnknownItem marks an item the catalog does not know.
+	ErrUnknownItem = serve.ErrUnknownItem
+	// ErrNoPipeline marks a domain pair (or legacy slot index) no fitted
+	// pipeline serves.
+	ErrNoPipeline = serve.ErrNoPipeline
+	// ErrOverloaded marks admission-control rejection: the request's ctx
+	// was cancelled or its deadline expired while queued.
+	ErrOverloaded = serve.ErrOverloaded
 )
 
 // Recommendation modes.
@@ -82,6 +129,20 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // (source, target) domain pair and returns a serving pipeline.
 func Fit(ds *Dataset, source, target DomainID, cfg Config) *Pipeline {
 	return core.Fit(ds, source, target, cfg)
+}
+
+// FitWithOptions is Fit with cancellation (ctx is checked at phase
+// boundaries) and per-phase progress reporting.
+func FitWithOptions(ctx context.Context, ds *Dataset, source, target DomainID, cfg Config, opt FitOptions) (*Pipeline, error) {
+	return core.FitWithOptions(ctx, ds, source, target, cfg, opt)
+}
+
+// FitPairs fits one pipeline per (source, target) pair in parallel — the
+// multi-pair deployment path feeding NewService and hot swaps. Pipelines
+// are returned in pair order; the first fit error (or ctx cancellation)
+// abandons the remaining fits at their next phase boundary.
+func FitPairs(ctx context.Context, ds *Dataset, pairs []DomainPair, cfg Config) ([]*Pipeline, error) {
+	return core.FitPairs(ctx, ds, pairs, cfg)
 }
 
 // GenerateAmazonLike produces a synthetic two-domain trace with the same

@@ -1,0 +1,174 @@
+// apicheck is the repo's apidiff-style compatibility gate: API.txt is the
+// checked-in manifest of the root package's exported symbols, and this
+// test fails CI when the two drift apart in a way that breaks adopters:
+//
+//   - a new exported symbol must be added to API.txt (keeps the manifest,
+//     and therefore review, honest about surface growth);
+//   - an exported symbol may only disappear if its manifest line was
+//     already annotated "(deprecated)" — i.e. it shipped at least one
+//     release with a Deprecated: doc comment pointing at the replacement;
+//   - the manifest's "(deprecated)" annotations and the code's
+//     "Deprecated:" doc comments must agree while the symbol exists.
+//
+// To deprecate: add "Deprecated: use X." to the doc comment AND append
+// " (deprecated)" to the manifest line. To remove (a later PR): delete
+// the symbol and its manifest line together — the gate allows removal
+// only from the deprecated state.
+package xmap_test
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// exportedSymbols parses the root package's non-test files and returns
+// exported package-level identifiers mapped to whether their doc comment
+// carries a "Deprecated:" marker.
+func exportedSymbols(t *testing.T) map[string]bool {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["xmap"]
+	if !ok {
+		t.Fatalf("root package xmap not found (got %v)", pkgs)
+	}
+	deprecated := func(groups ...*ast.CommentGroup) bool {
+		for _, g := range groups {
+			if g != nil && strings.Contains(g.Text(), "Deprecated:") {
+				return true
+			}
+		}
+		return false
+	}
+	out := make(map[string]bool)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil && d.Name.IsExported() {
+					out[d.Name.Name] = deprecated(d.Doc)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.IsExported() {
+							out[sp.Name.Name] = deprecated(sp.Doc, sp.Comment, d.Doc)
+						}
+					case *ast.ValueSpec:
+						for _, name := range sp.Names {
+							if name.IsExported() {
+								out[name.Name] = deprecated(sp.Doc, sp.Comment, d.Doc)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// readManifest parses API.txt: one symbol per line, optionally suffixed
+// " (deprecated)"; blank lines and #-comments are ignored.
+func readManifest(t *testing.T) map[string]bool {
+	t.Helper()
+	f, err := os.Open("API.txt")
+	if err != nil {
+		t.Fatalf("API.txt missing: %v (regenerate it from the list this test prints on mismatch)", err)
+	}
+	defer f.Close()
+	out := make(map[string]bool)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, dep := line, false
+		if strings.HasSuffix(line, " (deprecated)") {
+			name, dep = strings.TrimSuffix(line, " (deprecated)"), true
+		}
+		if prev, exists := out[name]; exists && prev != dep {
+			t.Fatalf("API.txt lists %s twice with conflicting annotations", name)
+		}
+		out[name] = dep
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestExportedAPIMatchesManifest(t *testing.T) {
+	code := exportedSymbols(t)
+	manifest := readManifest(t)
+
+	var problems []string
+	for name, dep := range code {
+		mDep, listed := manifest[name]
+		switch {
+		case !listed:
+			problems = append(problems, fmt.Sprintf(
+				"new exported symbol %s: add %q to API.txt", name, manifestLine(name, dep)))
+		case dep && !mDep:
+			problems = append(problems, fmt.Sprintf(
+				"%s has a Deprecated: doc comment; annotate its API.txt line as %q", name, manifestLine(name, true)))
+		case !dep && mDep:
+			problems = append(problems, fmt.Sprintf(
+				"API.txt marks %s deprecated but its doc comment has no Deprecated: marker", name))
+		}
+	}
+	for name, mDep := range manifest {
+		if _, exists := code[name]; exists {
+			continue
+		}
+		if mDep {
+			t.Logf("note: deprecated symbol %s has been removed; delete its API.txt line", name)
+			continue
+		}
+		problems = append(problems, fmt.Sprintf(
+			"exported symbol %s was removed without a deprecation cycle: "+
+				"mark it Deprecated: (code + API.txt) for one release before deleting it", name))
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			t.Error(p)
+		}
+		t.Logf("current exported surface:\n%s", renderManifest(code))
+	}
+}
+
+func manifestLine(name string, deprecated bool) string {
+	if deprecated {
+		return name + " (deprecated)"
+	}
+	return name
+}
+
+func renderManifest(code map[string]bool) string {
+	names := make([]string, 0, len(code))
+	for name := range code {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		b.WriteString(manifestLine(name, code[name]))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -6,8 +6,14 @@
 package xmap_test
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -444,6 +450,115 @@ func serveBenchUser(b *testing.B, svc *serve.Service) ratings.UserID {
 	b.Helper()
 	f := micro(b)
 	return f.az.DS.Straddlers(f.az.Movies, f.az.Books)[0]
+}
+
+// --- API v2 batch-vs-single benchmarks ---
+//
+// The pair below measures the satellite claim behind POST /api/v2/
+// recommend's batch-first design: answering 64 user queries as one batch
+// body versus 64 sequential single-request calls over real HTTP. The
+// cache is pre-warmed, so the delta is pure per-request overhead
+// (connection handling, JSON envelopes, handler dispatch) — the cost the
+// batch body amortizes.
+
+const benchBatchSize = 64
+
+func batchBenchSetup(b *testing.B) (*httptest.Server, [][]byte, []byte) {
+	b.Helper()
+	f := micro(b)
+	svc, err := serve.New(f.az.DS, []*core.Pipeline{f.pipe}, serve.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	users := f.az.DS.Straddlers(f.az.Movies, f.az.Books)
+	reqs := make([]xmap.Request, benchBatchSize)
+	singles := make([][]byte, benchBatchSize)
+	for i := range reqs {
+		reqs[i] = xmap.Request{User: f.az.DS.UserName(users[i%len(users)]), N: 10}
+		body, err := json.Marshal(reqs[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		singles[i] = body
+	}
+	batch, err := json.Marshal(reqs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, res := range svc.DoBatch(context.Background(), reqs) { // warm the cache
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+	ts := httptest.NewServer(svc.Handler())
+	b.Cleanup(ts.Close)
+	return ts, singles, batch
+}
+
+func postBench(b *testing.B, client *http.Client, url string, body []byte) {
+	b.Helper()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkHTTPRecommendSingles answers 64 user queries as 64 sequential
+// single-request POSTs — the per-iteration cost is the whole 64-call
+// conversation, directly comparable to BenchmarkHTTPRecommendBatch.
+func BenchmarkHTTPRecommendSingles(b *testing.B) {
+	ts, singles, _ := batchBenchSetup(b)
+	client := ts.Client()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, body := range singles {
+			postBench(b, client, ts.URL+"/api/v2/recommend", body)
+		}
+	}
+	b.ReportMetric(float64(benchBatchSize), "requests/op")
+}
+
+// BenchmarkHTTPRecommendBatch answers the same 64 user queries as one
+// batch body on one POST.
+func BenchmarkHTTPRecommendBatch(b *testing.B) {
+	ts, _, batch := batchBenchSetup(b)
+	client := ts.Client()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postBench(b, client, ts.URL+"/api/v2/recommend", batch)
+	}
+	b.ReportMetric(float64(benchBatchSize), "requests/op")
+}
+
+// BenchmarkDoBatch is the Go-API twin: DoBatch fanning 64 warm queries
+// across the worker pool, versus 64 sequential Do calls.
+func BenchmarkDoBatch(b *testing.B) {
+	f := micro(b)
+	svc, err := serve.New(f.az.DS, []*core.Pipeline{f.pipe}, serve.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	users := f.az.DS.Straddlers(f.az.Movies, f.az.Books)
+	reqs := make([]xmap.Request, benchBatchSize)
+	for i := range reqs {
+		reqs[i] = xmap.Request{User: f.az.DS.UserName(users[i%len(users)]), N: 10}
+	}
+	svc.DoBatch(context.Background(), reqs) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, res := range svc.DoBatch(context.Background(), reqs) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
 }
 
 func BenchmarkSplitStraddlers(b *testing.B) {

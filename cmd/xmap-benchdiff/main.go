@@ -1,14 +1,28 @@
 // Command xmap-benchdiff is the CI regression gate over BENCH.json
-// reports (benchstat for the repo's own report format): it compares the
-// fresh report against the previous run's archived baseline and fails the
-// job when a tracked series regresses beyond the threshold.
+// reports (benchstat for the repo's own report format): it compares
+// fresh report samples against the previous run's archived baseline and
+// fails the job when a tracked series regresses beyond the threshold.
 //
 // Usage:
 //
 //	xmap-benchdiff -old baseline/BENCH.json -new BENCH.json
+//	xmap-benchdiff -old b1.json,b2.json,b3.json -new f1.json,f2.json,f3.json
 //	xmap-benchdiff -old a.json -new b.json -threshold 20 -min-seconds 0.05
 //
-// Two series are gated:
+// Both -old and -new accept comma-separated lists of report files; each
+// file is one independent sample of every series. With one sample per
+// side the gate is a plain threshold on the values (the legacy, noisy
+// mode). With two or more samples per side the gate is variance-aware,
+// benchstat-style: a wall-clock or ns/op series only fails when the
+// median regresses beyond -threshold AND the Mann-Whitney U test finds
+// the two sample sets distinguishable at -alpha — a single noisy CI run
+// can no longer fail the gate, and thresholds can be tightened without
+// false alarms. Median regressions beyond the threshold that are not
+// significant are reported as "suspect" but do not fail. (With 3 samples
+// per side the smallest achievable two-sided p is 0.1, hence the 0.1
+// default for -alpha; gather 4+ samples to gate at 0.05.)
+//
+// Two kinds of series are gated:
 //
 //   - per-experiment wall-clock seconds (the fit-dominated experiment
 //     drivers), for experiments present in both reports at the same scale
@@ -18,11 +32,12 @@
 //     which are iteration-averaged by testing.Benchmark and therefore
 //     gated regardless of magnitude. *_allocs_op metrics must not grow at
 //     all beyond slack: allocation counts are deterministic, so a jump is
-//     a code change, not noise.
+//     a code change, not noise — they fail on median delta alone, no
+//     significance test needed.
 //
 // Exit status: 0 when nothing regressed, 1 on regression, 2 on usage or
-// decode errors. Improvements and skipped entries are reported but never
-// fail the gate.
+// decode errors. Improvements, suspects and skipped entries are reported
+// but never fail the gate.
 package main
 
 import (
@@ -48,99 +63,147 @@ type report struct {
 	Results []record `json:"results"`
 }
 
-func load(path string) (map[string]record, error) {
-	buf, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
+// sampleSet is one gated series on one side of the comparison: the
+// sample values across report files plus the scale/seed identity they
+// must agree on to be comparable.
+type sampleSet struct {
+	scale    string
+	seed     int64
+	vals     []float64
+	mismatch bool // scale/seed changed between samples of this side
+}
+
+// loadSide reads every report file of one side and aggregates per-series
+// samples. Series names: "<experiment>/seconds" and
+// "<experiment>/<metric>" for gated metric suffixes.
+func loadSide(paths []string) (map[string]*sampleSet, error) {
+	series := make(map[string]*sampleSet)
+	add := func(name, scale string, seed int64, v float64) {
+		ss, ok := series[name]
+		if !ok {
+			series[name] = &sampleSet{scale: scale, seed: seed, vals: []float64{v}}
+			return
+		}
+		if ss.scale != scale || ss.seed != seed {
+			ss.mismatch = true
+			return
+		}
+		ss.vals = append(ss.vals, v)
 	}
-	var r report
-	if err := json.Unmarshal(buf, &r); err != nil {
-		return nil, fmt.Errorf("%s: %v", path, err)
+	for _, path := range paths {
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var r report
+		if err := json.Unmarshal(buf, &r); err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		for _, rec := range r.Results {
+			add(rec.Experiment+"/seconds", rec.Scale, rec.Seed, rec.Seconds)
+			for metric, v := range rec.Metrics {
+				if strings.HasSuffix(metric, "_ns_op") || strings.HasSuffix(metric, "_allocs_op") {
+					add(rec.Experiment+"/"+metric, rec.Scale, rec.Seed, v)
+				}
+			}
+		}
 	}
-	out := make(map[string]record, len(r.Results))
-	for _, rec := range r.Results {
-		out[rec.Experiment] = rec
-	}
-	return out, nil
+	return series, nil
 }
 
 func main() {
 	var (
-		oldPath    = flag.String("old", "", "baseline BENCH.json (previous run)")
-		newPath    = flag.String("new", "", "fresh BENCH.json (current run)")
-		threshold  = flag.Float64("threshold", 20, "regression threshold in percent")
-		minSeconds = flag.Float64("min-seconds", 0.05, "skip wall-clock entries below this baseline duration")
+		oldArg     = flag.String("old", "", "baseline BENCH.json file(s), comma-separated samples")
+		newArg     = flag.String("new", "", "fresh BENCH.json file(s), comma-separated samples")
+		threshold  = flag.Float64("threshold", 20, "regression threshold in percent (on medians)")
+		alpha      = flag.Float64("alpha", 0.1, "significance level for the Mann-Whitney gate (multi-sample mode)")
+		minSeconds = flag.Float64("min-seconds", 0.05, "skip wall-clock series below this baseline median")
 	)
 	flag.Parse()
-	if *oldPath == "" || *newPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: xmap-benchdiff -old BASELINE.json -new FRESH.json [-threshold pct]")
+	if *oldArg == "" || *newArg == "" {
+		fmt.Fprintln(os.Stderr, "usage: xmap-benchdiff -old BASE.json[,BASE2.json...] -new FRESH.json[,...] [-threshold pct] [-alpha p]")
 		os.Exit(2)
 	}
-	oldRecs, err := load(*oldPath)
+	oldSide, err := loadSide(strings.Split(*oldArg, ","))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	newRecs, err := load(*newPath)
+	newSide, err := loadSide(strings.Split(*newArg, ","))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	regressions := 0
-	compared := 0
-	check := func(name string, oldV, newV, slackPct float64) {
-		compared++
-		delta := 100 * (newV - oldV) / oldV
-		status := "ok"
-		if delta > slackPct {
-			status = "REGRESSION"
-			regressions++
-		} else if delta < -slackPct {
-			status = "improved"
-		}
-		fmt.Printf("%-40s %14.4g %14.4g %+8.1f%%  %s\n", name, oldV, newV, delta, status)
-	}
-
-	names := make([]string, 0, len(oldRecs))
-	for name := range oldRecs {
+	names := make([]string, 0, len(oldSide))
+	for name := range oldSide {
 		names = append(names, name)
 	}
 	sort.Strings(names) // deterministic table order across runs
-	fmt.Printf("%-40s %14s %14s %9s\n", "series", "old", "new", "delta")
+
+	regressions := 0
+	compared := 0
+	fmt.Printf("%-40s %14s %14s %9s %8s\n", "series", "old", "new", "delta", "p")
 	for _, name := range names {
-		o := oldRecs[name]
-		n, ok := newRecs[name]
-		if !ok {
-			fmt.Printf("%-40s %14s %14s %9s  dropped from new report\n", name, "-", "-", "-")
+		o := oldSide[name]
+		n, ok := newSide[name]
+		switch {
+		case !ok:
+			fmt.Printf("%-40s %14s %14s %9s %8s  dropped from new report\n", name, "-", "-", "-", "-")
+			continue
+		case o.mismatch || n.mismatch || o.scale != n.scale || o.seed != n.seed:
+			fmt.Printf("%-40s %14s %14s %9s %8s  skipped (scale/seed changed)\n", name, "-", "-", "-", "-")
 			continue
 		}
-		if o.Scale != n.Scale || o.Seed != n.Seed {
-			fmt.Printf("%-40s %14s %14s %9s  skipped (scale/seed changed)\n", name, "-", "-", "-")
+		oldMed, newMed := median(o.vals), median(n.vals)
+		if oldMed <= 0 {
 			continue
 		}
-		if o.Seconds >= *minSeconds && o.Seconds > 0 {
-			check(name+"/seconds", o.Seconds, n.Seconds, *threshold)
+		if strings.HasSuffix(name, "/seconds") && oldMed < *minSeconds {
+			continue
 		}
-		metrics := make([]string, 0, len(o.Metrics))
-		for metric := range o.Metrics {
-			metrics = append(metrics, metric)
+		compared++
+		delta := 100 * (newMed - oldMed) / oldMed
+
+		multi := len(o.vals) >= 2 && len(n.vals) >= 2
+		p := 1.0
+		pCol := "-"
+		if multi {
+			p = mannWhitneyU(o.vals, n.vals)
+			pCol = fmt.Sprintf("%.3f", p)
 		}
-		sort.Strings(metrics)
-		for _, metric := range metrics {
-			ov := o.Metrics[metric]
-			nv, ok := n.Metrics[metric]
-			if !ok || ov <= 0 {
-				continue
-			}
+
+		var status string
+		switch {
+		case strings.HasSuffix(name, "_allocs_op"):
+			// Deterministic: anything beyond rounding slack is a code
+			// change, significance is beside the point.
 			switch {
-			case strings.HasSuffix(metric, "_ns_op"):
-				check(name+"/"+metric, ov, nv, *threshold)
-			case strings.HasSuffix(metric, "_allocs_op"):
-				// Deterministic: anything beyond rounding slack is real.
-				check(name+"/"+metric, ov, nv, 1)
+			case delta > 1:
+				status = "REGRESSION"
+				regressions++
+			case delta < -1:
+				status = "improved"
+			default:
+				status = "ok"
 			}
+		case delta > *threshold:
+			switch {
+			case !multi: // legacy single-sample mode: threshold decides
+				status = "REGRESSION"
+				regressions++
+			case p <= *alpha:
+				status = "REGRESSION"
+				regressions++
+			default:
+				status = "suspect (not significant)"
+			}
+		case delta < -*threshold:
+			status = "improved"
+		default:
+			status = "ok"
 		}
+		fmt.Printf("%-40s %14.4g %14.4g %+8.1f%% %8s  %s\n", name, oldMed, newMed, delta, pCol, status)
 	}
 	if compared == 0 {
 		fmt.Println("no comparable series between the two reports")

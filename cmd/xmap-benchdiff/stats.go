@@ -1,0 +1,152 @@
+package main
+
+import (
+	"math"
+	"sort"
+)
+
+// median returns the sample median (input is copied, not mutated).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// mannWhitneyU returns the two-sided p-value of the Mann-Whitney U test
+// for samples x and y — the benchstat significance machinery, scoped to
+// what the bench gate needs. For tie-free samples up to 20 per side the
+// exact null distribution of the rank sum is computed by dynamic
+// programming; with ties (or larger samples) the normal approximation
+// with tie correction and continuity correction is used. Returns 1 when
+// either sample is empty or all values are identical.
+func mannWhitneyU(x, y []float64) float64 {
+	nx, ny := len(x), len(y)
+	if nx == 0 || ny == 0 {
+		return 1
+	}
+
+	// Rank the pooled samples with midranks for ties.
+	type obs struct {
+		v    float64
+		from int // 0 = x, 1 = y
+	}
+	pool := make([]obs, 0, nx+ny)
+	for _, v := range x {
+		pool = append(pool, obs{v, 0})
+	}
+	for _, v := range y {
+		pool = append(pool, obs{v, 1})
+	}
+	sort.Slice(pool, func(a, b int) bool { return pool[a].v < pool[b].v })
+
+	ranks := make([]float64, len(pool))
+	ties := false
+	var tieCorr float64 // Σ (t³ - t) over tie groups
+	for i := 0; i < len(pool); {
+		j := i
+		for j < len(pool) && pool[j].v == pool[i].v {
+			j++
+		}
+		r := float64(i+j+1) / 2 // midrank (1-based)
+		for k := i; k < j; k++ {
+			ranks[k] = r
+		}
+		if t := j - i; t > 1 {
+			ties = true
+			tieCorr += float64(t*t*t - t)
+		}
+		i = j
+	}
+	var rx float64
+	for i, o := range pool {
+		if o.from == 0 {
+			rx += ranks[i]
+		}
+	}
+	u := rx - float64(nx*(nx+1))/2
+
+	if !ties && nx <= 20 && ny <= 20 {
+		return exactMWUp(nx, ny, u)
+	}
+
+	// Normal approximation with tie correction.
+	n := float64(nx + ny)
+	mu := float64(nx*ny) / 2
+	sigma2 := float64(nx*ny) / 12 * ((n + 1) - tieCorr/(n*(n-1)))
+	if sigma2 <= 0 {
+		return 1 // all values identical
+	}
+	z := (math.Abs(u-mu) - 0.5) / math.Sqrt(sigma2)
+	if z < 0 {
+		z = 0
+	}
+	return 2 * (1 - normalCDF(z))
+}
+
+// exactMWUp computes the exact two-sided p-value of U for tie-free
+// samples: the null distribution counts, for each achievable U value,
+// the number of ways nx of the nx+ny ranks produce it.
+func exactMWUp(nx, ny int, u float64) float64 {
+	maxU := nx * ny
+	// counts[k][s]: ways to pick k of the first t elements with U
+	// statistic s, built incrementally over t = 1..nx+ny. Element t
+	// (1-based rank) contributes (t - k) to U when chosen as the k-th
+	// smallest pick — equivalently the standard recurrence
+	// f(t, k, s) = f(t-1, k, s) + f(t-1, k-1, s-(t-k)).
+	counts := make([][]float64, nx+1)
+	for k := range counts {
+		counts[k] = make([]float64, maxU+1)
+	}
+	counts[0][0] = 1
+	for t := 1; t <= nx+ny; t++ {
+		for k := min(nx, t); k >= 1; k-- {
+			contrib := t - k
+			if contrib > maxU {
+				continue
+			}
+			row, prev := counts[k], counts[k-1]
+			for s := maxU; s >= contrib; s-- {
+				if prev[s-contrib] != 0 {
+					row[s] += prev[s-contrib]
+				}
+			}
+		}
+	}
+	var total float64
+	for _, c := range counts[nx] {
+		total += c
+	}
+	// Two-sided: double the smaller tail (capped at 1).
+	uInt := int(math.Round(u))
+	if uInt > maxU {
+		uInt = maxU
+	}
+	if uInt < 0 {
+		uInt = 0
+	}
+	var lower float64
+	for s := 0; s <= uInt; s++ {
+		lower += counts[nx][s]
+	}
+	var upper float64
+	for s := uInt; s <= maxU; s++ {
+		upper += counts[nx][s]
+	}
+	p := 2 * math.Min(lower, upper) / total
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// normalCDF is Φ(z) for the standard normal.
+func normalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}

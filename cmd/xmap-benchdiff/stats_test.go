@@ -1,0 +1,68 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3}, 3},
+		{[]float64{3, 1}, 2},
+		{[]float64{5, 1, 3}, 3},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := median(c.in); got != c.want {
+			t.Errorf("median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if !math.IsNaN(median(nil)) {
+		t.Error("median(nil) should be NaN")
+	}
+}
+
+func TestMannWhitneyUExact(t *testing.T) {
+	// Perfectly separated 3v3: the most extreme of C(6,3)=20 orderings,
+	// two-sided p = 2/20 = 0.1 — the smallest p three samples can reach.
+	if p := mannWhitneyU([]float64{1, 2, 3}, []float64{4, 5, 6}); math.Abs(p-0.1) > 1e-12 {
+		t.Errorf("separated 3v3: p = %v, want 0.1", p)
+	}
+	// Perfectly separated 4v4: 2/C(8,4) = 2/70.
+	if p := mannWhitneyU([]float64{1, 2, 3, 4}, []float64{5, 6, 7, 8}); math.Abs(p-2.0/70) > 1e-12 {
+		t.Errorf("separated 4v4: p = %v, want %v", p, 2.0/70)
+	}
+	// Symmetry: swapping sides gives the same two-sided p.
+	x, y := []float64{1.2, 3.4, 2.2, 9.1}, []float64{2.0, 5.5, 7.7, 8.8}
+	if p1, p2 := mannWhitneyU(x, y), mannWhitneyU(y, x); math.Abs(p1-p2) > 1e-12 {
+		t.Errorf("asymmetric p: %v vs %v", p1, p2)
+	}
+	// Interleaved samples are indistinguishable: p must be large.
+	if p := mannWhitneyU([]float64{1, 3, 5, 7}, []float64{2, 4, 6, 8}); p < 0.5 {
+		t.Errorf("interleaved 4v4: p = %v, want ~1", p)
+	}
+}
+
+func TestMannWhitneyUTiesAndDegenerate(t *testing.T) {
+	// All-identical samples: no evidence of difference.
+	if p := mannWhitneyU([]float64{2, 2, 2}, []float64{2, 2, 2}); p != 1 {
+		t.Errorf("identical samples: p = %v, want 1", p)
+	}
+	if p := mannWhitneyU(nil, []float64{1}); p != 1 {
+		t.Errorf("empty sample: p = %v, want 1", p)
+	}
+	// Ties route through the normal approximation; clearly separated
+	// tied samples must still come out significant-ish, interleaved tied
+	// samples must not.
+	sep := mannWhitneyU([]float64{1, 1, 2, 2, 3}, []float64{8, 8, 9, 9, 10})
+	if sep > 0.05 {
+		t.Errorf("separated tied samples: p = %v, want < 0.05", sep)
+	}
+	mix := mannWhitneyU([]float64{1, 2, 2, 3}, []float64{1, 2, 3, 3})
+	if mix < 0.3 {
+		t.Errorf("interleaved tied samples: p = %v, want large", mix)
+	}
+}

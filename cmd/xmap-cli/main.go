@@ -14,9 +14,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"xmap/internal/core"
 	"xmap/internal/dataset"
@@ -61,7 +64,18 @@ func main() {
 		}
 		cfg := core.DefaultConfig()
 		cfg.K = *k
-		p := core.Fit(ds, 0, 1, cfg)
+		// Ctrl-C cancels at the next phase boundary instead of leaving
+		// the shell waiting on a fit whose output nobody will read.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		p, err := core.FitWithOptions(ctx, ds, 0, 1, cfg, core.FitOptions{
+			Progress: func(phase string, elapsed time.Duration) {
+				fmt.Fprintf(os.Stderr, "xmap-cli: %-9s done in %v\n", phase, elapsed.Round(time.Millisecond))
+			},
+		})
+		stop()
+		if err != nil {
+			fatal(err)
+		}
 		f, err := os.Create(*table)
 		if err != nil {
 			fatal(err)

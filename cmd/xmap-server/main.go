@@ -14,8 +14,10 @@
 //	xmap-server                       # synthetic trace, listen on :8080
 //	xmap-server -data trace.csv -addr :9090
 //
-// Endpoints:
+// Endpoints (v2 is the typed request/response surface; v1 is frozen):
 //
+//	POST /api/v2/recommend   JSON body: one request or an array (batch)
+//	GET  /api/v2/pipelines   fitted (source, target) pairs + diagnostics
 //	GET /                    tiny HTML search page
 //	GET /api/items?q=inter   item-name search
 //	GET /api/recommend?item=<name>&n=10
@@ -26,11 +28,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"time"
 
 	"xmap/internal/core"
 	"xmap/internal/dataset"
@@ -49,6 +54,11 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C during the (potentially minutes-long) offline fit cancels it
+	// at the next phase boundary instead of leaving a half-warm process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	ds, src, dst, err := loadData(*data)
 	if err != nil {
 		log.Fatalf("xmap-server: %v", err)
@@ -57,13 +67,17 @@ func main() {
 
 	cfg := core.DefaultConfig()
 	cfg.K = *k
-	log.Printf("fitting %s → %s pipeline...", ds.DomainName(src), ds.DomainName(dst))
-	fwd := core.Fit(ds, src, dst, cfg)
-	log.Printf("fitting %s → %s pipeline...", ds.DomainName(dst), ds.DomainName(src))
-	rev := core.Fit(ds, dst, src, cfg)
-	log.Printf("diagnostics: %s", fwd.Diagnose())
+	log.Printf("fitting %s↔%s pipelines...", ds.DomainName(src), ds.DomainName(dst))
+	pipes, err := core.FitPairs(ctx, ds, []core.DomainPair{
+		{Source: src, Target: dst},
+		{Source: dst, Target: src},
+	}, cfg)
+	if err != nil {
+		log.Fatalf("xmap-server: %v", err)
+	}
+	log.Printf("diagnostics: %s", pipes[0].Diagnose())
 
-	svc, err := serve.New(ds, []*core.Pipeline{fwd, rev}, serve.Options{
+	svc, err := serve.New(ds, pipes, serve.Options{
 		CacheSize:   *cacheSize,
 		CacheShards: *shards,
 		Workers:     *workers,
@@ -72,8 +86,22 @@ func main() {
 		log.Fatalf("xmap-server: %v", err)
 	}
 
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done() // second half of the Ctrl-C story: drain and exit
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shCtx)
+	}()
 	log.Printf("listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, svc.Handler()))
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	// ListenAndServe returns ErrServerClosed as soon as Shutdown starts;
+	// wait for the drain itself so in-flight requests finish before exit.
+	<-drained
 }
 
 func loadData(path string) (*ratings.Dataset, ratings.DomainID, ratings.DomainID, error) {

@@ -49,6 +49,41 @@
 // internal/serve/README.md for the cache-key scheme and invalidation
 // rules.
 //
+// # API v2
+//
+// The caller-facing serving surface is typed and batch-first: a Request
+// (a known user or an explicit profile, plus N/Now/ExcludeSeen/
+// WithExplanations knobs and Source/Target domain selectors) is answered
+// by a Response that reports which (source, target) pipeline answered,
+// at which fit epoch, and whether the list came from the cache:
+//
+//	resp, err := svc.Do(ctx, xmap.Request{User: "alice", N: 10,
+//	    Source: "movies", Target: "books"})
+//	results := svc.DoBatch(ctx, reqs) // per-request errors
+//
+// ctx is honored end-to-end: cancellation or an expired deadline aborts
+// admission-control waits with ErrOverloaded. All serving errors wrap
+// the package sentinels (ErrInvalidRequest, ErrUnknownUser,
+// ErrUnknownItem, ErrNoPipeline, ErrOverloaded) for errors.Is dispatch,
+// and the HTTP layer maps them to stable {code, message} envelopes.
+// Over HTTP, POST /api/v2/recommend takes one request object or a JSON
+// array of them (one 64-request batch body is ~7× cheaper than 64
+// sequential single-request calls), and GET /api/v2/pipelines lists the
+// fitted pairs with diagnostics. The v1 GET endpoints remain as frozen
+// adapters over the v2 core, pinned byte-for-byte by a golden parity
+// suite. See Example_batchServing and internal/serve/README.md.
+//
+// Offline, fits are cancellable and multi-pair: FitWithOptions threads a
+// ctx through the phase boundaries (plus per-phase progress callbacks),
+// and FitPairs fits every (source, target) direction of a deployment in
+// parallel, feeding NewService and Service.SwapPipelineFor hot swaps.
+//
+// Index-keyed serving calls (Service.Recommend, RecommendForUser,
+// RecommendUsersBatch) are deprecated thin wrappers over the same core;
+// the API manifest gate (API.txt + apicheck_test.go) enforces that
+// exported symbols ship at least one release with a Deprecated: note
+// before removal.
+//
 // # Dataset layout
 //
 // The rating store itself (internal/ratings) is flat: both indexes are

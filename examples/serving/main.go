@@ -1,0 +1,110 @@
+// Serving demonstrates the API v2 request/response surface end-to-end:
+// fit both directions of a two-domain trace in parallel with FitPairs,
+// wrap them in a Service, and answer typed Requests — single, batch, and
+// over HTTP — with context deadlines honored all the way into admission
+// control.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"xmap"
+)
+
+func main() {
+	cfg := xmap.DefaultAmazonConfig()
+	cfg.MovieUsers, cfg.BookUsers, cfg.OverlapUsers = 150, 160, 60
+	cfg.Movies, cfg.Books = 90, 110
+	cfg.RatingsPerUser = 20
+	az := xmap.GenerateAmazonLike(cfg)
+
+	// Fit movies→books and books→movies in parallel; Ctrl-C style
+	// cancellation would land at the next phase boundary.
+	pcfg := xmap.DefaultConfig()
+	pcfg.K = 20
+	pipes, err := xmap.FitPairs(context.Background(), az.DS, []xmap.DomainPair{
+		{Source: az.Movies, Target: az.Books},
+		{Source: az.Books, Target: az.Movies},
+	}, pcfg)
+	if err != nil {
+		fmt.Println("fit:", err)
+		return
+	}
+	svc, err := xmap.NewService(az.DS, pipes, xmap.ServeOptions{})
+	if err != nil {
+		fmt.Println("service:", err)
+		return
+	}
+
+	// One typed request: domain-pair routing, per-request knobs, inline
+	// explanations. The response says which pipeline answered.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	resp, err := svc.Do(ctx, xmap.Request{
+		User:             "both-0000",
+		N:                3,
+		Source:           "movies",
+		Target:           "books",
+		ExcludeSeen:      true,
+		WithExplanations: true,
+	})
+	if err != nil {
+		fmt.Println("do:", err)
+		return
+	}
+	fmt.Printf("%s→%s (%s, epoch %d, cached=%v):\n",
+		resp.Source, resp.Target, resp.Mode, resp.Epoch, resp.Cached)
+	for i, it := range resp.Items {
+		fmt.Printf("%2d. %-12s %.2f  (%d explanation rows)\n", i+1, it.Item, it.Score, len(it.Explanations))
+	}
+
+	// Sentinel errors dispatch with errors.Is — no string matching.
+	if _, err := svc.Do(ctx, xmap.Request{User: "nobody"}); errors.Is(err, xmap.ErrUnknownUser) {
+		fmt.Println("unknown user rejected with ErrUnknownUser")
+	}
+
+	// A batch: every element succeeds or fails individually, and the
+	// fan-out shares the service's worker pool and result cache.
+	results := svc.DoBatch(ctx, []xmap.Request{
+		{User: "both-0001", N: 3},
+		{User: "both-0002", N: 3, Source: "books"},
+		{Profile: []xmap.RequestEntry{{Item: "m-00001", Value: 5}}, N: 3},
+	})
+	ok := 0
+	for _, r := range results {
+		if r.Err == nil {
+			ok++
+		}
+	}
+	fmt.Printf("batch: %d/%d succeeded\n", ok, len(results))
+
+	// The same model over HTTP: POST /api/v2/recommend with a JSON array
+	// is the batch-first wire surface.
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	body, _ := json.Marshal([]xmap.Request{{User: "both-0003", N: 2}, {User: "both-0004", N: 2}})
+	hr, err := http.Post(ts.URL+"/api/v2/recommend", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Println("post:", err)
+		return
+	}
+	defer hr.Body.Close()
+	var out struct {
+		Results []struct {
+			Response *xmap.Response `json:"response"`
+			Error    *struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		} `json:"results"`
+	}
+	_ = json.NewDecoder(hr.Body).Decode(&out)
+	fmt.Printf("HTTP batch: status %d, %d results\n", hr.StatusCode, len(out.Results))
+}

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -150,35 +151,12 @@ type Pipeline struct {
 // The Generator and Recommender phases are executed lazily per user, which
 // is what makes AlterEgos cheap to refresh incrementally.
 func Fit(ds *ratings.Dataset, src, dst ratings.DomainID, cfg Config) *Pipeline {
-	if cfg.K <= 0 {
-		cfg.K = 50
+	p, err := FitWithOptions(context.Background(), ds, src, dst, cfg, FitOptions{})
+	if err != nil {
+		// Background is never cancelled and FitWithOptions has no other
+		// failure mode, so this is unreachable.
+		panic(err)
 	}
-	if cfg.TopKExtend <= 0 {
-		cfg.TopKExtend = 2 * cfg.K
-	}
-	p := &Pipeline{cfg: cfg, ds: ds, src: src, dst: dst, rng: rand.New(rand.NewSource(cfg.Seed))}
-
-	// Baseliner (§5.1): one pass over the aggregated domains.
-	start := time.Now()
-	p.pairs = sim.ComputePairs(ds, sim.Options{
-		Metric: cfg.Metric, Workers: cfg.Workers, MinCoRaters: cfg.MinCoRaters,
-		SignificanceN: cfg.SignificanceN,
-	})
-	p.baselinerTime = time.Since(start)
-
-	// Extender (§5.2): layered pruning + X-Sim extension.
-	start = time.Now()
-	p.graph = graph.Build(p.pairs, src, dst, graph.Options{K: cfg.K, Workers: cfg.Workers})
-	// KeepFull is always on: Derive may flip a fitted pipeline to the
-	// private variant, whose PRS must sample the untruncated I(ti) rows.
-	p.table = xsim.Extend(p.graph, xsim.Options{
-		TopK: cfg.TopKExtend, LegsK: cfg.K, Workers: cfg.Workers, KeepFull: true,
-	})
-	p.extenderTime = time.Since(start)
-
-	start = time.Now()
-	p.buildServing(cfg)
-	p.modelTime = time.Since(start)
 	return p
 }
 
@@ -343,7 +321,14 @@ func (p *Pipeline) PredictForUser(u ratings.UserID, item ratings.ItemID) (float6
 
 // Recommend returns the top-N not-yet-seen target items for a profile.
 func (p *Pipeline) Recommend(profile []ratings.Entry, n int) []sim.Scored {
-	now := eval.MaxTime(profile)
+	return p.RecommendAt(profile, n, eval.MaxTime(profile))
+}
+
+// RecommendAt is Recommend with an explicit temporal reference point for
+// Eq. 7's decay (item-based pipelines; the user-based and most private
+// paths ignore it). Serving uses it to honor a request-supplied "now"
+// instead of deriving it from the profile's newest entry.
+func (p *Pipeline) RecommendAt(profile []ratings.Entry, n int, now int64) []sim.Scored {
 	switch {
 	case p.pub != nil:
 		return p.pub.Recommend(profile, n)

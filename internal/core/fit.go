@@ -1,0 +1,134 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"xmap/internal/graph"
+	"xmap/internal/ratings"
+	"xmap/internal/sim"
+	"xmap/internal/xsim"
+)
+
+// FitOptions carries the cross-cutting knobs of a fit that are not part
+// of the model configuration: observability and (through the ctx
+// parameter of FitWithOptions) cancellation. The zero value is valid.
+type FitOptions struct {
+	// Progress, if non-nil, is called after each offline phase completes
+	// with the phase name ("baseliner", "extender", "models") and its
+	// wall-clock duration — the §6.6 per-phase timings, streamed instead
+	// of collected.
+	Progress func(phase string, elapsed time.Duration)
+}
+
+// FitWithOptions is Fit with cancellation and per-phase observability.
+// ctx is checked between the offline phases (Baseliner → Extender →
+// model construction): a fit is CPU-bound for minutes at trace scale, and
+// phase boundaries are where abandoning it stops meaningful work without
+// threading cancellation through every inner loop. On cancellation the
+// partial pipeline is discarded and ctx.Err() is returned.
+func FitWithOptions(ctx context.Context, ds *ratings.Dataset, src, dst ratings.DomainID, cfg Config, opt FitOptions) (*Pipeline, error) {
+	if cfg.K <= 0 {
+		cfg.K = 50
+	}
+	if cfg.TopKExtend <= 0 {
+		cfg.TopKExtend = 2 * cfg.K
+	}
+	progress := opt.Progress
+	if progress == nil {
+		progress = func(string, time.Duration) {}
+	}
+	p := &Pipeline{cfg: cfg, ds: ds, src: src, dst: dst, rng: rand.New(rand.NewSource(cfg.Seed))}
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Baseliner (§5.1): one pass over the aggregated domains.
+	start := time.Now()
+	p.pairs = sim.ComputePairs(ds, sim.Options{
+		Metric: cfg.Metric, Workers: cfg.Workers, MinCoRaters: cfg.MinCoRaters,
+		SignificanceN: cfg.SignificanceN,
+	})
+	p.baselinerTime = time.Since(start)
+	progress("baseliner", p.baselinerTime)
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Extender (§5.2): layered pruning + X-Sim extension.
+	start = time.Now()
+	p.graph = graph.Build(p.pairs, src, dst, graph.Options{K: cfg.K, Workers: cfg.Workers})
+	// KeepFull is always on: Derive may flip a fitted pipeline to the
+	// private variant, whose PRS must sample the untruncated I(ti) rows.
+	p.table = xsim.Extend(p.graph, xsim.Options{
+		TopK: cfg.TopKExtend, LegsK: cfg.K, Workers: cfg.Workers, KeepFull: true,
+	})
+	p.extenderTime = time.Since(start)
+	progress("extender", p.extenderTime)
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	p.buildServing(cfg)
+	p.modelTime = time.Since(start)
+	progress("models", p.modelTime)
+	return p, nil
+}
+
+// DomainPair names one direction a serving deployment translates:
+// recommendations flow from a user's Source-domain activity into Target-
+// domain items. serve.Service routes requests by this pair.
+type DomainPair struct {
+	Source, Target ratings.DomainID
+}
+
+// FitPairs fits one pipeline per (source, target) pair in parallel — the
+// multi-pair deployment path: fit every direction a service will answer,
+// hand the slice to serve.New (or individual pipelines to SwapPipeline).
+// Pipelines are returned in pair order. Each per-pair fit is itself
+// parallel (cfg.Workers), so pair-level parallelism mostly overlaps the
+// phases' serial sections; oversubscription is bounded by len(pairs).
+//
+// ctx cancels at phase boundaries like FitWithOptions: on the first
+// cancellation or duplicate-pair error the remaining fits are abandoned
+// at their next phase boundary and the first error is returned.
+func FitPairs(ctx context.Context, ds *ratings.Dataset, pairs []DomainPair, cfg Config) ([]*Pipeline, error) {
+	for i, pr := range pairs {
+		for j := 0; j < i; j++ {
+			if pairs[j] == pr {
+				return nil, fmt.Errorf("core: duplicate pair %d→%d at index %d and %d",
+					pr.Source, pr.Target, j, i)
+			}
+		}
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	out := make([]*Pipeline, len(pairs))
+	errs := make([]error, len(pairs))
+	var wg sync.WaitGroup
+	for i, pr := range pairs {
+		wg.Add(1)
+		go func(i int, pr DomainPair) {
+			defer wg.Done()
+			p, err := FitWithOptions(ctx, ds, pr.Source, pr.Target, cfg, FitOptions{})
+			if err != nil {
+				errs[i] = fmt.Errorf("core: fit %d→%d: %w", pr.Source, pr.Target, err)
+				cancel() // abandon the sibling fits at their next phase boundary
+				return
+			}
+			out[i] = p
+		}(i, pr)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFitWithOptionsMatchesFit(t *testing.T) {
+	az := trace(t)
+	cfg := DefaultConfig()
+	cfg.K = 10
+
+	var phases []string
+	p, err := FitWithOptions(context.Background(), az.DS, az.Movies, az.Books, cfg, FitOptions{
+		Progress: func(phase string, elapsed time.Duration) {
+			phases = append(phases, phase)
+			if elapsed < 0 {
+				t.Errorf("phase %s reported negative duration", phase)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"baseliner", "extender", "models"}
+	if len(phases) != len(want) {
+		t.Fatalf("progress phases = %v, want %v", phases, want)
+	}
+	for i := range want {
+		if phases[i] != want[i] {
+			t.Fatalf("progress phases = %v, want %v", phases, want)
+		}
+	}
+
+	// Same config, same data: the ctx-aware path must produce the same
+	// fit as the legacy spelling (Fit is a wrapper over it, so this pins
+	// the wrapper too).
+	ref := Fit(az.DS, az.Movies, az.Books, cfg)
+	u := az.DS.Straddlers(az.Movies, az.Books)[0]
+	got, want2 := p.RecommendForUser(u, 10), ref.RecommendForUser(u, 10)
+	if len(got) != len(want2) {
+		t.Fatalf("recs differ in length: %d vs %d", len(got), len(want2))
+	}
+	for i := range want2 {
+		if got[i] != want2[i] {
+			t.Fatalf("rec %d: %v vs %v", i, got[i], want2[i])
+		}
+	}
+}
+
+func TestFitWithOptionsCancellation(t *testing.T) {
+	az := trace(t)
+	cfg := DefaultConfig()
+	cfg.K = 10
+
+	// Already-cancelled ctx: no phase runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FitWithOptions(ctx, az.DS, az.Movies, az.Books, cfg, FitOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled fit returned %v, want context.Canceled", err)
+	}
+
+	// Cancelled mid-fit (from the first phase's Progress callback): the
+	// fit stops at the next phase boundary and reports the ctx error.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	var phases []string
+	_, err := FitWithOptions(ctx2, az.DS, az.Movies, az.Books, cfg, FitOptions{
+		Progress: func(phase string, _ time.Duration) {
+			phases = append(phases, phase)
+			cancel2()
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-fit cancellation returned %v, want context.Canceled", err)
+	}
+	if len(phases) != 1 || phases[0] != "baseliner" {
+		t.Fatalf("phases run after cancellation: %v, want [baseliner]", phases)
+	}
+}
+
+func TestFitPairs(t *testing.T) {
+	az := trace(t)
+	cfg := DefaultConfig()
+	cfg.K = 10
+
+	pairs := []DomainPair{
+		{Source: az.Movies, Target: az.Books},
+		{Source: az.Books, Target: az.Movies},
+	}
+	pipes, err := FitPairs(context.Background(), az.DS, pairs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pipes) != 2 {
+		t.Fatalf("got %d pipelines, want 2", len(pipes))
+	}
+	for i, p := range pipes {
+		if p.Source() != pairs[i].Source || p.Target() != pairs[i].Target {
+			t.Fatalf("pipeline %d serves %d→%d, want %d→%d",
+				i, p.Source(), p.Target(), pairs[i].Source, pairs[i].Target)
+		}
+	}
+	// Pair order is the contract, and each pipeline matches a solo fit.
+	ref := Fit(az.DS, az.Books, az.Movies, cfg)
+	u := az.DS.Straddlers(az.Movies, az.Books)[0]
+	got, want := pipes[1].RecommendForUser(u, 5), ref.RecommendForUser(u, 5)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pair fit diverges from solo fit at rec %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+
+	if _, err := FitPairs(context.Background(), az.DS, []DomainPair{
+		{Source: az.Movies, Target: az.Books},
+		{Source: az.Movies, Target: az.Books},
+	}, cfg); err == nil {
+		t.Fatal("duplicate pair accepted")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FitPairs(ctx, az.DS, pairs, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled FitPairs returned %v, want context.Canceled", err)
+	}
+}

@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -141,4 +142,36 @@ func (l *Limiter) Do(fn func()) {
 	l.ch <- struct{}{}
 	defer func() { <-l.ch }()
 	fn()
+}
+
+// Acquire claims a slot, blocking until one frees or ctx is done. An
+// already-expired ctx never claims a slot, even when one is free, so a
+// caller whose deadline passed while queued upstream cannot start work
+// its client has abandoned. Callers must Release exactly once per
+// successful Acquire.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case l.ch <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot claimed by Acquire.
+func (l *Limiter) Release() { <-l.ch }
+
+// DoCtx runs fn inside a slot; the wait for admission respects ctx
+// cancellation and deadline. Once admitted, fn runs to completion — a
+// recommendation mid-compute is cheaper to finish than to tear down.
+func (l *Limiter) DoCtx(ctx context.Context, fn func()) error {
+	if err := l.Acquire(ctx); err != nil {
+		return err
+	}
+	defer l.Release()
+	fn()
+	return nil
 }

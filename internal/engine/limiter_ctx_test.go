@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestLimiterAcquireRespectsCancellation(t *testing.T) {
+	l := NewLimiter(1)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire on a free limiter: %v", err)
+	}
+	// The only slot is held: a cancelled waiter must abort promptly.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- l.Acquire(ctx) }()
+	time.Sleep(10 * time.Millisecond) // let the waiter block
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("blocked Acquire returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled Acquire did not return")
+	}
+	l.Release()
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire after Release: %v", err)
+	}
+	l.Release()
+}
+
+func TestLimiterAcquireExpiredCtxNeverClaims(t *testing.T) {
+	l := NewLimiter(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := l.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire with expired ctx returned %v, want context.Canceled", err)
+	}
+	if l.InUse() != 0 {
+		t.Fatalf("expired Acquire leaked a slot: %d in use", l.InUse())
+	}
+}
+
+func TestLimiterDoCtxDeadline(t *testing.T) {
+	l := NewLimiter(1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go l.Do(func() { close(started); <-release })
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	ran := false
+	err := l.DoCtx(ctx, func() { ran = true })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("DoCtx returned %v, want context.DeadlineExceeded", err)
+	}
+	if ran {
+		t.Fatal("DoCtx ran fn despite an expired deadline")
+	}
+	close(release)
+}

@@ -35,14 +35,25 @@ type cacheKey struct {
 	kind  keyKind
 	hash  uint64
 	n     int
+	// now is the request-supplied temporal reference point (Request.Now);
+	// 0 means "derived from the profile", the legacy spelling, so all old
+	// call sites key exactly as before.
+	now int64
+	// flags holds the boolean request knobs that change the computed list
+	// (bit 0: ExcludeSeen). Zero for the legacy paths.
+	flags uint8
 }
 
-// mix folds the pipeline index, epoch, kind and n into the query hash so
-// shard placement and map distribution see the whole key.
+// flags bits.
+const flagExcludeSeen uint8 = 1 << 0
+
+// mix folds the pipeline index, epoch, kind, n and the request knobs into
+// the query hash so shard placement and map distribution see the whole key.
 func (k cacheKey) mix() uint64 {
 	h := k.hash
 	h ^= uint64(k.pipe)*0x9e3779b97f4a7c15 + uint64(k.n)*0xff51afd7ed558ccd
 	h ^= k.epoch*0x2545f4914f6cdd1d + uint64(k.kind)
+	h ^= uint64(k.now)*0x9ddfea08eb382d69 + uint64(k.flags)<<7
 	h ^= h >> 33
 	h *= 0xc4ceb9fe1a85ec53
 	h ^= h >> 29

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+)
+
+// Sentinel errors of the serving API. Every error a Service method
+// returns wraps exactly one of these, so callers dispatch with errors.Is
+// instead of matching message strings, and the HTTP layer maps them to
+// stable status codes and machine-readable code strings in one place
+// (HTTPStatus). Wrapped messages carry the specifics (which user, which
+// domain pair); the sentinel carries the category.
+var (
+	// ErrInvalidRequest marks a malformed request: no user and no
+	// profile, both at once, a profile entry referencing an item outside
+	// the catalog, or an unknown domain selector.
+	ErrInvalidRequest = errors.New("serve: invalid request")
+	// ErrUnknownUser marks a user name or ID the dataset does not know.
+	ErrUnknownUser = errors.New("serve: unknown user")
+	// ErrUnknownItem marks an item name or ID the catalog does not know.
+	ErrUnknownItem = errors.New("serve: unknown item")
+	// ErrNoPipeline marks a (source, target) selector — or a legacy slot
+	// index — no fitted pipeline serves.
+	ErrNoPipeline = errors.New("serve: no pipeline for requested domain pair")
+	// ErrOverloaded marks admission-control rejection: the request's
+	// context was cancelled or its deadline expired while waiting for a
+	// worker slot (or for another request computing the same key).
+	ErrOverloaded = errors.New("serve: overloaded")
+)
+
+// errorCode is the machine-readable half of the v2 error envelope.
+// The mapping from sentinel to (status, code) lives only here.
+func errorCode(err error) (status int, code string) {
+	switch {
+	case errors.Is(err, ErrInvalidRequest):
+		return http.StatusBadRequest, "invalid_request"
+	case errors.Is(err, ErrUnknownUser):
+		return http.StatusNotFound, "unknown_user"
+	case errors.Is(err, ErrUnknownItem):
+		return http.StatusNotFound, "unknown_item"
+	case errors.Is(err, ErrNoPipeline):
+		return http.StatusNotFound, "no_pipeline"
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable, "overloaded"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// HTTPStatus returns the stable HTTP status code and machine-readable
+// code string for a serving error — the same mapping POST /api/v2/…
+// uses for its {code, message} envelopes.
+func HTTPStatus(err error) (status int, code string) { return errorCode(err) }

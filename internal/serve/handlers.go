@@ -10,7 +10,16 @@ import (
 	"strconv"
 )
 
-// Handler returns the service's HTTP surface:
+// Handler returns the service's HTTP surface.
+//
+// API v2 (typed request/response envelopes, structured errors):
+//
+//	POST /api/v2/recommend   one Request object, or an array of them
+//	                         (batch-first); errors are {code, message}
+//	GET  /api/v2/pipelines   fitted (source, target) pairs + diagnostics
+//
+// API v1 (GET + query params; frozen — thin adapters over the v2 core,
+// pinned by the golden parity suite):
 //
 //	GET /                    tiny HTML search page
 //	GET /api/items?q=inter   item-name search
@@ -21,7 +30,9 @@ import (
 //	GET /statsz
 //
 // Every API response — including errors — is JSON with the Content-Type
-// and status code set before the body is written.
+// and status code set before the body is written. Handlers honor the
+// request context: a disconnected client or expired deadline aborts
+// admission-control waits.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", s.instrument(epHome, s.handleHome))
@@ -31,6 +42,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /api/explain", s.instrument(epExplain, s.handleExplain))
 	mux.HandleFunc("GET /healthz", s.instrument(epHealth, s.handleHealth))
 	mux.HandleFunc("GET /statsz", s.instrument(epStats, s.handleStats))
+	mux.HandleFunc("POST /api/v2/recommend", s.instrument(epV2Recommend, s.handleV2Recommend))
+	mux.HandleFunc("GET /api/v2/pipelines", s.instrument(epV2Pipelines, s.handleV2Pipelines))
 	return mux
 }
 
@@ -163,10 +176,14 @@ func (s *Service) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleUser is the v1 user endpoint, now a thin adapter over the v2
+// request core (doOnSlot): it keeps v1's parameter parsing, status codes
+// and payload shape — pinned byte-for-byte by the golden parity suite —
+// while the actual serving (cache, singleflight, admission, swap safety)
+// is exactly the code path POST /api/v2/recommend runs.
 func (s *Service) handleUser(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("user")
-	uid, ok := s.LookupUser(name)
-	if !ok {
+	if _, ok := s.LookupUser(name); !ok {
 		s.writeError(w, http.StatusNotFound, "unknown user %q", name)
 		return
 	}
@@ -180,22 +197,18 @@ func (s *Service) handleUser(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n := intParam(r, "n", 0)
-	recs, cached, err := s.RecommendForUser(pipe, uid, n)
+	resp, err := s.doOnSlot(r.Context(), pipe, Request{User: name, N: n})
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	out := make([]rec, 0, len(recs))
-	for _, sc := range recs {
-		out = append(out, rec{
-			Item:   s.ds.ItemName(sc.ID),
-			Domain: s.ds.DomainName(s.ds.Domain(sc.ID)),
-			Score:  sc.Score,
-		})
+	out := make([]rec, 0, len(resp.Items))
+	for _, it := range resp.Items {
+		out = append(out, rec{Item: it.Item, Domain: it.Domain, Score: it.Score})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"user":            name,
-		"cached":          cached,
+		"cached":          resp.Cached,
 		"recommendations": out,
 	})
 }

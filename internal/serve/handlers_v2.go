@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"xmap/internal/ratings"
+)
+
+// maxV2Body caps a v2 request body; a batch of MaxBatch requests with
+// generous profiles fits comfortably.
+const maxV2Body = 4 << 20
+
+// apiError is the machine-readable error envelope of the v2 API: a
+// stable code (see HTTPStatus) plus the human-readable message.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// BatchElem is one element of a v2 batch response body: exactly one of
+// Response or Error is set.
+type BatchElem struct {
+	Response *Response `json:"response,omitempty"`
+	Error    *apiError `json:"error,omitempty"`
+}
+
+// writeV2Error emits the {error: {code, message}} envelope with the
+// sentinel-derived status.
+func (s *Service) writeV2Error(w http.ResponseWriter, err error) {
+	status, code := errorCode(err)
+	s.ctr.errors.Add(1)
+	writeJSON(w, status, map[string]any{"error": apiError{Code: code, Message: err.Error()}})
+}
+
+// decodeStrict unmarshals JSON rejecting unknown fields: a typo'd knob
+// ("exclude_sen") silently ignored would answer a different question
+// than the caller asked — the strictIntParam principle, applied to
+// bodies.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return fmt.Errorf("%w: trailing data after JSON body", ErrInvalidRequest)
+	}
+	return nil
+}
+
+// handleV2Recommend answers POST /api/v2/recommend. The body is either
+// one Request object or an array of them (batch-first: one POST with 64
+// requests costs one round-trip and fans across the worker pool). A
+// single request answers with a Response or an error envelope; a batch
+// always answers 200 with {"results": [...]}, each element succeeding or
+// failing individually.
+func (s *Service) handleV2Recommend(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxV2Body))
+	if err != nil {
+		s.writeV2Error(w, fmt.Errorf("%w: reading body: %v", ErrInvalidRequest, err))
+		return
+	}
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) == 0 {
+		s.writeV2Error(w, fmt.Errorf("%w: empty body", ErrInvalidRequest))
+		return
+	}
+
+	if trimmed[0] != '[' { // single request
+		var req Request
+		if err := decodeStrict(body, &req); err != nil {
+			s.writeV2Error(w, err)
+			return
+		}
+		resp, err := s.Do(r.Context(), req)
+		if err != nil {
+			s.writeV2Error(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	var reqs []Request
+	if err := decodeStrict(body, &reqs); err != nil {
+		s.writeV2Error(w, err)
+		return
+	}
+	if len(reqs) == 0 {
+		s.writeV2Error(w, fmt.Errorf("%w: empty batch", ErrInvalidRequest))
+		return
+	}
+	if len(reqs) > s.opt.MaxBatch {
+		s.writeV2Error(w, fmt.Errorf("%w: batch of %d exceeds the %d-request cap",
+			ErrInvalidRequest, len(reqs), s.opt.MaxBatch))
+		return
+	}
+	results := s.DoBatch(r.Context(), reqs)
+	elems := make([]BatchElem, len(results))
+	failed := 0
+	for i, res := range results {
+		if res.Err != nil {
+			_, code := errorCode(res.Err)
+			elems[i] = BatchElem{Error: &apiError{Code: code, Message: res.Err.Error()}}
+			failed++
+			continue
+		}
+		elems[i] = BatchElem{Response: res.Response}
+	}
+	s.ctr.errors.Add(int64(failed))
+	writeJSON(w, http.StatusOK, map[string]any{"results": elems})
+}
+
+// PipelineStatus is one row of GET /api/v2/pipelines: the pair identity
+// and the fitted-structure diagnostics an operator routes and debugs by.
+type PipelineStatus struct {
+	Pipeline int    `json:"pipeline"`
+	Source   string `json:"source"`
+	Target   string `json:"target"`
+	Mode     string `json:"mode"`
+	Private  bool   `json:"private"`
+	K        int    `json:"k"`
+	Epoch    uint64 `json:"epoch"`
+
+	BaselineEdges     int `json:"baseline_edges"`
+	DirectHeteroPairs int `json:"direct_hetero_pairs"`
+	XSimHeteroPairs   int `json:"xsim_hetero_pairs"`
+	PrunedEdges       int `json:"pruned_edges"`
+	// Offline phase timings of the serving fit, in seconds.
+	BaselinerSeconds float64 `json:"baseliner_seconds"`
+	ExtenderSeconds  float64 `json:"extender_seconds"`
+	ModelSeconds     float64 `json:"model_seconds"`
+}
+
+// PipelineStatuses reports every serving slot with its diagnostics — the
+// Go-level body of GET /api/v2/pipelines. Each row is derived from one
+// atomic slot snapshot, so a row is always internally consistent even
+// while SwapPipeline runs.
+func (s *Service) PipelineStatuses() []PipelineStatus {
+	out := make([]PipelineStatus, len(s.pipes))
+	for i := range s.pipes {
+		st := s.pipes[i].Load()
+		cfg := st.p.Config()
+		d := st.p.Diagnose()
+		out[i] = PipelineStatus{
+			Pipeline: i,
+			Source:   s.ds.DomainName(st.p.Source()),
+			Target:   s.ds.DomainName(st.p.Target()),
+			Mode:     cfg.Mode.String(),
+			Private:  cfg.Private,
+			K:        cfg.K,
+			Epoch:    st.epoch,
+
+			BaselineEdges:     d.BaselineEdges,
+			DirectHeteroPairs: d.DirectHeteroPairs,
+			XSimHeteroPairs:   d.XSimHeteroPairs,
+			PrunedEdges:       d.PrunedEdges,
+			BaselinerSeconds:  d.BaselinerTime.Seconds(),
+			ExtenderSeconds:   d.ExtenderTime.Seconds(),
+			ModelSeconds:      d.ModelTime.Seconds(),
+		}
+	}
+	return out
+}
+
+// handleV2Pipelines answers GET /api/v2/pipelines with the fitted pair
+// roster and per-pipeline diagnostics.
+func (s *Service) handleV2Pipelines(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"domains":   s.domainNames(),
+		"pipelines": s.PipelineStatuses(),
+	})
+}
+
+// domainNames lists the dataset's domain names in ID order.
+func (s *Service) domainNames() []string {
+	out := make([]string, s.ds.NumDomains())
+	for d := range out {
+		out[d] = s.ds.DomainName(ratings.DomainID(d))
+	}
+	return out
+}

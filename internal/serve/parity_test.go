@@ -1,0 +1,253 @@
+// Golden parity suite for the v1 HTTP API. The v1 GET endpoints are now
+// thin adapters over the v2 request core; these tests pin their wire
+// behavior byte-for-byte — each expected payload is built independently
+// from the fixture pipelines with the documented v1 format and compared
+// against the exact response body, so an adapter change that alters
+// field order, field names, status codes or list contents fails here.
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+
+	"xmap/internal/ratings"
+	"xmap/internal/serve"
+)
+
+// v1rec mirrors the v1 row shape {item, domain, score} with v1 field
+// order (struct order is encoding order, part of the pinned bytes).
+type v1rec struct {
+	Item   string  `json:"item"`
+	Domain string  `json:"domain"`
+	Score  float64 `json:"score"`
+}
+
+// encodeGolden renders an expected payload exactly the way the handlers
+// do (json.Encoder, trailing newline included).
+func encodeGolden(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fetchRaw GETs a path and returns status and exact body bytes.
+func fetchRaw(t *testing.T, ts *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("GET %s: Content-Type %q, want application/json", path, ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return resp.StatusCode, body
+}
+
+func assertGolden(t *testing.T, ts *httptest.Server, path string, wantStatus int, want []byte) {
+	t.Helper()
+	status, body := fetchRaw(t, ts, path)
+	if status != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d (body %s)", path, status, wantStatus, body)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatalf("GET %s: payload diverged from golden\n got: %s\nwant: %s", path, body, want)
+	}
+}
+
+func TestParityItems(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	want := encodeGolden(t, map[string]any{"items": svc.SearchItems("m-000", 25)})
+	assertGolden(t, ts, "/api/items?q=m-000", http.StatusOK, want)
+
+	// No match: an empty JSON list, never null.
+	want = encodeGolden(t, map[string]any{"items": []string{}})
+	assertGolden(t, ts, "/api/items?q=zzz-no-such-item", http.StatusOK, want)
+}
+
+func TestParityRecommend(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	az, fwd, _ := fixture(t)
+
+	// Pick a movie with heterogeneous candidates, like the v1 behaviour
+	// test does.
+	var query string
+	var id ratings.ItemID
+	for i := 0; i < az.DS.NumItems(); i++ {
+		cand := ratings.ItemID(i)
+		if az.DS.Domain(cand) == az.Movies && len(fwd.Table().Candidates(cand)) > 0 {
+			query, id = az.DS.ItemName(cand), cand
+			break
+		}
+	}
+	if query == "" {
+		t.Fatal("fixture has no movie with X-Sim candidates")
+	}
+
+	// Independent reconstruction of the documented v1 payload: top-n
+	// X-Sim candidates (table order) and same-domain baseline neighbors
+	// (score-sorted), n=5.
+	const n = 5
+	dom := az.DS.Domain(id)
+	hetero := make([]v1rec, 0, n)
+	for _, c := range fwd.Table().Candidates(id) {
+		hetero = append(hetero, v1rec{
+			Item:   az.DS.ItemName(c.To),
+			Domain: az.DS.DomainName(az.DS.Domain(c.To)),
+			Score:  c.Sim,
+		})
+		if len(hetero) >= n {
+			break
+		}
+	}
+	homo := make([]v1rec, 0, n)
+	for _, e := range fwd.Pairs().Neighbors(id) {
+		if az.DS.Domain(e.To) != dom {
+			continue
+		}
+		homo = append(homo, v1rec{
+			Item:   az.DS.ItemName(e.To),
+			Domain: az.DS.DomainName(az.DS.Domain(e.To)),
+			Score:  e.Sim,
+		})
+	}
+	sort.Slice(homo, func(a, b int) bool { return homo[a].Score > homo[b].Score })
+	if len(homo) > n {
+		homo = homo[:n]
+	}
+	want := encodeGolden(t, map[string]any{
+		"query":         query,
+		"domain":        az.DS.DomainName(dom),
+		"heterogeneous": hetero,
+		"homogeneous":   homo,
+	})
+	assertGolden(t, ts, "/api/recommend?item="+query+"&n=5", http.StatusOK, want)
+}
+
+func TestParityUser(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	az, fwd, rev := fixture(t)
+	u := az.DS.Straddlers(az.Movies, az.Books)[0]
+	name := az.DS.UserName(u)
+
+	buildRows := func(pipe int) []v1rec {
+		var src = fwd
+		if pipe == 1 {
+			src = rev
+		}
+		recs := src.RecommendForUser(u, 5)
+		rows := make([]v1rec, 0, len(recs))
+		for _, sc := range recs {
+			rows = append(rows, v1rec{
+				Item:   az.DS.ItemName(sc.ID),
+				Domain: az.DS.DomainName(az.DS.Domain(sc.ID)),
+				Score:  sc.Score,
+			})
+		}
+		return rows
+	}
+
+	// First call: computed (cached=false).
+	want := encodeGolden(t, map[string]any{
+		"user": name, "cached": false, "recommendations": buildRows(0),
+	})
+	assertGolden(t, ts, "/api/user?user="+name+"&n=5", http.StatusOK, want)
+
+	// Second call: identical rows, cached=true.
+	want = encodeGolden(t, map[string]any{
+		"user": name, "cached": true, "recommendations": buildRows(0),
+	})
+	assertGolden(t, ts, "/api/user?user="+name+"&n=5", http.StatusOK, want)
+
+	// Explicit pipe routing still works and reports the reverse list.
+	want = encodeGolden(t, map[string]any{
+		"user": name, "cached": false, "recommendations": buildRows(1),
+	})
+	assertGolden(t, ts, "/api/user?user="+name+"&n=5&pipe=1", http.StatusOK, want)
+}
+
+func TestParityExplain(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	az, _, _ := fixture(t)
+
+	user, item := "both-0001", "b-00001"
+	uid, ok := svc.LookupUser(user)
+	if !ok {
+		t.Fatal("fixture user missing")
+	}
+	iid, ok := svc.FindItem(item)
+	if !ok {
+		t.Fatal("fixture item missing")
+	}
+	pi, ok := svc.PipelineInto(az.DS.Domain(iid))
+	if !ok {
+		t.Fatal("no pipeline into the item's domain")
+	}
+	expl, err := svc.Explain(pi, uid, iid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expl == nil {
+		expl = []serve.Explanation{}
+	}
+	want := encodeGolden(t, map[string]any{
+		"user": user, "item": item, "contributions": expl,
+	})
+	assertGolden(t, ts, "/api/explain?user="+user+"&item="+item, http.StatusOK, want)
+}
+
+func TestParityHealth(t *testing.T) {
+	ts := httptest.NewServer(newService(t, serve.Options{}).Handler())
+	defer ts.Close()
+	want := encodeGolden(t, map[string]string{"status": "ok"})
+	assertGolden(t, ts, "/healthz", http.StatusOK, want)
+}
+
+// TestParityErrors pins the v1 error contract byte-for-byte: the exact
+// {"error": "..."} messages and status codes the v1 clients see.
+func TestParityErrors(t *testing.T) {
+	ts := httptest.NewServer(newService(t, serve.Options{}).Handler())
+	defer ts.Close()
+
+	errBody := func(msg string) []byte {
+		return encodeGolden(t, map[string]string{"error": msg})
+	}
+	cases := []struct {
+		path   string
+		status int
+		want   []byte
+	}{
+		{"/api/recommend", http.StatusBadRequest, errBody("missing ?item=")},
+		{"/api/recommend?item=zzz-no-such-item", http.StatusNotFound,
+			errBody(`no item matching "zzz-no-such-item"`)},
+		{"/api/user?user=nobody-9999", http.StatusNotFound,
+			errBody(`unknown user "nobody-9999"`)},
+		{"/api/user?user=both-0000&pipe=1x", http.StatusBadRequest,
+			errBody(`bad pipe="1x": not an integer`)},
+		{"/api/explain?user=both-0001", http.StatusBadRequest, errBody("missing ?item=")},
+	}
+	for _, c := range cases {
+		assertGolden(t, ts, c.path, c.status, c.want)
+	}
+}

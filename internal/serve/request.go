@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"xmap/internal/core"
+	"xmap/internal/engine"
+	"xmap/internal/ratings"
+)
+
+// RequestEntry is one profile item in a Request. External callers (HTTP
+// bodies) identify the item by name; programmatic callers that already
+// hold dense IDs may set ID instead and leave Item empty. When both are
+// set, the name wins.
+type RequestEntry struct {
+	// Item is the item's external name, matched case-insensitively
+	// against the catalog (exact match only — no substring search on the
+	// serving path).
+	Item string `json:"item,omitempty"`
+	// ID is the dense item ID, used only when Item is empty. It is
+	// always marshalled (no omitempty): dense item 0 is a valid item,
+	// and a wire entry must name an "item" or carry an "id" — an entry
+	// with neither is rejected rather than silently resolved to item 0.
+	ID ratings.ItemID `json:"id"`
+	// Value is the rating carried by this entry.
+	Value float64 `json:"value"`
+	// Time is the logical timestep of the rating (0 = untimed).
+	Time int64 `json:"time,omitempty"`
+}
+
+// Request is one recommendation question. Exactly one of User or Profile
+// identifies whose taste to translate:
+//
+//   - User names a known user; their source-domain training profile
+//     feeds the Generator, and the result is cached under a user key
+//     (dropped by InvalidateUser).
+//   - Profile carries an explicit source profile — the cold-start /
+//     session spelling. Results are cached content-addressed: every
+//     permutation or duplicated spelling of one logical profile shares
+//     one entry.
+//
+// Source and Target select the pipeline by domain name ("movies",
+// "books"). Empty selectors route to the deployment's primary direction
+// (slot 0); naming only one side routes to the first pipeline matching
+// it. The Response reports which pair actually answered.
+type Request struct {
+	User    string         `json:"user,omitempty"`
+	Profile []RequestEntry `json:"profile,omitempty"`
+	// N is the requested list length (0 = Options.DefaultN, capped at
+	// Options.MaxN).
+	N int `json:"n,omitempty"`
+	// Now is the temporal reference point for Eq. 7 decay; 0 derives it
+	// from the newest profile entry (the legacy behaviour).
+	Now int64 `json:"now,omitempty"`
+	// ExcludeSeen additionally drops items the requester already
+	// interacted with: everything the named user rated in the training
+	// data, or the items listed in the request profile itself. The list
+	// may come back shorter than N.
+	ExcludeSeen bool `json:"exclude_seen,omitempty"`
+	// WithExplanations attaches the "because your AlterEgo liked …"
+	// contribution rows to every returned item (item-based pipelines;
+	// empty otherwise). Explanations are computed per request, not
+	// cached.
+	WithExplanations bool `json:"with_explanations,omitempty"`
+	// Source and Target are domain-name pipeline selectors.
+	Source string `json:"source,omitempty"`
+	Target string `json:"target,omitempty"`
+}
+
+// UnmarshalJSON enforces that a wire-level profile entry identifies its
+// item explicitly: either "item" (a name) or "id" must be present. An
+// entry with neither would otherwise decode to the zero ID and silently
+// answer as if the caller had rated dense item 0 — the strict-decode
+// principle applied inside the body. Go callers constructing
+// RequestEntry values directly are unaffected (ID 0 is a valid item).
+func (e *RequestEntry) UnmarshalJSON(data []byte) error {
+	var w struct {
+		Item  string          `json:"item"`
+		ID    *ratings.ItemID `json:"id"`
+		Value float64         `json:"value"`
+		Time  int64           `json:"time"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields() // keep the outer decoder's strictness
+	if err := dec.Decode(&w); err != nil {
+		return err
+	}
+	if w.Item == "" && w.ID == nil {
+		return errors.New("profile entry needs an \"item\" name or an \"id\"")
+	}
+	e.Item, e.Value, e.Time = w.Item, w.Value, w.Time
+	if w.ID != nil {
+		e.ID = *w.ID
+	} else {
+		e.ID = 0
+	}
+	return nil
+}
+
+// ScoredItem is one recommended item in a Response.
+type ScoredItem struct {
+	Item         string         `json:"item"`
+	ID           ratings.ItemID `json:"id"`
+	Domain       string         `json:"domain"`
+	Score        float64        `json:"score"`
+	Explanations []Explanation  `json:"explanations,omitempty"`
+}
+
+// Response answers a Request: the scored items plus the identity of the
+// pipeline that answered (which domain pair, which slot, which fit epoch)
+// and whether the list came from the result cache.
+type Response struct {
+	// User echoes the resolved user name ("" for profile requests).
+	User string `json:"user,omitempty"`
+	// Source → Target is the domain pair that answered.
+	Source string `json:"source"`
+	Target string `json:"target"`
+	// Mode is the recommender flavor ("item-based", "user-based").
+	Mode string `json:"mode"`
+	// Pipeline is the serving slot index (operational identity; stable
+	// across hot swaps of the same direction).
+	Pipeline int `json:"pipeline"`
+	// Epoch counts hot swaps of the slot — two responses with equal
+	// (Pipeline, Epoch) were computed by the same fit.
+	Epoch uint64 `json:"epoch"`
+	// Cached reports whether the list came from the result cache.
+	Cached bool         `json:"cached"`
+	Items  []ScoredItem `json:"items"`
+}
+
+// resolveDomain maps a request's domain-name selector to an ID.
+func (s *Service) resolveDomain(name string) (ratings.DomainID, error) {
+	d, ok := s.domIdx[strings.ToLower(name)]
+	if !ok {
+		return 0, fmt.Errorf("%w: unknown domain %q", ErrInvalidRequest, name)
+	}
+	return d, nil
+}
+
+// route picks the serving slot for a request's Source/Target selectors.
+func (s *Service) route(req Request) (int, error) {
+	switch {
+	case req.Source == "" && req.Target == "":
+		return 0, nil // the deployment's primary direction
+	case req.Source != "" && req.Target != "":
+		src, err := s.resolveDomain(req.Source)
+		if err != nil {
+			return 0, err
+		}
+		dst, err := s.resolveDomain(req.Target)
+		if err != nil {
+			return 0, err
+		}
+		if slot, ok := s.SlotFor(src, dst); ok {
+			return slot, nil
+		}
+		return 0, fmt.Errorf("%w: no pipeline serves %s→%s", ErrNoPipeline, req.Source, req.Target)
+	case req.Source != "":
+		src, err := s.resolveDomain(req.Source)
+		if err != nil {
+			return 0, err
+		}
+		if slot, ok := s.PipelineFrom(src); ok {
+			return slot, nil
+		}
+		return 0, fmt.Errorf("%w: no pipeline translates from %q", ErrNoPipeline, req.Source)
+	default:
+		dst, err := s.resolveDomain(req.Target)
+		if err != nil {
+			return 0, err
+		}
+		if slot, ok := s.PipelineInto(dst); ok {
+			return slot, nil
+		}
+		return 0, fmt.Errorf("%w: no pipeline recommends into %q", ErrNoPipeline, req.Target)
+	}
+}
+
+// resolveOnSlot normalizes a request against a known slot: user/profile
+// resolution, profile canonicalization, N clamping. It loads one
+// pipeline snapshot for the whole request lifetime (key derivation,
+// computation and response metadata all come from it), which is what
+// keeps Do race-free against concurrent SwapPipeline.
+func (s *Service) resolveOnSlot(slot int, req Request) (query, error) {
+	q := query{
+		slot: slot,
+		st:   s.pipes[slot].Load(),
+		n:    s.clampN(req.N),
+		now:  req.Now,
+	}
+	q.exclSeen = req.ExcludeSeen
+
+	hasUser := req.User != ""
+	hasProfile := len(req.Profile) > 0
+	switch {
+	case hasUser && hasProfile:
+		return q, fmt.Errorf("%w: user and profile are mutually exclusive", ErrInvalidRequest)
+	case !hasUser && !hasProfile:
+		return q, fmt.Errorf("%w: need a user or a non-empty profile", ErrInvalidRequest)
+	case hasUser:
+		u, ok := s.userIdx[req.User]
+		if !ok {
+			return q, fmt.Errorf("%w: %q", ErrUnknownUser, req.User)
+		}
+		q.kind, q.user = kindUser, u
+	default:
+		profile := make([]ratings.Entry, len(req.Profile))
+		for i, e := range req.Profile {
+			id := e.ID
+			if e.Item != "" {
+				var ok bool
+				if id, ok = s.itemIdx[strings.ToLower(e.Item)]; !ok {
+					return q, fmt.Errorf("%w: profile entry %d: %q", ErrUnknownItem, i, e.Item)
+				}
+			} else if id < 0 || int(id) >= s.ds.NumItems() {
+				return q, fmt.Errorf("%w: profile entry %d references unknown item ID %d", ErrInvalidRequest, i, id)
+			}
+			profile[i] = ratings.Entry{Item: id, Value: e.Value, Time: e.Time}
+		}
+		q.kind = kindProfile
+		q.profile = ratings.CanonicalEntries(profile)
+	}
+	return q, nil
+}
+
+// Do answers one typed Request: route by domain pair, resolve, serve
+// from the cache or compute under admission control. ctx is honored
+// end-to-end — a cancelled or expired context aborts the wait for a
+// worker slot (ErrOverloaded wrapping the ctx error). Every returned
+// error wraps one of the package sentinels, so callers dispatch with
+// errors.Is and the HTTP layer maps through HTTPStatus.
+func (s *Service) Do(ctx context.Context, req Request) (*Response, error) {
+	slot, err := s.route(req)
+	if err != nil {
+		return nil, err
+	}
+	return s.doOnSlot(ctx, slot, req)
+}
+
+// doOnSlot is Do with routing already decided — the shared core behind
+// Do and the v1 index-keyed HTTP adapter.
+func (s *Service) doOnSlot(ctx context.Context, slot int, req Request) (*Response, error) {
+	if err := s.checkPipe(slot); err != nil {
+		return nil, err
+	}
+	q, err := s.resolveOnSlot(slot, req)
+	if err != nil {
+		return nil, err
+	}
+	recs, cached, err := s.run(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+
+	p := q.st.p
+	resp := &Response{
+		User:     req.User,
+		Source:   s.ds.DomainName(p.Source()),
+		Target:   s.ds.DomainName(p.Target()),
+		Mode:     p.Config().Mode.String(),
+		Pipeline: slot,
+		Epoch:    q.st.epoch,
+		Cached:   cached,
+		Items:    make([]ScoredItem, len(recs)),
+	}
+	for i, r := range recs {
+		resp.Items[i] = ScoredItem{
+			Item:   s.ds.ItemName(r.ID),
+			ID:     r.ID,
+			Domain: s.ds.DomainName(s.ds.Domain(r.ID)),
+			Score:  r.Score,
+		}
+	}
+	if req.WithExplanations {
+		if err := s.attachExplanations(ctx, q, resp); err != nil {
+			return nil, err
+		}
+	}
+	return resp, nil
+}
+
+// attachExplanations fills in the per-item contribution rows. They are
+// derived from the AlterEgo, which is regenerated here (the cache stores
+// only the scored list); the work runs under the same admission control
+// and private-pipeline serialization as a miss computation.
+func (s *Service) attachExplanations(ctx context.Context, q query, resp *Response) error {
+	return s.withPipeline(ctx, q.slot, q.st.p, func(p *core.Pipeline) {
+		var ego []ratings.Entry
+		if q.kind == kindUser {
+			ego = p.AlterEgo(q.user)
+		} else {
+			ego = p.AlterEgoFromProfile(q.profile, nil)
+		}
+		for i := range resp.Items {
+			resp.Items[i].Explanations = s.explainItem(p, ego, resp.Items[i].ID)
+		}
+	})
+}
+
+// BatchResult is one element of a DoBatch answer: the response, or the
+// error that request individually failed with (wrapping a sentinel).
+type BatchResult struct {
+	Response *Response
+	Err      error
+}
+
+// DoBatch answers many Requests in one call, fanning them across the
+// worker-pool substrate (engine.ParallelForEach balances the skewed
+// per-user cost of power-law profiles) while per-computation admission
+// still flows through the shared limiter. Results are ordered like reqs;
+// each request fails or succeeds individually. Once ctx is cancelled or
+// expires, not-yet-started requests fail fast with ErrOverloaded and
+// queued computations abort their limiter waits — the batch returns
+// promptly with whatever completed.
+func (s *Service) DoBatch(ctx context.Context, reqs []Request) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	engine.ParallelForEach(len(reqs), s.opt.Workers, func(i int) {
+		if err := ctx.Err(); err != nil {
+			out[i] = BatchResult{Err: fmt.Errorf("%w: %w before the request started", ErrOverloaded, err)}
+			return
+		}
+		resp, err := s.Do(ctx, reqs[i])
+		out[i] = BatchResult{Response: resp, Err: err}
+	})
+	return out
+}

@@ -10,6 +10,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -40,6 +41,10 @@ type Options struct {
 	DefaultN int
 	// MaxN caps the list length a request may ask for (0 = 100).
 	MaxN int
+	// MaxBatch caps how many requests one POST /api/v2/recommend body
+	// may carry (0 = 256). DoBatch itself is uncapped — the cap guards
+	// the HTTP parse-then-fan-out path.
+	MaxBatch int
 }
 
 func (o Options) withDefaults() Options {
@@ -51,6 +56,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DefaultN > o.MaxN {
 		o.DefaultN = o.MaxN // the no-n spelling must not bypass the cap
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
 	}
 	return o
 }
@@ -95,10 +103,23 @@ type Service struct {
 	ctr     counters
 	opt     Options
 
+	// pairSlot routes (source, target) domain pairs to slots — the
+	// canonical request-facing identity of a pipeline. SwapPipeline
+	// preserves a slot's direction, so the map is immutable after New.
+	// When several slots serve one direction (A/B roster), the pair
+	// resolves to the first; the rest stay reachable by index.
+	pairSlot map[domainPair]int
+
 	// Name indexes, built once at construction (the dataset is immutable).
 	itemIdx map[string]ratings.ItemID
 	userIdx map[string]ratings.UserID
-	names   []string // lower-cased item names, indexed by ItemID
+	domIdx  map[string]ratings.DomainID // lower-cased domain names
+	names   []string                    // lower-cased item names, indexed by ItemID
+}
+
+// domainPair keys the request-facing pipeline roster.
+type domainPair struct {
+	src, dst ratings.DomainID
 }
 
 // New builds a Service over pipelines fitted on ds. Every pipeline must
@@ -135,8 +156,13 @@ func New(ds *ratings.Dataset, pipes []*core.Pipeline, opt Options) (*Service, er
 		limit:  engine.NewLimiter(opt.Workers),
 		opt:    opt,
 	}
+	s.pairSlot = make(map[domainPair]int, len(pipes))
 	for i, p := range pipes {
 		s.pipes[i].Store(&pipeState{p: p})
+		pair := domainPair{p.Source(), p.Target()}
+		if _, ok := s.pairSlot[pair]; !ok {
+			s.pairSlot[pair] = i
+		}
 	}
 	s.buildIndexes()
 	return s, nil
@@ -153,6 +179,10 @@ func (s *Service) buildIndexes() {
 	s.userIdx = make(map[string]ratings.UserID, s.ds.NumUsers())
 	for u := 0; u < s.ds.NumUsers(); u++ {
 		s.userIdx[s.ds.UserName(ratings.UserID(u))] = ratings.UserID(u)
+	}
+	s.domIdx = make(map[string]ratings.DomainID, s.ds.NumDomains())
+	for d := 0; d < s.ds.NumDomains(); d++ {
+		s.domIdx[strings.ToLower(s.ds.DomainName(ratings.DomainID(d)))] = ratings.DomainID(d)
 	}
 }
 
@@ -203,6 +233,42 @@ func (s *Service) SwapPipeline(i int, p *core.Pipeline) error {
 	s.pipes[i].Store(&pipeState{p: p, epoch: old.epoch + 1})
 	s.InvalidatePipeline(i) // reclaim the old epoch's entries eagerly
 	return nil
+}
+
+// SlotFor returns the slot index serving the (source, target) domain
+// pair — the canonical request-facing identity of a pipeline. When
+// several slots serve one direction, the first is returned (the rest
+// remain reachable by index for A/B setups).
+func (s *Service) SlotFor(src, dst ratings.DomainID) (int, bool) {
+	i, ok := s.pairSlot[domainPair{src, dst}]
+	return i, ok
+}
+
+// PipelineFor returns the current pipeline serving source→target
+// (read-only use).
+func (s *Service) PipelineFor(src, dst ratings.DomainID) (*core.Pipeline, bool) {
+	i, ok := s.SlotFor(src, dst)
+	if !ok {
+		return nil, false
+	}
+	return s.pipes[i].Load().p, true
+}
+
+// SwapPipelineFor hot-swaps the pipeline serving p's own (source,
+// target) direction — the domain-keyed spelling of SwapPipeline: the
+// replacement names the pair it serves, so no slot index changes hands
+// between the refit job and the server. Returns ErrNoPipeline when no
+// slot serves that direction.
+func (s *Service) SwapPipelineFor(p *core.Pipeline) error {
+	if p == nil {
+		return fmt.Errorf("%w: nil replacement pipeline", ErrInvalidRequest)
+	}
+	i, ok := s.SlotFor(p.Source(), p.Target())
+	if !ok {
+		return fmt.Errorf("%w: no slot serves %s→%s", ErrNoPipeline,
+			s.ds.DomainName(p.Source()), s.ds.DomainName(p.Target()))
+	}
+	return s.SwapPipeline(i, p)
 }
 
 // PipelineFrom returns the index of the pipeline translating *from* the
@@ -315,7 +381,7 @@ func profileHash(p []ratings.Entry) uint64 {
 
 func (s *Service) checkPipe(pipe int) error {
 	if pipe < 0 || pipe >= len(s.pipes) {
-		return fmt.Errorf("serve: pipeline index %d out of range [0,%d)", pipe, len(s.pipes))
+		return fmt.Errorf("%w: pipeline index %d out of range [0,%d)", ErrNoPipeline, pipe, len(s.pipes))
 	}
 	return nil
 }
@@ -329,23 +395,27 @@ func (s *Service) checkPipe(pipe int) error {
 // pipeline goes through here so the admission and serialization policy
 // lives in one place.
 //
+// The wait for a worker slot respects ctx: a cancelled or expired
+// request aborts the queue wait and returns ErrOverloaded (wrapping the
+// ctx error, so errors.Is matches both). Once admitted, the computation
+// runs to completion — finishing is cheaper than tearing down, and the
+// result still warms the cache. The private-pipeline mutex wait is not
+// ctx-aware (sync.Mutex); private serving is the rare configuration and
+// its critical sections are single computations.
+//
 // Lock order: pipeMu before the limiter slot. A queued private request
 // waits on the mutex without occupying a slot; taking the slot first
 // would let a burst of private-pipeline requests hold every slot while
 // blocked, starving lock-free pipelines of workers.
-func (s *Service) withPipeline(pipe int, p *core.Pipeline, fn func(p *core.Pipeline)) {
+func (s *Service) withPipeline(ctx context.Context, pipe int, p *core.Pipeline, fn func(p *core.Pipeline)) error {
 	if p.Config().Private {
 		s.pipeMu[pipe].Lock()
 		defer s.pipeMu[pipe].Unlock()
 	}
-	s.limit.Do(func() { fn(p) })
-}
-
-// compute is withPipeline for the common scored-list result shape.
-func (s *Service) compute(pipe int, p *core.Pipeline, fn func(p *core.Pipeline) []sim.Scored) []sim.Scored {
-	var out []sim.Scored
-	s.withPipeline(pipe, p, func(p *core.Pipeline) { out = fn(p) })
-	return out
+	if err := s.limit.DoCtx(ctx, func() { fn(p) }); err != nil {
+		return fmt.Errorf("%w: %w while waiting for a worker slot", ErrOverloaded, err)
+	}
+	return nil
 }
 
 // flightGroup collapses concurrent cache misses for the same key into a
@@ -358,34 +428,47 @@ type flightGroup struct {
 }
 
 type flight struct {
-	wg   sync.WaitGroup
+	done chan struct{} // closed when recs/err are final
 	recs []sim.Scored
+	err  error
 }
 
 // do runs fn once per key across concurrent callers; late arrivals block
-// until the leader's result is ready and share it.
-func (g *flightGroup) do(key cacheKey, fn func() []sim.Scored) []sim.Scored {
-	g.mu.Lock()
-	if g.m == nil {
-		g.m = make(map[cacheKey]*flight)
-	}
-	if f, ok := g.m[key]; ok {
+// until the leader's result is ready and share it. Waiting respects the
+// waiter's own ctx. A leader that fails (its ctx expired waiting for a
+// slot) does not doom its waiters: each live waiter retries, and the
+// first to re-enter becomes the next leader under its own deadline.
+func (g *flightGroup) do(ctx context.Context, key cacheKey, fn func() ([]sim.Scored, error)) ([]sim.Scored, error) {
+	for {
+		g.mu.Lock()
+		if g.m == nil {
+			g.m = make(map[cacheKey]*flight)
+		}
+		if f, ok := g.m[key]; ok {
+			g.mu.Unlock()
+			select {
+			case <-f.done:
+				if f.err == nil {
+					return f.recs, nil
+				}
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("%w: %w while waiting for an identical in-flight request", ErrOverloaded, err)
+				}
+				continue // leader failed on its ctx; retry under ours
+			case <-ctx.Done():
+				return nil, fmt.Errorf("%w: %w while waiting for an identical in-flight request", ErrOverloaded, ctx.Err())
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		g.m[key] = f
 		g.mu.Unlock()
-		f.wg.Wait()
-		return f.recs
-	}
-	f := &flight{}
-	f.wg.Add(1)
-	g.m[key] = f
-	g.mu.Unlock()
-	defer func() {
-		f.wg.Done()
+		f.recs, f.err = fn()
 		g.mu.Lock()
 		delete(g.m, key)
 		g.mu.Unlock()
-	}()
-	f.recs = fn()
-	return f.recs
+		close(f.done)
+		return f.recs, f.err
+	}
 }
 
 // missCompute is the shared miss path: collapse concurrent identical
@@ -393,21 +476,115 @@ func (g *flightGroup) do(key cacheKey, fn func() []sim.Scored) []sim.Scored {
 // cache first: a caller that missed, then lost the CPU across a whole
 // leader lifetime (compute, put, flight cleanup), would otherwise become
 // a second leader and recompute a list the cache already holds.
-func (s *Service) missCompute(key cacheKey, p *core.Pipeline, fn func(p *core.Pipeline) []sim.Scored) []sim.Scored {
-	return s.flights.do(key, func() []sim.Scored {
+func (s *Service) missCompute(ctx context.Context, key cacheKey, p *core.Pipeline, fn func(p *core.Pipeline) []sim.Scored) ([]sim.Scored, error) {
+	return s.flights.do(ctx, key, func() ([]sim.Scored, error) {
 		if recs, ok := s.cache.peek(key); ok {
-			return recs
+			return recs, nil
 		}
 		// Snapshot the invalidation generation before computing: if an
 		// invalidation lands mid-compute, the result is still returned to
 		// the caller but never published, so InvalidateUser cannot be
 		// undone by an in-flight miss.
 		gen := s.cache.gen.Load()
-		s.ctr.computations.Add(1)
-		recs := s.compute(key.pipe, p, fn)
+		var recs []sim.Scored
+		err := s.withPipeline(ctx, key.pipe, p, func(p *core.Pipeline) {
+			s.ctr.computations.Add(1)
+			recs = fn(p)
+		})
+		if err != nil {
+			return nil, err
+		}
 		s.cache.putIfGen(key, recs, gen)
-		return recs
+		return recs, nil
 	})
+}
+
+// query is one fully-resolved recommendation computation: a slot with the
+// pipeline snapshot its cache key belongs to, the normalized question
+// (user or canonical profile), and the already-clamped request knobs.
+// Request resolution (Do) and the legacy index-keyed wrappers both reduce
+// to this shape, so every serving path shares one cache/flight/admission
+// core.
+type query struct {
+	slot     int
+	st       *pipeState
+	kind     keyKind
+	user     ratings.UserID  // kindUser
+	profile  []ratings.Entry // kindProfile; canonical (sorted, deduped)
+	n        int             // clamped to [1, MaxN]
+	now      int64           // 0 = derive from the profile's newest entry
+	exclSeen bool
+}
+
+func (q *query) key() cacheKey {
+	k := cacheKey{pipe: q.slot, epoch: q.st.epoch, kind: q.kind, n: q.n, now: q.now}
+	if q.kind == kindUser {
+		k.hash = userHash(q.user)
+	} else {
+		k.hash = profileHash(q.profile)
+	}
+	if q.exclSeen {
+		k.flags |= flagExcludeSeen
+	}
+	return k
+}
+
+// run answers a resolved query: cache first, then the collapsed,
+// admission-controlled miss path. The returned slice is shared with the
+// cache — treat it as read-only.
+func (s *Service) run(ctx context.Context, q query) (recs []sim.Scored, cached bool, err error) {
+	key := q.key()
+	if recs, ok := s.cache.get(key); ok {
+		return recs, true, nil
+	}
+	recs, err = s.missCompute(ctx, key, q.st.p, func(p *core.Pipeline) []sim.Scored {
+		return s.computeList(p, q)
+	})
+	return recs, false, err
+}
+
+// computeList is the actual model call behind a miss. With the default
+// knobs (now = 0, no exclusions) it reduces exactly to the legacy
+// Pipeline.Recommend/RecommendForUser computation, so old and new
+// spellings of the same question produce — and cache — identical lists.
+func (s *Service) computeList(p *core.Pipeline, q query) []sim.Scored {
+	var ego []ratings.Entry
+	if q.kind == kindUser {
+		ego = p.AlterEgo(q.user)
+	} else {
+		ego = p.AlterEgoFromProfile(q.profile, nil)
+	}
+	now := q.now
+	if now == 0 {
+		now = eval.MaxTime(ego)
+	}
+	recs := p.RecommendAt(ego, q.n, now)
+	if q.exclSeen {
+		recs = s.filterSeen(recs, q)
+	}
+	return recs
+}
+
+// filterSeen drops recommendations the requester has already interacted
+// with: items the user rated anywhere in the training data (user
+// queries), or items listed in the request profile itself (profile
+// queries — the AlterEgo is built from the mapped source profile, so a
+// target-domain item the caller already supplied can otherwise be
+// recommended straight back).
+func (s *Service) filterSeen(recs []sim.Scored, q query) []sim.Scored {
+	out := recs[:0:len(recs)] // recs is this miss's fresh slice, safe to filter in place
+	for _, r := range recs {
+		seen := false
+		if q.kind == kindUser {
+			seen = s.ds.HasRated(q.user, r.ID)
+		} else {
+			_, seen = ratings.ProfileRating(q.profile, r.ID)
+		}
+		if !seen {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // Recommend returns the top-n target-domain items for an explicit source
@@ -420,6 +597,12 @@ func (s *Service) missCompute(key cacheKey, p *core.Pipeline, fn func(p *core.Pi
 // binary-searches the sorted-profile invariant, and the cache key is the
 // profile's content hash — without canonicalization every permutation of
 // the same profile would compute and cache its own entry.
+//
+// Deprecated: slot indices are an implementation detail of the pipeline
+// roster. Use Do with a Request carrying Profile (and, for routing,
+// Source/Target domain names) — it adds context cancellation, typed
+// errors and response metadata. This wrapper remains for index-keyed
+// callers and is a thin adapter over the same core.
 func (s *Service) Recommend(pipe int, profile []ratings.Entry, n int) (recs []sim.Scored, cached bool, err error) {
 	if err := s.checkPipe(pipe); err != nil {
 		return nil, false, err
@@ -427,48 +610,42 @@ func (s *Service) Recommend(pipe int, profile []ratings.Entry, n int) (recs []si
 	profile = ratings.CanonicalEntries(profile)
 	for _, e := range profile {
 		if e.Item < 0 || int(e.Item) >= s.ds.NumItems() {
-			return nil, false, fmt.Errorf("serve: profile references unknown item %d", e.Item)
+			return nil, false, fmt.Errorf("%w: profile references unknown item %d", ErrInvalidRequest, e.Item)
 		}
 	}
-	n = s.clampN(n)
-	st := s.pipes[pipe].Load()
-	key := cacheKey{pipe: pipe, epoch: st.epoch, kind: kindProfile, hash: profileHash(profile), n: n}
-	if recs, ok := s.cache.get(key); ok {
-		return recs, true, nil
-	}
-	recs = s.missCompute(key, st.p, func(p *core.Pipeline) []sim.Scored {
-		ego := p.AlterEgoFromProfile(profile, nil)
-		return p.Recommend(ego, n)
+	return s.run(context.Background(), query{
+		slot: pipe, st: s.pipes[pipe].Load(), kind: kindProfile,
+		profile: profile, n: s.clampN(n),
 	})
-	return recs, false, nil
 }
 
 // RecommendForUser returns the top-n list for a known user through
 // pipeline pipe, consulting the cache first. Entries are keyed by user,
 // so InvalidateUser drops them when the user's upstream data changes.
+//
+// Deprecated: use Do with a Request carrying the user's name (see
+// Recommend's deprecation note). This wrapper remains for index-keyed
+// callers and is a thin adapter over the same core.
 func (s *Service) RecommendForUser(pipe int, u ratings.UserID, n int) (recs []sim.Scored, cached bool, err error) {
 	if err := s.checkPipe(pipe); err != nil {
 		return nil, false, err
 	}
 	if int(u) < 0 || int(u) >= s.ds.NumUsers() {
-		return nil, false, fmt.Errorf("serve: user %d out of range", u)
+		return nil, false, fmt.Errorf("%w: user ID %d out of range", ErrUnknownUser, u)
 	}
-	n = s.clampN(n)
-	st := s.pipes[pipe].Load()
-	key := cacheKey{pipe: pipe, epoch: st.epoch, kind: kindUser, hash: userHash(u), n: n}
-	if recs, ok := s.cache.get(key); ok {
-		return recs, true, nil
-	}
-	recs = s.missCompute(key, st.p, func(p *core.Pipeline) []sim.Scored {
-		return p.RecommendForUser(u, n)
+	return s.run(context.Background(), query{
+		slot: pipe, st: s.pipes[pipe].Load(), kind: kindUser,
+		user: u, n: s.clampN(n),
 	})
-	return recs, false, nil
 }
 
 // RecommendUsersBatch computes top-n lists for many users, fanning the
 // cache misses across the worker-pool substrate (engine.ParallelForEach
 // balances the skewed per-user cost of power-law profiles). Results are
 // ordered like users and populate the cache for subsequent point queries.
+//
+// Deprecated: use DoBatch, which adds context cancellation and
+// per-request error reporting (this wrapper keeps only the first error).
 func (s *Service) RecommendUsersBatch(pipe int, users []ratings.UserID, n int) ([][]sim.Scored, error) {
 	if err := s.checkPipe(pipe); err != nil {
 		return nil, err
@@ -499,24 +676,33 @@ func (s *Service) Explain(pipe int, u ratings.UserID, item ratings.ItemID) ([]Ex
 		return nil, err
 	}
 	if int(u) < 0 || int(u) >= s.ds.NumUsers() {
-		return nil, fmt.Errorf("serve: user %d out of range", u)
+		return nil, fmt.Errorf("%w: user ID %d out of range", ErrUnknownUser, u)
 	}
 	if item < 0 || int(item) >= s.ds.NumItems() {
-		return nil, fmt.Errorf("serve: item %d out of range", item)
+		return nil, fmt.Errorf("%w: item ID %d out of range", ErrUnknownItem, item)
 	}
 	var out []Explanation
-	s.withPipeline(pipe, s.pipes[pipe].Load().p, func(p *core.Pipeline) {
+	err := s.withPipeline(context.Background(), pipe, s.pipes[pipe].Load().p, func(p *core.Pipeline) {
 		ego := p.AlterEgo(u)
-		for _, c := range p.Explain(ego, item, eval.MaxTime(ego)) {
-			out = append(out, Explanation{
-				Item:   s.ds.ItemName(c.Item),
-				Tau:    c.Tau,
-				Rating: c.Rating,
-				Decay:  c.Decay,
-			})
-		}
+		out = s.explainItem(p, ego, item)
 	})
-	return out, nil
+	return out, err
+}
+
+// explainItem renders the contribution rows for one (ego, item) pair.
+// The caller must already hold a worker slot (and the pipeline mutex for
+// private pipelines).
+func (s *Service) explainItem(p *core.Pipeline, ego []ratings.Entry, item ratings.ItemID) []Explanation {
+	var out []Explanation
+	for _, c := range p.Explain(ego, item, eval.MaxTime(ego)) {
+		out = append(out, Explanation{
+			Item:   s.ds.ItemName(c.Item),
+			Tau:    c.Tau,
+			Rating: c.Rating,
+			Decay:  c.Decay,
+		})
+	}
+	return out
 }
 
 // Explanation is one "because your AlterEgo liked …" row.

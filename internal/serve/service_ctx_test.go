@@ -1,0 +1,143 @@
+// White-box tests of context handling in the serving core: admission
+// control (limiter waits), singleflight waits and batch fan-out must all
+// abort when the request's ctx is cancelled or its deadline passes.
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"xmap/internal/core"
+	"xmap/internal/dataset"
+)
+
+// ctxFixture fits one small pipeline for the white-box ctx tests.
+var ctxFixture struct {
+	az   dataset.Amazon
+	pipe *core.Pipeline
+}
+
+func ctxService(t *testing.T, opt Options) *Service {
+	t.Helper()
+	if ctxFixture.pipe == nil {
+		cfg := dataset.DefaultAmazonConfig()
+		cfg.MovieUsers, cfg.BookUsers, cfg.OverlapUsers = 80, 90, 40
+		cfg.Movies, cfg.Books = 60, 70
+		cfg.RatingsPerUser = 14
+		ctxFixture.az = dataset.AmazonLike(cfg)
+		pcfg := core.DefaultConfig()
+		pcfg.K = 10
+		ctxFixture.pipe = core.Fit(ctxFixture.az.DS, ctxFixture.az.Movies, ctxFixture.az.Books, pcfg)
+	}
+	svc, err := New(ctxFixture.az.DS, []*core.Pipeline{ctxFixture.pipe}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// TestCtxCancellationAbortsLimiterWait is the admission-control contract:
+// with every worker slot held, a request whose deadline expires while
+// queued returns ErrOverloaded (wrapping the ctx error) instead of
+// waiting forever — and never runs its computation.
+func TestCtxCancellationAbortsLimiterWait(t *testing.T) {
+	svc := ctxService(t, Options{Workers: 1})
+	u := ctxFixture.az.DS.Straddlers(ctxFixture.az.Movies, ctxFixture.az.Books)[0]
+	name := ctxFixture.az.DS.UserName(u)
+
+	// Occupy the only worker slot.
+	if err := svc.limit.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := svc.Do(ctx, Request{User: name, N: 5})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queued request returned %v, want ErrOverloaded", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap the ctx cause", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("request waited %v past its 30ms deadline", waited)
+	}
+	if n := svc.Stats().Computations; n != 0 {
+		t.Fatalf("%d computations ran despite the held slot", n)
+	}
+
+	// Releasing the slot restores service; the same question now computes.
+	svc.limit.Release()
+	resp, err := svc.Do(context.Background(), Request{User: name, N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached || len(resp.Items) == 0 {
+		t.Fatalf("post-release request: cached=%v items=%d", resp.Cached, len(resp.Items))
+	}
+}
+
+// TestCtxCancellationAbortsFlightWait: a waiter collapsed onto another
+// request's in-flight computation still honors its own deadline.
+func TestCtxCancellationAbortsFlightWait(t *testing.T) {
+	svc := ctxService(t, Options{Workers: 1})
+	u := ctxFixture.az.DS.Straddlers(ctxFixture.az.Movies, ctxFixture.az.Books)[0]
+	name := ctxFixture.az.DS.UserName(u)
+
+	// Install a fake in-flight leader for the exact key the request
+	// derives, so the request becomes a flight waiter.
+	q, err := svc.resolveOnSlot(0, Request{User: name, N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := q.key()
+	f := &flight{done: make(chan struct{})}
+	svc.flights.mu.Lock()
+	svc.flights.m = map[cacheKey]*flight{key: f}
+	svc.flights.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, doErr := svc.Do(ctx, Request{User: name, N: 5})
+	if !errors.Is(doErr, ErrOverloaded) || !errors.Is(doErr, context.DeadlineExceeded) {
+		t.Fatalf("flight waiter returned %v, want ErrOverloaded wrapping DeadlineExceeded", doErr)
+	}
+
+	// A failed leader must not doom live waiters: finish the fake flight
+	// with an error, and a healthy request must retry and compute.
+	f.err = context.Canceled
+	svc.flights.mu.Lock()
+	delete(svc.flights.m, key)
+	svc.flights.mu.Unlock()
+	close(f.done)
+	resp, err := svc.Do(context.Background(), Request{User: name, N: 5})
+	if err != nil {
+		t.Fatalf("request after failed leader: %v", err)
+	}
+	if len(resp.Items) == 0 {
+		t.Fatal("request after failed leader returned no items")
+	}
+}
+
+// TestDoBatchCtxCancelledFailsFast: a batch whose ctx is already done
+// fails every element with ErrOverloaded instead of computing.
+func TestDoBatchCtxCancelledFailsFast(t *testing.T) {
+	svc := ctxService(t, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reqs := make([]Request, 8)
+	for i := range reqs {
+		reqs[i] = Request{User: ctxFixture.az.DS.UserName(0), N: 5}
+	}
+	for i, res := range svc.DoBatch(ctx, reqs) {
+		if !errors.Is(res.Err, ErrOverloaded) {
+			t.Fatalf("batch element %d: err=%v, want ErrOverloaded", i, res.Err)
+		}
+	}
+	if n := svc.Stats().Computations; n != 0 {
+		t.Fatalf("%d computations ran for a dead batch", n)
+	}
+}

@@ -13,11 +13,14 @@ const (
 	epHealth
 	epStats
 	epHome
+	epV2Recommend
+	epV2Pipelines
 	numEndpoints
 )
 
 var endpointNames = [numEndpoints]string{
 	"items", "recommend", "user", "explain", "health", "stats", "home",
+	"v2_recommend", "v2_pipelines",
 }
 
 // counters is the service's mutable observability state; everything is
@@ -50,6 +53,8 @@ type PipelineInfo struct {
 	Mode    string `json:"mode"`
 	Private bool   `json:"private"`
 	K       int    `json:"k"`
+	// Epoch counts hot swaps of the slot (see Response.Epoch).
+	Epoch uint64 `json:"epoch"`
 }
 
 // StatsSnapshot is the JSON body of GET /statsz and the return type of
@@ -91,14 +96,15 @@ func (s *Service) Stats() StatsSnapshot {
 		snap.Requests[endpointNames[ep]] = s.ctr.requests[ep].Load()
 	}
 	for i := range s.pipes {
-		p := s.pipes[i].Load().p
-		cfg := p.Config()
+		st := s.pipes[i].Load()
+		cfg := st.p.Config()
 		snap.Pipelines = append(snap.Pipelines, PipelineInfo{
-			Source:  s.ds.DomainName(p.Source()),
-			Target:  s.ds.DomainName(p.Target()),
+			Source:  s.ds.DomainName(st.p.Source()),
+			Target:  s.ds.DomainName(st.p.Target()),
 			Mode:    cfg.Mode.String(),
 			Private: cfg.Private,
 			K:       cfg.K,
+			Epoch:   st.epoch,
 		})
 	}
 	return snap

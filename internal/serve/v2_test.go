@@ -1,0 +1,686 @@
+// Tests of the v2 typed request/response API: Service.Do/DoBatch, the
+// pair-keyed routing, sentinel errors, and the POST /api/v2/* HTTP
+// surface — including the acceptance hammer: a 64-request batch body
+// served correctly under -race while SwapPipeline flips the pipeline
+// mid-flight, with ctx-cancelled requests interleaved.
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"xmap/internal/core"
+	"xmap/internal/ratings"
+	"xmap/internal/serve"
+	"xmap/internal/sim"
+)
+
+// namesOf maps a pipeline's scored list to item names, the form v2
+// responses report.
+func namesOf(t *testing.T, recs []sim.Scored) []string {
+	t.Helper()
+	az, _, _ := fixture(t)
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = az.DS.ItemName(r.ID)
+	}
+	return out
+}
+
+func itemNames(items []serve.ScoredItem) []string {
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = it.Item
+	}
+	return out
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDoUserRequest(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	az, fwd, _ := fixture(t)
+	u := az.DS.Straddlers(az.Movies, az.Books)[0]
+	name := az.DS.UserName(u)
+
+	resp, err := svc.Do(context.Background(), serve.Request{User: name, N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.User != name || resp.Cached || resp.Pipeline != 0 || resp.Epoch != 0 {
+		t.Fatalf("metadata = %+v, want user echo, uncached, slot 0, epoch 0", resp)
+	}
+	if resp.Source != "movies" || resp.Target != "books" || resp.Mode != "item-based" {
+		t.Fatalf("pipeline identity = %s→%s (%s)", resp.Source, resp.Target, resp.Mode)
+	}
+	want := namesOf(t, fwd.RecommendForUser(u, 5))
+	if !sameStrings(itemNames(resp.Items), want) {
+		t.Fatalf("items = %v, want %v", itemNames(resp.Items), want)
+	}
+	for _, it := range resp.Items {
+		if it.Domain != "books" {
+			t.Fatalf("item %q in domain %q, want books", it.Item, it.Domain)
+		}
+	}
+
+	// Second ask: cache hit, same list; and the old index-keyed wrapper
+	// shares the same cache entry (one serving core, two spellings).
+	resp2, err := svc.Do(context.Background(), serve.Request{User: name, N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp2.Cached {
+		t.Fatal("second Do not served from cache")
+	}
+	if _, cached, _ := svc.RecommendForUser(0, u, 5); !cached {
+		t.Fatal("legacy wrapper missed the cache entry Do populated")
+	}
+	if st := svc.Stats(); st.Computations != 1 {
+		t.Fatalf("computations = %d across Do/Do/RecommendForUser, want 1", st.Computations)
+	}
+}
+
+func TestDoProfileRequestContentAddressed(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	az, _, _ := fixture(t)
+	u := az.DS.Straddlers(az.Movies, az.Books)[0]
+
+	var byID, byName []serve.RequestEntry
+	for _, e := range az.DS.Items(u) {
+		if az.DS.Domain(e.Item) == az.Movies {
+			byID = append(byID, serve.RequestEntry{ID: e.Item, Value: e.Value, Time: e.Time})
+			byName = append(byName, serve.RequestEntry{Item: az.DS.ItemName(e.Item), Value: e.Value, Time: e.Time})
+		}
+	}
+	if len(byID) == 0 {
+		t.Fatal("straddler has no movie profile")
+	}
+
+	r1, err := svc.Do(context.Background(), serve.Request{Profile: byID, N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached || r1.User != "" {
+		t.Fatalf("first profile request: cached=%v user=%q", r1.Cached, r1.User)
+	}
+	// Name-identified spelling of the same profile: same cache entry.
+	r2, err := svc.Do(context.Background(), serve.Request{Profile: byName, N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Fatal("name-spelled profile missed the ID-spelled profile's entry")
+	}
+	if !sameStrings(itemNames(r1.Items), itemNames(r2.Items)) {
+		t.Fatal("two spellings of one profile returned different lists")
+	}
+	// And the legacy explicit-profile wrapper shares it too.
+	var entries []ratings.Entry
+	for _, e := range byID {
+		entries = append(entries, ratings.Entry{Item: e.ID, Value: e.Value, Time: e.Time})
+	}
+	if _, cached, _ := svc.Recommend(0, entries, 10); !cached {
+		t.Fatal("legacy Recommend missed the profile entry Do populated")
+	}
+}
+
+func TestDoRouting(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	az, _, rev := fixture(t)
+	u := az.DS.Straddlers(az.Movies, az.Books)[0]
+	name := az.DS.UserName(u)
+
+	// Explicit pair routes to the reverse pipeline (slot 1).
+	resp, err := svc.Do(context.Background(), serve.Request{User: name, Source: "books", Target: "movies", N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Pipeline != 1 || resp.Source != "books" || resp.Target != "movies" {
+		t.Fatalf("pair routing answered from slot %d (%s→%s)", resp.Pipeline, resp.Source, resp.Target)
+	}
+	want := namesOf(t, rev.RecommendForUser(u, 5))
+	if !sameStrings(itemNames(resp.Items), want) {
+		t.Fatalf("items = %v, want reverse pipeline's %v", itemNames(resp.Items), want)
+	}
+
+	// One-sided selectors.
+	if resp, err = svc.Do(context.Background(), serve.Request{User: name, Source: "books", N: 5}); err != nil || resp.Pipeline != 1 {
+		t.Fatalf("source-only routing: slot=%d err=%v", resp.Pipeline, err)
+	}
+	if resp, err = svc.Do(context.Background(), serve.Request{User: name, Target: "books", N: 5}); err != nil || resp.Pipeline != 0 {
+		t.Fatalf("target-only routing: slot=%d err=%v", resp.Pipeline, err)
+	}
+
+	// Unknown domain name is an invalid request; a valid but unserved
+	// pair is ErrNoPipeline.
+	if _, err = svc.Do(context.Background(), serve.Request{User: name, Source: "songs", N: 5}); !errors.Is(err, serve.ErrInvalidRequest) {
+		t.Fatalf("unknown domain: %v, want ErrInvalidRequest", err)
+	}
+	if _, err = svc.Do(context.Background(), serve.Request{User: name, Source: "movies", Target: "movies", N: 5}); !errors.Is(err, serve.ErrNoPipeline) {
+		t.Fatalf("unserved pair: %v, want ErrNoPipeline", err)
+	}
+}
+
+func TestDoValidationErrors(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	az, _, _ := fixture(t)
+	name := az.DS.UserName(az.DS.Straddlers(az.Movies, az.Books)[0])
+	bg := context.Background()
+
+	cases := []struct {
+		req  serve.Request
+		want error
+	}{
+		{serve.Request{N: 5}, serve.ErrInvalidRequest},
+		{serve.Request{User: name, Profile: []serve.RequestEntry{{ID: 0, Value: 5}}}, serve.ErrInvalidRequest},
+		{serve.Request{User: "nobody-9999"}, serve.ErrUnknownUser},
+		{serve.Request{Profile: []serve.RequestEntry{{Item: "zzz-no-such", Value: 5}}}, serve.ErrUnknownItem},
+		{serve.Request{Profile: []serve.RequestEntry{{ID: ratings.ItemID(az.DS.NumItems() + 7), Value: 5}}}, serve.ErrInvalidRequest},
+		{serve.Request{Profile: []serve.RequestEntry{{ID: -2, Value: 5}}}, serve.ErrInvalidRequest},
+	}
+	for i, c := range cases {
+		if _, err := svc.Do(bg, c.req); !errors.Is(err, c.want) {
+			t.Errorf("case %d: err = %v, want %v", i, err, c.want)
+		}
+	}
+}
+
+func TestSentinelErrorsOnLegacyWrappers(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	az, _, _ := fixture(t)
+
+	if _, _, err := svc.RecommendForUser(99, 0, 5); !errors.Is(err, serve.ErrNoPipeline) {
+		t.Fatalf("bad slot: %v, want ErrNoPipeline", err)
+	}
+	if _, _, err := svc.RecommendForUser(0, ratings.UserID(az.DS.NumUsers()+1), 5); !errors.Is(err, serve.ErrUnknownUser) {
+		t.Fatalf("bad user: %v, want ErrUnknownUser", err)
+	}
+	if _, _, err := svc.Recommend(0, []ratings.Entry{{Item: -1, Value: 5}}, 5); !errors.Is(err, serve.ErrInvalidRequest) {
+		t.Fatalf("bad profile: %v, want ErrInvalidRequest", err)
+	}
+	if _, err := svc.Explain(0, 0, ratings.ItemID(az.DS.NumItems()+1)); !errors.Is(err, serve.ErrUnknownItem) {
+		t.Fatalf("bad item: %v, want ErrUnknownItem", err)
+	}
+}
+
+func TestDoExcludeSeen(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	az, _, _ := fixture(t)
+	u := az.DS.Straddlers(az.Movies, az.Books)[0]
+	name := az.DS.UserName(u)
+
+	resp, err := svc.Do(context.Background(), serve.Request{User: name, N: 20, ExcludeSeen: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range resp.Items {
+		if az.DS.HasRated(u, it.ID) {
+			t.Fatalf("ExcludeSeen returned %q, which user %s already rated", it.Item, name)
+		}
+	}
+
+	// The knob is part of the cache key: the default spelling must not
+	// share entries with the filtered one.
+	plain, err := svc.Do(context.Background(), serve.Request{User: name, N: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cached {
+		t.Fatal("unfiltered request hit the filtered request's cache entry")
+	}
+
+	// Profile spelling: a target-domain item supplied in the profile must
+	// not be recommended back.
+	var prof []serve.RequestEntry
+	for _, e := range az.DS.Items(u) {
+		prof = append(prof, serve.RequestEntry{ID: e.Item, Value: e.Value, Time: e.Time})
+	}
+	presp, err := svc.Do(context.Background(), serve.Request{Profile: prof, N: 20, ExcludeSeen: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	supplied := make(map[ratings.ItemID]bool, len(prof))
+	for _, e := range prof {
+		supplied[e.ID] = true
+	}
+	for _, it := range presp.Items {
+		if supplied[it.ID] {
+			t.Fatalf("profile request recommended back supplied item %q", it.Item)
+		}
+	}
+}
+
+func TestDoNowIsPartOfTheKey(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	az, _, _ := fixture(t)
+	name := az.DS.UserName(az.DS.Straddlers(az.Movies, az.Books)[0])
+
+	if _, err := svc.Do(context.Background(), serve.Request{User: name, N: 5, Now: 40}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := svc.Do(context.Background(), serve.Request{User: name, N: 5, Now: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached {
+		t.Fatal("different Now hit the same cache entry")
+	}
+	if resp, err = svc.Do(context.Background(), serve.Request{User: name, N: 5, Now: 40}); err != nil || !resp.Cached {
+		t.Fatalf("repeated Now=40 request: cached=%v err=%v", resp.Cached, err)
+	}
+}
+
+func TestDoWithExplanations(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	az, _, _ := fixture(t)
+	u := az.DS.Straddlers(az.Movies, az.Books)[0]
+	name := az.DS.UserName(u)
+
+	resp, err := svc.Do(context.Background(), serve.Request{User: name, N: 5, WithExplanations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Items) == 0 {
+		t.Fatal("no items")
+	}
+	// Explanations must match the explain endpoint's rows for the same
+	// (user, item) — one formula, two surfaces.
+	want, err := svc.Explain(0, u, resp.Items[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := resp.Items[0].Explanations
+	if len(got) != len(want) {
+		t.Fatalf("item 0: %d explanation rows inline, %d via Explain", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("explanation row %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDoBatchMixed(t *testing.T) {
+	svc := newService(t, serve.Options{Workers: 4})
+	az, fwd, _ := fixture(t)
+	users := az.DS.Straddlers(az.Movies, az.Books)[:6]
+
+	reqs := make([]serve.Request, 0, len(users)+2)
+	for _, u := range users {
+		reqs = append(reqs, serve.Request{User: az.DS.UserName(u), N: 5})
+	}
+	reqs = append(reqs,
+		serve.Request{User: "nobody-9999", N: 5},
+		serve.Request{N: 5}, // neither user nor profile
+	)
+	results := svc.DoBatch(context.Background(), reqs)
+	if len(results) != len(reqs) {
+		t.Fatalf("got %d results for %d requests", len(results), len(reqs))
+	}
+	for i, u := range users {
+		if results[i].Err != nil {
+			t.Fatalf("request %d failed: %v", i, results[i].Err)
+		}
+		want := namesOf(t, fwd.RecommendForUser(u, 5))
+		if !sameStrings(itemNames(results[i].Response.Items), want) {
+			t.Fatalf("request %d items = %v, want %v", i, itemNames(results[i].Response.Items), want)
+		}
+	}
+	if !errors.Is(results[len(users)].Err, serve.ErrUnknownUser) {
+		t.Fatalf("unknown-user element: %v, want ErrUnknownUser", results[len(users)].Err)
+	}
+	if !errors.Is(results[len(users)+1].Err, serve.ErrInvalidRequest) {
+		t.Fatalf("empty element: %v, want ErrInvalidRequest", results[len(users)+1].Err)
+	}
+	// The batch warmed the cache for point queries.
+	if resp, err := svc.Do(context.Background(), serve.Request{User: az.DS.UserName(users[0]), N: 5}); err != nil || !resp.Cached {
+		t.Fatalf("batch did not warm the cache: %+v, %v", resp, err)
+	}
+}
+
+func TestSwapPipelineFor(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	az, fwd, rev := fixture(t)
+
+	ncfg := fwd.Config()
+	ncfg.Alpha = 0
+	repl := fwd.Derive(ncfg)
+	if err := svc.SwapPipelineFor(repl); err != nil {
+		t.Fatalf("SwapPipelineFor: %v", err)
+	}
+	if svc.Pipeline(0) != repl {
+		t.Fatal("pair-keyed swap did not land in slot 0")
+	}
+	if got, ok := svc.PipelineFor(az.Movies, az.Books); !ok || got != repl {
+		t.Fatalf("PipelineFor returned %v/%v", got, ok)
+	}
+	if _, ok := svc.SlotFor(az.Books, az.Books); ok {
+		t.Fatal("SlotFor invented a pipeline for an unserved pair")
+	}
+
+	// A single-direction service cannot pair-swap the reverse direction.
+	single, err := serve.New(az.DS, []*core.Pipeline{fwd}, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := rev.Config()
+	rcfg.Alpha = 0
+	if err := single.SwapPipelineFor(rev.Derive(rcfg)); !errors.Is(err, serve.ErrNoPipeline) {
+		t.Fatalf("reverse swap on single-direction service: %v, want ErrNoPipeline", err)
+	}
+	if err := single.SwapPipelineFor(nil); !errors.Is(err, serve.ErrInvalidRequest) {
+		t.Fatalf("nil swap: %v, want ErrInvalidRequest", err)
+	}
+}
+
+// --- HTTP v2 -------------------------------------------------------------
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body []byte, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d (body %s)", path, resp.StatusCode, wantStatus, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("POST %s: Content-Type %q", path, ct)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("POST %s: decode: %v (body %s)", path, err, raw)
+	}
+	return out
+}
+
+func TestV2HTTPSingleRequest(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	az, fwd, _ := fixture(t)
+	u := az.DS.Straddlers(az.Movies, az.Books)[0]
+	name := az.DS.UserName(u)
+
+	body := postJSON(t, ts, "/api/v2/recommend",
+		[]byte(fmt.Sprintf(`{"user":%q,"n":5}`, name)), http.StatusOK)
+	if body["user"] != name || body["source"] != "movies" || body["target"] != "books" {
+		t.Fatalf("envelope = %v", body)
+	}
+	items := body["items"].([]any)
+	want := namesOf(t, fwd.RecommendForUser(u, 5))
+	if len(items) != len(want) {
+		t.Fatalf("%d items, want %d", len(items), len(want))
+	}
+	for i, it := range items {
+		row := it.(map[string]any)
+		if row["item"] != want[i] {
+			t.Fatalf("item %d = %v, want %v", i, row["item"], want[i])
+		}
+	}
+}
+
+// TestV2HTTPExplicitIDZero: an entry that names dense item 0 explicitly
+// ("id":0) is valid wire — only entries identifying no item are rejected.
+func TestV2HTTPExplicitIDZero(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	body := postJSON(t, ts, "/api/v2/recommend",
+		[]byte(`{"profile":[{"id":0,"value":5}],"n":3}`), http.StatusOK)
+	if _, ok := body["items"].([]any); !ok {
+		t.Fatalf("no items in %v", body)
+	}
+}
+
+func TestV2HTTPErrorEnvelopes(t *testing.T) {
+	svc := newService(t, serve.Options{MaxBatch: 4})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		body       string
+		wantStatus int
+		wantCode   string
+	}{
+		{`{"user":"nobody-9999"}`, http.StatusNotFound, "unknown_user"},
+		{`{"n":5}`, http.StatusBadRequest, "invalid_request"},
+		{`{"user":"both-0000","source":"songs"}`, http.StatusBadRequest, "invalid_request"},
+		{`{"user":"both-0000","source":"movies","target":"movies"}`, http.StatusNotFound, "no_pipeline"},
+		{`{"profile":[{"item":"zzz-no-such","value":5}]}`, http.StatusNotFound, "unknown_item"},
+		{`{"profile":[{"value":5}]}`, http.StatusBadRequest, "invalid_request"},               // entry names no item: must not resolve to ID 0
+		{`{"profile":[{"id":0,"valu":5}]}`, http.StatusBadRequest, "invalid_request"},         // typo'd entry field: strict decode
+		{`{"user":"both-0000","exclude_sen":true}`, http.StatusBadRequest, "invalid_request"}, // typo'd knob: strict decode
+		{`not json`, http.StatusBadRequest, "invalid_request"},
+		{``, http.StatusBadRequest, "invalid_request"},
+		{`[]`, http.StatusBadRequest, "invalid_request"},
+		{`[{},{},{},{},{}]`, http.StatusBadRequest, "invalid_request"}, // batch over MaxBatch=4
+	}
+	for i, c := range cases {
+		body := postJSON(t, ts, "/api/v2/recommend", []byte(c.body), c.wantStatus)
+		envelope, ok := body["error"].(map[string]any)
+		if !ok {
+			t.Fatalf("case %d: no error envelope in %v", i, body)
+		}
+		if envelope["code"] != c.wantCode {
+			t.Fatalf("case %d: code = %v, want %v", i, envelope["code"], c.wantCode)
+		}
+		if envelope["message"] == "" {
+			t.Fatalf("case %d: empty message", i)
+		}
+	}
+}
+
+func TestV2HTTPPipelines(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	body := getJSON(t, ts, "/api/v2/pipelines", http.StatusOK)
+	doms := body["domains"].([]any)
+	if len(doms) != 2 {
+		t.Fatalf("domains = %v", doms)
+	}
+	rows := body["pipelines"].([]any)
+	if len(rows) != 2 {
+		t.Fatalf("%d pipeline rows, want 2", len(rows))
+	}
+	first := rows[0].(map[string]any)
+	if first["source"] != "movies" || first["target"] != "books" || first["pipeline"] != float64(0) {
+		t.Fatalf("row 0 = %v", first)
+	}
+	if first["baseline_edges"].(float64) <= 0 || first["xsim_hetero_pairs"].(float64) <= 0 {
+		t.Fatalf("row 0 diagnostics degenerate: %v", first)
+	}
+	if _, ok := first["epoch"]; !ok {
+		t.Fatalf("row 0 missing epoch: %v", first)
+	}
+}
+
+// TestV2HTTPBatch64UnderSwapRace is the acceptance hammer: a 64-request
+// batch body is POSTed repeatedly from several goroutines while
+// SwapPipeline continuously installs re-derived replacements and other
+// goroutines fire ctx-cancelled requests. Run under -race. Every batch
+// element must succeed and its list must equal the output of one of the
+// pipelines ever installed — never a torn mix.
+func TestV2HTTPBatch64UnderSwapRace(t *testing.T) {
+	svc := newService(t, serve.Options{CacheSize: 256, CacheShards: 8})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	az, fwd, _ := fixture(t)
+
+	users := az.DS.Straddlers(az.Movies, az.Books)
+	if len(users) > 16 {
+		users = users[:16]
+	}
+
+	cfg1 := fwd.Config()
+	cfg1.Alpha = 0
+	p1 := fwd.Derive(cfg1)
+	cfg2 := fwd.Config()
+	cfg2.Alpha = 0.9
+	p2 := fwd.Derive(cfg2)
+
+	// Every list a request may legitimately observe, keyed by user name.
+	truth := make(map[string][][]string, len(users))
+	for _, u := range users {
+		truth[az.DS.UserName(u)] = [][]string{
+			namesOf(t, fwd.RecommendForUser(u, 10)),
+			namesOf(t, p1.RecommendForUser(u, 10)),
+			namesOf(t, p2.RecommendForUser(u, 10)),
+		}
+	}
+
+	// One 64-request batch body cycling through the users.
+	reqs := make([]serve.Request, 64)
+	for i := range reqs {
+		reqs[i] = serve.Request{User: az.DS.UserName(users[i%len(users)]), N: 10}
+	}
+	body, err := json.Marshal(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var bgWG sync.WaitGroup
+	bgWG.Add(2)
+	go func() { // swapper
+		defer bgWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			next := p1
+			if i%2 == 1 {
+				next = p2
+			}
+			if err := svc.SwapPipelineFor(next); err != nil {
+				t.Errorf("SwapPipelineFor: %v", err)
+				return
+			}
+			if i%3 == 0 {
+				svc.InvalidatePipeline(0) // extra miss pressure
+			}
+		}
+	}()
+	go func() { // ctx-cancelled direct traffic riding along
+		defer bgWG.Done()
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(rng.Intn(200))*time.Microsecond)
+			_, err := svc.Do(ctx, serve.Request{User: az.DS.UserName(users[i%len(users)]), N: 10})
+			cancel()
+			if err != nil && !errors.Is(err, serve.ErrOverloaded) {
+				t.Errorf("cancelled request returned non-overload error: %v", err)
+				return
+			}
+		}
+	}()
+
+	type wireItem struct {
+		Item string `json:"item"`
+	}
+	type wireResp struct {
+		User  string     `json:"user"`
+		Items []wireItem `json:"items"`
+	}
+	type wireElem struct {
+		Response *wireResp `json:"response"`
+		Error    *struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+
+	const posters = 4
+	const rounds = 15
+	var wg sync.WaitGroup
+	errs := make(chan error, posters)
+	for g := 0; g < posters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				resp, err := http.Post(ts.URL+"/api/v2/recommend", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("batch status %d: %s", resp.StatusCode, raw)
+					return
+				}
+				var out struct {
+					Results []wireElem `json:"results"`
+				}
+				if err := json.Unmarshal(raw, &out); err != nil {
+					errs <- fmt.Errorf("decode batch: %v", err)
+					return
+				}
+				if len(out.Results) != len(reqs) {
+					errs <- fmt.Errorf("batch returned %d results, want %d", len(out.Results), len(reqs))
+					return
+				}
+				for i, el := range out.Results {
+					if el.Error != nil {
+						errs <- fmt.Errorf("element %d failed: %s %s", i, el.Error.Code, el.Error.Message)
+						return
+					}
+					got := make([]string, len(el.Response.Items))
+					for j, it := range el.Response.Items {
+						got[j] = it.Item
+					}
+					ok := false
+					for _, want := range truth[reqs[i].User] {
+						if sameStrings(got, want) {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						errs <- fmt.Errorf("element %d (%s): list matches no installed pipeline", i, reqs[i].User)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	bgWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

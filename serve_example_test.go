@@ -1,6 +1,8 @@
 package xmap_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -48,4 +50,68 @@ func Example_serving() {
 	// 200 application/json
 	// 200 application/json
 	// cache: 1 hit, 1 miss
+}
+
+// Example_batchServing drives the API v2 batch path end-to-end: one POST
+// to /api/v2/recommend carries several typed requests — here two user
+// queries with different knobs and one unknown user — and each element
+// of the response succeeds or fails individually with a structured
+// {code, message} error envelope.
+func Example_batchServing() {
+	cfg := xmap.DefaultAmazonConfig()
+	cfg.MovieUsers, cfg.BookUsers, cfg.OverlapUsers = 80, 90, 40
+	cfg.Movies, cfg.Books = 60, 70
+	cfg.RatingsPerUser = 14
+	az := xmap.GenerateAmazonLike(cfg)
+
+	pcfg := xmap.DefaultConfig()
+	pcfg.K = 15
+	pipe := xmap.Fit(az.DS, az.Movies, az.Books, pcfg)
+
+	svc, err := xmap.NewService(az.DS, []*xmap.Pipeline{pipe}, xmap.ServeOptions{})
+	if err != nil {
+		fmt.Println("service:", err)
+		return
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	batch, _ := json.Marshal([]xmap.Request{
+		{User: "both-0000", N: 3},
+		{User: "both-0001", N: 3, ExcludeSeen: true},
+		{User: "nobody-9999", N: 3},
+	})
+	resp, err := http.Post(ts.URL+"/api/v2/recommend", "application/json", bytes.NewReader(batch))
+	if err != nil {
+		fmt.Println("post:", err)
+		return
+	}
+	defer resp.Body.Close()
+
+	var out struct {
+		Results []struct {
+			Response *xmap.Response `json:"response"`
+			Error    *struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		fmt.Println("decode:", err)
+		return
+	}
+	fmt.Println(resp.StatusCode, "results:", len(out.Results))
+	for i, el := range out.Results {
+		if el.Error != nil {
+			fmt.Printf("#%d error code=%s\n", i, el.Error.Code)
+			continue
+		}
+		fmt.Printf("#%d %s→%s items=%d\n", i, el.Response.Source, el.Response.Target, len(el.Response.Items))
+	}
+
+	// Output:
+	// 200 results: 3
+	// #0 movies→books items=3
+	// #1 movies→books items=3
+	// #2 error code=unknown_user
 }
