@@ -88,6 +88,29 @@ type (
 	// DomainPair names one (source, target) direction for FitPairs and
 	// pair-keyed serving.
 	DomainPair = core.DomainPair
+
+	// Refitter owns the streaming-ingestion loop: it queues appended
+	// ratings, folds them into the dataset with Dataset.WithAppended on a
+	// ticker or queue-depth trigger, refits every pipeline via the delta
+	// path (FitDelta), and publishes the results through the Service's
+	// hot-swap machinery.
+	Refitter = core.Refitter
+	// RefitterOptions configures the Refitter's triggers and fit knobs.
+	RefitterOptions = core.RefitterOptions
+	// RefitStats summarizes one refit round (events drained, users
+	// touched, pipelines republished, wall-clock).
+	RefitStats = core.RefitStats
+
+	// Ingestor accepts appended ratings; the Refitter implements it, and
+	// Service.SetIngestor wires it behind POST /api/v2/ratings.
+	Ingestor = serve.Ingestor
+	// RatingEntry is one appended rating in an ingest request, by user
+	// and item name.
+	RatingEntry = serve.RatingEntry
+	// IngestResponse summarizes an accepted ingest batch.
+	IngestResponse = serve.IngestResponse
+	// IngestElem is one per-entry result of an ingest batch.
+	IngestElem = serve.IngestElem
 )
 
 // Sentinel errors of the serving API. Every error a Service method
@@ -143,6 +166,23 @@ func FitWithOptions(ctx context.Context, ds *Dataset, source, target DomainID, c
 // abandons the remaining fits at their next phase boundary.
 func FitPairs(ctx context.Context, ds *Dataset, pairs []DomainPair, cfg Config) ([]*Pipeline, error) {
 	return core.FitPairs(ctx, ds, pairs, cfg)
+}
+
+// FitDelta folds an append-only dataset change into a fitted pipeline by
+// the incremental path: only rows touched by the appended users' ratings
+// are recomputed, everything else is reused. ds must derive from old's
+// dataset via Dataset.WithAppended, and touched is the delta's
+// TouchedUsers. The result is bit-for-bit identical to Fit over ds.
+func FitDelta(old *Pipeline, ds *Dataset, touched []UserID) (*Pipeline, error) {
+	return core.FitDelta(old, ds, touched)
+}
+
+// NewRefitter builds the streaming-ingestion loop over pipelines fitted
+// on ds, publishing refits through the Service's hot-swap machinery.
+// Wire it behind POST /api/v2/ratings with Service.SetIngestor and drive
+// it with Refitter.Run.
+func NewRefitter(ds *Dataset, pipes []*Pipeline, svc *Service, opt RefitterOptions) (*Refitter, error) {
+	return core.NewRefitter(ds, pipes, svc, opt)
 }
 
 // GenerateAmazonLike produces a synthetic two-domain trace with the same

@@ -266,6 +266,78 @@ func BenchmarkFit(b *testing.B) {
 	}
 }
 
+// --- incremental-refit benchmarks ---
+//
+// BenchmarkFullRefit and BenchmarkAppendRefit are the two sides of the
+// streaming-ingestion trade: the same ~1% rating delta folded into a
+// fitted pipeline either by rebuilding the world or by the delta path
+// (Dataset.WithAppended + core.FitDelta). The fixture is the launch-
+// cohort shape (dataset.AmazonLikeLaunch): two dozen new cross-domain
+// accounts rating two dozen brand-new items — the streaming case the
+// delta path is built for, where the recompute set stays confined to
+// the launch rows. (An existing-user tail is the adversarial shape:
+// every touched user's mean shift ripples into all rows their Zipf-
+// popular profiles graze, and the delta path degrades towards a full
+// rebuild while staying correct — see TestFitDeltaMatchesFullFit.)
+// Both loops include the WithAppended merge so the comparison is
+// end-to-end from "delta in hand" to "fresh pipeline". The delta path
+// produces bit-for-bit the same pipeline; the ratio of these two series
+// is the speedup BENCH.json tracks as dsappend.
+
+var refitFixture struct {
+	once sync.Once
+	az   dataset.Amazon
+	base *ratings.Dataset
+	tail []ratings.Rating
+	old  *core.Pipeline
+}
+
+func refitPath(b *testing.B) *struct {
+	once sync.Once
+	az   dataset.Amazon
+	base *ratings.Dataset
+	tail []ratings.Rating
+	old  *core.Pipeline
+} {
+	refitFixture.once.Do(func() {
+		cfg := dataset.DefaultAmazonConfig()
+		cfg.Seed = 7
+		cfg.MovieUsers, cfg.BookUsers, cfg.OverlapUsers = 600, 640, 180
+		cfg.Movies, cfg.Books = 300, 380
+		cfg.RatingsPerUser = 30
+		az, tail := dataset.AmazonLikeLaunch(cfg, dataset.LaunchConfig{
+			Users: 24, Movies: 12, Books: 12, RatingsPerDomain: 10,
+		})
+		refitFixture.az = az
+		refitFixture.base = az.DS
+		refitFixture.tail = tail
+		refitFixture.old = core.Fit(az.DS, az.Movies, az.Books, core.DefaultConfig())
+	})
+	return &refitFixture
+}
+
+func BenchmarkFullRefit(b *testing.B) {
+	f := refitPath(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		merged, _ := f.base.WithAppended(f.tail)
+		core.Fit(merged, f.az.Movies, f.az.Books, core.DefaultConfig())
+	}
+}
+
+func BenchmarkAppendRefit(b *testing.B) {
+	f := refitPath(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		merged, d := f.base.WithAppended(f.tail)
+		if _, err := core.FitDelta(f.old, merged, d.TouchedUsers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDatasetBuild measures Builder.Build on the micro fixture: the
 // sort-based dedup + CSR assembly that every fit and every train/test
 // split starts from. Tracked in BENCH.json (dsbuild) across PRs. Each

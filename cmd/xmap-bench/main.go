@@ -11,8 +11,10 @@
 //	xmap-bench -scale small -json BENCH.json
 //
 // Experiments: fig1b fig5 fig6 fig7 fig8 fig9 fig10 tab2 tab3 fig11
-// dsbuild all (dsbuild is the dataset-store micro series: Builder.Build
-// and Dataset.Filter measured with testing.Benchmark).
+// dsbuild dsappend all (dsbuild is the dataset-store micro series:
+// Builder.Build and Dataset.Filter measured with testing.Benchmark;
+// dsappend is the incremental-refit series: a ~1% launch-cohort append
+// folded in by core.FitDelta vs a full core.Fit rebuild).
 //
 // With -json, a machine-readable summary — per-experiment wall-clock
 // seconds plus headline quality metrics — is written to the given path so
@@ -30,6 +32,7 @@ import (
 	"testing"
 	"time"
 
+	"xmap/internal/core"
 	"xmap/internal/dataset"
 	"xmap/internal/experiments"
 	"xmap/internal/ratings"
@@ -84,6 +87,12 @@ func headlineMetrics(r fmt.Stringer) map[string]float64 {
 			"build_allocs_op":  v.BuildAllocsOp,
 			"filter_ns_op":     v.FilterNsOp,
 			"filter_allocs_op": v.FilterAllocsOp,
+		}
+	case dsAppendResult:
+		return map[string]float64{
+			"full_refit_ns_op":   v.FullNsOp,
+			"append_refit_ns_op": v.AppendNsOp,
+			"refit_speedup":      v.Speedup,
 		}
 	default:
 		return nil
@@ -145,9 +154,71 @@ func datasetBuildBench() fmt.Stringer {
 	}
 }
 
+// dsAppendResult carries the incremental-refit series: the same ~1%
+// launch-cohort delta (dataset.AmazonLikeLaunch) folded into a fitted
+// pipeline either by a full core.Fit over the merged trace or by the
+// delta path (Dataset.WithAppended + core.FitDelta). Both ns/op series
+// land in BENCH.json under the CI regression gate; Speedup is the
+// headline ratio (the streaming-ingestion acceptance floor is 5×).
+type dsAppendResult struct {
+	FullNsOp   float64
+	AppendNsOp float64
+	Speedup    float64
+	Ratings    int
+	Tail       int
+}
+
+func (r dsAppendResult) String() string {
+	return fmt.Sprintf("FullRefit: %.0f ns/op | AppendRefit: %.0f ns/op | speedup %.1f× (%d base ratings, %d tail)",
+		r.FullNsOp, r.AppendNsOp, r.Speedup, r.Ratings, r.Tail)
+}
+
+// datasetAppendBench mirrors BenchmarkFullRefit/BenchmarkAppendRefit
+// (the `go test -bench` twins): one launch-cohort fixture, one fitted
+// pipeline, then the merge-and-refit loop measured both ways. Both
+// loops include the WithAppended merge so the comparison is end-to-end
+// from "delta in hand" to "fresh pipeline"; FitDelta's output is
+// bit-identical to the full fit (pinned by core's equivalence tests).
+func datasetAppendBench() fmt.Stringer {
+	cfg := dataset.DefaultAmazonConfig()
+	cfg.Seed = 7
+	cfg.MovieUsers, cfg.BookUsers, cfg.OverlapUsers = 600, 640, 180
+	cfg.Movies, cfg.Books = 300, 380
+	cfg.RatingsPerUser = 30
+	az, tail := dataset.AmazonLikeLaunch(cfg, dataset.LaunchConfig{
+		Users: 24, Movies: 12, Books: 12, RatingsPerDomain: 10,
+	})
+	old := core.Fit(az.DS, az.Movies, az.Books, core.DefaultConfig())
+
+	full := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			merged, _ := az.DS.WithAppended(tail)
+			core.Fit(merged, az.Movies, az.Books, core.DefaultConfig())
+		}
+	})
+	app := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			merged, d := az.DS.WithAppended(tail)
+			if _, err := core.FitDelta(old, merged, d.TouchedUsers); err != nil {
+				panic(err)
+			}
+		}
+	})
+	res := dsAppendResult{
+		FullNsOp:   float64(full.NsPerOp()),
+		AppendNsOp: float64(app.NsPerOp()),
+		Ratings:    az.DS.NumRatings(),
+		Tail:       len(tail),
+	}
+	if res.AppendNsOp > 0 {
+		res.Speedup = res.FullNsOp / res.AppendNsOp
+	}
+	return res
+}
+
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (fig1b, fig5..fig11, tab2, tab3, dsbuild, all)")
+		experiment = flag.String("experiment", "all", "experiment id (fig1b, fig5..fig11, tab2, tab3, dsbuild, dsappend, all)")
 		scaleName  = flag.String("scale", "default", "workload scale: small or default")
 		seed       = flag.Int64("seed", 0, "override the scale's RNG seed (0 = keep)")
 		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
@@ -187,6 +258,7 @@ func main() {
 		{"tab3", func() fmt.Stringer { return experiments.Table3(sc) }},
 		{"fig11", func() fmt.Stringer { return experiments.Figure11(sc, *measure) }},
 		{"dsbuild", func() fmt.Stringer { return datasetBuildBench() }},
+		{"dsappend", func() fmt.Stringer { return datasetAppendBench() }},
 	}
 
 	report := jsonReport{

@@ -6,14 +6,25 @@
 //
 //	xmap-datagen -kind amazon -out trace.csv
 //	xmap-datagen -kind movielens -users 2000 -items 800 -out ml.csv
+//	xmap-datagen -kind amazon -out base.csv -stream tail.csv -stream-frac 0.02
+//
+// With -stream the trace is split by recency: -out receives the base
+// trace minus the latest -stream-frac of ratings, and -stream receives
+// those held-back ratings as a timestamp-ordered append tail (same CSV
+// header). The two files partition the full trace exactly — replaying
+// the tail against a server fitted on the base (POST /api/v2/ratings,
+// see xmap-server -refit-interval) reconstructs it, which is the
+// streaming-ingestion benchmark setup.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"xmap/internal/dataset"
+	"xmap/internal/ratings"
 )
 
 func main() {
@@ -24,20 +35,17 @@ func main() {
 		users   = flag.Int("users", 0, "override total users (0 = default)")
 		items   = flag.Int("items", 0, "override total items (0 = default)")
 		perUser = flag.Int("ratings-per-user", 0, "override mean profile size (0 = default)")
+		stream  = flag.String("stream", "", "also write a timestamp-ordered append tail to this path")
+		streamF = flag.Float64("stream-frac", 0.01, "fraction of the latest ratings diverted to the -stream tail")
 	)
 	flag.Parse()
 
-	w := os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "xmap-datagen:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
+	if *stream != "" && (*streamF <= 0 || *streamF >= 1) {
+		fmt.Fprintf(os.Stderr, "xmap-datagen: -stream-frac %v out of range (0, 1)\n", *streamF)
+		os.Exit(2)
 	}
 
+	var ds *ratings.Dataset
 	switch *kind {
 	case "amazon":
 		cfg := dataset.DefaultAmazonConfig()
@@ -57,11 +65,8 @@ func main() {
 			cfg.RatingsPerUser = *perUser
 		}
 		az := dataset.AmazonLike(cfg)
-		if err := dataset.SaveCSV(w, az.DS); err != nil {
-			fmt.Fprintln(os.Stderr, "xmap-datagen:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "amazon-like trace: %s\n", az.DS.ComputeStats())
+		ds = az.DS
+		fmt.Fprintf(os.Stderr, "amazon-like trace: %s\n", ds.ComputeStats())
 	case "movielens":
 		cfg := dataset.DefaultMovieLensConfig()
 		cfg.Seed = *seed
@@ -75,13 +80,46 @@ func main() {
 			cfg.RatingsPerUser = *perUser
 		}
 		ml := dataset.MovieLensLike(cfg)
-		if err := dataset.SaveCSV(w, ml.DS); err != nil {
-			fmt.Fprintln(os.Stderr, "xmap-datagen:", err)
-			os.Exit(1)
-		}
+		ds = ml.DS
 		fmt.Fprintf(os.Stderr, "movielens-like trace: %s\n", ml.DS.ComputeStats())
 	default:
 		fmt.Fprintf(os.Stderr, "unknown kind %q (want amazon or movielens)\n", *kind)
 		os.Exit(2)
 	}
+
+	base, tail := ds, []ratings.Rating(nil)
+	if *stream != "" {
+		base, tail = dataset.SplitTail(ds, *streamF)
+		fmt.Fprintf(os.Stderr, "stream split: %d base ratings, %d tail events\n",
+			base.NumRatings(), len(tail))
+	}
+
+	if err := writeCSV(*out, func(w io.Writer) error { return dataset.SaveCSV(w, base) }); err != nil {
+		fmt.Fprintln(os.Stderr, "xmap-datagen:", err)
+		os.Exit(1)
+	}
+	if *stream != "" {
+		err := writeCSV(*stream, func(w io.Writer) error { return dataset.SaveCSVRatings(w, ds, tail) })
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xmap-datagen:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeCSV opens path (- = stdout) and hands it to emit, closing with
+// error checking so a full disk is not reported as success.
+func writeCSV(path string, emit func(io.Writer) error) error {
+	if path == "-" {
+		return emit(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

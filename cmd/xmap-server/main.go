@@ -13,10 +13,20 @@
 //
 //	xmap-server                       # synthetic trace, listen on :8080
 //	xmap-server -data trace.csv -addr :9090
+//	xmap-server -refit-interval 30s -refit-queue 256
+//
+// With -refit-interval and/or -refit-queue the server accepts streaming
+// rating events on POST /api/v2/ratings and folds them into the fitted
+// pipelines incrementally: a core.Refitter drains the queue on a timer
+// (and early when the queue reaches -refit-queue events), delta-refits
+// every pipeline, and hot-swaps the results into the service without
+// dropping a request. With both flags zero ingestion is disabled and the
+// endpoint answers 503 ingest_disabled.
 //
 // Endpoints (v2 is the typed request/response surface; v1 is frozen):
 //
 //	POST /api/v2/recommend   JSON body: one request or an array (batch)
+//	POST /api/v2/ratings     JSON body: one rating event or an array
 //	GET  /api/v2/pipelines   fitted (source, target) pairs + diagnostics
 //	GET /                    tiny HTML search page
 //	GET /api/items?q=inter   item-name search
@@ -51,6 +61,9 @@ func main() {
 		cacheSize = flag.Int("cache", 4096, "total cached top-N lists")
 		shards    = flag.Int("cache-shards", 16, "cache shard count (rounded up to a power of two)")
 		workers   = flag.Int("workers", 0, "concurrent Recommend slots (0 = GOMAXPROCS)")
+		maxQueue  = flag.Int("max-queue", 0, "max requests waiting for a slot before shedding 503s (0 = unbounded)")
+		refitIv   = flag.Duration("refit-interval", 0, "incremental refit period for ingested ratings (0 = no timer)")
+		refitQ    = flag.Int("refit-queue", 0, "queued ratings that trigger an early refit (0 = no depth trigger)")
 	)
 	flag.Parse()
 
@@ -81,9 +94,38 @@ func main() {
 		CacheSize:   *cacheSize,
 		CacheShards: *shards,
 		Workers:     *workers,
+		MaxQueue:    *maxQueue,
 	})
 	if err != nil {
 		log.Fatalf("xmap-server: %v", err)
+	}
+
+	// Streaming ingestion: a Refitter owns the rating queue and publishes
+	// delta-refitted pipelines back into the service (svc satisfies
+	// core.Publisher). It shares the signal ctx, so Ctrl-C also stops the
+	// refit loop; an in-flight pass finishes or requeues cleanly.
+	if *refitIv > 0 || *refitQ > 0 {
+		rf, err := core.NewRefitter(ds, pipes, svc, core.RefitterOptions{
+			Interval: *refitIv,
+			MaxQueue: *refitQ,
+			OnRefit: func(st core.RefitStats) {
+				if st.Drained == 0 {
+					return
+				}
+				log.Printf("refit: %d events (%d new, %d updated) across %d users → %d pipelines in %v",
+					st.Drained, st.Added, st.Updated, st.TouchedUsers, st.Pipelines, st.Duration.Round(time.Millisecond))
+			},
+		})
+		if err != nil {
+			log.Fatalf("xmap-server: %v", err)
+		}
+		svc.SetIngestor(rf)
+		go func() {
+			if err := rf.Run(ctx); err != nil && err != context.Canceled {
+				log.Printf("refit loop: %v", err)
+			}
+		}()
+		log.Printf("ingestion enabled (refit interval %v, queue trigger %d)", *refitIv, *refitQ)
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}

@@ -84,6 +84,35 @@
 // exported symbols ship at least one release with a Deprecated: note
 // before removal.
 //
+// # Streaming ingestion
+//
+// The trace grows all day, so the system also has an online write path:
+// POST /api/v2/ratings accepts a batch of appended ratings (same
+// sentinel-error envelopes as v2 recommend), Service.SetIngestor routes
+// them to a Refitter, and the Refitter folds queued deltas into the
+// dataset and pipelines on a ticker or queue-depth trigger:
+//
+//	rf, _ := xmap.NewRefitter(ds, pipes, svc, xmap.RefitterOptions{
+//	    Interval: 30 * time.Second, MaxQueue: 256})
+//	svc.SetIngestor(rf)
+//	go rf.Run(ctx)
+//
+// A refit round is incremental end-to-end: Dataset.WithAppended merges
+// the delta into the flat CSR arrays in O(touched rows) plus one flat
+// copy (no re-sort), and FitDelta recomputes only the similarity rows,
+// graph rows and serving-model rows the touched users' ratings can
+// reach, copying every other row verbatim from the previous fit. The
+// result is bit-for-bit identical (`==`) to a full Fit over the merged
+// trace — for any worker count, pinned by equivalence tests — so
+// freshness costs O(delta's reach), not O(dataset). On the launch-cohort
+// benchmark fixture (new users rating new items, a ~1% delta whose reach
+// stays confined), BenchmarkAppendRefit lands ~10× under
+// BenchmarkFullRefit; an existing-user delta degrades gracefully towards
+// full-rebuild cost as its reach grows, while staying exact. Refits
+// publish through Service.SwapPipelineFor, so readers never block;
+// cmd/xmap-datagen -stream emits a base trace plus a time-ordered append
+// tail for exercising the path end-to-end.
+//
 // # Dataset layout
 //
 // The rating store itself (internal/ratings) is flat: both indexes are

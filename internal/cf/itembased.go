@@ -104,6 +104,55 @@ func NewItemBased(pairs *sim.Pairs, dom ratings.DomainID, opt ItemBasedOptions) 
 	return m
 }
 
+// UpdateItemBased builds the model for pairs — a table derived from the
+// one old was built from via sim.Pairs.UpdateRowsChanged, with changed
+// naming the rows whose content may differ — recomputing only the
+// neighbor lists of changed in-domain items and sharing the rest with
+// old (the lists are immutable after construction). opt must be the
+// options old was built with; the result is then bit-identical to
+// NewItemBased(pairs, dom, opt), because a neighbor list is a pure
+// function of its own baseline row.
+func UpdateItemBased(old *ItemBased, pairs *sim.Pairs, changed []ratings.ItemID, opt ItemBasedOptions) *ItemBased {
+	ds := pairs.Dataset()
+	m := &ItemBased{
+		ds: ds, dom: old.dom, k: opt.K, alpha: opt.Alpha,
+		nbrs:    make([][]ItemNeighbor, ds.NumItems()),
+		keepAll: opt.KeepCandidates,
+	}
+	copy(m.nbrs, old.nbrs)
+	if opt.KeepCandidates {
+		m.cands = make([][]ItemNeighbor, ds.NumItems())
+		copy(m.cands, old.cands)
+	}
+	m.scratch = scratch.NewPool[profCell](ds.NumItems())
+	for _, i := range changed {
+		if ds.Domain(i) != old.dom {
+			continue
+		}
+		var all []ItemNeighbor
+		for _, e := range pairs.Neighbors(i) {
+			if ds.Domain(e.To) != old.dom {
+				continue
+			}
+			tau := e.Sim
+			if opt.Shrinkage > 0 {
+				tau *= float64(e.Co) / (float64(e.Co) + opt.Shrinkage)
+			}
+			all = append(all, ItemNeighbor{Item: e.To, Tau: tau})
+		}
+		sortItemNeighbors(all)
+		if opt.KeepCandidates {
+			m.cands[i] = all
+		}
+		top := all
+		if opt.K > 0 && len(top) > opt.K {
+			top = top[:opt.K]
+		}
+		m.nbrs[i] = top
+	}
+	return m
+}
+
 func sortItemNeighbors(ns []ItemNeighbor) {
 	// Insertion sort for short lists; (Tau desc, Item asc) is a total
 	// order (Item is unique within a list), so the unstable slices sort

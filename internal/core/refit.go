@@ -1,0 +1,353 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"xmap/internal/alterego"
+	"xmap/internal/cf"
+	"xmap/internal/graph"
+	"xmap/internal/ratings"
+	"xmap/internal/xsim"
+)
+
+// FitDeltaWithOptions refits a pipeline after a rating append instead of
+// rebuilding the world: ds must be derived from old's training dataset by
+// ratings.Dataset.WithAppended, and touched the delta's TouchedUsers. Every
+// phase is incremental, keyed off the set of changed pair rows: the
+// Baseliner re-runs only the rows co-rated with touched users
+// (sim.Pairs.UpdateRowsChanged), the layered graph reuses every pruned
+// adjacency row without a changed input (graph.UpdateRows), the Extender
+// recomposes only the X-Sim rows whose composition inputs changed
+// (xsim.ExtendDelta), and the default item-based serving model shares all
+// unchanged neighbor lists (cf.UpdateItemBased). Only the non-default
+// modes — user-based, private — rebuild their serving models in full:
+// their models hang off user profiles or draw fresh noise, so a row-keyed
+// delta does not apply.
+//
+// The result is bit-for-bit identical to FitWithOptions over ds with old's
+// configuration — same entries, offsets, similarity rows and served lists,
+// for any worker count — which is what lets the Refitter alternate delta
+// and full fits freely. The configuration is taken from old (a refit under
+// different settings would not be a refit); ctx cancels at phase boundaries
+// exactly like FitWithOptions.
+func FitDeltaWithOptions(ctx context.Context, old *Pipeline, ds *ratings.Dataset, touched []ratings.UserID, opt FitOptions) (*Pipeline, error) {
+	if old == nil {
+		return nil, errors.New("core: FitDelta from nil pipeline")
+	}
+	if !ds.SharesUniverse(old.ds) {
+		return nil, errors.New("core: FitDelta dataset does not share the old pipeline's universe (not derived by WithAppended)")
+	}
+	cfg := old.cfg // already normalized by the original fit
+	progress := opt.Progress
+	if progress == nil {
+		progress = func(string, time.Duration) {}
+	}
+	p := &Pipeline{cfg: cfg, ds: ds, src: old.src, dst: old.dst, rng: rand.New(rand.NewSource(cfg.Seed))}
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Baseliner (§5.1), delta form: recompute only affected pair rows,
+	// remembering which rows changed for the downstream phases.
+	start := time.Now()
+	var changed []ratings.ItemID
+	p.pairs, changed = old.pairs.UpdateRowsChanged(ds, touched, cfg.Workers)
+	p.baselinerTime = time.Since(start)
+	progress("baseliner", p.baselinerTime)
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Extender (§5.2), delta form: the layered graph reuses pruned rows
+	// without changed inputs, and the quadratic composition reuses every
+	// old X-Sim row whose legs match.
+	start = time.Now()
+	p.graph = graph.UpdateRows(old.graph, p.pairs, changed, graph.Options{K: cfg.K, Workers: cfg.Workers})
+	p.table = xsim.ExtendDelta(p.graph, old.graph, old.table, xsim.Options{
+		TopK: cfg.TopKExtend, LegsK: cfg.K, Workers: cfg.Workers, KeepFull: true,
+	})
+	p.extenderTime = time.Since(start)
+	progress("extender", p.extenderTime)
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	p.buildServingDelta(cfg, old, changed)
+	p.modelTime = time.Since(start)
+	progress("models", p.modelTime)
+	return p, nil
+}
+
+// buildServingDelta is buildServing with the recommender phase keyed off
+// the changed pair rows: the default (non-private, item-based) model
+// shares every unchanged neighbor list with old's. The other modes fall
+// back to the full rebuild — user-based models hang off user profiles,
+// and private ones draw fresh noise — which keeps this a pure
+// optimization with identical semantics.
+func (p *Pipeline) buildServingDelta(cfg Config, old *Pipeline, changed []ratings.ItemID) {
+	if cfg.Private || cfg.Mode == UserBasedMode || old.ibModel == nil {
+		p.buildServing(cfg)
+		return
+	}
+	if cfg.RecenterAlterEgo {
+		p.mapper = alterego.NewMapper(p.table).WithRecentering(p.ds)
+	} else {
+		p.mapper = alterego.NewMapper(p.table)
+	}
+	if cfg.Replacements > 1 {
+		p.mapper = p.mapper.WithTopReplacements(cfg.Replacements)
+	}
+	p.ibModel = cf.UpdateItemBased(old.ibModel, p.pairs, changed, cf.ItemBasedOptions{
+		K: cfg.K, Alpha: cfg.Alpha, Shrinkage: cfg.Shrinkage,
+		KeepCandidates: cfg.Private,
+	})
+}
+
+// FitDelta is FitDeltaWithOptions without cancellation or observability.
+func FitDelta(old *Pipeline, ds *ratings.Dataset, touched []ratings.UserID) (*Pipeline, error) {
+	return FitDeltaWithOptions(context.Background(), old, ds, touched, FitOptions{})
+}
+
+// Publisher receives freshly refitted pipelines. *serve.Service satisfies
+// it (SwapPipelineFor routes a pipeline to the slot serving its domain
+// pair and swaps it in atomically); tests substitute recorders. Defined
+// here rather than in serve because serve imports core.
+type Publisher interface {
+	SwapPipelineFor(p *Pipeline) error
+}
+
+// RefitterOptions configures the streaming refit loop. The zero value is
+// valid: no ticker, no depth trigger — refits happen only when Refit is
+// called explicitly.
+type RefitterOptions struct {
+	// Interval is the refit cadence of Run's ticker. Zero disables the
+	// ticker; refits then run only on the depth trigger or explicit calls.
+	Interval time.Duration
+
+	// MaxQueue, when > 0, triggers an immediate refit as soon as the
+	// pending-delta queue reaches this many ratings, instead of waiting
+	// for the next tick.
+	MaxQueue int
+
+	// OnRefit, if non-nil, is called after every completed refit with its
+	// statistics (including no-op refits that found an empty queue).
+	OnRefit func(RefitStats)
+}
+
+// RefitStats describes one completed refit pass.
+type RefitStats struct {
+	Drained      int           // ratings drained from the queue
+	Added        int           // observations appended as new
+	Updated      int           // observations that replaced an existing rating
+	TouchedUsers int           // users whose profiles the delta touched
+	Pipelines    int           // pipelines refitted and published
+	Duration     time.Duration // wall-clock time of the whole pass
+}
+
+// Refitter owns the streaming-ingestion queue and the incremental refit
+// loop: ratings are enqueued (typically by the serving layer's ingest
+// endpoint), and on every trigger — ticker tick, queue-depth threshold or
+// explicit Refit call — the pending delta is merged into the dataset with
+// WithAppended, every pipeline is delta-refitted with FitDelta, and the
+// results are handed to the Publisher (normally serve.SwapPipelineFor's
+// epoch-bumping atomic swap).
+//
+// Concurrency: Enqueue is safe to call from any number of goroutines while
+// a refit is in flight; refit passes themselves are serialized. The
+// Refitter's dataset and pipelines advance together — after a successful
+// pass every pipeline is fitted on the merged dataset, which seeds the
+// next delta.
+type Refitter struct {
+	pub Publisher
+	opt RefitterOptions
+
+	mu      sync.Mutex // guards pending, ds, pipes
+	pending []ratings.Rating
+	ds      *ratings.Dataset
+	pipes   []*Pipeline
+
+	fitMu   sync.Mutex    // serializes refit passes
+	trigger chan struct{} // depth-trigger signal, capacity 1
+}
+
+// NewRefitter builds a Refitter over the given fitted pipelines. Every
+// pipeline must be fitted on ds — the delta path's soundness depends on
+// the queue being the only divergence between the dataset and the
+// pipelines. pub may be nil (refits then only update the Refitter's own
+// state, the embedding-in-a-batch-job case).
+func NewRefitter(ds *ratings.Dataset, pipes []*Pipeline, pub Publisher, opt RefitterOptions) (*Refitter, error) {
+	if ds == nil {
+		return nil, errors.New("core: NewRefitter with nil dataset")
+	}
+	if len(pipes) == 0 {
+		return nil, errors.New("core: NewRefitter with no pipelines")
+	}
+	for i, p := range pipes {
+		if p == nil {
+			return nil, fmt.Errorf("core: NewRefitter pipeline %d is nil", i)
+		}
+		if p.Dataset() != ds {
+			return nil, fmt.Errorf("core: NewRefitter pipeline %d is fitted on a different dataset", i)
+		}
+	}
+	return &Refitter{
+		pub:     pub,
+		opt:     opt,
+		ds:      ds,
+		pipes:   append([]*Pipeline(nil), pipes...),
+		trigger: make(chan struct{}, 1),
+	}, nil
+}
+
+// Enqueue validates and appends ratings to the pending delta, returning
+// the resulting queue depth. IDs are checked against the fixed universe
+// (the streaming path never mints users, items or domains); on any invalid
+// rating nothing is enqueued. When the depth reaches MaxQueue the Run
+// loop's depth trigger fires (non-blocking — a pending trigger absorbs
+// repeats).
+func (r *Refitter) Enqueue(rs []ratings.Rating) (int, error) {
+	r.mu.Lock()
+	nu, ni := r.ds.NumUsers(), r.ds.NumItems()
+	for _, rt := range rs {
+		if int(rt.User) < 0 || int(rt.User) >= nu {
+			r.mu.Unlock()
+			return 0, fmt.Errorf("core: enqueue: unknown user %d", rt.User)
+		}
+		if int(rt.Item) < 0 || int(rt.Item) >= ni {
+			r.mu.Unlock()
+			return 0, fmt.Errorf("core: enqueue: unknown item %d", rt.Item)
+		}
+	}
+	r.pending = append(r.pending, rs...)
+	depth := len(r.pending)
+	r.mu.Unlock()
+
+	if r.opt.MaxQueue > 0 && depth >= r.opt.MaxQueue {
+		select {
+		case r.trigger <- struct{}{}:
+		default:
+		}
+	}
+	return depth, nil
+}
+
+// QueueDepth reports the number of pending (not yet refitted) ratings.
+func (r *Refitter) QueueDepth() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
+}
+
+// Dataset returns the current merged dataset (the base of the next delta).
+func (r *Refitter) Dataset() *ratings.Dataset {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ds
+}
+
+// Pipelines returns the current refitted pipelines, in construction order.
+func (r *Refitter) Pipelines() []*Pipeline {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Pipeline(nil), r.pipes...)
+}
+
+// Refit runs one refit pass: drain the queue, merge the delta, delta-refit
+// every pipeline, publish. An empty queue is a cheap no-op. On error —
+// cancellation mid-fit or a publish rejection — the drained ratings are
+// restored to the front of the queue and the Refitter's dataset/pipelines
+// stay at the last consistent state, so the next pass retries the whole
+// delta; pipelines already handed to the Publisher before the error stay
+// published (they serve a superset of the current state, which the serving
+// layer's shared-universe check permits).
+func (r *Refitter) Refit(ctx context.Context) (RefitStats, error) {
+	r.fitMu.Lock()
+	defer r.fitMu.Unlock()
+
+	r.mu.Lock()
+	delta := r.pending
+	r.pending = nil
+	ds, pipes := r.ds, r.pipes
+	r.mu.Unlock()
+
+	start := time.Now()
+	stats := RefitStats{Drained: len(delta)}
+	if len(delta) == 0 {
+		stats.Duration = time.Since(start)
+		if r.opt.OnRefit != nil {
+			r.opt.OnRefit(stats)
+		}
+		return stats, nil
+	}
+
+	restore := func() {
+		r.mu.Lock()
+		r.pending = append(append([]ratings.Rating(nil), delta...), r.pending...)
+		r.mu.Unlock()
+	}
+
+	merged, ad := ds.WithAppended(delta)
+	stats.Added, stats.Updated, stats.TouchedUsers = ad.Added, ad.Updated, len(ad.TouchedUsers)
+
+	next := make([]*Pipeline, len(pipes))
+	for i, p := range pipes {
+		np, err := FitDeltaWithOptions(ctx, p, merged, ad.TouchedUsers, FitOptions{})
+		if err != nil {
+			restore()
+			return stats, fmt.Errorf("core: refit pipeline %d (%d→%d): %w", i, p.src, p.dst, err)
+		}
+		next[i] = np
+	}
+	if r.pub != nil {
+		for i, np := range next {
+			if err := r.pub.SwapPipelineFor(np); err != nil {
+				restore()
+				return stats, fmt.Errorf("core: publish pipeline %d (%d→%d): %w", i, np.src, np.dst, err)
+			}
+			stats.Pipelines++
+		}
+	} else {
+		stats.Pipelines = len(next)
+	}
+
+	r.mu.Lock()
+	r.ds = merged
+	r.pipes = next
+	r.mu.Unlock()
+
+	stats.Duration = time.Since(start)
+	if r.opt.OnRefit != nil {
+		r.opt.OnRefit(stats)
+	}
+	return stats, nil
+}
+
+// Run blocks, refitting on every Interval tick and every depth trigger,
+// until ctx is cancelled; it returns ctx.Err(). A failed pass requeues its
+// delta and is retried on the next trigger, so transient publish failures
+// self-heal without dropping ratings.
+func (r *Refitter) Run(ctx context.Context) error {
+	var tick <-chan time.Time
+	if r.opt.Interval > 0 {
+		t := time.NewTicker(r.opt.Interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick:
+		case <-r.trigger:
+		}
+		if _, err := r.Refit(ctx); err != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+}

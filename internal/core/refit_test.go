@@ -1,0 +1,349 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"xmap/internal/dataset"
+	"xmap/internal/ratings"
+)
+
+// streamDelta draws an append tail: fresh-timestamped ratings from a small
+// active-user window over the existing universe.
+func streamDelta(rng *rand.Rand, ds *ratings.Dataset, users, n int) []ratings.Rating {
+	active := rng.Perm(ds.NumUsers())[:users]
+	var out []ratings.Rating
+	for k := 0; k < n; k++ {
+		out = append(out, ratings.Rating{
+			User:  ratings.UserID(active[rng.Intn(users)]),
+			Item:  ratings.ItemID(rng.Intn(ds.NumItems())),
+			Value: float64(1 + rng.Intn(5)),
+			Time:  int64(1_000_000 + k),
+		})
+	}
+	return out
+}
+
+// assertPipelinesServeIdentically compares two pipelines through every
+// surface the delta path must reproduce bit-for-bit: pair rows, X-Sim
+// rows, and the served recommendation lists themselves.
+func assertPipelinesServeIdentically(t *testing.T, got, want *Pipeline) {
+	t.Helper()
+	if got.Dataset() != want.Dataset() {
+		t.Fatal("pipelines disagree on the dataset")
+	}
+	ds := want.Dataset()
+	for i := 0; i < ds.NumItems(); i++ {
+		id := ratings.ItemID(i)
+		g, w := got.Pairs().Neighbors(id), want.Pairs().Neighbors(id)
+		if len(g) != len(w) {
+			t.Fatalf("item %d: %d pair edges, want %d", i, len(g), len(w))
+		}
+		for k := range g {
+			if g[k] != w[k] {
+				t.Fatalf("item %d pair edge %d = %+v, want %+v", i, k, g[k], w[k])
+			}
+		}
+		gf, wf := got.Table().Forward(id), want.Table().Forward(id)
+		if len(gf) != len(wf) {
+			t.Fatalf("item %d: %d xsim edges, want %d", i, len(gf), len(wf))
+		}
+		for k := range gf {
+			if gf[k] != wf[k] {
+				t.Fatalf("item %d xsim edge %d = %+v, want %+v", i, k, gf[k], wf[k])
+			}
+		}
+	}
+	for u := 0; u < ds.NumUsers(); u++ {
+		id := ratings.UserID(u)
+		g, w := got.RecommendForUser(id, 10), want.RecommendForUser(id, 10)
+		if len(g) != len(w) {
+			t.Fatalf("user %d: %d recs, want %d", u, len(g), len(w))
+		}
+		for k := range g {
+			if g[k] != w[k] {
+				t.Fatalf("user %d rec %d = %+v, want %+v", u, k, g[k], w[k])
+			}
+		}
+	}
+}
+
+// FitDelta must serve bit-for-bit like a full fit over the merged dataset,
+// for any worker count on either side.
+func TestFitDeltaMatchesFullFit(t *testing.T) {
+	az := trace(t)
+	rng := rand.New(rand.NewSource(3))
+	cfg := DefaultConfig()
+	cfg.K = 10
+
+	delta := streamDelta(rng, az.DS, 8, 120)
+	merged, ad := az.DS.WithAppended(delta)
+	want := Fit(merged, az.Movies, az.Books, cfg)
+
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		wcfg := cfg
+		wcfg.Workers = workers
+		oldW := Fit(az.DS, az.Movies, az.Books, wcfg)
+		got, err := FitDelta(oldW, merged, ad.TouchedUsers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		assertPipelinesServeIdentically(t, got, want)
+	}
+}
+
+// The launch-cohort shape — new accounts rating brand-new items, the
+// favorable delta the refit benchmarks measure — must also reproduce a
+// full fit exactly. Unlike streamDelta's existing-user tail, this shape
+// changes no existing user's mean, so the delta path reuses almost every
+// row; the test pins that the reuse criterion stays sound there.
+func TestFitDeltaLaunchCohort(t *testing.T) {
+	cfg := dataset.DefaultAmazonConfig()
+	cfg.MovieUsers, cfg.BookUsers, cfg.OverlapUsers = 180, 200, 60
+	cfg.Movies, cfg.Books = 100, 130
+	cfg.RatingsPerUser = 26
+	az, tail := dataset.AmazonLikeLaunch(cfg, dataset.LaunchConfig{
+		Users: 10, Movies: 6, Books: 6, RatingsPerDomain: 6,
+	})
+	ccfg := DefaultConfig()
+	ccfg.K = 10
+
+	merged, ad := az.DS.WithAppended(tail)
+	want := Fit(merged, az.Movies, az.Books, ccfg)
+
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		wcfg := ccfg
+		wcfg.Workers = workers
+		oldW := Fit(az.DS, az.Movies, az.Books, wcfg)
+		got, err := FitDelta(oldW, merged, ad.TouchedUsers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		assertPipelinesServeIdentically(t, got, want)
+	}
+}
+
+// Chained delta refits (each seeding the next, the Refitter loop's shape)
+// must not drift from a from-scratch fit.
+func TestFitDeltaChained(t *testing.T) {
+	az := trace(t)
+	rng := rand.New(rand.NewSource(7))
+	cfg := DefaultConfig()
+	cfg.K = 10
+	p := Fit(az.DS, az.Movies, az.Books, cfg)
+	ds := az.DS
+	for round := 0; round < 3; round++ {
+		delta := streamDelta(rng, ds, 5, 40)
+		merged, ad := ds.WithAppended(delta)
+		np, err := FitDelta(p, merged, ad.TouchedUsers)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		p, ds = np, merged
+	}
+	assertPipelinesServeIdentically(t, p, Fit(ds, az.Movies, az.Books, cfg))
+}
+
+func TestFitDeltaRejectsForeignDataset(t *testing.T) {
+	az := trace(t)
+	cfg := DefaultConfig()
+	cfg.K = 10
+	p := Fit(az.DS, az.Movies, az.Books, cfg)
+	other := trace(t) // rebuilt universe: distinct name tables
+	if _, err := FitDelta(p, other.DS, nil); err == nil {
+		t.Fatal("FitDelta accepted a dataset from a different universe")
+	}
+}
+
+func TestFitDeltaCancellation(t *testing.T) {
+	az := trace(t)
+	cfg := DefaultConfig()
+	cfg.K = 10
+	p := Fit(az.DS, az.Movies, az.Books, cfg)
+	merged, ad := az.DS.WithAppended([]ratings.Rating{{User: 0, Item: 1, Value: 5, Time: 1 << 40}})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FitDeltaWithOptions(ctx, p, merged, ad.TouchedUsers, FitOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// recordingPublisher captures published pipelines; failNext rejects one.
+type recordingPublisher struct {
+	published []*Pipeline
+	failNext  bool
+}
+
+func (r *recordingPublisher) SwapPipelineFor(p *Pipeline) error {
+	if r.failNext {
+		r.failNext = false
+		return errors.New("publish rejected")
+	}
+	r.published = append(r.published, p)
+	return nil
+}
+
+// A Refitter pass must drain the queue, publish pipelines equivalent to a
+// full fit over the merged trace, and advance its own state.
+func TestRefitterRefit(t *testing.T) {
+	az := trace(t)
+	rng := rand.New(rand.NewSource(11))
+	cfg := DefaultConfig()
+	cfg.K = 10
+	p := Fit(az.DS, az.Movies, az.Books, cfg)
+	pub := &recordingPublisher{}
+	var seen []RefitStats
+	r, err := NewRefitter(az.DS, []*Pipeline{p}, pub, RefitterOptions{
+		OnRefit: func(st RefitStats) { seen = append(seen, st) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	delta := streamDelta(rng, az.DS, 6, 80)
+	depth, err := r.Enqueue(delta)
+	if err != nil || depth != len(delta) {
+		t.Fatalf("Enqueue = (%d, %v), want (%d, nil)", depth, err, len(delta))
+	}
+	st, err := r.Refit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Drained != len(delta) || st.Pipelines != 1 || st.Added+st.Updated == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if r.QueueDepth() != 0 {
+		t.Fatalf("queue depth %d after refit", r.QueueDepth())
+	}
+	if len(pub.published) != 1 {
+		t.Fatalf("%d pipelines published", len(pub.published))
+	}
+	if len(seen) != 1 || seen[0].Drained != len(delta) {
+		t.Fatalf("OnRefit saw %+v", seen)
+	}
+
+	merged, _ := az.DS.WithAppended(delta)
+	if r.Dataset().NumRatings() != merged.NumRatings() {
+		t.Fatal("refitter dataset did not advance")
+	}
+	// Fit the reference on the refitter's own merged dataset so the
+	// pointer-level dataset adoption is part of the comparison.
+	assertPipelinesServeIdentically(t, pub.published[0], Fit(r.Dataset(), az.Movies, az.Books, cfg))
+	if got := r.Pipelines(); len(got) != 1 || got[0] != pub.published[0] {
+		t.Fatal("refitter pipelines did not advance to the published fit")
+	}
+
+	// Empty pass: cheap no-op, still reported.
+	st, err = r.Refit(context.Background())
+	if err != nil || st.Drained != 0 {
+		t.Fatalf("empty pass = (%+v, %v)", st, err)
+	}
+}
+
+// A failed publish must requeue the delta and leave state untouched, so
+// the next pass retries.
+func TestRefitterPublishFailureRequeues(t *testing.T) {
+	az := trace(t)
+	cfg := DefaultConfig()
+	cfg.K = 10
+	p := Fit(az.DS, az.Movies, az.Books, cfg)
+	pub := &recordingPublisher{failNext: true}
+	r, err := NewRefitter(az.DS, []*Pipeline{p}, pub, RefitterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := []ratings.Rating{{User: 0, Item: 1, Value: 4, Time: 1 << 40}}
+	if _, err := r.Enqueue(delta); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Refit(context.Background()); err == nil {
+		t.Fatal("refit succeeded through a failing publisher")
+	}
+	if r.QueueDepth() != len(delta) {
+		t.Fatalf("queue depth %d after failed pass, want %d", r.QueueDepth(), len(delta))
+	}
+	if r.Dataset() != az.DS {
+		t.Fatal("dataset advanced despite the failed pass")
+	}
+	// Retry succeeds and drains the restored delta.
+	if _, err := r.Refit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if r.QueueDepth() != 0 || len(pub.published) != 1 {
+		t.Fatalf("retry left depth %d, published %d", r.QueueDepth(), len(pub.published))
+	}
+}
+
+func TestRefitterEnqueueValidates(t *testing.T) {
+	az := trace(t)
+	cfg := DefaultConfig()
+	cfg.K = 10
+	p := Fit(az.DS, az.Movies, az.Books, cfg)
+	r, err := NewRefitter(az.DS, []*Pipeline{p}, nil, RefitterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []ratings.Rating{
+		{User: 0, Item: 0, Value: 3, Time: 1},
+		{User: ratings.UserID(az.DS.NumUsers()), Item: 0, Value: 3, Time: 1},
+	}
+	if _, err := r.Enqueue(bad); err == nil {
+		t.Fatal("Enqueue accepted an unknown user")
+	}
+	if r.QueueDepth() != 0 {
+		t.Fatal("partial batch was enqueued")
+	}
+	if _, err := r.Enqueue([]ratings.Rating{{User: 0, Item: ratings.ItemID(az.DS.NumItems()), Value: 3, Time: 1}}); err == nil {
+		t.Fatal("Enqueue accepted an unknown item")
+	}
+}
+
+// Run must refit on the depth trigger without waiting for a ticker.
+func TestRefitterRunDepthTrigger(t *testing.T) {
+	az := trace(t)
+	cfg := DefaultConfig()
+	cfg.K = 10
+	p := Fit(az.DS, az.Movies, az.Books, cfg)
+	done := make(chan RefitStats, 1)
+	r, err := NewRefitter(az.DS, []*Pipeline{p}, &recordingPublisher{}, RefitterOptions{
+		MaxQueue: 2,
+		OnRefit: func(st RefitStats) {
+			if st.Drained > 0 {
+				select {
+				case done <- st:
+				default:
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() { errc <- r.Run(ctx) }()
+
+	if _, err := r.Enqueue([]ratings.Rating{{User: 0, Item: 1, Value: 4, Time: 1 << 40}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Enqueue([]ratings.Rating{{User: 1, Item: 2, Value: 5, Time: 1<<40 + 1}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case st := <-done:
+		if st.Drained != 2 {
+			t.Fatalf("trigger pass drained %d", st.Drained)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("depth trigger never fired")
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v", err)
+	}
+}

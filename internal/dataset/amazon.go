@@ -119,6 +119,84 @@ func AmazonLike(cfg AmazonConfig) Amazon {
 	return Amazon{DS: b.Build(), Movies: mv, Books: bk}
 }
 
+// LaunchConfig sizes the streaming launch cohort of AmazonLikeLaunch.
+type LaunchConfig struct {
+	// Users is the number of new accounts in the cohort. Each rates in
+	// both domains, so the cohort items become bridge items on refit.
+	Users int
+	// Movies and Books are the zero-history launch items per domain the
+	// cohort rates.
+	Movies, Books int
+	// RatingsPerDomain is the mean cohort profile size per domain.
+	RatingsPerDomain int
+}
+
+// AmazonLikeLaunch generates the AmazonLike trace plus a launch-cohort
+// append tail: lc.Movies + lc.Books brand-new items and lc.Users new
+// accounts whose entire (small, cross-domain) profiles arrive as the
+// returned tail rather than in the base dataset. The cohort's user and
+// item IDs are registered in the base universe with zero ratings, so the
+// tail replays through Dataset.WithAppended (or the ingest endpoint)
+// without a rebuild.
+//
+// This is the canonical streaming shape for the incremental-refit path:
+// a product launch. New items have no rating history by definition and
+// the signup wave rates little else, so no existing user's mean — and
+// hence no existing item's centering or norm — changes. The delta's
+// recompute set is provably confined to the launch rows, unlike an
+// existing-user tail (SplitUserTail), whose mean shifts ripple through
+// every row the touched profiles graze. Because the cohort straddles
+// both domains, the launch items surface as fresh bridge items — the
+// cold-start case the paper's meta-path transfer exists to serve.
+func AmazonLikeLaunch(cfg AmazonConfig, lc LaunchConfig) (Amazon, []ratings.Rating) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := ratings.NewBuilder()
+	mv := b.Domain("movies")
+	bk := b.Domain("books")
+
+	model := newLatentModel(rng, cfg)
+
+	movieItems := model.makeItems(b, mv, "m", cfg.Movies, 0)
+	bookItems := model.makeItems(b, bk, "b", cfg.Books, 1)
+	launchMovies := model.makeItems(b, mv, "lm", lc.Movies, 0)
+	launchBooks := model.makeItems(b, bk, "lb", lc.Books, 1)
+
+	for u := 0; u < cfg.OverlapUsers; u++ {
+		uid := b.User(fmt.Sprintf("both-%04d", u))
+		usr := model.makeUser()
+		draws := model.draw(usr, movieItems, cfg.RatingsPerUser)
+		draws = append(draws, model.draw(usr, bookItems, cfg.RatingsPerUser)...)
+		model.emit(b, uid, usr, draws)
+	}
+	for u := 0; u < cfg.MovieUsers; u++ {
+		uid := b.User(fmt.Sprintf("movie-%04d", u))
+		usr := model.makeUser()
+		model.emit(b, uid, usr, model.draw(usr, movieItems, cfg.RatingsPerUser))
+	}
+	for u := 0; u < cfg.BookUsers; u++ {
+		uid := b.User(fmt.Sprintf("book-%04d", u))
+		usr := model.makeUser()
+		model.emit(b, uid, usr, model.draw(usr, bookItems, cfg.RatingsPerUser))
+	}
+
+	// The cohort: registered in the universe, rated only in the tail.
+	var tail []ratings.Rating
+	for u := 0; u < lc.Users; u++ {
+		uid := b.User(fmt.Sprintf("launch-%04d", u))
+		usr := model.makeUser()
+		draws := model.draw(usr, launchMovies, lc.RatingsPerDomain)
+		draws = append(draws, model.draw(usr, launchBooks, lc.RatingsPerDomain)...)
+		sortDraws(draws)
+		for idx, d := range draws {
+			tail = append(tail, ratings.Rating{
+				User: uid, Item: d.item.id,
+				Value: model.rate(usr, d.item, d.wall), Time: int64(idx),
+			})
+		}
+	}
+	return Amazon{DS: b.Build(), Movies: mv, Books: bk}, tail
+}
+
 // latentModel holds the generative state shared by both generators.
 type latentModel struct {
 	rng        *rand.Rand

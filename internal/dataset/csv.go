@@ -41,6 +41,33 @@ func SaveCSV(w io.Writer, ds *ratings.Dataset) error {
 	return cw.Error()
 }
 
+// SaveCSVRatings writes the given ratings — in the given order — as CSV
+// with the SaveCSV header, resolving names against ds's universe. Stream
+// tails use this: xmap-datagen -stream emits the append portion of a
+// trace in timestamp order, the order a replay client would POST the
+// events to /api/v2/ratings, which is not the user-major order SaveCSV
+// iterates in.
+func SaveCSVRatings(w io.Writer, ds *ratings.Dataset, rs []ratings.Rating) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	for _, r := range rs {
+		rec := []string{
+			ds.UserName(r.User),
+			ds.ItemName(r.Item),
+			ds.DomainName(ds.Domain(r.Item)),
+			strconv.FormatFloat(r.Value, 'g', -1, 64),
+			strconv.FormatInt(r.Time, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write record: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // LoadCSV reads a dataset written by SaveCSV (or any CSV with the same
 // header). Unknown headers are rejected loudly rather than guessed.
 func LoadCSV(r io.Reader) (*ratings.Dataset, error) {

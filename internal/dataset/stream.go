@@ -1,0 +1,95 @@
+package dataset
+
+import (
+	"sort"
+
+	"xmap/internal/ratings"
+)
+
+// Stream splits: carve a time-ordered append tail off a trace so the
+// streaming-ingestion path (POST /api/v2/ratings → core.Refitter →
+// FitDelta) can be exercised against a base fitted without it. Both
+// splits keep the full ID universe on the base — only ratings move — so
+// replaying the tail through Dataset.WithAppended (or the ingest
+// endpoint) reconstructs the original dataset exactly, and both are
+// deterministic: ties on Time fall back to the dataset's stable
+// user-major order.
+
+// SplitTail partitions a dataset by global recency: the base loses the
+// latest frac of its ratings (rounded down, clamped to [0, 1]), which
+// are returned as a time-ordered tail. This is the xmap-datagen -stream
+// shape — whatever happened last across the whole trace.
+func SplitTail(ds *ratings.Dataset, frac float64) (base *ratings.Dataset, tail []ratings.Rating) {
+	n := ds.NumRatings()
+	k := int(float64(n) * frac)
+	if k <= 0 {
+		return ds, nil
+	}
+	if k > n {
+		k = n
+	}
+	all := ds.AllRatings()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return all[idx[a]].Time < all[idx[b]].Time })
+	inTail := make([]bool, n)
+	tail = make([]ratings.Rating, 0, k)
+	for _, i := range idx[n-k:] {
+		inTail[i] = true
+		tail = append(tail, all[i])
+	}
+	// Filter visits ratings in the same user-major order AllRatings
+	// returns them, so the positional mask lines up.
+	pos := 0
+	base = ds.Filter(func(ratings.Rating) bool {
+		keep := !inTail[pos]
+		pos++
+		return keep
+	})
+	return base, tail
+}
+
+// SplitUserTail partitions by per-user recency instead: every stride-th
+// user (user IDs 0, stride, 2·stride, …) loses its latest m ratings —
+// capped at half the profile, so diverted users keep a base presence —
+// and the union of those, sorted by time, is the tail. This is the
+// incremental-refit benchmark shape: a small cohort of active users
+// (stride 50 ≈ 2%) whose recent events arrive as a stream, which keeps
+// the touched-row set small the way a real delta does, where a
+// global-recency tail at the same size can graze most of the user base.
+func SplitUserTail(ds *ratings.Dataset, stride, m int) (base *ratings.Dataset, tail []ratings.Rating) {
+	if stride <= 0 || m <= 0 {
+		return ds, nil
+	}
+	type key struct {
+		u ratings.UserID
+		i ratings.ItemID
+	}
+	divert := make(map[key]bool)
+	for u := 0; u < ds.NumUsers(); u += stride {
+		uid := ratings.UserID(u)
+		prof := ds.Items(uid)
+		take := m
+		if take > len(prof)/2 {
+			take = len(prof) / 2
+		}
+		if take == 0 {
+			continue
+		}
+		idx := make([]int, len(prof))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return prof[idx[a]].Time < prof[idx[b]].Time })
+		for _, i := range idx[len(idx)-take:] {
+			e := prof[i]
+			divert[key{uid, e.Item}] = true
+			tail = append(tail, ratings.Rating{User: uid, Item: e.Item, Value: e.Value, Time: e.Time})
+		}
+	}
+	base = ds.Filter(func(r ratings.Rating) bool { return !divert[key{r.User, r.Item}] })
+	sort.SliceStable(tail, func(a, b int) bool { return tail[a].Time < tail[b].Time })
+	return base, tail
+}

@@ -15,6 +15,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -123,12 +124,38 @@ func ExecuteTasks(tasks []func(), slots int) time.Duration {
 // internal/serve) into at most p slots, queueing the rest.
 type Limiter struct {
 	ch chan struct{}
+
+	// maxWait bounds the number of callers blocked waiting for a slot;
+	// 0 means unbounded. When the wait queue is full, Acquire sheds the
+	// caller immediately with ErrQueueFull instead of letting latency
+	// build unboundedly behind a saturated pool (load-shedding beats
+	// queueing once the queue outlives the client's patience).
+	maxWait int64
+	waiting atomic.Int64
 }
 
+// ErrQueueFull is returned by Acquire (and DoCtx) when every slot is busy
+// and the bounded wait queue is already full — the caller is shed
+// immediately rather than queued. Only limiters built with
+// NewLimiterQueue shed; NewLimiter queues without bound.
+var ErrQueueFull = errors.New("engine: limiter wait queue full")
+
 // NewLimiter returns a limiter admitting n concurrent sections
-// (n <= 0 means GOMAXPROCS).
+// (n <= 0 means GOMAXPROCS) with an unbounded wait queue.
 func NewLimiter(n int) *Limiter {
-	return &Limiter{ch: make(chan struct{}, WorkerCount(n))}
+	return NewLimiterQueue(n, 0)
+}
+
+// NewLimiterQueue returns a limiter admitting n concurrent sections
+// (n <= 0 means GOMAXPROCS) and at most maxQueue callers blocked waiting
+// for a slot; the next caller is shed with ErrQueueFull. maxQueue <= 0
+// means an unbounded queue (NewLimiter's behaviour).
+func NewLimiterQueue(n, maxQueue int) *Limiter {
+	l := &Limiter{ch: make(chan struct{}, WorkerCount(n))}
+	if maxQueue > 0 {
+		l.maxWait = int64(maxQueue)
+	}
+	return l
 }
 
 // Cap returns the number of slots.
@@ -136,6 +163,11 @@ func (l *Limiter) Cap() int { return cap(l.ch) }
 
 // InUse returns the number of currently-held slots.
 func (l *Limiter) InUse() int { return len(l.ch) }
+
+// Waiting returns the number of callers currently blocked in Acquire
+// waiting for a slot (always 0 for never-contended limiters: the fast
+// path claims a free slot without touching the queue accounting).
+func (l *Limiter) Waiting() int { return int(l.waiting.Load()) }
 
 // Do runs fn inside a slot, blocking until one is free.
 func (l *Limiter) Do(fn func()) {
@@ -147,12 +179,25 @@ func (l *Limiter) Do(fn func()) {
 // Acquire claims a slot, blocking until one frees or ctx is done. An
 // already-expired ctx never claims a slot, even when one is free, so a
 // caller whose deadline passed while queued upstream cannot start work
-// its client has abandoned. Callers must Release exactly once per
-// successful Acquire.
+// its client has abandoned. On a queue-bounded limiter (NewLimiterQueue)
+// a caller that would have to wait behind a full queue returns
+// ErrQueueFull immediately instead of blocking. Callers must Release
+// exactly once per successful Acquire.
 func (l *Limiter) Acquire(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	// Fast path: a free slot is claimed without queue accounting.
+	select {
+	case l.ch <- struct{}{}:
+		return nil
+	default:
+	}
+	if n := l.waiting.Add(1); l.maxWait > 0 && n > l.maxWait {
+		l.waiting.Add(-1)
+		return ErrQueueFull
+	}
+	defer l.waiting.Add(-1)
 	select {
 	case l.ch <- struct{}{}:
 		return nil

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// The shedding contract: with every slot busy and the bounded wait queue
+// full, the next Acquire returns ErrQueueFull immediately; a caller that
+// fit in the queue blocks and is admitted once a slot frees.
+func TestLimiterQueueShedsImmediately(t *testing.T) {
+	l := NewLimiterQueue(1, 1)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// One caller fits in the queue and blocks.
+	queued := make(chan error, 1)
+	go func() { queued <- l.Acquire(context.Background()) }()
+	for l.Waiting() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// The next caller finds the queue full: shed, not blocked. No timeout
+	// machinery needed — ErrQueueFull is synchronous by construction.
+	if err := l.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-queue Acquire = %v, want ErrQueueFull", err)
+	}
+	select {
+	case err := <-queued:
+		t.Fatalf("queued caller returned early: %v", err)
+	default:
+	}
+
+	// Freeing the slot admits the queued caller, and the queue drains.
+	l.Release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued caller = %v, want admission", err)
+	}
+	if l.Waiting() != 0 {
+		t.Fatalf("Waiting() = %d after admission", l.Waiting())
+	}
+	l.Release()
+
+	// With the limiter idle again the fast path admits without queueing.
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	l.Release()
+}
+
+// An unbounded limiter (NewLimiter) must never shed, only queue.
+func TestLimiterUnboundedQueueNeverSheds(t *testing.T) {
+	l := NewLimiter(1)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 8
+	done := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() { done <- l.Acquire(context.Background()) }()
+	}
+	for l.Waiting() != waiters {
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < waiters; i++ {
+		l.Release()
+		if err := <-done; err != nil {
+			t.Fatalf("waiter %d: %v", i, err)
+		}
+	}
+	l.Release()
+}
+
+// DoCtx surfaces the shed as its error, so serving layers can map it to
+// their overload envelope.
+func TestLimiterQueueDoCtxSheds(t *testing.T) {
+	l := NewLimiterQueue(1, 0) // maxQueue <= 0: unbounded, same as NewLimiter
+	if l.maxWait != 0 {
+		t.Fatal("maxQueue <= 0 must mean unbounded")
+	}
+
+	l = NewLimiterQueue(1, 1)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() { queued <- l.DoCtx(context.Background(), func() {}) }()
+	for l.Waiting() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.DoCtx(context.Background(), func() {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("DoCtx = %v, want ErrQueueFull", err)
+	}
+	l.Release()
+	if err := <-queued; err != nil {
+		t.Fatal(err)
+	}
+}

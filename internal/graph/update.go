@@ -1,0 +1,151 @@
+package graph
+
+import (
+	"xmap/internal/engine"
+	"xmap/internal/ratings"
+	"xmap/internal/scratch"
+	"xmap/internal/sim"
+)
+
+// UpdateRows builds the layered graph over pairs — a table derived from
+// old.Pairs() by sim.Pairs.UpdateRowsChanged, with changed naming the
+// rows whose content may differ — reusing every pruned adjacency row
+// whose inputs are provably unchanged. The result is bit-identical to
+// Build(pairs, old.Source(), old.Target(), opt) for any worker count:
+// bridge flags and layers are recomputed in full (linear passes over
+// ratings and baseline edges — cheap next to the per-row sorts), and a
+// row's topEdges output is a pure function of its baseline row, its own
+// layer and its neighbors' layers, so a row with none of those changed
+// is copied verbatim from old. Appends can flip layers (a rating by a
+// straddler turns its item into a bridge; a new edge to a bridge turns
+// NN into NB), which cascades into neighbors' pruned rows — the rebuild
+// set therefore also includes every row adjacent to a layer flip.
+func UpdateRows(old *Graph, pairs *sim.Pairs, changed []ratings.ItemID, opt Options) *Graph {
+	ds := pairs.Dataset()
+	n := ds.NumItems()
+	src, dst := old.src, old.dst
+	g := &Graph{
+		ds: ds, pairs: pairs, src: src, dst: dst, k: opt.K,
+		isBridge: make([]bool, n),
+		layer:    make([]Layer, n),
+	}
+
+	// Bridge detection and layer assignment, exactly as in Build.
+	straddler := make([]bool, ds.NumUsers())
+	for _, u := range ds.Straddlers(src, dst) {
+		straddler[u] = true
+	}
+	inScope := func(i ratings.ItemID) bool {
+		d := ds.Domain(i)
+		return d == src || d == dst
+	}
+	engine.ParallelFor(n, opt.Workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			id := ratings.ItemID(i)
+			if !inScope(id) {
+				g.layer[i] = LayerNone
+				continue
+			}
+			for _, ue := range ds.Users(id) {
+				if straddler[ue.User] {
+					g.isBridge[i] = true
+					break
+				}
+			}
+		}
+	})
+	engine.ParallelFor(n, opt.Workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			id := ratings.ItemID(i)
+			if !inScope(id) {
+				continue
+			}
+			if g.isBridge[i] {
+				g.layer[i] = LayerBB
+				continue
+			}
+			g.layer[i] = LayerNN
+			for _, e := range pairs.Neighbors(id) {
+				if g.isBridge[e.To] && ds.Domain(e.To) == ds.Domain(id) {
+					g.layer[i] = LayerNB
+					break
+				}
+			}
+		}
+	})
+
+	// Rebuild set: changed baseline rows, layer flips, and rows adjacent
+	// to a layer flip (their keep-filters see the flipped neighbor).
+	rebuild := make([]bool, n)
+	for _, i := range changed {
+		rebuild[i] = true
+	}
+	flipped := make([]bool, n)
+	anyFlip := false
+	for i := 0; i < n; i++ {
+		if g.layer[i] != old.layer[i] || g.isBridge[i] != old.isBridge[i] {
+			flipped[i] = true
+			rebuild[i] = true
+			anyFlip = true
+		}
+	}
+	if anyFlip {
+		engine.ParallelFor(n, opt.Workers, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if rebuild[i] || g.layer[i] == LayerNone {
+					continue
+				}
+				for _, e := range pairs.Neighbors(ratings.ItemID(i)) {
+					if flipped[e.To] {
+						rebuild[i] = true
+						break
+					}
+				}
+			}
+		})
+	}
+
+	// Pruned adjacency: recompute rebuilt rows, copy the rest. A copied
+	// row's relation shape matches old's because its layer did not flip.
+	toNB := make([][]sim.Edge, n)
+	toBB := make([][]sim.Edge, n)
+	toNN := make([][]sim.Edge, n)
+	crossBB := make([][]sim.Edge, n)
+	engine.ParallelFor(n, opt.Workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			id := ratings.ItemID(i)
+			if !rebuild[i] {
+				toNB[i] = old.ToNB(id)
+				toBB[i] = old.ToBB(id)
+				toNN[i] = old.ToNN(id)
+				crossBB[i] = old.CrossBB(id)
+				continue
+			}
+			switch g.layer[i] {
+			case LayerNN:
+				toNB[i] = g.topEdges(id, func(e sim.Edge) bool {
+					return g.layer[e.To] == LayerNB && ds.Domain(e.To) == ds.Domain(id)
+				})
+			case LayerNB:
+				toBB[i] = g.topEdges(id, func(e sim.Edge) bool {
+					return g.layer[e.To] == LayerBB && ds.Domain(e.To) == ds.Domain(id)
+				})
+				toNN[i] = g.topEdges(id, func(e sim.Edge) bool {
+					return g.layer[e.To] == LayerNN && ds.Domain(e.To) == ds.Domain(id)
+				})
+			case LayerBB:
+				toNB[i] = g.topEdges(id, func(e sim.Edge) bool {
+					return g.layer[e.To] == LayerNB && ds.Domain(e.To) == ds.Domain(id)
+				})
+				crossBB[i] = g.topEdges(id, func(e sim.Edge) bool {
+					return g.layer[e.To] == LayerBB && ds.Domain(e.To) != ds.Domain(id)
+				})
+			}
+		}
+	})
+	g.toNB = scratch.BuildCSR(toNB)
+	g.toBB = scratch.BuildCSR(toBB)
+	g.toNN = scratch.BuildCSR(toNN)
+	g.crossBB = scratch.BuildCSR(crossBB)
+	return g
+}

@@ -1,0 +1,331 @@
+package ratings
+
+import (
+	"fmt"
+	"slices"
+
+	"xmap/internal/scratch"
+)
+
+// AppendDelta summarizes what WithAppended changed relative to its receiver.
+// Delta refits use it to bound their recompute work to the touched rows.
+type AppendDelta struct {
+	// TouchedUsers lists the users that appear in the delta, ascending.
+	// It may be a superset of the users whose profiles actually changed
+	// (an appended rating loses its collision against a strictly newer
+	// stored rating), which downstream delta refits tolerate: recomputing
+	// an unchanged row reproduces it bit-for-bit.
+	TouchedUsers []UserID
+	// TouchedItems lists the items whose Y_i profiles were patched,
+	// ascending.
+	TouchedItems []ItemID
+	// Added counts net-new (user, item) pairs; Updated counts collisions
+	// where the delta replaced the stored observation.
+	Added, Updated int
+}
+
+// itemPatch is one by-user change replayed onto the by-item transpose:
+// either a net-new rater of the item or an updated observation from an
+// existing rater.
+type itemPatch struct {
+	item  ItemID
+	user  UserID
+	value float64
+	time  int64
+	isNew bool
+}
+
+// WithAppended returns a new Dataset containing this dataset's ratings plus
+// the given delta (same ID universe), plus a summary of what changed. On a
+// (user, item) collision the usual dedup rule applies with the delta
+// counting as later insertions: a delta rating wins unless the existing
+// rating has a strictly larger Time.
+//
+// Unlike a Builder rebuild, the work is proportional to the touched rows
+// plus one flat copy of the arrays: untouched by-user spans are bulk-copied,
+// touched users get a linear merge, the by-item transpose is patched with a
+// counting-sorted per-item fix-up, and only touched rows are re-summed for
+// the means. The result is bit-for-bit identical (entries, offsets, means,
+// domain counts) to a full Build over the merged trace: per-row sums are
+// re-accumulated in the same ascending order, and the global mean is
+// re-folded from the stored per-user sums in ascending-user order — exactly
+// the accumulation a full rebuild performs.
+//
+// An empty delta returns the receiver itself.
+func (d *Dataset) WithAppended(extra []Rating) (*Dataset, AppendDelta) {
+	nu, ni, ndom := d.NumUsers(), d.NumItems(), d.NumDomains()
+	ex := make([]Rating, len(extra))
+	copy(ex, extra)
+	for _, r := range ex {
+		if int(r.User) < 0 || int(r.User) >= nu {
+			panic(fmt.Sprintf("ratings: unknown user id %d", r.User))
+		}
+		if int(r.Item) < 0 || int(r.Item) >= ni {
+			panic(fmt.Sprintf("ratings: unknown item id %d", r.Item))
+		}
+	}
+	if len(ex) == 0 {
+		return d, AppendDelta{}
+	}
+	slices.SortStableFunc(ex, cmpRating)
+	// Dedup the delta in place: last of every (user, item) run wins.
+	w := 0
+	for k, r := range ex {
+		if !dedupWinner(ex, k) {
+			continue
+		}
+		ex[w] = r
+		w++
+	}
+	ex = ex[:w]
+
+	// Delta ratings of user u are ex[exOff[u]:exOff[u+1]]; the touched
+	// users are exactly the rows with a non-empty span.
+	exOff := make([]int64, nu+1)
+	for _, r := range ex {
+		exOff[r.User+1]++
+	}
+	for u := 0; u < nu; u++ {
+		exOff[u+1] += exOff[u]
+	}
+	touched := make([]UserID, 0, len(ex))
+	for u := 0; u < nu; u++ {
+		if exOff[u] < exOff[u+1] {
+			touched = append(touched, UserID(u))
+		}
+	}
+
+	// Pass 1, touched rows only: count net-new insertions per touched user
+	// (delta entries minus collisions) to size the patched array and shift
+	// the offsets of everything after each touched row.
+	src, srcOff := d.byUser.Edges, d.byUser.Off
+	netAdd := make([]int64, len(touched))
+	for t, u := range touched {
+		a, b := src[srcOff[u]:srcOff[u+1]], ex[exOff[u]:exOff[u+1]]
+		n := int64(len(b))
+		for i, j := 0, 0; i < len(a) && j < len(b); {
+			switch {
+			case a[i].Item < b[j].Item:
+				i++
+			case a[i].Item > b[j].Item:
+				j++
+			default:
+				n--
+				i++
+				j++
+			}
+		}
+		netAdd[t] = n
+	}
+	newOff := make([]int64, nu+1)
+	shift := int64(0)
+	ti := 0
+	for u := 0; u < nu; u++ {
+		newOff[u] = srcOff[u] + shift
+		if ti < len(touched) && touched[ti] == UserID(u) {
+			shift += netAdd[ti]
+			ti++
+		}
+	}
+	newOff[nu] = srcOff[nu] + shift
+
+	// Pass 2: assemble the patched by-user array — untouched spans are bulk
+	// copies, touched rows linear merges. Every accepted change is recorded
+	// as a per-item patch for the transpose fix-up below; patches come out
+	// in (user asc, item asc within user) order.
+	entries := make([]Entry, newOff[nu])
+	patches := make([]itemPatch, 0, len(ex))
+	var delta AppendDelta
+	prevOld := int64(0)
+	pos := int64(0)
+	for _, u := range touched {
+		pos += int64(copy(entries[pos:], src[prevOld:srcOff[u]]))
+		a, b := src[srcOff[u]:srcOff[u+1]], ex[exOff[u]:exOff[u+1]]
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			switch {
+			case a[i].Item < b[j].Item:
+				entries[pos] = a[i]
+				i++
+			case a[i].Item > b[j].Item:
+				entries[pos] = Entry{Item: b[j].Item, Value: b[j].Value, Time: b[j].Time}
+				patches = append(patches, itemPatch{item: b[j].Item, user: u, value: b[j].Value, time: b[j].Time, isNew: true})
+				delta.Added++
+				j++
+			default:
+				// Collision: the delta rating is the later insertion, so it
+				// wins unless the existing rating is strictly more recent.
+				if a[i].Time > b[j].Time {
+					entries[pos] = a[i]
+				} else {
+					entries[pos] = Entry{Item: b[j].Item, Value: b[j].Value, Time: b[j].Time}
+					patches = append(patches, itemPatch{item: b[j].Item, user: u, value: b[j].Value, time: b[j].Time})
+					delta.Updated++
+				}
+				i++
+				j++
+			}
+			pos++
+		}
+		for ; i < len(a); i++ {
+			entries[pos] = a[i]
+			pos++
+		}
+		for ; j < len(b); j++ {
+			entries[pos] = Entry{Item: b[j].Item, Value: b[j].Value, Time: b[j].Time}
+			patches = append(patches, itemPatch{item: b[j].Item, user: u, value: b[j].Value, time: b[j].Time, isNew: true})
+			delta.Added++
+			pos++
+		}
+		prevOld = srcOff[u+1]
+	}
+	copy(entries[pos:], src[prevOld:])
+	delta.TouchedUsers = touched
+
+	// Group the patches by item with a stable counting sort; the stable
+	// scatter keeps each per-item group ascending by user — exactly the
+	// order the by-item rows store and the merge below consumes.
+	oldUE, oldIOff := d.byItem.Edges, d.byItem.Off
+	patchOff := make([]int64, ni+1)
+	ins := make([]int64, ni) // net-new raters per item
+	for _, p := range patches {
+		patchOff[p.item+1]++
+		if p.isNew {
+			ins[p.item]++
+		}
+	}
+	for i := 0; i < ni; i++ {
+		patchOff[i+1] += patchOff[i]
+	}
+	byItemPatch := make([]itemPatch, len(patches))
+	pcur := make([]int64, ni)
+	copy(pcur, patchOff[:ni])
+	for _, p := range patches {
+		byItemPatch[pcur[p.item]] = p
+		pcur[p.item]++
+	}
+	for i := 0; i < ni; i++ {
+		if patchOff[i] < patchOff[i+1] {
+			delta.TouchedItems = append(delta.TouchedItems, ItemID(i))
+		}
+	}
+	newIOff := make([]int64, ni+1)
+	shift = 0
+	for i := 0; i < ni; i++ {
+		newIOff[i] = oldIOff[i] + shift
+		shift += ins[i]
+	}
+	newIOff[ni] = oldIOff[ni] + shift
+
+	// Patch the by-item transpose: bulk-copy untouched spans, merge patched
+	// rows by ascending user (equal user = value update, otherwise a
+	// net-new rater insertion).
+	userEntries := make([]UserEntry, newIOff[ni])
+	prevOld, pos = 0, 0
+	for _, it := range delta.TouchedItems {
+		pos += int64(copy(userEntries[pos:], oldUE[prevOld:oldIOff[it]]))
+		a := oldUE[oldIOff[it]:oldIOff[it+1]]
+		pl := byItemPatch[patchOff[it]:patchOff[it+1]]
+		i, j := 0, 0
+		for i < len(a) && j < len(pl) {
+			switch {
+			case a[i].User < pl[j].user:
+				userEntries[pos] = a[i]
+				i++
+			case a[i].User > pl[j].user:
+				userEntries[pos] = UserEntry{User: pl[j].user, Value: pl[j].value, Time: pl[j].time}
+				j++
+			default:
+				userEntries[pos] = UserEntry{User: pl[j].user, Value: pl[j].value, Time: pl[j].time}
+				i++
+				j++
+			}
+			pos++
+		}
+		for ; i < len(a); i++ {
+			userEntries[pos] = a[i]
+			pos++
+		}
+		for ; j < len(pl); j++ {
+			userEntries[pos] = UserEntry{User: pl[j].user, Value: pl[j].value, Time: pl[j].time}
+			pos++
+		}
+		prevOld = oldIOff[it+1]
+	}
+	copy(userEntries[pos:], oldUE[prevOld:])
+
+	// Means: only touched rows are re-summed (in the same ascending order a
+	// full rebuild uses), and the global mean is re-folded from the stored
+	// per-user sums ascending — reproducing finish bit-for-bit. Empty rows
+	// fall back to the NEW global mean, so every empty-row mean is refreshed
+	// even for untouched users/items.
+	userSum := make([]float64, nu)
+	copy(userSum, d.userSum)
+	userMean := make([]float64, nu)
+	copy(userMean, d.userMean)
+	for _, u := range touched {
+		row := entries[newOff[u]:newOff[u+1]]
+		var s float64
+		for _, e := range row {
+			s += e.Value
+		}
+		userSum[u] = s
+		if len(row) > 0 {
+			userMean[u] = s / float64(len(row))
+		}
+	}
+	var total float64
+	for u := 0; u < nu; u++ {
+		total += userSum[u]
+	}
+	var globalMean float64
+	if len(entries) > 0 {
+		globalMean = total / float64(len(entries))
+	}
+	for u := 0; u < nu; u++ {
+		if newOff[u] == newOff[u+1] {
+			userMean[u] = globalMean
+		}
+	}
+	itemMean := make([]float64, ni)
+	copy(itemMean, d.itemMean)
+	for _, it := range delta.TouchedItems {
+		row := userEntries[newIOff[it]:newIOff[it+1]]
+		var s float64
+		for _, e := range row {
+			s += e.Value
+		}
+		itemMean[it] = s / float64(len(row))
+	}
+	for i := 0; i < ni; i++ {
+		if newIOff[i] == newIOff[i+1] {
+			itemMean[i] = globalMean
+		}
+	}
+
+	// Per-user domain counts: collisions keep the pair, only net-new
+	// entries count.
+	udc := make([]int32, len(d.userDomainCount))
+	copy(udc, d.userDomainCount)
+	for _, p := range patches {
+		if p.isNew {
+			udc[int(p.user)*ndom+int(d.itemDomain[p.item])]++
+		}
+	}
+
+	return &Dataset{
+		userNames:       d.userNames,
+		itemNames:       d.itemNames,
+		itemDomain:      d.itemDomain,
+		domainNames:     d.domainNames,
+		byUser:          scratch.CSR[Entry]{Edges: entries, Off: newOff},
+		byItem:          scratch.CSR[UserEntry]{Edges: userEntries, Off: newIOff},
+		userMean:        userMean,
+		itemMean:        itemMean,
+		globalMean:      globalMean,
+		userSum:         userSum,
+		domainItems:     d.domainItems,
+		domainOff:       d.domainOff,
+		userDomainCount: udc,
+	}, delta
+}

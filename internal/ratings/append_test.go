@@ -1,0 +1,231 @@
+package ratings
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// assertDatasetsEqual compares two datasets bit-for-bit through the public
+// API: entry arrays (values AND times), offsets, all three means, domain
+// buckets and per-user domain counts. Exact float equality throughout.
+func assertDatasetsEqual(t *testing.T, got, want *Dataset) {
+	t.Helper()
+	if got.NumUsers() != want.NumUsers() || got.NumItems() != want.NumItems() ||
+		got.NumDomains() != want.NumDomains() || got.NumRatings() != want.NumRatings() {
+		t.Fatalf("shape mismatch: got %d/%d/%d/%d want %d/%d/%d/%d",
+			got.NumUsers(), got.NumItems(), got.NumDomains(), got.NumRatings(),
+			want.NumUsers(), want.NumItems(), want.NumDomains(), want.NumRatings())
+	}
+	if got.GlobalMean() != want.GlobalMean() {
+		t.Fatalf("GlobalMean = %v, want %v", got.GlobalMean(), want.GlobalMean())
+	}
+	for u := 0; u < want.NumUsers(); u++ {
+		g, w := got.Items(UserID(u)), want.Items(UserID(u))
+		if len(g) != len(w) {
+			t.Fatalf("user %d profile length %d, want %d", u, len(g), len(w))
+		}
+		for k := range g {
+			if g[k] != w[k] {
+				t.Fatalf("user %d entry %d = %+v, want %+v", u, k, g[k], w[k])
+			}
+		}
+		if got.UserMean(UserID(u)) != want.UserMean(UserID(u)) {
+			t.Fatalf("UserMean(%d) = %v, want %v", u, got.UserMean(UserID(u)), want.UserMean(UserID(u)))
+		}
+		if got.UserOffsets()[u] != want.UserOffsets()[u] {
+			t.Fatalf("UserOffsets[%d] = %d, want %d", u, got.UserOffsets()[u], want.UserOffsets()[u])
+		}
+	}
+	for i := 0; i < want.NumItems(); i++ {
+		g, w := got.Users(ItemID(i)), want.Users(ItemID(i))
+		if len(g) != len(w) {
+			t.Fatalf("item %d profile length %d, want %d", i, len(g), len(w))
+		}
+		for k := range g {
+			if g[k] != w[k] {
+				t.Fatalf("item %d entry %d = %+v, want %+v", i, k, g[k], w[k])
+			}
+		}
+		if got.ItemMean(ItemID(i)) != want.ItemMean(ItemID(i)) {
+			t.Fatalf("ItemMean(%d) = %v, want %v", i, got.ItemMean(ItemID(i)), want.ItemMean(ItemID(i)))
+		}
+		if got.ItemOffsets()[i] != want.ItemOffsets()[i] {
+			t.Fatalf("ItemOffsets[%d] = %d, want %d", i, got.ItemOffsets()[i], want.ItemOffsets()[i])
+		}
+	}
+	for d := 0; d < want.NumDomains(); d++ {
+		g, w := got.ItemsInDomain(DomainID(d)), want.ItemsInDomain(DomainID(d))
+		if len(g) != len(w) {
+			t.Fatalf("domain %d has %d items, want %d", d, len(g), len(w))
+		}
+		for k := range g {
+			if g[k] != w[k] {
+				t.Fatalf("domain %d item %d = %d, want %d", d, k, g[k], w[k])
+			}
+		}
+		for u := 0; u < want.NumUsers(); u++ {
+			if got.UserRatingsInDomain(UserID(u), DomainID(d)) != want.UserRatingsInDomain(UserID(u), DomainID(d)) {
+				t.Fatalf("UserRatingsInDomain(%d, %d) mismatch", u, d)
+			}
+		}
+	}
+}
+
+// randomDelta draws a delta over the dataset's ID universe: mostly later
+// timestamps (the streaming shape) with some collisions and some stale
+// timestamps that must lose against the stored rating.
+func randomDelta(rng *rand.Rand, ds *Dataset, n int) []Rating {
+	nu, ni := ds.NumUsers(), ds.NumItems()
+	var out []Rating
+	for k := 0; k < n; k++ {
+		out = append(out, Rating{
+			User:  UserID(rng.Intn(nu)),
+			Item:  ItemID(rng.Intn(ni)),
+			Value: float64(1 + rng.Intn(5)),
+			Time:  int64(rng.Intn(16)), // base traces use [0,8): half new, half colliding-or-stale
+		})
+	}
+	return out
+}
+
+// WithAppended must be bit-for-bit identical to a full Builder rebuild of
+// the merged trace, and to the map-based reference — for random traces with
+// duplicates, stale deltas and repeated appends.
+func TestWithAppendedMatchesFullRebuild(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := randomBuilder(rng)
+		ds := b.Build()
+		delta := randomDelta(rng, ds, rng.Intn(60))
+
+		appended, _ := ds.WithAppended(delta)
+
+		// Reference stream: the deduplicated dataset first (insertion
+		// order), then the delta — the Builder round-trip equivalent.
+		stream := append(ds.AllRatings(), delta...)
+		ref := buildReference(b.userNames, b.itemNames, b.itemDomain, b.domainNames, stream)
+		assertMatchesReference(t, appended, ref)
+
+		// And a literal full rebuild through the Builder.
+		b.Append(delta)
+		assertDatasetsEqual(t, appended, b.Build())
+	}
+}
+
+// Chained appends (the refit loop shape: each refit appends onto the
+// previous refit's dataset) must stay bit-identical to one full rebuild.
+func TestWithAppendedChained(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := randomBuilder(rng)
+	ds := b.Build()
+	cur := ds
+	for round := 0; round < 5; round++ {
+		delta := randomDelta(rng, ds, 10+rng.Intn(30))
+		cur, _ = cur.WithAppended(delta)
+		b.Append(delta)
+	}
+	assertDatasetsEqual(t, cur, b.Build())
+}
+
+// A time-ordered append tail — the streaming ingest shape — must merge
+// exactly like a rebuild.
+func TestWithAppendedTimeOrderedTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := randomBuilder(rng)
+	full := b.Build()
+	// Split at a time cutoff: the base keeps earlier events, the tail is
+	// appended in time order.
+	const cutoff = 5
+	base := full.Filter(func(r Rating) bool { return r.Time < cutoff })
+	var tail []Rating
+	for _, r := range full.AllRatings() {
+		if r.Time >= cutoff {
+			tail = append(tail, r)
+		}
+	}
+	got, delta := base.WithAppended(tail)
+	assertDatasetsEqual(t, got, full)
+	if len(tail) > 0 && len(delta.TouchedUsers) == 0 {
+		t.Fatal("non-empty tail reported no touched users")
+	}
+}
+
+func TestWithAppendedDelta(t *testing.T) {
+	ds := buildSmall(t)
+	// alice(0): update Interstellar(0) with a newer rating, add Forever
+	// War(2); bob(1): stale update of Inception(1) that must lose.
+	nd, delta := ds.WithAppended([]Rating{
+		{User: 0, Item: 0, Value: 2, Time: 10},
+		{User: 0, Item: 2, Value: 3, Time: 11},
+		{User: 1, Item: 1, Value: 1, Time: 0}, // stored Time 3 is newer: loses
+	})
+	if nd.NumRatings() != ds.NumRatings()+1 {
+		t.Fatalf("NumRatings = %d, want %d", nd.NumRatings(), ds.NumRatings()+1)
+	}
+	if v, _ := nd.Rating(0, 0); v != 2 {
+		t.Fatalf("updated rating = %v, want 2", v)
+	}
+	if v, _ := nd.Rating(1, 1); v != 5 {
+		t.Fatalf("stale delta must lose: rating = %v, want 5", v)
+	}
+	if got, want := fmt.Sprint(delta.TouchedUsers), "[0 1]"; got != want {
+		t.Fatalf("TouchedUsers = %v, want %v", got, want)
+	}
+	// Item 1's row is unchanged (the stale delta lost), so only items 0
+	// and 2 are patched.
+	if got, want := fmt.Sprint(delta.TouchedItems), "[0 2]"; got != want {
+		t.Fatalf("TouchedItems = %v, want %v", got, want)
+	}
+	if delta.Added != 1 || delta.Updated != 1 {
+		t.Fatalf("Added/Updated = %d/%d, want 1/1", delta.Added, delta.Updated)
+	}
+}
+
+func TestWithAppendedEmptyReturnsReceiver(t *testing.T) {
+	ds := buildSmall(t)
+	nd, delta := ds.WithAppended(nil)
+	if nd != ds {
+		t.Fatal("empty delta should return the receiver")
+	}
+	if len(delta.TouchedUsers) != 0 || len(delta.TouchedItems) != 0 || delta.Added != 0 || delta.Updated != 0 {
+		t.Fatalf("empty delta summary = %+v", delta)
+	}
+}
+
+func TestSharesUniverse(t *testing.T) {
+	ds := buildSmall(t)
+	if !ds.SharesUniverse(ds) {
+		t.Fatal("dataset must share a universe with itself")
+	}
+	filtered := ds.Filter(func(r Rating) bool { return r.User != 1 })
+	if !ds.SharesUniverse(filtered) || !filtered.SharesUniverse(ds) {
+		t.Fatal("Filter must preserve the universe")
+	}
+	appended, _ := ds.WithAppended([]Rating{{User: 0, Item: 2, Value: 4, Time: 99}})
+	if !ds.SharesUniverse(appended) || !appended.SharesUniverse(filtered) {
+		t.Fatal("WithAppended must preserve the universe")
+	}
+	other := buildSmall(t) // identical trace, independent Build
+	if ds.SharesUniverse(other) {
+		t.Fatal("independent Builds must not share a universe")
+	}
+}
+
+func TestBuilderAppend(t *testing.T) {
+	b1 := randomBuilder(rand.New(rand.NewSource(3)))
+	b2 := randomBuilder(rand.New(rand.NewSource(3)))
+	batch := []Rating{{User: 0, Item: 0, Value: 5, Time: 100}, {User: 0, Item: 0, Value: 4, Time: 101}}
+	b1.Append(batch)
+	for _, r := range batch {
+		b2.AddRating(r)
+	}
+	assertDatasetsEqual(t, b1.Build(), b2.Build())
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unknown item id")
+		}
+	}()
+	b1.Append([]Rating{{User: 0, Item: ItemID(b1.Build().NumItems()), Value: 1, Time: 1}})
+}

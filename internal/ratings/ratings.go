@@ -80,6 +80,11 @@ type Dataset struct {
 	userMean   []float64
 	itemMean   []float64
 	globalMean float64
+	// userSum[u] is the sum of user u's rating values, accumulated in
+	// ascending-item order. The global mean is the ascending-user fold of
+	// these sums; WithAppended keeps them so it can reproduce that fold
+	// bit-for-bit after patching only the touched users.
+	userSum []float64
 
 	// Items grouped by domain: domain d's items are
 	// domainItems[domainOff[d]:domainOff[d+1]], ascending within a domain.
@@ -175,6 +180,23 @@ func (b *Builder) Add(u UserID, i ItemID, value float64, t int64) {
 // AddRating records a fully-specified rating.
 func (b *Builder) AddRating(r Rating) { b.Add(r.User, r.Item, r.Value, r.Time) }
 
+// Append bulk-adds a batch of ratings by internal IDs — the streaming-ingest
+// entry point. The batch is validated up front (any unknown ID panics before
+// anything is recorded) and appended in one grow, so a rejected batch never
+// leaves the builder half-updated. Build after Append hits the near-sorted
+// fast path of the stable sort when the batch is a time-ordered tail.
+func (b *Builder) Append(rs []Rating) {
+	for _, r := range rs {
+		if int(r.User) < 0 || int(r.User) >= len(b.userNames) {
+			panic(fmt.Sprintf("ratings: unknown user id %d", r.User))
+		}
+		if int(r.Item) < 0 || int(r.Item) >= len(b.itemNames) {
+			panic(fmt.Sprintf("ratings: unknown item id %d", r.Item))
+		}
+	}
+	b.ratings = append(slices.Grow(b.ratings, len(rs)), rs...)
+}
+
 // NumPendingRatings reports how many raw ratings (pre-deduplication) have
 // been added.
 func (b *Builder) NumPendingRatings() int { return len(b.ratings) }
@@ -262,6 +284,7 @@ func finish(userNames, itemNames []string, itemDomain []DomainID, domainNames []
 		byUser:      scratch.CSR[Entry]{Edges: entries, Off: userOff},
 		userMean:    make([]float64, nu),
 		itemMean:    make([]float64, ni),
+		userSum:     make([]float64, nu),
 	}
 
 	// Counting-sort transpose byUser → byItem: count raters per item,
@@ -295,6 +318,7 @@ func finish(userNames, itemNames []string, itemDomain []DomainID, domainNames []
 		for _, e := range row {
 			s += e.Value
 		}
+		ds.userSum[u] = s
 		total += s
 		if len(row) > 0 {
 			ds.userMean[u] = s / float64(len(row))
@@ -528,97 +552,31 @@ func (d *Dataset) Filter(keep func(Rating) bool) *Dataset {
 // the given extra ratings (same ID universe). On a (user, item) collision
 // the usual dedup rule applies with the extras counting as later insertions:
 // an extra wins unless the existing rating has a strictly larger Time.
-// Like Filter, the result is assembled by merging the extras into the flat
-// sorted rating array directly.
+// It is WithAppended without the delta summary.
 func (d *Dataset) WithRatings(extra []Rating) *Dataset {
-	nu, ni := d.NumUsers(), d.NumItems()
-	ex := make([]Rating, len(extra))
-	copy(ex, extra)
-	for _, r := range ex {
-		if int(r.User) < 0 || int(r.User) >= nu {
-			panic(fmt.Sprintf("ratings: unknown user id %d", r.User))
-		}
-		if int(r.Item) < 0 || int(r.Item) >= ni {
-			panic(fmt.Sprintf("ratings: unknown item id %d", r.Item))
-		}
-	}
-	slices.SortStableFunc(ex, cmpRating)
-	// Dedup the extras in place: last of every (user, item) run wins.
-	w := 0
-	for k, r := range ex {
-		if !dedupWinner(ex, k) {
-			continue
-		}
-		ex[w] = r
-		w++
-	}
-	ex = ex[:w]
+	nd, _ := d.WithAppended(extra)
+	return nd
+}
 
-	// Merge each user's existing sorted row with their extras. Both sides
-	// are sorted by item and duplicate-free, so this is a linear merge.
-	src, srcOff := d.byUser.Edges, d.byUser.Off
-	off := make([]int64, nu+1)
-	exOff := make([]int, nu+1) // extras of user u: ex[exOff[u]:exOff[u+1]]
-	for _, r := range ex {
-		exOff[r.User+1]++
-	}
-	for u := 0; u < nu; u++ {
-		exOff[u+1] += exOff[u]
-	}
-	for u := 0; u < nu; u++ {
-		a, b := src[srcOff[u]:srcOff[u+1]], ex[exOff[u]:exOff[u+1]]
-		merged := int64(len(a) + len(b))
-		for i, j := 0, 0; i < len(a) && j < len(b); {
-			switch {
-			case a[i].Item < b[j].Item:
-				i++
-			case a[i].Item > b[j].Item:
-				j++
-			default:
-				merged--
-				i++
-				j++
-			}
-		}
-		off[u+1] = off[u] + merged
-	}
-	entries := make([]Entry, off[nu])
-	pos := int64(0)
-	for u := 0; u < nu; u++ {
-		a, b := src[srcOff[u]:srcOff[u+1]], ex[exOff[u]:exOff[u+1]]
-		i, j := 0, 0
-		for i < len(a) && j < len(b) {
-			switch {
-			case a[i].Item < b[j].Item:
-				entries[pos] = a[i]
-				i++
-			case a[i].Item > b[j].Item:
-				entries[pos] = Entry{Item: b[j].Item, Value: b[j].Value, Time: b[j].Time}
-				j++
-			default:
-				// Collision: the extra is the later insertion, so it wins
-				// unless the existing rating is strictly more recent.
-				if a[i].Time > b[j].Time {
-					entries[pos] = a[i]
-				} else {
-					entries[pos] = Entry{Item: b[j].Item, Value: b[j].Value, Time: b[j].Time}
-				}
-				i++
-				j++
-			}
-			pos++
-		}
-		for ; i < len(a); i++ {
-			entries[pos] = a[i]
-			pos++
-		}
-		for ; j < len(b); j++ {
-			entries[pos] = Entry{Item: b[j].Item, Value: b[j].Value, Time: b[j].Time}
-			pos++
-		}
-	}
-	return finish(d.userNames, d.itemNames, d.itemDomain, d.domainNames,
-		entries, off, d.domainItems, d.domainOff)
+// SharesUniverse reports whether both datasets index the same user/item/
+// domain universe — i.e. they are the same dataset or one was derived from
+// the other through Filter, WithRatings or WithAppended (which share the
+// immutable name tables by reference). Two independent Builds of identical
+// traces do NOT share a universe: IDs only stay comparable along a
+// derivation chain.
+func (d *Dataset) SharesUniverse(o *Dataset) bool {
+	return d == o ||
+		(sameSlice(d.userNames, o.userNames) &&
+			sameSlice(d.itemNames, o.itemNames) &&
+			sameSlice(d.itemDomain, o.itemDomain) &&
+			sameSlice(d.domainNames, o.domainNames))
+}
+
+// sameSlice reports whether two slices are the same array view (identical
+// length and backing position), the reference-sharing invariant behind
+// SharesUniverse.
+func sameSlice[T any](a, b []T) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
 }
 
 // Stats summarizes a dataset for logs and reports.

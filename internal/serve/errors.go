@@ -25,8 +25,14 @@ var (
 	ErrNoPipeline = errors.New("serve: no pipeline for requested domain pair")
 	// ErrOverloaded marks admission-control rejection: the request's
 	// context was cancelled or its deadline expired while waiting for a
-	// worker slot (or for another request computing the same key).
+	// worker slot (or for another request computing the same key), or the
+	// bounded wait queue (Options.MaxQueue) was full and the request was
+	// shed immediately.
 	ErrOverloaded = errors.New("serve: overloaded")
+	// ErrIngestDisabled marks a rating submitted to a service with no
+	// ingestor attached (SetIngestor was never called): the deployment
+	// serves a frozen fit and cannot accept streaming ratings.
+	ErrIngestDisabled = errors.New("serve: ingestion disabled")
 )
 
 // errorCode is the machine-readable half of the v2 error envelope.
@@ -43,6 +49,8 @@ func errorCode(err error) (status int, code string) {
 		return http.StatusNotFound, "no_pipeline"
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusServiceUnavailable, "overloaded"
+	case errors.Is(err, ErrIngestDisabled):
+		return http.StatusServiceUnavailable, "ingest_disabled"
 	default:
 		return http.StatusInternalServerError, "internal"
 	}

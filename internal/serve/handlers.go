@@ -16,6 +16,9 @@ import (
 //
 //	POST /api/v2/recommend   one Request object, or an array of them
 //	                         (batch-first); errors are {code, message}
+//	POST /api/v2/ratings     one RatingEntry, or an array of them, queued
+//	                         for the next incremental refit (requires an
+//	                         attached Ingestor; see SetIngestor)
 //	GET  /api/v2/pipelines   fitted (source, target) pairs + diagnostics
 //
 // API v1 (GET + query params; frozen — thin adapters over the v2 core,
@@ -43,6 +46,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.instrument(epHealth, s.handleHealth))
 	mux.HandleFunc("GET /statsz", s.instrument(epStats, s.handleStats))
 	mux.HandleFunc("POST /api/v2/recommend", s.instrument(epV2Recommend, s.handleV2Recommend))
+	mux.HandleFunc("POST /api/v2/ratings", s.instrument(epV2Ratings, s.handleV2Ratings))
 	mux.HandleFunc("GET /api/v2/pipelines", s.instrument(epV2Pipelines, s.handleV2Pipelines))
 	return mux
 }

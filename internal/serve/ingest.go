@@ -1,0 +1,226 @@
+// Streaming ingestion: POST /api/v2/ratings accepts rating events and
+// hands them to an attached Ingestor (normally a core.Refitter), which
+// merges them into the dataset and hot-swaps delta-refitted pipelines
+// back in through SwapPipelineFor. The serving side of the loop lives
+// here; the refit side lives in internal/core.
+
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"xmap/internal/ratings"
+)
+
+// Ingestor receives validated rating events from the serving layer.
+// Enqueue returns the resulting queue depth; it must be safe for
+// concurrent use (*core.Refitter satisfies the interface).
+type Ingestor interface {
+	Enqueue(rs []ratings.Rating) (int, error)
+}
+
+// SetIngestor attaches (or, with nil, detaches) the sink for streaming
+// ratings. Safe to call at any time, including while requests are in
+// flight: the handler snapshots the ingestor once per request. Without
+// an ingestor POST /api/v2/ratings answers ErrIngestDisabled.
+func (s *Service) SetIngestor(ing Ingestor) {
+	if ing == nil {
+		s.ingest.Store(nil)
+		return
+	}
+	s.ingest.Store(&ing)
+}
+
+// RatingEntry is one rating event on the wire: who rated what, how, and
+// when. The item may be named (matched case-insensitively, exact) or
+// identified by dense ID like a RequestEntry.
+type RatingEntry struct {
+	// User is the external user name (required).
+	User string `json:"user"`
+	// Item is the item's external name; ID is used when it is empty.
+	Item string `json:"item,omitempty"`
+	// ID is the dense item ID (see RequestEntry.ID for the marshalling
+	// contract: always present, so a wire entry must say which item it
+	// means).
+	ID ratings.ItemID `json:"id"`
+	// Value is the rating value.
+	Value float64 `json:"value"`
+	// Time is the logical timestep of the event. Collisions with an
+	// existing (user, item) rating are resolved by recency: the stored
+	// rating survives only if strictly newer.
+	Time int64 `json:"time,omitempty"`
+}
+
+// UnmarshalJSON enforces the same explicitness as RequestEntry: a wire
+// entry must carry a "user" and either an "item" name or an "id".
+func (e *RatingEntry) UnmarshalJSON(data []byte) error {
+	var w struct {
+		User  string          `json:"user"`
+		Item  string          `json:"item"`
+		ID    *ratings.ItemID `json:"id"`
+		Value float64         `json:"value"`
+		Time  int64           `json:"time"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return err
+	}
+	if w.User == "" {
+		return errors.New("rating entry needs a \"user\"")
+	}
+	if w.Item == "" && w.ID == nil {
+		return errors.New("rating entry needs an \"item\" name or an \"id\"")
+	}
+	e.User, e.Item, e.Value, e.Time = w.User, w.Item, w.Value, w.Time
+	if w.ID != nil {
+		e.ID = *w.ID
+	} else {
+		e.ID = 0
+	}
+	return nil
+}
+
+// IngestElem reports one entry of an ingest batch: accepted, or the
+// error envelope it individually failed with.
+type IngestElem struct {
+	OK    bool      `json:"ok"`
+	Error *apiError `json:"error,omitempty"`
+}
+
+// IngestResponse answers POST /api/v2/ratings: how many entries were
+// accepted into the refit queue, the queue's depth afterwards, and (for
+// batches) the per-entry outcomes in request order.
+type IngestResponse struct {
+	Accepted   int          `json:"accepted"`
+	QueueDepth int          `json:"queue_depth"`
+	Results    []IngestElem `json:"results,omitempty"`
+}
+
+// resolveRating maps one wire entry to a dense rating, wrapping the
+// package sentinels like the recommend path does.
+func (s *Service) resolveRating(e RatingEntry) (ratings.Rating, error) {
+	u, ok := s.userIdx[e.User]
+	if !ok {
+		return ratings.Rating{}, fmt.Errorf("%w: %q", ErrUnknownUser, e.User)
+	}
+	id := e.ID
+	if e.Item != "" {
+		if id, ok = s.itemIdx[strings.ToLower(e.Item)]; !ok {
+			return ratings.Rating{}, fmt.Errorf("%w: %q", ErrUnknownItem, e.Item)
+		}
+	} else if id < 0 || int(id) >= s.ds.NumItems() {
+		return ratings.Rating{}, fmt.Errorf("%w: item ID %d out of range", ErrInvalidRequest, id)
+	}
+	return ratings.Rating{User: u, Item: id, Value: e.Value, Time: e.Time}, nil
+}
+
+// Ingest validates entries and enqueues the valid ones with the attached
+// ingestor — the Go-level core of POST /api/v2/ratings. Entries fail
+// individually (elems is ordered like entries); the returned error is
+// reserved for whole-call failures: no ingestor attached
+// (ErrIngestDisabled), or the ingestor rejecting the batch. On error
+// nothing was enqueued.
+func (s *Service) Ingest(entries []RatingEntry) (resp *IngestResponse, elems []IngestElem, err error) {
+	ptr := s.ingest.Load()
+	if ptr == nil {
+		return nil, nil, fmt.Errorf("%w: no ingestor attached", ErrIngestDisabled)
+	}
+	ing := *ptr
+
+	elems = make([]IngestElem, len(entries))
+	rs := make([]ratings.Rating, 0, len(entries))
+	accepted := 0
+	for i, e := range entries {
+		r, rerr := s.resolveRating(e)
+		if rerr != nil {
+			_, code := errorCode(rerr)
+			elems[i] = IngestElem{Error: &apiError{Code: code, Message: rerr.Error()}}
+			continue
+		}
+		elems[i] = IngestElem{OK: true}
+		rs = append(rs, r)
+		accepted++
+	}
+	depth, err := ing.Enqueue(rs)
+	if err != nil {
+		// The ingestor re-validates against the dense universe; the
+		// resolution above guarantees validity, so a rejection here is a
+		// whole-batch failure (nothing was enqueued), not per-entry.
+		return nil, nil, fmt.Errorf("enqueue: %w", err)
+	}
+	return &IngestResponse{Accepted: accepted, QueueDepth: depth}, elems, nil
+}
+
+// handleV2Ratings answers POST /api/v2/ratings. Like the v2 recommend
+// endpoint it is batch-first: the body is one RatingEntry object or an
+// array of them. A single entry answers with an IngestResponse or an
+// error envelope; a batch always answers 200 with per-entry results
+// alongside the aggregate counts, each entry accepted or rejected
+// individually. Ratings are queued for the next incremental refit, not
+// applied synchronously — the response's queue_depth is the number of
+// events awaiting the refit loop.
+func (s *Service) handleV2Ratings(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxV2Body))
+	if err != nil {
+		s.writeV2Error(w, fmt.Errorf("%w: reading body: %v", ErrInvalidRequest, err))
+		return
+	}
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) == 0 {
+		s.writeV2Error(w, fmt.Errorf("%w: empty body", ErrInvalidRequest))
+		return
+	}
+
+	if trimmed[0] != '[' { // single entry
+		var e RatingEntry
+		if err := decodeStrict(body, &e); err != nil {
+			s.writeV2Error(w, err)
+			return
+		}
+		// Resolve up front so a bad entry answers with its own
+		// sentinel-derived envelope (404 unknown_user, …), like a single
+		// recommend does.
+		if _, err := s.resolveRating(e); err != nil {
+			s.writeV2Error(w, err)
+			return
+		}
+		resp, _, err := s.Ingest([]RatingEntry{e})
+		if err != nil {
+			s.writeV2Error(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	var entries []RatingEntry
+	if err := decodeStrict(body, &entries); err != nil {
+		s.writeV2Error(w, err)
+		return
+	}
+	if len(entries) == 0 {
+		s.writeV2Error(w, fmt.Errorf("%w: empty batch", ErrInvalidRequest))
+		return
+	}
+	if len(entries) > s.opt.MaxBatch {
+		s.writeV2Error(w, fmt.Errorf("%w: batch of %d exceeds the %d-entry cap",
+			ErrInvalidRequest, len(entries), s.opt.MaxBatch))
+		return
+	}
+	resp, elems, err := s.Ingest(entries)
+	if err != nil {
+		s.writeV2Error(w, err)
+		return
+	}
+	failed := len(entries) - resp.Accepted
+	s.ctr.errors.Add(int64(failed))
+	resp.Results = elems
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,402 @@
+// Tests of the streaming-ingestion surface: POST /api/v2/ratings wire
+// behaviour against a recording ingestor, the serve↔core refit loop
+// end-to-end (ingest → Refitter.Refit → SwapPipelineFor → fresher lists),
+// and the ingest hammer: rating POSTs, Refitter-driven swaps and DoBatch
+// traffic interleaved under -race, with every served list required to
+// match some installed pipeline's output.
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"xmap/internal/core"
+	"xmap/internal/ratings"
+	"xmap/internal/serve"
+)
+
+// recordingIngestor captures what the serving layer hands to Enqueue.
+type recordingIngestor struct {
+	mu    sync.Mutex
+	got   []ratings.Rating
+	calls int
+	err   error
+}
+
+func (r *recordingIngestor) Enqueue(rs []ratings.Rating) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.calls++
+	if r.err != nil {
+		return 0, r.err
+	}
+	r.got = append(r.got, rs...)
+	return len(r.got), nil
+}
+
+func TestV2RatingsRequiresIngestor(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	body := postJSON(t, ts, "/api/v2/ratings",
+		[]byte(`{"user":"both-0000","id":0,"value":5}`), http.StatusServiceUnavailable)
+	envelope := body["error"].(map[string]any)
+	if envelope["code"] != "ingest_disabled" {
+		t.Fatalf("code = %v, want ingest_disabled", envelope["code"])
+	}
+
+	// Attaching and detaching flips the endpoint live.
+	ing := &recordingIngestor{}
+	svc.SetIngestor(ing)
+	postJSON(t, ts, "/api/v2/ratings",
+		[]byte(`{"user":"both-0000","id":0,"value":5}`), http.StatusOK)
+	svc.SetIngestor(nil)
+	postJSON(t, ts, "/api/v2/ratings",
+		[]byte(`{"user":"both-0000","id":0,"value":5}`), http.StatusServiceUnavailable)
+}
+
+func TestV2RatingsSingleEntry(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	ing := &recordingIngestor{}
+	svc.SetIngestor(ing)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	az, _, _ := fixture(t)
+
+	itemName := az.DS.ItemName(3)
+	body := postJSON(t, ts, "/api/v2/ratings",
+		[]byte(fmt.Sprintf(`{"user":"both-0000","item":%q,"value":4,"time":77}`, itemName)),
+		http.StatusOK)
+	if body["accepted"] != float64(1) || body["queue_depth"] != float64(1) {
+		t.Fatalf("response = %v", body)
+	}
+	u, _ := svc.LookupUser("both-0000")
+	want := ratings.Rating{User: u, Item: 3, Value: 4, Time: 77}
+	if len(ing.got) != 1 || ing.got[0] != want {
+		t.Fatalf("enqueued %+v, want [%+v]", ing.got, want)
+	}
+
+	// Errors answer with their own sentinel-derived envelopes.
+	cases := []struct {
+		body       string
+		wantStatus int
+		wantCode   string
+	}{
+		{`{"user":"nobody-9999","id":0,"value":5}`, http.StatusNotFound, "unknown_user"},
+		{`{"user":"both-0000","item":"zzz-no-such","value":5}`, http.StatusNotFound, "unknown_item"},
+		{`{"user":"both-0000","id":99999,"value":5}`, http.StatusBadRequest, "invalid_request"},
+		{`{"id":0,"value":5}`, http.StatusBadRequest, "invalid_request"},                   // no user
+		{`{"user":"both-0000","value":5}`, http.StatusBadRequest, "invalid_request"},       // no item/id
+		{`{"user":"both-0000","id":0,"valu":5}`, http.StatusBadRequest, "invalid_request"}, // strict decode
+		{`not json`, http.StatusBadRequest, "invalid_request"},
+		{``, http.StatusBadRequest, "invalid_request"},
+		{`[]`, http.StatusBadRequest, "invalid_request"},
+	}
+	for i, c := range cases {
+		body := postJSON(t, ts, "/api/v2/ratings", []byte(c.body), c.wantStatus)
+		envelope, ok := body["error"].(map[string]any)
+		if !ok {
+			t.Fatalf("case %d: no error envelope in %v", i, body)
+		}
+		if envelope["code"] != c.wantCode {
+			t.Fatalf("case %d: code = %v, want %v", i, envelope["code"], c.wantCode)
+		}
+	}
+	if len(ing.got) != 1 {
+		t.Fatalf("failed entries reached the ingestor: %+v", ing.got)
+	}
+}
+
+func TestV2RatingsBatchMixed(t *testing.T) {
+	svc := newService(t, serve.Options{MaxBatch: 8})
+	ing := &recordingIngestor{}
+	svc.SetIngestor(ing)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// Valid, unknown user, valid, unknown item: the batch answers 200 with
+	// per-entry outcomes and only the valid entries enqueued.
+	batch := `[
+		{"user":"both-0000","id":1,"value":5,"time":10},
+		{"user":"nobody-9999","id":1,"value":5},
+		{"user":"both-0001","id":2,"value":3,"time":11},
+		{"user":"both-0000","item":"zzz-no-such","value":1}
+	]`
+	body := postJSON(t, ts, "/api/v2/ratings", []byte(batch), http.StatusOK)
+	if body["accepted"] != float64(2) || body["queue_depth"] != float64(2) {
+		t.Fatalf("response = %v", body)
+	}
+	results := body["results"].([]any)
+	if len(results) != 4 {
+		t.Fatalf("%d results, want 4", len(results))
+	}
+	wantOK := []bool{true, false, true, false}
+	wantCode := []string{"", "unknown_user", "", "unknown_item"}
+	for i, r := range results {
+		row := r.(map[string]any)
+		if row["ok"] != wantOK[i] {
+			t.Fatalf("result %d = %v, want ok=%v", i, row, wantOK[i])
+		}
+		if !wantOK[i] {
+			if row["error"].(map[string]any)["code"] != wantCode[i] {
+				t.Fatalf("result %d code = %v, want %v", i, row, wantCode[i])
+			}
+		}
+	}
+	if len(ing.got) != 2 {
+		t.Fatalf("enqueued %d ratings, want 2", len(ing.got))
+	}
+
+	// Over the batch cap: rejected wholesale.
+	over, _ := json.Marshal(make([]map[string]any, 9))
+	big := bytes.ReplaceAll(over, []byte("null"), []byte(`{"user":"both-0000","id":0,"value":1}`))
+	body = postJSON(t, ts, "/api/v2/ratings", big, http.StatusBadRequest)
+	if body["error"].(map[string]any)["code"] != "invalid_request" {
+		t.Fatalf("over-cap response = %v", body)
+	}
+}
+
+// The full loop: ratings posted to the service, merged by a Refitter,
+// delta-refitted pipelines swapped back in — and the service then serves
+// lists from the appended dataset under a bumped epoch.
+func TestIngestRefitSwapLoop(t *testing.T) {
+	az, fwd, _ := fixture(t)
+	svc, err := serve.New(az.DS, []*core.Pipeline{fwd}, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.NewRefitter(az.DS, []*core.Pipeline{fwd}, svc, core.RefitterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.SetIngestor(r)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	u := az.DS.Straddlers(az.Movies, az.Books)[0]
+	name := az.DS.UserName(u)
+
+	// A decisive delta: the straddler rates a batch of movie items fresh.
+	var entries []string
+	for i, e := range az.DS.ItemsInDomain(az.Movies) {
+		if i >= 6 {
+			break
+		}
+		entries = append(entries, fmt.Sprintf(`{"user":%q,"id":%d,"value":5,"time":%d}`, name, e, 1_000_000+i))
+	}
+	body := postJSON(t, ts, "/api/v2/ratings",
+		[]byte("["+join(entries)+"]"), http.StatusOK)
+	if body["accepted"] != float64(len(entries)) {
+		t.Fatalf("accepted = %v, want %d", body["accepted"], len(entries))
+	}
+
+	if _, err := r.Refit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The swap landed: bumped epoch, pipeline fitted on the merged data.
+	resp, err := svc.Do(context.Background(), serve.Request{User: name, N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Epoch != 1 {
+		t.Fatalf("epoch = %d after refit swap, want 1", resp.Epoch)
+	}
+	np := svc.Pipeline(0)
+	if np == fwd || np.Dataset() == az.DS {
+		t.Fatal("refit did not install a pipeline on the appended dataset")
+	}
+	if np.Dataset().NumRatings() <= az.DS.NumRatings() {
+		t.Fatal("appended dataset has no extra observations")
+	}
+	want := namesOf(t, np.RecommendForUser(u, 10))
+	if !sameStrings(itemNames(resp.Items), want) {
+		t.Fatalf("served %v, want the refitted pipeline's %v", itemNames(resp.Items), want)
+	}
+}
+
+func join(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ","
+		}
+		out += s
+	}
+	return out
+}
+
+// refitPublisher wraps the service's SwapPipelineFor, recording every
+// pipeline's probe-user lists BEFORE the swap makes it observable — the
+// truth set for the hammer can then never miss a list a request might
+// legitimately serve.
+type refitPublisher struct {
+	svc    *serve.Service
+	users  []ratings.UserID
+	nameOf func(ratings.UserID) string
+
+	mu    sync.Mutex
+	truth map[string][][]string
+}
+
+func (rp *refitPublisher) add(p *core.Pipeline) {
+	lists := make(map[string][]string, len(rp.users))
+	for _, u := range rp.users {
+		recs := p.RecommendForUser(u, 8)
+		names := make([]string, len(recs))
+		for i, r := range recs {
+			names[i] = p.Dataset().ItemName(r.ID)
+		}
+		lists[rp.nameOf(u)] = names
+	}
+	rp.mu.Lock()
+	for name, l := range lists {
+		rp.truth[name] = append(rp.truth[name], l)
+	}
+	rp.mu.Unlock()
+}
+
+func (rp *refitPublisher) SwapPipelineFor(p *core.Pipeline) error {
+	rp.add(p) // before the swap: truth is complete when the list is live
+	return rp.svc.SwapPipelineFor(p)
+}
+
+func (rp *refitPublisher) matches(user string, got []string) bool {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	for _, want := range rp.truth[user] {
+		if sameStrings(got, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestIngestRefitHammer is the streaming acceptance hammer (run under
+// -race): rating POSTs, Refitter-driven SwapPipelineFor and DoBatch
+// serving traffic all interleave, and every successfully served list must
+// equal the output of some pipeline that was installed at some point —
+// never a torn mix of two fits.
+func TestIngestRefitHammer(t *testing.T) {
+	az, fwd, _ := fixture(t)
+	svc, err := serve.New(az.DS, []*core.Pipeline{fwd}, serve.Options{CacheSize: 128, CacheShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	users := az.DS.Straddlers(az.Movies, az.Books)
+	if len(users) > 8 {
+		users = users[:8]
+	}
+	rp := &refitPublisher{
+		svc:    svc,
+		users:  users,
+		nameOf: func(u ratings.UserID) string { return az.DS.UserName(u) },
+		truth:  make(map[string][][]string),
+	}
+	rp.add(fwd) // the initial fit is installed too
+
+	r, err := core.NewRefitter(az.DS, []*core.Pipeline{fwd}, rp, core.RefitterOptions{MaxQueue: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.SetIngestor(r)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan error, 1)
+	go func() { runDone <- r.Run(ctx) }()
+
+	reqs := make([]serve.Request, 16)
+	for i := range reqs {
+		reqs[i] = serve.Request{User: az.DS.UserName(users[i%len(users)]), N: 8}
+	}
+
+	const posters = 2
+	const servers = 3
+	const rounds = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, posters+servers)
+
+	for g := 0; g < posters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				// Each poster streams a small batch of fresh ratings from
+				// the probe users into the movie catalog.
+				var entries []string
+				for k := 0; k < 8; k++ {
+					u := users[(g+k)%len(users)]
+					item := az.DS.ItemsInDomain(az.Movies)[(g*rounds+round*8+k)%len(az.DS.ItemsInDomain(az.Movies))]
+					entries = append(entries, fmt.Sprintf(`{"user":%q,"id":%d,"value":%d,"time":%d}`,
+						az.DS.UserName(u), item, 1+(k%5), 2_000_000+g*100_000+round*100+k))
+				}
+				resp, err := http.Post(ts.URL+"/api/v2/ratings", "application/json",
+					bytes.NewReader([]byte("["+join(entries)+"]")))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("ratings POST status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+
+	for g := 0; g < servers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				results := svc.DoBatch(context.Background(), reqs)
+				for i, res := range results {
+					if res.Err != nil {
+						if errors.Is(res.Err, serve.ErrOverloaded) {
+							continue // shed under pressure is legitimate
+						}
+						errs <- fmt.Errorf("batch element %d: %v", i, res.Err)
+						return
+					}
+					if !rp.matches(reqs[i].User, itemNames(res.Response.Items)) {
+						errs <- fmt.Errorf("element %d (%s): list matches no installed pipeline", i, reqs[i].User)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	cancel()
+	if err := <-runDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v", err)
+	}
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// The loop actually refitted: the service's pipeline moved beyond the
+	// construction fit (the depth trigger fired at least once).
+	if svc.Pipeline(0) == fwd {
+		t.Log("note: no refit completed before the hammer ended (timing-dependent)")
+	}
+	if depth := r.QueueDepth(); depth > 0 {
+		// Leftover queue is fine — Run was cancelled mid-stream.
+		t.Logf("final queue depth %d", depth)
+	}
+}

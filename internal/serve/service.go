@@ -45,6 +45,13 @@ type Options struct {
 	// may carry (0 = 256). DoBatch itself is uncapped — the cap guards
 	// the HTTP parse-then-fan-out path.
 	MaxBatch int
+	// MaxQueue bounds how many requests may wait for a worker slot once
+	// all Workers slots are busy; the next request is shed immediately
+	// with ErrOverloaded instead of queueing (0 = unbounded queue, the
+	// pre-shedding behaviour). Shedding keeps tail latency bounded when
+	// offered load exceeds capacity — queued work that outlives the
+	// client's patience is pure waste.
+	MaxQueue int
 }
 
 func (o Options) withDefaults() Options {
@@ -103,6 +110,11 @@ type Service struct {
 	ctr     counters
 	opt     Options
 
+	// ingest is the attached streaming-rating sink (SetIngestor); nil
+	// until a Refitter is wired in. Atomic because the server attaches it
+	// after New, potentially with traffic already flowing.
+	ingest atomic.Pointer[Ingestor]
+
 	// pairSlot routes (source, target) domain pairs to slots — the
 	// canonical request-facing identity of a pipeline. SwapPipeline
 	// preserves a slot's direction, so the map is immutable after New.
@@ -153,7 +165,7 @@ func New(ds *ratings.Dataset, pipes []*core.Pipeline, opt Options) (*Service, er
 		pipes:  make([]atomic.Pointer[pipeState], len(pipes)),
 		pipeMu: make([]sync.Mutex, len(pipes)),
 		cache:  newResultCache(opt.CacheSize, opt.CacheShards),
-		limit:  engine.NewLimiter(opt.Workers),
+		limit:  engine.NewLimiterQueue(opt.Workers, opt.MaxQueue),
 		opt:    opt,
 	}
 	s.pairSlot = make(map[domainPair]int, len(pipes))
@@ -198,8 +210,11 @@ func (s *Service) Pipeline(i int) *core.Pipeline { return s.pipes[i].Load().p }
 // SwapPipeline atomically installs a refitted (or re-derived)
 // replacement for pipeline i and makes every cache entry the old
 // pipeline produced unreachable — the hot-refresh path: fit offline,
-// swap online, no stopped traffic. The replacement must be fitted on the
-// same dataset and serve the same (source, target) direction so request
+// swap online, no stopped traffic. The replacement must be fitted on a
+// dataset sharing this service's universe (the same user/item/domain
+// tables — identity, not equality: a streaming refit appends ratings via
+// WithAppended but never mints names, so the service's indexes stay
+// valid) and serve the same (source, target) direction so request
 // routing stays consistent. The swap is race-free with respect to
 // in-flight requests: a stale computation can only publish under the old
 // cache epoch, which no later request reads.
@@ -212,8 +227,8 @@ func (s *Service) SwapPipeline(i int, p *core.Pipeline) error {
 	if p == nil {
 		return errors.New("serve: nil replacement pipeline")
 	}
-	if p.Dataset() != s.ds {
-		return errors.New("serve: replacement pipeline was fitted on a different dataset")
+	if !p.Dataset().SharesUniverse(s.ds) {
+		return errors.New("serve: replacement pipeline was fitted on a different universe")
 	}
 	old := s.pipes[i].Load()
 	if p.Source() != old.p.Source() || p.Target() != old.p.Target() {
@@ -566,17 +581,21 @@ func (s *Service) computeList(p *core.Pipeline, q query) []sim.Scored {
 }
 
 // filterSeen drops recommendations the requester has already interacted
-// with: items the user rated anywhere in the training data (user
-// queries), or items listed in the request profile itself (profile
+// with: items the user rated in the answering pipeline's training data
+// (user queries), or items listed in the request profile itself (profile
 // queries — the AlterEgo is built from the mapped source profile, so a
 // target-domain item the caller already supplied can otherwise be
-// recommended straight back).
+// recommended straight back). "Seen" is judged against the pipeline's
+// own dataset, not the service's construction-time snapshot: after a
+// streaming refit the swapped-in pipeline carries the appended dataset,
+// and a rating ingested five minutes ago should already suppress its
+// item here.
 func (s *Service) filterSeen(recs []sim.Scored, q query) []sim.Scored {
 	out := recs[:0:len(recs)] // recs is this miss's fresh slice, safe to filter in place
 	for _, r := range recs {
 		seen := false
 		if q.kind == kindUser {
-			seen = s.ds.HasRated(q.user, r.ID)
+			seen = q.st.p.Dataset().HasRated(q.user, r.ID)
 		} else {
 			_, seen = ratings.ProfileRating(q.profile, r.ID)
 		}

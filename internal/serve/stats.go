@@ -15,12 +15,13 @@ const (
 	epHome
 	epV2Recommend
 	epV2Pipelines
+	epV2Ratings
 	numEndpoints
 )
 
 var endpointNames = [numEndpoints]string{
 	"items", "recommend", "user", "explain", "health", "stats", "home",
-	"v2_recommend", "v2_pipelines",
+	"v2_recommend", "v2_pipelines", "v2_ratings",
 }
 
 // counters is the service's mutable observability state; everything is

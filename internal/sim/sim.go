@@ -97,9 +97,11 @@ func (e Edge) NormalizedSig() float64 {
 // array with per-item offsets, each row sorted by ascending neighbor ID
 // (so point lookups binary-search). Immutable after ComputePairs.
 type Pairs struct {
-	ds     *ratings.Dataset
-	metric Metric
-	adj    scratch.CSR[Edge]
+	ds *ratings.Dataset
+	// opt is the (normalized) Options the table was computed with, kept so
+	// UpdateRows can re-run the pass under identical settings.
+	opt Options
+	adj scratch.CSR[Edge]
 }
 
 // pairAccum accumulates the sufficient statistics of one item pair.
@@ -302,7 +304,7 @@ func ComputePairs(ds *ratings.Dataset, opt Options) *Pairs {
 	for ii := 0; ii < numItems; ii++ {
 		copy(edges[off[ii+1]-upLen[ii]:off[ii+1]], upper[upOff[ii]:upOff[ii+1]])
 	}
-	return &Pairs{ds: ds, metric: opt.Metric, adj: scratch.CSR[Edge]{Edges: edges, Off: off}}
+	return &Pairs{ds: ds, opt: opt, adj: scratch.CSR[Edge]{Edges: edges, Off: off}}
 }
 
 // balanceRows cuts [0, n) into at most `workers` contiguous chunks of
@@ -389,7 +391,7 @@ func likeTable(ds *ratings.Dataset) likes {
 func (l likes) like(i ratings.ItemID, v float64) bool { return v >= l.itemMean[i] }
 
 // Metric returns the metric the table was computed with.
-func (p *Pairs) Metric() Metric { return p.metric }
+func (p *Pairs) Metric() Metric { return p.opt.Metric }
 
 // Dataset returns the dataset the table was computed over.
 func (p *Pairs) Dataset() *ratings.Dataset { return p.ds }

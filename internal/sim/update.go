@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"slices"
+
+	"xmap/internal/engine"
+	"xmap/internal/ratings"
+	"xmap/internal/scratch"
+)
+
+// UpdateRows returns the pair table for ds, a dataset derived from the
+// receiver's dataset by appending ratings of the given touched users
+// (ratings.Dataset.WithAppended). Instead of re-running the full upper-
+// triangle pass, it recomputes only the rows of items rated by a touched
+// user and patches the rest of the table by a transpose merge.
+//
+// The affected set is sound because WithAppended never removes
+// observations: a touched user's new profile contains every item they ever
+// rated, so any pair with both endpoints outside the affected set has an
+// unchanged co-rater set, unchanged centered values (its co-raters'
+// means are untouched), unchanged norms and unchanged union — its edge is
+// reproduced bit-for-bit by keeping the old value. Affected rows are
+// recomputed by the same accumulation the full pass performs (raters in
+// ascending UserID order, identical centered/like precomputation), so the
+// result is bit-identical to ComputePairs over ds — for any worker count on
+// either side.
+//
+// The accumulate work is O(affected rows), not O(items); assembling the
+// immutable CSR result is one linear copy of the table. The receiver's
+// Options are reused (the whole point is recomputing under identical
+// settings); workers only overrides the parallelism (0 = GOMAXPROCS).
+func (p *Pairs) UpdateRows(ds *ratings.Dataset, touched []ratings.UserID, workers int) *Pairs {
+	np, _ := p.UpdateRowsChanged(ds, touched, workers)
+	return np
+}
+
+// UpdateRowsChanged is UpdateRows, additionally reporting which rows of
+// the result may differ from the receiver's — the recomputed affected
+// rows plus every row that received a transpose patch (ascending,
+// deduplicated). The set is conservative: a listed row's bits can still
+// be identical (e.g. when every appended rating lost its recency
+// collision), but an unlisted row is guaranteed untouched — its edge
+// slice is copied verbatim. Downstream incremental passes (layered graph,
+// serving models) rebuild exactly these rows and copy the rest.
+func (p *Pairs) UpdateRowsChanged(ds *ratings.Dataset, touched []ratings.UserID, workers int) (*Pairs, []ratings.ItemID) {
+	opt := p.opt
+	opt.Workers = workers
+	if len(touched) == 0 {
+		return &Pairs{ds: ds, opt: opt, adj: p.adj}, nil
+	}
+	w := engine.WorkerCount(workers)
+	numItems := ds.NumItems()
+	numUsers := ds.NumUsers()
+
+	// Affected rows: every item in a touched user's profile.
+	inIT := make([]bool, numItems)
+	for _, u := range touched {
+		for _, e := range ds.Items(u) {
+			inIT[e.Item] = true
+		}
+	}
+	var its []ratings.ItemID
+	for i := 0; i < numItems; i++ {
+		if inIT[i] {
+			its = append(its, ratings.ItemID(i))
+		}
+	}
+
+	// Fresh per-observation centering/likes/norms over the appended
+	// dataset. O(ratings) — linear and parallel, dwarfed by the quadratic
+	// pair accumulation it feeds. Untouched items and users reproduce their
+	// old values exactly (same inputs, same fold order).
+	centered := centering(ds, opt.Metric)
+	likes := likeTable(ds)
+	norms := itemNorms(ds, opt.Metric)
+	userOff := ds.UserOffsets()
+	itemOff := ds.ItemOffsets()
+	profCent := make([]float64, userOff[numUsers])
+	profLike := make([]bool, userOff[numUsers])
+	engine.ParallelFor(numUsers, w, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			base := userOff[u]
+			for k, e := range ds.Items(ratings.UserID(u)) {
+				profCent[base+int64(k)] = centered(ratings.UserID(u), e)
+				profLike[base+int64(k)] = likes.like(e.Item, e.Value)
+			}
+		}
+	})
+
+	// Recompute the affected rows in full (both triangles): walk the row
+	// item's raters ascending and scatter each rater's whole profile into
+	// the dense scratch. Each pair's statistics are accumulated over the
+	// same co-raters in the same ascending order as the full pass — the
+	// products commute, so the sums match bitwise.
+	cost := make([]int64, len(its))
+	engine.ParallelFor(len(its), w, func(_, lo, hi int) {
+		for t := lo; t < hi; t++ {
+			var c int64
+			for _, ue := range ds.Users(its[t]) {
+				c += int64(len(ds.Items(ue.User)))
+			}
+			cost[t] = c
+		}
+	})
+	bounds := balanceRows(cost, w)
+	rows := make([][]Edge, len(its))
+	engine.ParallelForEach(len(bounds)-1, w, func(wk int) {
+		lo, hi := bounds[wk], bounds[wk+1]
+		if lo >= hi {
+			return
+		}
+		sc := scratch.NewDense[pairAccum](numItems)
+		for t := lo; t < hi; t++ {
+			i := its[t]
+			raters := ds.Users(i)
+			sc.Reset()
+			for _, ue := range raters {
+				prof := ds.Items(ue.User)
+				if opt.MaxProfile > 0 && len(prof) > opt.MaxProfile {
+					continue
+				}
+				ci := centered(ue.User, ratings.Entry{Item: i, Value: ue.Value, Time: ue.Time})
+				li := likes.like(i, ue.Value)
+				base := userOff[ue.User]
+				for k, e := range prof {
+					if e.Item == i {
+						continue
+					}
+					cell, _ := sc.Cell(int32(e.Item))
+					cell.dot += ci * profCent[base+int64(k)]
+					cell.co++
+					if li == profLike[base+int64(k)] {
+						cell.sig++
+					}
+				}
+			}
+			// Gather ascending: sort sparse rows, stamp-scan dense ones
+			// (same heuristic as the full pass, over the full ID range).
+			idx := sc.Touched()
+			if len(idx)*8 >= numItems {
+				idx = idx[:0]
+				for jj := int32(0); int(jj) < numItems; jj++ {
+					if sc.Stamped(jj) {
+						idx = append(idx, jj)
+					}
+				}
+			} else {
+				slices.Sort(idx)
+			}
+			var out []Edge
+			for _, jj := range idx {
+				cell, _ := sc.Lookup(jj)
+				if int(cell.co) < opt.MinCoRaters {
+					continue
+				}
+				var s float64
+				den := norms[i] * norms[jj]
+				if den > 0 {
+					s = cell.dot / den
+				}
+				if s > 1 {
+					s = 1
+				} else if s < -1 {
+					s = -1
+				}
+				if opt.SignificanceN > 0 && int(cell.co) < opt.SignificanceN {
+					s *= float64(cell.co) / float64(opt.SignificanceN)
+				}
+				union := int32(len(raters)) + int32(itemOff[jj+1]-itemOff[jj]) - cell.co
+				out = append(out, Edge{To: ratings.ItemID(jj), Sim: s, Sig: cell.sig, Co: cell.co, Union: union})
+			}
+			rows[t] = out
+		}
+	})
+
+	// Transpose the recomputed rows' edges that point outside the affected
+	// set: these are the patches for the unaffected rows (ascending source
+	// within each target because the walk is in ascending-item order).
+	mirLen := make([]int64, numItems)
+	for _, row := range rows {
+		for _, e := range row {
+			if !inIT[e.To] {
+				mirLen[e.To]++
+			}
+		}
+	}
+	mirOff := make([]int64, numItems+1)
+	for i := 0; i < numItems; i++ {
+		mirOff[i+1] = mirOff[i] + mirLen[i]
+	}
+	mirror := make([]Edge, mirOff[numItems])
+	mcur := make([]int64, numItems)
+	copy(mcur, mirOff[:numItems])
+	for t, row := range rows {
+		i := its[t]
+		for _, e := range row {
+			if !inIT[e.To] {
+				m := e
+				m.To = i
+				mirror[mcur[e.To]] = m
+				mcur[e.To]++
+			}
+		}
+	}
+
+	// New row lengths: affected rows take their recomputed length;
+	// unaffected rows keep their edges to unaffected neighbors and splice
+	// in the mirrored patches (edges never disappear — co-rater counts only
+	// grow under appends).
+	aff := make([]int32, numItems)
+	for i := range aff {
+		aff[i] = -1
+	}
+	for t, i := range its {
+		aff[i] = int32(t)
+	}
+	newLen := make([]int64, numItems)
+	old := p.adj
+	engine.ParallelFor(numItems, w, func(_, lo, hi int) {
+		for jj := lo; jj < hi; jj++ {
+			if aff[jj] >= 0 {
+				newLen[jj] = int64(len(rows[aff[jj]]))
+				continue
+			}
+			kept := 0
+			for _, e := range old.Row(int32(jj)) {
+				if !inIT[e.To] {
+					kept++
+				}
+			}
+			newLen[jj] = int64(kept) + mirLen[jj]
+		}
+	})
+	off := make([]int64, numItems+1)
+	for i := 0; i < numItems; i++ {
+		off[i+1] = off[i] + newLen[i]
+	}
+	edges := make([]Edge, off[numItems])
+	engine.ParallelFor(numItems, w, func(_, lo, hi int) {
+		for jj := lo; jj < hi; jj++ {
+			dst := edges[off[jj]:off[jj+1]]
+			if aff[jj] >= 0 {
+				copy(dst, rows[aff[jj]])
+				continue
+			}
+			// Merge kept old edges (To outside the affected set) with the
+			// mirror patches (To inside it) — disjoint, both ascending.
+			kept := old.Row(int32(jj))
+			mir := mirror[mirOff[jj]:mirOff[jj+1]]
+			pos, mi := 0, 0
+			for _, e := range kept {
+				if inIT[e.To] {
+					continue
+				}
+				for mi < len(mir) && mir[mi].To < e.To {
+					dst[pos] = mir[mi]
+					pos++
+					mi++
+				}
+				dst[pos] = e
+				pos++
+			}
+			for ; mi < len(mir); mi++ {
+				dst[pos] = mir[mi]
+				pos++
+			}
+		}
+	})
+	// Changed rows: the recomputed affected rows plus every row a mirror
+	// patch landed in. Both sources are ascending and disjoint (patches
+	// only target unaffected rows), so a linear merge keeps the order.
+	changed := make([]ratings.ItemID, 0, len(its))
+	ti := 0
+	for jj := 0; jj < numItems; jj++ {
+		if ti < len(its) && its[ti] == ratings.ItemID(jj) {
+			changed = append(changed, its[ti])
+			ti++
+			continue
+		}
+		if mirLen[jj] > 0 {
+			changed = append(changed, ratings.ItemID(jj))
+		}
+	}
+	return &Pairs{ds: ds, opt: opt, adj: scratch.CSR[Edge]{Edges: edges, Off: off}}, changed
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"xmap/internal/ratings"
+)
+
+// appendDelta draws a rating delta over the dataset's universe from a small
+// user subset (the streaming-window shape): mostly fresh timestamps, some
+// collisions, and some stale timestamps that lose against the stored rating.
+func appendDelta(rng *rand.Rand, ds *ratings.Dataset, users, n int) []ratings.Rating {
+	nu, ni := ds.NumUsers(), ds.NumItems()
+	active := rng.Perm(nu)[:users]
+	var out []ratings.Rating
+	for k := 0; k < n; k++ {
+		t := int64(10_000 + k)
+		if rng.Intn(8) == 0 {
+			t = 0 // stale: must lose any collision
+		}
+		out = append(out, ratings.Rating{
+			User:  ratings.UserID(active[rng.Intn(users)]),
+			Item:  ratings.ItemID(rng.Intn(ni)),
+			Value: float64(1 + rng.Intn(5)),
+			Time:  t,
+		})
+	}
+	return out
+}
+
+func assertPairsEqual(t *testing.T, got, want *Pairs, tag string) {
+	t.Helper()
+	if got.NumEdges() != want.NumEdges() {
+		t.Fatalf("%s: %d edges, want %d", tag, got.NumEdges(), want.NumEdges())
+	}
+	for i := 0; i < want.Dataset().NumItems(); i++ {
+		g, w := got.Neighbors(ratings.ItemID(i)), want.Neighbors(ratings.ItemID(i))
+		if len(g) != len(w) {
+			t.Fatalf("%s: item %d row length %d, want %d", tag, i, len(g), len(w))
+		}
+		for k := range g {
+			// Struct equality: Sim must be the identical float64 bit
+			// pattern, not merely close.
+			if g[k] != w[k] {
+				t.Fatalf("%s: item %d entry %d = %+v, want %+v", tag, i, k, g[k], w[k])
+			}
+		}
+	}
+}
+
+// UpdateRows must be bit-for-bit identical to a from-scratch ComputePairs
+// over the appended dataset — across metrics, option edge cases, worker
+// counts on both sides, and random delta shapes.
+func TestUpdateRowsMatchesComputePairs(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Options
+	}{
+		{"default", Options{}},
+		{"pearson", Options{Metric: PearsonItems}},
+		{"cosine", Options{Metric: Cosine}},
+		{"min-coraters", Options{MinCoRaters: 3}},
+		{"significance", Options{SignificanceN: 5}},
+		{"max-profile", Options{MaxProfile: 12}},
+		{"everything", Options{Metric: PearsonItems, MinCoRaters: 2, SignificanceN: 4, MaxProfile: 20}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				base := randomMultiDomain(seed, 2, 50, 40, 700)
+				delta := appendDelta(rng, base, 5, 60)
+				merged, ad := base.WithAppended(delta)
+				want := ComputePairs(merged, tc.opt)
+				old := ComputePairs(base, tc.opt)
+				for _, workers := range []int{1, 4, runtime.NumCPU()} {
+					got := old.UpdateRows(merged, ad.TouchedUsers, workers)
+					if got.Dataset() != merged {
+						t.Fatal("UpdateRows must adopt the appended dataset")
+					}
+					assertPairsEqual(t, got, want, tc.name)
+				}
+			}
+		})
+	}
+}
+
+// Chained incremental updates (the refit loop) must not drift from a full
+// recompute.
+func TestUpdateRowsChained(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ds := randomMultiDomain(17, 3, 60, 45, 900)
+	opt := Options{MinCoRaters: 2, SignificanceN: 3}
+	cur := ComputePairs(ds, opt)
+	for round := 0; round < 4; round++ {
+		delta := appendDelta(rng, ds, 4, 30)
+		next, ad := ds.WithAppended(delta)
+		cur = cur.UpdateRows(next, ad.TouchedUsers, 1+round)
+		ds = next
+	}
+	assertPairsEqual(t, cur, ComputePairs(ds, opt), "chained")
+}
+
+// An empty delta is a cheap rebind: same adjacency, new dataset pointer.
+func TestUpdateRowsEmptyDelta(t *testing.T) {
+	ds := randomMultiDomain(5, 2, 30, 25, 300)
+	p := ComputePairs(ds, Options{})
+	q := p.UpdateRows(ds, nil, 4)
+	if q.Dataset() != ds || q.Metric() != p.Metric() {
+		t.Fatal("empty update must keep dataset and metric")
+	}
+	assertPairsEqual(t, q, p, "empty")
+}

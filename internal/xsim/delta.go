@@ -1,0 +1,107 @@
+package xsim
+
+import (
+	"slices"
+
+	"xmap/internal/engine"
+	"xmap/internal/graph"
+	"xmap/internal/ratings"
+	"xmap/internal/scratch"
+)
+
+// ExtendDelta recomputes the X-Sim table after a rating append: g is the
+// layered graph over the updated pair table, oldG and old the graph and
+// table of the previous fit. Only the source rows whose composition inputs
+// changed are re-extended; every other forward row is copied from the old
+// table, and the reverse side is rebuilt by the usual (linear,
+// deterministic) transpose.
+//
+// The affected set is derived by diffing the composition's three inputs
+// between the two graphs: per-item legs, the BB—BB cross edges, and the
+// inverted target legs. A source row reads exactly (its own legs) → (cross
+// rows of its leg endpoints) → (incoming-leg rows of the reached BB_T
+// items); if all three are unchanged the recomposed row would be
+// bit-identical, so the old row is reused. Everything else is recomposed by
+// the same code path as Extend, making the result bit-for-bit equal to a
+// full Extend over g — for any worker count.
+//
+// opt must be the Options the old table was built with (the fit layer
+// stores its config precisely so refits reuse it). The delta path requires
+// KeepFull on both sides — the old full rows are the reuse source — and
+// falls back to a full Extend when the old table cannot seed it.
+func ExtendDelta(g *graph.Graph, oldG *graph.Graph, old *Table, opt Options) *Table {
+	ds := g.Dataset()
+	if old == nil || oldG == nil || !old.hasFull || !opt.KeepFull || old.topK != opt.TopK ||
+		old.src != g.Source() || old.dst != g.Target() ||
+		oldG.Dataset().NumItems() != ds.NumItems() {
+		return Extend(g, opt)
+	}
+	numItems := ds.NumItems()
+
+	// Legs are deterministic functions of (graph, opt): recompute both
+	// sides for both graphs and diff. Linear-ish in the graph — the
+	// quadratic cost this path avoids is the composition loop below.
+	newLegsSrc := computeLegs(g, g.Source(), opt)
+	newLegsDst := computeLegs(g, g.Target(), opt)
+	oldLegsSrc := computeLegs(oldG, g.Source(), opt)
+	oldLegsDst := computeLegs(oldG, g.Target(), opt)
+	newIn := buildInLegs(g, newLegsDst)
+	oldIn := buildInLegs(oldG, oldLegsDst)
+
+	// A BB item's composition contribution changed if its cross-domain
+	// edges changed, or an incoming-leg row it crosses into changed.
+	changedIn := make([]bool, numItems)
+	affectedBB := make([]bool, numItems)
+	engine.ParallelFor(numItems, opt.Workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			changedIn[i] = !slices.Equal(newIn.Row(int32(i)), oldIn.Row(int32(i)))
+		}
+	})
+	engine.ParallelFor(numItems, opt.Workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cross := g.CrossBB(ratings.ItemID(i))
+			if !slices.Equal(cross, oldG.CrossBB(ratings.ItemID(i))) {
+				affectedBB[i] = true
+				continue
+			}
+			for _, e := range cross {
+				if changedIn[e.To] {
+					affectedBB[i] = true
+					break
+				}
+			}
+		}
+	})
+
+	// A source row must be recomposed if its own legs changed or any leg
+	// lands on an affected BB item; otherwise the old full row is reused.
+	srcItems := ds.ItemsInDomain(g.Source())
+	rows := make([][]ExtEdge, len(srcItems))
+	engine.ParallelFor(len(srcItems), opt.Workers, func(_, lo, hi int) {
+		var sc *scratch.Dense[composeAccum] // lazily built: reused rows skip it
+		for idx := lo; idx < hi; idx++ {
+			i := srcItems[idx]
+			legs := newLegsSrc[i]
+			affected := !slices.Equal(legs, oldLegsSrc[i])
+			if !affected {
+				for _, a := range legs {
+					if affectedBB[a.to] {
+						affected = true
+						break
+					}
+				}
+			}
+			if !affected {
+				rows[idx] = old.fwdFull.Row(int32(i))
+				continue
+			}
+			if sc == nil {
+				sc = scratch.NewDense[composeAccum](numItems)
+			}
+			rows[idx] = composeRow(sc, g, legs, newIn, opt)
+		}
+	})
+
+	t := &Table{src: g.Source(), dst: g.Target(), ds: ds, hasFull: true, topK: opt.TopK}
+	return assemble(t, rows, srcItems, numItems, opt)
+}

@@ -1,0 +1,114 @@
+package xsim
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"xmap/internal/graph"
+	"xmap/internal/ratings"
+	"xmap/internal/sim"
+)
+
+func assertTablesEqual(t *testing.T, got, want *Table) {
+	t.Helper()
+	if got.NumHeteroPairs() != want.NumHeteroPairs() {
+		t.Fatalf("NumHeteroPairs = %d, want %d", got.NumHeteroPairs(), want.NumHeteroPairs())
+	}
+	ni := want.ds.NumItems()
+	for i := 0; i < ni; i++ {
+		id := ratings.ItemID(i)
+		equalRows(t, "forward", i, got.Forward(id), want.Forward(id))
+		equalRows(t, "reverse", i, got.Reverse(id), want.Reverse(id))
+		equalRows(t, "full", i, got.FullCandidates(id), want.FullCandidates(id))
+	}
+}
+
+// ExtendDelta must be bit-for-bit identical to a full Extend over the new
+// graph, across option shapes and worker counts, for append-derived updates.
+func TestExtendDeltaMatchesExtend(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Options
+	}{
+		{"plain", Options{KeepFull: true}},
+		{"topk", Options{TopK: 6, KeepFull: true}},
+		{"legsk", Options{TopK: 8, LegsK: 4, KeepFull: true}},
+		{"mincert", Options{TopK: 8, LegsK: 5, MinCert: 1e-4, KeepFull: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				base := randomTwoDomain(seed, 28, 18, 260)
+				oldPairs := sim.ComputePairs(base, sim.Options{})
+				oldG := graph.Build(oldPairs, 0, 1, graph.Options{K: 5})
+				old := Extend(oldG, tc.opt)
+
+				// Streaming delta from a small active-user window.
+				var delta []ratings.Rating
+				active := rng.Perm(base.NumUsers())[:3]
+				for k := 0; k < 25; k++ {
+					delta = append(delta, ratings.Rating{
+						User:  ratings.UserID(active[rng.Intn(len(active))]),
+						Item:  ratings.ItemID(rng.Intn(base.NumItems())),
+						Value: float64(1 + rng.Intn(5)),
+						Time:  int64(100_000 + k),
+					})
+				}
+				merged, ad := base.WithAppended(delta)
+				newPairs := oldPairs.UpdateRows(merged, ad.TouchedUsers, 0)
+				newG := graph.Build(newPairs, 0, 1, graph.Options{K: 5})
+				want := Extend(newG, tc.opt)
+				for _, workers := range []int{1, 4, runtime.NumCPU()} {
+					opt := tc.opt
+					opt.Workers = workers
+					got := ExtendDelta(newG, oldG, old, opt)
+					assertTablesEqual(t, got, want)
+				}
+			}
+		})
+	}
+}
+
+// Without KeepFull on the old table the delta path cannot reuse rows and
+// must fall back to a full (still correct) Extend.
+func TestExtendDeltaFallsBackWithoutFullRows(t *testing.T) {
+	base := randomTwoDomain(9, 24, 16, 220)
+	pairs := sim.ComputePairs(base, sim.Options{})
+	g := graph.Build(pairs, 0, 1, graph.Options{K: 5})
+	old := Extend(g, Options{TopK: 6}) // no KeepFull
+
+	merged, ad := base.WithAppended([]ratings.Rating{{User: 0, Item: 3, Value: 5, Time: 99_999}})
+	newPairs := pairs.UpdateRows(merged, ad.TouchedUsers, 0)
+	newG := graph.Build(newPairs, 0, 1, graph.Options{K: 5})
+	opt := Options{TopK: 6, KeepFull: true}
+	assertTablesEqual(t, ExtendDelta(newG, g, old, opt), Extend(newG, opt))
+}
+
+// Chained delta extends (each refit seeding the next) must not drift.
+func TestExtendDeltaChained(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ds := randomTwoDomain(23, 30, 20, 300)
+	opt := Options{TopK: 8, LegsK: 5, KeepFull: true}
+	pairs := sim.ComputePairs(ds, sim.Options{})
+	g := graph.Build(pairs, 0, 1, graph.Options{K: 5})
+	tbl := Extend(g, opt)
+	for round := 0; round < 4; round++ {
+		var delta []ratings.Rating
+		for k := 0; k < 12; k++ {
+			delta = append(delta, ratings.Rating{
+				User:  ratings.UserID(rng.Intn(ds.NumUsers())),
+				Item:  ratings.ItemID(rng.Intn(ds.NumItems())),
+				Value: float64(1 + rng.Intn(5)),
+				Time:  int64(10_000*(round+1) + k),
+			})
+		}
+		merged, ad := ds.WithAppended(delta)
+		newPairs := pairs.UpdateRows(merged, ad.TouchedUsers, 0)
+		newG := graph.Build(newPairs, 0, 1, graph.Options{K: 5})
+		tbl = ExtendDelta(newG, g, tbl, opt)
+		ds, pairs, g = merged, newPairs, newG
+	}
+	assertTablesEqual(t, tbl, Extend(g, opt))
+}

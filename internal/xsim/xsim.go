@@ -93,6 +93,13 @@ type leg struct {
 	sumS  float64
 }
 
+// incoming is one inverted target leg: a partial path from target item
+// `from` arriving at a BB_T item, indexed by that BB endpoint.
+type incoming struct {
+	from ratings.ItemID
+	leg  leg
+}
+
 // Extend runs both phases and returns the X-Sim table.
 func Extend(g *graph.Graph, opt Options) *Table {
 	ds := g.Dataset()
@@ -100,16 +107,30 @@ func Extend(g *graph.Graph, opt Options) *Table {
 
 	legsSrc := computeLegs(g, g.Source(), opt)
 	legsDst := computeLegs(g, g.Target(), opt)
+	inLegs := buildInLegs(g, legsDst)
 
-	// Invert target legs: for each BB_T item, the legs that reach it.
-	// Counting-sort transpose straight into CSR (count per BB endpoint,
-	// prefix-sum, scatter) — rows are born in the same ascending-target
-	// order the old per-item appends produced, with two allocations
-	// instead of one slice per touched endpoint.
-	type incoming struct {
-		from ratings.ItemID
-		leg  leg
-	}
+	// Cross-domain composition, parallel over source items: each worker
+	// owns a dense accumulator indexed by target item and gathers one
+	// row at a time, so workers never share state.
+	numItems := ds.NumItems()
+	srcItems := ds.ItemsInDomain(g.Source())
+	rows := make([][]ExtEdge, len(srcItems))
+	engine.ParallelFor(len(srcItems), opt.Workers, func(_, lo, hi int) {
+		sc := scratch.NewDense[composeAccum](numItems)
+		for idx := lo; idx < hi; idx++ {
+			rows[idx] = composeRow(sc, g, legsSrc[srcItems[idx]], inLegs, opt)
+		}
+	})
+	return assemble(t, rows, srcItems, numItems, opt)
+}
+
+// buildInLegs inverts the target legs: for each BB_T item, the legs that
+// reach it. Counting-sort transpose straight into CSR (count per BB
+// endpoint, prefix-sum, scatter) — rows are born in the same ascending-
+// target order the old per-item appends produced, with two allocations
+// instead of one slice per touched endpoint.
+func buildInLegs(g *graph.Graph, legsDst [][]leg) scratch.CSR[incoming] {
+	ds := g.Dataset()
 	numItems := ds.NumItems()
 	tgtItems := ds.ItemsInDomain(g.Target())
 	inOff := make([]int64, numItems+1)
@@ -130,67 +151,67 @@ func Extend(g *graph.Graph, opt Options) *Table {
 			inCur[l.to]++
 		}
 	}
-	inLegs := scratch.CSR[incoming]{Edges: inArr, Off: inOff}
+	return scratch.CSR[incoming]{Edges: inArr, Off: inOff}
+}
 
-	// Cross-domain composition, parallel over source items: each worker
-	// owns a dense accumulator indexed by target item and gathers one
-	// row at a time, so workers never share state.
-	type accum struct{ num, den float64 }
-	srcItems := ds.ItemsInDomain(g.Source())
-	rows := make([][]ExtEdge, len(srcItems))
-	engine.ParallelFor(len(srcItems), opt.Workers, func(_, lo, hi int) {
-		sc := scratch.NewDense[accum](ds.NumItems())
-		for idx := lo; idx < hi; idx++ {
-			i := srcItems[idx]
-			sc.Reset()
-			for _, a := range legsSrc[i] {
-				for _, e := range g.CrossBB(a.to) {
-					ce := e.NormalizedSig()
-					if ce <= 0 {
-						continue
-					}
-					crossWS := float64(e.Sig) * e.Sim
-					crossS := float64(e.Sig)
-					for _, in := range inLegs.Row(int32(e.To)) {
-						c := a.c * ce * in.leg.c
-						if c <= opt.MinCert || c == 0 {
-							continue
-						}
-						sumS := a.sumS + crossS + in.leg.sumS
-						if sumS <= 0 {
-							continue
-						}
-						sp := (a.sumWS + crossWS + in.leg.sumWS) / sumS
-						cell, _ := sc.Cell(int32(in.from))
-						cell.num += c * sp
-						cell.den += c
-					}
-				}
+// composeAccum accumulates one target candidate's certainty-weighted mass.
+type composeAccum struct{ num, den float64 }
+
+// composeRow runs the cross-domain composition for one source item's legs
+// and gathers the sorted candidate row. Deterministic given (legs, graph,
+// inLegs, opt) — the delta path relies on recomposed rows matching the full
+// pass bit-for-bit.
+func composeRow(sc *scratch.Dense[composeAccum], g *graph.Graph, legs []leg, inLegs scratch.CSR[incoming], opt Options) []ExtEdge {
+	sc.Reset()
+	for _, a := range legs {
+		for _, e := range g.CrossBB(a.to) {
+			ce := e.NormalizedSig()
+			if ce <= 0 {
+				continue
 			}
-			touched := sc.Touched()
-			row := make([]ExtEdge, 0, len(touched))
-			for _, jj := range touched {
-				cell, _ := sc.Lookup(jj)
-				if cell.den <= 0 {
+			crossWS := float64(e.Sig) * e.Sim
+			crossS := float64(e.Sig)
+			for _, in := range inLegs.Row(int32(e.To)) {
+				c := a.c * ce * in.leg.c
+				if c <= opt.MinCert || c == 0 {
 					continue
 				}
-				row = append(row, ExtEdge{To: ratings.ItemID(jj), Sim: clamp1(cell.num / cell.den), Cert: cell.den})
+				sumS := a.sumS + crossS + in.leg.sumS
+				if sumS <= 0 {
+					continue
+				}
+				sp := (a.sumWS + crossWS + in.leg.sumWS) / sumS
+				cell, _ := sc.Cell(int32(in.from))
+				cell.num += c * sp
+				cell.den += c
 			}
-			sortExt(row)
-			rows[idx] = row
 		}
-	})
+	}
+	touched := sc.Touched()
+	row := make([]ExtEdge, 0, len(touched))
+	for _, jj := range touched {
+		cell, _ := sc.Lookup(jj)
+		if cell.den <= 0 {
+			continue
+		}
+		row = append(row, ExtEdge{To: ratings.ItemID(jj), Sim: clamp1(cell.num / cell.den), Cert: cell.den})
+	}
+	sortExt(row)
+	return row
+}
 
-	// Assemble forward and reverse CSRs and count distinct heterogeneous
-	// pairs. The forward table copies the worker rows straight into flat
-	// storage; the reverse table is a counting-sort transpose of the same
-	// rows (count in-degrees, prefix-sum, scatter walking source rows in
-	// ascending order — each reverse row receives its edges in ascending
-	// source order, exactly the order the old per-item appends produced),
-	// then each reverse row is sorted by X-Sim in parallel. Truncated rows
-	// are TopK-prefixes of the sorted full rows, so with KeepFull only the
-	// full CSRs are materialized and Forward/Reverse slice them on read;
-	// without it rows are truncated as they are compacted into storage.
+// assemble fills the table from the per-source candidate rows: forward and
+// reverse CSRs plus the distinct-pair count. The forward table copies the
+// worker rows straight into flat storage; the reverse table is a
+// counting-sort transpose of the same rows (count in-degrees, prefix-sum,
+// scatter walking source rows in ascending order — each reverse row
+// receives its edges in ascending source order, exactly the order the old
+// per-item appends produced), then each reverse row is sorted by X-Sim in
+// parallel. Truncated rows are TopK-prefixes of the sorted full rows, so
+// with KeepFull only the full CSRs are materialized and Forward/Reverse
+// slice them on read; without it rows are truncated as they are compacted
+// into storage.
+func assemble(t *Table, rows [][]ExtEdge, srcItems []ratings.ItemID, numItems int, opt Options) *Table {
 	trunc := func(n int) int {
 		if !opt.KeepFull && opt.TopK > 0 && n > opt.TopK {
 			return opt.TopK
