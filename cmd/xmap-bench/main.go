@@ -11,10 +11,13 @@
 //	xmap-bench -scale small -json BENCH.json
 //
 // Experiments: fig1b fig5 fig6 fig7 fig8 fig9 fig10 tab2 tab3 fig11
-// dsbuild dsappend all (dsbuild is the dataset-store micro series:
-// Builder.Build and Dataset.Filter measured with testing.Benchmark;
-// dsappend is the incremental-refit series: a ~1% launch-cohort append
-// folded in by core.FitDelta vs a full core.Fit rebuild).
+// dsbuild dsappend loadgen all (dsbuild is the dataset-store micro
+// series: Builder.Build and Dataset.Filter measured with
+// testing.Benchmark; dsappend is the incremental-refit series: a ~1%
+// launch-cohort append folded in by core.FitDelta vs a full core.Fit
+// rebuild; loadgen is the closed-loop macro series: the traffic
+// simulator's sustained req/s and latency percentiles over the full
+// HTTP serve→consume→ingest→refit loop).
 //
 // With -json, a machine-readable summary — per-experiment wall-clock
 // seconds plus headline quality metrics — is written to the given path so
@@ -22,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -35,6 +39,7 @@ import (
 	"xmap/internal/core"
 	"xmap/internal/dataset"
 	"xmap/internal/experiments"
+	"xmap/internal/loadgen"
 	"xmap/internal/ratings"
 )
 
@@ -94,8 +99,73 @@ func headlineMetrics(r fmt.Stringer) map[string]float64 {
 			"append_refit_ns_op": v.AppendNsOp,
 			"refit_speedup":      v.Speedup,
 		}
+	case loadgenResult:
+		return map[string]float64{
+			"loadgen_req_per_sec": v.ReqPerSec,
+			"loadgen_p50_ns":      v.P50Ns,
+			"loadgen_p99_ns":      v.P99Ns,
+		}
 	default:
 		return nil
+	}
+}
+
+// loadgenResult carries the closed-loop serving series: sustained
+// batched-recommend throughput and latency percentiles measured by the
+// traffic simulator (internal/loadgen) against a self-hosted stack with
+// mid-run delta refits. Unlike the micro benchmarks, this is the full
+// HTTP serve→consume→ingest→refit loop — the macro load the CI gate
+// otherwise lacks. loadgen_req_per_sec is gated inverted (a drop is the
+// regression); the latency series gate like the _ns_op costs.
+type loadgenResult struct {
+	ReqPerSec float64
+	P50Ns     float64
+	P99Ns     float64
+	Requests  int
+	Ratings   int
+}
+
+func (r loadgenResult) String() string {
+	return fmt.Sprintf("Loadgen: %.0f req/s | p50 %.2fms p99 %.2fms (%d requests, %d ratings fed back)",
+		r.ReqPerSec, r.P50Ns/1e6, r.P99Ns/1e6, r.Requests, r.Ratings)
+}
+
+// loadgenBench runs the seeded 3-round closed loop at smoke scale: tail
+// warmup, then serve/consume/ingest with a forced delta refit at every
+// round boundary. The diversity/drift metrics are bit-reproducible per
+// seed (pinned by internal/loadgen's tests); what lands in BENCH.json is
+// the measured serving performance.
+func loadgenBench(seed int64) fmt.Stringer {
+	if seed == 0 {
+		seed = 1
+	}
+	ctx := context.Background()
+	w, err := loadgen.NewWorld(ctx, loadgen.DefaultWorldConfig(seed))
+	if err != nil {
+		panic(err)
+	}
+	defer w.Close()
+	if _, err := w.IngestTail(ctx, 64); err != nil {
+		panic(err)
+	}
+	pop, err := w.Population()
+	if err != nil {
+		panic(err)
+	}
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		Seed: seed, Rounds: 3, N: 10,
+		BatchSize: 64, Concurrency: 4,
+		ConsumePerList: 2, ExcludeSeen: true,
+	}, pop, w.Target())
+	if err != nil {
+		panic(err)
+	}
+	return loadgenResult{
+		ReqPerSec: res.ReqPerSec,
+		P50Ns:     float64(res.P50),
+		P99Ns:     float64(res.P99),
+		Requests:  res.Requests,
+		Ratings:   res.Ratings,
 	}
 }
 
@@ -218,7 +288,7 @@ func datasetAppendBench() fmt.Stringer {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (fig1b, fig5..fig11, tab2, tab3, dsbuild, dsappend, all)")
+		experiment = flag.String("experiment", "all", "experiment id (fig1b, fig5..fig11, tab2, tab3, dsbuild, dsappend, loadgen, all)")
 		scaleName  = flag.String("scale", "default", "workload scale: small or default")
 		seed       = flag.Int64("seed", 0, "override the scale's RNG seed (0 = keep)")
 		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
@@ -259,6 +329,7 @@ func main() {
 		{"fig11", func() fmt.Stringer { return experiments.Figure11(sc, *measure) }},
 		{"dsbuild", func() fmt.Stringer { return datasetBuildBench() }},
 		{"dsappend", func() fmt.Stringer { return datasetAppendBench() }},
+		{"loadgen", func() fmt.Stringer { return loadgenBench(sc.Seed) }},
 	}
 
 	report := jsonReport{

@@ -33,7 +33,11 @@
 //     gated regardless of magnitude. *_allocs_op metrics must not grow at
 //     all beyond slack: allocation counts are deterministic, so a jump is
 //     a code change, not noise — they fail on median delta alone, no
-//     significance test needed.
+//     significance test needed. *_ns metrics (the loadgen latency
+//     percentiles) gate like *_ns_op. *_per_sec metrics (the loadgen
+//     throughput series) gate with the direction inverted: the
+//     regression is the median DROPPING beyond the threshold, a rise is
+//     the improvement.
 //
 // Exit status: 0 when nothing regressed, 1 on regression, 2 on usage or
 // decode errors. Improvements, suspects and skipped entries are reported
@@ -102,7 +106,10 @@ func loadSide(paths []string) (map[string]*sampleSet, error) {
 		for _, rec := range r.Results {
 			add(rec.Experiment+"/seconds", rec.Scale, rec.Seed, rec.Seconds)
 			for metric, v := range rec.Metrics {
-				if strings.HasSuffix(metric, "_ns_op") || strings.HasSuffix(metric, "_allocs_op") {
+				// "_ns" also admits the "_ns_op" names; the suffixes are
+				// listed separately so the gated set reads explicitly.
+				if strings.HasSuffix(metric, "_ns_op") || strings.HasSuffix(metric, "_allocs_op") ||
+					strings.HasSuffix(metric, "_ns") || strings.HasSuffix(metric, "_per_sec") {
 					add(rec.Experiment+"/"+metric, rec.Scale, rec.Seed, v)
 				}
 			}
@@ -183,6 +190,26 @@ func main() {
 				status = "REGRESSION"
 				regressions++
 			case delta < -1:
+				status = "improved"
+			default:
+				status = "ok"
+			}
+		case strings.HasSuffix(name, "_per_sec"):
+			// Throughput: higher is better, so the gate runs mirrored —
+			// a median drop beyond the threshold is the regression.
+			switch {
+			case delta < -*threshold:
+				switch {
+				case !multi:
+					status = "REGRESSION"
+					regressions++
+				case p <= *alpha:
+					status = "REGRESSION"
+					regressions++
+				default:
+					status = "suspect (not significant)"
+				}
+			case delta > *threshold:
 				status = "improved"
 			default:
 				status = "ok"

@@ -113,6 +113,30 @@
 // cmd/xmap-datagen -stream emits a base trace plus a time-ordered append
 // tail for exercising the path end-to-end.
 //
+// # Load generation & long-term effects
+//
+// The closed loop — serve, consume, ingest, refit — has its own harness:
+// internal/loadgen simulates a seeded synthetic population (taste
+// vectors and cross-domain linkage from the generator's latent ground
+// truth, exported by dataset.AmazonLikeLaunchLatent) hammering
+// POST /api/v2/recommend in batches over real HTTP, consuming served
+// items under a position-biased, taste-weighted choice model, and
+// feeding the resulting ratings back through POST /api/v2/ratings so
+// the Refitter folds them in mid-run. Per round and domain pair it
+// reports the long-term-effect metrics of the feedback-loop literature
+// (internal/eval: intra-list diversity, catalog coverage, exposure
+// Gini, consumption drift from the seed taste vectors) plus measured
+// throughput and latency percentiles. Fixed seeds make runs
+// bit-reproducible — refits are forced synchronously at round
+// boundaries and every consumption choice draws from a
+// per-(seed, round, pair, user) rng — so a diversity trajectory is a
+// regression-testable artifact, not an anecdote. cmd/xmap-loadgen is
+// the CLI (see its README for a round-by-round example); the loadgen
+// driver of cmd/xmap-bench records loadgen_req_per_sec and
+// loadgen_p99_ns into BENCH.json, where the CI gate watches the
+// throughput series with the direction inverted (a drop is the
+// regression).
+//
 // # Dataset layout
 //
 // The rating store itself (internal/ratings) is flat: both indexes are

@@ -85,6 +85,68 @@ type Amazon struct {
 	Books  ratings.DomainID
 }
 
+// Latent exposes the generative ground truth of a synthetic trace: the
+// latent vectors the generator rated with, indexed by the dense IDs of
+// the returned dataset. A downstream consumer (the closed-loop traffic
+// simulator in internal/loadgen) can then make choices and measure drift
+// against the *true* preference model rather than a re-estimated one —
+// the synthetic-trace analogue of knowing the user study's ground truth.
+//
+// UserTaste holds each user's static seed taste vector (pre-drift: drift
+// is a property of individual rating events, not of the user), so it is
+// exactly the reference point "consumption drift from the seed taste
+// vector" is measured from.
+type Latent struct {
+	// Factors is the latent dimension all vectors share.
+	Factors int
+	// GlobalMean is the generator's rating intercept.
+	GlobalMean float64
+	// ItemVec and ItemBias are indexed by ratings.ItemID.
+	ItemVec  [][]float64
+	ItemBias []float64
+	// UserTaste and UserBias are indexed by ratings.UserID.
+	UserTaste [][]float64
+	UserBias  []float64
+}
+
+// rate draws one rating for (user u, item i) under the recorded model —
+// the same formula the generator used, minus taste drift (a seed-taste
+// rating), with noise supplied by the caller's rng so simulations stay
+// deterministic under their own seeds.
+func (l *Latent) Rate(u ratings.UserID, i ratings.ItemID, noise float64) float64 {
+	var dot float64
+	taste, vec := l.UserTaste[u], l.ItemVec[i]
+	for f := range taste {
+		dot += taste[f] * vec[f]
+	}
+	raw := l.GlobalMean + l.UserBias[u] + l.ItemBias[i] + dot + noise
+	r := math.Round(raw)
+	if r < 1 {
+		r = 1
+	}
+	if r > 5 {
+		r = 5
+	}
+	return r
+}
+
+// Vector returns item i's latent vector (eval.ItemVectors).
+func (l *Latent) Vector(i ratings.ItemID) []float64 { return l.ItemVec[i] }
+
+// Taste returns user u's seed taste vector.
+func (l *Latent) Taste(u ratings.UserID) []float64 { return l.UserTaste[u] }
+
+// Affinity is the latent preference score of user u for item i (the dot
+// product the rating formula is built around).
+func (l *Latent) Affinity(u ratings.UserID, i ratings.ItemID) float64 {
+	var dot float64
+	taste, vec := l.UserTaste[u], l.ItemVec[i]
+	for f := range taste {
+		dot += taste[f] * vec[f]
+	}
+	return dot
+}
+
 // AmazonLike generates a two-domain trace under the config.
 func AmazonLike(cfg AmazonConfig) Amazon {
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -149,12 +211,23 @@ type LaunchConfig struct {
 // both domains, the launch items surface as fresh bridge items — the
 // cold-start case the paper's meta-path transfer exists to serve.
 func AmazonLikeLaunch(cfg AmazonConfig, lc LaunchConfig) (Amazon, []ratings.Rating) {
+	az, tail, _ := AmazonLikeLaunchLatent(cfg, lc)
+	return az, tail
+}
+
+// AmazonLikeLaunchLatent is AmazonLikeLaunch with the generative ground
+// truth recorded: the returned Latent carries every item's vector/bias
+// and every user's seed taste/bias, indexed by the dataset's dense IDs.
+// Recording draws nothing extra from the rng, so the dataset and tail are
+// bit-identical to AmazonLikeLaunch under the same configuration.
+func AmazonLikeLaunchLatent(cfg AmazonConfig, lc LaunchConfig) (Amazon, []ratings.Rating, *Latent) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	b := ratings.NewBuilder()
 	mv := b.Domain("movies")
 	bk := b.Domain("books")
 
 	model := newLatentModel(rng, cfg)
+	model.rec = &Latent{Factors: cfg.Factors, GlobalMean: model.globalMean}
 
 	movieItems := model.makeItems(b, mv, "m", cfg.Movies, 0)
 	bookItems := model.makeItems(b, bk, "b", cfg.Books, 1)
@@ -164,6 +237,7 @@ func AmazonLikeLaunch(cfg AmazonConfig, lc LaunchConfig) (Amazon, []ratings.Rati
 	for u := 0; u < cfg.OverlapUsers; u++ {
 		uid := b.User(fmt.Sprintf("both-%04d", u))
 		usr := model.makeUser()
+		model.recordUser(usr)
 		draws := model.draw(usr, movieItems, cfg.RatingsPerUser)
 		draws = append(draws, model.draw(usr, bookItems, cfg.RatingsPerUser)...)
 		model.emit(b, uid, usr, draws)
@@ -171,11 +245,13 @@ func AmazonLikeLaunch(cfg AmazonConfig, lc LaunchConfig) (Amazon, []ratings.Rati
 	for u := 0; u < cfg.MovieUsers; u++ {
 		uid := b.User(fmt.Sprintf("movie-%04d", u))
 		usr := model.makeUser()
+		model.recordUser(usr)
 		model.emit(b, uid, usr, model.draw(usr, movieItems, cfg.RatingsPerUser))
 	}
 	for u := 0; u < cfg.BookUsers; u++ {
 		uid := b.User(fmt.Sprintf("book-%04d", u))
 		usr := model.makeUser()
+		model.recordUser(usr)
 		model.emit(b, uid, usr, model.draw(usr, bookItems, cfg.RatingsPerUser))
 	}
 
@@ -184,6 +260,7 @@ func AmazonLikeLaunch(cfg AmazonConfig, lc LaunchConfig) (Amazon, []ratings.Rati
 	for u := 0; u < lc.Users; u++ {
 		uid := b.User(fmt.Sprintf("launch-%04d", u))
 		usr := model.makeUser()
+		model.recordUser(usr)
 		draws := model.draw(usr, launchMovies, lc.RatingsPerDomain)
 		draws = append(draws, model.draw(usr, launchBooks, lc.RatingsPerDomain)...)
 		sortDraws(draws)
@@ -194,7 +271,7 @@ func AmazonLikeLaunch(cfg AmazonConfig, lc LaunchConfig) (Amazon, []ratings.Rati
 			})
 		}
 	}
-	return Amazon{DS: b.Build(), Movies: mv, Books: bk}, tail
+	return Amazon{DS: b.Build(), Movies: mv, Books: bk}, tail, model.rec
 }
 
 // latentModel holds the generative state shared by both generators.
@@ -203,6 +280,31 @@ type latentModel struct {
 	cfg        AmazonConfig
 	archetypes [2][][]float64 // [domainSlot][genre][factor]
 	globalMean float64
+	// rec, when non-nil, records every item/user's latent parameters as
+	// they are drawn. Recording copies state already sampled — it never
+	// draws from rng itself — so a recorded generation is bit-identical
+	// to an unrecorded one under the same seed.
+	rec *Latent
+}
+
+// recordItem appends one item's latent parameters; items are created in
+// dense-ID order, so append indexes by ItemID.
+func (m *latentModel) recordItem(it latentItem) {
+	if m.rec == nil {
+		return
+	}
+	m.rec.ItemVec = append(m.rec.ItemVec, append([]float64(nil), it.vec...))
+	m.rec.ItemBias = append(m.rec.ItemBias, it.bias)
+}
+
+// recordUser appends one user's latent parameters; users are created in
+// dense-ID order, so append indexes by UserID.
+func (m *latentModel) recordUser(usr latentUser) {
+	if m.rec == nil {
+		return
+	}
+	m.rec.UserTaste = append(m.rec.UserTaste, append([]float64(nil), usr.taste...))
+	m.rec.UserBias = append(m.rec.UserBias, usr.bias)
 }
 
 // latentItem is one item's generative parameters.
@@ -259,6 +361,7 @@ func (m *latentModel) makeItems(b *ratings.Builder, dom ratings.DomainID, prefix
 			genre:     genre,
 			popWeight: 1 / math.Pow(float64(i+2), 0.8), // Zipf-ish
 		}
+		m.recordItem(items[i])
 	}
 	return items
 }

@@ -1,0 +1,188 @@
+package eval
+
+import (
+	"math"
+	"sort"
+
+	"xmap/internal/ratings"
+)
+
+// This file holds the long-term-effect metrics used by the closed-loop
+// load generator (internal/loadgen): exposure concentration (Gini),
+// catalog coverage, and intra-list diversity. They quantify the
+// filter-bubble / homogenization methodology of arXiv:2402.15013 over
+// feedback rounds.
+
+// ExposureCounts tallies how often each item appears across a set of
+// served lists. The result maps ItemID → exposure count; items never
+// served are absent.
+func ExposureCounts(lists [][]ratings.ItemID) map[ratings.ItemID]int {
+	counts := make(map[ratings.ItemID]int)
+	for _, list := range lists {
+		for _, it := range list {
+			counts[it]++
+		}
+	}
+	return counts
+}
+
+// Gini returns the Gini coefficient of the exposure distribution over a
+// catalog of catalogSize items, treating items absent from counts as
+// zero-exposure. The result is in [0, 1]: 0 when every item is exposed
+// equally (including the all-zero case), approaching 1 as exposure
+// concentrates on a single item ((n-1)/n exactly for one nonzero count
+// among n items).
+func Gini(counts map[ratings.ItemID]int, catalogSize int) float64 {
+	if catalogSize <= 0 {
+		return 0
+	}
+	xs := make([]float64, 0, catalogSize)
+	var total float64
+	for _, c := range counts {
+		xs = append(xs, float64(c))
+		total += float64(c)
+	}
+	if total == 0 {
+		return 0
+	}
+	for len(xs) < catalogSize {
+		xs = append(xs, 0)
+	}
+	sort.Float64s(xs)
+	// Gini = (2·Σ_i i·x_(i) / (n·Σ x)) - (n+1)/n with 1-based ranks
+	// over the sorted values.
+	var weighted float64
+	for i, x := range xs {
+		weighted += float64(i+1) * x
+	}
+	n := float64(len(xs))
+	g := 2*weighted/(n*total) - (n+1)/n
+	if g < 0 {
+		return 0
+	}
+	if g > 1 {
+		return 1
+	}
+	return g
+}
+
+// Coverage returns the fraction of a catalog of catalogSize items that
+// appears in at least one of the served lists. It is monotone under
+// list union: serving more lists never decreases coverage.
+func Coverage(lists [][]ratings.ItemID, catalogSize int) float64 {
+	if catalogSize <= 0 {
+		return 0
+	}
+	seen := make(map[ratings.ItemID]struct{})
+	for _, list := range lists {
+		for _, it := range list {
+			seen[it] = struct{}{}
+		}
+	}
+	return float64(len(seen)) / float64(catalogSize)
+}
+
+// ItemVectors supplies a latent vector per item, used as the distance
+// space for IntraListDiversity. dataset.Latent satisfies it.
+type ItemVectors interface {
+	Vector(i ratings.ItemID) []float64
+}
+
+// CosineDistance returns 1 - cosine(a, b), clamped to [0, 2]. Zero-norm
+// vectors are maximally distant from everything (distance 1) by
+// convention, so degenerate items don't report as identical.
+func CosineDistance(a, b []float64) float64 {
+	var dot, na, nb float64
+	for f := range a {
+		dot += a[f] * b[f]
+		na += a[f] * a[f]
+		nb += b[f] * b[f]
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	d := 1 - dot/(math.Sqrt(na)*math.Sqrt(nb))
+	if d < 0 {
+		return 0
+	}
+	if d > 2 {
+		return 2
+	}
+	return d
+}
+
+// IntraListDiversity returns the mean pairwise cosine distance between
+// the items of one served list, in the latent space given by vecs.
+// Lists of fewer than two items have diversity 0. The list is sorted
+// internally (on a copy), so the result is exactly invariant under
+// permutation of the input.
+func IntraListDiversity(list []ratings.ItemID, vecs ItemVectors) float64 {
+	if len(list) < 2 {
+		return 0
+	}
+	items := append([]ratings.ItemID(nil), list...)
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	var sum float64
+	var pairs int
+	for i := 0; i < len(items); i++ {
+		vi := vecs.Vector(items[i])
+		for j := i + 1; j < len(items); j++ {
+			sum += CosineDistance(vi, vecs.Vector(items[j]))
+			pairs++
+		}
+	}
+	return sum / float64(pairs)
+}
+
+// MeanIntraListDiversity averages IntraListDiversity over a set of
+// lists, skipping lists shorter than two items. Returns 0 when no list
+// qualifies.
+func MeanIntraListDiversity(lists [][]ratings.ItemID, vecs ItemVectors) float64 {
+	var sum float64
+	var n int
+	for _, list := range lists {
+		if len(list) < 2 {
+			continue
+		}
+		sum += IntraListDiversity(list, vecs)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// TasteDrift returns the mean cosine distance between each listed
+// user's seed taste vector and the mean latent vector of the items they
+// consumed, measuring how far consumption has drifted from (or stayed
+// anchored to) the user's generative preferences. Users with no
+// consumed items are skipped; returns 0 when nobody consumed anything.
+func TasteDrift(consumed map[ratings.UserID][]ratings.ItemID, taste func(ratings.UserID) []float64, vecs ItemVectors) float64 {
+	users := make([]ratings.UserID, 0, len(consumed))
+	for u := range consumed {
+		if len(consumed[u]) > 0 {
+			users = append(users, u)
+		}
+	}
+	if len(users) == 0 {
+		return 0
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	var sum float64
+	for _, u := range users {
+		items := consumed[u]
+		mean := make([]float64, len(vecs.Vector(items[0])))
+		for _, it := range items {
+			v := vecs.Vector(it)
+			for f := range mean {
+				mean[f] += v[f]
+			}
+		}
+		for f := range mean {
+			mean[f] /= float64(len(items))
+		}
+		sum += CosineDistance(taste(u), mean)
+	}
+	return sum / float64(len(users))
+}

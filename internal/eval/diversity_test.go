@@ -1,0 +1,163 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"xmap/internal/ratings"
+)
+
+type testVecs map[ratings.ItemID][]float64
+
+func (v testVecs) Vector(i ratings.ItemID) []float64 { return v[i] }
+
+func randomLists(rng *rand.Rand, nLists, catalog int) [][]ratings.ItemID {
+	lists := make([][]ratings.ItemID, nLists)
+	for i := range lists {
+		n := 1 + rng.Intn(12)
+		lists[i] = make([]ratings.ItemID, n)
+		for j := range lists[i] {
+			lists[i][j] = ratings.ItemID(rng.Intn(catalog))
+		}
+	}
+	return lists
+}
+
+func randomVecs(rng *rand.Rand, catalog, factors int) testVecs {
+	v := make(testVecs, catalog)
+	for i := 0; i < catalog; i++ {
+		vec := make([]float64, factors)
+		for f := range vec {
+			vec[f] = rng.NormFloat64()
+		}
+		v[ratings.ItemID(i)] = vec
+	}
+	return v
+}
+
+// Property: Gini of any exposure distribution lies in [0, 1]; the
+// uniform distribution scores 0 and a single nonzero count among n
+// items scores (n-1)/n.
+func TestGiniRangeAndExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const catalog = 40
+	for trial := 0; trial < 200; trial++ {
+		lists := randomLists(rng, 1+rng.Intn(20), catalog)
+		g := Gini(ExposureCounts(lists), catalog)
+		if g < 0 || g > 1 || math.IsNaN(g) {
+			t.Fatalf("trial %d: Gini = %v out of [0,1]", trial, g)
+		}
+	}
+
+	uniform := make(map[ratings.ItemID]int)
+	for i := 0; i < catalog; i++ {
+		uniform[ratings.ItemID(i)] = 3
+	}
+	if g := Gini(uniform, catalog); math.Abs(g) > 1e-12 {
+		t.Errorf("uniform exposure: Gini = %v, want 0", g)
+	}
+
+	single := map[ratings.ItemID]int{5: 17}
+	want := float64(catalog-1) / float64(catalog)
+	if g := Gini(single, catalog); math.Abs(g-want) > 1e-12 {
+		t.Errorf("single-item exposure: Gini = %v, want %v", g, want)
+	}
+
+	if g := Gini(nil, catalog); g != 0 {
+		t.Errorf("empty exposure: Gini = %v, want 0", g)
+	}
+	if g := Gini(single, 0); g != 0 {
+		t.Errorf("zero catalog: Gini = %v, want 0", g)
+	}
+}
+
+// Property: adding lists never decreases coverage, and coverage of a
+// union equals coverage of the concatenation.
+func TestCoverageMonotoneUnderUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const catalog = 60
+	for trial := 0; trial < 200; trial++ {
+		a := randomLists(rng, 1+rng.Intn(10), catalog)
+		b := randomLists(rng, 1+rng.Intn(10), catalog)
+		ca := Coverage(a, catalog)
+		cb := Coverage(b, catalog)
+		cu := Coverage(append(append([][]ratings.ItemID{}, a...), b...), catalog)
+		if cu < ca || cu < cb {
+			t.Fatalf("trial %d: union coverage %v below parts (%v, %v)", trial, cu, ca, cb)
+		}
+		if cu > 1 || ca < 0 {
+			t.Fatalf("trial %d: coverage out of [0,1]: %v / %v", trial, ca, cu)
+		}
+	}
+}
+
+// Property: intra-list diversity is exactly invariant under any
+// permutation of the list (bit-identical, not just approximately).
+func TestIntraListDiversityPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const catalog, factors = 30, 6
+	vecs := randomVecs(rng, catalog, factors)
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(10)
+		list := make([]ratings.ItemID, n)
+		for j := range list {
+			list[j] = ratings.ItemID(rng.Intn(catalog))
+		}
+		base := IntraListDiversity(list, vecs)
+		perm := append([]ratings.ItemID(nil), list...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		if got := IntraListDiversity(perm, vecs); got != base {
+			t.Fatalf("trial %d: ILD changed under permutation: %v != %v", trial, got, base)
+		}
+		if base < 0 || base > 2 || math.IsNaN(base) {
+			t.Fatalf("trial %d: ILD = %v out of [0,2]", trial, base)
+		}
+	}
+
+	if d := IntraListDiversity([]ratings.ItemID{3}, vecs); d != 0 {
+		t.Errorf("singleton list: ILD = %v, want 0", d)
+	}
+	if d := IntraListDiversity(nil, vecs); d != 0 {
+		t.Errorf("empty list: ILD = %v, want 0", d)
+	}
+}
+
+func TestCosineDistance(t *testing.T) {
+	a := []float64{1, 0}
+	if d := CosineDistance(a, []float64{2, 0}); math.Abs(d) > 1e-12 {
+		t.Errorf("parallel vectors: distance %v, want 0", d)
+	}
+	if d := CosineDistance(a, []float64{-1, 0}); math.Abs(d-2) > 1e-12 {
+		t.Errorf("opposite vectors: distance %v, want 2", d)
+	}
+	if d := CosineDistance(a, []float64{0, 1}); math.Abs(d-1) > 1e-12 {
+		t.Errorf("orthogonal vectors: distance %v, want 1", d)
+	}
+	if d := CosineDistance(a, []float64{0, 0}); d != 1 {
+		t.Errorf("zero vector: distance %v, want 1 by convention", d)
+	}
+}
+
+func TestTasteDrift(t *testing.T) {
+	vecs := testVecs{
+		0: {1, 0},
+		1: {0, 1},
+	}
+	taste := func(u ratings.UserID) []float64 {
+		return []float64{1, 0}
+	}
+	// User consumes exactly along their taste: zero drift.
+	aligned := map[ratings.UserID][]ratings.ItemID{0: {0, 0}}
+	if d := TasteDrift(aligned, taste, vecs); math.Abs(d) > 1e-12 {
+		t.Errorf("aligned consumption: drift %v, want 0", d)
+	}
+	// Orthogonal consumption: drift 1.
+	ortho := map[ratings.UserID][]ratings.ItemID{0: {1}}
+	if d := TasteDrift(ortho, taste, vecs); math.Abs(d-1) > 1e-12 {
+		t.Errorf("orthogonal consumption: drift %v, want 1", d)
+	}
+	if d := TasteDrift(nil, taste, vecs); d != 0 {
+		t.Errorf("no consumption: drift %v, want 0", d)
+	}
+}

@@ -1,0 +1,534 @@
+// Package loadgen is the closed-loop traffic simulator: a deterministic,
+// seeded population of synthetic users that hammers POST /api/v2/recommend
+// in batches, consumes from the served lists through a position-biased
+// choice model grounded in the generator's latent preferences
+// (dataset.Latent), and feeds the resulting ratings back through
+// POST /api/v2/ratings so the Refitter folds them into the pipelines
+// mid-run.
+//
+// The loop doubles as a long-term-effect harness in the style of the
+// filter-bubble / homogenization literature (arXiv:2402.15013): every
+// feedback round records, per domain pair, the intra-list diversity of
+// what was served, aggregate catalog coverage and exposure Gini, and the
+// drift of cumulative consumption away from each user's seed taste
+// vector — alongside sustained throughput and latency percentiles.
+//
+// Determinism: with a fixed Config.Seed the per-round diversity/drift
+// metrics are bit-reproducible. Recommend traffic may run concurrently
+// (served lists depend only on the published pipelines, which only change
+// at round boundaries via Target.Refit), consumption draws come from
+// per-(seed, round, pair, user) rngs, and ratings are ingested
+// sequentially in pair-major, user-major order so the refit queue drains
+// identically run over run. Throughput and latency are measured, not
+// simulated, and are the only non-reproducible outputs.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"xmap/internal/core"
+	"xmap/internal/dataset"
+	"xmap/internal/engine"
+	"xmap/internal/eval"
+	"xmap/internal/ratings"
+	"xmap/internal/serve"
+)
+
+// Pair names one domain direction to drive, by domain name ("movies",
+// "books") — the same selectors a v2 Request carries.
+type Pair struct {
+	Source string `json:"source"`
+	Target string `json:"target"`
+}
+
+// Config parameterizes one closed-loop run. The zero value is usable:
+// every knob has a default.
+type Config struct {
+	// Seed drives all simulated choice. Same seed, same population and
+	// same refit schedule → identical per-round metrics.
+	Seed int64
+	// Rounds is the number of serve→consume→ingest→refit rounds (0 = 3).
+	Rounds int
+	// N is the requested list length (0 = the server's DefaultN).
+	N int
+	// BatchSize is how many requests ride in one POST body (0 = 64; it
+	// must not exceed the server's MaxBatch).
+	BatchSize int
+	// Concurrency is how many batch POSTs are in flight at once (0 = 4).
+	Concurrency int
+	// ConsumePerList is how many items each user consumes (rates) from
+	// every served list (0 = 2).
+	ConsumePerList int
+	// PositionBias is the exponent of the rank-discount term: the weight
+	// of the item at 1-based position p carries a factor p^-PositionBias
+	// (0 = 0.8). Higher = stronger herding onto top ranks.
+	PositionBias float64
+	// TasteWeight scales the latent-affinity term: weights carry a factor
+	// exp(TasteWeight·affinity(u, item)) (0 = 1.0). Higher = users pick
+	// what they truly like; 0 with PositionBias 0 = uniform consumption.
+	TasteWeight float64
+	// NoiseStd is the σ of the Gaussian rating noise fed to Latent.Rate
+	// (0 = 0.3).
+	NoiseStd float64
+	// ExcludeSeen asks the server to drop already-rated items from served
+	// lists, so consumption pushes users into unexplored catalog.
+	ExcludeSeen bool
+
+	// OnList, if non-nil, observes every successfully served list, after
+	// the round's traffic completes, in deterministic pair-major,
+	// user-major order. Test hook.
+	OnList func(round int, pair Pair, u ratings.UserID, resp *serve.Response)
+	// OnConsume, if non-nil, observes every rating the simulator decides
+	// to feed back, in the exact order it is ingested. Test hook.
+	OnConsume func(round int, r ratings.Rating)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rounds <= 0 {
+		c.Rounds = 3
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 4
+	}
+	if c.ConsumePerList <= 0 {
+		c.ConsumePerList = 2
+	}
+	if c.PositionBias == 0 {
+		c.PositionBias = 0.8
+	}
+	if c.TasteWeight == 0 {
+		c.TasteWeight = 1.0
+	}
+	if c.NoiseStd == 0 {
+		c.NoiseStd = 0.3
+	}
+	return c
+}
+
+// Population is the synthetic user base driving the loop: for each pair,
+// every user with at least one source-domain rating in the base trace
+// (straddlers drive both directions — the cross-domain account linkage
+// of dataset.AmazonLikeLaunch).
+type Population struct {
+	DS     *ratings.Dataset
+	Latent *dataset.Latent
+	Pairs  []Pair
+	// Users[i] drives Pairs[i], ascending by dense ID.
+	Users [][]ratings.UserID
+
+	targetDom []ratings.DomainID // resolved Pairs[i].Target
+}
+
+// NewPopulation resolves the pairs against the dataset and selects the
+// driving users deterministically.
+func NewPopulation(ds *ratings.Dataset, lat *dataset.Latent, pairs []Pair) (*Population, error) {
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("loadgen: no pairs to drive")
+	}
+	domID := make(map[string]ratings.DomainID, ds.NumDomains())
+	for d := 0; d < ds.NumDomains(); d++ {
+		domID[strings.ToLower(ds.DomainName(ratings.DomainID(d)))] = ratings.DomainID(d)
+	}
+	p := &Population{
+		DS: ds, Latent: lat, Pairs: pairs,
+		Users:     make([][]ratings.UserID, len(pairs)),
+		targetDom: make([]ratings.DomainID, len(pairs)),
+	}
+	for i, pr := range pairs {
+		src, ok := domID[strings.ToLower(pr.Source)]
+		if !ok {
+			return nil, fmt.Errorf("loadgen: pair %d: unknown source domain %q", i, pr.Source)
+		}
+		dst, ok := domID[strings.ToLower(pr.Target)]
+		if !ok {
+			return nil, fmt.Errorf("loadgen: pair %d: unknown target domain %q", i, pr.Target)
+		}
+		p.Users[i] = ds.UsersInDomain(src)
+		p.targetDom[i] = dst
+	}
+	return p, nil
+}
+
+// Target is the system under test: a base URL serving the v2 endpoints,
+// and optionally a handle that forces a synchronous refit at round
+// boundaries. A nil Refit leaves refitting to the server's own triggers
+// (ticker / queue depth) — realistic, but then mid-run list changes are
+// not reproducible.
+type Target struct {
+	BaseURL string
+	Client  *http.Client
+	Refit   func(ctx context.Context) (core.RefitStats, error)
+}
+
+// PairRound is one pair's metrics for one feedback round.
+type PairRound struct {
+	Source   string  `json:"source"`
+	Target   string  `json:"target"`
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	Consumed int     `json:"consumed"`
+	ILD      float64 `json:"intra_list_diversity"`
+	Coverage float64 `json:"coverage"`
+	Gini     float64 `json:"gini"`
+	Drift    float64 `json:"drift"`
+}
+
+// Round aggregates one serve→consume→ingest→refit pass.
+type Round struct {
+	Round    int              `json:"round"`
+	Pairs    []PairRound      `json:"pairs"`
+	Ingested int              `json:"ingested"`
+	Refit    *core.RefitStats `json:"refit,omitempty"`
+}
+
+// Result is the full report of one run. Rounds (and everything in them)
+// are bit-reproducible under a fixed seed; the throughput and latency
+// figures are measured wall-clock.
+type Result struct {
+	Seed      int64         `json:"seed"`
+	Rounds    []Round       `json:"rounds"`
+	Requests  int           `json:"requests"`
+	Ratings   int           `json:"ratings"`
+	Serving   time.Duration `json:"serving_ns"`
+	ReqPerSec float64       `json:"req_per_sec"`
+	P50       time.Duration `json:"p50_ns"`
+	P99       time.Duration `json:"p99_ns"`
+}
+
+// wire mirrors of the v2 envelopes loadgen consumes.
+type wireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *wireError) String() string { return e.Code + ": " + e.Message }
+
+type recElem struct {
+	Response *serve.Response `json:"response"`
+	Error    *wireError      `json:"error"`
+}
+
+type recBatch struct {
+	Results []recElem `json:"results"`
+}
+
+// Run drives the closed loop: Rounds times, hammer every pair's users
+// with batched recommend traffic, consume via the choice model, ingest
+// the consumption, and (when Target.Refit is set) force a delta refit
+// before the next round so the next lists reflect this round's behavior.
+func Run(ctx context.Context, cfg Config, pop *Population, tgt Target) (*Result, error) {
+	cfg = cfg.withDefaults()
+	client := tgt.Client
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+
+	res := &Result{Seed: cfg.Seed}
+	// Cumulative consumption per pair, for the drift metric.
+	consumed := make([]map[ratings.UserID][]ratings.ItemID, len(pop.Pairs))
+	for i := range consumed {
+		consumed[i] = make(map[ratings.UserID][]ratings.ItemID)
+	}
+	var latencies []time.Duration
+	// Feedback timestamps start far above the base trace's logical clock
+	// so every consumption event wins its recency race.
+	timeSeq := int64(1) << 32
+
+	for r := 1; r <= cfg.Rounds; r++ {
+		round := Round{Round: r}
+		var feedback []ratings.Rating
+
+		for pi, pair := range pop.Pairs {
+			users := pop.Users[pi]
+			lists := make([][]ratings.ItemID, len(users))
+			resps := make([]*serve.Response, len(users))
+
+			nBatches := (len(users) + cfg.BatchSize - 1) / cfg.BatchSize
+			var mu sync.Mutex
+			var firstErr error
+			start := time.Now()
+			engine.ParallelForEach(nBatches, cfg.Concurrency, func(b int) {
+				lo := b * cfg.BatchSize
+				hi := lo + cfg.BatchSize
+				if hi > len(users) {
+					hi = len(users)
+				}
+				reqs := make([]serve.Request, hi-lo)
+				for k, u := range users[lo:hi] {
+					reqs[k] = serve.Request{
+						User: pop.DS.UserName(u), N: cfg.N,
+						Source: pair.Source, Target: pair.Target,
+						ExcludeSeen: cfg.ExcludeSeen,
+					}
+				}
+				elems, dur, err := postRecommendBatch(ctx, client, tgt.BaseURL, reqs)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("round %d %s→%s batch %d: %w", r, pair.Source, pair.Target, b, err)
+					}
+					return
+				}
+				latencies = append(latencies, dur)
+				for k, el := range elems {
+					if el.Error == nil {
+						resps[lo+k] = el.Response
+					}
+					// Per-element errors surface as a nil slot, counted
+					// into PairRound.Errors below.
+				}
+			})
+			if firstErr != nil {
+				return nil, firstErr
+			}
+			res.Serving += time.Since(start)
+			res.Requests += len(users)
+
+			pr := PairRound{Source: pair.Source, Target: pair.Target, Requests: len(users)}
+			for ui, resp := range resps {
+				if resp == nil {
+					pr.Errors++
+					continue
+				}
+				ids := make([]ratings.ItemID, len(resp.Items))
+				for j, it := range resp.Items {
+					ids[j] = it.ID
+				}
+				lists[ui] = ids
+				if cfg.OnList != nil {
+					cfg.OnList(r, pair, users[ui], resp)
+				}
+			}
+
+			// Consumption: serial, in user order, one rng per
+			// (seed, round, pair, user).
+			for ui, u := range users {
+				list := lists[ui]
+				if len(list) == 0 {
+					continue
+				}
+				rng := rand.New(rand.NewSource(mixSeed(cfg.Seed, r, pi, u)))
+				for _, it := range cfg.choose(rng, pop.Latent, u, list) {
+					v := pop.Latent.Rate(u, it, rng.NormFloat64()*cfg.NoiseStd)
+					timeSeq++
+					rt := ratings.Rating{User: u, Item: it, Value: v, Time: timeSeq}
+					feedback = append(feedback, rt)
+					consumed[pi][u] = append(consumed[pi][u], it)
+					pr.Consumed++
+					if cfg.OnConsume != nil {
+						cfg.OnConsume(r, rt)
+					}
+				}
+			}
+
+			catalog := len(pop.DS.ItemsInDomain(pop.targetDom[pi]))
+			pr.ILD = eval.MeanIntraListDiversity(lists, pop.Latent)
+			pr.Coverage = eval.Coverage(lists, catalog)
+			pr.Gini = eval.Gini(eval.ExposureCounts(lists), catalog)
+			pr.Drift = eval.TasteDrift(consumed[pi], pop.Latent.Taste, pop.Latent)
+			round.Pairs = append(round.Pairs, pr)
+		}
+
+		// Ingest the round's consumption sequentially — deterministic
+		// queue order — then force the refit so round r+1 serves from
+		// pipelines that saw round r.
+		if err := PostRatings(ctx, client, tgt.BaseURL, pop.DS, feedback, cfg.BatchSize); err != nil {
+			return nil, fmt.Errorf("round %d ingest: %w", r, err)
+		}
+		round.Ingested = len(feedback)
+		res.Ratings += len(feedback)
+		if tgt.Refit != nil {
+			st, err := tgt.Refit(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("round %d refit: %w", r, err)
+			}
+			round.Refit = &st
+		}
+		res.Rounds = append(res.Rounds, round)
+	}
+
+	if res.Serving > 0 {
+		res.ReqPerSec = float64(res.Requests) / res.Serving.Seconds()
+	}
+	res.P50 = percentile(latencies, 50)
+	res.P99 = percentile(latencies, 99)
+	return res, nil
+}
+
+// choose draws ConsumePerList distinct positions from a served list,
+// weighted by rank discount p^-PositionBias times latent appeal
+// exp(TasteWeight·affinity) — sampling without replacement.
+func (c Config) choose(rng *rand.Rand, lat *dataset.Latent, u ratings.UserID, list []ratings.ItemID) []ratings.ItemID {
+	k := c.ConsumePerList
+	if k > len(list) {
+		k = len(list)
+	}
+	w := make([]float64, len(list))
+	for p, it := range list {
+		w[p] = math.Pow(float64(p+1), -c.PositionBias) * math.Exp(c.TasteWeight*lat.Affinity(u, it))
+	}
+	picks := make([]ratings.ItemID, 0, k)
+	for n := 0; n < k; n++ {
+		var total float64
+		for _, x := range w {
+			total += x
+		}
+		if !(total > 0) {
+			break
+		}
+		t := rng.Float64() * total
+		idx := -1
+		for p, x := range w {
+			if x <= 0 {
+				continue
+			}
+			idx = p
+			t -= x
+			if t <= 0 {
+				break
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		picks = append(picks, list[idx])
+		w[idx] = 0
+	}
+	return picks
+}
+
+// mixSeed derives the per-(seed, round, pair, user) rng seed — a
+// splitmix-style hash so neighboring tuples get unrelated streams.
+func mixSeed(seed int64, round, pair int, u ratings.UserID) int64 {
+	x := uint64(seed) ^ 0x9e3779b97f4a7c15
+	for _, v := range [...]uint64{uint64(round) + 1, uint64(pair) + 1, uint64(u) + 1} {
+		x ^= v * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 30)) * 0x94d049bb133111eb
+		x ^= x >> 31
+	}
+	return int64(x)
+}
+
+// postRecommendBatch POSTs one batch body to /api/v2/recommend and
+// returns the per-request envelopes plus the request's wall-clock
+// duration.
+func postRecommendBatch(ctx context.Context, client *http.Client, baseURL string, reqs []serve.Request) ([]recElem, time.Duration, error) {
+	body, status, dur, err := postJSON(ctx, client, baseURL+"/api/v2/recommend", reqs)
+	if err != nil {
+		return nil, dur, err
+	}
+	if status != http.StatusOK {
+		return nil, dur, fmt.Errorf("recommend batch: HTTP %d: %s", status, truncate(body))
+	}
+	var rb recBatch
+	if err := json.Unmarshal(body, &rb); err != nil {
+		return nil, dur, fmt.Errorf("recommend batch: decoding response: %w", err)
+	}
+	if len(rb.Results) != len(reqs) {
+		return nil, dur, fmt.Errorf("recommend batch: %d results for %d requests", len(rb.Results), len(reqs))
+	}
+	return rb.Results, dur, nil
+}
+
+// PostRatings feeds dense ratings back through POST /api/v2/ratings in
+// order, batchSize entries per body — the deterministic ingest path the
+// simulator (and its warmup) uses. Any rejected entry is an error: the
+// ratings come from the fixed universe, so rejections mean a bug.
+func PostRatings(ctx context.Context, client *http.Client, baseURL string, ds *ratings.Dataset, rs []ratings.Rating, batchSize int) error {
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	for lo := 0; lo < len(rs); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(rs) {
+			hi = len(rs)
+		}
+		entries := make([]serve.RatingEntry, hi-lo)
+		for k, rt := range rs[lo:hi] {
+			entries[k] = serve.RatingEntry{
+				User: ds.UserName(rt.User), ID: rt.Item,
+				Value: rt.Value, Time: rt.Time,
+			}
+		}
+		// A single-entry tail would decode as a lone object; wrap every
+		// body as an array so the batch contract holds throughout.
+		body, status, _, err := postJSON(ctx, client, baseURL+"/api/v2/ratings", entries)
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("ingest: HTTP %d: %s", status, truncate(body))
+		}
+		var ir serve.IngestResponse
+		if err := json.Unmarshal(body, &ir); err != nil {
+			return fmt.Errorf("ingest: decoding response: %w", err)
+		}
+		if ir.Accepted != hi-lo {
+			return fmt.Errorf("ingest: %d of %d entries accepted", ir.Accepted, hi-lo)
+		}
+	}
+	return nil
+}
+
+func postJSON(ctx context.Context, client *http.Client, url string, v any) (body []byte, status int, dur time.Duration, err error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := client.Do(req)
+	dur = time.Since(start)
+	if err != nil {
+		return nil, 0, dur, err
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.StatusCode, dur, err
+	}
+	return body, resp.StatusCode, dur, nil
+}
+
+func truncate(b []byte) string {
+	const max = 200
+	if len(b) > max {
+		return string(b[:max]) + "…"
+	}
+	return string(b)
+}
+
+func percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,267 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"xmap/internal/core"
+	"xmap/internal/dataset"
+	"xmap/internal/ratings"
+	"xmap/internal/serve"
+)
+
+func smokeWorldConfig(seed int64) WorldConfig {
+	wc := DefaultWorldConfig(seed)
+	wc.Dataset.MovieUsers, wc.Dataset.BookUsers, wc.Dataset.OverlapUsers = 40, 40, 20
+	wc.Dataset.Movies, wc.Dataset.Books = 40, 40
+	wc.Dataset.RatingsPerUser = 12
+	wc.Launch.Users = 8
+	wc.Fit.K = 10
+	return wc
+}
+
+// truthPublisher wraps the service's SwapPipelineFor like the ingest
+// hammer's: before a pipeline becomes observable, its exact lists for
+// every driven user are recorded, so a served list that matches no
+// recorded truth is provably torn.
+type truthPublisher struct {
+	svc   *serve.Service
+	users map[[2]ratings.DomainID][]ratings.UserID
+	n     int
+
+	mu    sync.Mutex
+	truth map[string]map[string]bool // "src→dst/user" → set of list fingerprints
+}
+
+func pairKey(src, dst ratings.DomainID, user string) string {
+	return fmt.Sprintf("%d→%d/%s", src, dst, user)
+}
+
+func (tp *truthPublisher) record(p *core.Pipeline) {
+	src, dst := p.Source(), p.Target()
+	ds := p.Dataset()
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	for _, u := range tp.users[[2]ratings.DomainID{src, dst}] {
+		recs := p.RecommendForUser(u, tp.n)
+		names := make([]string, len(recs))
+		for i, r := range recs {
+			names[i] = ds.ItemName(r.ID)
+		}
+		key := pairKey(src, dst, ds.UserName(u))
+		if tp.truth[key] == nil {
+			tp.truth[key] = make(map[string]bool)
+		}
+		tp.truth[key][strings.Join(names, "\x00")] = true
+	}
+}
+
+func (tp *truthPublisher) SwapPipelineFor(p *core.Pipeline) error {
+	tp.record(p) // before the swap: truth is complete once the list is live
+	return tp.svc.SwapPipelineFor(p)
+}
+
+func (tp *truthPublisher) matches(src, dst ratings.DomainID, user string, got []string) bool {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	return tp.truth[pairKey(src, dst, user)][strings.Join(got, "\x00")]
+}
+
+// TestClosedLoopTruthAndConservation is the closed-loop extension of
+// TestIngestRefitHammer, run under -race in CI: the simulator drives the
+// real HTTP endpoints while refits hot-swap pipelines between rounds, and
+//
+//   - every served list must equal, byte for byte, the output of some
+//     pipeline that was installed at some point for that pair, and
+//   - no accepted rating may be lost across refits: everything the
+//     simulator fed back is drained, merged and visible in the final
+//     dataset, with an empty queue at the end.
+func TestClosedLoopTruthAndConservation(t *testing.T) {
+	wc := smokeWorldConfig(5)
+	az, _, lat := dataset.AmazonLikeLaunchLatent(wc.Dataset, wc.Launch)
+	pairs := []core.DomainPair{
+		{Source: az.Movies, Target: az.Books},
+		{Source: az.Books, Target: az.Movies},
+	}
+	pipes, err := core.FitPairs(context.Background(), az.DS, pairs, wc.Fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := serve.New(az.DS, pipes, serve.Options{CacheSize: 256, CacheShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pop, err := NewPopulation(az.DS, lat, []Pair{
+		{Source: "movies", Target: "books"},
+		{Source: "books", Target: "movies"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 8
+	tp := &truthPublisher{
+		svc: svc, n: n,
+		users: map[[2]ratings.DomainID][]ratings.UserID{
+			{az.Movies, az.Books}: pop.Users[0],
+			{az.Books, az.Movies}: pop.Users[1],
+		},
+		truth: make(map[string]map[string]bool),
+	}
+	for _, p := range pipes {
+		tp.record(p) // the initial fits are installed truth too
+	}
+	rf, err := core.NewRefitter(az.DS, pipes, tp, core.RefitterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.SetIngestor(rf)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	domOf := map[string]ratings.DomainID{"movies": az.Movies, "books": az.Books}
+	var served, mismatches int
+	var accepted []ratings.Rating
+	var hookMu sync.Mutex
+	cfg := Config{
+		Seed: 5, Rounds: 3, N: n,
+		BatchSize: 32, Concurrency: 4, ConsumePerList: 2,
+		// ExcludeSeen false keeps the served list exactly a pipeline's
+		// raw output, so truth matching is equality, not subset.
+		ExcludeSeen: false,
+		OnList: func(round int, pair Pair, u ratings.UserID, resp *serve.Response) {
+			names := make([]string, len(resp.Items))
+			for i, it := range resp.Items {
+				names[i] = it.Item
+			}
+			hookMu.Lock()
+			defer hookMu.Unlock()
+			served++
+			if !tp.matches(domOf[pair.Source], domOf[pair.Target], az.DS.UserName(u), names) {
+				mismatches++
+				if mismatches <= 3 {
+					t.Errorf("round %d: served list for %s %s→%s matches no installed pipeline: %v",
+						round, az.DS.UserName(u), pair.Source, pair.Target, names)
+				}
+			}
+		},
+		OnConsume: func(round int, r ratings.Rating) {
+			hookMu.Lock()
+			accepted = append(accepted, r)
+			hookMu.Unlock()
+		},
+	}
+
+	res, err := Run(context.Background(), cfg, pop, Target{
+		BaseURL: srv.URL, Client: srv.Client(), Refit: rf.Refit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served == 0 {
+		t.Fatal("no lists served")
+	}
+	if mismatches > 0 {
+		t.Fatalf("%d of %d served lists matched no installed pipeline", mismatches, served)
+	}
+
+	// Conservation: drained == accepted, nothing left queued, the merged
+	// dataset grew by exactly the new observations, and every consumed
+	// (user, item) is rated in the final dataset.
+	var drained, added int
+	refits := 0
+	for _, rd := range res.Rounds {
+		if rd.Refit == nil {
+			t.Fatalf("round %d: no refit ran", rd.Round)
+		}
+		drained += rd.Refit.Drained
+		added += rd.Refit.Added
+		if rd.Refit.Drained > 0 && rd.Round < cfg.Rounds {
+			refits++ // a delta refit published mid-run, not just at the end
+		}
+	}
+	if drained != len(accepted) {
+		t.Errorf("drained %d ratings, accepted %d", drained, len(accepted))
+	}
+	if d := rf.QueueDepth(); d != 0 {
+		t.Errorf("final queue depth %d, want 0", d)
+	}
+	final := rf.Dataset()
+	if got, want := final.NumRatings(), az.DS.NumRatings()+added; got != want {
+		t.Errorf("final dataset has %d ratings, want %d (base %d + added %d)",
+			got, want, az.DS.NumRatings(), added)
+	}
+	for _, r := range accepted {
+		if !final.HasRated(r.User, r.Item) {
+			t.Fatalf("accepted rating lost across refits: user %d item %d", r.User, r.Item)
+		}
+	}
+	if refits == 0 {
+		t.Error("no mid-run delta refit drained any ratings")
+	}
+}
+
+// TestClosedLoopReproducible pins the acceptance criterion: two fresh
+// worlds under the same seed produce identical per-round diversity and
+// drift metrics, and the Refitter publishes at least one delta refit
+// mid-run.
+func TestClosedLoopReproducible(t *testing.T) {
+	run := func() *Result {
+		w, err := NewWorld(context.Background(), smokeWorldConfig(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		if _, err := w.IngestTail(context.Background(), 32); err != nil {
+			t.Fatal(err)
+		}
+		pop, err := w.Population()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(context.Background(), Config{
+			Seed: 42, Rounds: 3, N: 8,
+			BatchSize: 32, Concurrency: 4,
+			ConsumePerList: 2, ExcludeSeen: true,
+		}, pop, w.Target())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	a, b := run(), run()
+	if len(a.Rounds) != 3 || len(b.Rounds) != 3 {
+		t.Fatalf("want 3 rounds, got %d and %d", len(a.Rounds), len(b.Rounds))
+	}
+	midRunRefit := false
+	for i := range a.Rounds {
+		ra, rb := a.Rounds[i], b.Rounds[i]
+		if !reflect.DeepEqual(ra.Pairs, rb.Pairs) {
+			t.Errorf("round %d: per-pair metrics differ across identically seeded runs:\n%+v\n%+v",
+				ra.Round, ra.Pairs, rb.Pairs)
+		}
+		if ra.Ingested != rb.Ingested {
+			t.Errorf("round %d: ingested %d vs %d", ra.Round, ra.Ingested, rb.Ingested)
+		}
+		if ra.Refit == nil || rb.Refit == nil {
+			t.Fatalf("round %d: missing refit stats", ra.Round)
+		}
+		if ra.Refit.Drained != rb.Refit.Drained || ra.Refit.Added != rb.Refit.Added ||
+			ra.Refit.TouchedUsers != rb.Refit.TouchedUsers {
+			t.Errorf("round %d: refit stats differ: %+v vs %+v", ra.Round, ra.Refit, rb.Refit)
+		}
+		if ra.Refit.Drained > 0 && ra.Round < 3 {
+			midRunRefit = true
+		}
+	}
+	if !midRunRefit {
+		t.Error("no delta refit drained ratings mid-run")
+	}
+}

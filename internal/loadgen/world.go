@@ -1,0 +1,120 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+
+	"xmap/internal/core"
+	"xmap/internal/dataset"
+	"xmap/internal/ratings"
+	"xmap/internal/serve"
+)
+
+// WorldConfig describes a self-hosted system under test: a generated
+// launch-cohort trace, the fit configuration, and the serving options.
+type WorldConfig struct {
+	Dataset dataset.AmazonConfig
+	Launch  dataset.LaunchConfig
+	Fit     core.Config
+	Serve   serve.Options
+}
+
+// DefaultWorldConfig is a smoke-scale world: big enough that refits do
+// real work, small enough that a 3-round loop finishes in seconds.
+func DefaultWorldConfig(seed int64) WorldConfig {
+	ds := dataset.DefaultAmazonConfig()
+	ds.Seed = seed
+	ds.MovieUsers, ds.BookUsers, ds.OverlapUsers = 120, 130, 60
+	ds.Movies, ds.Books = 80, 90
+	ds.RatingsPerUser = 18
+	fit := core.DefaultConfig()
+	fit.K = 20
+	return WorldConfig{
+		Dataset: ds,
+		Launch:  dataset.LaunchConfig{Users: 20, Movies: 6, Books: 6, RatingsPerDomain: 5},
+		Fit:     fit,
+	}
+}
+
+// World is a fully wired serving stack on a loopback listener: generated
+// dataset (with its latent ground truth), both direction pipelines, the
+// Service with a Refitter attached, and an HTTP server over
+// Service.Handler(). It is what cmd/xmap-loadgen, the bench driver and
+// the e2e tests run the loop against.
+type World struct {
+	Amazon   dataset.Amazon
+	Tail     []ratings.Rating
+	Latent   *dataset.Latent
+	Service  *serve.Service
+	Refitter *core.Refitter
+	Server   *httptest.Server
+}
+
+// NewWorld generates, fits and serves. The Refitter has no ticker: the
+// loop (Target.Refit) decides when refits happen, which is what makes
+// seeded runs reproducible.
+func NewWorld(ctx context.Context, wc WorldConfig) (*World, error) {
+	az, tail, lat := dataset.AmazonLikeLaunchLatent(wc.Dataset, wc.Launch)
+	pairs := []core.DomainPair{
+		{Source: az.Movies, Target: az.Books},
+		{Source: az.Books, Target: az.Movies},
+	}
+	pipes, err := core.FitPairs(ctx, az.DS, pairs, wc.Fit)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: fit: %w", err)
+	}
+	svc, err := serve.New(az.DS, pipes, wc.Serve)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: serve: %w", err)
+	}
+	rf, err := core.NewRefitter(az.DS, pipes, svc, core.RefitterOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: refitter: %w", err)
+	}
+	svc.SetIngestor(rf)
+	return &World{
+		Amazon: az, Tail: tail, Latent: lat,
+		Service: svc, Refitter: rf,
+		Server: httptest.NewServer(svc.Handler()),
+	}, nil
+}
+
+// Pairs returns both serving directions by name, the order they were
+// fitted.
+func (w *World) Pairs() []Pair {
+	ds := w.Amazon.DS
+	return []Pair{
+		{Source: ds.DomainName(w.Amazon.Movies), Target: ds.DomainName(w.Amazon.Books)},
+		{Source: ds.DomainName(w.Amazon.Books), Target: ds.DomainName(w.Amazon.Movies)},
+	}
+}
+
+// Population builds the driving population over both directions.
+func (w *World) Population() (*Population, error) {
+	return NewPopulation(w.Amazon.DS, w.Latent, w.Pairs())
+}
+
+// Target points a run at this world, with synchronous round-boundary
+// refits through the attached Refitter.
+func (w *World) Target() Target {
+	return Target{
+		BaseURL: w.Server.URL,
+		Client:  w.Server.Client(),
+		Refit:   w.Refitter.Refit,
+	}
+}
+
+// IngestTail feeds the launch cohort's append tail through the HTTP
+// ingest path and refits once — the warmup that turns the zero-history
+// cohort into servable users before the closed loop starts.
+func (w *World) IngestTail(ctx context.Context, batchSize int) (core.RefitStats, error) {
+	t := w.Target()
+	if err := PostRatings(ctx, t.Client, t.BaseURL, w.Amazon.DS, w.Tail, batchSize); err != nil {
+		return core.RefitStats{}, err
+	}
+	return w.Refitter.Refit(ctx)
+}
+
+// Close shuts the HTTP server down.
+func (w *World) Close() { w.Server.Close() }

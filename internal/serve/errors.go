@@ -3,6 +3,8 @@ package serve
 import (
 	"errors"
 	"net/http"
+
+	"xmap/internal/engine"
 )
 
 // Sentinel errors of the serving API. Every error a Service method
@@ -47,6 +49,12 @@ func errorCode(err error) (status int, code string) {
 		return http.StatusNotFound, "unknown_item"
 	case errors.Is(err, ErrNoPipeline):
 		return http.StatusNotFound, "no_pipeline"
+	case errors.Is(err, engine.ErrQueueFull):
+		// Load shedding (the bounded wait queue was full) is the
+		// client's cue to back off and retry: 429, not the 503 that a
+		// cancelled or expired request gets. The shed error also wraps
+		// ErrOverloaded, so this arm must run first.
+		return http.StatusTooManyRequests, "overloaded"
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusServiceUnavailable, "overloaded"
 	case errors.Is(err, ErrIngestDisabled):

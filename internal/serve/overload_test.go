@@ -1,0 +1,35 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"xmap/internal/engine"
+	"xmap/internal/serve"
+)
+
+// TestQueueFullStatusMapping pins the two flavors of overload apart:
+// load shedding (the bounded wait queue was full — engine.ErrQueueFull)
+// answers 429 Too Many Requests, while a request whose ctx expired
+// waiting answers 503. Both keep the "overloaded" code and both satisfy
+// errors.Is(err, ErrOverloaded).
+func TestQueueFullStatusMapping(t *testing.T) {
+	// The exact wrap shape the service's admission path produces.
+	shed := fmt.Errorf("%w: %w while waiting for a worker slot",
+		serve.ErrOverloaded, engine.ErrQueueFull)
+	if status, code := serve.HTTPStatus(shed); status != http.StatusTooManyRequests || code != "overloaded" {
+		t.Errorf("queue-full error maps to (%d, %q), want (429, overloaded)", status, code)
+	}
+
+	expired := fmt.Errorf("%w: %w while waiting for a worker slot",
+		serve.ErrOverloaded, context.DeadlineExceeded)
+	if status, code := serve.HTTPStatus(expired); status != http.StatusServiceUnavailable || code != "overloaded" {
+		t.Errorf("ctx-expiry error maps to (%d, %q), want (503, overloaded)", status, code)
+	}
+
+	if status, code := serve.HTTPStatus(serve.ErrOverloaded); status != http.StatusServiceUnavailable || code != "overloaded" {
+		t.Errorf("bare ErrOverloaded maps to (%d, %q), want (503, overloaded)", status, code)
+	}
+}

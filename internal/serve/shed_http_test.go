@@ -1,0 +1,101 @@
+// White-box test of the load-shedding path over real HTTP: with the only
+// worker slot held and the one-deep wait queue occupied, the next request
+// must be shed with a 429 "overloaded" envelope — never a 500, and never
+// the 503 reserved for requests that gave up waiting.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestQueueFullAnswers429OverHTTP(t *testing.T) {
+	svc := ctxService(t, Options{Workers: 1, MaxQueue: 1})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	users := ctxFixture.az.DS.Straddlers(ctxFixture.az.Movies, ctxFixture.az.Books)
+	waiterName := ctxFixture.az.DS.UserName(users[0])
+	shedName := ctxFixture.az.DS.UserName(users[1])
+
+	// Occupy the only worker slot, so the next miss queues.
+	if err := svc.limit.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	released := false
+	defer func() {
+		if !released {
+			svc.limit.Release()
+		}
+	}()
+
+	// The waiter: an uncached request that blocks in the admission queue
+	// (filling its single seat) until the slot frees.
+	waiterDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/api/v2/recommend", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"user":%q,"n":5}`, waiterName)))
+		if err != nil {
+			waiterDone <- err
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			waiterDone <- fmt.Errorf("waiter finished with status %d, want 200", resp.StatusCode)
+			return
+		}
+		waiterDone <- nil
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.limit.Waiting() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter request never reached the admission queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The shed: with the slot held and the queue full, this request must
+	// answer 429 with the machine-readable "overloaded" code.
+	resp, err := http.Post(ts.URL+"/api/v2/recommend", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"user":%q,"n":5}`, shedName)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed request answered %d (body %s), want 429", resp.StatusCode, raw)
+	}
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatalf("shed body %s: %v", raw, err)
+	}
+	if env.Error.Code != "overloaded" {
+		t.Fatalf("shed code %q, want overloaded", env.Error.Code)
+	}
+
+	// Releasing the slot lets the queued waiter complete normally.
+	released = true
+	svc.limit.Release()
+	select {
+	case err := <-waiterDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter request did not complete after the slot freed")
+	}
+}
