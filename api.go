@@ -98,8 +98,12 @@ type (
 	// RefitterOptions configures the Refitter's triggers and fit knobs.
 	RefitterOptions = core.RefitterOptions
 	// RefitStats summarizes one refit round (events drained, users
-	// touched, pipelines republished, wall-clock).
+	// touched, pipelines republished, wall-clock, failures/quarantine).
 	RefitStats = core.RefitStats
+	// RefitterStatus is the supervision snapshot behind GET /readyz:
+	// queue depth, consecutive failures and backoff window, quarantine
+	// counters, last-refit timestamp and WAL offsets.
+	RefitterStatus = core.RefitterStatus
 
 	// Ingestor accepts appended ratings; the Refitter implements it, and
 	// Service.SetIngestor wires it behind POST /api/v2/ratings.

@@ -11,13 +11,15 @@
 //	xmap-bench -scale small -json BENCH.json
 //
 // Experiments: fig1b fig5 fig6 fig7 fig8 fig9 fig10 tab2 tab3 fig11
-// dsbuild dsappend loadgen all (dsbuild is the dataset-store micro
-// series: Builder.Build and Dataset.Filter measured with
+// dsbuild dsappend loadgen ingestwal all (dsbuild is the dataset-store
+// micro series: Builder.Build and Dataset.Filter measured with
 // testing.Benchmark; dsappend is the incremental-refit series: a ~1%
 // launch-cohort append folded in by core.FitDelta vs a full core.Fit
 // rebuild; loadgen is the closed-loop macro series: the traffic
 // simulator's sustained req/s and latency percentiles over the full
-// HTTP serve→consume→ingest→refit loop).
+// HTTP serve→consume→ingest→refit loop; ingestwal is the durability
+// series: Service.Ingest of 64-entry batches with and without a
+// write-ahead log, gating the WAL's ack-path overhead).
 //
 // With -json, a machine-readable summary — per-experiment wall-clock
 // seconds plus headline quality metrics — is written to the given path so
@@ -25,12 +27,16 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -41,6 +47,8 @@ import (
 	"xmap/internal/experiments"
 	"xmap/internal/loadgen"
 	"xmap/internal/ratings"
+	"xmap/internal/serve"
+	"xmap/internal/wal"
 )
 
 // jsonRecord is one experiment's machine-readable result.
@@ -105,9 +113,136 @@ func headlineMetrics(r fmt.Stringer) map[string]float64 {
 			"loadgen_p50_ns":      v.P50Ns,
 			"loadgen_p99_ns":      v.P99Ns,
 		}
+	case ingestWALResult:
+		return map[string]float64{
+			"ingest_ns_op":     v.PlainNsOp,
+			"ingest_wal_ns_op": v.WALNsOp,
+			"wal_overhead_pct": v.OverheadPct,
+		}
 	default:
 		return nil
 	}
+}
+
+// ingestWALResult carries the durability series: the HTTP ingest path
+// (POST /api/v2/ratings — JSON decode, validation, name resolution,
+// enqueue) measured per 64-entry batch with and without a write-ahead
+// log appended before the ack. The overhead percentage is the price of
+// the durable-before-ack guarantee; the acceptance ceiling is 15%.
+type ingestWALResult struct {
+	PlainNsOp   float64
+	WALNsOp     float64
+	OverheadPct float64
+	Batch       int
+}
+
+func (r ingestWALResult) String() string {
+	return fmt.Sprintf("Ingest: %.0f ns/op | +WAL: %.0f ns/op | overhead %.1f%% (%d-entry batches)",
+		r.PlainNsOp, r.WALNsOp, r.OverheadPct, r.Batch)
+}
+
+// ingestWALBench POSTs a fixed 64-entry batch through the ingest
+// handler of a refitter-backed service, plain versus WAL-attached. The
+// queue and log are swapped out for fresh ones every 4096 batches
+// outside the timer, so the series measures the steady-state ack path,
+// not an ever-growing queue.
+func ingestWALBench() fmt.Stringer {
+	ctx := context.Background()
+	cfg := dataset.DefaultAmazonConfig()
+	cfg.Seed = 11
+	cfg.MovieUsers, cfg.BookUsers, cfg.OverlapUsers = 300, 320, 90
+	cfg.Movies, cfg.Books = 150, 190
+	cfg.RatingsPerUser = 24
+	az := dataset.AmazonLike(cfg)
+	pipes, err := core.FitPairs(ctx, az.DS, []core.DomainPair{
+		{Source: az.Movies, Target: az.Books},
+	}, core.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	movies := az.DS.ItemsInDomain(az.Movies)
+	const batch = 64
+	entries := make([]serve.RatingEntry, batch)
+	for k := range entries {
+		entries[k] = serve.RatingEntry{
+			User:  az.DS.UserName(ratings.UserID(k % az.DS.NumUsers())),
+			ID:    movies[k%len(movies)],
+			Value: 4, Time: 1<<40 + int64(k),
+		}
+	}
+	body, err := json.Marshal(entries)
+	if err != nil {
+		panic(err)
+	}
+	dir, err := os.MkdirTemp("", "xmap-ingestwal")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	walPath := filepath.Join(dir, "bench.wal")
+	const resetEvery = 1 << 12
+
+	measure := func(withWAL bool) float64 {
+		var log *wal.Log
+		setup := func() http.Handler {
+			opt := core.RefitterOptions{}
+			if withWAL {
+				if log != nil {
+					log.Close()
+				}
+				os.Remove(walPath)
+				os.Remove(walPath + ".ckpt")
+				l, err := wal.Open(walPath, wal.Options{})
+				if err != nil {
+					panic(err)
+				}
+				log = l
+				opt.Log = l
+			}
+			svc, err := serve.New(az.DS, pipes, serve.Options{})
+			if err != nil {
+				panic(err)
+			}
+			rf, err := core.NewRefitter(az.DS, pipes, svc, opt)
+			if err != nil {
+				panic(err)
+			}
+			svc.SetIngestor(rf)
+			return svc.Handler()
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			handler := setup()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i > 0 && i%resetEvery == 0 {
+					b.StopTimer()
+					handler = setup()
+					b.StartTimer()
+				}
+				req := httptest.NewRequest(http.MethodPost, "/api/v2/ratings", bytes.NewReader(body))
+				rec := httptest.NewRecorder()
+				handler.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					panic(fmt.Sprintf("ingest: HTTP %d: %s", rec.Code, rec.Body.String()))
+				}
+			}
+			b.StopTimer()
+		})
+		if log != nil {
+			log.Close()
+		}
+		return float64(r.NsPerOp())
+	}
+
+	res := ingestWALResult{
+		PlainNsOp: measure(false),
+		WALNsOp:   measure(true),
+		Batch:     batch,
+	}
+	if res.PlainNsOp > 0 {
+		res.OverheadPct = (res.WALNsOp - res.PlainNsOp) / res.PlainNsOp * 100
+	}
+	return res
 }
 
 // loadgenResult carries the closed-loop serving series: sustained
@@ -330,6 +465,7 @@ func main() {
 		{"dsbuild", func() fmt.Stringer { return datasetBuildBench() }},
 		{"dsappend", func() fmt.Stringer { return datasetAppendBench() }},
 		{"loadgen", func() fmt.Stringer { return loadgenBench(sc.Seed) }},
+		{"ingestwal", func() fmt.Stringer { return ingestWALBench() }},
 	}
 
 	report := jsonReport{

@@ -19,6 +19,7 @@
 //	xmap-loadgen -rounds 5 -seed 7 -exclude-seen=false
 //	xmap-loadgen -movie-users 2000 -book-users 2000 -overlap 800
 //	xmap-loadgen -json > run.json
+//	xmap-loadgen -chaos                  # inject refit faults, report survival
 package main
 
 import (
@@ -31,6 +32,7 @@ import (
 	"os/signal"
 	"time"
 
+	"xmap/internal/core"
 	"xmap/internal/loadgen"
 )
 
@@ -48,6 +50,7 @@ func main() {
 		exclSn  = flag.Bool("exclude-seen", true, "served lists exclude already-rated items")
 		tail    = flag.Bool("tail", true, "warm up by ingesting the launch cohort's tail + one refit")
 		jsonOut = flag.Bool("json", false, "emit the full result as JSON on stdout")
+		chaos   = flag.Bool("chaos", false, "inject faults into the refit path (fit-worker panics, publish rejections, slow fits) and report what fired")
 
 		movieUsers = flag.Int("movie-users", 120, "movie-only users")
 		bookUsers  = flag.Int("book-users", 130, "book-only users")
@@ -100,9 +103,44 @@ func main() {
 		TasteWeight: *taste, NoiseStd: *noise,
 		ExcludeSeen: *exclSn,
 	}
-	res, err := loadgen.Run(ctx, cfg, pop, w.Target())
+	// Chaos mode arms deterministic fault schedules over the refit path
+	// after the warmup, and tolerates failed refit passes: the queue
+	// keeps the delta, so a later pass (or the next round) folds it in —
+	// which is exactly the supervision story the run then demonstrates.
+	tgt := w.Target()
+	var ch *loadgen.Chaos
+	if *chaos {
+		ch = loadgen.NewChaos(loadgen.ChaosConfig{
+			FitPanicEvery:      97,
+			PublishRejectEvery: 3,
+			SlowFitEvery:       4,
+			SlowFitDelay:       5 * time.Millisecond,
+		})
+		disarm := ch.Arm()
+		defer disarm()
+		inner := tgt.Refit
+		tgt.Refit = func(ctx context.Context) (core.RefitStats, error) {
+			var st core.RefitStats
+			var err error
+			for attempt := 1; attempt <= 8; attempt++ {
+				if st, err = inner(ctx); err == nil {
+					return st, nil
+				}
+				log.Printf("chaos: refit pass failed (attempt %d): %v", attempt, err)
+			}
+			return st, nil
+		}
+		log.Printf("chaos armed: every 97th fit-worker chunk panics, every 3rd publish is rejected, every 4th fit stalls 5ms")
+	}
+
+	res, err := loadgen.Run(ctx, cfg, pop, tgt)
 	if err != nil {
 		log.Fatalf("xmap-loadgen: %v", err)
+	}
+	if ch != nil {
+		cs := ch.Stats()
+		log.Printf("chaos: injected %d fit panics, %d publish rejections, %d slow fits; served traffic survived all of them",
+			cs.FitPanics, cs.PublishRejects, cs.SlowFits)
 	}
 
 	if *jsonOut {

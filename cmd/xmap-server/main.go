@@ -20,8 +20,22 @@
 // pipelines incrementally: a core.Refitter drains the queue on a timer
 // (and early when the queue reaches -refit-queue events), delta-refits
 // every pipeline, and hot-swaps the results into the service without
-// dropping a request. With both flags zero ingestion is disabled and the
-// endpoint answers 503 ingest_disabled.
+// dropping a request. With all ingestion flags zero, ingestion is
+// disabled and the endpoint answers 503 ingest_disabled.
+//
+// With -wal the accepted ratings are additionally appended to a
+// write-ahead log before they are acked, and on startup the log's full
+// contents are replayed into the refit queue and folded back in before
+// the server reports ready — a crash-restart converges to the same
+// dataset and served lists the uncrashed process would have had. -wal
+// alone enables ingestion (with a 30s refit timer); failed refit passes
+// retry under backoff, and a repeatedly failing delta is quarantined to
+// <wal>.dead.jsonl rather than wedging the loop.
+//
+// SIGINT/SIGTERM drain gracefully: the readiness gate flips (GET
+// /readyz answers 503 so load balancers stop routing), in-flight
+// requests finish, a final refit folds the remaining queue in, and the
+// WAL is checkpointed, fsynced and closed.
 //
 // Endpoints (v2 is the typed request/response surface; v1 is frozen):
 //
@@ -33,7 +47,8 @@
 //	GET /api/recommend?item=<name>&n=10
 //	GET /api/user?user=<name>&n=10[&pipe=0]
 //	GET /api/explain?user=<name>&item=<name>
-//	GET /healthz
+//	GET /healthz             liveness
+//	GET /readyz              readiness: pipelines + ingest supervision
 //	GET /statsz              cache + request statistics
 package main
 
@@ -45,12 +60,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"xmap/internal/core"
 	"xmap/internal/dataset"
 	"xmap/internal/ratings"
 	"xmap/internal/serve"
+	"xmap/internal/wal"
 )
 
 func main() {
@@ -64,12 +81,14 @@ func main() {
 		maxQueue  = flag.Int("max-queue", 0, "max requests waiting for a slot before shedding 503s (0 = unbounded)")
 		refitIv   = flag.Duration("refit-interval", 0, "incremental refit period for ingested ratings (0 = no timer)")
 		refitQ    = flag.Int("refit-queue", 0, "queued ratings that trigger an early refit (0 = no depth trigger)")
+		walPath   = flag.String("wal", "", "write-ahead log for accepted ratings (enables ingestion; replayed on startup)")
 	)
 	flag.Parse()
 
-	// Ctrl-C during the (potentially minutes-long) offline fit cancels it
-	// at the next phase boundary instead of leaving a half-warm process.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Ctrl-C / SIGTERM during the (potentially minutes-long) offline fit
+	// cancels it at the next phase boundary instead of leaving a
+	// half-warm process; after startup the same signals drain gracefully.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	ds, src, dst, err := loadData(*data)
@@ -104,9 +123,17 @@ func main() {
 	// delta-refitted pipelines back into the service (svc satisfies
 	// core.Publisher). It shares the signal ctx, so Ctrl-C also stops the
 	// refit loop; an in-flight pass finishes or requeues cleanly.
-	if *refitIv > 0 || *refitQ > 0 {
-		rf, err := core.NewRefitter(ds, pipes, svc, core.RefitterOptions{
-			Interval: *refitIv,
+	var (
+		rf     *core.Refitter
+		walLog *wal.Log
+	)
+	if *refitIv > 0 || *refitQ > 0 || *walPath != "" {
+		iv := *refitIv
+		if iv == 0 && *refitQ == 0 {
+			iv = 30 * time.Second // -wal alone still needs a drain cadence
+		}
+		opt := core.RefitterOptions{
+			Interval: iv,
 			MaxQueue: *refitQ,
 			OnRefit: func(st core.RefitStats) {
 				if st.Drained == 0 {
@@ -115,9 +142,45 @@ func main() {
 				log.Printf("refit: %d events (%d new, %d updated) across %d users → %d pipelines in %v",
 					st.Drained, st.Added, st.Updated, st.TouchedUsers, st.Pipelines, st.Duration.Round(time.Millisecond))
 			},
-		})
+		}
+		// Durability: open (and recover) the log before the Refitter
+		// exists, so every rating it ever acks is covered.
+		var recovered []ratings.Rating
+		if *walPath != "" {
+			walLog, err = wal.Open(*walPath, wal.Options{})
+			if err != nil {
+				log.Fatalf("xmap-server: %v", err)
+			}
+			// Replay ALL of the log, not just past the checkpoint: this
+			// process rebuilt its base dataset from the trace, so every
+			// logged rating must be re-applied; the idempotent merge
+			// makes re-applying already-refitted batches exact.
+			if err := walLog.Replay(0, func(rs []ratings.Rating, _ int64) error {
+				recovered = append(recovered, rs...)
+				return nil
+			}); err != nil {
+				log.Fatalf("xmap-server: wal replay: %v", err)
+			}
+			opt.Log = walLog
+			opt.DeadLetterPath = *walPath + ".dead.jsonl"
+		}
+		rf, err = core.NewRefitter(ds, pipes, svc, opt)
 		if err != nil {
 			log.Fatalf("xmap-server: %v", err)
+		}
+		if len(recovered) > 0 {
+			n, err := rf.Restore(recovered, walLog.End())
+			if err != nil {
+				log.Fatalf("xmap-server: wal restore: %v", err)
+			}
+			st := walLog.Stats()
+			log.Printf("wal: replayed %d ratings (%d records, %d torn bytes dropped) from %s",
+				n, st.Records, st.TornBytes, *walPath)
+			if _, err := rf.Refit(ctx); err != nil {
+				// Not fatal: serving continues on the freshly fitted base
+				// pipelines and the supervisor retries under backoff.
+				log.Printf("wal: recovery refit: %v", err)
+			}
 		}
 		svc.SetIngestor(rf)
 		go func() {
@@ -125,14 +188,18 @@ func main() {
 				log.Printf("refit loop: %v", err)
 			}
 		}()
-		log.Printf("ingestion enabled (refit interval %v, queue trigger %d)", *refitIv, *refitQ)
+		log.Printf("ingestion enabled (refit interval %v, queue trigger %d, wal %q)", iv, *refitQ, *walPath)
 	}
+	svc.SetReady(true)
 
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
 		<-ctx.Done() // second half of the Ctrl-C story: drain and exit
+		// Readiness flips first so load balancers stop routing here while
+		// in-flight requests finish (/healthz keeps answering 200).
+		svc.SetReady(false)
 		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shCtx)
@@ -144,6 +211,20 @@ func main() {
 	// ListenAndServe returns ErrServerClosed as soon as Shutdown starts;
 	// wait for the drain itself so in-flight requests finish before exit.
 	<-drained
+	// Final drain: fold whatever the queue still holds into one last
+	// published refit (checkpointing the log), then fsync and close the
+	// WAL. If the final pass fails, the log still holds everything — the
+	// next start replays it.
+	if rf != nil && rf.QueueDepth() > 0 {
+		if _, err := rf.Refit(context.Background()); err != nil {
+			log.Printf("final refit: %v", err)
+		}
+	}
+	if walLog != nil {
+		if err := walLog.Close(); err != nil {
+			log.Printf("wal close: %v", err)
+		}
+	}
 }
 
 func loadData(path string) (*ratings.Dataset, ratings.DomainID, ratings.DomainID, error) {

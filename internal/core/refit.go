@@ -5,11 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"xmap/internal/alterego"
 	"xmap/internal/cf"
+	"xmap/internal/engine"
+	"xmap/internal/faultinject"
 	"xmap/internal/graph"
 	"xmap/internal/ratings"
 	"xmap/internal/xsim"
@@ -138,6 +141,33 @@ type RefitterOptions struct {
 	// OnRefit, if non-nil, is called after every completed refit with its
 	// statistics (including no-op refits that found an empty queue).
 	OnRefit func(RefitStats)
+
+	// Log, when non-nil, is the durability layer: Enqueue appends
+	// accepted ratings to it before queueing them — so by the time an
+	// ingest caller acks, the batch is on disk — and every successful
+	// pass checkpoints the offset it drained through. See DurableLog.
+	Log DurableLog
+
+	// RetryBase and RetryMax bound the exponential backoff between
+	// retries of a failed pass in Run: the n-th consecutive failure
+	// waits RetryBase·2^(n-1), capped at RetryMax and jittered into
+	// [d/2, d]. Zero means the defaults (500ms, 1m); RetryBase < 0
+	// disables backoff (failed passes retry on the next trigger).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+
+	// QuarantineAfter is the number of consecutive failed passes after
+	// which the delta is given up on and moved to the dead-letter
+	// ledger instead of being requeued, so a poison batch cannot wedge
+	// the loop forever. Zero means the default (5); negative disables
+	// quarantine.
+	QuarantineAfter int
+
+	// DeadLetterPath, when set, is a JSONL file quarantined deltas are
+	// appended to (one deadLetterRecord per batch: timestamp, error,
+	// ratings). Quarantined ratings are additionally retained in memory
+	// — see Refitter.DeadLetters — so they are never silently lost.
+	DeadLetterPath string
 }
 
 // RefitStats describes one completed refit pass.
@@ -148,6 +178,15 @@ type RefitStats struct {
 	TouchedUsers int           // users whose profiles the delta touched
 	Pipelines    int           // pipelines refitted and published
 	Duration     time.Duration // wall-clock time of the whole pass
+
+	// Supervision outcome of a failed pass (all zero on success):
+	// Failures is the consecutive-failure count including this pass,
+	// Backoff the jittered wait Run will honor before retrying, and
+	// Quarantined the number of ratings moved to the dead-letter ledger
+	// (the delta is then not requeued).
+	Failures    int
+	Backoff     time.Duration
+	Quarantined int
 }
 
 // Refitter owns the streaming-ingestion queue and the incremental refit
@@ -167,10 +206,18 @@ type Refitter struct {
 	pub Publisher
 	opt RefitterOptions
 
-	mu      sync.Mutex // guards pending, ds, pipes
+	mu      sync.Mutex // guards pending, ds, pipes and the fields below
 	pending []ratings.Rating
 	ds      *ratings.Dataset
 	pipes   []*Pipeline
+
+	walEnd      int64            // log offset covering every accepted rating
+	failures    int              // consecutive failed passes
+	nextRetry   time.Time        // earliest time Run retries (zero = none)
+	lastErr     error            // most recent pass failure
+	lastRefit   time.Time        // completion of the last successful pass
+	dead        []ratings.Rating // quarantined ratings (see DeadLetters)
+	quarBatches int64            // quarantined batch count
 
 	fitMu   sync.Mutex    // serializes refit passes
 	trigger chan struct{} // depth-trigger signal, capacity 1
@@ -196,6 +243,26 @@ func NewRefitter(ds *ratings.Dataset, pipes []*Pipeline, pub Publisher, opt Refi
 			return nil, fmt.Errorf("core: NewRefitter pipeline %d is fitted on a different dataset", i)
 		}
 	}
+	// Normalize the supervision knobs: zero picks the default, negative
+	// disables the mechanism.
+	switch {
+	case opt.RetryBase == 0:
+		opt.RetryBase = defaultRetryBase
+	case opt.RetryBase < 0:
+		opt.RetryBase = 0
+	}
+	if opt.RetryMax == 0 {
+		opt.RetryMax = defaultRetryMax
+	}
+	if opt.RetryMax < opt.RetryBase {
+		opt.RetryMax = opt.RetryBase
+	}
+	switch {
+	case opt.QuarantineAfter == 0:
+		opt.QuarantineAfter = defaultQuarantineAfter
+	case opt.QuarantineAfter < 0:
+		opt.QuarantineAfter = 0
+	}
 	return &Refitter{
 		pub:     pub,
 		opt:     opt,
@@ -208,21 +275,25 @@ func NewRefitter(ds *ratings.Dataset, pipes []*Pipeline, pub Publisher, opt Refi
 // Enqueue validates and appends ratings to the pending delta, returning
 // the resulting queue depth. IDs are checked against the fixed universe
 // (the streaming path never mints users, items or domains); on any invalid
-// rating nothing is enqueued. When the depth reaches MaxQueue the Run
-// loop's depth trigger fires (non-blocking — a pending trigger absorbs
-// repeats).
+// rating nothing is enqueued. With a DurableLog configured the batch is
+// appended to the log before it is queued — under the same lock, so log
+// order matches queue order — and a log failure rejects the batch: the
+// caller must not ack a rating that would not survive a crash. When the
+// depth reaches MaxQueue the Run loop's depth trigger fires
+// (non-blocking — a pending trigger absorbs repeats).
 func (r *Refitter) Enqueue(rs []ratings.Rating) (int, error) {
 	r.mu.Lock()
-	nu, ni := r.ds.NumUsers(), r.ds.NumItems()
-	for _, rt := range rs {
-		if int(rt.User) < 0 || int(rt.User) >= nu {
+	if err := r.validateLocked(rs); err != nil {
+		r.mu.Unlock()
+		return 0, err
+	}
+	if r.opt.Log != nil {
+		end, err := r.opt.Log.Append(rs)
+		if err != nil {
 			r.mu.Unlock()
-			return 0, fmt.Errorf("core: enqueue: unknown user %d", rt.User)
+			return 0, fmt.Errorf("core: enqueue: wal append: %w", err)
 		}
-		if int(rt.Item) < 0 || int(rt.Item) >= ni {
-			r.mu.Unlock()
-			return 0, fmt.Errorf("core: enqueue: unknown item %d", rt.Item)
-		}
+		r.walEnd = end
 	}
 	r.pending = append(r.pending, rs...)
 	depth := len(r.pending)
@@ -259,13 +330,21 @@ func (r *Refitter) Pipelines() []*Pipeline {
 }
 
 // Refit runs one refit pass: drain the queue, merge the delta, delta-refit
-// every pipeline, publish. An empty queue is a cheap no-op. On error —
-// cancellation mid-fit or a publish rejection — the drained ratings are
-// restored to the front of the queue and the Refitter's dataset/pipelines
-// stay at the last consistent state, so the next pass retries the whole
-// delta; pipelines already handed to the Publisher before the error stay
-// published (they serve a superset of the current state, which the serving
-// layer's shared-universe check permits).
+// every pipeline, publish. An empty queue is a cheap no-op. The fit and
+// publish section is supervised: a panic anywhere inside — including a
+// crashing fit worker, which the engine helpers re-raise here as a
+// *engine.WorkerPanic — is recovered into the returned error instead of
+// killing the process. On error — cancellation mid-fit, a publish
+// rejection or a recovered crash — the drained ratings are restored to
+// the front of the queue and the Refitter's dataset/pipelines stay at
+// the last consistent state, so the next pass retries the whole delta;
+// pipelines already handed to the Publisher before the error stay
+// published (they serve a superset of the current state, which the
+// serving layer's shared-universe check permits). After QuarantineAfter
+// consecutive failures the delta is quarantined instead of requeued.
+//
+// Explicit Refit calls always run — the backoff window after a failure
+// only gates the Run loop.
 func (r *Refitter) Refit(ctx context.Context) (RefitStats, error) {
 	r.fitMu.Lock()
 	defer r.fitMu.Unlock()
@@ -274,6 +353,7 @@ func (r *Refitter) Refit(ctx context.Context) (RefitStats, error) {
 	delta := r.pending
 	r.pending = nil
 	ds, pipes := r.ds, r.pipes
+	walEnd := r.walEnd
 	r.mu.Unlock()
 
 	start := time.Now()
@@ -292,34 +372,29 @@ func (r *Refitter) Refit(ctx context.Context) (RefitStats, error) {
 		r.mu.Unlock()
 	}
 
-	merged, ad := ds.WithAppended(delta)
-	stats.Added, stats.Updated, stats.TouchedUsers = ad.Added, ad.Updated, len(ad.TouchedUsers)
-
-	next := make([]*Pipeline, len(pipes))
-	for i, p := range pipes {
-		np, err := FitDeltaWithOptions(ctx, p, merged, ad.TouchedUsers, FitOptions{})
-		if err != nil {
-			restore()
-			return stats, fmt.Errorf("core: refit pipeline %d (%d→%d): %w", i, p.src, p.dst, err)
+	merged, next, err := r.fitAndPublish(ctx, ds, pipes, delta, &stats)
+	if err != nil {
+		r.noteFailure(delta, walEnd, err, &stats, restore)
+		stats.Duration = time.Since(start)
+		if r.opt.OnRefit != nil {
+			r.opt.OnRefit(stats)
 		}
-		next[i] = np
-	}
-	if r.pub != nil {
-		for i, np := range next {
-			if err := r.pub.SwapPipelineFor(np); err != nil {
-				restore()
-				return stats, fmt.Errorf("core: publish pipeline %d (%d→%d): %w", i, np.src, np.dst, err)
-			}
-			stats.Pipelines++
-		}
-	} else {
-		stats.Pipelines = len(next)
+		return stats, err
 	}
 
 	r.mu.Lock()
 	r.ds = merged
 	r.pipes = next
+	r.failures = 0
+	r.nextRetry = time.Time{}
+	r.lastErr = nil
+	r.lastRefit = time.Now()
 	r.mu.Unlock()
+	if r.opt.Log != nil {
+		// Best effort: replay is idempotent, so a failed checkpoint only
+		// costs replay time after the next restart.
+		_ = r.opt.Log.Checkpoint(walEnd)
+	}
 
 	stats.Duration = time.Since(start)
 	if r.opt.OnRefit != nil {
@@ -328,10 +403,61 @@ func (r *Refitter) Refit(ctx context.Context) (RefitStats, error) {
 	return stats, nil
 }
 
+// fitAndPublish is the supervised section of a refit pass: merge the
+// delta, delta-refit every pipeline on the merged dataset, hand the
+// results to the Publisher. Panics are recovered into the returned
+// error; the faultinject sites let the chaos harness force failures at
+// the fit and publish boundaries.
+func (r *Refitter) fitAndPublish(ctx context.Context, ds *ratings.Dataset, pipes []*Pipeline, delta []ratings.Rating, stats *RefitStats) (merged *ratings.Dataset, next []*Pipeline, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			merged, next = nil, nil
+			if wp, ok := rec.(*engine.WorkerPanic); ok {
+				err = fmt.Errorf("core: refit crashed: %w", wp)
+			} else {
+				err = fmt.Errorf("core: refit panicked: %v\n%s", rec, debug.Stack())
+			}
+		}
+	}()
+
+	merged, ad := ds.WithAppended(delta)
+	stats.Added, stats.Updated, stats.TouchedUsers = ad.Added, ad.Updated, len(ad.TouchedUsers)
+
+	next = make([]*Pipeline, len(pipes))
+	for i, p := range pipes {
+		if ierr := faultinject.At(faultinject.SiteRefitFit); ierr != nil {
+			return nil, nil, fmt.Errorf("core: refit pipeline %d (%d→%d): %w", i, p.src, p.dst, ierr)
+		}
+		np, ferr := FitDeltaWithOptions(ctx, p, merged, ad.TouchedUsers, FitOptions{})
+		if ferr != nil {
+			return nil, nil, fmt.Errorf("core: refit pipeline %d (%d→%d): %w", i, p.src, p.dst, ferr)
+		}
+		next[i] = np
+	}
+	if r.pub != nil {
+		for i, np := range next {
+			if ierr := faultinject.At(faultinject.SiteRefitPublish); ierr != nil {
+				return nil, nil, fmt.Errorf("core: publish pipeline %d (%d→%d): %w", i, np.src, np.dst, ierr)
+			}
+			if perr := r.pub.SwapPipelineFor(np); perr != nil {
+				return nil, nil, fmt.Errorf("core: publish pipeline %d (%d→%d): %w", i, np.src, np.dst, perr)
+			}
+			stats.Pipelines++
+		}
+	} else {
+		stats.Pipelines = len(next)
+	}
+	return merged, next, nil
+}
+
 // Run blocks, refitting on every Interval tick and every depth trigger,
-// until ctx is cancelled; it returns ctx.Err(). A failed pass requeues its
-// delta and is retried on the next trigger, so transient publish failures
-// self-heal without dropping ratings.
+// until ctx is cancelled; it returns ctx.Err(). A failed pass requeues
+// its delta and is retried under exponential backoff (RetryBase/
+// RetryMax): while the backoff window is open, ticks and depth triggers
+// are absorbed and a timer wakes the loop when the window expires, so a
+// failing fit is not hammered. After QuarantineAfter consecutive
+// failures the delta moves to the dead-letter ledger and the loop
+// resumes with a clean slate.
 func (r *Refitter) Run(ctx context.Context) error {
 	var tick <-chan time.Time
 	if r.opt.Interval > 0 {
@@ -339,15 +465,27 @@ func (r *Refitter) Run(ctx context.Context) error {
 		defer t.Stop()
 		tick = t.C
 	}
+	var retry <-chan time.Time
 	for {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
 		case <-tick:
 		case <-r.trigger:
+		case <-retry:
 		}
-		if _, err := r.Refit(ctx); err != nil && ctx.Err() != nil {
-			return ctx.Err()
+		retry = nil
+		if wait := r.retryWait(); wait > 0 {
+			retry = time.After(wait)
+			continue
+		}
+		if _, err := r.Refit(ctx); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if wait := r.retryWait(); wait > 0 {
+				retry = time.After(wait)
+			}
 		}
 	}
 }

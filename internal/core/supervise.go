@@ -1,0 +1,236 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"xmap/internal/ratings"
+)
+
+// DurableLog is the slice of a write-ahead log the Refitter needs for
+// crash safety: Enqueue appends accepted ratings before they are queued
+// (so an ack implies durability), and each successful pass checkpoints
+// the offset it drained through. *wal.Log satisfies it; the interface
+// lives here so core does not depend on the log's file format.
+type DurableLog interface {
+	// Append durably records a batch of accepted ratings and returns
+	// the log offset just past them.
+	Append(rs []ratings.Rating) (end int64, err error)
+	// Checkpoint marks every record ending at or before end as applied,
+	// bounding the tail a restart replays. Checkpoints are an
+	// optimization, not a correctness requirement: replaying an already
+	// applied record is idempotent (ratings.Dataset.WithAppended keeps
+	// the latest observation per user/item pair), so a stale checkpoint
+	// only costs replay time.
+	Checkpoint(end int64) error
+}
+
+// Supervision defaults (see RefitterOptions).
+const (
+	defaultRetryBase       = 500 * time.Millisecond
+	defaultRetryMax        = time.Minute
+	defaultQuarantineAfter = 5
+)
+
+// RefitterStatus is a point-in-time snapshot of the refit loop's
+// supervision state; the serving layer's /readyz endpoint reports it.
+type RefitterStatus struct {
+	// QueueDepth is the number of pending (not yet refitted) ratings.
+	QueueDepth int `json:"queue_depth"`
+	// Failures counts consecutive failed passes; 0 after any success.
+	Failures int `json:"consecutive_failures"`
+	// RetryIn is how long the Run loop will still wait before retrying
+	// a failed pass (0 when no backoff is pending).
+	RetryIn time.Duration `json:"retry_in_ns,omitempty"`
+	// LastError is the most recent pass failure, empty after a success.
+	LastError string `json:"last_error,omitempty"`
+	// LastRefit is the completion time of the last successful non-empty
+	// pass (zero if none yet).
+	LastRefit time.Time `json:"last_refit"`
+	// QuarantinedBatches / QuarantinedRatings count deltas moved to the
+	// dead-letter ledger after QuarantineAfter consecutive failures.
+	QuarantinedBatches int64 `json:"quarantined_batches"`
+	QuarantinedRatings int64 `json:"quarantined_ratings"`
+	// WALEnd is the log offset covering every accepted rating;
+	// WALCheckpointed the offset a restart would replay from. Both are
+	// zero without a DurableLog.
+	WALEnd          int64 `json:"wal_end,omitempty"`
+	WALCheckpointed int64 `json:"wal_checkpointed,omitempty"`
+}
+
+// Status reports the current supervision state.
+func (r *Refitter) Status() RefitterStatus {
+	r.mu.Lock()
+	st := RefitterStatus{
+		QueueDepth:         len(r.pending),
+		Failures:           r.failures,
+		LastRefit:          r.lastRefit,
+		QuarantinedBatches: r.quarBatches,
+		QuarantinedRatings: int64(len(r.dead)),
+		WALEnd:             r.walEnd,
+	}
+	if r.lastErr != nil {
+		st.LastError = r.lastErr.Error()
+	}
+	if !r.nextRetry.IsZero() {
+		if d := time.Until(r.nextRetry); d > 0 {
+			st.RetryIn = d
+		}
+	}
+	r.mu.Unlock()
+	if ck, ok := r.opt.Log.(interface{ Checkpointed() int64 }); ok {
+		st.WALCheckpointed = ck.Checkpointed()
+	}
+	return st
+}
+
+// DeadLetters returns a copy of every rating quarantined so far. The
+// in-memory ledger is kept in addition to DeadLetterPath so quarantined
+// ratings are inspectable (and never silently lost) even without a
+// configured file.
+func (r *Refitter) DeadLetters() []ratings.Rating {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]ratings.Rating(nil), r.dead...)
+}
+
+// Restore seeds the pending queue from a write-ahead-log replay without
+// re-appending to the log: rs are ratings the log already holds (for
+// example wal.Log.ReplayTail's result) and walEnd the log offset
+// covering them. Validation matches Enqueue — a record for an ID outside
+// the universe means the log belongs to a different dataset, which is an
+// error, not a skip. Returns the resulting queue depth.
+func (r *Refitter) Restore(rs []ratings.Rating, walEnd int64) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.validateLocked(rs); err != nil {
+		return 0, err
+	}
+	r.pending = append(r.pending, rs...)
+	if walEnd > r.walEnd {
+		r.walEnd = walEnd
+	}
+	return len(r.pending), nil
+}
+
+// validateLocked checks every rating against the fixed universe; callers
+// hold r.mu.
+func (r *Refitter) validateLocked(rs []ratings.Rating) error {
+	nu, ni := r.ds.NumUsers(), r.ds.NumItems()
+	for _, rt := range rs {
+		if int(rt.User) < 0 || int(rt.User) >= nu {
+			return fmt.Errorf("core: enqueue: unknown user %d", rt.User)
+		}
+		if int(rt.Item) < 0 || int(rt.Item) >= ni {
+			return fmt.Errorf("core: enqueue: unknown item %d", rt.Item)
+		}
+	}
+	return nil
+}
+
+// backoffFor returns the jittered wait before retrying after the n-th
+// consecutive failure: RetryBase·2^(n-1) capped at RetryMax, jittered
+// uniformly into [d/2, d] so synchronized failures don't retry in
+// lockstep. 0 when backoff is disabled.
+func (r *Refitter) backoffFor(failures int) time.Duration {
+	base := r.opt.RetryBase
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 1; i < failures && d < r.opt.RetryMax; i++ {
+		d *= 2
+	}
+	if d > r.opt.RetryMax {
+		d = r.opt.RetryMax
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// noteFailure records a failed pass: the delta is either requeued (front
+// of the queue) for a backed-off retry, or — after QuarantineAfter
+// consecutive failures — moved to the dead-letter ledger so one poison
+// batch cannot wedge the refit loop forever. restore is the caller's
+// requeue closure; it must be called without r.mu held.
+func (r *Refitter) noteFailure(delta []ratings.Rating, walEnd int64, cause error, stats *RefitStats, restore func()) {
+	r.mu.Lock()
+	r.failures++
+	failures := r.failures
+	r.lastErr = cause
+	quarantine := r.opt.QuarantineAfter > 0 && failures >= r.opt.QuarantineAfter
+	if quarantine {
+		r.quarantineLocked(delta, cause, failures)
+		stats.Quarantined = len(delta)
+		r.failures = 0
+		r.nextRetry = time.Time{}
+	} else if d := r.backoffFor(failures); d > 0 {
+		r.nextRetry = time.Now().Add(d)
+		stats.Backoff = d
+	}
+	stats.Failures = failures
+	r.mu.Unlock()
+
+	if quarantine {
+		// The dead-letter ledger owns the delta now; move the WAL
+		// checkpoint past it so a restart does not replay the poison.
+		// Best effort — replay is idempotent and quarantine re-fires.
+		if r.opt.Log != nil {
+			_ = r.opt.Log.Checkpoint(walEnd)
+		}
+	} else {
+		restore()
+	}
+}
+
+// deadLetterRecord is one JSONL line of the dead-letter file: the
+// quarantined batch together with why it was given up on.
+type deadLetterRecord struct {
+	Time     time.Time        `json:"time"`
+	Failures int              `json:"consecutive_failures"`
+	Error    string           `json:"error"`
+	Ratings  []ratings.Rating `json:"ratings"`
+}
+
+// quarantineLocked moves delta to the dead-letter ledger (in memory, and
+// appended to DeadLetterPath when configured). Callers hold r.mu.
+func (r *Refitter) quarantineLocked(delta []ratings.Rating, cause error, failures int) {
+	r.dead = append(r.dead, delta...)
+	r.quarBatches++
+	if r.opt.DeadLetterPath == "" {
+		return
+	}
+	rec := deadLetterRecord{
+		Time:     time.Now().UTC(),
+		Failures: failures,
+		Error:    cause.Error(),
+		Ratings:  delta,
+	}
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return // the in-memory ledger still holds the batch
+	}
+	f, err := os.OpenFile(r.opt.DeadLetterPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	_, _ = f.Write(append(buf, '\n'))
+	_ = f.Close()
+}
+
+// retryWait reports how long the Run loop must still wait before
+// retrying a failed pass (0 = no backoff pending). Explicit Refit calls
+// ignore it: an operator-forced pass should run now.
+func (r *Refitter) retryWait() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nextRetry.IsZero() {
+		return 0
+	}
+	if d := time.Until(r.nextRetry); d > 0 {
+		return d
+	}
+	return 0
+}

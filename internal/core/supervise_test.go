@@ -1,0 +1,331 @@
+package core
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"xmap/internal/faultinject"
+	"xmap/internal/ratings"
+	"xmap/internal/wal"
+)
+
+// newSupervisedRefitter builds a single-pipeline refitter over the test
+// trace with the given options, plus a publisher recorder.
+func newSupervisedRefitter(t *testing.T, opt RefitterOptions) (*Refitter, *recordingPublisher, *rand.Rand) {
+	t.Helper()
+	az := trace(t)
+	cfg := DefaultConfig()
+	cfg.K = 10
+	p := Fit(az.DS, az.Movies, az.Books, cfg)
+	pub := &recordingPublisher{}
+	r, err := NewRefitter(az.DS, []*Pipeline{p}, pub, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, pub, rand.New(rand.NewSource(23))
+}
+
+// A panic inside a fit worker goroutine must surface as a Refit error —
+// the process survives, the delta is requeued, and the pass succeeds
+// once the fault clears.
+func TestRefitterRecoversWorkerPanic(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	r, pub, rng := newSupervisedRefitter(t, RefitterOptions{})
+	delta := streamDelta(rng, r.Dataset(), 4, 40)
+	if _, err := r.Enqueue(delta); err != nil {
+		t.Fatal(err)
+	}
+
+	disarm := faultinject.Arm(faultinject.SiteFitWorker, func() error {
+		return errors.New("worker dies")
+	})
+	_, err := r.Refit(context.Background())
+	if err == nil {
+		t.Fatal("refit succeeded through a crashing fit worker")
+	}
+	if !strings.Contains(err.Error(), "worker dies") {
+		t.Fatalf("error lost the panic payload: %v", err)
+	}
+	if r.QueueDepth() != len(delta) {
+		t.Fatalf("queue depth %d after crash, want %d requeued", r.QueueDepth(), len(delta))
+	}
+	if st := r.Status(); st.Failures != 1 || st.LastError == "" {
+		t.Fatalf("status after crash = %+v", st)
+	}
+
+	disarm()
+	if _, err := r.Refit(context.Background()); err != nil {
+		t.Fatalf("refit after disarm: %v", err)
+	}
+	if r.QueueDepth() != 0 || len(pub.published) != 1 {
+		t.Fatalf("recovery pass left depth %d, published %d", r.QueueDepth(), len(pub.published))
+	}
+	if st := r.Status(); st.Failures != 0 || st.LastError != "" || st.LastRefit.IsZero() {
+		t.Fatalf("status after recovery = %+v", st)
+	}
+}
+
+// A non-worker panic (publisher) is recovered too.
+func TestRefitterRecoversPublishPanic(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	r, _, rng := newSupervisedRefitter(t, RefitterOptions{})
+	if _, err := r.Enqueue(streamDelta(rng, r.Dataset(), 2, 10)); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(faultinject.SiteRefitPublish, func() error {
+		panic("publisher exploded")
+	})
+	_, err := r.Refit(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "publisher exploded") {
+		t.Fatalf("refit = %v, want recovered publish panic", err)
+	}
+}
+
+// Consecutive failures back off exponentially with jitter in [d/2, d],
+// capped at RetryMax; a success clears the window.
+func TestRefitterBackoffSchedule(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	const base, max = 10 * time.Millisecond, 40 * time.Millisecond
+	r, _, rng := newSupervisedRefitter(t, RefitterOptions{
+		RetryBase:       base,
+		RetryMax:        max,
+		QuarantineAfter: -1,
+	})
+	if _, err := r.Enqueue(streamDelta(rng, r.Dataset(), 2, 10)); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(faultinject.SiteRefitFit, func() error {
+		return errors.New("fit keeps failing")
+	})
+	// Failure n waits base·2^(n-1) capped at max; the 4th hits the cap.
+	for n, want := range []time.Duration{base, 2 * base, max, max} {
+		st, err := r.Refit(context.Background())
+		if err == nil {
+			t.Fatalf("pass %d succeeded through the fault", n+1)
+		}
+		if st.Failures != n+1 {
+			t.Fatalf("pass %d: Failures = %d", n+1, st.Failures)
+		}
+		if st.Backoff < want/2 || st.Backoff > want {
+			t.Fatalf("pass %d: backoff %v outside [%v, %v]", n+1, st.Backoff, want/2, want)
+		}
+		if r.retryWait() == 0 {
+			t.Fatalf("pass %d: no retry window pending", n+1)
+		}
+	}
+	if st := r.Status(); st.RetryIn == 0 {
+		t.Fatalf("status hides the open retry window: %+v", st)
+	}
+
+	faultinject.Reset()
+	// Explicit Refit ignores the window and clears it on success.
+	if _, err := r.Refit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if r.retryWait() != 0 {
+		t.Fatal("retry window survived a successful pass")
+	}
+}
+
+// After QuarantineAfter consecutive failures the delta moves to the
+// dead-letter ledger (memory + JSONL file), the queue drains, and the
+// loop resumes with a clean slate.
+func TestRefitterQuarantine(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	deadPath := filepath.Join(t.TempDir(), "dead.jsonl")
+	r, pub, rng := newSupervisedRefitter(t, RefitterOptions{
+		RetryBase:       -1, // no backoff: keep the test instant
+		QuarantineAfter: 2,
+		DeadLetterPath:  deadPath,
+	})
+	delta := streamDelta(rng, r.Dataset(), 3, 30)
+	if _, err := r.Enqueue(delta); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("poison delta")
+	faultinject.Arm(faultinject.SiteRefitFit, func() error { return boom })
+
+	if st, err := r.Refit(context.Background()); err == nil || st.Quarantined != 0 {
+		t.Fatalf("first failure quarantined early: %+v, %v", st, err)
+	}
+	st, err := r.Refit(context.Background())
+	if err == nil {
+		t.Fatal("second pass succeeded through the fault")
+	}
+	if st.Quarantined != len(delta) || st.Failures != 2 {
+		t.Fatalf("quarantine stats = %+v", st)
+	}
+	if r.QueueDepth() != 0 {
+		t.Fatalf("queue depth %d after quarantine, want 0", r.QueueDepth())
+	}
+	dead := r.DeadLetters()
+	if len(dead) != len(delta) {
+		t.Fatalf("DeadLetters holds %d ratings, want %d", len(dead), len(delta))
+	}
+	status := r.Status()
+	if status.QuarantinedBatches != 1 || status.QuarantinedRatings != int64(len(delta)) {
+		t.Fatalf("status = %+v", status)
+	}
+	if status.Failures != 0 {
+		t.Fatal("failure counter not reset after quarantine")
+	}
+
+	// The dead-letter file holds one parseable record with the ratings
+	// and the cause.
+	f, err := os.Open(deadPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() {
+		t.Fatal("dead-letter file empty")
+	}
+	var rec struct {
+		Error   string           `json:"error"`
+		Ratings []ratings.Rating `json:"ratings"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+		t.Fatalf("dead-letter line: %v", err)
+	}
+	if !strings.Contains(rec.Error, "poison delta") || len(rec.Ratings) != len(delta) {
+		t.Fatalf("dead-letter record = %+v", rec)
+	}
+	if sc.Scan() {
+		t.Fatal("more than one dead-letter record")
+	}
+
+	// The loop is healthy again: a fresh delta refits once the fault
+	// clears.
+	faultinject.Reset()
+	if _, err := r.Enqueue(streamDelta(rng, r.Dataset(), 2, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Refit(context.Background()); err != nil {
+		t.Fatalf("refit after quarantine: %v", err)
+	}
+	if len(pub.published) != 1 {
+		t.Fatalf("published %d pipelines after recovery", len(pub.published))
+	}
+}
+
+// With a DurableLog, Enqueue appends before queueing (a log failure
+// rejects the batch) and a successful pass checkpoints the drained
+// offset; quarantine moves the checkpoint past the poisoned delta.
+func TestRefitterWALIntegration(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	path := filepath.Join(t.TempDir(), "ratings.wal")
+	log, err := wal.Open(path, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+
+	r, _, rng := newSupervisedRefitter(t, RefitterOptions{
+		Log:             log,
+		RetryBase:       -1,
+		QuarantineAfter: 2,
+	})
+	delta := streamDelta(rng, r.Dataset(), 3, 30)
+	if _, err := r.Enqueue(delta); err != nil {
+		t.Fatal(err)
+	}
+	if st := log.Stats(); st.Ratings != len(delta) {
+		t.Fatalf("log holds %d ratings after enqueue, want %d", st.Ratings, len(delta))
+	}
+
+	// A failing log append rejects the batch without queueing it.
+	diskFull := errors.New("disk full")
+	disarm := faultinject.Arm(faultinject.SiteWALAppend, func() error { return diskFull })
+	if _, err := r.Enqueue(streamDelta(rng, r.Dataset(), 1, 5)); !errors.Is(err, diskFull) {
+		t.Fatalf("enqueue with failing log = %v", err)
+	}
+	if r.QueueDepth() != len(delta) {
+		t.Fatalf("rejected batch reached the queue: depth %d", r.QueueDepth())
+	}
+	disarm()
+
+	// A successful pass checkpoints the drained offset: nothing to
+	// replay afterwards.
+	if _, err := r.Refit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Status()
+	if st.WALEnd == 0 || st.WALCheckpointed != st.WALEnd {
+		t.Fatalf("checkpoint did not advance: %+v", st)
+	}
+	if tail, err := log.ReplayTail(); err != nil || len(tail) != 0 {
+		t.Fatalf("tail after checkpoint = %d ratings (%v), want none", len(tail), err)
+	}
+
+	// Quarantine checkpoints past the poisoned delta so a restart does
+	// not replay it.
+	poison := streamDelta(rng, r.Dataset(), 2, 20)
+	if _, err := r.Enqueue(poison); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(faultinject.SiteRefitFit, func() error { return errors.New("poison") })
+	r.Refit(context.Background())
+	r.Refit(context.Background())
+	faultinject.Reset()
+	if got := r.Status(); got.QuarantinedRatings != int64(len(poison)) {
+		t.Fatalf("status = %+v", got)
+	}
+	if tail, err := log.ReplayTail(); err != nil || len(tail) != 0 {
+		t.Fatalf("tail after quarantine = %d ratings (%v), want none", len(tail), err)
+	}
+}
+
+// Restore seeds the queue from a replay without re-appending to the log,
+// and the next pass applies and checkpoints it — the crash-recovery
+// sequence a server runs at startup.
+func TestRefitterRestoreFromReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ratings.wal")
+	log, err := wal.Open(path, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	r, pub, rng := newSupervisedRefitter(t, RefitterOptions{Log: log})
+
+	// Simulate a predecessor's accepted-but-unapplied ratings.
+	delta := streamDelta(rng, r.Dataset(), 3, 25)
+	end, err := log.Append(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := log.Stats().Records
+
+	tail, err := log.ReplayTail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth, err := r.Restore(tail, end)
+	if err != nil || depth != len(delta) {
+		t.Fatalf("Restore = (%d, %v)", depth, err)
+	}
+	if log.Stats().Records != records {
+		t.Fatal("Restore re-appended to the log")
+	}
+	if _, err := r.Refit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(pub.published) != 1 || log.Checkpointed() != end {
+		t.Fatalf("restored delta not applied: published=%d ckpt=%d want %d",
+			len(pub.published), log.Checkpointed(), end)
+	}
+
+	// A replay for the wrong universe is an error, not a skip.
+	bad := []ratings.Rating{{User: ratings.UserID(r.Dataset().NumUsers()), Item: 0, Value: 1, Time: 1}}
+	if _, err := r.Restore(bad, end+1); err == nil {
+		t.Fatal("Restore accepted an out-of-universe rating")
+	}
+}

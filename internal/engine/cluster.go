@@ -1,3 +1,23 @@
+// Cluster model: the analytic cost model behind the Figure 11 speedup
+// curves (waves × task cost + shuffle + log-depth barriers + Amdahl
+// driver time), shaped after the paper's 20-machine testbed.
+//
+// This file is also the seed of the distributed serving tier on the
+// roadmap: the vocabulary it fixes — machines with bounded slots, work
+// split into independent partitions, synchronization paid at stage
+// boundaries, shuffle bandwidth as the scaling ceiling — is the same
+// one a real multi-process deployment needs. The planned shape (see
+// ROADMAP.md, "Distributed serving tier") keeps each process a plain
+// xmap-server owning a user-shard or pair subset of pipelines, and adds
+// a thin coordinator that consistent-hashes users across replicas over
+// the API v2 surface: (source, target)-keyed routing, batch-first
+// requests to amortize fan-out, sentinel-coded errors for shed/retry
+// decisions, /readyz for membership (a replica drains by flipping its
+// readiness gate, exactly as single-process shutdown does today).
+// Cluster.Simulate is then the capacity-planning half: the same model
+// that reproduces Figure 11 prices a proposed shard count before any
+// deployment exists to measure.
+
 package engine
 
 import (

@@ -16,7 +16,9 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,9 +33,59 @@ func WorkerCount(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// WorkerPanic wraps a panic that escaped a worker goroutine of
+// ParallelFor/ParallelForEach. The helpers re-raise it on the calling
+// goroutine, so a crash inside a fit worker propagates to whoever
+// started the parallel phase — where a supervisor (core.Refitter) can
+// recover it into an error — instead of killing the whole process from
+// an unrecoverable goroutine. Value is the original panic payload and
+// Stack the worker's stack at the point of panic.
+type WorkerPanic struct {
+	Value any
+	Stack []byte
+}
+
+func (p *WorkerPanic) Error() string {
+	return fmt.Sprintf("engine: worker panic: %v\n%s", p.Value, p.Stack)
+}
+
+// panicTrap collects the first panic observed across a group of worker
+// goroutines so the spawner can re-raise it after wg.Wait.
+type panicTrap struct {
+	once sync.Once
+	p    *WorkerPanic
+}
+
+// guard wraps a worker body: a panic is captured (first wins) instead of
+// escaping the goroutine.
+func (t *panicTrap) guard(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.once.Do(func() {
+				t.p = &WorkerPanic{Value: r, Stack: debug.Stack()}
+			})
+		}
+	}()
+	fn()
+}
+
+// rethrow re-raises the captured panic, if any, on the caller.
+func (t *panicTrap) rethrow() {
+	if t.p != nil {
+		panic(t.p)
+	}
+}
+
 // ParallelFor partitions [0, n) into one contiguous block per worker and
 // runs fn(worker, lo, hi) concurrently. Static partitioning keeps each
 // worker's writes local (no false sharing across accumulator shards).
+//
+// A panic inside fn does not kill the process from an unrecoverable
+// worker goroutine: the first panic is captured and re-raised on the
+// calling goroutine as a *WorkerPanic once every worker has stopped
+// (panicking workers abandon their remaining range; the others finish
+// theirs). The single-worker inline path panics directly — either way
+// the caller's recover sees it.
 func ParallelFor(n, workers int, fn func(worker, lo, hi int)) {
 	workers = WorkerCount(workers)
 	if workers > n {
@@ -47,6 +99,7 @@ func ParallelFor(n, workers int, fn func(worker, lo, hi int)) {
 		return
 	}
 	var wg sync.WaitGroup
+	var trap panicTrap
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -60,15 +113,20 @@ func ParallelFor(n, workers int, fn func(worker, lo, hi int)) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			fn(w, lo, hi)
+			trap.guard(func() { fn(w, lo, hi) })
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	trap.rethrow()
 }
 
 // ParallelForEach runs fn(i) for every i in [0, n) with dynamic scheduling
 // (an atomic work counter with small grabs), which balances skewed
 // per-element costs such as power-law item profiles.
+//
+// Worker panics propagate to the caller as *WorkerPanic, exactly like
+// ParallelFor: a panicking worker stops grabbing work, the rest drain
+// the counter, and the first panic is re-raised after the join.
 func ParallelForEach(n, workers int, fn func(i int)) {
 	workers = WorkerCount(workers)
 	if n <= 0 {
@@ -86,26 +144,30 @@ func ParallelForEach(n, workers int, fn func(i int)) {
 	const grab = 16
 	var next int64
 	var wg sync.WaitGroup
+	var trap panicTrap
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				lo := int(atomic.AddInt64(&next, grab)) - grab
-				if lo >= n {
-					return
+			trap.guard(func() {
+				for {
+					lo := int(atomic.AddInt64(&next, grab)) - grab
+					if lo >= n {
+						return
+					}
+					hi := lo + grab
+					if hi > n {
+						hi = n
+					}
+					for i := lo; i < hi; i++ {
+						fn(i)
+					}
 				}
-				hi := lo + grab
-				if hi > n {
-					hi = n
-				}
-				for i := lo; i < hi; i++ {
-					fn(i)
-				}
-			}
+			})
 		}()
 	}
 	wg.Wait()
+	trap.rethrow()
 }
 
 // ExecuteTasks runs the task closures on exactly `slots` executor slots and

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// recoverPanic runs fn and returns the recovered panic value (nil if fn
+// returned normally).
+func recoverPanic(fn func()) (rec any) {
+	defer func() { rec = recover() }()
+	fn()
+	return nil
+}
+
+func TestParallelForEachPropagatesWorkerPanic(t *testing.T) {
+	var ran atomic.Int64
+	rec := recoverPanic(func() {
+		ParallelForEach(1000, 4, func(i int) {
+			if i == 137 {
+				panic("boom at 137")
+			}
+			ran.Add(1)
+		})
+	})
+	wp, ok := rec.(*WorkerPanic)
+	if !ok {
+		t.Fatalf("recovered %T (%v), want *WorkerPanic", rec, rec)
+	}
+	if wp.Value != "boom at 137" {
+		t.Fatalf("Value = %v, want the original panic payload", wp.Value)
+	}
+	if !strings.Contains(string(wp.Stack), "panic_test.go") {
+		t.Fatalf("Stack does not point at the panicking worker:\n%s", wp.Stack)
+	}
+	if !strings.Contains(wp.Error(), "boom at 137") {
+		t.Fatalf("Error() = %q", wp.Error())
+	}
+	// The other workers drained their work: nearly all iterations ran.
+	if got := ran.Load(); got < 900 {
+		t.Fatalf("only %d iterations ran; surviving workers should finish", got)
+	}
+}
+
+func TestParallelForPropagatesWorkerPanic(t *testing.T) {
+	rec := recoverPanic(func() {
+		ParallelFor(100, 4, func(w, lo, hi int) {
+			if lo <= 50 && 50 < hi {
+				panic("static boom")
+			}
+		})
+	})
+	wp, ok := rec.(*WorkerPanic)
+	if !ok || wp.Value != "static boom" {
+		t.Fatalf("recovered %T (%v), want *WorkerPanic wrapping %q", rec, rec, "static boom")
+	}
+}
+
+// The single-worker inline paths panic on the caller directly (no
+// wrapping needed — there is no goroutine hop to survive).
+func TestInlinePathPanicsDirectly(t *testing.T) {
+	rec := recoverPanic(func() {
+		ParallelForEach(10, 1, func(i int) {
+			if i == 3 {
+				panic("inline")
+			}
+		})
+	})
+	if rec != "inline" {
+		t.Fatalf("recovered %v, want the raw panic value", rec)
+	}
+}
+
+// Only the first panic is kept when several workers crash.
+func TestFirstPanicWins(t *testing.T) {
+	rec := recoverPanic(func() {
+		ParallelForEach(64, 8, func(i int) { panic(i) })
+	})
+	if _, ok := rec.(*WorkerPanic); !ok {
+		t.Fatalf("recovered %T, want *WorkerPanic", rec)
+	}
+}
+
+func TestNoPanicNoRethrow(t *testing.T) {
+	var sum atomic.Int64
+	if rec := recoverPanic(func() {
+		ParallelForEach(100, 4, func(i int) { sum.Add(int64(i)) })
+	}); rec != nil {
+		t.Fatalf("unexpected panic: %v", rec)
+	}
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}

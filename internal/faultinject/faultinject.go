@@ -1,0 +1,105 @@
+// Package faultinject is the chaos-testing hook layer: named sites in the
+// fit, publish and WAL paths call At, and a test (or cmd/xmap-loadgen's
+// -chaos mode) arms handlers that fail, panic or stall those sites on a
+// deterministic schedule. In production nothing is armed and At is a
+// single atomic load and nil check — the hooks cost nothing unless a
+// chaos harness turns them on.
+//
+// Handlers may return an error (the site reports an injected failure),
+// panic (the site's goroutine panics — how fit-worker crashes are
+// simulated), or sleep and return nil (a slow fault). Arming is
+// copy-on-write, so At never takes a lock and handlers may be swapped
+// while the system under test is running.
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Fault is an armed handler for one site. A nil return means the site
+// proceeds normally; a non-nil error is the injected failure. A Fault
+// that panics simulates a crash at the site, and one that sleeps
+// simulates a stall.
+type Fault func() error
+
+// Site names for the places the production code is instrumented. Using
+// constants (rather than free strings at call sites) keeps the set of
+// hooks greppable and lets a chaos schedule enumerate them.
+const (
+	// SiteRefitFit fires inside core.Refitter's per-pipeline delta fit,
+	// on the fitting goroutine, inside the pass's panic-recovery scope.
+	SiteRefitFit = "core.refit.fit"
+	// SiteRefitPublish fires in core.Refitter.Refit immediately before
+	// each SwapPipelineFor, simulating a rejecting or crashing publisher.
+	SiteRefitPublish = "core.refit.publish"
+	// SiteFitWorker fires inside sim's row-update worker goroutines — a
+	// panic here exercises goroutine-level isolation, not just the
+	// calling-frame recover.
+	SiteFitWorker = "sim.update.worker"
+	// SiteWALAppend fires in wal.Log.Append before anything is written.
+	SiteWALAppend = "wal.append"
+	// SiteWALSync fires in wal.Log.Sync before the fsync.
+	SiteWALSync = "wal.sync"
+)
+
+var (
+	mu sync.Mutex // serializes Arm/Reset (writers only)
+	// armed is the copy-on-write site table: readers load the whole map
+	// once; writers replace it under mu. A nil pointer means nothing is
+	// armed anywhere — the production state.
+	armed atomic.Pointer[map[string]Fault]
+)
+
+// At fires the handler armed at site, if any. The production fast path —
+// nothing armed anywhere — is one atomic load and a nil check.
+func At(site string) error {
+	m := armed.Load()
+	if m == nil {
+		return nil
+	}
+	if f, ok := (*m)[site]; ok {
+		return f()
+	}
+	return nil
+}
+
+// Arm installs fn at site, replacing whatever was armed there, and
+// returns a function that disarms the site. Passing a nil fn disarms.
+func Arm(site string, fn Fault) (disarm func()) {
+	set(site, fn)
+	return func() { set(site, nil) }
+}
+
+// Reset disarms every site. Tests call it in cleanup so one chaos
+// schedule cannot leak into the next test.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Store(nil)
+}
+
+// Armed reports whether any site currently has a handler — used by
+// sanity checks that refuse to run chaos helpers outside a harness.
+func Armed() bool { return armed.Load() != nil }
+
+func set(site string, fn Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	next := make(map[string]Fault)
+	if cur := armed.Load(); cur != nil {
+		for k, v := range *cur {
+			next[k] = v
+		}
+	}
+	if fn == nil {
+		delete(next, site)
+	} else {
+		next[site] = fn
+	}
+	if len(next) == 0 {
+		armed.Store(nil)
+		return
+	}
+	armed.Store(&next)
+}

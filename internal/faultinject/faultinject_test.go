@@ -1,0 +1,81 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNopByDefault(t *testing.T) {
+	Reset()
+	if Armed() {
+		t.Fatal("Armed() = true with nothing armed")
+	}
+	if err := At(SiteRefitFit); err != nil {
+		t.Fatalf("At on unarmed site: %v", err)
+	}
+}
+
+func TestArmFireDisarm(t *testing.T) {
+	t.Cleanup(Reset)
+	want := errors.New("injected")
+	disarm := Arm(SiteWALAppend, func() error { return want })
+	if !Armed() {
+		t.Fatal("Armed() = false after Arm")
+	}
+	if err := At(SiteWALAppend); !errors.Is(err, want) {
+		t.Fatalf("At = %v, want %v", err, want)
+	}
+	// Other sites stay nop while one is armed.
+	if err := At(SiteRefitPublish); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+	disarm()
+	if Armed() {
+		t.Fatal("Armed() = true after disarm")
+	}
+	if err := At(SiteWALAppend); err != nil {
+		t.Fatalf("At after disarm: %v", err)
+	}
+}
+
+func TestArmReplaces(t *testing.T) {
+	t.Cleanup(Reset)
+	first := errors.New("first")
+	second := errors.New("second")
+	Arm(SiteRefitFit, func() error { return first })
+	Arm(SiteRefitFit, func() error { return second })
+	if err := At(SiteRefitFit); !errors.Is(err, second) {
+		t.Fatalf("At = %v, want the replacement %v", err, second)
+	}
+}
+
+func TestConcurrentAtWhileArming(t *testing.T) {
+	t.Cleanup(Reset)
+	injected := errors.New("injected")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := At(SiteRefitPublish); err != nil && !errors.Is(err, injected) {
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		disarm := Arm(SiteRefitPublish, func() error { return injected })
+		disarm()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,134 @@
+// Chaos mode: deterministic fault schedules armed over the
+// internal/faultinject sites, so the closed loop can be run against a
+// system that keeps crashing fit workers, rejecting publishes, stalling
+// fits and failing WAL appends — and the run's invariants (no accepted
+// rating lost, every served list a published pipeline's output, recovery
+// once the faults clear) can be asserted under -race.
+
+package loadgen
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"xmap/internal/faultinject"
+)
+
+// ChaosConfig schedules injected faults by site-visit count: "every Nth
+// visit to the site fires". Counting visits (not wall clock) keeps a
+// seeded run's fault schedule machine-independent for the single-visit
+// sites (publish, WAL append); the fit-worker site is visited once per
+// worker chunk, so its schedule depends on worker count — fine for
+// invariant checks, not for bit-reproducibility assertions. Zero
+// disables a schedule.
+type ChaosConfig struct {
+	// FitPanicEvery panics inside every Nth visited fit-worker chunk —
+	// the hard-crash case the refit supervisor must recover into an
+	// error (engine.WorkerPanic).
+	FitPanicEvery int
+	// PublishRejectEvery makes every Nth pipeline publish fail — the
+	// torn-pass case: earlier pipelines of the pass stay published,
+	// later ones never happen, and the delta must be requeued.
+	PublishRejectEvery int
+	// SlowFitEvery stalls every Nth pipeline fit by SlowFitDelay — the
+	// slow-dependency case; nothing fails, latency just spikes.
+	SlowFitEvery int
+	// SlowFitDelay is the injected stall (0 = 10ms).
+	SlowFitDelay time.Duration
+	// WALAppendFailEvery fails every Nth WAL append — the full-disk
+	// case: the enqueue must be rejected before anything is acked.
+	WALAppendFailEvery int
+}
+
+// ChaosStats counts the faults actually injected.
+type ChaosStats struct {
+	FitPanics      int64 `json:"fit_panics"`
+	PublishRejects int64 `json:"publish_rejects"`
+	SlowFits       int64 `json:"slow_fits"`
+	WALAppendFails int64 `json:"wal_append_fails"`
+}
+
+// Chaos is an armable set of fault schedules. Arm installs them over the
+// global faultinject registry and returns the disarm; Stats reports what
+// fired. Safe for the concurrent visits a refit's worker pool makes.
+type Chaos struct {
+	cfg ChaosConfig
+
+	fitVisits, pubVisits, slowVisits, walVisits atomic.Int64
+	fitHits, pubHits, slowHits, walHits         atomic.Int64
+}
+
+// NewChaos builds an unarmed chaos schedule.
+func NewChaos(cfg ChaosConfig) *Chaos {
+	if cfg.SlowFitDelay <= 0 {
+		cfg.SlowFitDelay = 10 * time.Millisecond
+	}
+	return &Chaos{cfg: cfg}
+}
+
+// nth reports whether this visit is a firing one, bumping the counters.
+func nth(n int, visits, hits *atomic.Int64) bool {
+	if n <= 0 {
+		return false
+	}
+	if visits.Add(1)%int64(n) != 0 {
+		return false
+	}
+	hits.Add(1)
+	return true
+}
+
+// Arm installs every enabled schedule and returns a function disarming
+// all of them. Only one Chaos should be armed at a time (faultinject.Arm
+// replaces per site).
+func (c *Chaos) Arm() (disarm func()) {
+	var disarms []func()
+	if c.cfg.FitPanicEvery > 0 {
+		disarms = append(disarms, faultinject.Arm(faultinject.SiteFitWorker, func() error {
+			if nth(c.cfg.FitPanicEvery, &c.fitVisits, &c.fitHits) {
+				panic(fmt.Sprintf("chaos: injected fit-worker panic #%d", c.fitHits.Load()))
+			}
+			return nil
+		}))
+	}
+	if c.cfg.PublishRejectEvery > 0 {
+		disarms = append(disarms, faultinject.Arm(faultinject.SiteRefitPublish, func() error {
+			if nth(c.cfg.PublishRejectEvery, &c.pubVisits, &c.pubHits) {
+				return fmt.Errorf("chaos: injected publish rejection #%d", c.pubHits.Load())
+			}
+			return nil
+		}))
+	}
+	if c.cfg.SlowFitEvery > 0 {
+		disarms = append(disarms, faultinject.Arm(faultinject.SiteRefitFit, func() error {
+			if nth(c.cfg.SlowFitEvery, &c.slowVisits, &c.slowHits) {
+				time.Sleep(c.cfg.SlowFitDelay)
+			}
+			return nil
+		}))
+	}
+	if c.cfg.WALAppendFailEvery > 0 {
+		disarms = append(disarms, faultinject.Arm(faultinject.SiteWALAppend, func() error {
+			if nth(c.cfg.WALAppendFailEvery, &c.walVisits, &c.walHits) {
+				return fmt.Errorf("chaos: injected WAL append failure #%d", c.walHits.Load())
+			}
+			return nil
+		}))
+	}
+	return func() {
+		for _, d := range disarms {
+			d()
+		}
+	}
+}
+
+// Stats snapshots the injected-fault counts.
+func (c *Chaos) Stats() ChaosStats {
+	return ChaosStats{
+		FitPanics:      c.fitHits.Load(),
+		PublishRejects: c.pubHits.Load(),
+		SlowFits:       c.slowHits.Load(),
+		WALAppendFails: c.walHits.Load(),
+	}
+}

@@ -1,0 +1,282 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xmap/internal/core"
+	"xmap/internal/dataset"
+	"xmap/internal/faultinject"
+	"xmap/internal/ratings"
+	"xmap/internal/serve"
+	"xmap/internal/wal"
+)
+
+// ratingKey identifies a (user, item) cell for conservation accounting.
+type ratingKey struct {
+	u ratings.UserID
+	i ratings.ItemID
+}
+
+// maxTimes collects, per (user, item), the newest rating time in rs.
+func maxTimes(rs []ratings.Rating) map[ratingKey]int64 {
+	m := make(map[ratingKey]int64, len(rs))
+	for _, rt := range rs {
+		k := ratingKey{rt.User, rt.Item}
+		if rt.Time > m[k] {
+			m[k] = rt.Time
+		}
+	}
+	return m
+}
+
+// TestChaosClosedLoopInvariants drives the closed loop against a system
+// with injected faults — crashing fit workers, rejected publishes, slow
+// fits, failing WAL appends — and asserts the robustness invariants:
+//
+//   - the process survives every fault (worker panics become errors),
+//   - no accepted rating is lost: after the faults clear, every rating
+//     the loop fed back is in the merged dataset (or the dead-letter
+//     ledger, had a delta been quarantined),
+//   - every served list equals some published pipeline's output — a
+//     torn pass never exposes a half-published state,
+//   - the recommend path never errors (serving rides the last good
+//     pipelines through refit failures),
+//   - a failed WAL append rejects the ingest with a retryable status,
+//     acking nothing it did not persist,
+//   - once the faults clear the queue drains within a bounded number of
+//     passes and the failure counters reset.
+func TestChaosClosedLoopInvariants(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	ctx := context.Background()
+	wc := smokeWorldConfig(9)
+	az, tailRatings, lat := dataset.AmazonLikeLaunchLatent(wc.Dataset, wc.Launch)
+	pairs := []core.DomainPair{
+		{Source: az.Movies, Target: az.Books},
+		{Source: az.Books, Target: az.Movies},
+	}
+	pipes, err := core.FitPairs(ctx, az.DS, pairs, wc.Fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := serve.New(az.DS, pipes, serve.Options{CacheSize: 256, CacheShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := NewPopulation(az.DS, lat, []Pair{
+		{Source: "movies", Target: "books"},
+		{Source: "books", Target: "movies"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 8
+	tp := &truthPublisher{
+		svc: svc, n: n,
+		users: map[[2]ratings.DomainID][]ratings.UserID{
+			{az.Movies, az.Books}: pop.Users[0],
+			{az.Books, az.Movies}: pop.Users[1],
+		},
+		truth: make(map[string]map[string]bool),
+	}
+	for _, p := range pipes {
+		tp.record(p)
+	}
+
+	log, err := wal.Open(filepath.Join(t.TempDir(), "chaos.wal"), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	rf, err := core.NewRefitter(az.DS, pipes, tp, core.RefitterOptions{
+		Log:            log,
+		RetryBase:      -1, // retries are loop-driven here; no backoff waits
+		DeadLetterPath: filepath.Join(t.TempDir(), "dead.jsonl"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.SetIngestor(rf)
+	svc.SetReady(true)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	var accepted []ratings.Rating
+	var hookMu sync.Mutex
+
+	// Warmup (no faults): the launch tail makes the cohort servable.
+	if err := PostRatings(ctx, srv.Client(), srv.URL, az.DS, tailRatings, 32); err != nil {
+		t.Fatal(err)
+	}
+	accepted = append(accepted, tailRatings...)
+	if _, err := rf.Refit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1 — hard crash: every fit-worker chunk panics. The pass must
+	// fail as an error (process intact), the delta must stay queued.
+	crashDelta := []ratings.Rating{{
+		User: pop.Users[0][0], Item: az.DS.ItemsInDomain(az.Movies)[0],
+		Value: 4.5, Time: 1 << 31,
+	}}
+	if _, err := rf.Enqueue(crashDelta); err != nil {
+		t.Fatal(err)
+	}
+	accepted = append(accepted, crashDelta...)
+	crash := NewChaos(ChaosConfig{FitPanicEvery: 1})
+	disarm := crash.Arm()
+	if _, err := rf.Refit(ctx); err == nil || !strings.Contains(err.Error(), "chaos: injected fit-worker panic") {
+		t.Fatalf("refit under total worker crash = %v, want recovered panic", err)
+	}
+	disarm()
+	if crash.Stats().FitPanics == 0 {
+		t.Fatal("no fit panic injected")
+	}
+	if rf.QueueDepth() != len(crashDelta) {
+		t.Fatalf("queue depth %d after crashed pass, want %d", rf.QueueDepth(), len(crashDelta))
+	}
+
+	// Phase 2 — chaotic closed loop: every 3rd publish rejected, every
+	// 4th fit stalled. The loop's refit handle retries a failed pass a
+	// bounded number of times (the queue keeps the delta either way).
+	chaos := NewChaos(ChaosConfig{
+		PublishRejectEvery: 3,
+		SlowFitEvery:       4,
+		SlowFitDelay:       time.Millisecond,
+	})
+	disarm = chaos.Arm()
+	var refitFailures int
+	tgt := Target{
+		BaseURL: srv.URL, Client: srv.Client(),
+		Refit: func(ctx context.Context) (core.RefitStats, error) {
+			var st core.RefitStats
+			var err error
+			for attempt := 0; attempt < 8; attempt++ {
+				if st, err = rf.Refit(ctx); err == nil {
+					return st, nil
+				}
+				refitFailures++
+			}
+			return st, nil // tolerated: the queue holds the delta
+		},
+	}
+	domOf := map[string]ratings.DomainID{"movies": az.Movies, "books": az.Books}
+	var served, mismatches, serveErrors int
+	res, err := Run(ctx, Config{
+		Seed: 9, Rounds: 3, N: n,
+		BatchSize: 32, Concurrency: 4, ConsumePerList: 2,
+		OnList: func(round int, pair Pair, u ratings.UserID, resp *serve.Response) {
+			names := make([]string, len(resp.Items))
+			for i, it := range resp.Items {
+				names[i] = it.Item
+			}
+			hookMu.Lock()
+			defer hookMu.Unlock()
+			served++
+			if !tp.matches(domOf[pair.Source], domOf[pair.Target], az.DS.UserName(u), names) {
+				mismatches++
+			}
+		},
+		OnConsume: func(round int, r ratings.Rating) {
+			hookMu.Lock()
+			accepted = append(accepted, r)
+			hookMu.Unlock()
+		},
+	}, pop, tgt)
+	if err != nil {
+		t.Fatalf("closed loop died under chaos: %v", err)
+	}
+	disarm()
+	for _, rd := range res.Rounds {
+		for _, pr := range rd.Pairs {
+			serveErrors += pr.Errors
+		}
+	}
+	if served == 0 {
+		t.Fatal("no lists served")
+	}
+	if mismatches > 0 {
+		t.Fatalf("%d of %d served lists match no published pipeline", mismatches, served)
+	}
+	if serveErrors > 0 {
+		t.Fatalf("%d recommend errors; serving must ride out refit failures", serveErrors)
+	}
+	if st := chaos.Stats(); st.PublishRejects == 0 {
+		t.Fatalf("chaos fired nothing: %+v (refit failures seen: %d)", st, refitFailures)
+	}
+	if refitFailures == 0 {
+		t.Fatal("no refit pass failed despite injected publish rejections")
+	}
+
+	// Phase 3 — failing WAL: the ingest must be rejected with a
+	// retryable 503 (nothing acked, nothing queued), and succeed again
+	// once the disk "recovers".
+	walFail := NewChaos(ChaosConfig{WALAppendFailEvery: 1})
+	disarm = walFail.Arm()
+	depthBefore := rf.QueueDepth()
+	extra := []ratings.Rating{{
+		User: pop.Users[0][0], Item: az.DS.ItemsInDomain(az.Movies)[1],
+		Value: 3.5, Time: 1<<40 + 1,
+	}}
+	err = PostRatings(ctx, srv.Client(), srv.URL, az.DS, extra, 32)
+	if err == nil || !strings.Contains(err.Error(), "HTTP 503") {
+		t.Fatalf("ingest with failing WAL = %v, want HTTP 503", err)
+	}
+	if rf.QueueDepth() != depthBefore {
+		t.Fatal("rejected ingest reached the queue")
+	}
+	disarm()
+	if err := PostRatings(ctx, srv.Client(), srv.URL, az.DS, extra, 32); err != nil {
+		t.Fatalf("ingest after WAL recovery: %v", err)
+	}
+	accepted = append(accepted, extra...)
+
+	// Recovery: with the faults gone the queue drains within a bounded
+	// number of passes and the failure counters reset.
+	for i := 0; i < 5 && rf.QueueDepth() > 0; i++ {
+		if _, err := rf.Refit(ctx); err != nil {
+			t.Fatalf("drain pass %d: %v", i, err)
+		}
+	}
+	if d := rf.QueueDepth(); d != 0 {
+		t.Fatalf("queue depth %d after recovery, want 0", d)
+	}
+	status := rf.Status()
+	if status.Failures != 0 || status.LastError != "" {
+		t.Fatalf("supervision did not reset after recovery: %+v", status)
+	}
+
+	// Conservation: every accepted rating is visible in the merged
+	// dataset (or, had a delta been quarantined, in the dead letters) —
+	// possibly superseded by a newer rating of the same (user, item).
+	final := rf.Dataset()
+	finalMax := make(map[ratingKey]int64)
+	for u := 0; u < final.NumUsers(); u++ {
+		for _, e := range final.Items(ratings.UserID(u)) {
+			k := ratingKey{ratings.UserID(u), e.Item}
+			if e.Time > finalMax[k] {
+				finalMax[k] = e.Time
+			}
+		}
+	}
+	deadMax := maxTimes(rf.DeadLetters())
+	lost := 0
+	for _, rt := range accepted {
+		k := ratingKey{rt.User, rt.Item}
+		if finalMax[k] < rt.Time && deadMax[k] < rt.Time {
+			lost++
+			if lost <= 3 {
+				t.Errorf("accepted rating lost: user %d item %d time %d", rt.User, rt.Item, rt.Time)
+			}
+		}
+	}
+	if lost > 0 {
+		t.Fatalf("%d of %d accepted ratings lost", lost, len(accepted))
+	}
+}

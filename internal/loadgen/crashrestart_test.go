@@ -1,0 +1,218 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"xmap/internal/ratings"
+	"xmap/internal/serve"
+	"xmap/internal/wal"
+)
+
+// servedLists fetches, through the real HTTP recommend endpoint, the
+// list every driven user is served for every pair — the observable
+// output a restart must reproduce.
+func servedLists(t *testing.T, w *World, pop *Population, n int) map[string][]string {
+	t.Helper()
+	ds := w.Amazon.DS
+	out := make(map[string][]string)
+	for pi, pair := range w.Pairs() {
+		users := pop.Users[pi]
+		reqs := make([]serve.Request, len(users))
+		for k, u := range users {
+			reqs[k] = serve.Request{
+				User: ds.UserName(u), N: n,
+				Source: pair.Source, Target: pair.Target,
+			}
+		}
+		elems, _, err := postRecommendBatch(context.Background(), w.Server.Client(), w.Server.URL, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, el := range elems {
+			if el.Error != nil {
+				t.Fatalf("recommend %s/%s: %+v", pair.Source, ds.UserName(users[k]), el.Error)
+			}
+			names := make([]string, len(el.Response.Items))
+			for i, it := range el.Response.Items {
+				names[i] = it.Item
+			}
+			out[fmt.Sprintf("%s→%s/%s", pair.Source, pair.Target, ds.UserName(users[k]))] = names
+		}
+	}
+	return out
+}
+
+// TestCrashRestartConvergence pins the durability guarantee: a world is
+// driven through real traffic with a WAL attached, then killed without
+// any shutdown — no final refit, no fsync, an acked batch still sitting
+// in the queue. A restart (fresh world from the same trace + full WAL
+// replay + Restore + one refit) must converge to the bit-identical
+// dataset and identical served lists as an uncrashed control that was
+// handed the same ratings directly. A torn last record — the crash
+// landing mid-write(2) — must be truncated on reopen, and recovery must
+// converge on the log minus the torn batch.
+//
+// Replay is from offset 0, not the checkpoint: a restart rebuilds the
+// base dataset from the trace, so everything the log holds must be
+// re-applied; the idempotent (user, item)-deduplicating merge makes the
+// re-application of already-refitted batches exact, which is what lets
+// the checkpoint be a pure optimization rather than a correctness
+// boundary.
+func TestCrashRestartConvergence(t *testing.T) {
+	ctx := context.Background()
+	wc := smokeWorldConfig(7)
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "ingest.wal")
+
+	// World A: real traffic with the WAL attached.
+	logA, err := wal.Open(walPath, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcA := wc
+	wcA.Refit.Log = logA
+	wA, err := NewWorld(ctx, wcA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wA.IngestTail(ctx, 32); err != nil {
+		t.Fatal(err)
+	}
+	popA, err := wA.Population()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(ctx, Config{
+		Seed: 7, Rounds: 2, N: 8,
+		BatchSize: 32, Concurrency: 4, ConsumePerList: 2,
+	}, popA, wA.Target()); err != nil {
+		t.Fatal(err)
+	}
+	// One more batch, acked but never refitted: at the crash it exists
+	// only in the WAL and the in-memory queue.
+	movies := wA.Amazon.DS.ItemsInDomain(wA.Amazon.Movies)
+	var extra []ratings.Rating
+	for k, u := range popA.Users[0][:4] {
+		extra = append(extra, ratings.Rating{
+			User: u, Item: movies[k%len(movies)], Value: 4, Time: 1<<45 + int64(k),
+		})
+	}
+	if err := PostRatings(ctx, wA.Server.Client(), wA.Server.URL, wA.Amazon.DS, extra, 32); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: abandon the world and the log handle — no Close, no Sync,
+	// no final refit. Append is a bare write(2), so the page cache holds
+	// everything a kill -9 would have left behind.
+	wA.Close()
+	walBytes, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// recoverWorld is the restart path cmd/xmap-server takes: reopen the
+	// log (truncating any torn tail), replay ALL of it, Restore into a
+	// fresh world built from the same trace, refit once.
+	recoverWorld := func(path string) (*World, *wal.Log, []ratings.Rating, map[string][]string) {
+		log, err := wal.Open(path, wal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []ratings.Rating
+		if err := log.Replay(0, func(rs []ratings.Rating, _ int64) error {
+			all = append(all, rs...)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		wcR := wc
+		wcR.Refit.Log = log
+		w, err := NewWorld(ctx, wcR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Refitter.Restore(all, log.End()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Refitter.Refit(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := log.Checkpointed(), log.End(); got != want {
+			t.Fatalf("checkpoint %d after recovery refit, want %d", got, want)
+		}
+		pop, err := w.Population()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w, log, all, servedLists(t, w, pop, 8)
+	}
+	// control is the never-crashed twin: same trace, the same ratings
+	// handed over directly, one refit.
+	control := func(all []ratings.Rating) (*World, map[string][]string) {
+		w, err := NewWorld(ctx, wc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Refitter.Enqueue(all); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Refitter.Refit(ctx); err != nil {
+			t.Fatal(err)
+		}
+		pop, err := w.Population()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w, servedLists(t, w, pop, 8)
+	}
+
+	wB, logB, all, listsB := recoverWorld(walPath)
+	defer wB.Close()
+	defer logB.Close()
+	if len(all) == 0 {
+		t.Fatal("WAL replayed nothing")
+	}
+	wC, listsC := control(all)
+	defer wC.Close()
+	if !reflect.DeepEqual(wB.Refitter.Dataset().AllRatings(), wC.Refitter.Dataset().AllRatings()) {
+		t.Fatal("recovered dataset is not bit-identical to the uncrashed control")
+	}
+	if !reflect.DeepEqual(listsB, listsC) {
+		diff := 0
+		for k, want := range listsC {
+			if !reflect.DeepEqual(listsB[k], want) {
+				diff++
+			}
+		}
+		t.Fatalf("%d of %d served lists differ between recovery and control", diff, len(listsC))
+	}
+
+	// Torn tail: the crash landed mid-write of the last record. Reopen
+	// must truncate it (reporting the torn bytes) and recovery must
+	// converge on the log minus that batch.
+	tornPath := filepath.Join(dir, "torn.wal")
+	if err := os.WriteFile(tornPath, walBytes[:len(walBytes)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wT, logT, allTorn, listsT := recoverWorld(tornPath)
+	defer wT.Close()
+	defer logT.Close()
+	if logT.Stats().TornBytes == 0 {
+		t.Fatal("torn tail not reported by Stats")
+	}
+	if len(allTorn) >= len(all) {
+		t.Fatalf("torn log replayed %d ratings, want fewer than %d", len(allTorn), len(all))
+	}
+	wD, listsD := control(allTorn)
+	defer wD.Close()
+	if !reflect.DeepEqual(wT.Refitter.Dataset().AllRatings(), wD.Refitter.Dataset().AllRatings()) {
+		t.Fatal("torn-tail recovery is not bit-identical to its control")
+	}
+	if !reflect.DeepEqual(listsT, listsD) {
+		t.Fatal("torn-tail recovery serves different lists than its control")
+	}
+}

@@ -18,6 +18,11 @@ type WorldConfig struct {
 	Launch  dataset.LaunchConfig
 	Fit     core.Config
 	Serve   serve.Options
+	// Refit configures the world's Refitter — in particular Refit.Log
+	// attaches a write-ahead log, which is how the crash-restart tests
+	// build a durable world. Interval is ignored (the world's refits are
+	// loop-driven; see Target).
+	Refit core.RefitterOptions
 }
 
 // DefaultWorldConfig is a smoke-scale world: big enough that refits do
@@ -68,11 +73,13 @@ func NewWorld(ctx context.Context, wc WorldConfig) (*World, error) {
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: serve: %w", err)
 	}
-	rf, err := core.NewRefitter(az.DS, pipes, svc, core.RefitterOptions{})
+	rf, err := core.NewRefitter(az.DS, pipes, svc, wc.Refit)
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: refitter: %w", err)
 	}
 	svc.SetIngestor(rf)
+	// A freshly fitted world is immediately servable.
+	svc.SetReady(true)
 	return &World{
 		Amazon: az, Tail: tail, Latent: lat,
 		Service: svc, Refitter: rf,

@@ -1,0 +1,80 @@
+package serve_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"xmap/internal/engine"
+	"xmap/internal/ratings"
+	"xmap/internal/serve"
+)
+
+// TestHTTPStatusTable pins the sentinel → (status, code) mapping: every
+// sentinel maps to a distinct pair, load shedding (ErrQueueFull) answers
+// 429 regardless of how it is wrapped against ErrOverloaded, and nothing
+// the serving layer returns deliberately is a 500.
+func TestHTTPStatusTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		err      error
+		status   int
+		code     string
+		sentinel bool // participates in the uniqueness check
+	}{
+		{"invalid_request", serve.ErrInvalidRequest, 400, "invalid_request", true},
+		{"unknown_user", serve.ErrUnknownUser, 404, "unknown_user", true},
+		{"unknown_item", serve.ErrUnknownItem, 404, "unknown_item", true},
+		{"no_pipeline", serve.ErrNoPipeline, 404, "no_pipeline", true},
+		{"queue_full", engine.ErrQueueFull, 429, "overloaded", true},
+		{"overloaded", serve.ErrOverloaded, 503, "overloaded", true},
+		{"ingest_disabled", serve.ErrIngestDisabled, 503, "ingest_disabled", true},
+
+		// The shed path wraps both overload sentinels; 429 must win in
+		// either wrap order so clients get the back-off-and-retry cue.
+		{"shed_queue_first", fmt.Errorf("%w: %w", engine.ErrQueueFull, serve.ErrOverloaded), 429, "overloaded", false},
+		{"shed_overloaded_first", fmt.Errorf("%w: %w", serve.ErrOverloaded, engine.ErrQueueFull), 429, "overloaded", false},
+		// Wrapping context never changes the mapping.
+		{"wrapped_unknown_user", fmt.Errorf("lookup: %w", serve.ErrUnknownUser), 404, "unknown_user", false},
+		// Only errors outside the taxonomy fall through to 500.
+		{"unclassified", errors.New("mystery"), 500, "internal", false},
+	}
+	seen := map[string]string{}
+	for _, tc := range cases {
+		status, code := serve.HTTPStatus(tc.err)
+		if status != tc.status || code != tc.code {
+			t.Errorf("%s: HTTPStatus = (%d, %q), want (%d, %q)",
+				tc.name, status, code, tc.status, tc.code)
+		}
+		if tc.sentinel {
+			key := fmt.Sprintf("%d/%s", status, code)
+			if prev, dup := seen[key]; dup {
+				t.Errorf("%s and %s share (status, code) %s", tc.name, prev, key)
+			}
+			seen[key] = tc.name
+		}
+	}
+}
+
+// failingIngestor refuses every batch, standing in for a wedged queue or
+// a failing WAL.
+type failingIngestor struct{}
+
+func (failingIngestor) Enqueue([]ratings.Rating) (int, error) {
+	return 0, errors.New("wal append: disk full")
+}
+
+// An infrastructure failure behind Ingest (queue, durability layer) must
+// surface as 503 overloaded — retryable — never a 500.
+func TestIngestEnqueueFailureIs503(t *testing.T) {
+	az, _, _ := fixture(t)
+	svc := newService(t, serve.Options{})
+	svc.SetIngestor(failingIngestor{})
+	_, _, err := svc.Ingest([]serve.RatingEntry{{User: az.DS.UserName(0), ID: 0, Value: 3}})
+	if err == nil {
+		t.Fatal("Ingest succeeded through a failing ingestor")
+	}
+	if status, code := serve.HTTPStatus(err); status != 503 || code != "overloaded" {
+		t.Fatalf("HTTPStatus = (%d, %q), want (503, overloaded)", status, code)
+	}
+}

@@ -30,6 +30,7 @@ import (
 //	GET /api/user?user=<name>&n=10[&pipe=0]
 //	GET /api/explain?user=<name>&item=<name>
 //	GET /healthz
+//	GET /readyz
 //	GET /statsz
 //
 // Every API response — including errors — is JSON with the Content-Type
@@ -44,6 +45,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /api/user", s.instrument(epUser, s.handleUser))
 	mux.HandleFunc("GET /api/explain", s.instrument(epExplain, s.handleExplain))
 	mux.HandleFunc("GET /healthz", s.instrument(epHealth, s.handleHealth))
+	mux.HandleFunc("GET /readyz", s.instrument(epReady, s.handleReady))
 	mux.HandleFunc("GET /statsz", s.instrument(epStats, s.handleStats))
 	mux.HandleFunc("POST /api/v2/recommend", s.instrument(epV2Recommend, s.handleV2Recommend))
 	mux.HandleFunc("POST /api/v2/ratings", s.instrument(epV2Ratings, s.handleV2Ratings))

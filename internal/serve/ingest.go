@@ -152,8 +152,11 @@ func (s *Service) Ingest(entries []RatingEntry) (resp *IngestResponse, elems []I
 	if err != nil {
 		// The ingestor re-validates against the dense universe; the
 		// resolution above guarantees validity, so a rejection here is a
-		// whole-batch failure (nothing was enqueued), not per-entry.
-		return nil, nil, fmt.Errorf("enqueue: %w", err)
+		// whole-batch failure (nothing was enqueued), not per-entry — and
+		// an infrastructure one (the queue or its durability layer), so
+		// it maps to 503 overloaded, never a 500: serving continues on
+		// the last published pipelines and the client should retry.
+		return nil, nil, fmt.Errorf("%w: enqueue: %w", ErrOverloaded, err)
 	}
 	return &IngestResponse{Accepted: accepted, QueueDepth: depth}, elems, nil
 }

@@ -1,0 +1,93 @@
+// Readiness: GET /readyz is the load-balancer-facing twin of /healthz.
+// /healthz answers "the process is up" and never fails; /readyz answers
+// "this replica should receive traffic" — it stays 503 until the
+// operator marks the service ready (after WAL replay and the first
+// pipeline publish on a crash-restart) and reports the supervision state
+// of the ingest loop so an unhealthy refit path is visible before it
+// becomes a user-facing problem.
+
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"xmap/internal/core"
+)
+
+// SetReady flips the readiness gate reported by GET /readyz. A fresh
+// Service is not ready: the owning process marks it ready once startup
+// recovery — WAL replay, initial refit — has converged, and may clear it
+// again to drain traffic before a graceful shutdown. Serving endpoints
+// are not gated: a request that does arrive is answered from the last
+// published pipelines regardless.
+func (s *Service) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports the current readiness gate.
+func (s *Service) Ready() bool { return s.ready.Load() }
+
+// ReadyPipeline is one serving slot in the /readyz payload.
+type ReadyPipeline struct {
+	Source string `json:"source"`
+	Target string `json:"target"`
+	// Epoch counts hot swaps of the slot; 0 means the launch fit is
+	// still serving (no refit has published here yet).
+	Epoch uint64 `json:"epoch"`
+}
+
+// IngestReady is the ingest half of the /readyz payload: the refit
+// loop's supervision snapshot plus the age of its last successful pass.
+// Present only when the attached Ingestor exposes a Status method
+// (*core.Refitter does).
+type IngestReady struct {
+	core.RefitterStatus
+	// LastRefitAgeMS is how long ago the last successful non-empty
+	// refit pass completed (0 until one has).
+	LastRefitAgeMS int64 `json:"last_refit_age_ms,omitempty"`
+}
+
+// ReadyState is the JSON body of GET /readyz.
+type ReadyState struct {
+	// Status is "ok" when the replica should receive traffic,
+	// "not_ready" otherwise (the response is then a 503).
+	Status    string          `json:"status"`
+	Pipelines []ReadyPipeline `json:"pipelines"`
+	Ingest    *IngestReady    `json:"ingest,omitempty"`
+}
+
+// ReadyState reports the readiness gate, every serving slot, and — when
+// an Ingestor with a Status method is attached — the refit loop's
+// supervision state.
+func (s *Service) ReadyState() ReadyState {
+	st := ReadyState{Status: "ok"}
+	if !s.ready.Load() {
+		st.Status = "not_ready"
+	}
+	for i := range s.pipes {
+		ps := s.pipes[i].Load()
+		st.Pipelines = append(st.Pipelines, ReadyPipeline{
+			Source: s.ds.DomainName(ps.p.Source()),
+			Target: s.ds.DomainName(ps.p.Target()),
+			Epoch:  ps.epoch,
+		})
+	}
+	if ptr := s.ingest.Load(); ptr != nil {
+		if sp, ok := (*ptr).(interface{ Status() core.RefitterStatus }); ok {
+			ing := &IngestReady{RefitterStatus: sp.Status()}
+			if !ing.LastRefit.IsZero() {
+				ing.LastRefitAgeMS = time.Since(ing.LastRefit).Milliseconds()
+			}
+			st.Ingest = ing
+		}
+	}
+	return st
+}
+
+func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
+	st := s.ReadyState()
+	code := http.StatusOK
+	if st.Status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, st)
+}

@@ -1,0 +1,99 @@
+package serve_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"xmap/internal/core"
+	"xmap/internal/ratings"
+	"xmap/internal/serve"
+)
+
+// A fresh service is not ready: /readyz answers 503 not_ready (while
+// /healthz stays 200 — liveness and readiness are different questions)
+// until the owner flips the gate, and clears again on SetReady(false).
+func TestReadyzGate(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	if body := getJSON(t, ts, "/healthz", http.StatusOK); body["status"] != "ok" {
+		t.Fatalf("/healthz = %v", body)
+	}
+	body := getJSON(t, ts, "/readyz", http.StatusServiceUnavailable)
+	if body["status"] != "not_ready" {
+		t.Fatalf("status = %v, want not_ready", body["status"])
+	}
+	pipes, ok := body["pipelines"].([]any)
+	if !ok || len(pipes) != 2 {
+		t.Fatalf("pipelines = %v, want both slots listed", body["pipelines"])
+	}
+	if _, ok := body["ingest"]; ok {
+		t.Fatal("ingest block present without a status-capable ingestor")
+	}
+
+	svc.SetReady(true)
+	if !svc.Ready() {
+		t.Fatal("Ready() = false after SetReady(true)")
+	}
+	if body := getJSON(t, ts, "/readyz", http.StatusOK); body["status"] != "ok" {
+		t.Fatalf("ready status = %v", body["status"])
+	}
+
+	// Draining flips it back.
+	svc.SetReady(false)
+	getJSON(t, ts, "/readyz", http.StatusServiceUnavailable)
+}
+
+// With a Refitter attached, /readyz surfaces the supervision snapshot:
+// queue depth, failure counters, quarantine counts, last-refit age.
+func TestReadyzReportsIngest(t *testing.T) {
+	az, fwd, _ := fixture(t)
+	svc, err := serve.New(az.DS, []*core.Pipeline{fwd}, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.NewRefitter(az.DS, []*core.Pipeline{fwd}, svc, core.RefitterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.SetIngestor(r)
+	svc.SetReady(true)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	if _, err := r.Enqueue([]ratings.Rating{{User: 0, Item: 0, Value: 4, Time: 1 << 40}}); err != nil {
+		t.Fatal(err)
+	}
+	body := getJSON(t, ts, "/readyz", http.StatusOK)
+	ing, ok := body["ingest"].(map[string]any)
+	if !ok {
+		t.Fatalf("no ingest block: %v", body)
+	}
+	if ing["queue_depth"] != float64(1) {
+		t.Fatalf("queue_depth = %v, want 1", ing["queue_depth"])
+	}
+	if ing["consecutive_failures"] != float64(0) {
+		t.Fatalf("consecutive_failures = %v", ing["consecutive_failures"])
+	}
+
+	if _, err := r.Refit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	body = getJSON(t, ts, "/readyz", http.StatusOK)
+	ing = body["ingest"].(map[string]any)
+	if ing["queue_depth"] != float64(0) {
+		t.Fatalf("queue_depth after refit = %v", ing["queue_depth"])
+	}
+	if ts, _ := ing["last_refit"].(string); strings.HasPrefix(ts, "0001-") || ts == "" {
+		t.Fatalf("last_refit not stamped: %v", ing["last_refit"])
+	}
+	// The published slot's epoch advanced past the launch fit.
+	pipes := body["pipelines"].([]any)
+	if ep := pipes[0].(map[string]any)["epoch"]; ep != float64(1) {
+		t.Fatalf("epoch = %v after one publish", ep)
+	}
+}

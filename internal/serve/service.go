@@ -5,8 +5,30 @@
 // (x-map.work). cmd/xmap-server is a thin flag-parsing shell over this
 // package; tests drive the same handlers through httptest.
 //
-// See README.md in this directory for the cache-key scheme and the
-// invalidation rules.
+// # Failure semantics
+//
+// Any single failure in the serve→ingest→refit loop degrades to stale
+// lists, never to lost ratings or 500s:
+//
+//   - Durability: with a write-ahead log attached
+//     (core.RefitterOptions.Log), an ingested batch is appended to disk
+//     before it is acked; a failed append rejects the batch with a
+//     retryable 503. Startup replays the full log, and the idempotent
+//     merge makes crash-restart converge bit-identically.
+//   - Supervision: refit panics (including parallel fit-worker panics)
+//     are recovered into errors, the delta is re-queued, retries back
+//     off exponentially, and a repeatedly failing delta is quarantined
+//     to a dead-letter file instead of wedging the loop. Serving rides
+//     the last good pipelines through every refit failure.
+//   - Readiness: GET /healthz is liveness; GET /readyz answers 503
+//     not_ready until SetReady(true) and reports the pipeline roster
+//     plus the ingest supervision snapshot (core.RefitterStatus).
+//   - Status mapping: every sentinel has a distinct (status, code) in
+//     HTTPStatus, load shedding answers 429 regardless of wrap order,
+//     and nothing the layer returns deliberately is a 500.
+//
+// See README.md in this directory ("Failure semantics") for the full
+// contract, plus the cache-key scheme and the invalidation rules.
 package serve
 
 import (
@@ -114,6 +136,10 @@ type Service struct {
 	// until a Refitter is wired in. Atomic because the server attaches it
 	// after New, potentially with traffic already flowing.
 	ingest atomic.Pointer[Ingestor]
+
+	// ready is the /readyz gate (SetReady): false until the owning
+	// process finishes startup recovery, false again while draining.
+	ready atomic.Bool
 
 	// pairSlot routes (source, target) domain pairs to slots — the
 	// canonical request-facing identity of a pipeline. SwapPipeline

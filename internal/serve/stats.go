@@ -16,12 +16,13 @@ const (
 	epV2Recommend
 	epV2Pipelines
 	epV2Ratings
+	epReady
 	numEndpoints
 )
 
 var endpointNames = [numEndpoints]string{
 	"items", "recommend", "user", "explain", "health", "stats", "home",
-	"v2_recommend", "v2_pipelines", "v2_ratings",
+	"v2_recommend", "v2_pipelines", "v2_ratings", "readyz",
 }
 
 // counters is the service's mutable observability state; everything is

@@ -4,6 +4,7 @@ import (
 	"slices"
 
 	"xmap/internal/engine"
+	"xmap/internal/faultinject"
 	"xmap/internal/ratings"
 	"xmap/internal/scratch"
 )
@@ -105,6 +106,12 @@ func (p *Pairs) UpdateRowsChanged(ds *ratings.Dataset, touched []ratings.UserID,
 	bounds := balanceRows(cost, w)
 	rows := make([][]Edge, len(its))
 	engine.ParallelForEach(len(bounds)-1, w, func(wk int) {
+		// Chaos hook: a worker has no error channel, so an injected fault
+		// is raised as a panic — engine.ParallelForEach re-raises it on
+		// the caller, where the refit supervisor recovers it.
+		if err := faultinject.At(faultinject.SiteFitWorker); err != nil {
+			panic(err)
+		}
 		lo, hi := bounds[wk], bounds[wk+1]
 		if lo >= hi {
 			return

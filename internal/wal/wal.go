@@ -1,0 +1,406 @@
+// Package wal is the durability layer of the streaming-ingest loop: an
+// append-only, length-prefixed, CRC-checked log of accepted rating
+// batches. The serving layer appends a batch before acking it (via
+// core.Refitter.Enqueue, whose DurableLog the Log satisfies), the
+// Refitter checkpoints the applied offset after every published refit,
+// and a restarting server replays the surviving records to converge on
+// the exact dataset an uncrashed run would hold.
+//
+// # Format
+//
+// The file starts with an 8-byte magic. Each record is one appended
+// batch:
+//
+//	[uint32 payload length][uint32 CRC-32 (IEEE) of payload][payload]
+//
+// with the payload a sequence of fixed 24-byte ratings (user, item,
+// value bits, time — all little-endian). A record becomes durable as a
+// unit: Append acks only after the whole record reaches the OS, so a
+// crash mid-write leaves a torn tail that Open detects (short record or
+// CRC mismatch) and truncates away. Torn bytes can only belong to a
+// batch that was never acked, which is what makes truncation safe.
+//
+// # Durability contract
+//
+// Append issues one write(2) per batch: the record survives a process
+// crash (kill -9) as soon as Append returns. Surviving power loss
+// additionally needs fsync — Sync is called by Checkpoint and Close, on
+// every append when Options.SyncEachAppend is set, and may be called by
+// the owner on any schedule in between. The checkpoint offset is written
+// to a sidecar file via write-temp-then-rename, after syncing the log,
+// so it can never point past durable data.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync"
+
+	"xmap/internal/faultinject"
+	"xmap/internal/ratings"
+)
+
+const (
+	magic      = "XWALRAT1"
+	headerLen  = int64(len(magic))
+	recHdrLen  = 8  // uint32 length + uint32 crc
+	ratingLen  = 24 // uint32 user + uint32 item + uint64 value bits + int64 time
+	ckptMagic  = "XWALCKP1"
+	ckptLen    = int64(len(ckptMagic)) + 8 + 4 // magic + uint64 offset + crc of offset
+	ckptSuffix = ".ckpt"
+)
+
+// maxRecord bounds a single record's payload (≈ 2.7M ratings) so a
+// corrupt length prefix cannot drive a huge allocation during replay.
+const maxRecord = 1 << 26
+
+// ErrCorrupt marks a structurally invalid record encountered mid-log
+// (not at the tail, where truncation repairs it silently).
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Options configures an opened log.
+type Options struct {
+	// SyncEachAppend fsyncs after every appended batch, extending the
+	// durability guarantee from process crashes to power loss at the
+	// cost of a disk flush per ack. Off by default: the group-commit
+	// fsync on Checkpoint bounds the power-loss window to one refit
+	// cycle, which is the intended production trade.
+	SyncEachAppend bool
+}
+
+// Stats is a point-in-time snapshot of the log, for /readyz and tests.
+type Stats struct {
+	// Records is the number of intact batch records in the file.
+	Records int `json:"records"`
+	// Ratings is the number of ratings across those records.
+	Ratings int `json:"ratings"`
+	// End is the append offset (file size in good bytes).
+	End int64 `json:"end"`
+	// Checkpointed is the offset the refit loop has durably applied
+	// through; End - Checkpointed is the replay the next restart pays.
+	Checkpointed int64 `json:"checkpointed"`
+	// TornBytes is how many trailing bytes Open discarded as a torn
+	// (partially written) record. Zero after a clean shutdown.
+	TornBytes int64 `json:"torn_bytes"`
+}
+
+// Log is an open write-ahead rating log. All methods are safe for
+// concurrent use; appends are serialized internally.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	opt  Options
+
+	end     int64 // append offset: header + all intact records
+	ckpt    int64 // durably recorded applied-through offset
+	records int
+	nrating int
+	torn    int64
+	buf     []byte // reused append encoding buffer
+}
+
+// Open opens (creating if absent) the log at path, validates every
+// record, truncates a torn tail, and loads the checkpoint sidecar. The
+// returned log is positioned to append.
+func Open(path string, opt Options) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l := &Log{f: f, path: path, opt: opt}
+	if err := l.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.ckpt = readCheckpoint(path + ckptSuffix)
+	if l.ckpt > l.end || l.ckpt < headerLen {
+		// A checkpoint past the data (the log was truncated or replaced
+		// underneath it) or from before the header is meaningless;
+		// replay everything rather than skip acked records.
+		l.ckpt = headerLen
+	}
+	return l, nil
+}
+
+// recover scans the file, writing the header into an empty file,
+// validating record CRCs, and truncating at the first torn record.
+func (l *Log) recover() error {
+	size, err := l.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return fmt.Errorf("wal: seek %s: %w", l.path, err)
+	}
+	if size == 0 {
+		if _, err := l.f.WriteAt([]byte(magic), 0); err != nil {
+			return fmt.Errorf("wal: write header %s: %w", l.path, err)
+		}
+		l.end = headerLen
+		return nil
+	}
+	hdr := make([]byte, headerLen)
+	if _, err := l.f.ReadAt(hdr, 0); err != nil || string(hdr) != magic {
+		return fmt.Errorf("wal: %s is not a rating log (bad magic)", l.path)
+	}
+	off := headerLen
+	var rec [recHdrLen]byte
+	var payload []byte
+	for off < size {
+		n, ratings, ok := readRecord(l.f, off, size, rec[:], &payload)
+		if !ok {
+			break // torn tail: truncate to off
+		}
+		l.records++
+		l.nrating += ratings
+		off += n
+	}
+	if off < size {
+		l.torn = size - off
+		if err := l.f.Truncate(off); err != nil {
+			return fmt.Errorf("wal: truncate torn tail of %s: %w", l.path, err)
+		}
+	}
+	l.end = off
+	return nil
+}
+
+// readRecord validates the record at off, returning its total length and
+// rating count. ok=false means the bytes at off do not form an intact
+// record (short, bad length, or CRC mismatch).
+func readRecord(r io.ReaderAt, off, size int64, hdr []byte, payload *[]byte) (n int64, nratings int, ok bool) {
+	if off+recHdrLen > size {
+		return 0, 0, false
+	}
+	if _, err := r.ReadAt(hdr, off); err != nil {
+		return 0, 0, false
+	}
+	plen := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+	crc := binary.LittleEndian.Uint32(hdr[4:8])
+	if plen == 0 || plen%ratingLen != 0 || plen > maxRecord || off+recHdrLen+plen > size {
+		return 0, 0, false
+	}
+	if int64(cap(*payload)) < plen {
+		*payload = make([]byte, plen)
+	}
+	p := (*payload)[:plen]
+	if _, err := r.ReadAt(p, off+recHdrLen); err != nil {
+		return 0, 0, false
+	}
+	if crc32.ChecksumIEEE(p) != crc {
+		return 0, 0, false
+	}
+	return recHdrLen + plen, int(plen / ratingLen), true
+}
+
+// Append durably logs one batch of ratings and returns the log offset
+// just past the record — the value to hand to Checkpoint once every
+// rating in the batch (and all before it) has been applied. An empty
+// batch is a no-op returning the current end. The record reaches the OS
+// before Append returns; see the package comment for what that does and
+// does not guarantee.
+func (l *Log) Append(rs []ratings.Rating) (end int64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := faultinject.At(faultinject.SiteWALAppend); err != nil {
+		return l.end, fmt.Errorf("wal: append: %w", err)
+	}
+	if len(rs) == 0 {
+		return l.end, nil
+	}
+	plen := len(rs) * ratingLen
+	need := recHdrLen + plen
+	if cap(l.buf) < need {
+		l.buf = make([]byte, need)
+	}
+	buf := l.buf[:need]
+	p := buf[recHdrLen:]
+	for i, r := range rs {
+		o := i * ratingLen
+		binary.LittleEndian.PutUint32(p[o:], uint32(r.User))
+		binary.LittleEndian.PutUint32(p[o+4:], uint32(r.Item))
+		binary.LittleEndian.PutUint64(p[o+8:], math.Float64bits(r.Value))
+		binary.LittleEndian.PutUint64(p[o+16:], uint64(r.Time))
+	}
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(plen))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(p))
+	if _, err := l.f.WriteAt(buf, l.end); err != nil {
+		// Leave l.end where it was: a partial record past end is exactly
+		// the torn tail Open knows how to discard.
+		return l.end, fmt.Errorf("wal: append %s: %w", l.path, err)
+	}
+	l.end += int64(need)
+	l.records++
+	l.nrating += len(rs)
+	if l.opt.SyncEachAppend {
+		if err := l.syncLocked(); err != nil {
+			return l.end, err
+		}
+	}
+	return l.end, nil
+}
+
+// Sync flushes appended records to stable storage (power-loss
+// durability; see the package comment).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if err := faultinject.At(faultinject.SiteWALSync); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync %s: %w", l.path, err)
+	}
+	return nil
+}
+
+// Checkpoint durably records that every rating before end has been
+// applied (merged into the dataset backing the published pipelines), so
+// a restart may replay only the records at and after it. The log is
+// synced first — the checkpoint must never claim more than the disk
+// holds — and the offset is written to the sidecar via
+// write-temp-then-rename so a crash mid-checkpoint leaves the previous
+// one intact.
+func (l *Log) Checkpoint(end int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if end < headerLen || end > l.end {
+		return fmt.Errorf("wal: checkpoint offset %d outside log [%d, %d]", end, headerLen, l.end)
+	}
+	if end == l.ckpt {
+		return nil
+	}
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	buf := make([]byte, ckptLen)
+	copy(buf, ckptMagic)
+	binary.LittleEndian.PutUint64(buf[len(ckptMagic):], uint64(end))
+	binary.LittleEndian.PutUint32(buf[len(ckptMagic)+8:], crc32.ChecksumIEEE(buf[len(ckptMagic):len(ckptMagic)+8]))
+	tmp := l.path + ckptSuffix + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("wal: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, l.path+ckptSuffix); err != nil {
+		return fmt.Errorf("wal: install checkpoint: %w", err)
+	}
+	l.ckpt = end
+	return nil
+}
+
+// readCheckpoint loads the sidecar, returning 0 when it is absent or
+// fails validation (the caller clamps 0 to the header, i.e. full replay
+// — the safe direction: never skip acked records).
+func readCheckpoint(path string) int64 {
+	buf, err := os.ReadFile(path)
+	if err != nil || int64(len(buf)) != ckptLen || string(buf[:len(ckptMagic)]) != ckptMagic {
+		return 0
+	}
+	off := binary.LittleEndian.Uint64(buf[len(ckptMagic):])
+	crc := binary.LittleEndian.Uint32(buf[len(ckptMagic)+8:])
+	if crc32.ChecksumIEEE(buf[len(ckptMagic):len(ckptMagic)+8]) != crc {
+		return 0
+	}
+	return int64(off)
+}
+
+// Checkpointed returns the applied-through offset loaded at Open or set
+// by the last successful Checkpoint.
+func (l *Log) Checkpointed() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ckpt
+}
+
+// End returns the current append offset.
+func (l *Log) End() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.end
+}
+
+// Start returns the offset of the first record — the lowest valid
+// replay position and Checkpoint argument.
+func (l *Log) Start() int64 { return headerLen }
+
+// Stats snapshots the log for observability.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Records:      l.records,
+		Ratings:      l.nrating,
+		End:          l.end,
+		Checkpointed: l.ckpt,
+		TornBytes:    l.torn,
+	}
+}
+
+// Replay streams every intact record at or after offset from (clamped
+// to the first record), calling fn with the batch and the offset just
+// past it — the same value Append returned for that batch. A corrupt
+// record strictly before the append offset aborts with ErrCorrupt;
+// the torn-tail case cannot occur here because Open already truncated
+// it. fn returning an error aborts the replay with that error.
+func (l *Log) Replay(from int64, fn func(rs []ratings.Rating, end int64) error) error {
+	l.mu.Lock()
+	end := l.end
+	l.mu.Unlock()
+	if from < headerLen {
+		from = headerLen
+	}
+	off := from
+	hdr := make([]byte, recHdrLen)
+	var payload []byte
+	for off < end {
+		n, nr, ok := readRecord(l.f, off, end, hdr, &payload)
+		if !ok {
+			return fmt.Errorf("%w at offset %d of %s", ErrCorrupt, off, l.path)
+		}
+		rs := make([]ratings.Rating, nr)
+		p := payload[:n-recHdrLen]
+		for i := range rs {
+			o := i * ratingLen
+			rs[i] = ratings.Rating{
+				User:  ratings.UserID(binary.LittleEndian.Uint32(p[o:])),
+				Item:  ratings.ItemID(binary.LittleEndian.Uint32(p[o+4:])),
+				Value: math.Float64frombits(binary.LittleEndian.Uint64(p[o+8:])),
+				Time:  int64(binary.LittleEndian.Uint64(p[o+16:])),
+			}
+		}
+		off += n
+		if err := fn(rs, off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReplayTail collects every rating at or after the checkpoint — the
+// restart path's one-call replay.
+func (l *Log) ReplayTail() ([]ratings.Rating, error) {
+	var out []ratings.Rating
+	err := l.Replay(l.Checkpointed(), func(rs []ratings.Rating, _ int64) error {
+		out = append(out, rs...)
+		return nil
+	})
+	return out, err
+}
+
+// Close syncs and closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: sync on close %s: %w", l.path, err)
+	}
+	return l.f.Close()
+}

@@ -1,0 +1,342 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xmap/internal/faultinject"
+	"xmap/internal/ratings"
+)
+
+func tmpLog(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "ratings.wal")
+}
+
+func batch(n int, base int) []ratings.Rating {
+	rs := make([]ratings.Rating, n)
+	for i := range rs {
+		rs[i] = ratings.Rating{
+			User:  ratings.UserID(base + i),
+			Item:  ratings.ItemID(100 + base + i),
+			Value: 0.5 + float64(i),
+			Time:  int64(1000 + base + i),
+		}
+	}
+	return rs
+}
+
+func ratingsEqual(a, b []ratings.Rating) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2 := batch(3, 0), batch(5, 10)
+	end1, err := l.Append(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end2, err := l.Append(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end2 <= end1 || end1 <= l.Start() {
+		t.Fatalf("offsets not increasing: start=%d end1=%d end2=%d", l.Start(), end1, end2)
+	}
+	var got [][]ratings.Rating
+	var ends []int64
+	if err := l.Replay(0, func(rs []ratings.Rating, end int64) error {
+		got = append(got, append([]ratings.Rating(nil), rs...))
+		ends = append(ends, end)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !ratingsEqual(got[0], b1) || !ratingsEqual(got[1], b2) {
+		t.Fatalf("replay mismatch: got %v", got)
+	}
+	if ends[0] != end1 || ends[1] != end2 {
+		t.Fatalf("replay ends = %v, want [%d %d]", ends, end1, end2)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: same records, same end, nothing torn.
+	l2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	st := l2.Stats()
+	if st.Records != 2 || st.Ratings != 8 || st.End != end2 || st.TornBytes != 0 {
+		t.Fatalf("reopened stats = %+v", st)
+	}
+	tail, err := l2.ReplayTail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratingsEqual(tail, append(append([]ratings.Rating(nil), b1...), b2...)) {
+		t.Fatalf("tail mismatch: %v", tail)
+	}
+}
+
+func TestEmptyAppendIsNoOp(t *testing.T) {
+	l, err := Open(tmpLog(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	end, err := l.Append(nil)
+	if err != nil || end != l.Start() {
+		t.Fatalf("empty append: end=%d err=%v", end, err)
+	}
+	if st := l.Stats(); st.Records != 0 {
+		t.Fatalf("records = %d after empty append", st.Records)
+	}
+}
+
+// TestTornTailTruncated simulates a crash mid-write: a record whose
+// bytes only partially reached the file must be discarded on reopen,
+// and the log must keep accepting appends at the repaired offset.
+func TestTornTailTruncated(t *testing.T) {
+	for _, cut := range []string{"header", "payload", "crc"} {
+		t.Run(cut, func(t *testing.T) {
+			path := tmpLog(t)
+			l, err := Open(path, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			good := batch(4, 0)
+			end, err := l.Append(good)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := l.Append(batch(6, 20)); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Tear the second record three ways: keep only part of its
+			// header, cut mid-payload, or flip a payload byte (CRC
+			// mismatch with intact length).
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch cut {
+			case "header":
+				if err := os.Truncate(path, end+4); err != nil {
+					t.Fatal(err)
+				}
+			case "payload":
+				if err := os.Truncate(path, fi.Size()-10); err != nil {
+					t.Fatal(err)
+				}
+			case "crc":
+				f, err := os.OpenFile(path, os.O_RDWR, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.WriteAt([]byte{0xFF}, end+recHdrLen+3); err != nil {
+					t.Fatal(err)
+				}
+				f.Close()
+			}
+
+			l2, err := Open(path, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l2.Close()
+			st := l2.Stats()
+			if st.Records != 1 || st.End != end || st.TornBytes == 0 {
+				t.Fatalf("after tear %q: stats = %+v, want 1 record ending at %d", cut, st, end)
+			}
+			tail, err := l2.ReplayTail()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ratingsEqual(tail, good) {
+				t.Fatalf("after tear %q: tail = %v, want the intact batch", cut, tail)
+			}
+			// The repaired log accepts appends again.
+			if _, err := l2.Append(batch(2, 50)); err != nil {
+				t.Fatal(err)
+			}
+			if st := l2.Stats(); st.Records != 2 {
+				t.Fatalf("append after repair: stats = %+v", st)
+			}
+		})
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	end1, _ := l.Append(batch(3, 0))
+	end2, _ := l.Append(batch(3, 10))
+	if err := l.Checkpoint(end1); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Checkpointed(); got != end1 {
+		t.Fatalf("Checkpointed = %d, want %d", got, end1)
+	}
+	// Out-of-range checkpoints are rejected.
+	if err := l.Checkpoint(end2 + 1); err == nil {
+		t.Fatal("checkpoint past end accepted")
+	}
+	if err := l.Checkpoint(0); err == nil {
+		t.Fatal("checkpoint before header accepted")
+	}
+	l.Close()
+
+	l2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.Checkpointed(); got != end1 {
+		t.Fatalf("reopened Checkpointed = %d, want %d", got, end1)
+	}
+	tail, err := l2.ReplayTail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratingsEqual(tail, batch(3, 10)) {
+		t.Fatalf("tail after checkpoint = %v, want only the second batch", tail)
+	}
+}
+
+// TestCheckpointSurvivesTornSidecar: a half-written checkpoint file must
+// fall back to full replay, never skip acked records.
+func TestCheckpointSurvivesTornSidecar(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	end1, _ := l.Append(batch(3, 0))
+	if err := l.Checkpoint(end1); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Corrupt the sidecar.
+	if err := os.Truncate(path+ckptSuffix, 5); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.Checkpointed(); got != l2.Start() {
+		t.Fatalf("corrupt sidecar: Checkpointed = %d, want full replay from %d", got, l2.Start())
+	}
+	tail, err := l2.ReplayTail()
+	if err != nil || len(tail) != 3 {
+		t.Fatalf("tail = %v (%v), want all 3 ratings", tail, err)
+	}
+}
+
+// TestCheckpointClampedToTruncatedLog: if the log lost records (torn
+// tail) the checkpoint may point past the surviving data; replay must
+// restart from the log head rather than trust it.
+func TestCheckpointClampedToTruncatedLog(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(batch(3, 0))
+	end2, _ := l.Append(batch(3, 10))
+	if err := l.Checkpoint(end2); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if err := os.Truncate(path, end2-5); err != nil { // tear the checkpointed record itself
+		t.Fatal(err)
+	}
+	l2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.Checkpointed(); got != l2.Start() {
+		t.Fatalf("checkpoint past data: Checkpointed = %d, want %d", got, l2.Start())
+	}
+}
+
+func TestAppendFaultInjection(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	l, err := Open(tmpLog(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	injected := errors.New("disk on fire")
+	disarm := faultinject.Arm(faultinject.SiteWALAppend, func() error { return injected })
+	if _, err := l.Append(batch(1, 0)); !errors.Is(err, injected) {
+		t.Fatalf("Append = %v, want injected fault", err)
+	}
+	disarm()
+	if _, err := l.Append(batch(1, 0)); err != nil {
+		t.Fatalf("Append after disarm: %v", err)
+	}
+	if st := l.Stats(); st.Records != 1 {
+		t.Fatalf("injected failure must not write: stats = %+v", st)
+	}
+}
+
+func TestSyncEachAppend(t *testing.T) {
+	l, err := Open(tmpLog(t), Options{SyncEachAppend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(batch(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faultinject.Reset)
+	injected := errors.New("fsync failed")
+	faultinject.Arm(faultinject.SiteWALSync, func() error { return injected })
+	if _, err := l.Append(batch(2, 10)); !errors.Is(err, injected) {
+		t.Fatalf("Append with failing sync = %v, want injected fault", err)
+	}
+}
+
+func BenchmarkAppend64(b *testing.B) {
+	l, err := Open(filepath.Join(b.TempDir(), "bench.wal"), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	rs := batch(64, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(rs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
