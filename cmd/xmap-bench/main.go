@@ -11,15 +11,18 @@
 //	xmap-bench -scale small -json BENCH.json
 //
 // Experiments: fig1b fig5 fig6 fig7 fig8 fig9 fig10 tab2 tab3 fig11
-// dsbuild dsappend loadgen ingestwal all (dsbuild is the dataset-store
-// micro series: Builder.Build and Dataset.Filter measured with
-// testing.Benchmark; dsappend is the incremental-refit series: a ~1%
-// launch-cohort append folded in by core.FitDelta vs a full core.Fit
-// rebuild; loadgen is the closed-loop macro series: the traffic
-// simulator's sustained req/s and latency percentiles over the full
-// HTTP serve→consume→ingest→refit loop; ingestwal is the durability
-// series: Service.Ingest of 64-entry batches with and without a
-// write-ahead log, gating the WAL's ack-path overhead).
+// dsbuild dsappend coldstart loadgen ingestwal all (dsbuild is the
+// dataset-store micro series: Builder.Build and Dataset.Filter measured
+// with testing.Benchmark; dsappend is the incremental-refit series: a
+// ~1% launch-cohort append folded in by core.FitDelta vs a full
+// core.Fit rebuild; coldstart is the artifact-store series: time to a
+// query-ready pipeline via CSV-parse+table-load+fit versus an mmap'd
+// pipeline bundle, plus the mapped load's allocation count; loadgen is
+// the closed-loop macro series: the traffic simulator's sustained req/s
+// and latency percentiles over the full HTTP serve→consume→ingest→refit
+// loop; ingestwal is the durability series: Service.Ingest of 64-entry
+// batches with and without a write-ahead log, gating the WAL's ack-path
+// overhead).
 //
 // With -json, a machine-readable summary — per-experiment wall-clock
 // seconds plus headline quality metrics — is written to the given path so
@@ -49,6 +52,7 @@ import (
 	"xmap/internal/ratings"
 	"xmap/internal/serve"
 	"xmap/internal/wal"
+	"xmap/internal/xsim"
 )
 
 // jsonRecord is one experiment's machine-readable result.
@@ -106,6 +110,13 @@ func headlineMetrics(r fmt.Stringer) map[string]float64 {
 			"full_refit_ns_op":   v.FullNsOp,
 			"append_refit_ns_op": v.AppendNsOp,
 			"refit_speedup":      v.Speedup,
+		}
+	case coldStartResult:
+		return map[string]float64{
+			"coldstart_parse_ns":      v.ParseNsOp,
+			"coldstart_mmap_ns":       v.MmapNsOp,
+			"coldstart_speedup":       v.Speedup,
+			"artifact_load_allocs_op": v.AllocsOp,
 		}
 	case loadgenResult:
 		return map[string]float64{
@@ -359,6 +370,135 @@ func datasetBuildBench() fmt.Stringer {
 	}
 }
 
+// coldStartResult carries the artifact-store series: the time from
+// process start to a query-ready pipeline, the legacy way (parse the
+// CSV trace, load the X-Sim table, rerun the baseline fit) versus the
+// bundle way (core.LoadPipeline over mmap'd artifacts, zero fit work).
+// Both ns series land in BENCH.json under the CI cost gate; the allocs
+// series pins the zero-copy claim — mapped loads must not scale
+// allocations with dataset size. The acceptance floor for Speedup is
+// 20×.
+type coldStartResult struct {
+	ParseNsOp float64
+	MmapNsOp  float64
+	Speedup   float64
+	AllocsOp  float64
+	Ratings   int
+}
+
+func (r coldStartResult) String() string {
+	return fmt.Sprintf("ColdStart: parse+fit %.1fms | mmap bundle %.3fms | speedup %.0f× | %.0f allocs/op (%d ratings)",
+		r.ParseNsOp/1e6, r.MmapNsOp/1e6, r.Speedup, r.AllocsOp, r.Ratings)
+}
+
+// coldStartBench builds the launch-cohort fixture, persists it both
+// ways — CSV trace + X-Sim table artifact, and a full pipeline bundle —
+// then measures the two cold-start paths with testing.Benchmark. The
+// fixture is canonicalized through one CSV round-trip first so both
+// paths resolve identical domain IDs (the server's CSV path fits
+// domains 0→1); the bundle load is checked once against the fitted
+// original for served-list equality before any timing, so the series
+// can never report a fast-but-wrong load.
+func coldStartBench() fmt.Stringer {
+	cfg := dataset.DefaultAmazonConfig()
+	cfg.Seed = 7
+	cfg.MovieUsers, cfg.BookUsers, cfg.OverlapUsers = 600, 640, 180
+	cfg.Movies, cfg.Books = 300, 380
+	cfg.RatingsPerUser = 30
+	az, _ := dataset.AmazonLikeLaunch(cfg, dataset.LaunchConfig{
+		Users: 24, Movies: 12, Books: 12, RatingsPerDomain: 10,
+	})
+	var csvBuf bytes.Buffer
+	if err := dataset.SaveCSV(&csvBuf, az.DS); err != nil {
+		panic(err)
+	}
+	ds, err := dataset.LoadCSV(bytes.NewReader(csvBuf.Bytes()))
+	if err != nil {
+		panic(err)
+	}
+	fcfg := core.DefaultConfig()
+	p := core.Fit(ds, 0, 1, fcfg)
+
+	dir, err := os.MkdirTemp("", "xmap-coldstart")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	csvPath := filepath.Join(dir, "trace.csv")
+	if err := os.WriteFile(csvPath, csvBuf.Bytes(), 0o644); err != nil {
+		panic(err)
+	}
+	tblPath := filepath.Join(dir, "table.xart")
+	if err := p.Table().SaveFile(tblPath); err != nil {
+		panic(err)
+	}
+	bundleDir := filepath.Join(dir, "bundle")
+	if err := core.SavePipeline(bundleDir, []*core.Pipeline{p}, core.SaveInfo{Epoch: 1}); err != nil {
+		panic(err)
+	}
+
+	// Correctness gate before any timing: the mapped bundle must serve
+	// the same lists as the pipeline it persisted.
+	check, err := core.LoadPipeline(bundleDir, core.LoadOptions{Mapped: true})
+	if err != nil {
+		panic(err)
+	}
+	for u := 0; u < ds.NumUsers(); u += 97 {
+		a := p.RecommendForUser(ratings.UserID(u), 10)
+		b := check.Pipelines[0].RecommendForUser(ratings.UserID(u), 10)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			panic(fmt.Sprintf("coldstart: mapped bundle diverges for user %d", u))
+		}
+	}
+	check.Close()
+
+	parse := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f, err := os.Open(csvPath)
+			if err != nil {
+				panic(err)
+			}
+			d, err := dataset.LoadCSV(f)
+			f.Close()
+			if err != nil {
+				panic(err)
+			}
+			tf, err := os.Open(tblPath)
+			if err != nil {
+				panic(err)
+			}
+			tbl, err := xsim.LoadTable(tf, d)
+			tf.Close()
+			if err != nil {
+				panic(err)
+			}
+			core.FitWithTable(d, 0, 1, fcfg, tbl)
+		}
+	})
+	mapped := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bnd, err := core.LoadPipeline(bundleDir, core.LoadOptions{Mapped: true})
+			if err != nil {
+				panic(err)
+			}
+			b.StopTimer()
+			bnd.Close()
+			b.StartTimer()
+		}
+	})
+	res := coldStartResult{
+		ParseNsOp: float64(parse.NsPerOp()),
+		MmapNsOp:  float64(mapped.NsPerOp()),
+		AllocsOp:  float64(mapped.AllocsPerOp()),
+		Ratings:   ds.NumRatings(),
+	}
+	if res.MmapNsOp > 0 {
+		res.Speedup = res.ParseNsOp / res.MmapNsOp
+	}
+	return res
+}
+
 // dsAppendResult carries the incremental-refit series: the same ~1%
 // launch-cohort delta (dataset.AmazonLikeLaunch) folded into a fitted
 // pipeline either by a full core.Fit over the merged trace or by the
@@ -423,7 +563,7 @@ func datasetAppendBench() fmt.Stringer {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (fig1b, fig5..fig11, tab2, tab3, dsbuild, dsappend, loadgen, all)")
+		experiment = flag.String("experiment", "all", "experiment id (fig1b, fig5..fig11, tab2, tab3, dsbuild, dsappend, coldstart, loadgen, all)")
 		scaleName  = flag.String("scale", "default", "workload scale: small or default")
 		seed       = flag.Int64("seed", 0, "override the scale's RNG seed (0 = keep)")
 		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
@@ -464,6 +604,7 @@ func main() {
 		{"fig11", func() fmt.Stringer { return experiments.Figure11(sc, *measure) }},
 		{"dsbuild", func() fmt.Stringer { return datasetBuildBench() }},
 		{"dsappend", func() fmt.Stringer { return datasetAppendBench() }},
+		{"coldstart", func() fmt.Stringer { return coldStartBench() }},
 		{"loadgen", func() fmt.Stringer { return loadgenBench(sc.Seed) }},
 		{"ingestwal", func() fmt.Stringer { return ingestWALBench() }},
 	}

@@ -1,16 +1,23 @@
 // Command xmap-cli is the batch interface to X-Map: fit a pipeline from a
-// CSV trace, persist the fitted X-Sim table, and serve one-off queries —
+// trace, persist the fitted structures, and serve one-off queries —
 // the offline/online split of §5.4 without the HTTP server.
 //
 // Usage:
 //
-//	xmap-cli fit -data trace.csv -table xsim.gob [-k 50]
-//	xmap-cli recommend -data trace.csv -table xsim.gob -user alice -n 10
-//	xmap-cli similar -data trace.csv -table xsim.gob -item "Interstellar"
+//	xmap-cli fit -data trace.csv -table xsim.xart [-k 50]
+//	xmap-cli fit -data trace.csv -artifact bundle/ [-k 50]
+//	xmap-cli recommend -artifact bundle/ -user alice -n 10
+//	xmap-cli recommend -data trace.csv -table xsim.xart -user alice -n 10
+//	xmap-cli similar -data trace.csv -table xsim.xart -item "Interstellar"
 //	xmap-cli stats -data trace.csv
 //
-// `fit` writes the heterogeneous similarity table; `recommend` and
-// `similar` reuse it (falling back to refitting when -table is absent).
+// `fit` writes the heterogeneous similarity table (-table) and/or a full
+// pipeline bundle (-artifact); `recommend` and `similar` reuse them.
+// With -artifact the bundle is opened with mmap and queries start in
+// milliseconds; with -table the X-Sim table is reused but the baseline
+// pass reruns; with neither, the whole fit reruns. -data accepts a CSV
+// trace or a binary dataset artifact (xmap-datagen -binary), detected by
+// magic.
 package main
 
 import (
@@ -21,6 +28,8 @@ import (
 	"os/signal"
 	"time"
 
+	"xmap/internal/artifact"
+	"xmap/internal/binfmt"
 	"xmap/internal/core"
 	"xmap/internal/dataset"
 	"xmap/internal/ratings"
@@ -34,18 +43,35 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var (
-		data  = fs.String("data", "", "CSV trace (required; see xmap-datagen)")
-		table = fs.String("table", "", "fitted X-Sim table path (gob)")
-		k     = fs.Int("k", 50, "neighborhood size")
-		user  = fs.String("user", "", "user name (recommend)")
-		item  = fs.String("item", "", "item name (similar)")
-		n     = fs.Int("n", 10, "result count")
+		data      = fs.String("data", "", "trace: CSV or dataset artifact (see xmap-datagen)")
+		table     = fs.String("table", "", "fitted X-Sim table path")
+		bundleDir = fs.String("artifact", "", "pipeline bundle directory (fit: write; queries: mmap-load)")
+		k         = fs.Int("k", 50, "neighborhood size")
+		user      = fs.String("user", "", "user name (recommend)")
+		item      = fs.String("item", "", "item name (similar)")
+		n         = fs.Int("n", 10, "result count")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		fatal(err)
 	}
+
+	// Queries against a bundle need no trace and no fit: the mapped
+	// artifacts already hold the dataset and every fitted structure.
+	if *bundleDir != "" && *data == "" && cmd != "fit" {
+		b, err := core.LoadPipeline(*bundleDir, core.LoadOptions{Mapped: true})
+		if err != nil {
+			fatal(err)
+		}
+		defer b.Close()
+		if len(b.Pipelines) == 0 {
+			fatal(fmt.Errorf("bundle %s holds no pipelines", *bundleDir))
+		}
+		runQuery(cmd, b.Dataset, func() *core.Pipeline { return b.Pipelines[0] }, *user, *item, *n)
+		return
+	}
+
 	if *data == "" {
-		fatal(fmt.Errorf("-data is required"))
+		fatal(fmt.Errorf("-data is required (or -artifact for queries)"))
 	}
 	ds, err := loadTrace(*data)
 	if err != nil {
@@ -56,11 +82,9 @@ func main() {
 	}
 
 	switch cmd {
-	case "stats":
-		fmt.Println(ds.ComputeStats())
 	case "fit":
-		if *table == "" {
-			fatal(fmt.Errorf("fit requires -table output path"))
+		if *table == "" && *bundleDir == "" {
+			fatal(fmt.Errorf("fit requires -table and/or -artifact output path"))
 		}
 		cfg := core.DefaultConfig()
 		cfg.K = *k
@@ -76,42 +100,57 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		f, err := os.Create(*table)
-		if err != nil {
-			fatal(err)
+		if *table != "" {
+			if err := p.Table().SaveFile(*table); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("table written to %s\n", *table)
 		}
-		defer f.Close()
-		if err := p.Table().Save(f); err != nil {
-			fatal(err)
+		if *bundleDir != "" {
+			info := core.SaveInfo{Epoch: time.Now().UnixNano()}
+			if err := core.SavePipeline(*bundleDir, []*core.Pipeline{p}, info); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("bundle written to %s\n", *bundleDir)
 		}
 		d := p.Diagnose()
 		fmt.Printf("fitted %s → %s: %s\n", ds.DomainName(0), ds.DomainName(1), d)
-		fmt.Printf("table written to %s\n", *table)
+	default:
+		runQuery(cmd, ds, func() *core.Pipeline { return fitOrLoad(ds, *table, *k) }, *user, *item, *n)
+	}
+}
+
+// runQuery executes the read-only subcommands against a dataset plus a
+// lazily supplied pipeline (queries that only need the dataset never pay
+// for a fit or a bundle load).
+func runQuery(cmd string, ds *ratings.Dataset, pipe func() *core.Pipeline, user, item string, n int) {
+	switch cmd {
+	case "stats":
+		fmt.Println(ds.ComputeStats())
 	case "recommend":
-		if *user == "" {
+		if user == "" {
 			fatal(fmt.Errorf("recommend requires -user"))
 		}
-		uid, ok := findUser(ds, *user)
+		uid, ok := findUser(ds, user)
 		if !ok {
-			fatal(fmt.Errorf("unknown user %q", *user))
+			fatal(fmt.Errorf("unknown user %q", user))
 		}
-		p := fitOrLoad(ds, *table, *k)
-		for i, r := range p.RecommendForUser(uid, *n) {
+		for i, r := range pipe().RecommendForUser(uid, n) {
 			fmt.Printf("%2d. %-24s %s  predicted %.2f\n",
 				i+1, ds.ItemName(r.ID), ds.DomainName(ds.Domain(r.ID)), r.Score)
 		}
 	case "similar":
-		if *item == "" {
+		if item == "" {
 			fatal(fmt.Errorf("similar requires -item"))
 		}
-		iid, ok := findItem(ds, *item)
+		iid, ok := findItem(ds, item)
 		if !ok {
-			fatal(fmt.Errorf("unknown item %q", *item))
+			fatal(fmt.Errorf("unknown item %q", item))
 		}
-		p := fitOrLoad(ds, *table, *k)
+		p := pipe()
 		cands := p.Table().Candidates(iid)
-		if len(cands) > *n {
-			cands = cands[:*n]
+		if len(cands) > n {
+			cands = cands[:n]
 		}
 		fmt.Printf("heterogeneous items most similar to %q:\n", ds.ItemName(iid))
 		for i, c := range cands {
@@ -133,7 +172,14 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// loadTrace loads a trace by format: a dataset artifact (binary, from
+// xmap-datagen -binary or ratings.SaveFile) when the magic matches, CSV
+// otherwise.
 func loadTrace(path string) (*ratings.Dataset, error) {
+	if m := binfmt.SniffMagic(path); binfmt.CheckMagic(m[:], artifact.Magic) {
+		ds, _, err := ratings.Open(path)
+		return ds, err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

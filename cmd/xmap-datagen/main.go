@@ -1,20 +1,27 @@
-// Command xmap-datagen emits synthetic rating traces as CSV — the
-// stand-ins for the Amazon movie/book and MovieLens ML-20M datasets the
-// paper evaluates on (see DESIGN.md, "Substitutions").
+// Command xmap-datagen emits synthetic rating traces — the stand-ins
+// for the Amazon movie/book and MovieLens ML-20M datasets the paper
+// evaluates on (see DESIGN.md, "Substitutions").
 //
 // Usage:
 //
 //	xmap-datagen -kind amazon -out trace.csv
+//	xmap-datagen -kind amazon -out trace.xart -binary
 //	xmap-datagen -kind movielens -users 2000 -items 800 -out ml.csv
 //	xmap-datagen -kind amazon -out base.csv -stream tail.csv -stream-frac 0.02
 //
+// By default the trace is CSV. With -binary the base trace is written as
+// a dataset artifact instead (internal/artifact container, atomically
+// published when -out is a file): xmap-cli and xmap-server detect the
+// format by magic and mmap it on load, skipping CSV parsing entirely.
+//
 // With -stream the trace is split by recency: -out receives the base
 // trace minus the latest -stream-frac of ratings, and -stream receives
-// those held-back ratings as a timestamp-ordered append tail (same CSV
-// header). The two files partition the full trace exactly — replaying
-// the tail against a server fitted on the base (POST /api/v2/ratings,
-// see xmap-server -refit-interval) reconstructs it, which is the
-// streaming-ingestion benchmark setup.
+// those held-back ratings as a timestamp-ordered append tail (always
+// CSV — it is an event stream for replay, not a dataset). The two files
+// partition the full trace exactly — replaying the tail against a
+// server fitted on the base (POST /api/v2/ratings, see xmap-server
+// -refit-interval) reconstructs it, which is the streaming-ingestion
+// benchmark setup.
 package main
 
 import (
@@ -35,7 +42,8 @@ func main() {
 		users   = flag.Int("users", 0, "override total users (0 = default)")
 		items   = flag.Int("items", 0, "override total items (0 = default)")
 		perUser = flag.Int("ratings-per-user", 0, "override mean profile size (0 = default)")
-		stream  = flag.String("stream", "", "also write a timestamp-ordered append tail to this path")
+		binary  = flag.Bool("binary", false, "write -out as a mmap-able dataset artifact instead of CSV")
+		stream  = flag.String("stream", "", "also write a timestamp-ordered append tail to this path (always CSV)")
 		streamF = flag.Float64("stream-frac", 0.01, "fraction of the latest ratings diverted to the -stream tail")
 	)
 	flag.Parse()
@@ -94,7 +102,19 @@ func main() {
 			base.NumRatings(), len(tail))
 	}
 
-	if err := writeCSV(*out, func(w io.Writer) error { return dataset.SaveCSV(w, base) }); err != nil {
+	var err error
+	if *binary {
+		// The artifact path: SaveFile publishes atomically (tmp+fsync+
+		// rename); stdout gets the same bytes streamed.
+		if *out == "-" {
+			_, err = base.WriteTo(os.Stdout)
+		} else {
+			err = base.SaveFile(*out)
+		}
+	} else {
+		err = writeCSV(*out, func(w io.Writer) error { return dataset.SaveCSV(w, base) })
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "xmap-datagen:", err)
 		os.Exit(1)
 	}

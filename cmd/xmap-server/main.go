@@ -13,7 +13,19 @@
 //
 //	xmap-server                       # synthetic trace, listen on :8080
 //	xmap-server -data trace.csv -addr :9090
+//	xmap-server -data trace.csv -artifact bundle/   # fit once, then cold-start in ms
 //	xmap-server -refit-interval 30s -refit-queue 256
+//
+// With -artifact the server cold-starts from a committed pipeline bundle
+// when one exists at the directory: the dataset and every fitted
+// structure are opened as zero-copy mmap views (internal/artifact), only
+// the WAL tail past the bundle's checkpoint is replayed, and the whole
+// load-and-fit phase is skipped — millisecond readiness instead of
+// minutes of CSV parsing and fitting. When no bundle exists the server
+// fits from -data as usual and writes the bundle for the next start; on
+// graceful shutdown the bundle is re-saved with the ingested state and
+// the current WAL checkpoint. -data accepts a CSV trace or a binary
+// dataset artifact (xmap-datagen -binary), detected by magic.
 //
 // With -refit-interval and/or -refit-queue the server accepts streaming
 // rating events on POST /api/v2/ratings and folds them into the fitted
@@ -63,6 +75,8 @@ import (
 	"syscall"
 	"time"
 
+	"xmap/internal/artifact"
+	"xmap/internal/binfmt"
 	"xmap/internal/core"
 	"xmap/internal/dataset"
 	"xmap/internal/ratings"
@@ -82,6 +96,7 @@ func main() {
 		refitIv   = flag.Duration("refit-interval", 0, "incremental refit period for ingested ratings (0 = no timer)")
 		refitQ    = flag.Int("refit-queue", 0, "queued ratings that trigger an early refit (0 = no depth trigger)")
 		walPath   = flag.String("wal", "", "write-ahead log for accepted ratings (enables ingestion; replayed on startup)")
+		artDir    = flag.String("artifact", "", "pipeline bundle directory: cold-start from it when present, write it after fitting")
 	)
 	flag.Parse()
 
@@ -91,21 +106,59 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	ds, src, dst, err := loadData(*data)
-	if err != nil {
-		log.Fatalf("xmap-server: %v", err)
-	}
-	log.Printf("dataset: %s", ds.ComputeStats())
+	// Cold start: a committed bundle at -artifact supersedes the whole
+	// load-and-fit phase — the dataset and every fitted structure map in
+	// as zero-copy views and the server is ready in milliseconds. Only the
+	// WAL tail past the bundle's checkpoint is replayed below. The
+	// bundle's persisted config wins over -k. Without a bundle the server
+	// fits from the trace as before and, when -artifact is set, writes the
+	// bundle so the next start is fast.
+	var (
+		ds      *ratings.Dataset
+		pipes   []*core.Pipeline
+		bundle  *core.Bundle
+		walFrom int64
+	)
+	if *artDir != "" && core.BundleExists(*artDir) {
+		begin := time.Now()
+		var err error
+		bundle, err = core.LoadPipeline(*artDir, core.LoadOptions{Mapped: true})
+		if err != nil {
+			log.Fatalf("xmap-server: bundle: %v", err)
+		}
+		defer bundle.Close()
+		if len(bundle.Pipelines) == 0 {
+			log.Fatalf("xmap-server: bundle %s holds no pipelines", *artDir)
+		}
+		ds, pipes, walFrom = bundle.Dataset, bundle.Pipelines, bundle.Info.WALCheckpoint
+		log.Printf("cold start: mapped bundle %s (epoch %d, %d pipelines, wal checkpoint %d) in %v",
+			*artDir, bundle.Info.Epoch, len(pipes), walFrom, time.Since(begin).Round(time.Microsecond))
+	} else {
+		var src, dst ratings.DomainID
+		var err error
+		ds, src, dst, err = loadData(*data)
+		if err != nil {
+			log.Fatalf("xmap-server: %v", err)
+		}
+		log.Printf("dataset: %s", ds.ComputeStats())
 
-	cfg := core.DefaultConfig()
-	cfg.K = *k
-	log.Printf("fitting %s↔%s pipelines...", ds.DomainName(src), ds.DomainName(dst))
-	pipes, err := core.FitPairs(ctx, ds, []core.DomainPair{
-		{Source: src, Target: dst},
-		{Source: dst, Target: src},
-	}, cfg)
-	if err != nil {
-		log.Fatalf("xmap-server: %v", err)
+		cfg := core.DefaultConfig()
+		cfg.K = *k
+		log.Printf("fitting %s↔%s pipelines...", ds.DomainName(src), ds.DomainName(dst))
+		pipes, err = core.FitPairs(ctx, ds, []core.DomainPair{
+			{Source: src, Target: dst},
+			{Source: dst, Target: src},
+		}, cfg)
+		if err != nil {
+			log.Fatalf("xmap-server: %v", err)
+		}
+		if *artDir != "" {
+			info := core.SaveInfo{Epoch: time.Now().UnixNano()}
+			if err := core.SavePipeline(*artDir, pipes, info); err != nil {
+				log.Fatalf("xmap-server: bundle save: %v", err)
+			}
+			log.Printf("bundle written to %s (epoch %d)", *artDir, info.Epoch)
+		}
 	}
 	log.Printf("diagnostics: %s", pipes[0].Diagnose())
 
@@ -151,11 +204,13 @@ func main() {
 			if err != nil {
 				log.Fatalf("xmap-server: %v", err)
 			}
-			// Replay ALL of the log, not just past the checkpoint: this
-			// process rebuilt its base dataset from the trace, so every
-			// logged rating must be re-applied; the idempotent merge
-			// makes re-applying already-refitted batches exact.
-			if err := walLog.Replay(0, func(rs []ratings.Rating, _ int64) error {
+			// Replay from the bundle's checkpoint when cold-starting from a
+			// bundle (only the tail the persisted fit had not consumed), and
+			// from 0 when the base dataset was rebuilt from the trace —
+			// every logged rating must then be re-applied, and the
+			// idempotent merge makes re-applying already-refitted batches
+			// exact.
+			if err := walLog.Replay(walFrom, func(rs []ratings.Rating, _ int64) error {
 				recovered = append(recovered, rs...)
 				return nil
 			}); err != nil {
@@ -220,6 +275,22 @@ func main() {
 			log.Printf("final refit: %v", err)
 		}
 	}
+	// Re-save the bundle with the ingested state and the current WAL
+	// checkpoint, so the next cold start maps the up-to-date fit and
+	// replays an empty tail. Skipped when the final refit left queued
+	// events: the previous bundle plus its longer WAL tail is still exact.
+	if *artDir != "" && rf != nil && rf.QueueDepth() == 0 {
+		var ckpt int64
+		if walLog != nil {
+			ckpt = walLog.End()
+		}
+		info := core.SaveInfo{Epoch: time.Now().UnixNano(), WALCheckpoint: ckpt}
+		if err := core.SavePipeline(*artDir, rf.Pipelines(), info); err != nil {
+			log.Printf("bundle re-save: %v", err)
+		} else {
+			log.Printf("bundle re-saved to %s (epoch %d, wal checkpoint %d)", *artDir, info.Epoch, ckpt)
+		}
+	}
 	if walLog != nil {
 		if err := walLog.Close(); err != nil {
 			log.Printf("wal close: %v", err)
@@ -227,19 +298,29 @@ func main() {
 	}
 }
 
+// loadData loads the trace by format — a binary dataset artifact
+// (xmap-datagen -binary) when the magic matches, CSV otherwise — or
+// generates the synthetic Amazon-like trace when path is empty.
 func loadData(path string) (*ratings.Dataset, ratings.DomainID, ratings.DomainID, error) {
 	if path == "" {
 		az := dataset.AmazonLike(dataset.DefaultAmazonConfig())
 		return az.DS, az.Movies, az.Books, nil
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, 0, 0, err
-	}
-	defer f.Close()
-	ds, err := dataset.LoadCSV(f)
-	if err != nil {
-		return nil, 0, 0, err
+	var ds *ratings.Dataset
+	if m := binfmt.SniffMagic(path); binfmt.CheckMagic(m[:], artifact.Magic) {
+		var err error
+		if ds, _, err = ratings.Open(path); err != nil {
+			return nil, 0, 0, err
+		}
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		defer f.Close()
+		if ds, err = dataset.LoadCSV(f); err != nil {
+			return nil, 0, 0, err
+		}
 	}
 	if ds.NumDomains() < 2 {
 		return nil, 0, 0, fmt.Errorf("trace %s has %d domains, need 2", path, ds.NumDomains())

@@ -137,6 +137,39 @@
 // throughput series with the direction inverted (a drop is the
 // regression).
 //
+// # Artifacts & cold start
+//
+// Everything a serving process needs is persistable as one mmap-able
+// bundle. internal/artifact is the container: a versioned, magic-tagged
+// binary format of named, typed, 8-byte-aligned flat-array sections,
+// each CRC-32 checked at open, written in one stream (footer last, so a
+// torn write can never open) and published atomically
+// (tmp+fsync+rename, internal/binfmt). Opens either read the file into
+// the heap or mmap it read-only; on little-endian hosts the typed
+// section accessors are zero-copy views over the mapping, so loading a
+// multi-GB dataset costs page-table setup, not parsing — and the flat
+// CSR layouts above are exactly the arrays the sections store.
+//
+//	core.SavePipeline(dir, pipes, core.SaveInfo{Epoch: ..., WALCheckpoint: ...})
+//	b, _ := core.LoadPipeline(dir, core.LoadOptions{Mapped: true})
+//	// b.Pipelines serve bit-identical lists to the pipelines saved
+//
+// A bundle holds the dataset, every fitted per-pair structure (baseline
+// pairs, layered graph, X-Sim table, item-based CF model), the fit
+// epoch and the WAL checkpoint; MANIFEST.json — written last — is the
+// commit point, so a crash mid-save leaves the previous bundle intact.
+// Loads CRC-verify every section, reject version or magic mismatches
+// with a "refit and re-save" error (never a panic, never silently wrong
+// data — pinned by every-byte bit-flip and every-length truncation
+// sweeps), and rebuild only the cheap serving shims. xmap-server
+// -artifact cold-starts from a mapped bundle in milliseconds — replaying
+// only the WAL tail past the bundle's checkpoint — and re-saves on
+// graceful shutdown; xmap-cli fit/queries use the same bundles, and
+// xmap-datagen -binary emits datasets in artifact form directly. The
+// coldstart driver of cmd/xmap-bench gates the win in CI
+// (coldstart_mmap_ns vs coldstart_parse_ns: ~46× on the launch-cohort
+// fixture, ~208 allocations per mapped load).
+//
 // # Dataset layout
 //
 // The rating store itself (internal/ratings) is flat: both indexes are

@@ -1,0 +1,613 @@
+// Package artifact is the zero-copy persistence container behind the
+// repo's millisecond cold start: a versioned, CRC-checked, 8-byte-aligned
+// binary file holding named flat-array sections — exactly the shape every
+// fitted structure in the repo already has in memory (CSR edge arrays,
+// offset arrays, mean vectors, name blobs).
+//
+// # Format
+//
+// All integers are little-endian (the repo-wide wire order, see
+// internal/binfmt). The file is written in one forward pass:
+//
+//	[0,8)    magic "XMAPART1"
+//	[8,12)   uint32 format version (1)
+//	[12,16)  uint32 reserved (0)
+//	[16,24)  uint64 byte-order probe 0x0123456789ABCDEF
+//	[24,…)   section payloads, each starting 8-byte aligned,
+//	         zero padding between
+//	[T,…)    section table: one 64-byte descriptor per section
+//	         (name[32] | kind u32 | elemSize u32 | count u64 |
+//	          off u64 | crc u32 | reserved u32)
+//	tail     footer (32 bytes):
+//	         tableOff u64 | sectionCount u64 | tableCRC u32 |
+//	         reserved u32 | end magic "XMAPEND1"
+//
+// Because the table and footer come last, a Writer streams payloads
+// through an io.Writer without knowing sizes up front, and a truncated or
+// torn file can never open: the footer is the last thing written, its
+// magic and table CRC cover the descriptors, and every payload carries
+// its own CRC-32 which Open verifies before any section is handed out.
+//
+// # Zero-copy opens
+//
+// Open reads the file into the heap; OpenMapped maps it read-only with
+// mmap(2) where the platform supports it (falling back to Open where
+// not). Either way the typed accessors (Int64s, Float64s, View…) return
+// slices aliasing the underlying bytes when the host is little-endian and
+// the payload is correctly aligned — no parse, no copy — and fall back to
+// an explicit decode otherwise, so a big-endian host reads the same file
+// correctly, just not for free. Callers must treat every returned slice
+// as immutable: writing through a mapped view faults the process.
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"xmap/internal/binfmt"
+)
+
+const (
+	// Magic identifies an artifact file (format revision in the last byte).
+	Magic = "XMAPART1"
+	// endMagic closes the footer; a file without it was torn mid-write.
+	endMagic = "XMAPEND1"
+	// Version is the current format version.
+	Version = 1
+
+	// orderProbe is a fixed 8-byte pattern written little-endian. A reader
+	// that decodes it to a different value is looking at a byte-swapped or
+	// corrupted header.
+	orderProbe = 0x0123456789ABCDEF
+
+	headerLen = 24
+	descLen   = 64
+	footerLen = 32
+	// Align is the payload alignment: every section (and the table) starts
+	// on an 8-byte boundary so 8-byte elements can be viewed in place.
+	Align = 8
+	// maxNameLen bounds a section name to its fixed descriptor field.
+	maxNameLen = 32
+)
+
+// Kind is a section's element type. Primitive kinds have a fixed element
+// size the reader enforces; KindRecord carries opaque fixed-size records
+// whose layout the owning package defines (and guards).
+type Kind uint32
+
+const (
+	KindBytes   Kind = 1 // uint8 / raw bytes, elemSize 1
+	KindInt32   Kind = 2 // int32, elemSize 4
+	KindInt64   Kind = 3 // int64, elemSize 8
+	KindFloat64 Kind = 4 // float64, elemSize 8
+	KindRecord  Kind = 5 // fixed-size records, elemSize > 0
+)
+
+// elemSizeFor returns the required element size of a primitive kind
+// (0 = caller-defined).
+func elemSizeFor(k Kind) int {
+	switch k {
+	case KindBytes:
+		return 1
+	case KindInt32:
+		return 4
+	case KindInt64, KindFloat64:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// Section is one named flat array inside an open artifact. Data aliases
+// the artifact's backing bytes (heap or mapping) and must not be modified.
+type Section struct {
+	Name     string
+	Kind     Kind
+	ElemSize int
+	Count    int
+	Data     []byte
+}
+
+// Writer streams sections into an artifact. Methods must not be called
+// concurrently; the first error sticks and every later call returns it.
+// Close finalizes the container (table + footer) — closing the underlying
+// file, if any, remains the caller's job.
+type Writer struct {
+	w     io.Writer
+	off   int64
+	descs []desc
+	names map[string]bool
+	err   error
+}
+
+type desc struct {
+	name     string
+	kind     Kind
+	elemSize int
+	count    int
+	off      int64
+	crc      uint32
+}
+
+// NewWriter starts an artifact on w, writing the header immediately.
+func NewWriter(w io.Writer) *Writer {
+	aw := &Writer{w: w, names: make(map[string]bool)}
+	var hdr [headerLen]byte
+	copy(hdr[:], Magic)
+	binfmt.PutUint32(hdr[8:], Version)
+	binfmt.PutUint64(hdr[16:], orderProbe)
+	aw.write(hdr[:])
+	return aw
+}
+
+// write appends raw bytes, tracking the offset and the sticky error.
+func (w *Writer) write(b []byte) {
+	if w.err != nil {
+		return
+	}
+	if _, err := w.w.Write(b); err != nil {
+		w.err = fmt.Errorf("artifact: write: %w", err)
+		return
+	}
+	w.off += int64(len(b))
+}
+
+var zeroPad [Align]byte
+
+// pad advances the stream to the next 8-byte boundary.
+func (w *Writer) pad() {
+	if rem := int(w.off % Align); rem != 0 {
+		w.write(zeroPad[:Align-rem])
+	}
+}
+
+// begin validates and registers a new section, returning false if the
+// writer is already failed or the section is invalid.
+func (w *Writer) begin(name string, kind Kind, elemSize int) bool {
+	if w.err != nil {
+		return false
+	}
+	switch {
+	case name == "" || len(name) > maxNameLen:
+		w.err = fmt.Errorf("artifact: section name %q empty or longer than %d bytes", name, maxNameLen)
+	case w.names[name]:
+		w.err = fmt.Errorf("artifact: duplicate section %q", name)
+	case elemSize <= 0:
+		w.err = fmt.Errorf("artifact: section %q: element size %d", name, elemSize)
+	default:
+		if want := elemSizeFor(kind); kind != KindRecord && (want == 0 || want != elemSize) {
+			w.err = fmt.Errorf("artifact: section %q: kind %d does not take element size %d", name, kind, elemSize)
+		}
+	}
+	if w.err != nil {
+		return false
+	}
+	w.names[name] = true
+	w.pad()
+	return w.err == nil
+}
+
+// streamChunk is the staging-buffer size for streamed section encodes:
+// large enough to amortize Write calls, small enough to stay cache-warm.
+const streamChunk = 64 << 10
+
+// Stream writes one section of count fixed-size elements without
+// materializing the payload: fill is called with element ranges
+// [start, start+n) and a buffer of exactly n*elemSize bytes to encode
+// them into. This is how multi-gigabyte record sections are written in
+// O(chunk) memory.
+func (w *Writer) Stream(name string, kind Kind, elemSize, count int, fill func(start, n int, buf []byte)) error {
+	if count < 0 {
+		count = 0
+	}
+	if !w.begin(name, kind, elemSize) {
+		return w.err
+	}
+	d := desc{name: name, kind: kind, elemSize: elemSize, count: count, off: w.off}
+	perChunk := streamChunk / elemSize
+	if perChunk < 1 {
+		perChunk = 1
+	}
+	var buf []byte
+	for start := 0; start < count && w.err == nil; start += perChunk {
+		n := min(perChunk, count-start)
+		need := n * elemSize
+		if cap(buf) < need {
+			buf = make([]byte, need)
+		}
+		b := buf[:need]
+		clear(b) // record padding is zero by construction, not by luck
+		fill(start, n, b)
+		d.crc = binfmt.ChecksumAdd(d.crc, b)
+		w.write(b)
+	}
+	if w.err == nil {
+		w.descs = append(w.descs, d)
+	}
+	return w.err
+}
+
+// Bytes writes a raw byte section (KindBytes).
+func (w *Writer) Bytes(name string, b []byte) error {
+	return w.Stream(name, KindBytes, 1, len(b), func(start, n int, buf []byte) {
+		copy(buf, b[start:start+n])
+	})
+}
+
+// Int32s writes an int32 section.
+func (w *Writer) Int32s(name string, v []int32) error {
+	return w.Stream(name, KindInt32, 4, len(v), func(start, n int, buf []byte) {
+		for i := 0; i < n; i++ {
+			binfmt.PutUint32(buf[i*4:], uint32(v[start+i]))
+		}
+	})
+}
+
+// Int64s writes an int64 section.
+func (w *Writer) Int64s(name string, v []int64) error {
+	return w.Stream(name, KindInt64, 8, len(v), func(start, n int, buf []byte) {
+		for i := 0; i < n; i++ {
+			binfmt.PutUint64(buf[i*8:], uint64(v[start+i]))
+		}
+	})
+}
+
+// Float64s writes a float64 section (IEEE-754 bits).
+func (w *Writer) Float64s(name string, v []float64) error {
+	return w.Stream(name, KindFloat64, 8, len(v), func(start, n int, buf []byte) {
+		for i := 0; i < n; i++ {
+			binfmt.PutUint64(buf[i*8:], f64bits(v[start+i]))
+		}
+	})
+}
+
+// Strings writes a string-table pair of sections: name+".blob" holds the
+// concatenated bytes and name+".off" the len(v)+1 cumulative offsets.
+// Readers reconstruct the table with Strings, interning each entry once.
+func (w *Writer) Strings(name string, v []string) error {
+	off := make([]int64, len(v)+1)
+	total := 0
+	for i, s := range v {
+		total += len(s)
+		off[i+1] = int64(total)
+	}
+	if err := w.Stream(name+".blob", KindBytes, 1, total, func(start, n int, buf []byte) {
+		// Locate the string containing byte `start` and copy forward.
+		i := 0
+		for int64(start) >= off[i+1] {
+			i++
+		}
+		pos := start
+		filled := 0
+		for filled < n {
+			s := v[i]
+			from := pos - int(off[i])
+			c := copy(buf[filled:], s[from:])
+			filled += c
+			pos += c
+			i++
+		}
+	}); err != nil {
+		return err
+	}
+	return w.Int64s(name+".off", off)
+}
+
+// JSON writes v marshaled as JSON into a byte section — the escape hatch
+// for small structured metadata (configs, manifests) that does not merit
+// a binary layout. Never use it for bulk data.
+func (w *Writer) JSON(name string, v any) error {
+	if w.err != nil {
+		return w.err
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		w.err = fmt.Errorf("artifact: marshal %q: %w", name, err)
+		return w.err
+	}
+	return w.Bytes(name, b)
+}
+
+// Err returns the writer's sticky error.
+func (w *Writer) Err() error { return w.err }
+
+// Offset returns the number of bytes written so far.
+func (w *Writer) Offset() int64 { return w.off }
+
+// Close writes the section table and footer, finalizing the artifact.
+// The Writer is unusable afterwards.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.pad()
+	tableOff := w.off
+	table := make([]byte, len(w.descs)*descLen)
+	for i, d := range w.descs {
+		b := table[i*descLen:]
+		copy(b[:maxNameLen], d.name)
+		binfmt.PutUint32(b[32:], uint32(d.kind))
+		binfmt.PutUint32(b[36:], uint32(d.elemSize))
+		binfmt.PutUint64(b[40:], uint64(d.count))
+		binfmt.PutUint64(b[48:], uint64(d.off))
+		binfmt.PutUint32(b[56:], d.crc)
+	}
+	w.write(table)
+	var foot [footerLen]byte
+	binfmt.PutUint64(foot[0:], uint64(tableOff))
+	binfmt.PutUint64(foot[8:], uint64(len(w.descs)))
+	binfmt.PutUint32(foot[16:], binfmt.Checksum(table))
+	copy(foot[24:], endMagic)
+	w.write(foot[:])
+	err := w.err
+	if err == nil {
+		w.err = fmt.Errorf("artifact: writer closed")
+	}
+	return err
+}
+
+// Reader is an open artifact. All accessors are safe for concurrent use
+// after Open; Close releases the mapping (if any), invalidating every
+// slice previously returned.
+type Reader struct {
+	data     []byte
+	sections map[string]*Section
+	order    []string
+	munmap   func() error
+	mapped   bool
+}
+
+// corruptErr wraps every validation failure so callers (and the fuzz
+// tests) can assert that corruption reads as an error, never a panic.
+func corruptErr(format string, args ...any) error {
+	return fmt.Errorf("artifact: corrupt: "+format, args...)
+}
+
+// NewReader parses an artifact from bytes the caller owns. Every
+// descriptor is validated and every section CRC verified before any data
+// is handed out — a bit flip or truncation anywhere in the file fails
+// here, not later as silently wrong data.
+func NewReader(data []byte) (*Reader, error) {
+	if len(data) < headerLen+footerLen {
+		return nil, corruptErr("%d bytes is shorter than header+footer", len(data))
+	}
+	if !binfmt.CheckMagic(data, Magic) {
+		return nil, fmt.Errorf("artifact: unrecognized format %q (want %q)", data[:binfmt.MagicLen], Magic)
+	}
+	if v := binfmt.Uint32(data[8:]); v != Version {
+		return nil, fmt.Errorf("artifact: format version %d (this build reads %d): refit and re-save", v, Version)
+	}
+	if probe := binfmt.Uint64(data[16:]); probe != orderProbe {
+		return nil, corruptErr("byte-order probe %016x (want %016x)", probe, uint64(orderProbe))
+	}
+	foot := data[len(data)-footerLen:]
+	if !binfmt.CheckMagic(foot[24:], endMagic) {
+		return nil, corruptErr("missing end magic (file torn or truncated)")
+	}
+	tableOff := int64(binfmt.Uint64(foot[0:]))
+	count := binfmt.Uint64(foot[8:])
+	tableEnd := int64(len(data) - footerLen)
+	if tableOff < headerLen || tableOff%Align != 0 ||
+		count > uint64(tableEnd-tableOff)/descLen || tableOff+int64(count)*descLen != tableEnd {
+		return nil, corruptErr("section table [%d, %d) does not fit the file", tableOff, tableEnd)
+	}
+	table := data[tableOff:tableEnd]
+	if crc := binfmt.Checksum(table); crc != binfmt.Uint32(foot[16:]) {
+		return nil, corruptErr("section table checksum mismatch")
+	}
+
+	r := &Reader{data: data, sections: make(map[string]*Section, count)}
+	prevEnd := int64(headerLen)
+	for i := 0; i < int(count); i++ {
+		b := table[i*descLen:]
+		name := cstr(b[:maxNameLen])
+		kind := Kind(binfmt.Uint32(b[32:]))
+		elemSize := int(binfmt.Uint32(b[36:]))
+		n := binfmt.Uint64(b[40:])
+		off := int64(binfmt.Uint64(b[48:]))
+		crc := binfmt.Uint32(b[56:])
+		if name == "" {
+			return nil, corruptErr("section %d: empty name", i)
+		}
+		if r.sections[name] != nil {
+			return nil, corruptErr("duplicate section %q", name)
+		}
+		if elemSize <= 0 || (kind != KindRecord && elemSizeFor(kind) != elemSize) {
+			return nil, corruptErr("section %q: kind %d / element size %d", name, kind, elemSize)
+		}
+		if n > uint64(tableOff-off)/uint64(elemSize) {
+			return nil, corruptErr("section %q: %d elements do not fit the file", name, n)
+		}
+		length := int64(n) * int64(elemSize)
+		if off%Align != 0 || off < prevEnd || off+length > tableOff {
+			return nil, corruptErr("section %q: payload [%d, %d) misaligned or out of order", name, off, off+length)
+		}
+		payload := data[off : off+length : off+length]
+		if binfmt.Checksum(payload) != crc {
+			return nil, corruptErr("section %q: payload checksum mismatch", name)
+		}
+		prevEnd = off + length
+		r.sections[name] = &Section{Name: name, Kind: kind, ElemSize: elemSize, Count: int(n), Data: payload}
+		r.order = append(r.order, name)
+	}
+	return r, nil
+}
+
+// cstr trims a NUL-padded fixed field to its string.
+func cstr(b []byte) string {
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}
+
+// Open reads the artifact at path into the heap and parses it.
+func Open(path string) (*Reader, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: open %s: %w", path, err)
+	}
+	r, err := NewReader(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return r, nil
+}
+
+// OpenMapped maps the artifact at path read-only and parses it. The
+// returned reader's sections alias the mapping: zero copy, zero parse,
+// page-in on demand — and invalid after Close. On platforms without mmap
+// support it silently degrades to Open; check Mapped when it matters.
+func OpenMapped(path string) (*Reader, error) {
+	data, munmap, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if munmap == nil {
+		return Open(path) // platform fallback
+	}
+	r, rerr := NewReader(data)
+	if rerr != nil {
+		_ = munmap()
+		return nil, fmt.Errorf("%w (%s)", rerr, path)
+	}
+	r.munmap = munmap
+	r.mapped = true
+	return r, nil
+}
+
+// Mapped reports whether the reader serves from an mmap'd file.
+func (r *Reader) Mapped() bool { return r.mapped }
+
+// Close releases the mapping, if any. Every slice handed out by this
+// reader — including zero-copy views — is invalid afterwards.
+func (r *Reader) Close() error {
+	r.sections = nil
+	r.data = nil
+	if r.munmap != nil {
+		m := r.munmap
+		r.munmap = nil
+		return m()
+	}
+	return nil
+}
+
+// Sections lists the section names in file order.
+func (r *Reader) Sections() []string { return r.order }
+
+// Section returns the named section.
+func (r *Reader) Section(name string) (*Section, bool) {
+	s, ok := r.sections[name]
+	return s, ok
+}
+
+// section fetches a section and enforces its kind.
+func (r *Reader) section(name string, kind Kind) (*Section, error) {
+	s, ok := r.sections[name]
+	if !ok {
+		return nil, fmt.Errorf("artifact: missing section %q", name)
+	}
+	if s.Kind != kind {
+		return nil, corruptErr("section %q: kind %d, want %d", name, s.Kind, kind)
+	}
+	return s, nil
+}
+
+// Bytes returns a byte section's payload (always zero-copy).
+func (r *Reader) Bytes(name string) ([]byte, error) {
+	s, err := r.section(name, KindBytes)
+	if err != nil {
+		return nil, err
+	}
+	return s.Data, nil
+}
+
+// Int32s returns an int32 section, zero-copy where the host allows.
+func (r *Reader) Int32s(name string) ([]int32, error) {
+	s, err := r.section(name, KindInt32)
+	if err != nil {
+		return nil, err
+	}
+	if v, ok := View[int32](s); ok {
+		return v, nil
+	}
+	v := make([]int32, s.Count)
+	for i := range v {
+		v[i] = int32(binfmt.Uint32(s.Data[i*4:]))
+	}
+	return v, nil
+}
+
+// Int64s returns an int64 section, zero-copy where the host allows.
+func (r *Reader) Int64s(name string) ([]int64, error) {
+	s, err := r.section(name, KindInt64)
+	if err != nil {
+		return nil, err
+	}
+	if v, ok := View[int64](s); ok {
+		return v, nil
+	}
+	v := make([]int64, s.Count)
+	for i := range v {
+		v[i] = int64(binfmt.Uint64(s.Data[i*8:]))
+	}
+	return v, nil
+}
+
+// Float64s returns a float64 section, zero-copy where the host allows.
+func (r *Reader) Float64s(name string) ([]float64, error) {
+	s, err := r.section(name, KindFloat64)
+	if err != nil {
+		return nil, err
+	}
+	if v, ok := View[float64](s); ok {
+		return v, nil
+	}
+	v := make([]float64, s.Count)
+	for i := range v {
+		v[i] = f64frombits(binfmt.Uint64(s.Data[i*8:]))
+	}
+	return v, nil
+}
+
+// Strings reconstructs a table written by Writer.Strings. Each entry is
+// interned exactly once as an immutable string view over the blob bytes —
+// no per-string copy, which is what keeps name tables free at open time.
+func (r *Reader) Strings(name string) ([]string, error) {
+	blob, err := r.Bytes(name + ".blob")
+	if err != nil {
+		return nil, err
+	}
+	off, err := r.Int64s(name + ".off")
+	if err != nil {
+		return nil, err
+	}
+	if len(off) == 0 || off[0] != 0 || off[len(off)-1] != int64(len(blob)) {
+		return nil, corruptErr("string table %q: offsets do not span the blob", name)
+	}
+	out := make([]string, len(off)-1)
+	for i := range out {
+		lo, hi := off[i], off[i+1]
+		if lo > hi || hi > int64(len(blob)) {
+			return nil, corruptErr("string table %q: entry %d spans [%d, %d)", name, i, lo, hi)
+		}
+		out[i] = viewString(blob[lo:hi])
+	}
+	return out, nil
+}
+
+// JSON unmarshals a section written by Writer.JSON into v.
+func (r *Reader) JSON(name string, v any) error {
+	b, err := r.Bytes(name)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		return corruptErr("section %q: %v", name, err)
+	}
+	return nil
+}

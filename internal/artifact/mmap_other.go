@@ -1,0 +1,9 @@
+//go:build !unix
+
+package artifact
+
+// mapFile has no mmap on this platform; the nil unmap tells OpenMapped
+// to fall back to the heap path.
+func mapFile(path string) ([]byte, func() error, error) {
+	return nil, nil, nil
+}

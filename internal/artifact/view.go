@@ -1,0 +1,56 @@
+package artifact
+
+import (
+	"math"
+	"unsafe"
+)
+
+// hostLE reports whether this machine stores integers little-endian —
+// the precondition for viewing the (always little-endian) payload bytes
+// in place. Computed once at init from a pointer probe.
+var hostLE = func() bool {
+	v := uint16(1)
+	return *(*byte)(unsafe.Pointer(&v)) == 1
+}()
+
+// View reinterprets a section's payload as a []T without copying. It
+// returns ok=false — and callers must fall back to an explicit decode —
+// unless every precondition for the cast holds: the host is
+// little-endian, sizeof(T) matches the section's element size, and the
+// payload happens to satisfy T's alignment (heap buffers from
+// os.ReadFile carry no alignment guarantee; mapped payloads are page-
+// plus-8-aligned by construction, but we check rather than assume).
+//
+// T must be a fixed-size type with no pointers and a fully defined
+// layout (primitives, or the repo's padded record structs whose layouts
+// are guarded by their owning package's tests). The returned slice
+// aliases the artifact's bytes: immutable, and dead after Reader.Close.
+func View[T any](s *Section) ([]T, bool) {
+	var t T
+	size := int(unsafe.Sizeof(t))
+	if !hostLE || size != s.ElemSize {
+		return nil, false
+	}
+	if s.Count == 0 {
+		return []T{}, true
+	}
+	p := unsafe.Pointer(unsafe.SliceData(s.Data))
+	if uintptr(p)%unsafe.Alignof(t) != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*T)(p), s.Count), true
+}
+
+// viewString wraps bytes as a string without copying. The bytes must be
+// immutable for the life of the string — true for artifact payloads
+// until Close.
+func viewString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// f64bits / f64frombits keep math out of the main file's imports.
+func f64bits(f float64) uint64     { return math.Float64bits(f) }
+func f64frombits(u uint64) float64 { return math.Float64frombits(u) }

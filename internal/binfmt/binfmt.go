@@ -1,0 +1,188 @@
+// Package binfmt holds the one framing idiom every on-disk format in the
+// repo shares: 8-byte ASCII magics, CRC-32 (IEEE) payload checksums, and
+// the write-temp-fsync-rename publish that makes a file appear atomically
+// or not at all.
+//
+// It exists so internal/wal (the rating log) and internal/artifact (the
+// zero-copy artifact container) — and any future format — agree on how a
+// file identifies itself, how corruption is detected, and how a crash
+// mid-write is kept from leaving a half-written file that opens cleanly.
+// The helpers are deliberately tiny: formats own their layouts; binfmt
+// owns the idiom.
+package binfmt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// MagicLen is the length of every format magic: 8 ASCII bytes, chosen so
+// a header stays 8-byte aligned and a magic is recognizable in a hex dump.
+const MagicLen = 8
+
+// Checksum is the repo-wide payload checksum: CRC-32 (IEEE 802.3), the
+// same polynomial the WAL has used since it shipped.
+func Checksum(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+// ChecksumAdd extends a running Checksum with more bytes, for streamed
+// payloads that are never in memory at once.
+func ChecksumAdd(sum uint32, b []byte) uint32 { return crc32.Update(sum, crc32.IEEETable, b) }
+
+// WriteMagic writes an 8-byte magic. It panics if the magic is not
+// exactly MagicLen bytes — magics are compile-time constants, and a wrong
+// length is a programming error, not an I/O condition.
+func WriteMagic(w io.Writer, magic string) error {
+	if len(magic) != MagicLen {
+		panic(fmt.Sprintf("binfmt: magic %q is %d bytes, want %d", magic, len(magic), MagicLen))
+	}
+	_, err := io.WriteString(w, magic)
+	return err
+}
+
+// CheckMagic reports whether the first MagicLen bytes of b spell magic.
+func CheckMagic(b []byte, magic string) bool {
+	if len(magic) != MagicLen {
+		panic(fmt.Sprintf("binfmt: magic %q is %d bytes, want %d", magic, len(magic), MagicLen))
+	}
+	return len(b) >= MagicLen && string(b[:MagicLen]) == magic
+}
+
+// ReadMagicAt reads the magic at offset off of r. A short file reads as a
+// zero-filled magic (matching nothing), not an error — callers uniformly
+// get "unrecognized format" instead of branching on io.EOF.
+func ReadMagicAt(r io.ReaderAt, off int64) [MagicLen]byte {
+	var m [MagicLen]byte
+	_, _ = r.ReadAt(m[:], off)
+	return m
+}
+
+// SniffMagic reads the first MagicLen bytes of the file at path (zero
+// bytes when the file is missing or shorter), for format dispatch before
+// committing to a loader.
+func SniffMagic(path string) [MagicLen]byte {
+	var m [MagicLen]byte
+	f, err := os.Open(path)
+	if err != nil {
+		return m
+	}
+	defer f.Close()
+	_, _ = io.ReadFull(f, m[:])
+	return m
+}
+
+// PutUint32 / PutUint64 / Uint32 / Uint64 fix the repo's wire endianness
+// in one place: little-endian, like every format the repo has shipped.
+func PutUint32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+func PutUint64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+func Uint32(b []byte) uint32       { return binary.LittleEndian.Uint32(b) }
+func Uint64(b []byte) uint64       { return binary.LittleEndian.Uint64(b) }
+
+// AtomicWriteFile publishes data at path via the wal checkpoint idiom:
+// write to a sibling .tmp file, fsync it, rename over path, then
+// best-effort fsync the directory so the rename itself is durable. A
+// crash at any point leaves either the previous file or the complete new
+// one — never a torn mix — and a stray .tmp that the next publish
+// truncates over.
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return fmt.Errorf("binfmt: create %s: %w", tmp, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("binfmt: write %s: %w", tmp, err)
+	}
+	if err := commitFile(f, tmp, path); err != nil {
+		return err
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// AtomicFile is a file being written for atomic publication: the payload
+// streams into path+".tmp" and appears at path only when Commit fsyncs,
+// closes and renames it. Use it where an artifact is too large to buffer
+// for AtomicWriteFile.
+type AtomicFile struct {
+	f    *os.File
+	tmp  string
+	path string
+	done bool
+}
+
+// AtomicCreate starts an atomic write of path.
+func AtomicCreate(path string) (*AtomicFile, error) {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("binfmt: create %s: %w", tmp, err)
+	}
+	return &AtomicFile{f: f, tmp: tmp, path: path}, nil
+}
+
+// Write streams payload bytes into the temporary file.
+func (a *AtomicFile) Write(p []byte) (int, error) { return a.f.Write(p) }
+
+// Commit fsyncs the temporary file, closes it, renames it over the final
+// path, and best-effort fsyncs the directory. After Commit the file at
+// path is complete and durable; until Commit it does not exist.
+func (a *AtomicFile) Commit() error {
+	if a.done {
+		return fmt.Errorf("binfmt: %s already committed or aborted", a.path)
+	}
+	a.done = true
+	if err := commitFile(a.f, a.tmp, a.path); err != nil {
+		return err
+	}
+	syncDir(filepath.Dir(a.path))
+	return nil
+}
+
+// Abort discards the temporary file. Safe to call (and a no-op) after
+// Commit, so callers can `defer a.Abort()` for the error paths.
+func (a *AtomicFile) Abort() {
+	if a.done {
+		return
+	}
+	a.done = true
+	a.f.Close()
+	os.Remove(a.tmp)
+}
+
+// commitFile fsyncs and closes f (open at tmp) and renames it to path,
+// removing tmp on any failure.
+func commitFile(f *os.File, tmp, path string) error {
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("binfmt: fsync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("binfmt: close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("binfmt: publish %s: %w", path, err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+// Best-effort: some filesystems (and all of Windows) reject directory
+// fsync, and the rename is already crash-atomic — the sync only narrows
+// the power-loss window, so its failure is not the caller's problem.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	d.Close()
+}

@@ -1,0 +1,116 @@
+package binfmt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMagicRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMagic(&buf, "XTESTFM1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Len(); got != MagicLen {
+		t.Fatalf("magic wrote %d bytes, want %d", got, MagicLen)
+	}
+	if !CheckMagic(buf.Bytes(), "XTESTFM1") {
+		t.Fatal("CheckMagic rejected its own magic")
+	}
+	if CheckMagic(buf.Bytes(), "XTESTFM2") {
+		t.Fatal("CheckMagic accepted a different magic")
+	}
+	if CheckMagic(buf.Bytes()[:4], "XTESTFM1") {
+		t.Fatal("CheckMagic accepted a short buffer")
+	}
+}
+
+func TestWriteMagicPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for a 3-byte magic")
+		}
+	}()
+	_ = WriteMagic(&bytes.Buffer{}, "abc")
+}
+
+func TestChecksumAddMatchesWhole(t *testing.T) {
+	b := []byte("the quick brown fox jumps over the lazy dog")
+	whole := Checksum(b)
+	part := ChecksumAdd(Checksum(b[:13]), b[13:])
+	if whole != part {
+		t.Fatalf("streamed checksum %08x != whole %08x", part, whole)
+	}
+}
+
+func TestAtomicWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := AtomicWriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWriteFile(path, []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("read %q, %v; want v2", got, err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+func TestAtomicFileCommitAndAbort(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "big.bin")
+
+	a, err := AtomicCreate(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Abort()
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("aborted file was published")
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("aborted temp file left behind")
+	}
+
+	a, err = AtomicCreate(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Abort() // no-op after Commit
+	if _, err := a.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("read %q, %v; want hello world", got, err)
+	}
+	if err := a.Commit(); err == nil {
+		t.Fatal("second Commit did not error")
+	}
+}
+
+func TestSniffMagic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("XSNIFF01rest"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if m := SniffMagic(path); !CheckMagic(m[:], "XSNIFF01") {
+		t.Fatalf("sniffed %q", m[:])
+	}
+	if m := SniffMagic(filepath.Join(dir, "absent")); CheckMagic(m[:], "XSNIFF01") {
+		t.Fatal("sniff of a missing file matched")
+	}
+}

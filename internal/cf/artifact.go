@@ -1,0 +1,194 @@
+// Artifact serialization for the item-based CF model. The neighbor
+// lists are a pure function of the baseline pair table, so they could
+// always be rebuilt at load time — but the rebuild (per-item filter,
+// shrinkage, sort, truncate over every item in the domain) is the
+// single largest cost left on the bundle cold-start path, so bundles
+// persist the lists and map them back in. The user-based model is
+// map-shaped and cheap relative to item-based; it is always rebuilt.
+
+package cf
+
+import (
+	"fmt"
+	"math"
+	"unsafe"
+
+	"xmap/internal/artifact"
+	"xmap/internal/binfmt"
+	"xmap/internal/ratings"
+	"xmap/internal/scratch"
+)
+
+// nbrWire is the on-disk size of one ItemNeighbor: i32 Item at 0, 4
+// zero bytes, f64 Tau at 8 — equal to Go's layout so loads can view in
+// place.
+const nbrWire = 16
+
+// nbrLayoutOK guards the zero-copy cast (see ratings.entryLayoutOK).
+var nbrLayoutOK = unsafe.Sizeof(ItemNeighbor{}) == nbrWire &&
+	unsafe.Offsetof(ItemNeighbor{}.Item) == 0 &&
+	unsafe.Offsetof(ItemNeighbor{}.Tau) == 8
+
+// AppendTo writes the model's neighbor lists as artifact sections under
+// prefix: "meta" (domain, k, candidate retention), "alpha" (temporal
+// decay), a CSR of the pruned top-k lists, and — only when the model
+// retains them for PNSA — a CSR of the unpruned candidate lists.
+func (m *ItemBased) AppendTo(w *artifact.Writer, prefix string) error {
+	keep := int64(0)
+	if m.keepAll {
+		keep = 1
+	}
+	if err := w.Int64s(prefix+"meta", []int64{int64(m.dom), int64(m.k), keep}); err != nil {
+		return err
+	}
+	if err := w.Float64s(prefix+"alpha", []float64{m.alpha}); err != nil {
+		return err
+	}
+	if err := appendNeighborCSR(w, prefix+"nbrs", m.nbrs); err != nil {
+		return err
+	}
+	if m.keepAll {
+		return appendNeighborCSR(w, prefix+"cands", m.cands)
+	}
+	return nil
+}
+
+// appendNeighborCSR flattens rows into a section pair (name+".ent",
+// name+".off").
+func appendNeighborCSR(w *artifact.Writer, name string, rows [][]ItemNeighbor) error {
+	off := make([]int64, len(rows)+1)
+	total := 0
+	for i, row := range rows {
+		total += len(row)
+		off[i+1] = int64(total)
+	}
+	// Stream by global element index: locate the owning row once, then
+	// walk forward — rows never interleave, so this is a linear pass.
+	row, base := 0, 0
+	if err := w.Stream(name+".ent", artifact.KindRecord, nbrWire, total, func(start, n int, b []byte) {
+		for i := 0; i < n; i++ {
+			for start+i >= base+len(rows[row]) {
+				base += len(rows[row])
+				row++
+			}
+			e := rows[row][start+i-base]
+			p := b[i*nbrWire:]
+			binfmt.PutUint32(p, uint32(e.Item))
+			binfmt.PutUint64(p[8:], math.Float64bits(e.Tau))
+		}
+	}); err != nil {
+		return err
+	}
+	return w.Int64s(name+".off", off)
+}
+
+// readNeighborCSR reads a section pair written by appendNeighborCSR,
+// validating offsets and that every neighbor is an item of dom. Rows
+// are subslices of one flat array — a zero-copy view when the host
+// layout allows — with empty rows left nil, as construction leaves them.
+func readNeighborCSR(r *artifact.Reader, name string, ds *ratings.Dataset, dom ratings.DomainID) ([][]ItemNeighbor, error) {
+	s, ok := r.Section(name + ".ent")
+	if !ok {
+		return nil, fmt.Errorf("cf: artifact: missing section %q", name+".ent")
+	}
+	if s.Kind != artifact.KindRecord || s.ElemSize != nbrWire {
+		return nil, fmt.Errorf("cf: artifact: section %q: kind %d / element size %d, want %d-byte records",
+			name+".ent", s.Kind, s.ElemSize, nbrWire)
+	}
+	off, err := r.Int64s(name + ".off")
+	if err != nil {
+		return nil, err
+	}
+	var flat []ItemNeighbor
+	if nbrLayoutOK {
+		if v, ok := artifact.View[ItemNeighbor](s); ok {
+			flat = v
+		}
+	}
+	if flat == nil {
+		flat = make([]ItemNeighbor, s.Count)
+		for i := range flat {
+			b := s.Data[i*nbrWire:]
+			flat[i] = ItemNeighbor{
+				Item: ratings.ItemID(binfmt.Uint32(b)),
+				Tau:  math.Float64frombits(binfmt.Uint64(b[8:])),
+			}
+		}
+	}
+	numRows := ds.NumItems()
+	if len(off) != numRows+1 || off[0] != 0 || off[numRows] != int64(len(flat)) {
+		return nil, fmt.Errorf("cf: artifact: %q offsets do not span %d rows / %d neighbors",
+			name, numRows, len(flat))
+	}
+	for i := 0; i < numRows; i++ {
+		if off[i] > off[i+1] {
+			return nil, fmt.Errorf("cf: artifact: %q offsets decrease at row %d", name, i)
+		}
+	}
+	for i := range flat {
+		if int(flat[i].Item) < 0 || int(flat[i].Item) >= numRows {
+			return nil, fmt.Errorf("cf: artifact: %q references item %d of %d", name, flat[i].Item, numRows)
+		}
+		if ds.Domain(flat[i].Item) != dom {
+			return nil, fmt.Errorf("cf: artifact: %q neighbor %d outside domain %d", name, flat[i].Item, dom)
+		}
+	}
+	rows := make([][]ItemNeighbor, numRows)
+	for i := 0; i < numRows; i++ {
+		if off[i] < off[i+1] {
+			if ds.Domain(ratings.ItemID(i)) != dom {
+				return nil, fmt.Errorf("cf: artifact: %q row %d outside domain %d is not empty", name, i, dom)
+			}
+			rows[i] = flat[off[i]:off[i+1]:off[i+1]]
+		}
+	}
+	return rows, nil
+}
+
+// ItemBasedFromArtifact reconstructs a model over ds from sections
+// written by AppendTo under prefix. It returns ok=false (and no error)
+// when the sections are absent or were persisted without the candidate
+// lists opt now requires — the caller rebuilds from the pair table
+// instead. A persisted model whose domain or options disagree with the
+// request is an error: the sections exist but describe a different
+// model.
+func ItemBasedFromArtifact(r *artifact.Reader, prefix string, ds *ratings.Dataset, dom ratings.DomainID, opt ItemBasedOptions) (*ItemBased, bool, error) {
+	if _, ok := r.Section(prefix + "meta"); !ok {
+		return nil, false, nil
+	}
+	meta, err := r.Int64s(prefix + "meta")
+	if err != nil {
+		return nil, false, err
+	}
+	if len(meta) != 3 {
+		return nil, false, fmt.Errorf("cf: artifact: meta section has %d values, want 3", len(meta))
+	}
+	alphaS, err := r.Float64s(prefix + "alpha")
+	if err != nil {
+		return nil, false, err
+	}
+	if len(alphaS) != 1 {
+		return nil, false, fmt.Errorf("cf: artifact: alpha section has %d values, want 1", len(alphaS))
+	}
+	if ratings.DomainID(meta[0]) != dom || int(meta[1]) != opt.K || alphaS[0] != opt.Alpha {
+		return nil, false, fmt.Errorf("cf: artifact: persisted model (domain %d, k %d, alpha %g) disagrees with request (domain %d, k %d, alpha %g)",
+			meta[0], meta[1], alphaS[0], dom, opt.K, opt.Alpha)
+	}
+	if opt.KeepCandidates && meta[2] == 0 {
+		return nil, false, nil // persisted without candidates; rebuild
+	}
+	m := &ItemBased{
+		ds: ds, dom: dom, k: opt.K, alpha: opt.Alpha,
+		keepAll: opt.KeepCandidates,
+		scratch: scratch.NewPool[profCell](ds.NumItems()),
+	}
+	if m.nbrs, err = readNeighborCSR(r, prefix+"nbrs", ds, dom); err != nil {
+		return nil, false, err
+	}
+	if opt.KeepCandidates {
+		if m.cands, err = readNeighborCSR(r, prefix+"cands", ds, dom); err != nil {
+			return nil, false, err
+		}
+	}
+	return m, true, nil
+}

@@ -1,0 +1,96 @@
+package cf
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"xmap/internal/artifact"
+	"xmap/internal/sim"
+)
+
+// saveModel round-trips m through an in-memory artifact.
+func saveModel(t *testing.T, m *ItemBased) *artifact.Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	w := artifact.NewWriter(&buf)
+	if err := m.AppendTo(w, "cf."); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := artifact.NewReader(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func assertModelsEqual(t *testing.T, got, want *ItemBased) {
+	t.Helper()
+	if got.dom != want.dom || got.k != want.k || got.alpha != want.alpha || got.keepAll != want.keepAll {
+		t.Fatalf("params lost: got (%d,%d,%g,%v) want (%d,%d,%g,%v)",
+			got.dom, got.k, got.alpha, got.keepAll, want.dom, want.k, want.alpha, want.keepAll)
+	}
+	if !reflect.DeepEqual(got.nbrs, want.nbrs) {
+		t.Fatal("neighbor lists differ after round trip")
+	}
+	if !reflect.DeepEqual(got.cands, want.cands) {
+		t.Fatal("candidate lists differ after round trip")
+	}
+}
+
+func TestItemBasedArtifactRoundTrip(t *testing.T) {
+	ds := trainSet(t)
+	pairs := sim.ComputePairs(ds, sim.Options{Metric: sim.AdjustedCosine})
+	for _, opt := range []ItemBasedOptions{
+		{K: 2, Shrinkage: 1.5},
+		{K: 3, Alpha: 0.01, KeepCandidates: true},
+	} {
+		orig := NewItemBased(pairs, 0, opt)
+		r := saveModel(t, orig)
+		loaded, ok, err := ItemBasedFromArtifact(r, "cf.", ds, 0, opt)
+		if err != nil || !ok {
+			t.Fatalf("load (opt %+v): ok=%v err=%v", opt, ok, err)
+		}
+		assertModelsEqual(t, loaded, orig)
+		// The loaded model must predict identically.
+		prof := sciFiProfile()
+		a := orig.Recommend(prof, 3, 0)
+		b := loaded.Recommend(prof, 3, 0)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("recommendations diverge: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestItemBasedArtifactFallbacks(t *testing.T) {
+	ds := trainSet(t)
+	pairs := sim.ComputePairs(ds, sim.Options{Metric: sim.AdjustedCosine})
+	opt := ItemBasedOptions{K: 2}
+	orig := NewItemBased(pairs, 0, opt)
+	r := saveModel(t, orig)
+
+	// Absent sections: not an error, the caller rebuilds.
+	if _, ok, err := ItemBasedFromArtifact(r, "nope.", ds, 0, opt); ok || err != nil {
+		t.Fatalf("missing sections: ok=%v err=%v, want silent fallback", ok, err)
+	}
+	// Persisted without candidates but the request now needs them (a
+	// non-private save loaded by a private config): rebuild, not error.
+	private := opt
+	private.KeepCandidates = true
+	if _, ok, err := ItemBasedFromArtifact(r, "cf.", ds, 0, private); ok || err != nil {
+		t.Fatalf("candidate-less model for private request: ok=%v err=%v, want silent fallback", ok, err)
+	}
+	// A model that exists but disagrees with the request is an error.
+	bad := opt
+	bad.K = 5
+	if _, _, err := ItemBasedFromArtifact(r, "cf.", ds, 0, bad); err == nil || !strings.Contains(err.Error(), "disagrees") {
+		t.Fatalf("k mismatch: err=%v, want disagreement error", err)
+	}
+	if _, _, err := ItemBasedFromArtifact(r, "cf.", ds, 1, opt); err == nil {
+		t.Fatal("domain mismatch accepted")
+	}
+}

@@ -1,0 +1,326 @@
+// Pipeline bundles: everything a serving process needs to cold-start —
+// the dataset, every fitted per-pair structure (baseline pairs, layered
+// graph, X-Sim table), the fit epoch and the WAL checkpoint offset — as
+// one artifact directory. Loading a bundle rebuilds pipelines that are
+// bit-identical to freshly fitted ones without running any fit phase:
+// the expensive structures deserialize (or map) straight from disk, and
+// only the cheap serving models (CF neighbor lists, AlterEgo mapper) are
+// reconstructed. With Mapped loads the heavy arrays are zero-copy views
+// over the page cache, which is what takes cold start from minutes of
+// CSV parsing to milliseconds.
+//
+// Crash safety: each artifact file is published atomically
+// (tmp+fsync+rename, internal/binfmt), data files are named by fit epoch,
+// and MANIFEST.json — itself written atomically, last — is the commit
+// point. A crash anywhere mid-save leaves either the previous complete
+// bundle or the new one, never a manifest pointing at torn or
+// mixed-epoch data. Superseded epochs are garbage-collected after the
+// manifest flips.
+
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"xmap/internal/artifact"
+	"xmap/internal/binfmt"
+	"xmap/internal/cf"
+	"xmap/internal/graph"
+	"xmap/internal/ratings"
+	"xmap/internal/sim"
+	"xmap/internal/xsim"
+)
+
+// manifestName is the bundle's commit point: the bundle exists iff this
+// file parses and references complete artifacts.
+const manifestName = "MANIFEST.json"
+
+// manifestVersion guards the manifest schema, as artifact.Version guards
+// the container format.
+const manifestVersion = 1
+
+// SaveInfo carries the bundle metadata that is not derivable from the
+// pipelines themselves.
+type SaveInfo struct {
+	// Epoch identifies the fit that produced the bundle (the refit
+	// generation or a wall-clock stamp — any value that grows per save).
+	Epoch int64
+	// WALCheckpoint is the rating-log offset the fit had consumed: on
+	// cold start the server replays only the WAL tail past it.
+	WALCheckpoint int64
+}
+
+// manifest is the on-disk MANIFEST.json schema.
+type manifest struct {
+	Version       int            `json:"version"`
+	Epoch         int64          `json:"epoch"`
+	WALCheckpoint int64          `json:"walCheckpoint"`
+	Dataset       string         `json:"dataset"`
+	Pipelines     []manifestPair `json:"pipelines"`
+}
+
+type manifestPair struct {
+	Src  ratings.DomainID `json:"src"`
+	Dst  ratings.DomainID `json:"dst"`
+	File string           `json:"file"`
+}
+
+// SavePipeline writes the dataset and every pipeline into an artifact
+// bundle at dir (created if missing). All pipelines must be fitted on
+// the identical dataset — the bundle stores it once and every loaded
+// pipeline shares the single copy, exactly like the fitted processes.
+func SavePipeline(dir string, pipes []*Pipeline, info SaveInfo) error {
+	if len(pipes) == 0 {
+		return fmt.Errorf("core: bundle needs at least one pipeline")
+	}
+	ds := pipes[0].Dataset()
+	for _, p := range pipes[1:] {
+		if p.Dataset() != ds {
+			return fmt.Errorf("core: bundle pipelines are fitted on different datasets")
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: bundle dir: %w", err)
+	}
+
+	m := manifest{Version: manifestVersion, Epoch: info.Epoch, WALCheckpoint: info.WALCheckpoint}
+	m.Dataset = fmt.Sprintf("dataset-%d.xart", info.Epoch)
+	if err := writeArtifactFile(filepath.Join(dir, m.Dataset), func(w *artifact.Writer) error {
+		return ds.AppendTo(w, "")
+	}); err != nil {
+		return err
+	}
+	for _, p := range pipes {
+		pp := p
+		name := fmt.Sprintf("pair-%d-%d-%d.xart", info.Epoch, pp.src, pp.dst)
+		if err := writeArtifactFile(filepath.Join(dir, name), func(w *artifact.Writer) error {
+			if err := w.JSON("config", pp.cfg); err != nil {
+				return err
+			}
+			if err := w.Int64s("meta", []int64{int64(pp.src), int64(pp.dst)}); err != nil {
+				return err
+			}
+			if err := pp.pairs.AppendTo(w, "pairs."); err != nil {
+				return err
+			}
+			if err := pp.graph.AppendTo(w, "graph."); err != nil {
+				return err
+			}
+			if err := pp.table.AppendTo(w, "table."); err != nil {
+				return err
+			}
+			// The item-based CF model is derivable from the pairs, but its
+			// rebuild dominates the load path; persist it so a mapped load
+			// does zero per-item work (absent for user-based configs, which
+			// rebuild at load).
+			if pp.ibModel != nil {
+				return pp.ibModel.AppendTo(w, "cf.")
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		m.Pipelines = append(m.Pipelines, manifestPair{Src: pp.src, Dst: pp.dst, File: name})
+	}
+
+	mb, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: marshal manifest: %w", err)
+	}
+	// The commit point: after this rename the new bundle is live.
+	if err := binfmt.AtomicWriteFile(filepath.Join(dir, manifestName), mb, 0o644); err != nil {
+		return err
+	}
+	gcBundle(dir, m)
+	return nil
+}
+
+// writeArtifactFile streams one artifact to path with atomic publication.
+func writeArtifactFile(path string, fill func(w *artifact.Writer) error) error {
+	af, err := binfmt.AtomicCreate(path)
+	if err != nil {
+		return err
+	}
+	defer af.Abort()
+	w := artifact.NewWriter(af)
+	if err := fill(w); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	return af.Commit()
+}
+
+// gcBundle removes artifact files of superseded epochs. Best-effort: a
+// failed unlink leaves garbage, never breaks the live bundle.
+func gcBundle(dir string, m manifest) {
+	live := map[string]bool{m.Dataset: true}
+	for _, p := range m.Pipelines {
+		live[p.File] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if live[name] || !strings.HasSuffix(name, ".xart") {
+			continue
+		}
+		if strings.HasPrefix(name, "dataset-") || strings.HasPrefix(name, "pair-") {
+			_ = os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// LoadOptions configures LoadPipeline.
+type LoadOptions struct {
+	// Mapped serves the bundle's flat arrays as zero-copy views over
+	// mmap'd files instead of reading them into the heap. The Bundle must
+	// stay open for as long as any pipeline (or the dataset) is in use.
+	Mapped bool
+	// Workers overrides the fitted Workers setting of every loaded
+	// pipeline config (0 keeps the persisted value) — worker counts are a
+	// property of the serving host, not of the fit.
+	Workers int
+}
+
+// Bundle is a loaded pipeline bundle. Close releases the underlying
+// readers (and mappings, when Mapped); everything loaded from the bundle
+// is invalid afterwards.
+type Bundle struct {
+	Dataset   *ratings.Dataset
+	Pipelines []*Pipeline
+	Info      SaveInfo
+
+	readers []io.Closer
+}
+
+// Close releases every artifact backing the bundle.
+func (b *Bundle) Close() error {
+	var first error
+	for _, r := range b.readers {
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	b.readers = nil
+	return first
+}
+
+// BundleExists reports whether dir holds a committed bundle (a readable
+// manifest), without validating the artifacts it references.
+func BundleExists(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, manifestName))
+	return err == nil
+}
+
+// LoadPipeline opens the bundle at dir and reconstructs its pipelines.
+// Every artifact is CRC-verified at open; each pipeline is rebuilt from
+// its persisted structures plus freshly constructed serving models, and
+// is bit-identical on served lists to the pipeline that was saved.
+func LoadPipeline(dir string, opt LoadOptions) (*Bundle, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("core: bundle at %s: %w", dir, err)
+	}
+	var m manifest
+	if err := json.Unmarshal(mb, &m); err != nil {
+		return nil, fmt.Errorf("core: bundle manifest at %s: %w", dir, err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("core: bundle manifest version %d (this build reads %d): refit and re-save",
+			m.Version, manifestVersion)
+	}
+	open := artifact.Open
+	if opt.Mapped {
+		open = artifact.OpenMapped
+	}
+
+	b := &Bundle{Info: SaveInfo{Epoch: m.Epoch, WALCheckpoint: m.WALCheckpoint}}
+	ok := false
+	defer func() {
+		if !ok {
+			b.Close()
+		}
+	}()
+
+	dsReader, err := open(filepath.Join(dir, m.Dataset))
+	if err != nil {
+		return nil, err
+	}
+	b.readers = append(b.readers, dsReader)
+	if b.Dataset, err = ratings.FromArtifact(dsReader, ""); err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, m.Dataset)
+	}
+
+	for _, mp := range m.Pipelines {
+		r, err := open(filepath.Join(dir, mp.File))
+		if err != nil {
+			return nil, err
+		}
+		b.readers = append(b.readers, r)
+		p, err := pipelineFromArtifact(r, b.Dataset, mp, opt.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("%w (%s)", err, mp.File)
+		}
+		b.Pipelines = append(b.Pipelines, p)
+	}
+	ok = true
+	return b, nil
+}
+
+// pipelineFromArtifact rebuilds one pipeline from its bundle artifact:
+// persisted similarity structures, fresh serving models, rng re-seeded
+// from the persisted config exactly as a fresh fit would.
+func pipelineFromArtifact(r *artifact.Reader, ds *ratings.Dataset, mp manifestPair, workers int) (*Pipeline, error) {
+	var cfg Config
+	if err := r.JSON("config", &cfg); err != nil {
+		return nil, err
+	}
+	if workers != 0 {
+		cfg.Workers = workers
+	}
+	meta, err := r.Int64s("meta")
+	if err != nil {
+		return nil, err
+	}
+	if len(meta) != 2 {
+		return nil, fmt.Errorf("core: artifact: meta section has %d values, want 2", len(meta))
+	}
+	src, dst := ratings.DomainID(meta[0]), ratings.DomainID(meta[1])
+	if src != mp.Src || dst != mp.Dst {
+		return nil, fmt.Errorf("core: artifact: domains (%d,%d) disagree with manifest (%d,%d)",
+			src, dst, mp.Src, mp.Dst)
+	}
+	if int(src) >= ds.NumDomains() || int(dst) >= ds.NumDomains() {
+		return nil, fmt.Errorf("core: artifact: domains (%d,%d) outside dataset's %d domains",
+			src, dst, ds.NumDomains())
+	}
+
+	p := &Pipeline{cfg: cfg, ds: ds, src: src, dst: dst, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if p.pairs, err = sim.PairsFromArtifact(r, "pairs.", ds); err != nil {
+		return nil, err
+	}
+	if p.graph, err = graph.FromArtifact(r, "graph.", p.pairs); err != nil {
+		return nil, err
+	}
+	if p.table, err = xsim.TableFromArtifact(r, "table.", ds); err != nil {
+		return nil, err
+	}
+	var ib *cf.ItemBased
+	if cfg.Mode != UserBasedMode {
+		if ib, _, err = cf.ItemBasedFromArtifact(r, "cf.", ds, dst, itemBasedOptions(cfg)); err != nil {
+			return nil, err
+		}
+	}
+	p.buildServingWith(cfg, ib)
+	return p, nil
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"xmap/internal/ratings"
+)
+
+// fitBoth fits the two directions of the trace's domain pair on the full
+// dataset, the shape a serving process persists.
+func fitBoth(t *testing.T) (*Pipeline, *Pipeline) {
+	t.Helper()
+	az := trace(t)
+	cfg := DefaultConfig()
+	cfg.K = 10
+	fwd := Fit(az.DS, az.Movies, az.Books, cfg)
+	rev := FitWithTable(az.DS, az.Books, az.Movies, cfg,
+		xsimExtendAll(graphBuildAll(fwd.Pairs(), az.Books, az.Movies)))
+	return fwd, rev
+}
+
+// assertServedListsEqual compares top-N lists for every user across two
+// pipelines, demanding bit-identity (same items, same float scores).
+func assertServedListsEqual(t *testing.T, label string, a, b *Pipeline) {
+	t.Helper()
+	for u := 0; u < a.Dataset().NumUsers(); u++ {
+		la := a.RecommendForUser(ratings.UserID(u), 10)
+		lb := b.RecommendForUser(ratings.UserID(u), 10)
+		if !reflect.DeepEqual(la, lb) {
+			t.Fatalf("%s: user %d served lists differ:\n%v\nvs\n%v", label, u, la, lb)
+		}
+	}
+}
+
+func TestBundleRoundTripServedLists(t *testing.T) {
+	fwd, rev := fitBoth(t)
+	dir := filepath.Join(t.TempDir(), "bundle")
+	info := SaveInfo{Epoch: 7, WALCheckpoint: 1234}
+	if err := SavePipeline(dir, []*Pipeline{fwd, rev}, info); err != nil {
+		t.Fatal(err)
+	}
+	if !BundleExists(dir) {
+		t.Fatal("bundle not committed")
+	}
+
+	heap, err := LoadPipeline(dir, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer heap.Close()
+	mapped, err := LoadPipeline(dir, LoadOptions{Mapped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+
+	for _, b := range []*Bundle{heap, mapped} {
+		if b.Info != info {
+			t.Fatalf("bundle info = %+v, want %+v", b.Info, info)
+		}
+		if len(b.Pipelines) != 2 {
+			t.Fatalf("bundle has %d pipelines", len(b.Pipelines))
+		}
+		if b.Pipelines[0].Source() != fwd.Source() || b.Pipelines[1].Source() != rev.Source() {
+			t.Fatal("pipeline order lost")
+		}
+	}
+
+	// The acceptance bar: mmap-backed served lists bit-identical to
+	// heap-backed, and both to the freshly fitted originals.
+	assertServedListsEqual(t, "fwd heap-vs-orig", heap.Pipelines[0], fwd)
+	assertServedListsEqual(t, "rev heap-vs-orig", heap.Pipelines[1], rev)
+	assertServedListsEqual(t, "fwd mmap-vs-heap", mapped.Pipelines[0], heap.Pipelines[0])
+	assertServedListsEqual(t, "rev mmap-vs-heap", mapped.Pipelines[1], heap.Pipelines[1])
+
+	// Fitted-structure diagnostics survive too.
+	dOrig, dLoad := fwd.Diagnose(), mapped.Pipelines[0].Diagnose()
+	dOrig.BaselinerTime, dOrig.ExtenderTime, dOrig.ModelTime = 0, 0, 0
+	dLoad.BaselinerTime, dLoad.ExtenderTime, dLoad.ModelTime = 0, 0, 0
+	if dOrig != dLoad {
+		t.Fatalf("diagnostics differ: %v vs %v", dOrig, dLoad)
+	}
+}
+
+func TestBundleResaveGCsOldEpoch(t *testing.T) {
+	fwd, _ := fitBoth(t)
+	dir := filepath.Join(t.TempDir(), "bundle")
+	if err := SavePipeline(dir, []*Pipeline{fwd}, SaveInfo{Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := SavePipeline(dir, []*Pipeline{fwd}, SaveInfo{Epoch: 2}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), "-1-") && strings.HasSuffix(e.Name(), ".xart") {
+			if strings.HasPrefix(e.Name(), "dataset-1") || strings.HasPrefix(e.Name(), "pair-1-") {
+				t.Fatalf("epoch-1 file %s survived the epoch-2 save", e.Name())
+			}
+		}
+	}
+	b, err := LoadPipeline(dir, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Info.Epoch != 2 {
+		t.Fatalf("loaded epoch %d", b.Info.Epoch)
+	}
+	b.Close()
+}
+
+func TestBundleCorruptionRejected(t *testing.T) {
+	fwd, _ := fitBoth(t)
+	dir := filepath.Join(t.TempDir(), "bundle")
+	if err := SavePipeline(dir, []*Pipeline{fwd}, SaveInfo{Epoch: 3}); err != nil {
+		t.Fatal(err)
+	}
+	var pairFile string
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "pair-") {
+			pairFile = filepath.Join(dir, e.Name())
+		}
+	}
+	data, err := os.ReadFile(pairFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte mid-file: the section CRC must catch it in
+	// both open modes, without a panic.
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(pairFile, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range []LoadOptions{{}, {Mapped: true}} {
+		if _, err := LoadPipeline(dir, opt); err == nil {
+			t.Fatalf("corrupt bundle loaded (mapped=%v)", opt.Mapped)
+		}
+	}
+}
+
+func TestBundleMissingAndHalfWritten(t *testing.T) {
+	dir := t.TempDir()
+	if BundleExists(dir) {
+		t.Fatal("empty dir reported as bundle")
+	}
+	if _, err := LoadPipeline(dir, LoadOptions{}); err == nil {
+		t.Fatal("loaded a bundle from nothing")
+	}
+	// A crash before the manifest rename leaves data files but no
+	// manifest: not a bundle.
+	fwd, _ := fitBoth(t)
+	bdir := filepath.Join(dir, "b")
+	if err := SavePipeline(bdir, []*Pipeline{fwd}, SaveInfo{Epoch: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(bdir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	if BundleExists(bdir) {
+		t.Fatal("manifest-less dir reported as bundle")
+	}
+	if _, err := LoadPipeline(bdir, LoadOptions{}); err == nil {
+		t.Fatal("loaded a manifest-less bundle")
+	}
+}
+
+func TestSavePipelineRejectsMixedDatasets(t *testing.T) {
+	fwd, _ := fitBoth(t)
+	az2 := trace(t)
+	other := Fit(az2.DS, az2.Movies, az2.Books, fwd.Config())
+	if err := SavePipeline(t.TempDir(), []*Pipeline{fwd, other}, SaveInfo{}); err == nil {
+		t.Fatal("bundle accepted pipelines over different datasets")
+	}
+	if err := SavePipeline(t.TempDir(), nil, SaveInfo{}); err == nil {
+		t.Fatal("empty bundle accepted")
+	}
+}

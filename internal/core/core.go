@@ -197,6 +197,15 @@ func FitWithTable(ds *ratings.Dataset, src, dst ratings.DomainID, cfg Config, tb
 // buildServing constructs the Generator and Recommender components on top
 // of the fitted similarity structures.
 func (p *Pipeline) buildServing(cfg Config) {
+	p.buildServingWith(cfg, nil)
+}
+
+// buildServingWith constructs the serving models, adopting a prefitted
+// item-based model (from a bundle artifact) instead of rebuilding it
+// when one is supplied. The construction order is identical either way,
+// so the rng consumption — and with it every privacy draw — matches a
+// fresh fit exactly.
+func (p *Pipeline) buildServingWith(cfg Config, ib *cf.ItemBased) {
 	// Generator (§5.3): replacement policy.
 	if cfg.Private {
 		p.mapper = alterego.NewPrivateMapper(p.table, cfg.EpsilonAE, p.rng, &p.acct)
@@ -218,13 +227,24 @@ func (p *Pipeline) buildServing(cfg Config) {
 			p.pub = &cf.PrivateUserBased{Model: p.ubModel, Epsilon: cfg.EpsilonRec, Rho: 0.1, Rng: p.rng}
 		}
 	default:
-		p.ibModel = cf.NewItemBased(p.pairs, p.dst, cf.ItemBasedOptions{
-			K: cfg.K, Alpha: cfg.Alpha, Shrinkage: cfg.Shrinkage,
-			KeepCandidates: cfg.Private,
-		})
+		if ib != nil {
+			p.ibModel = ib
+		} else {
+			p.ibModel = cf.NewItemBased(p.pairs, p.dst, itemBasedOptions(cfg))
+		}
 		if cfg.Private {
 			p.pib = cf.NewPrivateItemBased(p.ibModel, cfg.EpsilonRec, p.rng)
 		}
+	}
+}
+
+// itemBasedOptions maps the pipeline config onto the item-based CF
+// constructor options — shared by fresh fits and bundle loads, which
+// must agree for a persisted model to be adoptable.
+func itemBasedOptions(cfg Config) cf.ItemBasedOptions {
+	return cf.ItemBasedOptions{
+		K: cfg.K, Alpha: cfg.Alpha, Shrinkage: cfg.Shrinkage,
+		KeepCandidates: cfg.Private,
 	}
 }
 

@@ -1,0 +1,106 @@
+// Artifact serialization for the layered graph. The graph is cheap to
+// rebuild relative to the pairwise pass but not free (bridge detection
+// walks every item's raters), and a serving process that cold-starts in
+// milliseconds cannot afford any per-item pass — so the layers and all
+// four pruned adjacencies persist alongside the pair table they were
+// built from.
+
+package graph
+
+import (
+	"fmt"
+
+	"xmap/internal/artifact"
+	"xmap/internal/ratings"
+	"xmap/internal/sim"
+)
+
+// AppendTo writes the graph as artifact sections under prefix.
+func (g *Graph) AppendTo(w *artifact.Writer, prefix string) error {
+	if err := w.Int64s(prefix+"meta", []int64{int64(g.src), int64(g.dst), int64(g.k)}); err != nil {
+		return err
+	}
+	bridge := make([]byte, len(g.isBridge))
+	for i, b := range g.isBridge {
+		if b {
+			bridge[i] = 1
+		}
+	}
+	if err := w.Bytes(prefix+"bridge", bridge); err != nil {
+		return err
+	}
+	layer := make([]byte, len(g.layer))
+	for i, l := range g.layer {
+		layer[i] = byte(l)
+	}
+	if err := w.Bytes(prefix+"layer", layer); err != nil {
+		return err
+	}
+	if err := sim.AppendEdgeCSR(w, prefix+"tonb", g.toNB); err != nil {
+		return err
+	}
+	if err := sim.AppendEdgeCSR(w, prefix+"tobb", g.toBB); err != nil {
+		return err
+	}
+	if err := sim.AppendEdgeCSR(w, prefix+"tonn", g.toNN); err != nil {
+		return err
+	}
+	return sim.AppendEdgeCSR(w, prefix+"crossbb", g.crossBB)
+}
+
+// FromArtifact reconstructs a graph from sections written by AppendTo
+// under the same prefix, re-attached to the given pair table (which must
+// be over the dataset the graph was built from).
+func FromArtifact(r *artifact.Reader, prefix string, pairs *sim.Pairs) (*Graph, error) {
+	ds := pairs.Dataset()
+	n := ds.NumItems()
+	meta, err := r.Int64s(prefix + "meta")
+	if err != nil {
+		return nil, err
+	}
+	if len(meta) != 3 {
+		return nil, fmt.Errorf("graph: artifact: meta section has %d values, want 3", len(meta))
+	}
+	src, dst := ratings.DomainID(meta[0]), ratings.DomainID(meta[1])
+	if int(src) >= ds.NumDomains() || int(dst) >= ds.NumDomains() {
+		return nil, fmt.Errorf("graph: artifact: domains (%d,%d) outside dataset's %d domains",
+			src, dst, ds.NumDomains())
+	}
+	g := &Graph{ds: ds, pairs: pairs, src: src, dst: dst, k: int(meta[2])}
+
+	bridge, err := r.Bytes(prefix + "bridge")
+	if err != nil {
+		return nil, err
+	}
+	layer, err := r.Bytes(prefix + "layer")
+	if err != nil {
+		return nil, err
+	}
+	if len(bridge) != n || len(layer) != n {
+		return nil, fmt.Errorf("graph: artifact: layer tables sized %d/%d, dataset has %d items",
+			len(bridge), len(layer), n)
+	}
+	g.isBridge = make([]bool, n)
+	g.layer = make([]Layer, n)
+	for i := 0; i < n; i++ {
+		g.isBridge[i] = bridge[i] != 0
+		if layer[i] > byte(LayerNone) {
+			return nil, fmt.Errorf("graph: artifact: item %d has layer %d", i, layer[i])
+		}
+		g.layer[i] = Layer(layer[i])
+	}
+
+	if g.toNB, err = sim.ReadEdgeCSR(r, prefix+"tonb", n, n); err != nil {
+		return nil, err
+	}
+	if g.toBB, err = sim.ReadEdgeCSR(r, prefix+"tobb", n, n); err != nil {
+		return nil, err
+	}
+	if g.toNN, err = sim.ReadEdgeCSR(r, prefix+"tonn", n, n); err != nil {
+		return nil, err
+	}
+	if g.crossBB, err = sim.ReadEdgeCSR(r, prefix+"crossbb", n, n); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,370 @@
+// Artifact serialization for Dataset: every field of the store — both CSR
+// indexes, the name tables, and all derived arrays (means, sums, domain
+// buckets, per-user domain counts) — is persisted as flat artifact
+// sections, so a load reassembles the exact in-memory Dataset with zero
+// recompute: no sort, no transpose, no mean pass. A loaded dataset is
+// bit-identical to the one that was saved, which is what lets a mapped
+// serving process produce byte-for-byte the same recommendations as the
+// process that fitted.
+//
+// On little-endian hosts the rating arrays are zero-copy views over the
+// artifact bytes (heap or mmap); elsewhere they decode element-wise into
+// fresh slices. Either way the Dataset owns nothing mutable: its
+// documented immutability is exactly what makes construction over
+// externally-owned (possibly mapped, read-only) memory safe.
+
+package ratings
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"unsafe"
+
+	"xmap/internal/artifact"
+	"xmap/internal/binfmt"
+	"xmap/internal/scratch"
+)
+
+// entryWire is the on-disk size of one rating entry: i32 id at 0,
+// 4 zero bytes, f64 value at 8, i64 time at 16 — chosen to equal the Go
+// struct layout of Entry and UserEntry so views need no translation.
+const entryWire = 24
+
+// entryLayoutOK guards the zero-copy cast: both record types must have
+// the wire layout on this build (they do on every platform Go supports,
+// but a guard beats a silent misread if that ever shifts).
+var entryLayoutOK = unsafe.Sizeof(Entry{}) == entryWire &&
+	unsafe.Offsetof(Entry{}.Item) == 0 &&
+	unsafe.Offsetof(Entry{}.Value) == 8 &&
+	unsafe.Offsetof(Entry{}.Time) == 16 &&
+	unsafe.Sizeof(UserEntry{}) == entryWire &&
+	unsafe.Offsetof(UserEntry{}.User) == 0 &&
+	unsafe.Offsetof(UserEntry{}.Value) == 8 &&
+	unsafe.Offsetof(UserEntry{}.Time) == 16
+
+// AppendTo writes the dataset as artifact sections under the given name
+// prefix (use "" for a standalone file, "ds." inside a bundle).
+func (d *Dataset) AppendTo(w *artifact.Writer, prefix string) error {
+	p := func(s string) string { return prefix + s }
+	if err := w.Strings(p("users"), d.userNames); err != nil {
+		return err
+	}
+	if err := w.Strings(p("items"), d.itemNames); err != nil {
+		return err
+	}
+	if err := w.Strings(p("domains"), d.domainNames); err != nil {
+		return err
+	}
+	if err := w.Stream(p("itemdomain"), artifact.KindBytes, 1, len(d.itemDomain), func(start, n int, b []byte) {
+		for i := 0; i < n; i++ {
+			b[i] = byte(d.itemDomain[start+i])
+		}
+	}); err != nil {
+		return err
+	}
+	if err := writeEntryCSR(w, p("byuser"), d.byUser.Off, len(d.byUser.Edges), func(k int) (int32, float64, int64) {
+		e := d.byUser.Edges[k]
+		return int32(e.Item), e.Value, e.Time
+	}); err != nil {
+		return err
+	}
+	if err := writeEntryCSR(w, p("byitem"), d.byItem.Off, len(d.byItem.Edges), func(k int) (int32, float64, int64) {
+		e := d.byItem.Edges[k]
+		return int32(e.User), e.Value, e.Time
+	}); err != nil {
+		return err
+	}
+	if err := w.Float64s(p("usermean"), d.userMean); err != nil {
+		return err
+	}
+	if err := w.Float64s(p("itemmean"), d.itemMean); err != nil {
+		return err
+	}
+	if err := w.Float64s(p("usersum"), d.userSum); err != nil {
+		return err
+	}
+	if err := w.Float64s(p("global"), []float64{d.globalMean}); err != nil {
+		return err
+	}
+	if err := w.Stream(p("domainitems"), artifact.KindInt32, 4, len(d.domainItems), func(start, n int, b []byte) {
+		for i := 0; i < n; i++ {
+			binfmt.PutUint32(b[i*4:], uint32(d.domainItems[start+i]))
+		}
+	}); err != nil {
+		return err
+	}
+	if err := w.Int64s(p("domainoff"), d.domainOff); err != nil {
+		return err
+	}
+	return w.Int32s(p("udcount"), d.userDomainCount)
+}
+
+// writeEntryCSR streams one rating CSR (entries + offsets) with the
+// record fields supplied by at, so byUser and byItem share the encoder.
+func writeEntryCSR(w *artifact.Writer, name string, off []int64, n int, at func(k int) (int32, float64, int64)) error {
+	if err := w.Stream(name+".ent", artifact.KindRecord, entryWire, n, func(start, cn int, b []byte) {
+		for i := 0; i < cn; i++ {
+			id, v, t := at(start + i)
+			binfmt.PutUint32(b[i*entryWire:], uint32(id))
+			binfmt.PutUint64(b[i*entryWire+8:], math.Float64bits(v))
+			binfmt.PutUint64(b[i*entryWire+16:], uint64(t))
+		}
+	}); err != nil {
+		return err
+	}
+	return w.Int64s(name+".off", off)
+}
+
+// WriteTo serializes the dataset as a complete standalone artifact,
+// implementing io.WriterTo. For writing to a file prefer SaveFile, which
+// publishes atomically.
+func (d *Dataset) WriteTo(w io.Writer) (int64, error) {
+	aw := artifact.NewWriter(w)
+	if err := d.AppendTo(aw, ""); err != nil {
+		return aw.Offset(), err
+	}
+	err := aw.Close()
+	return aw.Offset(), err
+}
+
+// SaveFile writes the dataset artifact at path via tmp+fsync+rename: a
+// crash mid-save leaves the previous file (or nothing), never a torn
+// artifact.
+func (d *Dataset) SaveFile(path string) error {
+	af, err := binfmt.AtomicCreate(path)
+	if err != nil {
+		return err
+	}
+	defer af.Abort()
+	if _, err := d.WriteTo(af); err != nil {
+		return err
+	}
+	return af.Commit()
+}
+
+// FromArtifact reconstructs a Dataset from sections written by AppendTo
+// under the same prefix. The returned dataset aliases the reader's bytes
+// wherever the host allows zero-copy views; it is valid only until the
+// reader is closed.
+func FromArtifact(r *artifact.Reader, prefix string) (*Dataset, error) {
+	p := func(s string) string { return prefix + s }
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("ratings: artifact: "+format, args...)
+	}
+
+	ds := &Dataset{}
+	var err error
+	if ds.userNames, err = r.Strings(p("users")); err != nil {
+		return nil, err
+	}
+	if ds.itemNames, err = r.Strings(p("items")); err != nil {
+		return nil, err
+	}
+	if ds.domainNames, err = r.Strings(p("domains")); err != nil {
+		return nil, err
+	}
+	nu, ni, nd := len(ds.userNames), len(ds.itemNames), len(ds.domainNames)
+
+	if ds.itemDomain, err = readDomainIDs(r, p("itemdomain")); err != nil {
+		return nil, err
+	}
+	if ds.byUser, err = readEntryCSR[Entry](r, p("byuser"), func(id int32, v float64, t int64) Entry {
+		return Entry{Item: ItemID(id), Value: v, Time: t}
+	}); err != nil {
+		return nil, err
+	}
+	if ds.byItem, err = readEntryCSR[UserEntry](r, p("byitem"), func(id int32, v float64, t int64) UserEntry {
+		return UserEntry{User: UserID(id), Value: v, Time: t}
+	}); err != nil {
+		return nil, err
+	}
+	if ds.userMean, err = r.Float64s(p("usermean")); err != nil {
+		return nil, err
+	}
+	if ds.itemMean, err = r.Float64s(p("itemmean")); err != nil {
+		return nil, err
+	}
+	if ds.userSum, err = r.Float64s(p("usersum")); err != nil {
+		return nil, err
+	}
+	global, err := r.Float64s(p("global"))
+	if err != nil {
+		return nil, err
+	}
+	if len(global) != 1 {
+		return nil, bad("global mean section has %d values", len(global))
+	}
+	ds.globalMean = global[0]
+	if ds.domainItems, err = readItemIDs(r, p("domainitems")); err != nil {
+		return nil, err
+	}
+	if ds.domainOff, err = r.Int64s(p("domainoff")); err != nil {
+		return nil, err
+	}
+	if ds.userDomainCount, err = r.Int32s(p("udcount")); err != nil {
+		return nil, err
+	}
+
+	// Structural validation: every length and offset endpoint the accessors
+	// index by. Section CRCs already reject corruption; these checks reject
+	// a well-formed artifact that simply isn't a dataset.
+	if len(ds.itemDomain) != ni || len(ds.userMean) != nu || len(ds.itemMean) != ni ||
+		len(ds.userSum) != nu || len(ds.domainItems) != ni ||
+		len(ds.domainOff) != nd+1 || len(ds.userDomainCount) != nu*nd {
+		return nil, bad("section lengths inconsistent with %d users / %d items / %d domains", nu, ni, nd)
+	}
+	if err := checkOffsets(ds.byUser.Off, nu, len(ds.byUser.Edges)); err != nil {
+		return nil, bad("byuser: %v", err)
+	}
+	if err := checkOffsets(ds.byItem.Off, ni, len(ds.byItem.Edges)); err != nil {
+		return nil, bad("byitem: %v", err)
+	}
+	if err := checkOffsets(ds.domainOff, nd, ni); err != nil {
+		return nil, bad("domains: %v", err)
+	}
+	if len(ds.byUser.Edges) != len(ds.byItem.Edges) {
+		return nil, bad("index sizes differ: %d by-user vs %d by-item", len(ds.byUser.Edges), len(ds.byItem.Edges))
+	}
+	for _, e := range ds.byUser.Edges {
+		if int(e.Item) < 0 || int(e.Item) >= ni {
+			return nil, bad("rating references item %d of %d", e.Item, ni)
+		}
+	}
+	for _, e := range ds.byItem.Edges {
+		if int(e.User) < 0 || int(e.User) >= nu {
+			return nil, bad("rating references user %d of %d", e.User, nu)
+		}
+	}
+	for _, d := range ds.itemDomain {
+		if int(d) >= nd {
+			return nil, bad("item domain %d of %d", d, nd)
+		}
+	}
+	for _, i := range ds.domainItems {
+		if int(i) < 0 || int(i) >= ni {
+			return nil, bad("domain bucket references item %d of %d", i, ni)
+		}
+	}
+	return ds, nil
+}
+
+// checkOffsets validates a CSR offset array: n+1 entries from 0 to total,
+// non-decreasing.
+func checkOffsets(off []int64, n, total int) error {
+	if len(off) != n+1 || off[0] != 0 || off[n] != int64(total) {
+		return fmt.Errorf("offset array does not span %d rows / %d entries", n, total)
+	}
+	for i := 0; i < n; i++ {
+		if off[i] > off[i+1] {
+			return fmt.Errorf("offsets decrease at row %d", i)
+		}
+	}
+	return nil
+}
+
+// recordSection fetches a KindRecord section with the expected element
+// size.
+func recordSection(r *artifact.Reader, name string, elemSize int) (*artifact.Section, error) {
+	s, ok := r.Section(name)
+	if !ok {
+		return nil, fmt.Errorf("ratings: artifact: missing section %q", name)
+	}
+	if s.Kind != artifact.KindRecord || s.ElemSize != elemSize {
+		return nil, fmt.Errorf("ratings: artifact: section %q: kind %d / element size %d, want records of %d bytes",
+			name, s.Kind, s.ElemSize, elemSize)
+	}
+	return s, nil
+}
+
+// readEntryCSR reads one rating CSR, viewing the records in place when
+// the host layout allows and decoding element-wise otherwise.
+func readEntryCSR[E Entry | UserEntry](r *artifact.Reader, name string, mk func(id int32, v float64, t int64) E) (scratch.CSR[E], error) {
+	var c scratch.CSR[E]
+	s, err := recordSection(r, name+".ent", entryWire)
+	if err != nil {
+		return c, err
+	}
+	if c.Off, err = r.Int64s(name + ".off"); err != nil {
+		return c, err
+	}
+	if entryLayoutOK {
+		if v, ok := artifact.View[E](s); ok {
+			c.Edges = v
+			return c, nil
+		}
+	}
+	c.Edges = make([]E, s.Count)
+	for i := range c.Edges {
+		b := s.Data[i*entryWire:]
+		c.Edges[i] = mk(int32(binfmt.Uint32(b)), math.Float64frombits(binfmt.Uint64(b[8:])), int64(binfmt.Uint64(b[16:])))
+	}
+	return c, nil
+}
+
+// readDomainIDs views a byte section as []DomainID (same underlying type).
+func readDomainIDs(r *artifact.Reader, name string) ([]DomainID, error) {
+	s, ok := r.Section(name)
+	if !ok {
+		return nil, fmt.Errorf("ratings: artifact: missing section %q", name)
+	}
+	if s.Kind != artifact.KindBytes {
+		return nil, fmt.Errorf("ratings: artifact: section %q: kind %d, want bytes", name, s.Kind)
+	}
+	if v, ok := artifact.View[DomainID](s); ok {
+		return v, nil
+	}
+	v := make([]DomainID, s.Count)
+	for i := range v {
+		v[i] = DomainID(s.Data[i])
+	}
+	return v, nil
+}
+
+// readItemIDs reads an int32 section as []ItemID, zero-copy when possible.
+func readItemIDs(r *artifact.Reader, name string) ([]ItemID, error) {
+	s, ok := r.Section(name)
+	if !ok {
+		return nil, fmt.Errorf("ratings: artifact: missing section %q", name)
+	}
+	if s.Kind != artifact.KindInt32 {
+		return nil, fmt.Errorf("ratings: artifact: section %q: kind %d, want int32", name, s.Kind)
+	}
+	if v, ok := artifact.View[ItemID](s); ok {
+		return v, nil
+	}
+	v := make([]ItemID, s.Count)
+	for i := range v {
+		v[i] = ItemID(binfmt.Uint32(s.Data[i*4:]))
+	}
+	return v, nil
+}
+
+// Open reads the dataset artifact at path into the heap. The closer
+// releases nothing but is returned for symmetry with OpenMapped, so
+// callers can treat the two identically.
+func Open(path string) (*Dataset, io.Closer, error) {
+	return openWith(artifact.Open, path)
+}
+
+// OpenMapped maps the dataset artifact at path read-only: the rating
+// arrays are served straight from the page cache with zero copies and
+// zero per-entry allocations. Close the returned closer only when every
+// use of the dataset (and datasets derived from it) is done — the
+// mapping disappears with it.
+func OpenMapped(path string) (*Dataset, io.Closer, error) {
+	return openWith(artifact.OpenMapped, path)
+}
+
+func openWith(open func(string) (*artifact.Reader, error), path string) (*Dataset, io.Closer, error) {
+	r, err := open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds, err := FromArtifact(r, "")
+	if err != nil {
+		r.Close()
+		return nil, nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return ds, r, nil
+}

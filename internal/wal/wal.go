@@ -35,19 +35,21 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"math"
 	"os"
 	"sync"
 
+	"xmap/internal/binfmt"
 	"xmap/internal/faultinject"
 	"xmap/internal/ratings"
 )
 
+// Magic/CRC/atomic-publish framing comes from internal/binfmt, the one
+// framing idiom shared with the artifact container (internal/artifact).
 const (
 	magic      = "XWALRAT1"
-	headerLen  = int64(len(magic))
+	headerLen  = int64(binfmt.MagicLen)
 	recHdrLen  = 8  // uint32 length + uint32 crc
 	ratingLen  = 24 // uint32 user + uint32 item + uint64 value bits + int64 time
 	ckptMagic  = "XWALCKP1"
@@ -142,8 +144,7 @@ func (l *Log) recover() error {
 		l.end = headerLen
 		return nil
 	}
-	hdr := make([]byte, headerLen)
-	if _, err := l.f.ReadAt(hdr, 0); err != nil || string(hdr) != magic {
+	if m := binfmt.ReadMagicAt(l.f, 0); !binfmt.CheckMagic(m[:], magic) {
 		return fmt.Errorf("wal: %s is not a rating log (bad magic)", l.path)
 	}
 	off := headerLen
@@ -190,7 +191,7 @@ func readRecord(r io.ReaderAt, off, size int64, hdr []byte, payload *[]byte) (n 
 	if _, err := r.ReadAt(p, off+recHdrLen); err != nil {
 		return 0, 0, false
 	}
-	if crc32.ChecksumIEEE(p) != crc {
+	if binfmt.Checksum(p) != crc {
 		return 0, 0, false
 	}
 	return recHdrLen + plen, int(plen / ratingLen), true
@@ -226,7 +227,7 @@ func (l *Log) Append(rs []ratings.Rating) (end int64, err error) {
 		binary.LittleEndian.PutUint64(p[o+16:], uint64(r.Time))
 	}
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(plen))
-	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(p))
+	binary.LittleEndian.PutUint32(buf[4:8], binfmt.Checksum(p))
 	if _, err := l.f.WriteAt(buf, l.end); err != nil {
 		// Leave l.end where it was: a partial record past end is exactly
 		// the torn tail Open knows how to discard.
@@ -282,13 +283,9 @@ func (l *Log) Checkpoint(end int64) error {
 	}
 	buf := make([]byte, ckptLen)
 	copy(buf, ckptMagic)
-	binary.LittleEndian.PutUint64(buf[len(ckptMagic):], uint64(end))
-	binary.LittleEndian.PutUint32(buf[len(ckptMagic)+8:], crc32.ChecksumIEEE(buf[len(ckptMagic):len(ckptMagic)+8]))
-	tmp := l.path + ckptSuffix + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return fmt.Errorf("wal: write checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, l.path+ckptSuffix); err != nil {
+	binfmt.PutUint64(buf[len(ckptMagic):], uint64(end))
+	binfmt.PutUint32(buf[len(ckptMagic)+8:], binfmt.Checksum(buf[len(ckptMagic):len(ckptMagic)+8]))
+	if err := binfmt.AtomicWriteFile(l.path+ckptSuffix, buf, 0o644); err != nil {
 		return fmt.Errorf("wal: install checkpoint: %w", err)
 	}
 	l.ckpt = end
@@ -300,12 +297,12 @@ func (l *Log) Checkpoint(end int64) error {
 // — the safe direction: never skip acked records).
 func readCheckpoint(path string) int64 {
 	buf, err := os.ReadFile(path)
-	if err != nil || int64(len(buf)) != ckptLen || string(buf[:len(ckptMagic)]) != ckptMagic {
+	if err != nil || int64(len(buf)) != ckptLen || !binfmt.CheckMagic(buf, ckptMagic) {
 		return 0
 	}
-	off := binary.LittleEndian.Uint64(buf[len(ckptMagic):])
-	crc := binary.LittleEndian.Uint32(buf[len(ckptMagic)+8:])
-	if crc32.ChecksumIEEE(buf[len(ckptMagic):len(ckptMagic)+8]) != crc {
+	off := binfmt.Uint64(buf[len(ckptMagic):])
+	crc := binfmt.Uint32(buf[len(ckptMagic)+8:])
+	if binfmt.Checksum(buf[len(ckptMagic):len(ckptMagic)+8]) != crc {
 		return 0
 	}
 	return int64(off)

@@ -1,103 +1,227 @@
 package xsim
 
 import (
-	"encoding/gob"
+	"bytes"
 	"fmt"
 	"io"
+	"math"
+	"unsafe"
 
+	"xmap/internal/artifact"
+	"xmap/internal/binfmt"
 	"xmap/internal/ratings"
 	"xmap/internal/scratch"
 )
 
 // X-Map runs its offline phases periodically (§5.4) and serves from the
 // fitted structures. The X-Sim table is the expensive artifact of that
-// offline run, so it can be persisted and re-loaded by a serving process
-// (cmd/xmap-server) without refitting.
+// offline run, so it persists — as artifact sections (internal/artifact)
+// since format 3, either standalone through Save/LoadTable or inside a
+// pipeline bundle through AppendTo/TableFromArtifact. Formats 1 and 2
+// were gob streams ("xsimtb01"/"xsimtb02"); their magics are still
+// recognized so an old file fails with a clear refit message instead of
+// an opaque parse error.
 
-// tableMagic versions the persisted format (the "02" is the format
-// revision — "01" was the per-row [][]ExtEdge layout). It is written
-// ahead of the gob stream so a file from a different revision fails with
-// a clear refit message instead of an opaque gob type mismatch.
-var tableMagic = [8]byte{'x', 's', 'i', 'm', 't', 'b', '0', '2'}
+// oldTableMagics are the retired gob-based formats.
+var oldTableMagics = []string{"xsimtb01", "xsimtb02"}
 
-// csrWire is the exported wire form of one CSR row-set: the flat edge
-// array plus per-item offsets, exactly as stored in memory.
-type csrWire struct {
-	Edges []ExtEdge
-	Off   []int64
+// extEdgeWire is the on-disk size of one ExtEdge: i32 To at 0, 4 zero
+// bytes, f64 Sim at 8, f64 Cert at 16 — equal to Go's layout of ExtEdge
+// so loads can view the candidate rows in place.
+const extEdgeWire = 24
+
+// extEdgeLayoutOK guards the zero-copy cast (see ratings.entryLayoutOK).
+var extEdgeLayoutOK = unsafe.Sizeof(ExtEdge{}) == extEdgeWire &&
+	unsafe.Offsetof(ExtEdge{}.To) == 0 &&
+	unsafe.Offsetof(ExtEdge{}.Sim) == 8 &&
+	unsafe.Offsetof(ExtEdge{}.Cert) == 16
+
+// AppendTo writes the table as artifact sections under prefix. With
+// hasFull only the full CSRs carry data (truncated rows are served as
+// TopK-prefixes of them), mirroring the in-memory representation.
+func (t *Table) AppendTo(w *artifact.Writer, prefix string) error {
+	meta := []int64{int64(t.src), int64(t.dst), int64(t.ds.NumItems()), int64(t.topK), 0, int64(t.numPairs)}
+	if t.hasFull {
+		meta[4] = 1
+	}
+	if err := w.Int64s(prefix+"meta", meta); err != nil {
+		return err
+	}
+	for _, c := range []struct {
+		name string
+		csr  scratch.CSR[ExtEdge]
+	}{
+		{"fwd", t.fwd}, {"rev", t.rev}, {"fwdfull", t.fwdFull}, {"revfull", t.revFull},
+	} {
+		if err := appendExtEdgeCSR(w, prefix+c.name, c.csr); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// tableWire is the exported wire form of a Table for encoding/gob. With
-// HasFull only the full CSRs are populated (truncated rows are served as
-// TopK-prefixes of them, so Fwd/Rev are empty).
-type tableWire struct {
-	Src, Dst ratings.DomainID
-	NumItems int
-	TopK     int
-	Fwd      csrWire
-	Rev      csrWire
-	HasFull  bool
-	FwdFull  csrWire
-	RevFull  csrWire
-	NumPairs int
+// appendExtEdgeCSR writes one candidate CSR as a section pair. A zero
+// CSR (nil offsets — fwd/rev when hasFull, the full tables when not)
+// round-trips as empty sections.
+func appendExtEdgeCSR(w *artifact.Writer, name string, c scratch.CSR[ExtEdge]) error {
+	if err := w.Stream(name+".ent", artifact.KindRecord, extEdgeWire, len(c.Edges), func(start, n int, b []byte) {
+		for i := 0; i < n; i++ {
+			e := c.Edges[start+i]
+			p := b[i*extEdgeWire:]
+			binfmt.PutUint32(p, uint32(e.To))
+			binfmt.PutUint64(p[8:], math.Float64bits(e.Sim))
+			binfmt.PutUint64(p[16:], math.Float64bits(e.Cert))
+		}
+	}); err != nil {
+		return err
+	}
+	return w.Int64s(name+".off", c.Off)
 }
 
-func toWire(c scratch.CSR[ExtEdge]) csrWire { return csrWire{Edges: c.Edges, Off: c.Off} }
-func fromWire(w csrWire) scratch.CSR[ExtEdge] {
-	return scratch.CSR[ExtEdge]{Edges: w.Edges, Off: w.Off}
+// readExtEdgeCSR reads a section pair written by appendExtEdgeCSR. Rows
+// view the artifact bytes in place when the host layout allows. An empty
+// CSR loads as the zero value, matching what Extend leaves unpopulated.
+func readExtEdgeCSR(r *artifact.Reader, name string, numItems int) (scratch.CSR[ExtEdge], error) {
+	var c scratch.CSR[ExtEdge]
+	s, ok := r.Section(name + ".ent")
+	if !ok {
+		return c, fmt.Errorf("xsim: artifact: missing section %q", name+".ent")
+	}
+	if s.Kind != artifact.KindRecord || s.ElemSize != extEdgeWire {
+		return c, fmt.Errorf("xsim: artifact: section %q: kind %d / element size %d, want %d-byte records",
+			name+".ent", s.Kind, s.ElemSize, extEdgeWire)
+	}
+	off, err := r.Int64s(name + ".off")
+	if err != nil {
+		return c, err
+	}
+	if s.Count == 0 && len(off) == 0 {
+		return c, nil // zero CSR round-trip
+	}
+	if extEdgeLayoutOK {
+		if v, ok := artifact.View[ExtEdge](s); ok {
+			c.Edges = v
+		}
+	}
+	if c.Edges == nil {
+		c.Edges = make([]ExtEdge, s.Count)
+		for i := range c.Edges {
+			b := s.Data[i*extEdgeWire:]
+			c.Edges[i] = ExtEdge{
+				To:   ratings.ItemID(binfmt.Uint32(b)),
+				Sim:  math.Float64frombits(binfmt.Uint64(b[8:])),
+				Cert: math.Float64frombits(binfmt.Uint64(b[16:])),
+			}
+		}
+	}
+	c.Off = off
+	if len(off) != numItems+1 || off[0] != 0 || off[numItems] != int64(len(c.Edges)) {
+		return scratch.CSR[ExtEdge]{}, fmt.Errorf("xsim: artifact: %q offsets do not span %d items / %d edges",
+			name, numItems, len(c.Edges))
+	}
+	for i := 0; i < numItems; i++ {
+		if off[i] > off[i+1] {
+			return scratch.CSR[ExtEdge]{}, fmt.Errorf("xsim: artifact: %q offsets decrease at item %d", name, i)
+		}
+	}
+	for i := range c.Edges {
+		if int(c.Edges[i].To) < 0 || int(c.Edges[i].To) >= numItems {
+			return scratch.CSR[ExtEdge]{}, fmt.Errorf("xsim: artifact: %q edge references item %d of %d",
+				name, c.Edges[i].To, numItems)
+		}
+	}
+	return c, nil
 }
 
-// Save writes the table to w: the format magic followed by a gob stream.
+// TableFromArtifact reconstructs a table from sections written by
+// AppendTo under the same prefix. The dataset must be the same universe
+// the table was fitted on (same item count and domain layout); a
+// mismatch is rejected because lookups would silently return wrong
+// candidates.
+func TableFromArtifact(r *artifact.Reader, prefix string, ds *ratings.Dataset) (*Table, error) {
+	meta, err := r.Int64s(prefix + "meta")
+	if err != nil {
+		return nil, err
+	}
+	if len(meta) != 6 {
+		return nil, fmt.Errorf("xsim: artifact: meta section has %d values, want 6", len(meta))
+	}
+	numItems := int(meta[2])
+	if numItems != ds.NumItems() {
+		return nil, fmt.Errorf("xsim: table fitted on %d items, dataset has %d", numItems, ds.NumItems())
+	}
+	src, dst := ratings.DomainID(meta[0]), ratings.DomainID(meta[1])
+	if int(src) >= ds.NumDomains() || int(dst) >= ds.NumDomains() {
+		return nil, fmt.Errorf("xsim: table domains (%d,%d) outside dataset's %d domains",
+			src, dst, ds.NumDomains())
+	}
+	t := &Table{
+		src: src, dst: dst, ds: ds,
+		topK:     int(meta[3]),
+		hasFull:  meta[4] != 0,
+		numPairs: int(meta[5]),
+	}
+	if t.fwd, err = readExtEdgeCSR(r, prefix+"fwd", numItems); err != nil {
+		return nil, err
+	}
+	if t.rev, err = readExtEdgeCSR(r, prefix+"rev", numItems); err != nil {
+		return nil, err
+	}
+	if t.fwdFull, err = readExtEdgeCSR(r, prefix+"fwdfull", numItems); err != nil {
+		return nil, err
+	}
+	if t.revFull, err = readExtEdgeCSR(r, prefix+"revfull", numItems); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Save writes the table to w as a standalone artifact. The caller owns
+// atomicity when writing to a file (see binfmt.AtomicCreate); SaveFile
+// does both.
 func (t *Table) Save(w io.Writer) error {
-	if _, err := w.Write(tableMagic[:]); err != nil {
-		return fmt.Errorf("xsim: write table header: %w", err)
+	aw := artifact.NewWriter(w)
+	if err := t.AppendTo(aw, ""); err != nil {
+		return fmt.Errorf("xsim: encode table: %w", err)
 	}
-	wire := tableWire{
-		Src: t.src, Dst: t.dst,
-		NumItems: t.ds.NumItems(),
-		TopK:     t.topK,
-		Fwd:      toWire(t.fwd), Rev: toWire(t.rev),
-		HasFull: t.hasFull,
-		FwdFull: toWire(t.fwdFull), RevFull: toWire(t.revFull),
-		NumPairs: t.numPairs,
-	}
-	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+	if err := aw.Close(); err != nil {
 		return fmt.Errorf("xsim: encode table: %w", err)
 	}
 	return nil
 }
 
-// LoadTable reads a table previously written by Save. The dataset must be
-// the same universe the table was fitted on (same item count and domain
-// layout); a mismatch is rejected because lookups would silently return
-// wrong candidates.
+// SaveFile writes the table artifact at path via tmp+fsync+rename, so a
+// crash mid-save never leaves a torn table that opens.
+func (t *Table) SaveFile(path string) error {
+	af, err := binfmt.AtomicCreate(path)
+	if err != nil {
+		return err
+	}
+	defer af.Abort()
+	if err := t.Save(af); err != nil {
+		return err
+	}
+	return af.Commit()
+}
+
+// LoadTable reads a table previously written by Save. Tables from the
+// retired gob formats are detected by magic and rejected with a refit
+// message. The stream is buffered in memory (the artifact footer lives
+// at the end); for mapped zero-copy loads use the pipeline bundle path
+// (core.LoadPipeline).
 func LoadTable(r io.Reader, ds *ratings.Dataset) (*Table, error) {
-	var magic [8]byte
-	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return nil, fmt.Errorf("xsim: read table header: %w", err)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("xsim: read table: %w", err)
 	}
-	if magic != tableMagic {
-		return nil, fmt.Errorf("xsim: unrecognized table format %q (want %q): refit and re-save",
-			magic[:], tableMagic[:])
+	for _, old := range oldTableMagics {
+		if len(data) >= len(old) && bytes.Equal(data[:len(old)], []byte(old)) {
+			return nil, fmt.Errorf("xsim: table format %q predates the artifact store: refit and re-save", old)
+		}
 	}
-	var wire tableWire
-	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
-		return nil, fmt.Errorf("xsim: decode table: %w", err)
+	ar, err := artifact.NewReader(data)
+	if err != nil {
+		return nil, fmt.Errorf("xsim: %w", err)
 	}
-	if wire.NumItems != ds.NumItems() {
-		return nil, fmt.Errorf("xsim: table fitted on %d items, dataset has %d",
-			wire.NumItems, ds.NumItems())
-	}
-	if int(wire.Src) >= ds.NumDomains() || int(wire.Dst) >= ds.NumDomains() {
-		return nil, fmt.Errorf("xsim: table domains (%d,%d) outside dataset's %d domains",
-			wire.Src, wire.Dst, ds.NumDomains())
-	}
-	return &Table{
-		src: wire.Src, dst: wire.Dst, ds: ds,
-		topK: wire.TopK,
-		fwd:  fromWire(wire.Fwd), rev: fromWire(wire.Rev),
-		hasFull: wire.HasFull,
-		fwdFull: fromWire(wire.FwdFull), revFull: fromWire(wire.RevFull),
-		numPairs: wire.NumPairs,
-	}, nil
+	return TableFromArtifact(ar, "", ds)
 }

@@ -76,12 +76,14 @@ func TestLoadRejectsStaleFormat(t *testing.T) {
 	// A file from a previous wire revision (different magic) must fail
 	// with the refit message, not an opaque gob error.
 	ds := randomTwoDomain(7, 10, 8, 60)
-	stale := append([]byte("xsimtb01"), []byte("whatever gob followed")...)
-	_, err := LoadTable(bytes.NewReader(stale), ds)
-	if err == nil {
-		t.Fatal("stale format accepted")
-	}
-	if !strings.Contains(err.Error(), "refit") {
-		t.Fatalf("stale-format error should mention refitting, got: %v", err)
+	for _, magic := range []string{"xsimtb01", "xsimtb02"} {
+		stale := append([]byte(magic), []byte("whatever gob followed")...)
+		_, err := LoadTable(bytes.NewReader(stale), ds)
+		if err == nil {
+			t.Fatalf("stale format %q accepted", magic)
+		}
+		if !strings.Contains(err.Error(), "refit") {
+			t.Fatalf("stale-format error should mention refitting, got: %v", err)
+		}
 	}
 }
