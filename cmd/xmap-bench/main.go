@@ -22,7 +22,9 @@
 // and latency percentiles over the full HTTP serve→consume→ingest→refit
 // loop; ingestwal is the durability series: Service.Ingest of 64-entry
 // batches with and without a write-ahead log, gating the WAL's ack-path
-// overhead).
+// overhead; routerfanout is the distributed-tier series: a 64-request
+// batch through cmd/xmap-router's consistent-hash fan-out over two
+// replicas versus the same batch straight at one replica).
 //
 // With -json, a machine-readable summary — per-experiment wall-clock
 // seconds plus headline quality metrics — is written to the given path so
@@ -45,6 +47,7 @@ import (
 	"testing"
 	"time"
 
+	"xmap/internal/cluster"
 	"xmap/internal/core"
 	"xmap/internal/dataset"
 	"xmap/internal/experiments"
@@ -129,6 +132,12 @@ func headlineMetrics(r fmt.Stringer) map[string]float64 {
 			"ingest_ns_op":     v.PlainNsOp,
 			"ingest_wal_ns_op": v.WALNsOp,
 			"wal_overhead_pct": v.OverheadPct,
+		}
+	case routerFanoutResult:
+		return map[string]float64{
+			"router_batch_ns_op":            v.RouterNsOp,
+			"direct_batch_ns_op":            v.DirectNsOp,
+			"router_vs_direct_overhead_pct": v.OverheadPct,
 		}
 	default:
 		return nil
@@ -313,6 +322,132 @@ func loadgenBench(seed int64) fmt.Stringer {
 		Requests:  res.Requests,
 		Ratings:   res.Ratings,
 	}
+}
+
+// routerFanoutResult carries the distributed-tier series: one 64-request
+// batch POST through cmd/xmap-router's fan-out (split by ring owner,
+// two concurrent replica calls, envelope merge) versus the same batch
+// POSTed straight at one replica. The overhead percentage is the price
+// of the tier at smoke scale; only the _ns_op series gate in CI (the
+// _pct is derived and reported for humans).
+type routerFanoutResult struct {
+	RouterNsOp  float64
+	DirectNsOp  float64
+	OverheadPct float64
+	Batch       int
+	Replicas    int
+}
+
+func (r routerFanoutResult) String() string {
+	return fmt.Sprintf("RouterFanout: %d-req batch over %d replicas | router %.2fms/op direct %.2fms/op (overhead %+.1f%%)",
+		r.Batch, r.Replicas, r.RouterNsOp/1e6, r.DirectNsOp/1e6, r.OverheadPct)
+}
+
+// routerFanoutBench fits the smoke fixture once, serves it from two
+// replica Services sharing the fitted pipelines (read-only at serving
+// time), fronts them with an internal/cluster router, and measures the
+// same batched recommend body through both paths. Caches warm during
+// testing.Benchmark's calibration runs, so both series measure the
+// steady state.
+func routerFanoutBench() fmt.Stringer {
+	const batch = 64
+	ctx := context.Background()
+	dc := dataset.DefaultAmazonConfig()
+	dc.Seed = 1
+	dc.MovieUsers, dc.BookUsers, dc.OverlapUsers = 120, 130, 60
+	dc.Movies, dc.Books = 80, 90
+	dc.RatingsPerUser = 18
+	az := dataset.AmazonLike(dc)
+	cfg := core.DefaultConfig()
+	cfg.K = 20
+	pipes, err := core.FitPairs(ctx, az.DS, []core.DomainPair{
+		{Source: az.Movies, Target: az.Books},
+		{Source: az.Books, Target: az.Movies},
+	}, cfg)
+	if err != nil {
+		panic(err)
+	}
+	source, target := az.DS.DomainName(az.Movies), az.DS.DomainName(az.Books)
+
+	newReplica := func() *httptest.Server {
+		svc, err := serve.New(az.DS, pipes, serve.Options{Workers: 4})
+		if err != nil {
+			panic(err)
+		}
+		svc.SetReady(true)
+		return httptest.NewServer(svc.Handler())
+	}
+	r1, r2 := newReplica(), newReplica()
+	defer r1.Close()
+	defer r2.Close()
+
+	rt, err := cluster.New([]string{r1.URL, r2.URL}, cluster.Options{MaxInFlight: 64, MaxQueue: 256})
+	if err != nil {
+		panic(err)
+	}
+	rt.ProbeAll(ctx)
+	router := httptest.NewServer(rt.Handler())
+	defer router.Close()
+
+	// One fixed batch of servable users; the direct path and the routed
+	// path serve the identical body.
+	probe, err := serve.New(az.DS, pipes, serve.Options{})
+	if err != nil {
+		panic(err)
+	}
+	var reqs []string
+	for u := 0; u < az.DS.NumUsers() && len(reqs) < batch; u++ {
+		name := az.DS.UserName(ratings.UserID(u))
+		if _, err := probe.Do(ctx, serve.Request{User: name, N: 10, Source: source, Target: target}); err != nil {
+			continue
+		}
+		reqs = append(reqs, fmt.Sprintf(`{"user":%q,"n":10,"source":%q,"target":%q}`, name, source, target))
+	}
+	body := []byte("[" + strings.Join(reqs, ",") + "]")
+
+	post := func(url string) {
+		resp, err := http.Post(url+"/api/v2/recommend", "application/json", bytes.NewReader(body))
+		if err != nil {
+			panic(err)
+		}
+		var wire struct {
+			Results []struct {
+				Error *struct {
+					Code string `json:"code"`
+				} `json:"error"`
+			} `json:"results"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+			panic(err)
+		}
+		resp.Body.Close()
+		if len(wire.Results) != len(reqs) {
+			panic(fmt.Sprintf("routerfanout: %d results for %d requests", len(wire.Results), len(reqs)))
+		}
+		for _, el := range wire.Results {
+			if el.Error != nil {
+				panic("routerfanout: element error " + el.Error.Code)
+			}
+		}
+	}
+	measure := func(url string) float64 {
+		return float64(testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				post(url)
+			}
+		}).NsPerOp())
+	}
+
+	res := routerFanoutResult{
+		DirectNsOp: measure(r1.URL),
+		RouterNsOp: measure(router.URL),
+		Batch:      len(reqs),
+		Replicas:   2,
+	}
+	if res.DirectNsOp > 0 {
+		res.OverheadPct = (res.RouterNsOp - res.DirectNsOp) / res.DirectNsOp * 100
+	}
+	return res
 }
 
 // dsBuildResult carries the dataset-store micro series (Builder.Build and
@@ -607,6 +742,7 @@ func main() {
 		{"coldstart", func() fmt.Stringer { return coldStartBench() }},
 		{"loadgen", func() fmt.Stringer { return loadgenBench(sc.Seed) }},
 		{"ingestwal", func() fmt.Stringer { return ingestWALBench() }},
+		{"routerfanout", func() fmt.Stringer { return routerFanoutBench() }},
 	}
 
 	report := jsonReport{

@@ -20,6 +20,18 @@
 //	xmap-loadgen -movie-users 2000 -book-users 2000 -overlap 800
 //	xmap-loadgen -json > run.json
 //	xmap-loadgen -chaos                  # inject refit faults, report survival
+//	xmap-loadgen -target http://router:7070   # drive an external stack
+//
+// With -target the simulator does not self-host anything: it generates
+// the same seeded trace and population locally and drives the stack at
+// the given base URL — a single xmap-server or a cmd/xmap-router over
+// sharded replicas — through the identical v2 endpoints. The external
+// stack must be fitted over the same trace (launch the servers from a
+// trace emitted by xmap-datagen with matching flags, or re-use this
+// tool's generator flags and seed). Refits then follow the remote's own
+// triggers, so mid-run list changes are realistic rather than
+// bit-reproducible; -tail posts the cohort tail but cannot force the
+// refit that makes the cohort servable.
 package main
 
 import (
@@ -51,6 +63,7 @@ func main() {
 		tail    = flag.Bool("tail", true, "warm up by ingesting the launch cohort's tail + one refit")
 		jsonOut = flag.Bool("json", false, "emit the full result as JSON on stdout")
 		chaos   = flag.Bool("chaos", false, "inject faults into the refit path (fit-worker panics, publish rejections, slow fits) and report what fired")
+		target  = flag.String("target", "", "drive an externally hosted stack at this base URL instead of self-hosting (e.g. an xmap-router)")
 
 		movieUsers = flag.Int("movie-users", 120, "movie-only users")
 		bookUsers  = flag.Int("book-users", 130, "book-only users")
@@ -73,28 +86,54 @@ func main() {
 	wc.Launch.Users = *launch
 	wc.Fit.K = *k
 
-	log.Printf("fitting world (seed %d: %d+%d+%d users, %d+%d items, %d-user launch cohort)…",
-		*seed, *movieUsers, *bookUsers, *overlap, *movies, *books, *launch)
-	fitStart := time.Now()
-	w, err := loadgen.NewWorld(ctx, wc)
-	if err != nil {
-		log.Fatalf("xmap-loadgen: %v", err)
-	}
-	defer w.Close()
-	log.Printf("world up at %s (fit %v)", w.Server.URL, time.Since(fitStart).Round(time.Millisecond))
-
-	if *tail && len(w.Tail) > 0 {
-		st, err := w.IngestTail(ctx, *batch)
-		if err != nil {
-			log.Fatalf("xmap-loadgen: tail warmup: %v", err)
+	var (
+		pop *loadgen.Population
+		tgt loadgen.Target
+	)
+	if *target != "" {
+		// Externally hosted stack: generate the population locally,
+		// drive the remote URL. Chaos needs the self-hosted refit path.
+		if *chaos {
+			log.Fatal("xmap-loadgen: -chaos needs the self-hosted world (drop -target)")
 		}
-		log.Printf("tail warmup: %d cohort ratings ingested, refit drained=%d added=%d touched=%d in %v",
-			len(w.Tail), st.Drained, st.Added, st.TouchedUsers, st.Duration.Round(time.Millisecond))
-	}
+		rw, err := loadgen.NewRemoteWorld(wc, *target)
+		if err != nil {
+			log.Fatalf("xmap-loadgen: %v", err)
+		}
+		log.Printf("driving external stack at %s (seed %d population, nothing self-hosted)", rw.BaseURL, *seed)
+		if *tail && len(rw.Tail) > 0 {
+			if err := rw.IngestTail(ctx, *batch); err != nil {
+				log.Fatalf("xmap-loadgen: tail warmup: %v", err)
+			}
+			log.Printf("tail warmup: %d cohort ratings posted (remote refit triggers decide when they serve)", len(rw.Tail))
+		}
+		if pop, err = rw.Population(); err != nil {
+			log.Fatalf("xmap-loadgen: %v", err)
+		}
+		tgt = rw.Target()
+	} else {
+		log.Printf("fitting world (seed %d: %d+%d+%d users, %d+%d items, %d-user launch cohort)…",
+			*seed, *movieUsers, *bookUsers, *overlap, *movies, *books, *launch)
+		fitStart := time.Now()
+		w, err := loadgen.NewWorld(ctx, wc)
+		if err != nil {
+			log.Fatalf("xmap-loadgen: %v", err)
+		}
+		defer w.Close()
+		log.Printf("world up at %s (fit %v)", w.Server.URL, time.Since(fitStart).Round(time.Millisecond))
 
-	pop, err := w.Population()
-	if err != nil {
-		log.Fatalf("xmap-loadgen: %v", err)
+		if *tail && len(w.Tail) > 0 {
+			st, err := w.IngestTail(ctx, *batch)
+			if err != nil {
+				log.Fatalf("xmap-loadgen: tail warmup: %v", err)
+			}
+			log.Printf("tail warmup: %d cohort ratings ingested, refit drained=%d added=%d touched=%d in %v",
+				len(w.Tail), st.Drained, st.Added, st.TouchedUsers, st.Duration.Round(time.Millisecond))
+		}
+		if pop, err = w.Population(); err != nil {
+			log.Fatalf("xmap-loadgen: %v", err)
+		}
+		tgt = w.Target()
 	}
 	cfg := loadgen.Config{
 		Seed: *seed, Rounds: *rounds, N: *n,
@@ -107,7 +146,6 @@ func main() {
 	// after the warmup, and tolerates failed refit passes: the queue
 	// keeps the delta, so a later pass (or the next round) folds it in —
 	// which is exactly the supervision story the run then demonstrates.
-	tgt := w.Target()
 	var ch *loadgen.Chaos
 	if *chaos {
 		ch = loadgen.NewChaos(loadgen.ChaosConfig{

@@ -1,0 +1,173 @@
+// Command xmap-router is the distributed serving tier's coordinator: a
+// consistent-hash router over a static set of xmap-server replicas.
+// Users are hashed onto a virtual-node ring (internal/cluster), batch
+// requests split by owning replica and fan out concurrently, and the
+// per-element envelopes merge back in request order — the router serves
+// the same API v2 surface as a single replica, so clients need not know
+// the tier exists.
+//
+// Usage:
+//
+//	xmap-router -replicas http://host1:8080,http://host2:8080
+//	xmap-router -config replicas.txt -replication 2 -addr :7070
+//	xmap-router -plan -plan-shards 8 -plan-users 1000000
+//
+// -config names a file with one replica base URL per line (# comments
+// and blank lines ignored); -replicas takes the same list inline,
+// comma-separated. The two combine.
+//
+// With -replication N each user is owned by N distinct replicas: reads
+// retry on the next healthy owner when one fails mid-call, and rating
+// writes fan to every owner to keep them interchangeable. Health is
+// tracked by polling every replica's /readyz (-poll) plus passive
+// marking on transport failures; a replica that answers again rejoins
+// automatically. Per-replica in-flight limits (-max-inflight,
+// -max-queue) shed with the same 429/503 overloaded envelopes the
+// replicas use.
+//
+// -plan prices a proposed shard count with the analytic cluster model
+// behind the paper's Figure 11 (waves, shuffle, barriers, Amdahl
+// driver) instead of serving: anchor it with a measured single-process
+// refit time (-plan-refit-seconds) and it reports the modeled
+// distributed refit time, speedup, and serving capacity.
+//
+// Endpoints:
+//
+//	POST /api/v2/recommend   same contract as a replica; fanned out
+//	POST /api/v2/ratings     writes fan to every owner of each user
+//	GET  /api/v2/pipelines   one entry per replica; down replicas are
+//	                         explicit degraded entries, never omitted
+//	GET  /healthz            liveness of the router itself
+//	GET  /readyz             503 until -quorum replicas are ready
+//	GET  /statsz             router counters + per-replica health/stats
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"xmap/internal/cluster"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":7070", "listen address")
+		replicas    = flag.String("replicas", "", "comma-separated replica base URLs")
+		config      = flag.String("config", "", "file with one replica base URL per line")
+		vnodes      = flag.Int("vnodes", 0, "virtual nodes per replica on the hash ring (0 = default)")
+		replication = flag.Int("replication", 1, "distinct replica owners per user")
+		maxInflight = flag.Int("max-inflight", 32, "concurrent calls per replica before queueing")
+		maxQueue    = flag.Int("max-queue", 64, "queued calls per replica before shedding 429s")
+		poll        = flag.Duration("poll", 2*time.Second, "replica /readyz polling period")
+		quorum      = flag.Int("quorum", 0, "ready replicas required before the router reports ready (0 = majority)")
+		maxBatch    = flag.Int("max-batch", 256, "max elements per incoming batch")
+
+		plan        = flag.Bool("plan", false, "price a proposed shard count with the cluster model and exit")
+		planShards  = flag.Int("plan-shards", 4, "shard count to price")
+		planUsers   = flag.Int("plan-users", 1_000_000, "users in the priced deployment")
+		planItems   = flag.Int("plan-items", 100_000, "items in the priced deployment")
+		planRatings = flag.Int("plan-ratings", 0, "ratings in the priced deployment (0 = 20 per user)")
+		planRefit   = flag.Float64("plan-refit-seconds", 60, "measured single-process full-refit seconds to anchor the model on")
+		planReqRate = flag.Float64("plan-req-per-sec", 2000, "measured per-replica serving throughput")
+	)
+	flag.Parse()
+
+	if *plan {
+		fmt.Print(cluster.Plan(cluster.PlanConfig{
+			Shards:            *planShards,
+			Users:             *planUsers,
+			Items:             *planItems,
+			Ratings:           *planRatings,
+			RefitSeconds:      *planRefit,
+			ReqPerSecPerShard: *planReqRate,
+		}))
+		return
+	}
+
+	urls, err := replicaList(*replicas, *config)
+	if err != nil {
+		log.Fatalf("xmap-router: %v", err)
+	}
+	if len(urls) == 0 {
+		log.Fatal("xmap-router: no replicas (use -replicas or -config, or -plan for capacity planning)")
+	}
+
+	rt, err := cluster.New(urls, cluster.Options{
+		VNodes:       *vnodes,
+		Replication:  *replication,
+		MaxInFlight:  *maxInflight,
+		MaxQueue:     *maxQueue,
+		PollInterval: *poll,
+		ReadyQuorum:  *quorum,
+		MaxBatch:     *maxBatch,
+	})
+	if err != nil {
+		log.Fatalf("xmap-router: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Converge health before listening — a router fronting a half-ready
+	// fleet must answer /readyz honestly from its first request — then
+	// keep polling in the background.
+	up := rt.ProbeAll(ctx)
+	log.Printf("replicas: %d configured, %d up, replication %d, quorum %d",
+		len(rt.Ring().Members()), up, *replication, rt.ReadyState().Quorum)
+	for _, h := range rt.Health() {
+		log.Printf("  %s: %s", h.Replica, h.Status)
+	}
+	go rt.Run(ctx)
+
+	srv := &http.Server{Addr: *addr, Handler: rt.Handler()}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shCtx)
+	}()
+	log.Printf("routing on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-drained
+}
+
+// replicaList merges the -replicas flag with the -config file: one base
+// URL per line, blank lines and # comments ignored.
+func replicaList(inline, path string) ([]string, error) {
+	var out []string
+	for _, s := range strings.Split(inline, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	if path == "" {
+		return out, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out, sc.Err()
+}

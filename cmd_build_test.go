@@ -7,7 +7,7 @@ import (
 	"testing"
 )
 
-// TestBuildCommands smoke-tests the cmd wiring: all six binaries must
+// TestBuildCommands smoke-tests the cmd wiring: all seven binaries must
 // compile and link against the current library surface.
 func TestBuildCommands(t *testing.T) {
 	if testing.Short() {
@@ -22,7 +22,7 @@ func TestBuildCommands(t *testing.T) {
 	if msg, err := cmd.CombinedOutput(); err != nil {
 		t.Fatalf("go build ./cmd/...: %v\n%s", err, msg)
 	}
-	for _, bin := range []string{"xmap-bench", "xmap-benchdiff", "xmap-cli", "xmap-datagen", "xmap-loadgen", "xmap-server"} {
+	for _, bin := range []string{"xmap-bench", "xmap-benchdiff", "xmap-cli", "xmap-datagen", "xmap-loadgen", "xmap-router", "xmap-server"} {
 		if _, err := os.Stat(filepath.Join(out, bin)); err != nil {
 			t.Errorf("binary %s not produced: %v", bin, err)
 		}

@@ -170,6 +170,36 @@
 // (coldstart_mmap_ns vs coldstart_parse_ns: ~46× on the launch-cohort
 // fixture, ~208 allocations per mapped load).
 //
+// # Distributed serving
+//
+// Above one process, internal/cluster is the coordinator: it
+// consistent-hashes users (a stable hash of the canonical user key over
+// a 160-vnode-per-replica ring, deterministic across restarts) across a
+// fleet of replica xmap-server processes, splits each incoming batch by
+// owning replica, fans the shards out as concurrent batched
+// POST /api/v2/recommend calls over pooled HTTP clients, and merges the
+// per-element {response} | {error} envelopes back in request order.
+// Responses pass through as verbatim bytes — the router never re-ranks
+// or re-encodes — so every list it serves is bit-equal to some replica
+// pipeline's output, and the sentinel code vocabulary is identical
+// whether a client talks to a replica or to the router (pinned by a
+// -race chaos test that kills and revives a replica mid-hammer).
+//
+// Unhappy paths are first-class: replicas are health-tracked by /readyz
+// polling plus passive marking on transport failures, per-replica
+// in-flight bounds shed with the replicas' own ErrQueueFull (429) /
+// ErrOverloaded (503) semantics, and with a replication factor above
+// one an idempotent read whose owner fails mid-call retries on the
+// user's next healthy owner, so a single-replica outage is invisible.
+// cmd/xmap-router is the binary: the same v2 surface plus aggregated
+// /api/v2/pipelines and /statsz that report per-replica reachability
+// explicitly (a down replica shows as a degraded entry, never
+// disappears), a /readyz that gates on a configurable replica quorum,
+// and a -plan mode that prices a sharded deployment analytically via
+// engine.Cluster's cost model before any hardware exists. The
+// routerfanout driver of cmd/xmap-bench records the router-vs-direct
+// batch overhead into BENCH.json.
+//
 // # Dataset layout
 //
 // The rating store itself (internal/ratings) is flat: both indexes are

@@ -1,0 +1,286 @@
+// Chaos test: the ISSUE's correctness pin for the distributed tier.
+// N real xmap-server replicas (full serve.Service stacks over one
+// shared fitted pipeline set) self-host on httptest behind the router;
+// one is killed and revived mid-hammer. Every list the router serves
+// must be bit-equal to the replica pipelines' own output, every error
+// must be sentinel-coded, and with replication factor 2 the outage must
+// be invisible: every user still has a live owner, so nothing fails.
+//
+// Run with -race (CI does): the hammer's goroutines, the passive
+// markDown on the dying replica, and the probe-driven revival all
+// overlap.
+
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"xmap/internal/core"
+	"xmap/internal/dataset"
+	"xmap/internal/ratings"
+	"xmap/internal/serve"
+)
+
+// killSwitch crashes a replica without tearing down its listener: while
+// down, every connection is dropped mid-request (http.ErrAbortHandler
+// suppresses the stack trace), which is what a killed process looks
+// like to the router. Flipping down back revives it instantly.
+type killSwitch struct {
+	down atomic.Bool
+	h    http.Handler
+}
+
+func (k *killSwitch) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if k.down.Load() {
+		panic(http.ErrAbortHandler)
+	}
+	k.h.ServeHTTP(w, r)
+}
+
+// chaosWorld is the shared fixture: one fitted pipeline set, a
+// reference Service answering ground truth directly, and n replica
+// Services behind kill switches.
+type chaosWorld struct {
+	users    []string          // servable users
+	expected map[string]string // user → marshaled expected item list
+	source   string
+	target   string
+
+	replicas []*killSwitch
+	servers  []*httptest.Server
+}
+
+func newChaosWorld(t *testing.T, n int) *chaosWorld {
+	t.Helper()
+	dc := dataset.DefaultAmazonConfig()
+	dc.Seed = 7
+	dc.MovieUsers, dc.BookUsers, dc.OverlapUsers = 60, 60, 40
+	dc.Movies, dc.Books = 50, 55
+	dc.RatingsPerUser = 15
+	az := dataset.AmazonLike(dc)
+	cfg := core.DefaultConfig()
+	cfg.K = 10
+	pipes, err := core.FitPairs(context.Background(), az.DS, []core.DomainPair{
+		{Source: az.Movies, Target: az.Books},
+		{Source: az.Books, Target: az.Movies},
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := &chaosWorld{
+		expected: map[string]string{},
+		source:   az.DS.DomainName(az.Movies),
+		target:   az.DS.DomainName(az.Books),
+	}
+
+	// The reference service computes what every replica must serve:
+	// pipelines are shared read-only, so any replica's list for a user
+	// is bit-equal to this one's.
+	ref, err := serve.New(az.DS, pipes, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < az.DS.NumUsers() && len(w.users) < 64; u++ {
+		name := az.DS.UserName(ratings.UserID(u))
+		resp, err := ref.Do(context.Background(), serve.Request{
+			User: name, N: 5, Source: w.source, Target: w.target,
+		})
+		if err != nil {
+			continue // not servable in this direction
+		}
+		items, err := json.Marshal(resp.Items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.users = append(w.users, name)
+		w.expected[name] = string(items)
+	}
+	if len(w.users) < 32 {
+		t.Fatalf("only %d servable users in the fixture", len(w.users))
+	}
+
+	for i := 0; i < n; i++ {
+		svc, err := serve.New(az.DS, pipes, serve.Options{Workers: 8, MaxQueue: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc.SetReady(true)
+		ks := &killSwitch{h: svc.Handler()}
+		srv := httptest.NewServer(ks)
+		t.Cleanup(srv.Close)
+		w.replicas = append(w.replicas, ks)
+		w.servers = append(w.servers, srv)
+	}
+	return w
+}
+
+func (w *chaosWorld) urls() []string {
+	out := make([]string, len(w.servers))
+	for i, s := range w.servers {
+		out[i] = s.URL
+	}
+	return out
+}
+
+func (w *chaosWorld) request(user string) json.RawMessage {
+	return json.RawMessage(fmt.Sprintf(`{"user":%q,"n":5,"source":%q,"target":%q}`,
+		user, w.source, w.target))
+}
+
+// verify checks one routed result against ground truth; returns the
+// error code if the element failed.
+func (w *chaosWorld) verify(t *testing.T, user string, res Result) (errCode string) {
+	t.Helper()
+	if res.Err != nil {
+		if res.Err.Code == "" {
+			t.Errorf("user %s: error with empty code: %+v", user, res.Err)
+		}
+		return res.Err.Code
+	}
+	var resp serve.Response
+	if err := json.Unmarshal(res.Response, &resp); err != nil {
+		t.Errorf("user %s: undecodable response: %v", user, err)
+		return "undecodable"
+	}
+	items, _ := json.Marshal(resp.Items)
+	if string(items) != w.expected[user] {
+		t.Errorf("user %s: served list diverges from the replica pipelines' output\n got %s\nwant %s",
+			user, items, w.expected[user])
+	}
+	return ""
+}
+
+// TestChaosKillReviveRF2 is the headline: 3 replicas, replication 2,
+// one replica killed and revived mid-hammer. Every user keeps a live
+// owner throughout, so zero elements may fail, and every served list
+// must equal the pipelines' own output.
+func TestChaosKillReviveRF2(t *testing.T) {
+	w := newChaosWorld(t, 3)
+	rt, err := New(w.urls(), Options{Replication: 2, MaxInFlight: 64, MaxQueue: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.ProbeAll(context.Background())
+	if got := rt.UpCount(); got != 3 {
+		t.Fatalf("%d/3 replicas up before the hammer", got)
+	}
+	victim := rt.ring.Members()[1]
+	victimIdx := -1
+	for i, s := range w.servers {
+		if s.URL == victim {
+			victimIdx = i
+		}
+	}
+
+	const (
+		workers = 6
+		rounds  = 30
+		batch   = 12
+	)
+	var wg sync.WaitGroup
+	var served, failed atomic.Int64
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			for round := 0; round < rounds; round++ {
+				switch {
+				case g == 0 && round == rounds/3:
+					w.replicas[victimIdx].down.Store(true)
+				case g == 0 && round == 2*rounds/3:
+					w.replicas[victimIdx].down.Store(false)
+					rt.ProbeAll(context.Background())
+				}
+				users := make([]string, batch)
+				reqs := make([]json.RawMessage, batch)
+				for i := range reqs {
+					users[i] = w.users[rng.Intn(len(w.users))]
+					reqs[i] = w.request(users[i])
+				}
+				for i, res := range rt.DoBatch(context.Background(), reqs) {
+					if code := w.verify(t, users[i], res); code != "" {
+						failed.Add(1)
+						t.Errorf("user %s failed with %q despite a live owner (RF=2, one outage)",
+							users[i], code)
+					} else {
+						served.Add(1)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	t.Logf("served %d elements, %d failures, %d retried, victim failures counter %d",
+		served.Load(), failed.Load(), rt.ctr.retried.Load(), rt.reps[victim].failures.Load())
+	if failed.Load() != 0 {
+		t.Fatalf("%d elements failed — an RF=2 single-replica outage must be invisible", failed.Load())
+	}
+
+	// The victim must have rejoined: probe says up, and fresh traffic
+	// for a victim-owned user lands on it again.
+	if !rt.reps[victim].up.Load() {
+		t.Fatal("victim not marked up after revival")
+	}
+	before := rt.reps[victim].requests.Load()
+	for _, u := range w.users {
+		if rt.Owners("u\x00" + u)[0] == victim {
+			res := rt.DoBatch(context.Background(), []json.RawMessage{w.request(u)})
+			if res[0].Err != nil || res[0].Replica != victim {
+				t.Fatalf("victim-owned user %s served by %s (err %+v) after revival", u, res[0].Replica, res[0].Err)
+			}
+			break
+		}
+	}
+	if rt.reps[victim].requests.Load() == before {
+		t.Error("no traffic returned to the revived victim")
+	}
+}
+
+// TestChaosOutageRF1 pins the degraded mode: without replication, users
+// owned by the dead replica fail — but only those users, and only with
+// the sentinel-coded overloaded envelope; everyone else is unaffected.
+func TestChaosOutageRF1(t *testing.T) {
+	w := newChaosWorld(t, 3)
+	rt, err := New(w.urls(), Options{Replication: 1, MaxInFlight: 64, MaxQueue: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.ProbeAll(context.Background())
+	victim := rt.ring.Members()[0]
+	for i, s := range w.servers {
+		if s.URL == victim {
+			w.replicas[i].down.Store(true)
+		}
+	}
+
+	reqs := make([]json.RawMessage, len(w.users))
+	for i, u := range w.users {
+		reqs[i] = w.request(u)
+	}
+	// Two passes: the first discovers the outage (marking the victim
+	// down costs its in-flight elements one failed call each — they
+	// have no backup owner to retry on), the second must be stable.
+	rt.DoBatch(context.Background(), reqs)
+	results := rt.DoBatch(context.Background(), reqs)
+	for i, res := range results {
+		owner := rt.Owners("u\x00" + w.users[i])[0]
+		code := w.verify(t, w.users[i], res)
+		if owner == victim {
+			if code != "overloaded" {
+				t.Errorf("victim-owned user %s: code %q, want the sentinel-coded overloaded", w.users[i], code)
+			}
+		} else if code != "" {
+			t.Errorf("user %s owned by live %s failed with %q", w.users[i], owner, code)
+		}
+	}
+}

@@ -1,0 +1,438 @@
+// The router's HTTP surface: the same API v2 endpoints a replica
+// serves, so clients (and cmd/xmap-loadgen -target) cannot tell a
+// router from a single xmap-server — plus aggregated observability.
+// Down replicas are always reported as degraded entries, never
+// silently omitted: an aggregation that drops the broken member is how
+// outages hide.
+
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"xmap/internal/serve"
+)
+
+// Handler returns the router's HTTP surface.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v2/recommend", rt.handleRecommend)
+	mux.HandleFunc("POST /api/v2/ratings", rt.handleRatings)
+	mux.HandleFunc("GET /api/v2/pipelines", rt.handlePipelines)
+	mux.HandleFunc("GET /healthz", rt.handleHealth)
+	mux.HandleFunc("GET /readyz", rt.handleReady)
+	mux.HandleFunc("GET /statsz", rt.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError emits the router-origin {error: {code, message}} envelope
+// with the sentinel-derived status — the replicas' own mapping, so the
+// router's errors are wire-compatible with theirs.
+func (rt *Router) writeError(w http.ResponseWriter, err error) {
+	status, code := serve.HTTPStatus(err)
+	writeJSON(w, status, map[string]any{"error": Envelope{Code: code, Message: err.Error()}})
+}
+
+// handleRecommend answers POST /api/v2/recommend with replica
+// semantics: a single object passes through to its owner verbatim
+// (status and body untouched); an array fans out by owner and always
+// answers 200 with per-element {response}|{error} envelopes.
+func (rt *Router) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRouterBody))
+	if err != nil {
+		rt.writeError(w, fmt.Errorf("%w: reading body: %v", serve.ErrInvalidRequest, err))
+		return
+	}
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) == 0 {
+		rt.writeError(w, fmt.Errorf("%w: empty body", serve.ErrInvalidRequest))
+		return
+	}
+
+	if trimmed[0] != '[' { // single request: verbatim pass-through
+		status, payload, _, err := rt.DoSingle(r.Context(), body)
+		if err != nil {
+			rt.writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_, _ = w.Write(payload)
+		return
+	}
+
+	var reqs []json.RawMessage
+	if err := json.Unmarshal(body, &reqs); err != nil {
+		rt.writeError(w, fmt.Errorf("%w: %v", serve.ErrInvalidRequest, err))
+		return
+	}
+	if len(reqs) == 0 {
+		rt.writeError(w, fmt.Errorf("%w: empty batch", serve.ErrInvalidRequest))
+		return
+	}
+	if len(reqs) > rt.opt.MaxBatch {
+		rt.writeError(w, fmt.Errorf("%w: batch of %d exceeds the %d-request cap",
+			serve.ErrInvalidRequest, len(reqs), rt.opt.MaxBatch))
+		return
+	}
+	results := rt.DoBatch(r.Context(), reqs)
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+// handleRatings answers POST /api/v2/ratings. A rating is a write, so
+// with Replication > 1 each entry fans out to every currently-up owner
+// of its user — all owner copies must stay in sync for reads to be
+// interchangeable — and the entry is accepted only if every one of
+// them accepted it. Entries are grouped into one batched call per
+// replica; per-entry envelopes merge back in request order.
+func (rt *Router) handleRatings(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRouterBody))
+	if err != nil {
+		rt.writeError(w, fmt.Errorf("%w: reading body: %v", serve.ErrInvalidRequest, err))
+		return
+	}
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) == 0 {
+		rt.writeError(w, fmt.Errorf("%w: empty body", serve.ErrInvalidRequest))
+		return
+	}
+
+	single := trimmed[0] != '['
+	var entries []json.RawMessage
+	if single {
+		entries = []json.RawMessage{json.RawMessage(body)}
+	} else if err := json.Unmarshal(body, &entries); err != nil {
+		rt.writeError(w, fmt.Errorf("%w: %v", serve.ErrInvalidRequest, err))
+		return
+	}
+	if len(entries) == 0 {
+		rt.writeError(w, fmt.Errorf("%w: empty batch", serve.ErrInvalidRequest))
+		return
+	}
+	if len(entries) > rt.opt.MaxBatch {
+		rt.writeError(w, fmt.Errorf("%w: batch of %d exceeds the %d-entry cap",
+			serve.ErrInvalidRequest, len(entries), rt.opt.MaxBatch))
+		return
+	}
+
+	elems, depth, err := rt.ingest(r.Context(), entries)
+	if err != nil {
+		rt.writeError(w, err)
+		return
+	}
+	accepted := 0
+	for _, e := range elems {
+		if e.OK {
+			accepted++
+		}
+	}
+	if single {
+		if elems[0].Error != nil {
+			status := http.StatusBadRequest
+			switch elems[0].Error.Code {
+			case "unknown_user", "unknown_item", "no_pipeline":
+				status = http.StatusNotFound
+			case "overloaded":
+				status = http.StatusServiceUnavailable
+			case "ingest_disabled":
+				status = http.StatusServiceUnavailable
+			}
+			writeJSON(w, status, map[string]any{"error": elems[0].Error})
+			return
+		}
+		writeJSON(w, http.StatusOK, serve.IngestResponse{Accepted: accepted, QueueDepth: depth})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"accepted": accepted, "queue_depth": depth, "results": elems,
+	})
+}
+
+// ingestElem mirrors serve.IngestElem with the router's Envelope.
+type ingestElem struct {
+	OK    bool      `json:"ok"`
+	Error *Envelope `json:"error,omitempty"`
+}
+
+// ingest fans rating entries to all up owners of each entry's user and
+// merges per-entry outcomes: OK only when every contacted owner
+// accepted. Returns the maximum refit queue depth seen.
+func (rt *Router) ingest(ctx context.Context, entries []json.RawMessage) ([]ingestElem, int, error) {
+	type slot struct {
+		envs []*Envelope
+		sent int
+	}
+	slots := make([]slot, len(entries))
+	groups := make(map[string][]int) // replica → entry indices
+	for i, raw := range entries {
+		var probe struct {
+			User string `json:"user"`
+		}
+		_ = json.Unmarshal(raw, &probe)
+		for _, name := range rt.Owners("u\x00" + probe.User) {
+			if rt.reps[name].up.Load() {
+				groups[name] = append(groups[name], i)
+				slots[i].sent++
+			}
+		}
+	}
+	if len(groups) == 0 {
+		return nil, 0, fmt.Errorf("%w: no healthy replica to ingest into", serve.ErrOverloaded)
+	}
+
+	var (
+		mu       sync.Mutex
+		maxDepth int
+		wg       sync.WaitGroup
+	)
+	for name, idxs := range groups {
+		wg.Add(1)
+		go func(name string, idxs []int) {
+			defer wg.Done()
+			rp := rt.reps[name]
+			fail := func(err error) {
+				env := &Envelope{}
+				_, env.Code = serve.HTTPStatus(err)
+				env.Message = err.Error()
+				mu.Lock()
+				for _, i := range idxs {
+					slots[i].envs = append(slots[i].envs, env)
+				}
+				mu.Unlock()
+			}
+			if aerr := rp.limit.Acquire(ctx); aerr != nil {
+				rp.shed.Add(int64(len(idxs)))
+				fail(shedError(aerr))
+				return
+			}
+			defer rp.limit.Release()
+
+			var buf bytes.Buffer
+			buf.WriteByte('[')
+			for k, i := range idxs {
+				if k > 0 {
+					buf.WriteByte(',')
+				}
+				buf.Write(entries[i])
+			}
+			buf.WriteByte(']')
+			rp.requests.Add(1)
+			status, payload, err := rt.post(ctx, name+"/api/v2/ratings", buf.Bytes())
+			if err != nil {
+				rp.markDown(err)
+				fail(fmt.Errorf("%w: replica %s: %v", serve.ErrOverloaded, name, err))
+				return
+			}
+			if status != http.StatusOK {
+				fail(fmt.Errorf("%w: replica %s: ingest status %d: %s",
+					serve.ErrOverloaded, name, status, firstLine(payload)))
+				return
+			}
+			var wire struct {
+				QueueDepth int `json:"queue_depth"`
+				Results    []struct {
+					OK    bool      `json:"ok"`
+					Error *Envelope `json:"error"`
+				} `json:"results"`
+			}
+			if uerr := json.Unmarshal(payload, &wire); uerr != nil || len(wire.Results) != len(idxs) {
+				fail(fmt.Errorf("%w: replica %s: undecodable ingest body", serve.ErrOverloaded, name))
+				return
+			}
+			rp.elements.Add(int64(len(idxs)))
+			mu.Lock()
+			if wire.QueueDepth > maxDepth {
+				maxDepth = wire.QueueDepth
+			}
+			for k, i := range idxs {
+				if !wire.Results[k].OK {
+					slots[i].envs = append(slots[i].envs, wire.Results[k].Error)
+				}
+			}
+			mu.Unlock()
+		}(name, idxs)
+	}
+	wg.Wait()
+
+	elems := make([]ingestElem, len(entries))
+	for i := range slots {
+		switch {
+		case slots[i].sent == 0:
+			_, code := serve.HTTPStatus(serve.ErrOverloaded)
+			elems[i] = ingestElem{Error: &Envelope{Code: code,
+				Message: "serve: overloaded: no healthy replica owns this user"}}
+		case len(slots[i].envs) > 0:
+			// Any owner rejecting the entry fails it: an entry accepted
+			// by some owners and not others would make replica reads
+			// diverge for this user.
+			elems[i] = ingestElem{Error: slots[i].envs[0]}
+		default:
+			elems[i] = ingestElem{OK: true}
+		}
+	}
+	return elems, maxDepth, nil
+}
+
+// PipelineEntry is one replica's row in the aggregated
+// GET /api/v2/pipelines body: reachability first, then — when the
+// replica answered — its own domains and pipeline diagnostics verbatim.
+type PipelineEntry struct {
+	Replica string `json:"replica"`
+	Status  string `json:"status"` // "ok" | "not_ready" | "unreachable"
+	Error   string `json:"error,omitempty"`
+
+	Domains   json.RawMessage `json:"domains,omitempty"`
+	Pipelines json.RawMessage `json:"pipelines,omitempty"`
+}
+
+// Pipelines fetches every replica's GET /api/v2/pipelines concurrently
+// and returns one entry per replica in ring order. A replica that
+// cannot be reached is present as a degraded entry — explicitly, so an
+// aggregation never hides a down member.
+func (rt *Router) Pipelines(ctx context.Context) []PipelineEntry {
+	members := rt.ring.Members()
+	out := make([]PipelineEntry, len(members))
+	var wg sync.WaitGroup
+	for i, name := range members {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			e := PipelineEntry{Replica: name, Status: "ok"}
+			defer func() { out[i] = e }()
+			status, payload, err := rt.get(ctx, name+"/api/v2/pipelines")
+			if err != nil {
+				e.Status, e.Error = "unreachable", err.Error()
+				return
+			}
+			if status != http.StatusOK {
+				e.Status, e.Error = "not_ready", fmt.Sprintf("pipelines status %d", status)
+				return
+			}
+			var wire struct {
+				Domains   json.RawMessage `json:"domains"`
+				Pipelines json.RawMessage `json:"pipelines"`
+			}
+			if uerr := json.Unmarshal(payload, &wire); uerr != nil {
+				e.Status, e.Error = "not_ready", "undecodable pipelines body"
+				return
+			}
+			e.Domains, e.Pipelines = wire.Domains, wire.Pipelines
+			if !rt.reps[name].up.Load() {
+				e.Status = "not_ready"
+			}
+		}(i, name)
+	}
+	wg.Wait()
+	return out
+}
+
+func (rt *Router) handlePipelines(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"replicas": rt.Pipelines(r.Context())})
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// RouterReadyState is the JSON body of the router's GET /readyz:
+// quorum arithmetic plus every replica's health, so a 503 names the
+// members it is waiting for.
+type RouterReadyState struct {
+	Status   string          `json:"status"` // "ok" | "not_ready"
+	Up       int             `json:"up"`
+	Quorum   int             `json:"quorum"`
+	Replicas []ReplicaHealth `json:"replicas"`
+}
+
+// ReadyState reports the router's quorum gate and per-replica health.
+func (rt *Router) ReadyState() RouterReadyState {
+	st := RouterReadyState{
+		Status:   "ok",
+		Up:       rt.UpCount(),
+		Quorum:   rt.opt.ReadyQuorum,
+		Replicas: rt.Health(),
+	}
+	if st.Up < st.Quorum {
+		st.Status = "not_ready"
+	}
+	return st
+}
+
+// handleReady answers 503 until a quorum of replicas is ready — the
+// signal a load balancer in front of several routers keys on.
+func (rt *Router) handleReady(w http.ResponseWriter, _ *http.Request) {
+	st := rt.ReadyState()
+	code := http.StatusOK
+	if st.Status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, st)
+}
+
+// RouterStats is the JSON body of the router's GET /statsz: the
+// router's own traffic counters plus per-replica health and — for
+// reachable replicas — the replica's own /statsz snapshot embedded
+// verbatim. Unreachable replicas stay in the list as degraded entries.
+type RouterStats struct {
+	Batches  int64 `json:"batches"`
+	Elements int64 `json:"elements"`
+	Errors   int64 `json:"errors"`
+	Retried  int64 `json:"retried"`
+
+	Replication int `json:"replication"`
+	VNodes      int `json:"vnodes"`
+
+	Replicas []ReplicaStats `json:"replicas"`
+}
+
+// ReplicaStats is one replica's entry in the router's /statsz body.
+type ReplicaStats struct {
+	ReplicaHealth
+	Stats json.RawMessage `json:"stats,omitempty"`
+}
+
+// Stats aggregates the router counters with every replica's health and
+// (when reachable) its embedded /statsz snapshot.
+func (rt *Router) Stats(ctx context.Context) RouterStats {
+	st := RouterStats{
+		Batches:     rt.ctr.batches.Load(),
+		Elements:    rt.ctr.elements.Load(),
+		Errors:      rt.ctr.errors.Load(),
+		Retried:     rt.ctr.retried.Load(),
+		Replication: rt.opt.Replication,
+		VNodes:      rt.ring.VNodes(),
+	}
+	members := rt.ring.Members()
+	st.Replicas = make([]ReplicaStats, len(members))
+	var wg sync.WaitGroup
+	for i, name := range members {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			rs := ReplicaStats{ReplicaHealth: rt.reps[name].health()}
+			if status, payload, err := rt.get(ctx, name+"/statsz"); err == nil && status == http.StatusOK &&
+				json.Valid(payload) {
+				rs.Stats = payload
+			}
+			st.Replicas[i] = rs
+		}(i, name)
+	}
+	wg.Wait()
+	return st
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.Stats(r.Context()))
+}

@@ -1,0 +1,130 @@
+// Replica health: active /readyz polling plus the passive markDown the
+// request path applies on transport failures. A replica is "up" (gets
+// traffic) only while its last contact succeeded; a down replica keeps
+// being probed and rejoins the ring's traffic automatically on its
+// first 200 — rebalancing is deterministic because ring assignment
+// never changes, only which owners are eligible.
+
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ReplicaHealth is one replica's health snapshot, as reported by
+// /statsz and /api/v2/pipelines aggregation.
+type ReplicaHealth struct {
+	Replica string `json:"replica"`
+	// Status is "ok" (ready for traffic), "not_ready" (reachable but
+	// /readyz answers 503), or "unreachable".
+	Status  string `json:"status"`
+	LastErr string `json:"last_error,omitempty"`
+
+	Requests int64 `json:"requests"`
+	Elements int64 `json:"elements"`
+	Failures int64 `json:"failures"`
+	Shed     int64 `json:"shed"`
+}
+
+func (rp *replica) health() ReplicaHealth {
+	h := ReplicaHealth{
+		Replica:  rp.name,
+		Status:   "unreachable",
+		Requests: rp.requests.Load(),
+		Elements: rp.elements.Load(),
+		Failures: rp.failures.Load(),
+		Shed:     rp.shed.Load(),
+	}
+	if rp.up.Load() {
+		h.Status = "ok"
+	} else if rp.reachable.Load() {
+		h.Status = "not_ready"
+	}
+	if e, _ := rp.lastErr.Load().(string); e != "" {
+		h.LastErr = e
+	}
+	return h
+}
+
+// probe checks one replica's /readyz: 200 marks it up, 503 reachable
+// but not ready, a transport failure unreachable.
+func (rt *Router) probe(ctx context.Context, rp *replica) {
+	pctx, cancel := context.WithTimeout(ctx, rt.opt.ProbeTimeout)
+	defer cancel()
+	rp.lastProbe.Store(time.Now().UnixNano())
+	status, _, err := rt.get(pctx, rp.name+"/readyz")
+	switch {
+	case err != nil:
+		rp.up.Store(false)
+		rp.reachable.Store(false)
+		rp.lastErr.Store(err.Error())
+	case status == http.StatusOK:
+		rp.up.Store(true)
+		rp.reachable.Store(true)
+		rp.lastErr.Store("")
+	default:
+		rp.up.Store(false)
+		rp.reachable.Store(true)
+		rp.lastErr.Store("readyz status " + http.StatusText(status))
+	}
+}
+
+// ProbeAll probes every replica once, concurrently, and returns how
+// many are up. Synchronous — callers (startup, tests) see converged
+// health state when it returns.
+func (rt *Router) ProbeAll(ctx context.Context) int {
+	var wg sync.WaitGroup
+	for _, name := range rt.ring.Members() {
+		wg.Add(1)
+		go func(rp *replica) {
+			defer wg.Done()
+			rt.probe(ctx, rp)
+		}(rt.reps[name])
+	}
+	wg.Wait()
+	return rt.UpCount()
+}
+
+// Run polls every replica's /readyz on Options.PollInterval until ctx
+// is done — the active half of health tracking, reviving passively
+// marked-down replicas once they answer again.
+func (rt *Router) Run(ctx context.Context) {
+	t := time.NewTicker(rt.opt.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			rt.ProbeAll(ctx)
+		}
+	}
+}
+
+// UpCount reports how many replicas are currently marked up.
+func (rt *Router) UpCount() int {
+	n := 0
+	for _, rp := range rt.reps {
+		if rp.up.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Ready reports whether the configured quorum of replicas is up — the
+// router's own /readyz gate.
+func (rt *Router) Ready() bool { return rt.UpCount() >= rt.opt.ReadyQuorum }
+
+// Health returns every replica's health snapshot in ring (sorted
+// member) order.
+func (rt *Router) Health() []ReplicaHealth {
+	out := make([]ReplicaHealth, 0, len(rt.reps))
+	for _, name := range rt.ring.Members() {
+		out = append(out, rt.reps[name].health())
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+// Capacity planning: prices a proposed shard count before any
+// deployment exists to measure, with engine.Cluster's analytic cost
+// model — the same waves/shuffle/barrier/Amdahl model that reproduces
+// the paper's Figure 11 speedup curves. cmd/xmap-router -plan is the
+// CLI face.
+//
+// The model is anchored on one measured number (how long a full refit
+// takes on one shard's hardware today, PlanConfig.RefitSeconds) and
+// splits it across the fit phases in the proportions the offline
+// pipeline actually exhibits (pairs ≫ extend > graph > model; see
+// internal/experiments' phase timings). That keeps the plan honest: it
+// extrapolates shape from the model but scale from a measurement.
+
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"xmap/internal/engine"
+)
+
+// PlanConfig describes the deployment being priced.
+type PlanConfig struct {
+	// Shards is the replica count to price.
+	Shards int
+	// Users, Items, Ratings describe the trace the tier serves.
+	Users   int
+	Items   int
+	Ratings int
+	// RefitSeconds is the measured single-process full-refit time the
+	// model is anchored on (default 60s).
+	RefitSeconds float64
+	// ReqPerSecPerShard is the measured per-replica serving throughput
+	// used for the request-capacity line (default 2000, the order of
+	// magnitude the loadgen driver records on one core-bound replica).
+	ReqPerSecPerShard float64
+}
+
+func (c *PlanConfig) fill() {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Users <= 0 {
+		c.Users = 1_000_000
+	}
+	if c.Items <= 0 {
+		c.Items = 100_000
+	}
+	if c.Ratings <= 0 {
+		c.Ratings = c.Users * 20
+	}
+	if c.RefitSeconds <= 0 {
+		c.RefitSeconds = 60
+	}
+	if c.ReqPerSecPerShard <= 0 {
+		c.ReqPerSecPerShard = 2000
+	}
+}
+
+// PlanReport is the priced deployment: the modeled refit time at the
+// proposed shard count, the speedup over one machine, and the serving
+// capacity the shard count buys.
+type PlanReport struct {
+	Config PlanConfig
+
+	// RefitTime is the modeled distributed refit completion time.
+	RefitTime time.Duration
+	// Speedup is T(1 machine) / T(Shards machines) for the same job.
+	Speedup float64
+	// Efficiency is Speedup / Shards (1.0 = perfect scaling).
+	Efficiency float64
+	// UsersPerShard is the expected ownership share of one replica
+	// (consistent hashing spreads users near-uniformly).
+	UsersPerShard int
+	// ReqPerSec is the aggregate serving capacity.
+	ReqPerSec float64
+}
+
+// fitJob models the offline fit as a four-stage map/shuffle job. Phase
+// cost shares follow the measured profile of the fit pipeline; tasks
+// partition by item (similarity/graph/model rows are item-keyed), and
+// shuffle volume scales with the rating trace (profiles exchanged to
+// co-locate pair evidence).
+func fitJob(cfg PlanConfig) engine.Job {
+	total := time.Duration(cfg.RefitSeconds * float64(time.Second))
+	// One shard's hardware is one model machine (8 slots): with waves =
+	// ⌈items/slots⌉, waves × taskCost ≈ share × total on one machine, so
+	// the per-item-task cost is share × total × slots / items.
+	taskCost := func(share float64) time.Duration {
+		slots := engine.DefaultCluster(1).Slots()
+		return time.Duration(share * float64(total) * float64(slots) / float64(cfg.Items))
+	}
+	shuffle := int64(cfg.Ratings) * 16 // one Entry (item, value, time) per rating on the wire
+	return engine.Job{
+		Name: "refit",
+		Stages: []engine.Stage{
+			{Name: "pairs", Tasks: cfg.Items, TaskCost: taskCost(0.45), ShuffleBytes: shuffle, DriverCost: 200 * time.Millisecond},
+			{Name: "graph", Tasks: cfg.Items, TaskCost: taskCost(0.15), ShuffleBytes: shuffle / 4, DriverCost: 100 * time.Millisecond},
+			{Name: "extend", Tasks: cfg.Items, TaskCost: taskCost(0.30), ShuffleBytes: shuffle / 4, DriverCost: 100 * time.Millisecond},
+			{Name: "model", Tasks: cfg.Items, TaskCost: taskCost(0.10), ShuffleBytes: 0, DriverCost: 100 * time.Millisecond},
+		},
+	}
+}
+
+// Plan prices a proposed shard count: modeled refit time, speedup and
+// parallel efficiency versus one machine, per-shard user ownership and
+// aggregate request capacity. Deterministic — same config, same report.
+func Plan(cfg PlanConfig) PlanReport {
+	cfg.fill()
+	job := fitJob(cfg)
+	cl := engine.DefaultCluster(cfg.Shards)
+	rep := PlanReport{
+		Config:        cfg,
+		RefitTime:     cl.Simulate(job),
+		Speedup:       engine.Speedup(job, cl, 1, cfg.Shards),
+		UsersPerShard: (cfg.Users + cfg.Shards - 1) / cfg.Shards,
+		ReqPerSec:     float64(cfg.Shards) * cfg.ReqPerSecPerShard,
+	}
+	rep.Efficiency = rep.Speedup / float64(cfg.Shards)
+	return rep
+}
+
+// String renders the report as the table cmd/xmap-router -plan prints.
+func (r PlanReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "capacity plan: %d shard(s), %d users, %d items, %d ratings\n",
+		r.Config.Shards, r.Config.Users, r.Config.Items, r.Config.Ratings)
+	fmt.Fprintf(&b, "  anchored on a measured %.0fs single-process refit\n", r.Config.RefitSeconds)
+	fmt.Fprintf(&b, "  modeled refit time     %v\n", r.RefitTime.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  speedup vs 1 machine   %.2fx (efficiency %.0f%%)\n", r.Speedup, 100*r.Efficiency)
+	fmt.Fprintf(&b, "  users per shard        ~%d\n", r.UsersPerShard)
+	fmt.Fprintf(&b, "  serving capacity       ~%.0f req/s (%.0f per shard)\n", r.ReqPerSec, r.Config.ReqPerSecPerShard)
+	return b.String()
+}

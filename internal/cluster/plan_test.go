@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPlanDeterministic pins that pricing the same deployment twice
+// yields the identical report — the plan is a pure function of its
+// config, like everything else in this package.
+func TestPlanDeterministic(t *testing.T) {
+	cfg := PlanConfig{Shards: 8, Users: 500_000, Items: 50_000, Ratings: 10_000_000, RefitSeconds: 120}
+	a, b := Plan(cfg), Plan(cfg)
+	if a != b {
+		t.Fatalf("same config, different reports:\n%+v\n%+v", a, b)
+	}
+	if a.String() != b.String() {
+		t.Fatal("renderings diverge")
+	}
+}
+
+// TestPlanScaling sanity-checks the model's shape: more shards never
+// slow the refit down at these scales, the speedup is real but below
+// linear (barriers and shuffle are not free), and per-shard ownership
+// shrinks proportionally.
+func TestPlanScaling(t *testing.T) {
+	base := PlanConfig{Users: 1_000_000, Items: 100_000, Ratings: 20_000_000, RefitSeconds: 300}
+	prev := Plan(PlanConfig{Shards: 1, Users: base.Users, Items: base.Items, Ratings: base.Ratings, RefitSeconds: base.RefitSeconds})
+	if got := prev.Speedup; got < 0.99 || got > 1.01 {
+		t.Fatalf("1-shard speedup %.3f, want ~1", got)
+	}
+	for _, shards := range []int{2, 4, 8, 16} {
+		cfg := base
+		cfg.Shards = shards
+		rep := Plan(cfg)
+		if rep.RefitTime > prev.RefitTime {
+			t.Errorf("%d shards refit slower than %d (%v > %v)", shards, prev.Config.Shards, rep.RefitTime, prev.RefitTime)
+		}
+		if rep.Speedup <= 1 {
+			t.Errorf("%d shards: speedup %.2f, want > 1", shards, rep.Speedup)
+		}
+		if rep.Speedup >= float64(shards) {
+			t.Errorf("%d shards: speedup %.2f ≥ linear — barriers and shuffle vanished from the model", shards, rep.Speedup)
+		}
+		if rep.UsersPerShard != (base.Users+shards-1)/shards {
+			t.Errorf("%d shards: users/shard %d", shards, rep.UsersPerShard)
+		}
+		prev = rep
+	}
+}
+
+// TestPlanRender pins the operator-facing lines -plan prints.
+func TestPlanRender(t *testing.T) {
+	out := Plan(PlanConfig{Shards: 4}).String()
+	for _, want := range []string{"capacity plan: 4 shard(s)", "modeled refit time", "speedup vs 1 machine", "users per shard", "serving capacity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan rendering missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringMembers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://replica-%d:8080", i)
+	}
+	return out
+}
+
+func userKey(i int) string { return fmt.Sprintf("u\x00user-%05d", i) }
+
+// TestRingBalance pins the distribution guarantee the ISSUE asks for:
+// at 10k users over 4 replicas with default vnodes, the most-loaded
+// replica stays within 25% of the mean.
+func TestRingBalance(t *testing.T) {
+	const users, replicas = 10000, 4
+	r, err := NewRing(ringMembers(replicas), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := make(map[string]int, replicas)
+	for i := 0; i < users; i++ {
+		load[r.Owner(userKey(i))]++
+	}
+	if len(load) != replicas {
+		t.Fatalf("only %d of %d replicas own users", len(load), replicas)
+	}
+	mean := float64(users) / float64(replicas)
+	for m, n := range load {
+		ratio := float64(n) / mean
+		t.Logf("%s: %d users (%.2fx mean)", m, n, ratio)
+		if ratio > 1.25 || ratio < 0.75 {
+			t.Errorf("%s owns %d users, %.2fx the mean — outside [0.75, 1.25]", m, n, ratio)
+		}
+	}
+}
+
+// TestRingMinimalDisruption removes one of five members and verifies
+// consistent hashing's contract: every key not owned by the removed
+// member keeps its owner, and the moved fraction is ~1/N.
+func TestRingMinimalDisruption(t *testing.T) {
+	const users, replicas = 10000, 5
+	members := ringMembers(replicas)
+	before, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := members[2]
+	after, err := NewRing(append(append([]string{}, members[:2]...), members[3:]...), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < users; i++ {
+		k := userKey(i)
+		ob, oa := before.Owner(k), after.Owner(k)
+		if ob == oa {
+			continue
+		}
+		if ob != removed {
+			t.Fatalf("key %q moved %s → %s although %s was not removed", k, ob, oa, removed)
+		}
+		moved++
+	}
+	frac := float64(moved) / users
+	t.Logf("moved %d/%d keys (%.1f%%, ideal %.1f%%)", moved, users, 100*frac, 100.0/replicas)
+	if frac < 0.10 || frac > 0.35 {
+		t.Errorf("moved fraction %.2f far from the ~1/%d ideal", frac, replicas)
+	}
+}
+
+// TestRingDeterminism pins assignment against process restarts and
+// input-order variation: rings built from shuffled member lists (and
+// rebuilt from scratch, as a restarted router would) agree on every
+// key, and the underlying hash itself matches the published FNV-1a
+// test vectors, so no platform or Go version can shift the ring.
+func TestRingDeterminism(t *testing.T) {
+	members := ringMembers(6)
+	shuffled := []string{members[3], members[0], members[5], members[1], members[4], members[2], members[0]}
+	a, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(shuffled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		k := userKey(i)
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("key %q: owner %s from ordered build, %s from shuffled build", k, ao, bo)
+		}
+		if ao, bo := a.Owners(k, 3), b.Owners(k, 3); fmt.Sprint(ao) != fmt.Sprint(bo) {
+			t.Fatalf("key %q: owner sets diverge: %v vs %v", k, ao, bo)
+		}
+	}
+	// Published FNV-1a 64-bit vectors.
+	if h := fnv64a(""); h != 0xcbf29ce484222325 {
+		t.Errorf("fnv64a(\"\") = %#x", h)
+	}
+	if h := fnv64a("a"); h != 0xaf63dc4c8601ec8c {
+		t.Errorf("fnv64a(\"a\") = %#x", h)
+	}
+	if h := fnv64a("foobar"); h != 0x85944171f73967e8 {
+		t.Errorf("fnv64a(\"foobar\") = %#x", h)
+	}
+}
+
+// TestRingOwners pins the replica-set contract: rf distinct members,
+// primary first, rf clamped to the member count.
+func TestRingOwners(t *testing.T) {
+	r, err := NewRing(ringMembers(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		k := userKey(i)
+		owners := r.Owners(k, 3)
+		if len(owners) != 3 {
+			t.Fatalf("key %q: %d owners, want 3", k, len(owners))
+		}
+		if owners[0] != r.Owner(k) {
+			t.Fatalf("key %q: primary %s != Owner %s", k, owners[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key %q: duplicate owner %s in %v", k, o, owners)
+			}
+			seen[o] = true
+		}
+	}
+	if got := r.Owners(userKey(0), 99); len(got) != 4 {
+		t.Errorf("rf=99 returned %d owners, want clamp to 4", len(got))
+	}
+	if got := r.Owners(userKey(0), -1); len(got) != 1 {
+		t.Errorf("rf=-1 returned %d owners, want clamp to 1", len(got))
+	}
+}
+
+// TestNewRingRejects pins the constructor's error cases.
+func TestNewRingRejects(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty member list accepted")
+	}
+	if _, err := NewRing([]string{"http://a", ""}, 0); err == nil {
+		t.Error("empty member accepted")
+	}
+}

@@ -1,0 +1,512 @@
+// Package cluster is the distributed serving tier: a coordinator that
+// consistent-hashes users across a set of replica xmap-server processes
+// and speaks the same API v2 surface the replicas do.
+//
+// Each incoming batch is split by owning replica (Ring), fanned out as
+// concurrent batched POST /api/v2/recommend calls over a pooled HTTP
+// client, and merged back in request order. Responses pass through as
+// raw bytes — the router never re-ranks or re-encodes a list, so every
+// list it serves is bit-equal to some replica pipeline's output — and
+// error envelopes propagate verbatim, so the sentinel code vocabulary
+// (invalid_request, unknown_user, overloaded, …) is identical whether a
+// client talks to a replica or to the router.
+//
+// Unhappy paths are first-class: replicas are health-tracked by /readyz
+// polling plus passive marking on transport failures; per-replica
+// in-flight limits shed with the ErrQueueFull/ErrOverloaded semantics
+// of the replicas themselves (429 vs 503 preserved end-to-end); and
+// when the replication factor maps a user to several owners, an
+// idempotent read that fails on its primary retries on the next healthy
+// owner. Capacity planning for the tier lives in Plan (engine.Cluster's
+// analytic cost model); ring assignment in Ring.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xmap/internal/engine"
+	"xmap/internal/serve"
+)
+
+// maxRouterBody caps a replica response body read — a batch of replica
+// responses with explanations fits comfortably.
+const maxRouterBody = 8 << 20
+
+// shedError normalizes a Limiter.Acquire failure to the serving
+// sentinels: a full queue keeps engine.ErrQueueFull (429 overloaded,
+// the replicas' own shed code), a cancelled or expired wait becomes
+// serve.ErrOverloaded (503) — so nothing the router emits ever maps to
+// the non-sentinel "internal" code.
+func shedError(err error) error {
+	if errors.Is(err, engine.ErrQueueFull) {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	return fmt.Errorf("%w: %v", serve.ErrOverloaded, err)
+}
+
+// Options tunes a Router. The zero value is usable: every field has a
+// default chosen for a handful of replicas on one host.
+type Options struct {
+	// VNodes is the virtual-node count per replica on the hash ring
+	// (default DefaultVNodes).
+	VNodes int
+	// Replication is how many distinct replicas own each user (default
+	// 1). With Replication > 1 an idempotent read whose owner fails
+	// mid-call retries on the user's next healthy owner.
+	Replication int
+	// MaxInFlight bounds concurrent calls per replica (default 32).
+	MaxInFlight int
+	// MaxQueue bounds callers waiting for a replica's in-flight slot;
+	// the next caller is shed with engine.ErrQueueFull → 429 (default
+	// 64).
+	MaxQueue int
+	// PollInterval is the /readyz polling period of Run (default 2s).
+	PollInterval time.Duration
+	// ProbeTimeout bounds one /readyz probe (default 1s).
+	ProbeTimeout time.Duration
+	// ReadyQuorum is how many replicas must be ready before the
+	// router's own /readyz answers 200 (default: a majority, n/2+1).
+	ReadyQuorum int
+	// MaxBatch caps the element count of one incoming batch (default
+	// 256).
+	MaxBatch int
+	// Client is the pooled HTTP client for replica calls (default: a
+	// dedicated client with sensible transport limits).
+	Client *http.Client
+}
+
+func (o *Options) fill(n int) {
+	if o.VNodes <= 0 {
+		o.VNodes = DefaultVNodes
+	}
+	if o.Replication <= 0 {
+		o.Replication = 1
+	}
+	if o.Replication > n {
+		o.Replication = n
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 32
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 64
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 2 * time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = time.Second
+	}
+	if o.ReadyQuorum <= 0 {
+		o.ReadyQuorum = n/2 + 1
+	}
+	if o.ReadyQuorum > n {
+		o.ReadyQuorum = n
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+}
+
+// Envelope is the {code, message} error half of a v2 batch element —
+// the same wire shape the replicas emit, re-exported here because the
+// router both passes replica envelopes through and mints its own (shed,
+// no-healthy-owner) from the serve sentinels.
+type Envelope struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Result is one merged element of a routed batch: exactly one of
+// Response (the replica's response object, verbatim bytes) or Err is
+// set. Replica records which replica answered (empty when the router
+// itself minted the error).
+type Result struct {
+	Response json.RawMessage `json:"response,omitempty"`
+	Err      *Envelope       `json:"error,omitempty"`
+	Replica  string          `json:"-"`
+}
+
+// replica is the router's per-member state: a bounded in-flight
+// limiter plus health and traffic counters, everything atomic so the
+// request path never blocks on bookkeeping.
+type replica struct {
+	name  string // base URL, no trailing slash
+	limit *engine.Limiter
+
+	up        atomic.Bool  // passed its last probe (or not yet failed)
+	reachable atomic.Bool  // TCP-level reachable at last contact
+	lastErr   atomic.Value // string: last failure, "" when healthy
+	lastProbe atomic.Int64 // unix nanos of last active probe
+
+	requests atomic.Int64 // HTTP calls sent
+	elements atomic.Int64 // batch elements answered
+	failures atomic.Int64 // whole-call failures (transport, bad status)
+	shed     atomic.Int64 // elements shed by the in-flight limiter
+}
+
+func (rp *replica) markDown(err error) {
+	rp.up.Store(false)
+	rp.reachable.Store(false)
+	rp.failures.Add(1)
+	rp.lastErr.Store(err.Error())
+}
+
+// Router fans the v2 serving surface out over a fixed replica set.
+type Router struct {
+	opt  Options
+	ring *Ring
+	reps map[string]*replica
+
+	ctr struct {
+		batches  atomic.Int64
+		elements atomic.Int64
+		errors   atomic.Int64
+		retried  atomic.Int64 // elements re-sent to a backup owner
+	}
+}
+
+// New builds a Router over the given replica base URLs (http://host:port,
+// trailing slash tolerated). Replicas start optimistically up — the
+// first probe or failed call corrects that — so a router in front of a
+// healthy fleet serves immediately; call ProbeAll or Run to converge
+// health state.
+func New(replicas []string, opt Options) (*Router, error) {
+	cleaned := make([]string, 0, len(replicas))
+	for _, raw := range replicas {
+		s := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if s == "" {
+			continue
+		}
+		u, err := url.Parse(s)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: replica %q is not an absolute URL", raw)
+		}
+		cleaned = append(cleaned, s)
+	}
+	if len(cleaned) == 0 {
+		return nil, fmt.Errorf("cluster: no replicas")
+	}
+	ring, err := NewRing(cleaned, opt.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	opt.fill(len(ring.Members()))
+	rt := &Router{opt: opt, ring: ring, reps: make(map[string]*replica, len(ring.Members()))}
+	for _, m := range ring.Members() {
+		rp := &replica{name: m, limit: engine.NewLimiterQueue(opt.MaxInFlight, opt.MaxQueue)}
+		rp.up.Store(true)
+		rp.reachable.Store(true)
+		rp.lastErr.Store("")
+		rt.reps[m] = rp
+	}
+	return rt, nil
+}
+
+// Ring returns the router's hash ring.
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// RouteKey derives the canonical routing key of one raw v2 request:
+// named users hash by name (so a user's cache and profile state
+// concentrate on its owners), profile-only requests by profile content.
+// A body the router cannot parse still routes deterministically (by its
+// bytes); the owning replica's strict decoder then produces the
+// authoritative invalid_request envelope.
+func RouteKey(raw json.RawMessage) string {
+	var probe struct {
+		User    string          `json:"user"`
+		Profile json.RawMessage `json:"profile"`
+	}
+	if err := json.Unmarshal(raw, &probe); err == nil {
+		if probe.User != "" {
+			return "u\x00" + probe.User
+		}
+		if len(probe.Profile) > 0 {
+			return "p\x00" + strconv.FormatUint(fnv64a(string(probe.Profile)), 16)
+		}
+	}
+	return "r\x00" + strconv.FormatUint(fnv64a(string(raw)), 16)
+}
+
+// Owners returns the healthy-agnostic owner set of a routing key,
+// primary first (Options.Replication entries).
+func (rt *Router) Owners(key string) []string { return rt.ring.Owners(key, rt.opt.Replication) }
+
+// pendElem tracks one batch element through the fan-out waves: its
+// position in the incoming batch, its owner list, and how far down that
+// list it has tried.
+type pendElem struct {
+	idx    int
+	owners []string
+	next   int // owners[next:] not yet tried
+}
+
+// DoBatch routes a batch of raw v2 request objects and returns the
+// merged per-element results in request order. Elements fail
+// individually; the call itself never fails. Semantics:
+//
+//   - replica envelopes (invalid_request, unknown_user, …) pass through
+//     verbatim and are never retried — they are deterministic answers;
+//   - a whole-call failure (transport error, unexpected status) marks
+//     the replica down and re-sends the affected elements to each
+//     element's next healthy owner, in waves, until owners run out;
+//   - a shed (the replica's in-flight queue is full) answers the
+//     element with the 429-coded overloaded envelope, without retrying:
+//     re-routing overload amplifies it;
+//   - an element with no healthy owner left answers the 503-coded
+//     overloaded envelope.
+func (rt *Router) DoBatch(ctx context.Context, reqs []json.RawMessage) []Result {
+	rt.ctr.batches.Add(1)
+	rt.ctr.elements.Add(int64(len(reqs)))
+	results := make([]Result, len(reqs))
+
+	pend := make([]pendElem, len(reqs))
+	for i, raw := range reqs {
+		pend[i] = pendElem{idx: i, owners: rt.Owners(RouteKey(raw))}
+	}
+
+	for wave := 0; len(pend) > 0; wave++ {
+		if err := ctx.Err(); err != nil {
+			for _, p := range pend {
+				results[p.idx] = rt.mintError(fmt.Errorf("%w: %v", serve.ErrOverloaded, err), "")
+			}
+			break
+		}
+		groups := make(map[string][]pendElem)
+		var dead []pendElem
+		for _, p := range pend {
+			for p.next < len(p.owners) && !rt.reps[p.owners[p.next]].up.Load() {
+				p.next++
+			}
+			if p.next >= len(p.owners) {
+				dead = append(dead, p)
+				continue
+			}
+			if wave > 0 {
+				rt.ctr.retried.Add(1)
+			}
+			groups[p.owners[p.next]] = append(groups[p.owners[p.next]], p)
+		}
+		for _, p := range dead {
+			results[p.idx] = rt.mintError(fmt.Errorf("%w: no healthy replica owns this key", serve.ErrOverloaded), "")
+		}
+		if len(groups) == 0 {
+			break
+		}
+
+		var (
+			mu      sync.Mutex
+			requeue []pendElem
+			wg      sync.WaitGroup
+		)
+		for name, grp := range groups {
+			wg.Add(1)
+			go func(name string, grp []pendElem) {
+				defer wg.Done()
+				rp := rt.reps[name]
+				if err := rp.limit.Acquire(ctx); err != nil {
+					// A shed or a cancelled wait is back-pressure, not a
+					// replica failure: the replica stays up and the
+					// elements answer overloaded (429 for ErrQueueFull,
+					// 503 for cancellation) without retrying elsewhere.
+					rp.shed.Add(int64(len(grp)))
+					env := rt.mintError(shedError(err), name)
+					for _, p := range grp {
+						results[p.idx] = env
+					}
+					return
+				}
+				defer rp.limit.Release()
+
+				batch := make([]json.RawMessage, len(grp))
+				for i, p := range grp {
+					batch[i] = reqs[p.idx]
+				}
+				elems, err := rt.postRecommendBatch(ctx, rp, batch)
+				if err != nil {
+					rp.markDown(err)
+					mu.Lock()
+					for _, p := range grp {
+						p.next++
+						requeue = append(requeue, p)
+					}
+					mu.Unlock()
+					return
+				}
+				rp.elements.Add(int64(len(grp)))
+				for i, p := range grp {
+					el := elems[i]
+					if el.Error != nil {
+						rt.ctr.errors.Add(1)
+						results[p.idx] = Result{Err: el.Error, Replica: name}
+						continue
+					}
+					results[p.idx] = Result{Response: el.Response, Replica: name}
+				}
+			}(name, grp)
+		}
+		wg.Wait()
+		pend = requeue
+	}
+	return results
+}
+
+// mintError builds a router-origin Result from a serving error using
+// the replicas' own sentinel → code mapping, so a shed at the router is
+// wire-identical to a shed at a replica.
+func (rt *Router) mintError(err error, replica string) Result {
+	rt.ctr.errors.Add(1)
+	_, code := serve.HTTPStatus(err)
+	return Result{Err: &Envelope{Code: code, Message: err.Error()}, Replica: replica}
+}
+
+// wireElem mirrors the replica's BatchElem with the response left as
+// raw bytes, so merging never re-encodes a list.
+type wireElem struct {
+	Response json.RawMessage `json:"response"`
+	Error    *Envelope       `json:"error"`
+}
+
+// postRecommendBatch sends one batched recommend call to a replica. Any
+// whole-call failure (transport, non-200, undecodable or mis-sized
+// body) returns an error; per-element envelopes are the caller's to
+// interpret.
+func (rt *Router) postRecommendBatch(ctx context.Context, rp *replica, batch []json.RawMessage) ([]wireElem, error) {
+	var buf bytes.Buffer
+	buf.WriteByte('[')
+	for i, raw := range batch {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(raw)
+	}
+	buf.WriteByte(']')
+
+	rp.requests.Add(1)
+	status, body, err := rt.post(ctx, rp.name+"/api/v2/recommend", buf.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		// A replica answers a well-formed batch with 200 and per-element
+		// envelopes; anything else is the replica itself failing.
+		return nil, fmt.Errorf("replica %s: batch status %d: %s", rp.name, status, firstLine(body))
+	}
+	var wire struct {
+		Results []wireElem `json:"results"`
+	}
+	if err := json.Unmarshal(body, &wire); err != nil {
+		return nil, fmt.Errorf("replica %s: undecodable batch body: %v", rp.name, err)
+	}
+	if len(wire.Results) != len(batch) {
+		return nil, fmt.Errorf("replica %s: %d results for %d requests", rp.name, len(wire.Results), len(batch))
+	}
+	return wire.Results, nil
+}
+
+// DoSingle forwards one single-object v2 recommend body and passes the
+// answering replica's status and body through verbatim — preserving the
+// replica's own 429-vs-503 distinction, which a batch envelope cannot
+// carry. Transport-level failures mark the owner down and retry on the
+// key's next healthy owner; a shed answers 429 without retrying.
+func (rt *Router) DoSingle(ctx context.Context, body []byte) (status int, payload []byte, replica string, err error) {
+	rt.ctr.elements.Add(1)
+	owners := rt.Owners(RouteKey(body))
+	tried := 0
+	for _, name := range owners {
+		rp := rt.reps[name]
+		if !rp.up.Load() {
+			continue
+		}
+		if tried > 0 {
+			rt.ctr.retried.Add(1)
+		}
+		tried++
+		if aerr := rp.limit.Acquire(ctx); aerr != nil {
+			rp.shed.Add(1)
+			rt.ctr.errors.Add(1)
+			return 0, nil, name, shedError(aerr)
+		}
+		rp.requests.Add(1)
+		st, pl, perr := rt.post(ctx, name+"/api/v2/recommend", body)
+		rp.limit.Release()
+		if perr != nil {
+			rp.markDown(perr)
+			continue
+		}
+		rp.elements.Add(1)
+		if st >= http.StatusBadRequest {
+			rt.ctr.errors.Add(1)
+		}
+		return st, pl, name, nil
+	}
+	rt.ctr.errors.Add(1)
+	return 0, nil, "", fmt.Errorf("%w: no healthy replica owns this key", serve.ErrOverloaded)
+}
+
+// post issues one POST with a JSON body and reads the full response.
+func (rt *Router) post(ctx context.Context, url string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.opt.Client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxRouterBody))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, payload, nil
+}
+
+// get issues one GET and reads the full response.
+func (rt *Router) get(ctx context.Context, url string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := rt.opt.Client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxRouterBody))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, payload, nil
+}
+
+func firstLine(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}

@@ -1,0 +1,548 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"xmap/internal/serve"
+)
+
+// fakeReplica is a wire-level stand-in for an xmap-server: it speaks
+// just enough of the v2 surface (batch recommend envelopes, readyz,
+// statsz, pipelines, ratings) for router semantics to be pinned without
+// fitting pipelines. Users named ghost* answer unknown_user envelopes;
+// a down fake drops connections like a crashed process.
+type fakeReplica struct {
+	label string
+	srv   *httptest.Server
+
+	ready      atomic.Bool
+	down       atomic.Bool // drop every connection (crash simulation)
+	recommends atomic.Int64
+	ratings    atomic.Int64
+}
+
+func newFakeReplica(t *testing.T, label string) *fakeReplica {
+	t.Helper()
+	f := &fakeReplica{label: label}
+	f.ready.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v2/recommend", f.handleRecommend)
+	mux.HandleFunc("POST /api/v2/ratings", f.handleRatings)
+	mux.HandleFunc("GET /api/v2/pipelines", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"domains":   []string{"movies", "books"},
+			"pipelines": []map[string]any{{"pipeline": 0, "source": "movies", "target": "books"}},
+		})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if f.ready.Load() {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+			return
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not_ready"})
+	})
+	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"label": f.label})
+	})
+	f.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if f.down.Load() {
+			panic(http.ErrAbortHandler) // connection dropped, no response
+		}
+		mux.ServeHTTP(w, r)
+	}))
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func (f *fakeReplica) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	f.recommends.Add(1)
+	var raw json.RawMessage
+	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": Envelope{Code: "invalid_request", Message: err.Error()}})
+		return
+	}
+	answer := func(user string) (resp map[string]any, env *Envelope) {
+		if strings.HasPrefix(user, "ghost") {
+			return nil, &Envelope{Code: "unknown_user", Message: "serve: unknown user: " + user}
+		}
+		return map[string]any{"user": user, "replica": f.label}, nil
+	}
+	trimmed := strings.TrimLeft(string(raw), " \t\r\n")
+	if !strings.HasPrefix(trimmed, "[") { // single object: own status per outcome
+		var req struct {
+			User string `json:"user"`
+		}
+		_ = json.Unmarshal(raw, &req)
+		resp, env := answer(req.User)
+		if env != nil {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": env})
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	var reqs []struct {
+		User string `json:"user"`
+	}
+	if err := json.Unmarshal(raw, &reqs); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": Envelope{Code: "invalid_request", Message: err.Error()}})
+		return
+	}
+	results := make([]map[string]any, len(reqs))
+	for i, rq := range reqs {
+		resp, env := answer(rq.User)
+		if env != nil {
+			results[i] = map[string]any{"error": env}
+			continue
+		}
+		results[i] = map[string]any{"response": resp}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+func (f *fakeReplica) handleRatings(w http.ResponseWriter, r *http.Request) {
+	f.ratings.Add(1)
+	var entries []struct {
+		User string `json:"user"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&entries); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": Envelope{Code: "invalid_request", Message: err.Error()}})
+		return
+	}
+	results := make([]map[string]any, len(entries))
+	accepted := 0
+	for i, e := range entries {
+		if strings.HasPrefix(e.User, "ghost") {
+			results[i] = map[string]any{"ok": false, "error": Envelope{Code: "unknown_user", Message: "serve: unknown user"}}
+			continue
+		}
+		results[i] = map[string]any{"ok": true}
+		accepted++
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"accepted": accepted, "queue_depth": 3 + len(f.label), "results": results,
+	})
+}
+
+// newFakeCluster builds n fakes plus a router over them.
+func newFakeCluster(t *testing.T, n int, opt Options) (*Router, map[string]*fakeReplica) {
+	t.Helper()
+	fakes := make(map[string]*fakeReplica, n)
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		f := newFakeReplica(t, fmt.Sprintf("r%d", i))
+		fakes[f.srv.URL] = f
+		urls[i] = f.srv.URL
+	}
+	rt, err := New(urls, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, fakes
+}
+
+func rawReq(user string) json.RawMessage {
+	return json.RawMessage(fmt.Sprintf(`{"user":%q,"n":5,"source":"movies","target":"books"}`, user))
+}
+
+// TestDoBatchMergeOrder pins the core contract: a batch fanned out
+// across replicas merges back in request order, each element answered
+// by its ring owner, responses passed through verbatim.
+func TestDoBatchMergeOrder(t *testing.T) {
+	rt, fakes := newFakeCluster(t, 3, Options{})
+	reqs := make([]json.RawMessage, 60)
+	for i := range reqs {
+		reqs[i] = rawReq(fmt.Sprintf("user-%03d", i))
+	}
+	results := rt.DoBatch(context.Background(), reqs)
+	if len(results) != len(reqs) {
+		t.Fatalf("%d results for %d requests", len(results), len(reqs))
+	}
+	owners := map[string]bool{}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("element %d failed: %+v", i, res.Err)
+		}
+		var got struct {
+			User    string `json:"user"`
+			Replica string `json:"replica"`
+		}
+		if err := json.Unmarshal(res.Response, &got); err != nil {
+			t.Fatalf("element %d: undecodable response: %v", i, err)
+		}
+		user := fmt.Sprintf("user-%03d", i)
+		if got.User != user {
+			t.Fatalf("element %d answered for %q, want %q — merge order broken", i, got.User, user)
+		}
+		wantOwner := rt.Owners("u\x00" + user)[0]
+		if res.Replica != wantOwner {
+			t.Fatalf("element %d served by %s, ring owner is %s", i, res.Replica, wantOwner)
+		}
+		if fakes[res.Replica].label != got.Replica {
+			t.Fatalf("element %d: response claims %s, transport says %s", i, got.Replica, fakes[res.Replica].label)
+		}
+		owners[res.Replica] = true
+	}
+	if len(owners) != 3 {
+		t.Errorf("only %d of 3 replicas served traffic", len(owners))
+	}
+	for _, f := range fakes {
+		if n := f.recommends.Load(); n != 1 {
+			t.Errorf("replica %s saw %d batch calls, want exactly 1 (one group per replica per wave)", f.label, n)
+		}
+	}
+}
+
+// TestBatchSentinelPassThrough pins that replica error envelopes pass
+// through verbatim and are not retried on other replicas: a
+// deterministic error is an answer, not a failure.
+func TestBatchSentinelPassThrough(t *testing.T) {
+	rt, fakes := newFakeCluster(t, 3, Options{Replication: 2})
+	results := rt.DoBatch(context.Background(), []json.RawMessage{
+		rawReq("ghost-1"), rawReq("alice"), rawReq("ghost-2"),
+	})
+	for _, i := range []int{0, 2} {
+		if results[i].Err == nil {
+			t.Fatalf("element %d: expected unknown_user envelope, got response", i)
+		}
+		if results[i].Err.Code != "unknown_user" {
+			t.Fatalf("element %d: code %q, want unknown_user", i, results[i].Err.Code)
+		}
+	}
+	if results[1].Err != nil {
+		t.Fatalf("element 1 failed: %+v", results[1].Err)
+	}
+	var calls int64
+	for _, f := range fakes {
+		calls += f.recommends.Load()
+	}
+	if rt.ctr.retried.Load() != 0 {
+		t.Errorf("deterministic element errors were retried (%d retries)", rt.ctr.retried.Load())
+	}
+	if calls > 3 {
+		t.Errorf("%d replica calls for a 3-element batch — element errors must not re-fan", calls)
+	}
+}
+
+// TestShedPreservesSemantics pins the shed path: a replica whose
+// in-flight queue is full sheds with the 429-coded overloaded envelope
+// (engine.ErrQueueFull end-to-end), without marking the replica down
+// and without re-routing the overload to other owners.
+func TestShedPreservesSemantics(t *testing.T) {
+	rt, fakes := newFakeCluster(t, 1, Options{MaxInFlight: 1, MaxQueue: 1})
+	name := rt.ring.Members()[0]
+	rp := rt.reps[name]
+
+	// Occupy the only slot, then fill the one queue position with a
+	// parked waiter; the next caller sheds immediately.
+	if err := rp.limit.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	waiterDone := make(chan error, 1)
+	go func() {
+		if err := rp.limit.Acquire(context.Background()); err == nil {
+			rp.limit.Release()
+			waiterDone <- nil
+		} else {
+			waiterDone <- err
+		}
+	}()
+	for rp.limit.Waiting() != 1 {
+	}
+
+	results := rt.DoBatch(context.Background(), []json.RawMessage{rawReq("alice")})
+	if results[0].Err == nil {
+		t.Fatal("expected shed, got response")
+	}
+	if results[0].Err.Code != "overloaded" {
+		t.Fatalf("shed code %q, want overloaded", results[0].Err.Code)
+	}
+	if !rp.up.Load() {
+		t.Error("shed marked the replica down — back-pressure is not failure")
+	}
+	if n := fakes[name].recommends.Load(); n != 0 {
+		t.Errorf("shed batch still reached the replica (%d calls)", n)
+	}
+
+	// The single path must preserve the 429-vs-503 distinction.
+	_, _, _, err := rt.DoSingle(context.Background(), rawReq("alice"))
+	if err == nil {
+		t.Fatal("expected single-path shed")
+	}
+	if status, code := serve.HTTPStatus(err); status != http.StatusTooManyRequests || code != "overloaded" {
+		t.Fatalf("single shed maps to (%d, %s), want (429, overloaded)", status, code)
+	}
+
+	rp.limit.Release()
+	if err := <-waiterDone; err != nil {
+		t.Fatalf("parked waiter failed: %v", err)
+	}
+}
+
+// TestRetryOnNextOwner pins read retries: with Replication 2, a
+// transport failure on the primary marks it down and the element is
+// served by the backup owner within the same DoBatch call.
+func TestRetryOnNextOwner(t *testing.T) {
+	rt, fakes := newFakeCluster(t, 2, Options{Replication: 2})
+	owners := rt.Owners("u\x00alice")
+	if len(owners) != 2 {
+		t.Fatalf("expected 2 owners, got %v", owners)
+	}
+	fakes[owners[0]].down.Store(true)
+
+	results := rt.DoBatch(context.Background(), []json.RawMessage{rawReq("alice")})
+	if results[0].Err != nil {
+		t.Fatalf("element failed despite a healthy backup owner: %+v", results[0].Err)
+	}
+	if results[0].Replica != owners[1] {
+		t.Fatalf("served by %s, want backup %s", results[0].Replica, owners[1])
+	}
+	if rt.reps[owners[0]].up.Load() {
+		t.Error("failed primary not passively marked down")
+	}
+	if rt.ctr.retried.Load() == 0 {
+		t.Error("retry counter did not move")
+	}
+
+	// Revival: the fake recovers, a probe marks it up, traffic returns.
+	fakes[owners[0]].down.Store(false)
+	rt.ProbeAll(context.Background())
+	if !rt.reps[owners[0]].up.Load() {
+		t.Fatal("revived replica not marked up by probe")
+	}
+	results = rt.DoBatch(context.Background(), []json.RawMessage{rawReq("alice")})
+	if results[0].Err != nil || results[0].Replica != owners[0] {
+		t.Fatalf("revived primary not serving again: %+v via %s", results[0].Err, results[0].Replica)
+	}
+}
+
+// TestNoHealthyOwner pins the exhaustion path: with Replication 1 and
+// the only owner down, the element answers the 503-coded overloaded
+// envelope — sentinel-coded, never a transport error leaking through.
+func TestNoHealthyOwner(t *testing.T) {
+	rt, fakes := newFakeCluster(t, 2, Options{})
+	owners := rt.Owners("u\x00alice")
+	fakes[owners[0]].down.Store(true)
+
+	results := rt.DoBatch(context.Background(), []json.RawMessage{rawReq("alice")})
+	if results[0].Err == nil {
+		t.Fatal("expected no-healthy-owner error")
+	}
+	if results[0].Err.Code != "overloaded" {
+		t.Fatalf("code %q, want overloaded", results[0].Err.Code)
+	}
+
+	_, _, _, err := rt.DoSingle(context.Background(), rawReq("alice"))
+	if err == nil {
+		t.Fatal("expected single-path error")
+	}
+	if status, code := serve.HTTPStatus(err); status != http.StatusServiceUnavailable || code != "overloaded" {
+		t.Fatalf("maps to (%d, %s), want (503, overloaded)", status, code)
+	}
+}
+
+// TestQuorumReadyz pins the router's own readiness gate: 503 until the
+// configured quorum of replicas is ready, with per-replica health in
+// the body either way.
+func TestQuorumReadyz(t *testing.T) {
+	rt, fakes := newFakeCluster(t, 3, Options{ReadyQuorum: 2})
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+
+	readyzStatus := func() (int, RouterReadyState) {
+		resp, err := http.Get(srv.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st RouterReadyState
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, st
+	}
+
+	rt.ProbeAll(context.Background())
+	if code, st := readyzStatus(); code != http.StatusOK || st.Status != "ok" || st.Up != 3 {
+		t.Fatalf("healthy fleet: readyz (%d, %+v)", code, st)
+	}
+
+	// One not-ready replica: quorum of 2 still holds.
+	var first *fakeReplica
+	for _, f := range fakes {
+		first = f
+		break
+	}
+	first.ready.Store(false)
+	rt.ProbeAll(context.Background())
+	if code, st := readyzStatus(); code != http.StatusOK || st.Up != 2 {
+		t.Fatalf("2/3 ready: readyz (%d, up=%d), want (200, 2)", code, st.Up)
+	}
+
+	// Two down: below quorum, 503, and the body still names every
+	// replica with its degraded status.
+	n := 0
+	for _, f := range fakes {
+		if n++; n <= 2 {
+			f.ready.Store(false)
+		}
+	}
+	rt.ProbeAll(context.Background())
+	code, st := readyzStatus()
+	if code != http.StatusServiceUnavailable || st.Status != "not_ready" {
+		t.Fatalf("below quorum: readyz (%d, %s), want (503, not_ready)", code, st.Status)
+	}
+	if len(st.Replicas) != 3 {
+		t.Fatalf("readyz body lists %d replicas, want all 3", len(st.Replicas))
+	}
+	notReady := 0
+	for _, h := range st.Replicas {
+		if h.Status == "not_ready" {
+			notReady++
+		}
+	}
+	if notReady < 2 {
+		t.Errorf("degraded replicas not reported: %+v", st.Replicas)
+	}
+}
+
+// TestPipelinesDegradedEntries pins the aggregation bugfix: a down
+// replica appears in GET /api/v2/pipelines as an explicit degraded
+// entry, never silently omitted.
+func TestPipelinesDegradedEntries(t *testing.T) {
+	rt, fakes := newFakeCluster(t, 2, Options{})
+	var down string
+	for url, f := range fakes {
+		f.srv.Close() // hard-down: connection refused
+		down = url
+		break
+	}
+	entries := rt.Pipelines(context.Background())
+	if len(entries) != 2 {
+		t.Fatalf("%d entries for 2 replicas — down replica omitted", len(entries))
+	}
+	byName := map[string]PipelineEntry{}
+	for _, e := range entries {
+		byName[e.Replica] = e
+	}
+	de, ok := byName[down]
+	if !ok {
+		t.Fatalf("down replica %s missing from aggregation", down)
+	}
+	if de.Status != "unreachable" || de.Error == "" {
+		t.Errorf("down replica entry %+v, want status=unreachable with an error", de)
+	}
+	for name, e := range byName {
+		if name == down {
+			continue
+		}
+		if e.Status != "ok" || len(e.Pipelines) == 0 {
+			t.Errorf("healthy replica entry %+v, want ok with pipelines", e)
+		}
+	}
+
+	// Same rule for /statsz.
+	stats := rt.Stats(context.Background())
+	if len(stats.Replicas) != 2 {
+		t.Fatalf("statsz lists %d replicas, want 2", len(stats.Replicas))
+	}
+	for _, rs := range stats.Replicas {
+		if rs.Replica == down {
+			if rs.Stats != nil {
+				t.Errorf("down replica has embedded stats")
+			}
+		} else if rs.Stats == nil {
+			t.Errorf("healthy replica %s missing embedded stats", rs.Replica)
+		}
+	}
+}
+
+// TestRatingsFanout pins the write path: with Replication 2 over two
+// replicas every entry reaches both owners, per-entry envelopes merge
+// in order, and the reported queue depth is the fleet maximum.
+func TestRatingsFanout(t *testing.T) {
+	rt, fakes := newFakeCluster(t, 2, Options{Replication: 2})
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+
+	body := `[{"user":"alice","item":"m-1","value":5},{"user":"ghost-9","item":"m-1","value":1}]`
+	resp, err := http.Post(srv.URL+"/api/v2/ratings", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var wire struct {
+		Accepted   int          `json:"accepted"`
+		QueueDepth int          `json:"queue_depth"`
+		Results    []ingestElem `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || len(wire.Results) != 2 {
+		t.Fatalf("ratings answered (%d, %d results)", resp.StatusCode, len(wire.Results))
+	}
+	if !wire.Results[0].OK || wire.Results[1].OK {
+		t.Fatalf("per-entry outcomes wrong: %+v", wire.Results)
+	}
+	if wire.Results[1].Error == nil || wire.Results[1].Error.Code != "unknown_user" {
+		t.Fatalf("entry 1 error %+v, want unknown_user", wire.Results[1].Error)
+	}
+	if wire.Accepted != 1 {
+		t.Errorf("accepted %d, want 1", wire.Accepted)
+	}
+	// Both fakes saw the batch (RF=2 writes go to every owner); depth is
+	// the max of the two fakes' 3+len(label) answers.
+	for _, f := range fakes {
+		if f.ratings.Load() == 0 {
+			t.Errorf("replica %s saw no ratings traffic under RF=2", f.label)
+		}
+	}
+	if wire.QueueDepth != 5 {
+		t.Errorf("queue depth %d, want the fleet max 5", wire.QueueDepth)
+	}
+}
+
+// TestSinglePassThrough pins that the single-object path forwards the
+// replica's status and body verbatim — including its 404 envelopes.
+func TestSinglePassThrough(t *testing.T) {
+	rt, _ := newFakeCluster(t, 2, Options{})
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/api/v2/recommend", "application/json",
+		strings.NewReader(`{"user":"ghost-1","n":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want the replica's 404 passed through", resp.StatusCode)
+	}
+	var wire struct {
+		Error Envelope `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Error.Code != "unknown_user" {
+		t.Fatalf("code %q, want unknown_user", wire.Error.Code)
+	}
+
+	ok, err := http.Post(srv.URL+"/api/v2/recommend", "application/json",
+		strings.NewReader(`{"user":"alice","n":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ok.Body.Close()
+	if ok.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", ok.StatusCode)
+	}
+}

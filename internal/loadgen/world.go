@@ -3,7 +3,10 @@ package loadgen
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"strings"
+	"time"
 
 	"xmap/internal/core"
 	"xmap/internal/dataset"
@@ -125,3 +128,60 @@ func (w *World) IngestTail(ctx context.Context, batchSize int) (core.RefitStats,
 
 // Close shuts the HTTP server down.
 func (w *World) Close() { w.Server.Close() }
+
+// RemoteWorld is the -target counterpart of World: the same generated
+// trace and latent ground truth — enough to build the driving
+// Population — but nothing self-hosted. The externally hosted stack
+// (one xmap-server, or cmd/xmap-router over a sharded fleet) must have
+// been fitted over the same trace (same generator config and seed, or
+// the trace file xmap-datagen emits for it); the closed loop then
+// exercises it over real network HTTP instead of a loopback listener.
+type RemoteWorld struct {
+	Amazon  dataset.Amazon
+	Tail    []ratings.Rating
+	Latent  *dataset.Latent
+	BaseURL string
+	Client  *http.Client
+}
+
+// NewRemoteWorld generates wc's trace and points at the stack hosted at
+// baseURL. Nothing is fitted or served locally.
+func NewRemoteWorld(wc WorldConfig, baseURL string) (*RemoteWorld, error) {
+	if baseURL == "" {
+		return nil, fmt.Errorf("loadgen: remote world needs a base URL")
+	}
+	az, tail, lat := dataset.AmazonLikeLaunchLatent(wc.Dataset, wc.Launch)
+	return &RemoteWorld{
+		Amazon: az, Tail: tail, Latent: lat,
+		BaseURL: strings.TrimRight(baseURL, "/"),
+		Client:  &http.Client{Timeout: 60 * time.Second},
+	}, nil
+}
+
+// Pairs returns both serving directions by name.
+func (w *RemoteWorld) Pairs() []Pair {
+	ds := w.Amazon.DS
+	return []Pair{
+		{Source: ds.DomainName(w.Amazon.Movies), Target: ds.DomainName(w.Amazon.Books)},
+		{Source: ds.DomainName(w.Amazon.Books), Target: ds.DomainName(w.Amazon.Movies)},
+	}
+}
+
+// Population builds the driving population over both directions.
+func (w *RemoteWorld) Population() (*Population, error) {
+	return NewPopulation(w.Amazon.DS, w.Latent, w.Pairs())
+}
+
+// Target points a run at the remote stack. Refit is nil: an external
+// deployment owns its own refit cadence (ticker / queue triggers), so
+// mid-run list changes are realistic rather than bit-reproducible.
+func (w *RemoteWorld) Target() Target {
+	return Target{BaseURL: w.BaseURL, Client: w.Client}
+}
+
+// IngestTail posts the launch cohort's append tail to the remote stack.
+// Unlike World.IngestTail it cannot force the refit that follows — the
+// remote's own triggers decide when the cohort becomes servable.
+func (w *RemoteWorld) IngestTail(ctx context.Context, batchSize int) error {
+	return PostRatings(ctx, w.Client, w.BaseURL, w.Amazon.DS, w.Tail, batchSize)
+}
